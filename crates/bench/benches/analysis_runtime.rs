@@ -1,0 +1,76 @@
+//! Runtime of Algorithm 1 vs. data size and input count.
+//!
+//! The paper reports "about 8.4 seconds to analyze the logic of a
+//! complex genetic circuit with significantly large-sized data" (§IV).
+//! This bench regenerates that series: logic-analysis wall time as a
+//! function of the number of logged samples (10k → 1M) and of the input
+//! count (1 → 4). The expected shape is linear in the sample count and
+//! nearly flat in N — far below wet-lab hours either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glc_core::analyze::{AnalyzerConfig, LogicAnalyzer};
+use glc_core::data::AnalogData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds noisy synthetic sweep data: all 2^n combinations in rotation,
+/// output following an AND of all inputs with bounded noise.
+fn synthetic_data(n: usize, samples: usize, seed: u64) -> AnalogData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let combos = 1usize << n;
+    let hold = (samples / combos).max(1);
+    let mut inputs: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); n];
+    let mut output = Vec::with_capacity(samples);
+    for k in 0..samples {
+        let combo = (k / hold) % combos;
+        for (j, series) in inputs.iter_mut().enumerate() {
+            let high = (combo >> (n - 1 - j)) & 1 == 1;
+            let level = if high { 30.0 } else { 1.0 };
+            series.push(level + rng.gen_range(-1.0..1.0));
+        }
+        let high = combo == combos - 1;
+        let level: f64 = if high { 30.0 } else { 1.5 };
+        output.push((level + rng.gen_range(-4.0..4.0)).max(0.0));
+    }
+    AnalogData::new(
+        inputs
+            .into_iter()
+            .enumerate()
+            .map(|(j, s)| (format!("I{j}"), s))
+            .collect(),
+        ("Y".into(), output),
+    )
+    .expect("synthetic data valid")
+}
+
+fn bench_vs_samples(c: &mut Criterion) {
+    let analyzer = LogicAnalyzer::new(AnalyzerConfig::new(15.0));
+    let mut group = c.benchmark_group("analysis_vs_samples");
+    for &samples in &[10_000usize, 50_000, 200_000, 1_000_000] {
+        let data = synthetic_data(3, samples, 7);
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &data, |b, data| {
+            b.iter(|| analyzer.analyze(data).expect("analysis"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_inputs(c: &mut Criterion) {
+    let analyzer = LogicAnalyzer::new(AnalyzerConfig::new(15.0));
+    let mut group = c.benchmark_group("analysis_vs_inputs");
+    for &n in &[1usize, 2, 3, 4] {
+        let data = synthetic_data(n, 100_000, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| analyzer.analyze(data).expect("analysis"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vs_samples, bench_vs_inputs
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Boolean toolbox scaling: Quine–McCluskey and BDD operations.
+//!
+//! Supports the verification half of the paper: expression minimization
+//! (used to print every extracted expression) and BDD
+//! construction/equivalence (used for every verification verdict) must
+//! stay negligible next to simulation. Benchmarked over all input
+//! counts the analyzer accepts in practice (2–8; the paper needs ≤ 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glc_core::bdd::Bdd;
+use glc_core::boolexpr::TruthTable;
+use glc_core::qmc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_table(n: usize, seed: u64) -> TruthTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TruthTable::from_fn(n, |_| rng.gen_bool(0.5))
+}
+
+fn bench_qmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmc_minimize");
+    for &n in &[2usize, 3, 4, 6, 8] {
+        let table = random_table(n, 11);
+        let minterms = table.minterms();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &minterms, |b, minterms| {
+            b.iter(|| qmc::minimize(n, minterms, &[]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd_build_and_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_build_equiv");
+    for &n in &[2usize, 3, 4, 6, 8] {
+        let table_a = random_table(n, 11);
+        let table_b = random_table(n, 13);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(table_a, table_b),
+            |b, (ta, tb)| {
+                b.iter(|| {
+                    let mut bdd = Bdd::new(n);
+                    let f = bdd.from_truth_table(ta);
+                    let g = bdd.from_truth_table(tb);
+                    let eq = bdd.equivalent(f, g);
+                    let wrong = if eq { 0 } else { bdd.disagreements(f, g).len() };
+                    (eq, wrong)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qmc, bench_bdd_build_and_equivalence
+}
+criterion_main!(benches);

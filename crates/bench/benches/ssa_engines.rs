@@ -1,0 +1,64 @@
+//! SSA engine ablation: direct vs. first-reaction vs. next-reaction vs.
+//! tau-leaping.
+//!
+//! Not a paper figure, but the design-choice ablation `DESIGN.md` calls
+//! out: the paper's workflow is dominated by stochastic simulation, so
+//! the choice of exact algorithm matters. Each engine simulates 200 t.u.
+//! of the Figure 1 AND-gate circuit (all inputs high) and of the largest
+//! Cello circuit in the catalog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glc_gates::catalog;
+use glc_model::Model;
+use glc_ssa::{
+    simulate, CompiledModel, Direct, Engine, FirstReaction, Langevin, NextReaction, TauLeap,
+};
+
+fn prepared(id: &str) -> CompiledModel {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut model: Model = entry.model.clone();
+    for input in &entry.inputs {
+        model.set_initial_amount(input, 15.0);
+    }
+    CompiledModel::new(&model).expect("compiles")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    for id in ["book_and", "cello_0x1C"] {
+        let compiled = prepared(id);
+        let mut group = c.benchmark_group(format!("ssa_engines/{id}"));
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(Direct::new()),
+            Box::new(FirstReaction::new()),
+            Box::new(NextReaction::new()),
+        ];
+        if id.starts_with("cello") {
+            // The approximate engines need smooth, bounded propensities;
+            // a 0.5 t.u. leap is invalid for the stiff single-copy
+            // promoter binding of the mass-action book circuits, so they
+            // only run on the Hill-kinetics models.
+            engines.push(Box::new(TauLeap::new(0.5).expect("valid tau")));
+            engines.push(Box::new(Langevin::new(0.1).expect("valid dt")));
+        }
+        for engine in &mut engines {
+            let name = engine.name().to_string();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&name),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        simulate(compiled, engine.as_mut(), 200.0, 1.0, 42).expect("simulate")
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

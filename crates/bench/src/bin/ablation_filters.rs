@@ -1,0 +1,138 @@
+//! Ablation: what each acceptance filter contributes.
+//!
+//! The paper argues (Figures 2 and 3) that *both* filters are needed:
+//! eq. (1)'s stability bound alone accepts transient glitches (turning
+//! the AND gate into an XNOR), and eq. (2)'s majority vote alone accepts
+//! oscillatory outputs. This harness quantifies that over the whole
+//! 15-circuit catalog: it re-derives the extracted minterm set under
+//! four acceptance rules — both filters (the paper), eq. (1) only,
+//! eq. (2) only, and "any high sample" — and reports how many circuits
+//! each rule gets right.
+//!
+//! Run with `cargo run --release -p glc-bench --bin ablation_filters`.
+
+use glc_bench::{run_circuit, CircuitRun, PAPER_FOV_UD, PAPER_THRESHOLD};
+use glc_core::boolexpr::TruthTable;
+use glc_gates::catalog;
+use parking_lot::Mutex;
+
+/// Acceptance rules under ablation.
+#[derive(Clone, Copy, PartialEq)]
+enum Rule {
+    Both,
+    StabilityOnly,
+    MajorityOnly,
+    AnyHigh,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::Both => "eq1 + eq2 (paper)",
+            Rule::StabilityOnly => "eq1 only",
+            Rule::MajorityOnly => "eq2 only",
+            Rule::AnyHigh => "no filter",
+        }
+    }
+
+    /// Re-derives the accepted minterms from the per-combination stats.
+    fn minterms(self, run: &CircuitRun) -> Vec<usize> {
+        run.report
+            .combos
+            .iter()
+            .filter(|c| {
+                if c.case_count == 0 {
+                    return false;
+                }
+                let stable = c.fov_est <= PAPER_FOV_UD;
+                let majority = 2 * c.high_count > c.case_count;
+                let any_high = c.high_count > 0;
+                match self {
+                    Rule::Both => stable && majority,
+                    Rule::StabilityOnly => stable && any_high,
+                    Rule::MajorityOnly => majority,
+                    Rule::AnyHigh => any_high,
+                }
+            })
+            .map(|c| c.combo)
+            .collect()
+    }
+}
+
+fn main() {
+    // At the paper's operating threshold eq. (2) carries most of the
+    // weight (decay carryover); at a stressed threshold the output
+    // oscillates around the level and eq. (1) becomes load-bearing —
+    // run the ablation at both.
+    for threshold in [PAPER_THRESHOLD, 50.0] {
+        ablation_at(threshold);
+        println!();
+    }
+    println!("expected shape: the paper's conjunction dominates across regimes;");
+    println!("eq2 alone misses oscillatory highs at stressed thresholds, eq1");
+    println!("alone admits decay-carryover glitches (XNOR traps) everywhere.");
+}
+
+fn ablation_at(threshold: f64) {
+    let entries = catalog::all();
+    println!("=== Filter ablation over the 15-circuit catalog (threshold {threshold}) ===");
+    println!("protocol: hold 1000 t.u./combination, FOV_UD {PAPER_FOV_UD}");
+    println!();
+
+    let runs: Mutex<Vec<(usize, CircuitRun)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (index, entry) in entries.iter().enumerate() {
+            let runs = &runs;
+            scope.spawn(move |_| {
+                let run = run_circuit(entry, threshold, 4242 + index as u64);
+                runs.lock().push((index, run));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut runs = runs.into_inner();
+    runs.sort_by_key(|(index, _)| *index);
+
+    let rules = [
+        Rule::Both,
+        Rule::StabilityOnly,
+        Rule::MajorityOnly,
+        Rule::AnyHigh,
+    ];
+    println!(
+        "{:<12} {:>18} {:>12} {:>12} {:>12}",
+        "circuit",
+        rules[0].name(),
+        rules[1].name(),
+        rules[2].name(),
+        rules[3].name()
+    );
+    let mut correct = [0usize; 4];
+    for (index, run) in &runs {
+        let entry = &entries[*index];
+        let mut cells = Vec::new();
+        for (r, rule) in rules.iter().enumerate() {
+            let extracted =
+                TruthTable::from_minterms(entry.inputs.len(), &rule.minterms(run));
+            let wrong = extracted.diff(&entry.expected).len();
+            if wrong == 0 {
+                correct[r] += 1;
+                cells.push("ok".to_string());
+            } else {
+                cells.push(format!("{wrong} wrong"));
+            }
+        }
+        println!(
+            "{:<12} {:>18} {:>12} {:>12} {:>12}",
+            run.id, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!();
+    print!("circuits correct: ");
+    let parts: Vec<String> = rules
+        .iter()
+        .zip(&correct)
+        .map(|(rule, c)| format!("{} {}/{}", rule.name(), c, runs.len()))
+        .collect();
+    println!("{}", parts.join("   "));
+}

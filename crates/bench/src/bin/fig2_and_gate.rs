@@ -1,0 +1,56 @@
+//! Figure 1/2 reproduction: the 2-input genetic AND gate.
+//!
+//! Regenerates the paper's Figure 2: simulate the Figure 1 AND circuit
+//! through all four input combinations (paper protocol: ≥1000 t.u. per
+//! combination, threshold 15 molecules), print a down-sampled view of
+//! the analog traces, the case/variation analysis table, the extracted
+//! Boolean expression and the percentage fitness.
+//!
+//! Run with `cargo run --release -p glc-bench --bin fig2_and_gate`.
+
+use glc_bench::{combo_table, run_circuit, summary_line, PAPER_THRESHOLD};
+use glc_gates::catalog;
+use glc_vasim::{Experiment, ExperimentConfig};
+
+fn main() {
+    let entry = catalog::by_id("book_and").expect("catalog has the Figure 1 AND gate");
+    println!("=== Figure 2: logic analysis of the 2-input genetic AND gate ===");
+    println!("circuit: {} ({})", entry.id, entry.description);
+    println!(
+        "gates: {}   components: {}   inputs: {:?}   output: {}",
+        entry.gate_count, entry.component_count, entry.inputs, entry.output
+    );
+    println!();
+
+    // Trace preview (the plots of Figure 2a), down-sampled.
+    let config = ExperimentConfig::paper_protocol(entry.inputs.len(), PAPER_THRESHOLD);
+    let result = Experiment::new(config)
+        .run(&entry.model, &entry.inputs, &entry.output, 2017)
+        .expect("experiment");
+    println!("analog traces (every 500 t.u.):");
+    println!("{:>8} {:>8} {:>8} {:>8}", "t", "LacI", "TetR", "GFP");
+    for k in (0..result.data.len()).step_by(500) {
+        println!(
+            "{:>8} {:>8.1} {:>8.1} {:>8.1}",
+            result.trace.time(k),
+            result.data.input(0)[k],
+            result.data.input(1)[k],
+            result.data.output()[k],
+        );
+    }
+    println!();
+
+    // The case/variation analysis of Figure 2b.
+    let run = run_circuit(&entry, PAPER_THRESHOLD, 2017);
+    println!(
+        "case & variation analysis (threshold {} molecules, FOV_UD 0.25):",
+        PAPER_THRESHOLD
+    );
+    print!("{}", combo_table(&run.report));
+    println!();
+    println!("{}", summary_line(&run));
+    println!(
+        "samples: {}   simulation: {:.1?}   analysis: {:.1?}",
+        run.samples, run.sim_time, run.analysis_time
+    );
+}

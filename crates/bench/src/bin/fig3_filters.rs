@@ -1,0 +1,99 @@
+//! Figure 3 reproduction: why both filters are needed.
+//!
+//! Regenerates the paper's Figure 3 scenario with synthetic output
+//! bit-streams: two input combinations whose streams contain the *same
+//! number of logic-1s*, one stable and one highly oscillatory. Eq. (2)
+//! alone (majority of 1s) would accept both; eq. (1) (fraction of
+//! variation) rejects the oscillatory one. The paper's Figure 2 XNOR
+//! trap — a brief glitch that passes the stability filter but fails the
+//! majority filter — is shown alongside.
+//!
+//! Run with `cargo run -p glc-bench --bin fig3_filters`.
+
+use glc_core::cases::CaseAnalysis;
+use glc_core::filters::{classify, majority_filter, stability_filter, FilterOutcome};
+use glc_core::variation::analyze;
+
+fn stream_stats(name: &str, inputs: Vec<bool>, output: Vec<bool>, fov_ud: f64) {
+    let analysis = CaseAnalysis::analyze(&[inputs], &output);
+    let stats = analyze(&analysis);
+    println!("{name}:");
+    for s in &stats {
+        if s.case_count == 0 {
+            continue;
+        }
+        let outcome = classify(s, fov_ud);
+        println!(
+            "  combo {}: Case_I {} High_O {} Var_O {} FOV_EST {:.3} | eq1 {} eq2 {} -> {:?}",
+            analysis.label(s.combo),
+            s.case_count,
+            s.high_count,
+            s.variation_count,
+            s.fov_est(),
+            if stability_filter(s, fov_ud) { "pass" } else { "FAIL" },
+            if majority_filter(s) { "pass" } else { "FAIL" },
+            outcome,
+        );
+        if outcome == FilterOutcome::Unstable {
+            println!("         -> discarded while constructing the Boolean expression");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("=== Figure 3: both filters are needed, together ===");
+    println!();
+
+    // The Figure 3 pair: same number of 1s (12 of 20), combination 00
+    // stable (one contiguous high block), combination 11 oscillating.
+    let fov_ud = 0.5; // the paper's Figure 3 discussion uses FOV_UD <= 0.5
+    let mut inputs = Vec::new();
+    let mut output = Vec::new();
+    // Combination 0: 8 lows then 12 highs — stable, 1 variation.
+    for k in 0..20 {
+        inputs.push(false);
+        output.push(k >= 8);
+    }
+    // Combination 1: alternating pattern with 12 highs — oscillatory.
+    let oscillating = [
+        true, false, true, false, true, false, true, true, false, true, false, true, true,
+        false, true, false, true, true, false, true,
+    ];
+    for &bit in &oscillating {
+        inputs.push(true);
+        output.push(bit);
+    }
+    stream_stats(
+        &format!("Figure 3 pair (equal High_O, FOV_UD = {fov_ud})"),
+        inputs,
+        output,
+        fov_ud,
+    );
+
+    // The Figure 2 XNOR trap: a short glitch in a long low stream passes
+    // the stability filter but is (correctly) removed by the majority
+    // filter; the genuinely-high combination passes both.
+    let mut inputs = Vec::new();
+    let mut output = Vec::new();
+    for k in 0..1850 {
+        inputs.push(false);
+        output.push((800..803).contains(&k)); // 3 ones, 2 variations
+    }
+    for k in 0..3050 {
+        inputs.push(true);
+        // Brief threshold oscillation before settling high (7 variations).
+        let settled = k >= 120;
+        let osc = (k / 20) % 2 == 0 && k < 120;
+        output.push(settled || osc);
+    }
+    stream_stats(
+        "Figure 2 XNOR trap (stability alone would accept combo 0, FOV_UD = 0.25)",
+        inputs,
+        output,
+        0.25,
+    );
+
+    println!("conclusion: eq. (1) discards oscillatory highs, eq. (2) discards");
+    println!("transient glitches; only their conjunction yields the correct logic.");
+}

@@ -1,0 +1,40 @@
+//! Figure 4 reproduction: analytics of circuits 0x0B, 0x04 and 0x1C.
+//!
+//! Regenerates the paper's Figure 4: for each of the three Cello
+//! circuits the paper plots, run the full protocol (each combination
+//! held 1000 t.u., threshold 15 molecules, FOV_UD 0.25) and print the
+//! per-combination `Case_I` / `High_O` / `Var_O` analytics, the
+//! extracted Boolean expression, the percentage fitness, and the
+//! verification verdict against the circuit's intended function.
+//!
+//! Run with `cargo run --release -p glc-bench --bin fig4_circuits`.
+
+use glc_bench::{combo_table, run_circuit, summary_line, PAPER_THRESHOLD};
+use glc_gates::catalog;
+
+fn main() {
+    println!("=== Figure 4: analytics of circuits 0x0B, 0x04, 0x1C ===");
+    println!(
+        "protocol: hold 1000 t.u./combination, threshold {PAPER_THRESHOLD} molecules, FOV_UD 0.25"
+    );
+    println!();
+    for id in ["cello_0x0B", "cello_0x04", "cello_0x1C"] {
+        let entry = catalog::by_id(id).expect("catalog circuit");
+        let run = run_circuit(&entry, PAPER_THRESHOLD, 2017);
+        println!(
+            "--- {} ({} gates, {} components) ---",
+            entry.id, entry.gate_count, entry.component_count
+        );
+        print!("{}", combo_table(&run.report));
+        println!(
+            "  expected: {}",
+            glc_core::BoolExpr::minimized(run.report.input_names.clone(), &entry.expected)
+        );
+        println!("  {}", summary_line(&run));
+        println!(
+            "  samples: {}   simulation: {:.1?}   analysis: {:.1?}",
+            run.samples, run.sim_time, run.analysis_time
+        );
+        println!();
+    }
+}

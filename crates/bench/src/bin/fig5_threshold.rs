@@ -1,0 +1,47 @@
+//! Figure 5 reproduction: circuit 0x0B under extreme thresholds.
+//!
+//! The paper varies the threshold value (which D-VASim also uses as the
+//! applied input concentration) to 3 and 40 molecules and shows that
+//! the same circuit behaves differently: at 3 the inputs are too weak
+//! to trigger the circuit, at 40 the levels stop being distinguishable
+//! and the output oscillates, producing wrong states. This binary runs
+//! 0x0B at thresholds {3, 15, 40} and prints the analytics, extracted
+//! expression, wrong states and total output variation for each.
+//!
+//! Run with `cargo run --release -p glc-bench --bin fig5_threshold`.
+
+use glc_bench::{combo_table, run_circuit, summary_line};
+use glc_gates::catalog;
+
+fn main() {
+    let entry = catalog::by_id("cello_0x0B").expect("catalog circuit");
+    println!("=== Figure 5: circuit 0x0B at threshold values 3, 15, 40, 50 ===");
+    println!("(the threshold is also the applied input level, as in D-VASim)");
+    println!();
+    for threshold in [3.0, 15.0, 40.0, 50.0] {
+        let run = run_circuit(&entry, threshold, 2017);
+        let total_var: usize = run
+            .report
+            .combos
+            .iter()
+            .map(|c| c.variation_count)
+            .sum();
+        println!("--- threshold {threshold} molecules ---");
+        print!("{}", combo_table(&run.report));
+        println!("  {}", summary_line(&run));
+        println!(
+            "  total output variation: {total_var}   wrong states: {}",
+            if run.verdict.equivalent {
+                "none".to_string()
+            } else {
+                run.verdict.wrong_labels().join(", ")
+            }
+        );
+        println!();
+    }
+    println!("expected shape: correct logic at 15; at 3 the inputs are too weak");
+    println!("to actuate (extracted logic collapses); as the threshold rises the");
+    println!("high/low levels stop separating, variation grows and wrong states");
+    println!("appear (our rescaled levels push that crossover to ~50 molecules;");
+    println!("the paper's circuit hit it at 40 — see EXPERIMENTS.md).");
+}

@@ -1,0 +1,94 @@
+//! Whole-catalog evaluation: the paper's 15-circuit experiment.
+//!
+//! Runs every circuit of the catalog (5 book + 10 Cello) through the
+//! paper's protocol and prints one row per circuit: inputs, gates,
+//! components, extracted expression, percentage fitness, verification
+//! verdict, and the simulation/analysis runtimes. Also reproduces the
+//! threshold and propagation-delay analysis (D-VASim's pre-step) per
+//! circuit. Circuits run in parallel with crossbeam's scoped threads.
+//!
+//! Run with `cargo run --release -p glc-bench --bin table_all_circuits`.
+
+use glc_bench::{run_circuit, summary_line, CircuitRun, PAPER_THRESHOLD};
+use glc_gates::catalog;
+use glc_vasim::{estimate_delay, estimate_threshold, Experiment, ExperimentConfig};
+use parking_lot::Mutex;
+
+fn main() {
+    let entries = catalog::all();
+    println!("=== 15-circuit evaluation (paper §III) ===");
+    println!(
+        "protocol: hold 1000 t.u./combination, threshold {PAPER_THRESHOLD} molecules, FOV_UD 0.25"
+    );
+    println!();
+
+    let results: Mutex<Vec<(usize, CircuitRun, Option<(f64, f64)>)>> =
+        Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (index, entry) in entries.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let run = run_circuit(entry, PAPER_THRESHOLD, 2017 + index as u64);
+                // D-VASim pre-analysis: estimate threshold and delay from
+                // a shorter calibration sweep.
+                let calib = Experiment::new(
+                    ExperimentConfig::new(500.0, PAPER_THRESHOLD).repeats(2),
+                )
+                .run(&entry.model, &entry.inputs, &entry.output, 99)
+                .ok();
+                let estimates = calib.and_then(|result| {
+                    let threshold = estimate_threshold(&result).ok()?;
+                    let delay = estimate_delay(&result, threshold.threshold).ok()?;
+                    Some((threshold.threshold, delay.max))
+                });
+                results.lock().push((index, run, estimates));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(index, _, _)| *index);
+
+    println!(
+        "{:<12} {:>6} {:>5} {:>10} {:>9} {:>9}",
+        "circuit", "inputs", "gates", "components", "est.thr", "est.delay"
+    );
+    for (index, run, estimates) in &results {
+        let entry = &entries[*index];
+        let (thr, delay) = match estimates {
+            Some((t, d)) => (format!("{t:.1}"), format!("{d:.0}")),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<12} {:>6} {:>5} {:>10} {:>9} {:>9}",
+            run.id,
+            entry.inputs.len(),
+            entry.gate_count,
+            entry.component_count,
+            thr,
+            delay
+        );
+    }
+    println!();
+    for (_, run, _) in &results {
+        println!("{}", summary_line(run));
+    }
+    println!();
+
+    let correct = results.iter().filter(|(_, r, _)| r.verdict.equivalent).count();
+    let mean_fitness: f64 = results
+        .iter()
+        .map(|(_, r, _)| r.report.fitness)
+        .sum::<f64>()
+        / results.len() as f64;
+    let max_analysis = results
+        .iter()
+        .map(|(_, r, _)| r.analysis_time)
+        .max()
+        .unwrap();
+    println!(
+        "verified correct: {correct}/{}   mean fitness: {mean_fitness:.2}%   max analysis time: {max_analysis:.1?}",
+        results.len()
+    );
+}

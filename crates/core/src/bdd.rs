@@ -1,0 +1,450 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! A compact canonical representation of Boolean functions used by the
+//! verification step: two functions are equivalent iff they reduce to
+//! the same node, and counter-examples (wrong states) fall out of a
+//! linear walk. The repro notes call out that no mature BDD crate is
+//! available, so this is a self-contained implementation with a
+//! hash-consed unique table and an ITE computed cache.
+//!
+//! Variable order is the input index (0 = topmost). Functions built in
+//! the same [`Bdd`] manager share structure.
+
+use crate::boolexpr::{input_value, TruthTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a BDD node within its [`Bdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => f.write_str("⊥"),
+            NodeId::TRUE => f.write_str("⊤"),
+            NodeId(idx) => write!(f, "n{idx}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// A BDD manager over `n` ordered variables.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    n: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+}
+
+impl Bdd {
+    /// Creates a manager for functions of `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 32`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= 32, "n = {n} out of range");
+        // Terminal pseudo-nodes occupy slots 0 and 1 with var = n
+        // (below every real variable).
+        let terminal = Node {
+            var: n as u32,
+            lo: NodeId::FALSE,
+            hi: NodeId::FALSE,
+        };
+        let terminal_true = Node {
+            var: n as u32,
+            lo: NodeId::TRUE,
+            hi: NodeId::TRUE,
+        };
+        Bdd {
+            n,
+            nodes: vec![terminal, terminal_true],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn variables(&self) -> usize {
+        self.n
+    }
+
+    /// Total allocated nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The function of variable `j` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn var(&mut self, j: usize) -> NodeId {
+        assert!(j < self.n, "variable {j} out of range");
+        self.mk(j as u32, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Constant function.
+    pub fn constant(&self, value: bool) -> NodeId {
+        if value {
+            NodeId::TRUE
+        } else {
+            NodeId::FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo; // reduction rule
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    /// If-then-else: the function `f ? g : h`. All Boolean connectives
+    /// reduce to this.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal cases.
+        if f == NodeId::TRUE {
+            return g;
+        }
+        if f == NodeId::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return f;
+        }
+        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            return cached;
+        }
+        let top = self
+            .node(f)
+            .var
+            .min(self.node(g).var)
+            .min(self.node(h).var);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let result = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), result);
+        result
+    }
+
+    fn cofactors(&self, f: NodeId, var: u32) -> (NodeId, NodeId) {
+        let node = self.node(f);
+        if node.var == var && !f.is_terminal() {
+            (node.lo, node.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, NodeId::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let not_g = self.not(g);
+        self.ite(f, not_g, g)
+    }
+
+    /// `f NOR g` — the native gate of the Cello library.
+    pub fn nor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let or = self.or(f, g);
+        self.not(or)
+    }
+
+    /// Builds the function described by a truth table (variable `j` of
+    /// the manager = input `j` of the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's input count differs from the manager's.
+    pub fn from_truth_table(&mut self, table: &TruthTable) -> NodeId {
+        assert_eq!(table.inputs(), self.n, "input count mismatch");
+        self.build_recursive(table, 0, 0)
+    }
+
+    fn build_recursive(&mut self, table: &TruthTable, var: usize, prefix: usize) -> NodeId {
+        if var == self.n {
+            return self.constant(table.value(prefix));
+        }
+        let lo = self.build_recursive(table, var + 1, prefix << 1);
+        let hi = self.build_recursive(table, var + 1, (prefix << 1) | 1);
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// Evaluates `f` at combination `m` (paper convention: input `j` is
+    /// bit `n-1-j` of `m`).
+    pub fn eval_combo(&self, f: NodeId, m: usize) -> bool {
+        let mut current = f;
+        while !current.is_terminal() {
+            let node = self.node(current);
+            current = if input_value(m, node.var as usize, self.n) {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+        current == NodeId::TRUE
+    }
+
+    /// Converts `f` back to a truth table.
+    pub fn to_truth_table(&self, f: NodeId) -> TruthTable {
+        TruthTable::from_fn(self.n, |m| self.eval_combo(f, m))
+    }
+
+    /// Two functions in the same manager are equivalent iff their node
+    /// ids are equal (canonicity). Provided for readability.
+    pub fn equivalent(&self, f: NodeId, g: NodeId) -> bool {
+        f == g
+    }
+
+    /// Number of satisfying assignments of `f`.
+    pub fn sat_count(&self, f: NodeId) -> u64 {
+        let mut memo: HashMap<NodeId, u64> = HashMap::new();
+        self.sat_count_rec(f, &mut memo)
+    }
+
+    fn sat_count_rec(&self, f: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
+        if f == NodeId::FALSE {
+            return 0;
+        }
+        if f == NodeId::TRUE {
+            return 1 << self.n;
+        }
+        if let Some(&count) = memo.get(&f) {
+            return count;
+        }
+        let node = self.node(f);
+        // Counts are over all n variables; a node's function ignores its
+        // own variable in each branch, so exactly half of each child's
+        // satisfying assignments have the required value at this level.
+        let lo = self.sat_count_rec(node.lo, memo);
+        let hi = self.sat_count_rec(node.hi, memo);
+        let count = (lo + hi) >> 1;
+        memo.insert(f, count);
+        count
+    }
+
+    /// A satisfying combination of `f`, if any (smallest variable index
+    /// takes its `lo` branch first, so the result is the combination with
+    /// the fewest high inputs found first).
+    pub fn any_sat(&self, f: NodeId) -> Option<usize> {
+        if f == NodeId::FALSE {
+            return None;
+        }
+        let mut m = 0usize;
+        let mut current = f;
+        while !current.is_terminal() {
+            let node = self.node(current);
+            if node.lo != NodeId::FALSE {
+                current = node.lo;
+            } else {
+                m |= 1 << (self.n - 1 - node.var as usize);
+                current = node.hi;
+            }
+        }
+        Some(m)
+    }
+
+    /// All combinations where `f` and `g` differ, ascending.
+    pub fn disagreements(&mut self, f: NodeId, g: NodeId) -> Vec<usize> {
+        let diff = self.xor(f, g);
+        (0..1usize << self.n)
+            .filter(|&m| self.eval_combo(diff, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut bdd = Bdd::new(2);
+        assert!(NodeId::FALSE.is_terminal());
+        assert!(NodeId::TRUE.is_terminal());
+        let a = bdd.var(0);
+        assert!(!a.is_terminal());
+        assert!(bdd.eval_combo(a, 0b10));
+        assert!(!bdd.eval_combo(a, 0b01));
+        assert_eq!(bdd.constant(true), NodeId::TRUE);
+        assert_eq!(bdd.variables(), 2);
+    }
+
+    #[test]
+    fn hash_consing_makes_identical_functions_identical() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab1 = bdd.and(a, b);
+        let ab2 = bdd.and(b, a);
+        assert_eq!(ab1, ab2);
+        assert!(bdd.equivalent(ab1, ab2));
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let and = bdd.and(a, b);
+        let or = bdd.or(a, b);
+        let xor = bdd.xor(a, b);
+        let nor = bdd.nor(a, b);
+        let not_a = bdd.not(a);
+        assert_eq!(bdd.to_truth_table(and).to_hex(), 0x8);
+        assert_eq!(bdd.to_truth_table(or).to_hex(), 0xE);
+        assert_eq!(bdd.to_truth_table(xor).to_hex(), 0x6);
+        assert_eq!(bdd.to_truth_table(nor).to_hex(), 0x1);
+        assert_eq!(bdd.to_truth_table(not_a).to_hex(), 0x3);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let mut bdd = Bdd::new(3);
+        let table = TruthTable::from_hex(3, 0x6A);
+        let f = bdd.from_truth_table(&table);
+        let not_f = bdd.not(f);
+        let back = bdd.not(not_f);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn truth_table_round_trip_for_all_two_input_functions() {
+        for hex in 0u64..16 {
+            let mut bdd = Bdd::new(2);
+            let table = TruthTable::from_hex(2, hex);
+            let f = bdd.from_truth_table(&table);
+            assert_eq!(bdd.to_truth_table(f), table, "hex {hex:#X}");
+        }
+    }
+
+    #[test]
+    fn reduction_eliminates_redundant_tests() {
+        // f = A OR NOT A = TRUE, no nodes needed.
+        let mut bdd = Bdd::new(1);
+        let a = bdd.var(0);
+        let na = bdd.not(a);
+        let f = bdd.or(a, na);
+        assert_eq!(f, NodeId::TRUE);
+    }
+
+    #[test]
+    fn sat_count_matches_minterm_count() {
+        for hex in [0x0Bu64, 0x04, 0x1C, 0x00, 0xFF, 0x80] {
+            let mut bdd = Bdd::new(3);
+            let table = TruthTable::from_hex(3, hex);
+            let f = bdd.from_truth_table(&table);
+            assert_eq!(
+                bdd.sat_count(f),
+                table.minterms().len() as u64,
+                "hex {hex:#X}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_sat_finds_a_real_satisfying_combo() {
+        let mut bdd = Bdd::new(3);
+        let table = TruthTable::from_hex(3, 0x40); // only combo 110
+        let f = bdd.from_truth_table(&table);
+        let m = bdd.any_sat(f).unwrap();
+        assert!(table.value(m));
+        assert_eq!(m, 6);
+        assert_eq!(bdd.any_sat(NodeId::FALSE), None);
+        assert_eq!(bdd.any_sat(NodeId::TRUE), Some(0));
+    }
+
+    #[test]
+    fn disagreements_are_the_table_diff() {
+        let mut bdd = Bdd::new(3);
+        let ta = TruthTable::from_hex(3, 0x0B);
+        let tb = TruthTable::from_hex(3, 0x80);
+        let fa = bdd.from_truth_table(&ta);
+        let fb = bdd.from_truth_table(&tb);
+        assert_eq!(bdd.disagreements(fa, fb), ta.diff(&tb));
+        assert!(bdd.disagreements(fa, fa).is_empty());
+    }
+
+    #[test]
+    fn de_morgan_holds_structurally() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let lhs = bdd.nor(a, b);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let rhs = bdd.and(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn display_of_node_ids() {
+        assert_eq!(NodeId::FALSE.to_string(), "⊥");
+        assert_eq!(NodeId::TRUE.to_string(), "⊤");
+        assert_eq!(NodeId(5).to_string(), "n5");
+    }
+
+    #[test]
+    fn node_count_grows_then_shares() {
+        let mut bdd = Bdd::new(3);
+        let before = bdd.node_count();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let _f = bdd.and(a, b);
+        let grown = bdd.node_count();
+        assert!(grown > before);
+        let _g = bdd.and(a, b); // cached: no new nodes
+        assert_eq!(bdd.node_count(), grown);
+    }
+}

@@ -1,0 +1,458 @@
+//! Truth tables and Boolean expressions.
+//!
+//! # Conventions
+//!
+//! For a function of `n` inputs with names `names[0..n]` (e.g. `A, B, C`):
+//!
+//! * an *input combination* (= minterm index) `m` assigns input `j` the
+//!   value of bit `n-1-j` of `m`, so the combination reads left-to-right
+//!   like the paper's figures: `m = 0b011` means `A=0, B=1, C=1`;
+//! * the *hex id* of a function (the naming scheme of the Cello circuits,
+//!   e.g. `0x0B`) packs the output column with minterm `m` at bit `m`:
+//!   `0x0B = 0b0000_1011` is high exactly at combinations 000, 001, 011.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported input count (minterm indices fit in `u64` hex ids
+/// only up to 6 inputs; tables themselves allow more).
+pub const MAX_INPUTS: usize = 16;
+
+/// Value of input `j` in combination `m` of an `n`-input function.
+#[inline]
+pub fn input_value(m: usize, j: usize, n: usize) -> bool {
+    debug_assert!(j < n);
+    (m >> (n - 1 - j)) & 1 == 1
+}
+
+/// Formats combination `m` as a bit-string, e.g. `011` for `n = 3`.
+pub fn combo_string(m: usize, n: usize) -> String {
+    (0..n)
+        .map(|j| if input_value(m, j, n) { '1' } else { '0' })
+        .collect()
+}
+
+/// A complete truth table of an `n`-input Boolean function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    n: usize,
+    /// `bits[m]` = output at input combination `m`; length `2^n`.
+    bits: Vec<bool>,
+}
+
+impl TruthTable {
+    /// Builds a table from its output column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != 2^n`, `n == 0`, or `n > MAX_INPUTS`.
+    pub fn new(n: usize, bits: Vec<bool>) -> Self {
+        assert!(n >= 1 && n <= MAX_INPUTS, "n = {n} out of range");
+        assert_eq!(bits.len(), 1 << n, "output column length");
+        TruthTable { n, bits }
+    }
+
+    /// Builds a table by evaluating `f` on every combination.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        Self::new(n, (0..1usize << n).map(|m| f(m)).collect())
+    }
+
+    /// Builds a table from the set of high combinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any minterm is out of range.
+    pub fn from_minterms(n: usize, minterms: &[usize]) -> Self {
+        let mut bits = vec![false; 1 << n];
+        for &m in minterms {
+            assert!(m < bits.len(), "minterm {m} out of range for n = {n}");
+            bits[m] = true;
+        }
+        TruthTable { n, bits }
+    }
+
+    /// Builds a table from its hex id (Cello naming convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 6` (hex ids beyond 64 rows don't fit `u64`) or if
+    /// `hex` has bits above `2^(2^n)`.
+    pub fn from_hex(n: usize, hex: u64) -> Self {
+        assert!(n >= 1 && n <= 6, "hex ids support 1..=6 inputs");
+        let rows = 1usize << n;
+        if rows < 64 {
+            assert!(hex < (1u64 << rows), "hex id 0x{hex:X} too wide for n = {n}");
+        }
+        Self::from_fn(n, |m| (hex >> m) & 1 == 1)
+    }
+
+    /// The hex id of this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 6`.
+    pub fn to_hex(&self) -> u64 {
+        assert!(self.n <= 6, "hex ids support 1..=6 inputs");
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .fold(0u64, |acc, (m, _)| acc | (1 << m))
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (`2^n`).
+    pub fn rows(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Output at combination `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn value(&self, m: usize) -> bool {
+        self.bits[m]
+    }
+
+    /// The high combinations, ascending.
+    pub fn minterms(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// Whether the function is constant false.
+    pub fn is_contradiction(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// Whether the function is constant true.
+    pub fn is_tautology(&self) -> bool {
+        self.bits.iter().all(|&b| b)
+    }
+
+    /// Combinations on which `self` and `other` disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input counts differ.
+    pub fn diff(&self, other: &TruthTable) -> Vec<usize> {
+        assert_eq!(self.n, other.n, "input count mismatch");
+        (0..self.rows())
+            .filter(|&m| self.bits[m] != other.bits[m])
+            .collect()
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in 0..self.rows() {
+            writeln!(
+                f,
+                "{} | {}",
+                combo_string(m, self.n),
+                u8::from(self.bits[m])
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A product term (cube) over `n` inputs.
+///
+/// Bit `k` of `care`/`value` refers to bit `k` of the *minterm index*,
+/// i.e. input `j = n-1-k`. A set `care` bit means the literal appears in
+/// the product; the corresponding `value` bit gives its polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cube {
+    /// Which minterm-index bits are constrained.
+    pub care: u64,
+    /// Required values on the constrained bits.
+    pub value: u64,
+}
+
+impl Cube {
+    /// The full cube of a single minterm of an `n`-input function.
+    pub fn of_minterm(n: usize, m: usize) -> Self {
+        let care = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Cube {
+            care,
+            value: m as u64,
+        }
+    }
+
+    /// Whether the cube covers combination `m`.
+    pub fn covers(&self, m: usize) -> bool {
+        (m as u64) & self.care == self.value & self.care
+    }
+
+    /// Number of literals in the product.
+    pub fn literal_count(&self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Renders the product over the given input names; `1` for the empty
+    /// cube (true).
+    pub fn render(&self, names: &[String]) -> String {
+        let n = names.len();
+        let mut parts = Vec::new();
+        for j in 0..n {
+            let k = n - 1 - j;
+            if self.care >> k & 1 == 1 {
+                if self.value >> k & 1 == 1 {
+                    parts.push(names[j].clone());
+                } else {
+                    parts.push(format!("{}'", names[j]));
+                }
+            }
+        }
+        if parts.is_empty() {
+            "1".to_string()
+        } else {
+            parts.join(" * ")
+        }
+    }
+}
+
+/// A Boolean expression in sum-of-products form, tied to input names.
+///
+/// Constructed canonically from minterms ([`BoolExpr::from_minterms`]) or
+/// in minimized form via Quine–McCluskey ([`BoolExpr::minimized`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoolExpr {
+    names: Vec<String>,
+    terms: Vec<Cube>,
+}
+
+impl BoolExpr {
+    /// Constant-false expression over the given inputs.
+    pub fn zero(names: Vec<String>) -> Self {
+        BoolExpr {
+            names,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Canonical sum of minterms.
+    pub fn from_minterms(names: Vec<String>, minterms: &[usize]) -> Self {
+        let n = names.len();
+        let terms = minterms.iter().map(|&m| Cube::of_minterm(n, m)).collect();
+        BoolExpr { names, terms }
+    }
+
+    /// Minimized sum of products for `table` (Quine–McCluskey).
+    pub fn minimized(names: Vec<String>, table: &TruthTable) -> Self {
+        assert_eq!(names.len(), table.inputs(), "name count mismatch");
+        let terms = crate::qmc::minimize(table.inputs(), &table.minterms(), &[]);
+        BoolExpr { names, terms }
+    }
+
+    /// Builds an expression from explicit cubes.
+    pub fn from_cubes(names: Vec<String>, terms: Vec<Cube>) -> Self {
+        BoolExpr { names, terms }
+    }
+
+    /// Input names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Product terms.
+    pub fn terms(&self) -> &[Cube] {
+        &self.terms
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Evaluates the expression at combination `m`.
+    pub fn eval_combo(&self, m: usize) -> bool {
+        self.terms.iter().any(|cube| cube.covers(m))
+    }
+
+    /// Evaluates with one bool per input (same order as `names`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != names.len()`.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert_eq!(values.len(), self.names.len(), "input count mismatch");
+        let n = self.names.len();
+        let m = values
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (j, &v)| acc | ((v as usize) << (n - 1 - j)));
+        self.eval_combo(m)
+    }
+
+    /// The complete truth table of the expression.
+    pub fn truth_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.inputs(), |m| self.eval_combo(m))
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let rendered: Vec<String> = self.terms.iter().map(|c| c.render(&self.names)).collect();
+        f.write_str(&rendered.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn input_value_reads_msb_first() {
+        // m = 0b011 with n = 3: A=0, B=1, C=1.
+        assert!(!input_value(0b011, 0, 3));
+        assert!(input_value(0b011, 1, 3));
+        assert!(input_value(0b011, 2, 3));
+        assert_eq!(combo_string(0b011, 3), "011");
+        assert_eq!(combo_string(0b100, 3), "100");
+        assert_eq!(combo_string(0, 2), "00");
+    }
+
+    #[test]
+    fn hex_round_trip_matches_paper_convention() {
+        // 0x0B = 0b0000_1011: high at combinations 000 (0), 001 (1), 011 (3).
+        let table = TruthTable::from_hex(3, 0x0B);
+        assert_eq!(table.minterms(), vec![0, 1, 3]);
+        assert_eq!(table.to_hex(), 0x0B);
+        let table = TruthTable::from_hex(3, 0x04);
+        assert_eq!(table.minterms(), vec![2]);
+        let table = TruthTable::from_hex(3, 0x1C);
+        assert_eq!(table.minterms(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn from_minterms_and_value() {
+        let table = TruthTable::from_minterms(2, &[3]);
+        assert!(!table.value(0));
+        assert!(table.value(3));
+        assert_eq!(table.rows(), 4);
+        assert_eq!(table.inputs(), 2);
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        assert!(TruthTable::from_minterms(2, &[]).is_contradiction());
+        assert!(TruthTable::from_minterms(1, &[0, 1]).is_tautology());
+        assert!(!TruthTable::from_hex(2, 0x8).is_tautology());
+    }
+
+    #[test]
+    fn diff_lists_disagreements() {
+        let a = TruthTable::from_hex(3, 0x0B);
+        let b = TruthTable::from_hex(3, 0x80); // 3-input AND
+        assert_eq!(a.diff(&b), vec![0, 1, 3, 7]);
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output column length")]
+    fn wrong_column_length_panics() {
+        let _ = TruthTable::new(2, vec![false; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn oversized_hex_panics() {
+        let _ = TruthTable::from_hex(2, 0x100);
+    }
+
+    #[test]
+    fn cube_of_minterm_covers_exactly_one_combo() {
+        let cube = Cube::of_minterm(3, 5);
+        for m in 0..8 {
+            assert_eq!(cube.covers(m), m == 5);
+        }
+        assert_eq!(cube.literal_count(), 3);
+    }
+
+    #[test]
+    fn cube_render_uses_primes_for_complements() {
+        let ns = names(&["A", "B", "C"]);
+        // minterm 5 = 101: A * B' * C.
+        assert_eq!(Cube::of_minterm(3, 5).render(&ns), "A * B' * C");
+        // Cube caring only about bit 2 (input A) positive.
+        let cube = Cube {
+            care: 0b100,
+            value: 0b100,
+        };
+        assert_eq!(cube.render(&ns), "A");
+        // Empty cube is the constant 1.
+        let unit = Cube { care: 0, value: 0 };
+        assert_eq!(unit.render(&ns), "1");
+    }
+
+    #[test]
+    fn expr_display_and_eval() {
+        let expr = BoolExpr::from_minterms(names(&["A", "B"]), &[3]);
+        assert_eq!(expr.to_string(), "A * B");
+        assert!(expr.eval(&[true, true]));
+        assert!(!expr.eval(&[true, false]));
+        assert!(expr.eval_combo(3));
+
+        let zero = BoolExpr::zero(names(&["A"]));
+        assert_eq!(zero.to_string(), "0");
+        assert!(!zero.eval(&[true]));
+    }
+
+    #[test]
+    fn expr_truth_table_round_trip() {
+        let table = TruthTable::from_hex(3, 0x1C);
+        let expr = BoolExpr::from_minterms(names(&["A", "B", "C"]), &table.minterms());
+        assert_eq!(expr.truth_table(), table);
+    }
+
+    #[test]
+    fn minimized_and_gate_is_single_product() {
+        let table = TruthTable::from_minterms(2, &[3]);
+        let expr = BoolExpr::minimized(names(&["A", "B"]), &table);
+        assert_eq!(expr.to_string(), "A * B");
+    }
+
+    #[test]
+    fn minimized_or_gate() {
+        let table = TruthTable::from_minterms(2, &[1, 2, 3]);
+        let expr = BoolExpr::minimized(names(&["A", "B"]), &table);
+        // Minimal SOP of OR is A + B.
+        assert_eq!(expr.truth_table(), table);
+        assert_eq!(expr.terms().len(), 2);
+        assert!(expr.terms().iter().all(|c| c.literal_count() == 1));
+    }
+
+    #[test]
+    fn truth_table_display_lists_rows() {
+        let table = TruthTable::from_minterms(2, &[3]);
+        let text = table.to_string();
+        assert!(text.contains("00 | 0"));
+        assert!(text.contains("11 | 1"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let expr = BoolExpr::from_minterms(names(&["X", "Y"]), &[1, 2]);
+        let json = serde_json::to_string(&expr).unwrap();
+        let back: BoolExpr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, expr);
+    }
+}

@@ -1,0 +1,156 @@
+//! CaseAnalyzer — grouping the output stream by input combination.
+//!
+//! The sub-procedure at line 5 of Algorithm 1: walk the digitized data
+//! sample by sample, classify each sample into its input combination
+//! `i`, and append the output bit to that combination's stream. The
+//! stream length is the paper's `Case_I[i]` ("the value of `Case_I[i]`
+//! will always be equivalent to the length of its corresponding output
+//! data stream").
+
+use crate::boolexpr::combo_string;
+use serde::{Deserialize, Serialize};
+
+/// Output bit-streams grouped by input combination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseAnalysis {
+    n: usize,
+    /// `streams[i]` = output bits observed while combination `i` was
+    /// applied, in time order.
+    streams: Vec<Vec<bool>>,
+}
+
+impl CaseAnalysis {
+    /// Groups `output` samples by the simultaneous input combination.
+    ///
+    /// `inputs[j]` is the digitized series of input `j` (input 0 is the
+    /// most significant bit of the combination index, so a sample with
+    /// inputs `[false, true, true]` belongs to combination `0b011`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no inputs, more than 16, or series lengths
+    /// differ.
+    pub fn analyze(inputs: &[Vec<bool>], output: &[bool]) -> Self {
+        let n = inputs.len();
+        assert!(n >= 1 && n <= 16, "1..=16 inputs supported, got {n}");
+        for (j, series) in inputs.iter().enumerate() {
+            assert_eq!(
+                series.len(),
+                output.len(),
+                "input {j} length differs from output"
+            );
+        }
+        let mut streams = vec![Vec::new(); 1 << n];
+        for (k, &out_bit) in output.iter().enumerate() {
+            let mut combo = 0usize;
+            for series in inputs {
+                combo = (combo << 1) | usize::from(series[k]);
+            }
+            streams[combo].push(out_bit);
+        }
+        CaseAnalysis { n, streams }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of input combinations (`2^n`).
+    pub fn combinations(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `Case_I[i]`: how many samples fell into combination `i`.
+    pub fn case_count(&self, i: usize) -> usize {
+        self.streams[i].len()
+    }
+
+    /// The output bit-stream of combination `i`.
+    pub fn stream(&self, i: usize) -> &[bool] {
+        &self.streams[i]
+    }
+
+    /// Combinations that never occurred in the data.
+    pub fn unobserved(&self) -> Vec<usize> {
+        (0..self.streams.len())
+            .filter(|&i| self.streams[i].is_empty())
+            .collect()
+    }
+
+    /// Human-readable label of combination `i` (e.g. `011`).
+    pub fn label(&self, i: usize) -> String {
+        combo_string(i, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_msb_first_combination() {
+        // Two inputs: A = MSB, B = LSB.
+        let a = vec![false, false, true, true];
+        let b = vec![false, true, false, true];
+        let y = vec![true, false, false, true];
+        let analysis = CaseAnalysis::analyze(&[a, b], &y);
+        assert_eq!(analysis.combinations(), 4);
+        assert_eq!(analysis.stream(0b00), &[true]);
+        assert_eq!(analysis.stream(0b01), &[false]);
+        assert_eq!(analysis.stream(0b10), &[false]);
+        assert_eq!(analysis.stream(0b11), &[true]);
+        assert_eq!(analysis.inputs(), 2);
+    }
+
+    #[test]
+    fn case_count_equals_stream_length() {
+        let a = vec![false; 10];
+        let y: Vec<bool> = (0..10).map(|k| k % 2 == 0).collect();
+        let analysis = CaseAnalysis::analyze(&[a], &y);
+        assert_eq!(analysis.case_count(0), 10);
+        assert_eq!(analysis.stream(0).len(), 10);
+        assert_eq!(analysis.case_count(1), 0);
+    }
+
+    #[test]
+    fn streams_preserve_time_order() {
+        let a = vec![true, false, true, false, true];
+        let y = vec![true, false, false, false, true];
+        let analysis = CaseAnalysis::analyze(&[a], &y);
+        assert_eq!(analysis.stream(1), &[true, false, true]);
+        assert_eq!(analysis.stream(0), &[false, false]);
+    }
+
+    #[test]
+    fn unobserved_combinations_are_reported() {
+        let a = vec![false, false];
+        let b = vec![true, true];
+        let y = vec![false, true];
+        let analysis = CaseAnalysis::analyze(&[a, b], &y);
+        assert_eq!(analysis.unobserved(), vec![0b00, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn labels_match_combo_strings() {
+        let a = vec![false];
+        let b = vec![false];
+        let c = vec![false];
+        let y = vec![false];
+        let analysis = CaseAnalysis::analyze(&[a, b, c], &y);
+        assert_eq!(analysis.label(0b011), "011");
+        assert_eq!(analysis.label(0b100), "100");
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn mismatched_lengths_panic() {
+        let _ = CaseAnalysis::analyze(&[vec![true, false]], &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs supported")]
+    fn zero_inputs_panic() {
+        let _ = CaseAnalysis::analyze(&[], &[true]);
+    }
+}

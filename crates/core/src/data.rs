@@ -1,0 +1,223 @@
+//! Input data for the logic analyzer.
+//!
+//! The paper calls this `SDA_n` — "simulation data of all I/O species":
+//! one analog time series per input species and one for the output
+//! species, sampled on a common uniform grid. The analyzer is agnostic
+//! to where the data came from (any GDA simulator, or a CSV log).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing [`AnalogData`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// No input series were supplied.
+    NoInputs,
+    /// A series has a different length than the others.
+    LengthMismatch {
+        /// Name of the offending series.
+        series: String,
+        /// Its length.
+        len: usize,
+        /// The expected common length.
+        expected: usize,
+    },
+    /// The series are empty.
+    Empty,
+    /// Two series share a name.
+    DuplicateName(String),
+    /// A sample is NaN.
+    NonFiniteSample {
+        /// Name of the offending series.
+        series: String,
+        /// Sample index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::NoInputs => f.write_str("at least one input series is required"),
+            DataError::LengthMismatch {
+                series,
+                len,
+                expected,
+            } => write!(
+                f,
+                "series `{series}` has {len} samples, expected {expected}"
+            ),
+            DataError::Empty => f.write_str("series contain no samples"),
+            DataError::DuplicateName(name) => write!(f, "duplicate series name `{name}`"),
+            DataError::NonFiniteSample { series, index } => {
+                write!(f, "series `{series}` has a non-finite sample at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Analog simulation data for one output and `N` inputs on a shared
+/// uniform sample grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogData {
+    inputs: Vec<(String, Vec<f64>)>,
+    output: (String, Vec<f64>),
+}
+
+impl AnalogData {
+    /// Validates and wraps the series.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DataError`] if there are no inputs, lengths differ,
+    /// the series are empty, names repeat, or samples are non-finite.
+    pub fn new(
+        inputs: Vec<(String, Vec<f64>)>,
+        output: (String, Vec<f64>),
+    ) -> Result<Self, DataError> {
+        if inputs.is_empty() {
+            return Err(DataError::NoInputs);
+        }
+        let expected = output.1.len();
+        if expected == 0 {
+            return Err(DataError::Empty);
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for (name, series) in inputs.iter().chain(std::iter::once(&output)) {
+            if series.len() != expected {
+                return Err(DataError::LengthMismatch {
+                    series: name.clone(),
+                    len: series.len(),
+                    expected,
+                });
+            }
+            if names.contains(&name.as_str()) {
+                return Err(DataError::DuplicateName(name.clone()));
+            }
+            names.push(name);
+            if let Some(index) = series.iter().position(|v| !v.is_finite()) {
+                return Err(DataError::NonFiniteSample {
+                    series: name.clone(),
+                    index,
+                });
+            }
+        }
+        Ok(AnalogData { inputs, output })
+    }
+
+    /// Number of input species (the paper's `N`).
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of samples per series.
+    pub fn len(&self) -> usize {
+        self.output.1.len()
+    }
+
+    /// Whether there are no samples (never true for a validated value).
+    pub fn is_empty(&self) -> bool {
+        self.output.1.is_empty()
+    }
+
+    /// Input names in order.
+    pub fn input_names(&self) -> Vec<String> {
+        self.inputs.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Input series `j`.
+    pub fn input(&self, j: usize) -> &[f64] {
+        &self.inputs[j].1
+    }
+
+    /// Output species name.
+    pub fn output_name(&self) -> &str {
+        &self.output.0
+    }
+
+    /// Output series.
+    pub fn output(&self) -> &[f64] {
+        &self.output.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_data_passes() {
+        let data = AnalogData::new(
+            vec![("A".into(), vec![1.0, 2.0])],
+            ("Y".into(), vec![0.0, 1.0]),
+        )
+        .unwrap();
+        assert_eq!(data.input_count(), 1);
+        assert_eq!(data.len(), 2);
+        assert!(!data.is_empty());
+        assert_eq!(data.input_names(), vec!["A".to_string()]);
+        assert_eq!(data.input(0), &[1.0, 2.0]);
+        assert_eq!(data.output_name(), "Y");
+        assert_eq!(data.output(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn no_inputs_rejected() {
+        let err = AnalogData::new(vec![], ("Y".into(), vec![1.0])).unwrap_err();
+        assert_eq!(err, DataError::NoInputs);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = AnalogData::new(
+            vec![("A".into(), vec![1.0])],
+            ("Y".into(), vec![1.0, 2.0]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_series_rejected() {
+        let err = AnalogData::new(vec![("A".into(), vec![])], ("Y".into(), vec![])).unwrap_err();
+        assert_eq!(err, DataError::Empty);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = AnalogData::new(
+            vec![("A".into(), vec![1.0]), ("A".into(), vec![1.0])],
+            ("Y".into(), vec![1.0]),
+        )
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateName("A".into()));
+        let err = AnalogData::new(
+            vec![("Y".into(), vec![1.0])],
+            ("Y".into(), vec![1.0]),
+        )
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateName("Y".into()));
+    }
+
+    #[test]
+    fn non_finite_sample_rejected() {
+        let err = AnalogData::new(
+            vec![("A".into(), vec![f64::NAN])],
+            ("Y".into(), vec![1.0]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::NonFiniteSample { index: 0, .. }));
+    }
+
+    #[test]
+    fn error_messages_name_the_series() {
+        let err = DataError::LengthMismatch {
+            series: "GFP".into(),
+            len: 3,
+            expected: 5,
+        };
+        assert!(err.to_string().contains("GFP"));
+    }
+}

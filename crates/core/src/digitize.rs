@@ -1,0 +1,75 @@
+//! ADC — analog-to-digital conversion of concentration traces.
+//!
+//! The sub-procedure at line 4 of Algorithm 1: analog amounts become
+//! logic 1 at or above the threshold and logic 0 below it. Converting to
+//! the logic abstraction first means the exact concentrations "are no
+//! longer needed to obtain the Boolean logic of a genetic circuit".
+
+/// Digitizes one analog series against `threshold`.
+///
+/// A sample `x` maps to logic 1 iff `x >= threshold`, mirroring the
+/// paper's "significant amount of concentration" semantics (a count equal
+/// to the threshold is significant).
+pub fn digitize(series: &[f64], threshold: f64) -> Vec<bool> {
+    series.iter().map(|&x| x >= threshold).collect()
+}
+
+/// Digitizes several series with one threshold per series.
+///
+/// # Panics
+///
+/// Panics if `series.len() != thresholds.len()`.
+pub fn digitize_all(series: &[&[f64]], thresholds: &[f64]) -> Vec<Vec<bool>> {
+    assert_eq!(
+        series.len(),
+        thresholds.len(),
+        "one threshold per series required"
+    );
+    series
+        .iter()
+        .zip(thresholds)
+        .map(|(s, &th)| digitize(s, th))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_inclusive() {
+        assert_eq!(
+            digitize(&[14.9, 15.0, 15.1], 15.0),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn empty_series_digitizes_to_empty() {
+        assert!(digitize(&[], 15.0).is_empty());
+    }
+
+    #[test]
+    fn glitches_below_threshold_stay_low() {
+        // The paper's Figure 2 glitch: logic-0 GFP that is "less than its
+        // threshold value but may not be sharply zero".
+        let series = [0.0, 3.0, 7.0, 2.0, 0.0];
+        assert!(digitize(&series, 15.0).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn digitize_all_uses_per_series_thresholds() {
+        let a = [10.0, 20.0];
+        let b = [10.0, 20.0];
+        let digital = digitize_all(&[&a, &b], &[15.0, 5.0]);
+        assert_eq!(digital[0], vec![false, true]);
+        assert_eq!(digital[1], vec![true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per series")]
+    fn mismatched_thresholds_panic() {
+        let a = [1.0];
+        let _ = digitize_all(&[&a], &[1.0, 2.0]);
+    }
+}

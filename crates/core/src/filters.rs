@@ -1,0 +1,138 @@
+//! The two acceptance filters of ConstBoolExpr.
+//!
+//! A combination contributes a logic-1 to the extracted Boolean
+//! expression only if **both** filters pass (the paper shows either one
+//! alone mis-classifies — Figures 2 and 3):
+//!
+//! * eq. (1) — *stability*: `FOV_EST[i] = Var_O[i] / Case_I[i]` must not
+//!   exceed the user-defined bound `FOV_UD` (the paper uses 0.25);
+//! * eq. (2) — *majority*: `High_O[i] > Case_I[i] / 2`.
+
+use crate::variation::VariationStats;
+use serde::{Deserialize, Serialize};
+
+/// Why a combination was or wasn't counted as logic-1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterOutcome {
+    /// Both filters passed: the output is high at this combination.
+    High,
+    /// Majority of samples are low (eq. 2 fails with a low majority):
+    /// the output is low at this combination.
+    Low,
+    /// The stream oscillates too much (eq. 1 fails): unstable, treated
+    /// as low when constructing the expression, like the paper's
+    /// Figure 3 example.
+    Unstable,
+    /// The combination never occurred in the data, so nothing can be
+    /// said about it.
+    Unobserved,
+}
+
+impl FilterOutcome {
+    /// Whether the combination enters the Boolean expression as a
+    /// minterm.
+    pub fn is_high(self) -> bool {
+        matches!(self, FilterOutcome::High)
+    }
+}
+
+/// eq. (1): is the estimated fraction of variation acceptable?
+pub fn stability_filter(stats: &VariationStats, fov_ud: f64) -> bool {
+    stats.fov_est() <= fov_ud
+}
+
+/// eq. (2): are more than half the samples high?
+pub fn majority_filter(stats: &VariationStats) -> bool {
+    2 * stats.high_count > stats.case_count
+}
+
+/// Applies both filters to one combination's statistics.
+pub fn classify(stats: &VariationStats, fov_ud: f64) -> FilterOutcome {
+    if stats.case_count == 0 {
+        return FilterOutcome::Unobserved;
+    }
+    let stable = stability_filter(stats, fov_ud);
+    let majority_high = majority_filter(stats);
+    match (stable, majority_high) {
+        (true, true) => FilterOutcome::High,
+        (true, false) => FilterOutcome::Low,
+        (false, true) => FilterOutcome::Unstable,
+        // Unstable *and* mostly low: indistinguishable from low for the
+        // expression, but flag the instability for the report.
+        (false, false) => FilterOutcome::Unstable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(case: usize, high: usize, var: usize) -> VariationStats {
+        VariationStats {
+            combo: 0,
+            case_count: case,
+            high_count: high,
+            variation_count: var,
+        }
+    }
+
+    #[test]
+    fn figure2_combination_00_is_filtered_out_by_majority() {
+        // 1850 samples, 3 high, 2 variations: stable but not high.
+        let s = stats(1850, 3, 2);
+        assert!(stability_filter(&s, 0.25));
+        assert!(!majority_filter(&s));
+        assert_eq!(classify(&s, 0.25), FilterOutcome::Low);
+    }
+
+    #[test]
+    fn figure2_combination_11_passes_both() {
+        // 3050 samples, 1875 high, 7 variations.
+        let s = stats(3050, 1875, 7);
+        assert!(stability_filter(&s, 0.25));
+        assert!(majority_filter(&s));
+        assert_eq!(classify(&s, 0.25), FilterOutcome::High);
+        assert!(classify(&s, 0.25).is_high());
+    }
+
+    #[test]
+    fn figure3_oscillatory_stream_is_unstable() {
+        // Equal number of 1s as a stable stream but highly oscillatory:
+        // the stability filter (with FOV_UD <= 0.5) rejects it even if a
+        // majority are high.
+        let s = stats(20, 11, 15); // fov = 0.75
+        assert!(!stability_filter(&s, 0.5));
+        assert!(majority_filter(&s));
+        assert_eq!(classify(&s, 0.5), FilterOutcome::Unstable);
+        assert!(!classify(&s, 0.5).is_high());
+    }
+
+    #[test]
+    fn majority_is_strict_inequality() {
+        // Exactly half high: eq. (2) requires strictly more than half.
+        let s = stats(10, 5, 1);
+        assert!(!majority_filter(&s));
+        let s = stats(10, 6, 1);
+        assert!(majority_filter(&s));
+    }
+
+    #[test]
+    fn stability_bound_is_inclusive() {
+        let s = stats(4, 4, 1); // fov = 0.25
+        assert!(stability_filter(&s, 0.25));
+        let s = stats(4, 4, 2); // fov = 0.5
+        assert!(!stability_filter(&s, 0.25));
+    }
+
+    #[test]
+    fn unobserved_is_its_own_outcome() {
+        let s = stats(0, 0, 0);
+        assert_eq!(classify(&s, 0.25), FilterOutcome::Unobserved);
+    }
+
+    #[test]
+    fn unstable_and_low_is_reported_unstable() {
+        let s = stats(10, 3, 9);
+        assert_eq!(classify(&s, 0.25), FilterOutcome::Unstable);
+    }
+}

@@ -1,0 +1,295 @@
+//! Quine–McCluskey two-level logic minimization.
+//!
+//! Produces a minimal (prime-implicant-based) sum-of-products cover for a
+//! function given its minterms and optional don't-cares. Used to print
+//! compact extracted expressions and by the gate synthesizer to keep
+//! NOR-netlists small (the paper's circuits have 1–7 gates).
+//!
+//! The implementation is the textbook algorithm: iterative pairwise
+//! combination of implicants grouped by population count, followed by
+//! essential-prime selection and a greedy cover of the remainder —
+//! exact enough for the ≤ 6-input functions genetic circuits use, and
+//! deterministic so test expectations are stable.
+
+use crate::boolexpr::Cube;
+use std::collections::BTreeSet;
+
+/// An implicant during combination: `value` on the cared bits, `dc` marks
+/// don't-care (combined-away) bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Implicant {
+    value: u64,
+    dc: u64,
+}
+
+impl Implicant {
+    fn of(m: usize) -> Self {
+        Implicant {
+            value: m as u64,
+            dc: 0,
+        }
+    }
+
+    fn covers(&self, m: usize) -> bool {
+        (m as u64) & !self.dc == self.value & !self.dc
+    }
+
+    fn to_cube(self, n: usize) -> Cube {
+        let full = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Cube {
+            care: full & !self.dc,
+            value: self.value & !self.dc,
+        }
+    }
+}
+
+/// Minimizes the function of `n` inputs that is high on `minterms` and
+/// unconstrained on `dont_cares`.
+///
+/// Returns a sum-of-products cover as [`Cube`]s. The empty function
+/// yields an empty vector; a tautology yields one empty (constant-1)
+/// cube.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 16`, or any minterm/don't-care is out of
+/// range, or if a minterm is also listed as a don't-care.
+pub fn minimize(n: usize, minterms: &[usize], dont_cares: &[usize]) -> Vec<Cube> {
+    assert!(n >= 1 && n <= 16, "n = {n} out of range");
+    let rows = 1usize << n;
+    let on: BTreeSet<usize> = minterms.iter().copied().collect();
+    let dc: BTreeSet<usize> = dont_cares.iter().copied().collect();
+    assert!(
+        on.iter().chain(&dc).all(|&m| m < rows),
+        "minterm out of range"
+    );
+    assert!(on.is_disjoint(&dc), "minterm listed as don't-care");
+
+    if on.is_empty() {
+        return Vec::new();
+    }
+    if on.len() + dc.len() == rows && dc.is_empty() {
+        return vec![Cube { care: 0, value: 0 }];
+    }
+
+    let primes = prime_implicants(&on, &dc);
+    let cover = select_cover(&on, &primes);
+    let mut cubes: Vec<Cube> = cover.into_iter().map(|imp| imp.to_cube(n)).collect();
+    cubes.sort();
+    cubes
+}
+
+/// All prime implicants of the on-set ∪ dc-set.
+fn prime_implicants(on: &BTreeSet<usize>, dc: &BTreeSet<usize>) -> Vec<Implicant> {
+    let mut current: BTreeSet<Implicant> =
+        on.iter().chain(dc).map(|&m| Implicant::of(m)).collect();
+    let mut primes: Vec<Implicant> = Vec::new();
+
+    while !current.is_empty() {
+        let list: Vec<Implicant> = current.iter().copied().collect();
+        let mut combined_flags = vec![false; list.len()];
+        let mut next: BTreeSet<Implicant> = BTreeSet::new();
+
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let (a, b) = (list[i], list[j]);
+                if a.dc != b.dc {
+                    continue;
+                }
+                let diff = (a.value ^ b.value) & !a.dc;
+                if diff.count_ones() == 1 {
+                    combined_flags[i] = true;
+                    combined_flags[j] = true;
+                    next.insert(Implicant {
+                        value: a.value & !diff,
+                        dc: a.dc | diff,
+                    });
+                }
+            }
+        }
+        for (imp, combined) in list.iter().zip(&combined_flags) {
+            if !combined {
+                primes.push(*imp);
+            }
+        }
+        current = next;
+    }
+    primes.sort();
+    primes.dedup();
+    primes
+}
+
+/// Essential primes first, then a greedy set cover of the remaining
+/// minterms (most-new-coverage first; ties broken by fewer literals, then
+/// cube order, for determinism).
+fn select_cover(on: &BTreeSet<usize>, primes: &[Implicant]) -> Vec<Implicant> {
+    let minterms: Vec<usize> = on.iter().copied().collect();
+    let cover_sets: Vec<Vec<usize>> = primes
+        .iter()
+        .map(|p| minterms.iter().copied().filter(|&m| p.covers(m)).collect())
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+
+    // Essential primes: sole cover of some minterm.
+    for &m in &minterms {
+        let covering: Vec<usize> = (0..primes.len())
+            .filter(|&p| cover_sets[p].contains(&m))
+            .collect();
+        if covering.len() == 1 && !chosen.contains(&covering[0]) {
+            chosen.push(covering[0]);
+            covered.extend(&cover_sets[covering[0]]);
+        }
+    }
+
+    // Greedy for the rest.
+    while covered.len() < minterms.len() {
+        let best = (0..primes.len())
+            .filter(|p| !chosen.contains(p))
+            .max_by_key(|&p| {
+                let new_coverage = cover_sets[p]
+                    .iter()
+                    .filter(|m| !covered.contains(m))
+                    .count();
+                // Prefer more coverage; among equals prefer fewer literals
+                // (more dc bits); among those, earlier (smaller) cubes.
+                (
+                    new_coverage,
+                    primes[p].dc.count_ones(),
+                    std::cmp::Reverse(primes[p]),
+                )
+            })
+            .expect("primes cover all minterms by construction");
+        let gained = cover_sets[best]
+            .iter()
+            .filter(|m| !covered.contains(m))
+            .count();
+        assert!(gained > 0, "greedy step made no progress");
+        chosen.push(best);
+        covered.extend(&cover_sets[best]);
+    }
+
+    chosen.sort_unstable();
+    chosen.into_iter().map(|p| primes[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolexpr::TruthTable;
+
+    /// Checks that `cubes` exactly implements `table` (don't-cares may go
+    /// either way).
+    fn assert_implements(n: usize, minterms: &[usize], dont_cares: &[usize], cubes: &[Cube]) {
+        let on: BTreeSet<usize> = minterms.iter().copied().collect();
+        let dc: BTreeSet<usize> = dont_cares.iter().copied().collect();
+        for m in 0..1usize << n {
+            let value = cubes.iter().any(|c| c.covers(m));
+            if on.contains(&m) {
+                assert!(value, "minterm {m} not covered");
+            } else if !dc.contains(&m) {
+                assert!(!value, "off-set point {m} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_minimizes_to_one_cube() {
+        let cubes = minimize(2, &[3], &[]);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].literal_count(), 2);
+        assert_implements(2, &[3], &[], &cubes);
+    }
+
+    #[test]
+    fn or_gate_minimizes_to_two_single_literals() {
+        let cubes = minimize(2, &[1, 2, 3], &[]);
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|c| c.literal_count() == 1));
+        assert_implements(2, &[1, 2, 3], &[], &cubes);
+    }
+
+    #[test]
+    fn xor_stays_two_minterm_cubes() {
+        let cubes = minimize(2, &[1, 2], &[]);
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|c| c.literal_count() == 2));
+        assert_implements(2, &[1, 2], &[], &cubes);
+    }
+
+    #[test]
+    fn empty_function_is_empty_cover() {
+        assert!(minimize(3, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn tautology_is_the_unit_cube() {
+        let cubes = minimize(2, &[0, 1, 2, 3], &[]);
+        assert_eq!(cubes, vec![Cube { care: 0, value: 0 }]);
+    }
+
+    #[test]
+    fn dont_cares_enable_bigger_cubes() {
+        // f(A,B) high at 3, dc at 1: minimal cover is just B (bit 0).
+        let cubes = minimize(2, &[3], &[1]);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].literal_count(), 1);
+        assert_implements(2, &[3], &[1], &cubes);
+    }
+
+    #[test]
+    fn classic_four_variable_example() {
+        // Standard textbook example: f = Σm(0,1,2,5,6,7,8,9,10,14) for 4
+        // variables — known minimal cover has 4 products.
+        let minterms = [0, 1, 2, 5, 6, 7, 8, 9, 10, 14];
+        let cubes = minimize(4, &minterms, &[]);
+        assert_implements(4, &minterms, &[], &cubes);
+        assert!(
+            cubes.len() <= 5,
+            "cover size {} worse than expected",
+            cubes.len()
+        );
+    }
+
+    #[test]
+    fn paper_circuit_0x0b_minimizes_correctly() {
+        // minterms {0, 1, 3} over (A,B,C): A'B' + A'C.
+        let table = TruthTable::from_hex(3, 0x0B);
+        let cubes = minimize(3, &table.minterms(), &[]);
+        assert_implements(3, &table.minterms(), &[], &cubes);
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|c| c.literal_count() == 2));
+    }
+
+    #[test]
+    fn all_three_input_functions_are_implemented_correctly() {
+        // Exhaustive: every 3-input function (256 of them) minimizes to a
+        // cover that exactly reproduces it.
+        for hex in 0u64..256 {
+            let table = TruthTable::from_hex(3, hex);
+            let minterms = table.minterms();
+            let cubes = minimize(3, &minterms, &[]);
+            assert_implements(3, &minterms, &[], &cubes);
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = minimize(4, &[0, 2, 5, 7, 8, 10, 13, 15], &[]);
+        let b = minimize(4, &[0, 2, 5, 7, 8, 10, 13, 15], &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "don't-care")]
+    fn overlapping_on_and_dc_sets_panic() {
+        let _ = minimize(2, &[1], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_minterm_panics() {
+        let _ = minimize(2, &[4], &[]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Signal conditioning for noisy digitized traces.
+//!
+//! The plain ADC of [`crate::digitize`] maps each sample independently,
+//! so a trace hovering *at* the threshold chatters (the paper's Figure 5
+//! high-threshold regime). Electronics solves this with hysteresis and
+//! filtering; this module provides both as optional pre-processing:
+//!
+//! * [`digitize_hysteresis`] — a Schmitt trigger: the signal must rise
+//!   above `high` to read 1 and fall below `low` to read 0, suppressing
+//!   chatter whose amplitude is smaller than the band;
+//! * [`majority_filter`] — sliding-window majority vote over a bit
+//!   stream, removing isolated glitches shorter than half the window.
+//!
+//! Both are measurement-side aids; the paper's algorithm itself handles
+//! residual instability through its two acceptance filters.
+
+/// Schmitt-trigger digitization with a hysteresis band.
+///
+/// A sample reads 1 once the signal reaches `high` and keeps reading 1
+/// until it drops below `low`. The initial state is taken from the plain
+/// threshold midpoint.
+///
+/// # Panics
+///
+/// Panics unless `low < high` and both are finite.
+pub fn digitize_hysteresis(series: &[f64], low: f64, high: f64) -> Vec<bool> {
+    assert!(
+        low.is_finite() && high.is_finite() && low < high,
+        "hysteresis band requires low < high"
+    );
+    let mut state = series
+        .first()
+        .map(|&x| x >= (low + high) / 2.0)
+        .unwrap_or(false);
+    series
+        .iter()
+        .map(|&x| {
+            if x >= high {
+                state = true;
+            } else if x < low {
+                state = false;
+            }
+            state
+        })
+        .collect()
+}
+
+/// Sliding-window majority vote (odd `window`); window ends shrink at
+/// the boundaries.
+///
+/// # Panics
+///
+/// Panics if `window` is even or zero.
+pub fn majority_filter(bits: &[bool], window: usize) -> Vec<bool> {
+    assert!(window % 2 == 1, "window must be odd, got {window}");
+    let half = window / 2;
+    (0..bits.len())
+        .map(|i| {
+            let from = i.saturating_sub(half);
+            let to = (i + half + 1).min(bits.len());
+            let highs = bits[from..to].iter().filter(|&&b| b).count();
+            2 * highs > to - from
+        })
+        .collect()
+}
+
+/// Counts the level changes a digitization produces — the quantity the
+/// VariationAnalyzer scores, exposed here so conditioning choices can be
+/// compared directly.
+pub fn transition_count(bits: &[bool]) -> usize {
+    bits.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digitize::digitize;
+
+    #[test]
+    fn hysteresis_suppresses_threshold_chatter() {
+        // Signal oscillating ±2 around 15: plain ADC at 15 chatters,
+        // a [12, 18] band reads a constant level.
+        let series: Vec<f64> = (0..100)
+            .map(|k| 15.0 + if k % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
+        let plain = digitize(&series, 15.0);
+        let banded = digitize_hysteresis(&series, 12.0, 18.0);
+        assert!(transition_count(&plain) > 90);
+        assert_eq!(transition_count(&banded), 0);
+    }
+
+    #[test]
+    fn hysteresis_still_follows_real_transitions() {
+        let mut series = vec![0.0; 50];
+        series.extend(vec![30.0; 50]);
+        series.extend(vec![0.0; 50]);
+        let bits = digitize_hysteresis(&series, 10.0, 20.0);
+        assert!(!bits[25]);
+        assert!(bits[75]);
+        assert!(!bits[125]);
+        assert_eq!(transition_count(&bits), 2);
+    }
+
+    #[test]
+    fn hysteresis_initial_state_from_midpoint() {
+        let bits = digitize_hysteresis(&[16.0, 16.0], 10.0, 20.0);
+        // 16 ≥ midpoint 15 but below `high`: starts high, stays (no drop
+        // below `low`).
+        assert_eq!(bits, vec![true, true]);
+        let bits = digitize_hysteresis(&[12.0, 12.0], 10.0, 20.0);
+        assert_eq!(bits, vec![false, false]);
+        let bits: Vec<bool> = digitize_hysteresis(&[], 10.0, 20.0);
+        assert!(bits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn inverted_band_panics() {
+        let _ = digitize_hysteresis(&[1.0], 20.0, 10.0);
+    }
+
+    #[test]
+    fn majority_filter_removes_short_glitches() {
+        let mut bits = vec![false; 20];
+        bits[10] = true; // 1-sample glitch
+        let filtered = majority_filter(&bits, 5);
+        assert!(filtered.iter().all(|&b| !b));
+
+        let mut bits = vec![true; 20];
+        bits[5] = false;
+        bits[6] = false; // 2-sample dropout inside a 5-window
+        let filtered = majority_filter(&bits, 5);
+        assert!(filtered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn majority_filter_keeps_sustained_levels() {
+        let bits: Vec<bool> = (0..30).map(|k| k >= 15).collect();
+        let filtered = majority_filter(&bits, 5);
+        assert_eq!(transition_count(&filtered), 1);
+        assert!(!filtered[10]);
+        assert!(filtered[20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn even_window_panics() {
+        let _ = majority_filter(&[true], 4);
+    }
+
+    #[test]
+    fn transition_count_basics() {
+        assert_eq!(transition_count(&[]), 0);
+        assert_eq!(transition_count(&[true]), 0);
+        assert_eq!(transition_count(&[true, false, true]), 2);
+    }
+}

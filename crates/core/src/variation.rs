@@ -1,0 +1,128 @@
+//! VariationAnalyzer — output stability per input combination.
+//!
+//! The sub-procedure at line 6 of Algorithm 1. For each input
+//! combination's output stream it computes:
+//!
+//! * `High_O[i]` — how many logic-1 samples the stream contains;
+//! * `Var_O[i]` — how many times the stream changes level (0→1 or 1→0),
+//!   the paper's count of output oscillations;
+//! * `FOV_EST[i] = Var_O[i] / Case_I[i]` — eq. (1)'s estimated fraction
+//!   of variation.
+
+use crate::cases::CaseAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// Stability statistics of one input combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationStats {
+    /// The input combination index.
+    pub combo: usize,
+    /// `Case_I[i]`: samples observed at this combination.
+    pub case_count: usize,
+    /// `High_O[i]`: logic-1 samples in the output stream.
+    pub high_count: usize,
+    /// `Var_O[i]`: level changes within the output stream.
+    pub variation_count: usize,
+}
+
+impl VariationStats {
+    /// `FOV_EST[i] = Var_O[i] / Case_I[i]` (eq. 1). Zero for an
+    /// unobserved combination.
+    pub fn fov_est(&self) -> f64 {
+        if self.case_count == 0 {
+            0.0
+        } else {
+            self.variation_count as f64 / self.case_count as f64
+        }
+    }
+}
+
+/// Counts level changes in a bit-stream.
+pub fn count_variations(stream: &[bool]) -> usize {
+    stream.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Computes [`VariationStats`] for every input combination of a
+/// [`CaseAnalysis`].
+pub fn analyze(cases: &CaseAnalysis) -> Vec<VariationStats> {
+    (0..cases.combinations())
+        .map(|combo| {
+            let stream = cases.stream(combo);
+            VariationStats {
+                combo,
+                case_count: stream.len(),
+                high_count: stream.iter().filter(|&&b| b).count(),
+                variation_count: count_variations(stream),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_variations_counts_level_changes() {
+        assert_eq!(count_variations(&[]), 0);
+        assert_eq!(count_variations(&[true]), 0);
+        assert_eq!(count_variations(&[true, true, true]), 0);
+        assert_eq!(count_variations(&[false, true, false, true]), 3);
+        assert_eq!(count_variations(&[false, false, true, true]), 1);
+    }
+
+    #[test]
+    fn paper_figure2_shape() {
+        // Figure 2's combination 00: a long low stream with a brief
+        // glitch high — 3 ones, 2 variations.
+        let mut stream = vec![false; 1850];
+        stream[800] = true;
+        stream[801] = true;
+        stream[802] = true;
+        let a = vec![false; 1850];
+        let analysis = CaseAnalysis::analyze(&[a], &stream);
+        let stats = analyze(&analysis);
+        assert_eq!(stats[0].case_count, 1850);
+        assert_eq!(stats[0].high_count, 3);
+        assert_eq!(stats[0].variation_count, 2);
+        let fov = stats[0].fov_est();
+        assert!((fov - 2.0 / 1850.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fov_est_of_unobserved_combo_is_zero() {
+        let stats = VariationStats {
+            combo: 1,
+            case_count: 0,
+            high_count: 0,
+            variation_count: 0,
+        };
+        assert_eq!(stats.fov_est(), 0.0);
+    }
+
+    #[test]
+    fn stats_cover_every_combination() {
+        let a = vec![false, true];
+        let b = vec![false, true];
+        let y = vec![false, true];
+        let analysis = CaseAnalysis::analyze(&[a, b], &y);
+        let stats = analyze(&analysis);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].combo, 0);
+        assert_eq!(stats[3].high_count, 1);
+        assert_eq!(stats[1].case_count, 0);
+    }
+
+    #[test]
+    fn variations_are_within_streams_not_across_combos() {
+        // Alternating combos with constant per-combo output: no
+        // variation inside either stream even though the interleaved
+        // output alternates.
+        let a = vec![false, true, false, true];
+        let y = vec![false, true, false, true];
+        let analysis = CaseAnalysis::analyze(&[a], &y);
+        let stats = analyze(&analysis);
+        assert_eq!(stats[0].variation_count, 0);
+        assert_eq!(stats[1].variation_count, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Verification of extracted logic against the intended function.
+//!
+//! The paper's use-case: a designer knows what a circuit *should*
+//! compute (e.g. Cello circuit `0x0B`) and wants to know whether the
+//! simulated circuit actually computes it. [`verify`] compares the
+//! analyzer's extracted function with the expected truth table using the
+//! BDD package (canonicity makes equivalence a pointer comparison) and
+//! reports the *wrong states* — the input combinations where they
+//! disagree, the quantity the paper counts in the threshold-40 experiment
+//! of Figure 5.
+
+use crate::analyze::LogicReport;
+use crate::bdd::Bdd;
+use crate::boolexpr::{combo_string, TruthTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of comparing extracted vs. intended logic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether the two functions are equivalent.
+    pub equivalent: bool,
+    /// Input combinations where extracted and expected disagree
+    /// ("wrong states"), ascending.
+    pub wrong_states: Vec<usize>,
+    /// The subset of `wrong_states` that the data never exercised — the
+    /// analyzer read them as logic-0 by default, so the disagreement may
+    /// be a coverage problem rather than a circuit problem.
+    pub unobserved_wrong_states: Vec<usize>,
+    /// Number of inputs (for label rendering).
+    n: usize,
+}
+
+impl Verdict {
+    /// Number of wrong states.
+    pub fn wrong_count(&self) -> usize {
+        self.wrong_states.len()
+    }
+
+    /// Bit-string labels of the wrong states, e.g. `["010", "110"]`.
+    pub fn wrong_labels(&self) -> Vec<String> {
+        self.wrong_states
+            .iter()
+            .map(|&m| combo_string(m, self.n))
+            .collect()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equivalent {
+            f.write_str("VERIFIED: extracted logic matches the intended function")
+        } else {
+            write!(
+                f,
+                "MISMATCH: {} wrong state(s) at {}",
+                self.wrong_count(),
+                self.wrong_labels().join(", ")
+            )
+        }
+    }
+}
+
+/// Compares the extracted function of `report` with `expected`.
+///
+/// # Panics
+///
+/// Panics if `expected` has a different number of inputs than the
+/// report.
+pub fn verify(report: &LogicReport, expected: &TruthTable) -> Verdict {
+    let n = report.input_names.len();
+    assert_eq!(
+        expected.inputs(),
+        n,
+        "expected function has {} inputs, report has {n}",
+        expected.inputs()
+    );
+    let extracted = report.truth_table();
+    let mut bdd = Bdd::new(n);
+    let f = bdd.from_truth_table(&extracted);
+    let g = bdd.from_truth_table(expected);
+    let equivalent = bdd.equivalent(f, g);
+    let wrong_states = if equivalent {
+        Vec::new()
+    } else {
+        bdd.disagreements(f, g)
+    };
+    let unobserved = report.unobserved();
+    let unobserved_wrong_states = wrong_states
+        .iter()
+        .copied()
+        .filter(|m| unobserved.contains(m))
+        .collect();
+    Verdict {
+        equivalent,
+        wrong_states,
+        unobserved_wrong_states,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{AnalyzerConfig, LogicAnalyzer};
+    use crate::data::AnalogData;
+
+    fn report_for(n: usize, f: impl Fn(usize) -> bool) -> LogicReport {
+        let mut inputs: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut output = Vec::new();
+        for combo in 0..1usize << n {
+            for _ in 0..50 {
+                for (j, series) in inputs.iter_mut().enumerate() {
+                    let bit = (combo >> (n - 1 - j)) & 1 == 1;
+                    series.push(if bit { 30.0 } else { 0.0 });
+                }
+                output.push(if f(combo) { 30.0 } else { 0.0 });
+            }
+        }
+        let data = AnalogData::new(
+            inputs
+                .into_iter()
+                .enumerate()
+                .map(|(j, s)| (format!("I{j}"), s))
+                .collect(),
+            ("Y".into(), output),
+        )
+        .unwrap();
+        LogicAnalyzer::new(AnalyzerConfig::new(15.0))
+            .analyze(&data)
+            .unwrap()
+    }
+
+    #[test]
+    fn matching_logic_verifies() {
+        let expected = TruthTable::from_hex(3, 0x0B);
+        let report = report_for(3, |m| expected.value(m));
+        let verdict = verify(&report, &expected);
+        assert!(verdict.equivalent);
+        assert_eq!(verdict.wrong_count(), 0);
+        assert!(verdict.to_string().contains("VERIFIED"));
+    }
+
+    #[test]
+    fn wrong_states_are_listed_with_labels() {
+        // Circuit behaves as 3-input AND but was meant to be 0x0B.
+        let expected = TruthTable::from_hex(3, 0x0B);
+        let report = report_for(3, |m| m == 7);
+        let verdict = verify(&report, &expected);
+        assert!(!verdict.equivalent);
+        assert_eq!(verdict.wrong_states, vec![0, 1, 3, 7]);
+        assert_eq!(verdict.wrong_labels(), vec!["000", "001", "011", "111"]);
+        assert!(verdict.to_string().contains("4 wrong state(s)"));
+        assert!(verdict.unobserved_wrong_states.is_empty());
+    }
+
+    #[test]
+    fn unobserved_wrong_states_are_flagged() {
+        // Build data covering only combination 0: everything else is
+        // unobserved and defaults to logic-0; expecting constant-1 makes
+        // all of them wrong, flagged as unobserved.
+        let input = vec![0.0; 50];
+        let output = vec![30.0; 50];
+        let data =
+            AnalogData::new(vec![("A".into(), input)], ("Y".into(), output)).unwrap();
+        let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
+            .analyze(&data)
+            .unwrap();
+        let expected = TruthTable::from_minterms(1, &[0, 1]);
+        let verdict = verify(&report, &expected);
+        assert!(!verdict.equivalent);
+        assert_eq!(verdict.wrong_states, vec![1]);
+        assert_eq!(verdict.unobserved_wrong_states, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn input_count_mismatch_panics() {
+        let report = report_for(2, |m| m == 3);
+        let expected = TruthTable::from_hex(3, 0x80);
+        let _ = verify(&report, &expected);
+    }
+}

@@ -1,0 +1,293 @@
+//! Gate assignment optimization (the Cello assignment problem).
+//!
+//! A netlist fixes *topology*; which library repressor implements each
+//! gate is a free choice, and a bad choice wrecks the noise margin —
+//! Cello's core search is exactly this assignment (Nielsen et al. 2016
+//! optimize a circuit score by simulated annealing over assignments).
+//! This module reproduces a deterministic version: deterministic
+//! steady-state propagation through the Hill responses scores an
+//! assignment by its worst-case output separation, and a greedy
+//! hill-climbing search (swap two gates / retarget one gate to an
+//! unused repressor) improves it.
+//!
+//! The score is
+//! `margin = min(ON outputs) / max(OFF outputs)` over all input
+//! combinations (∞ when the circuit is constant); larger is better, and
+//! anything below ~3 digitizes unreliably at molecule-count noise.
+
+use crate::library::{self, SensorParams, DEGRADATION_RATE};
+use crate::netlist::{Gate, Netlist, Signal};
+
+/// Deterministic steady-state score of one assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentScore {
+    /// Smallest steady-state output among logic-ON combinations.
+    pub on_min: f64,
+    /// Largest steady-state output among logic-OFF combinations.
+    pub off_max: f64,
+    /// `on_min / off_max`; `f64::INFINITY` for constant circuits.
+    pub margin: f64,
+}
+
+/// Computes the steady-state output level of `netlist` at input
+/// combination `m` with inputs applied at `input_level`, propagating
+/// mean behaviour through the Hill responses.
+pub fn steady_state_output(netlist: &Netlist, m: usize, input_level: f64) -> f64 {
+    let sensor = SensorParams::default();
+    let n = netlist.inputs();
+    let signal_activity = |signal: &Signal, gate_levels: &[f64]| -> f64 {
+        match *signal {
+            Signal::Input(j) => {
+                let high = (m >> (n - 1 - j)) & 1 == 1;
+                let amount = if high { input_level } else { 0.0 };
+                sensor.response.activity(amount)
+            }
+            Signal::Gate(g) => gate_levels[g],
+        }
+    };
+
+    // Feed-forward: each gate's repressor settles at (input activity
+    // sum)/kdeg; its promoter activity follows its response curve.
+    let mut gate_activity: Vec<f64> = Vec::with_capacity(netlist.gates().len());
+    for gate in netlist.gates() {
+        let drive: f64 = gate
+            .inputs
+            .iter()
+            .map(|s| signal_activity(s, &gate_activity))
+            .sum();
+        let repressor_ss = drive / DEGRADATION_RATE;
+        let params = library::repressor(&gate.repressor)
+            .unwrap_or_else(|| panic!("unknown repressor `{}`", gate.repressor));
+        gate_activity.push(params.response.activity(repressor_ss));
+    }
+
+    let mut production: f64 = netlist
+        .outputs()
+        .iter()
+        .map(|s| signal_activity(s, &gate_activity))
+        .sum();
+    if netlist.is_constitutive() {
+        production += 3.0; // matches compile.rs's constitutive promoter
+    }
+    production / DEGRADATION_RATE
+}
+
+/// Scores the current assignment of `netlist` at the given applied input
+/// level (the analysis threshold, in the paper's protocol).
+pub fn evaluate(netlist: &Netlist, input_level: f64) -> AssignmentScore {
+    let table = netlist.truth_table();
+    let mut on_min = f64::INFINITY;
+    let mut off_max: f64 = 0.0;
+    for m in 0..table.rows() {
+        let level = steady_state_output(netlist, m, input_level);
+        if table.value(m) {
+            on_min = on_min.min(level);
+        } else {
+            off_max = off_max.max(level);
+        }
+    }
+    let margin = if on_min.is_infinite() || off_max == 0.0 {
+        f64::INFINITY
+    } else {
+        on_min / off_max
+    };
+    AssignmentScore {
+        on_min: if on_min.is_finite() { on_min } else { 0.0 },
+        off_max,
+        margin,
+    }
+}
+
+/// Reassigns library repressors to the gates of `netlist` by greedy
+/// hill-climbing on [`evaluate`]'s margin. Deterministic: moves are
+/// tried in a fixed order and accepted only on strict improvement.
+///
+/// Returns the (possibly identical) improved netlist and its score.
+///
+/// # Panics
+///
+/// Panics if the netlist has more gates than the library has repressors.
+pub fn optimize(netlist: &Netlist, input_level: f64) -> (Netlist, AssignmentScore) {
+    let library_names: Vec<String> =
+        library::repressors().into_iter().map(|g| g.name).collect();
+    assert!(
+        netlist.gates().len() <= library_names.len(),
+        "netlist needs more repressors than the library provides"
+    );
+
+    let rebuild = |assignment: &[String], base: &Netlist| -> Netlist {
+        let gates: Vec<Gate> = base
+            .gates()
+            .iter()
+            .zip(assignment)
+            .map(|(gate, name)| Gate {
+                repressor: name.clone(),
+                inputs: gate.inputs.clone(),
+            })
+            .collect();
+        Netlist::new(
+            base.input_names().to_vec(),
+            base.output_name(),
+            gates,
+            base.outputs().to_vec(),
+            base.is_constitutive(),
+        )
+        .expect("reassignment preserves structure")
+    };
+
+    let mut assignment: Vec<String> = netlist
+        .gates()
+        .iter()
+        .map(|g| g.repressor.clone())
+        .collect();
+    let mut best = evaluate(netlist, input_level);
+
+    loop {
+        let mut improved = false;
+
+        // Move 1: swap the repressors of two gates.
+        for a in 0..assignment.len() {
+            for b in (a + 1)..assignment.len() {
+                let mut candidate = assignment.clone();
+                candidate.swap(a, b);
+                let net = rebuild(&candidate, netlist);
+                let score = evaluate(&net, input_level);
+                if score.margin > best.margin {
+                    assignment = candidate;
+                    best = score;
+                    improved = true;
+                }
+            }
+        }
+
+        // Move 2: retarget one gate to an unused library repressor.
+        for slot in 0..assignment.len() {
+            for name in &library_names {
+                if assignment.contains(name) {
+                    continue;
+                }
+                let mut candidate = assignment.clone();
+                candidate[slot] = name.clone();
+                let net = rebuild(&candidate, netlist);
+                let score = evaluate(&net, input_level);
+                if score.margin > best.margin {
+                    assignment = candidate;
+                    best = score;
+                    improved = true;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    (rebuild(&assignment, netlist), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+    use glc_core::TruthTable;
+
+    fn netlist_of(hex: u64) -> Netlist {
+        synthesize(&TruthTable::from_hex(3, hex), &["A", "B", "C"], "Y")
+    }
+
+    #[test]
+    fn steady_state_matches_logic_for_library_circuits() {
+        for hex in [0x0Bu64, 0x04, 0x1C, 0x70] {
+            let netlist = netlist_of(hex);
+            let table = netlist.truth_table();
+            for m in 0..8 {
+                let level = steady_state_output(&netlist, m, 15.0);
+                if table.value(m) {
+                    assert!(level > 25.0, "0x{hex:X} combo {m}: {level}");
+                } else {
+                    assert!(level < 10.0, "0x{hex:X} combo {m}: {level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_reports_sane_margins() {
+        let score = evaluate(&netlist_of(0x0B), 15.0);
+        assert!(score.margin > 3.0, "margin {}", score.margin);
+        assert!(score.on_min > score.off_max);
+    }
+
+    #[test]
+    fn constant_circuit_has_infinite_margin() {
+        let score = evaluate(&netlist_of(0x00), 15.0);
+        assert!(score.margin.is_infinite());
+        let score = evaluate(&netlist_of(0xFF), 15.0);
+        assert!(score.margin.is_infinite());
+    }
+
+    #[test]
+    fn optimize_never_worsens_and_preserves_function() {
+        for hex in [0x0Bu64, 0x1C, 0x96, 0xE8] {
+            let netlist = netlist_of(hex);
+            let before = evaluate(&netlist, 15.0);
+            let (optimized, after) = optimize(&netlist, 15.0);
+            assert!(
+                after.margin >= before.margin,
+                "0x{hex:X}: {} -> {}",
+                before.margin,
+                after.margin
+            );
+            assert_eq!(optimized.truth_table().to_hex(), hex, "function changed");
+        }
+    }
+
+    #[test]
+    fn optimize_recovers_a_deliberately_bad_assignment() {
+        // Reverse the default assignment (pairs weak/strong gates badly)
+        // and check the optimizer recovers at least the default margin.
+        let netlist = netlist_of(0x1C);
+        let reversed: Vec<Gate> = {
+            let names: Vec<String> = netlist
+                .gates()
+                .iter()
+                .rev()
+                .map(|g| g.repressor.clone())
+                .collect();
+            netlist
+                .gates()
+                .iter()
+                .zip(names)
+                .map(|(g, repressor)| Gate {
+                    repressor,
+                    inputs: g.inputs.clone(),
+                })
+                .collect()
+        };
+        let bad = Netlist::new(
+            netlist.input_names().to_vec(),
+            netlist.output_name(),
+            reversed,
+            netlist.outputs().to_vec(),
+            netlist.is_constitutive(),
+        )
+        .unwrap();
+        let default_score = evaluate(&netlist, 15.0);
+        let (_, recovered) = optimize(&bad, 15.0);
+        assert!(
+            recovered.margin >= default_score.margin * 0.99,
+            "optimizer stuck below default: {} vs {}",
+            recovered.margin,
+            default_score.margin
+        );
+    }
+
+    #[test]
+    fn optimization_is_deterministic() {
+        let netlist = netlist_of(0x96);
+        let (a, sa) = optimize(&netlist, 15.0);
+        let (b, sb) = optimize(&netlist, 15.0);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+}

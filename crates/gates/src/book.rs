@@ -1,0 +1,428 @@
+//! Textbook mass-action circuits (Myers, *Engineering Genetic Circuits*).
+//!
+//! The paper's eval set includes five circuits from [12]. Unlike the
+//! Cello-style models (lumped Hill kinetics), these model regulation
+//! mechanistically: a single-copy promoter is bound and blocked by a
+//! repressor *multimer* (three molecules bind cooperatively, LacI-tetramer
+//! style) via explicit mass-action binding/unbinding, and
+//! transcription+translation are lumped into one production step from
+//! the free promoter (with a small leak from the bound one). This
+//! exercises a different region of the simulator — species with counts
+//! of 0/1 (promoters) and genuinely bursty output.
+//!
+//! Circuits: NOT, NOR, NAND, OR, and the Figure 1 AND gate (two
+//! repressible promoters wired-OR onto `CI`, which represses the GFP
+//! promoter).
+
+use glc_core::TruthTable;
+use glc_model::{Model, ModelBuilder, ModelError};
+
+/// Multimer association rate (per molecule-triple per t.u.).
+pub const K_ON: f64 = 0.005;
+/// Complex dissociation rate.
+pub const K_OFF: f64 = 0.1;
+/// Production rate from a free promoter (transcription + translation).
+pub const K_TX: f64 = 3.0;
+/// Leak production rate from a bound promoter.
+pub const K_LEAK: f64 = 0.01;
+/// Protein degradation/dilution rate.
+pub const K_DEG: f64 = 0.05;
+
+/// A book circuit plus its metadata.
+#[derive(Debug, Clone)]
+pub struct BookCircuit {
+    /// Short identifier (`book_not`, ...).
+    pub id: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// Input species names, combination MSB first.
+    pub inputs: Vec<String>,
+    /// Output species name.
+    pub output: String,
+    /// The intended Boolean function.
+    pub expected: TruthTable,
+    /// Logic gate count (repressible promoter stages).
+    pub gate_count: usize,
+    /// Genetic component count (promoters + RBS + CDS + terminators).
+    pub component_count: usize,
+    /// The behavioural model.
+    pub model: Model,
+}
+
+/// Adds the reactions of one repressible promoter stage to `builder`.
+///
+/// Declares species `{promoter}` (count 1) and `{promoter}_bound`, binds
+/// the dimer of `repressor`, and produces `product` from the free
+/// promoter (plus leak). The caller declares `repressor` and `product`.
+fn promoter_stage(
+    builder: ModelBuilder,
+    promoter: &str,
+    repressor: &str,
+    product: &str,
+) -> Result<ModelBuilder, ModelError> {
+    let bound = format!("{promoter}_bound");
+    builder
+        .species(promoter.to_string(), 1.0)
+        .species(bound.clone(), 0.0)
+        .reaction_full(
+            format!("bind_{promoter}"),
+            vec![(promoter.to_string(), 1), (repressor.to_string(), 3)],
+            vec![(bound.clone(), 1)],
+            vec![],
+            &format!(
+                "kon * {promoter} * {repressor} * max({repressor} - 1, 0) * max({repressor} - 2, 0) / 6"
+            ),
+        )?
+        .reaction_full(
+            format!("unbind_{promoter}"),
+            vec![(bound.clone(), 1)],
+            vec![(promoter.to_string(), 1), (repressor.to_string(), 3)],
+            vec![],
+            &format!("koff * {bound}"),
+        )?
+        .reaction_full(
+            format!("tx_{promoter}"),
+            vec![],
+            vec![(product.to_string(), 1)],
+            vec![promoter.to_string(), bound.clone()],
+            &format!("ktx * {promoter} + kleak * {bound}"),
+        )
+}
+
+fn base_builder(id: &str) -> ModelBuilder {
+    ModelBuilder::new(id)
+        .parameter("kon", K_ON)
+        .parameter("koff", K_OFF)
+        .parameter("ktx", K_TX)
+        .parameter("kleak", K_LEAK)
+        .parameter("kdeg", K_DEG)
+}
+
+fn degradation(
+    builder: ModelBuilder,
+    species: &str,
+) -> Result<ModelBuilder, ModelError> {
+    builder.reaction(
+        format!("deg_{species}"),
+        &[species],
+        &[],
+        &format!("kdeg * {species}"),
+    )
+}
+
+/// `GFP = NOT LacI`: one repressible promoter.
+pub fn not_gate() -> BookCircuit {
+    let builder = base_builder("book_not").boundary_species("LacI", 0.0);
+    let builder = promoter_stage(builder, "P1", "LacI", "GFP").unwrap();
+    let builder = builder.species("GFP", 0.0);
+    let builder = degradation(builder, "GFP").unwrap();
+    BookCircuit {
+        id: "book_not",
+        description: "mass-action inverter: LacI dimer blocks the GFP promoter",
+        inputs: vec!["LacI".into()],
+        output: "GFP".into(),
+        expected: TruthTable::from_hex(1, 0x1),
+        gate_count: 1,
+        component_count: 4,
+        model: builder.build().unwrap(),
+    }
+}
+
+/// `GFP = LacI NOR TetR`: one promoter with two operators.
+pub fn nor_gate() -> BookCircuit {
+    let builder = base_builder("book_nor")
+        .boundary_species("LacI", 0.0)
+        .boundary_species("TetR", 0.0)
+        .species("GFP", 0.0);
+    // Either repressor dimer blocks the same promoter: two bound states.
+    let builder = builder
+        .species("P1", 1.0)
+        .species("P1_boundL", 0.0)
+        .species("P1_boundT", 0.0)
+        .reaction_full(
+            "bind_P1_LacI",
+            vec![("P1".into(), 1), ("LacI".into(), 3)],
+            vec![("P1_boundL".into(), 1)],
+            vec![],
+            "kon * P1 * LacI * max(LacI - 1, 0) * max(LacI - 2, 0) / 6",
+        )
+        .unwrap()
+        .reaction_full(
+            "unbind_P1_LacI",
+            vec![("P1_boundL".into(), 1)],
+            vec![("P1".into(), 1), ("LacI".into(), 3)],
+            vec![],
+            "koff * P1_boundL",
+        )
+        .unwrap()
+        .reaction_full(
+            "bind_P1_TetR",
+            vec![("P1".into(), 1), ("TetR".into(), 3)],
+            vec![("P1_boundT".into(), 1)],
+            vec![],
+            "kon * P1 * TetR * max(TetR - 1, 0) * max(TetR - 2, 0) / 6",
+        )
+        .unwrap()
+        .reaction_full(
+            "unbind_P1_TetR",
+            vec![("P1_boundT".into(), 1)],
+            vec![("P1".into(), 1), ("TetR".into(), 3)],
+            vec![],
+            "koff * P1_boundT",
+        )
+        .unwrap()
+        .reaction_full(
+            "tx_P1",
+            vec![],
+            vec![("GFP".into(), 1)],
+            vec!["P1".into(), "P1_boundL".into(), "P1_boundT".into()],
+            "ktx * P1 + kleak * (P1_boundL + P1_boundT)",
+        )
+        .unwrap();
+    let builder = degradation(builder, "GFP").unwrap();
+    BookCircuit {
+        id: "book_nor",
+        description: "mass-action NOR: either repressor dimer blocks the GFP promoter",
+        inputs: vec!["LacI".into(), "TetR".into()],
+        output: "GFP".into(),
+        expected: TruthTable::from_hex(2, 0x1),
+        gate_count: 1,
+        component_count: 5,
+        model: builder.build().unwrap(),
+    }
+}
+
+/// `GFP = LacI NAND TetR`: two promoters wired-OR onto GFP.
+pub fn nand_gate() -> BookCircuit {
+    let builder = base_builder("book_nand")
+        .boundary_species("LacI", 0.0)
+        .boundary_species("TetR", 0.0)
+        .species("GFP", 0.0);
+    let builder = promoter_stage(builder, "P1", "LacI", "GFP").unwrap();
+    let builder = promoter_stage(builder, "P2", "TetR", "GFP").unwrap();
+    let builder = degradation(builder, "GFP").unwrap();
+    BookCircuit {
+        id: "book_nand",
+        description: "mass-action NAND: two independently repressed promoters wired-OR onto GFP",
+        inputs: vec!["LacI".into(), "TetR".into()],
+        output: "GFP".into(),
+        expected: TruthTable::from_hex(2, 0x7),
+        gate_count: 2,
+        component_count: 8,
+        model: builder.build().unwrap(),
+    }
+}
+
+/// `GFP = LacI OR TetR`: a NOR stage into an inverter stage.
+pub fn or_gate() -> BookCircuit {
+    // Stage 1 (NOR): CI produced unless LacI or TetR is present — reuse
+    // the NOR topology with CI as the product.
+    let builder = base_builder("book_or")
+        .boundary_species("LacI", 0.0)
+        .boundary_species("TetR", 0.0)
+        .species("CI", 0.0)
+        .species("GFP", 0.0)
+        .species("P1", 1.0)
+        .species("P1_boundL", 0.0)
+        .species("P1_boundT", 0.0)
+        .reaction_full(
+            "bind_P1_LacI",
+            vec![("P1".into(), 1), ("LacI".into(), 3)],
+            vec![("P1_boundL".into(), 1)],
+            vec![],
+            "kon * P1 * LacI * max(LacI - 1, 0) * max(LacI - 2, 0) / 6",
+        )
+        .unwrap()
+        .reaction_full(
+            "unbind_P1_LacI",
+            vec![("P1_boundL".into(), 1)],
+            vec![("P1".into(), 1), ("LacI".into(), 3)],
+            vec![],
+            "koff * P1_boundL",
+        )
+        .unwrap()
+        .reaction_full(
+            "bind_P1_TetR",
+            vec![("P1".into(), 1), ("TetR".into(), 3)],
+            vec![("P1_boundT".into(), 1)],
+            vec![],
+            "kon * P1 * TetR * max(TetR - 1, 0) * max(TetR - 2, 0) / 6",
+        )
+        .unwrap()
+        .reaction_full(
+            "unbind_P1_TetR",
+            vec![("P1_boundT".into(), 1)],
+            vec![("P1".into(), 1), ("TetR".into(), 3)],
+            vec![],
+            "koff * P1_boundT",
+        )
+        .unwrap()
+        .reaction_full(
+            "tx_P1",
+            vec![],
+            vec![("CI".into(), 1)],
+            vec!["P1".into(), "P1_boundL".into(), "P1_boundT".into()],
+            "ktx * P1 + kleak * (P1_boundL + P1_boundT)",
+        )
+        .unwrap();
+    let builder = degradation(builder, "CI").unwrap();
+    // Stage 2: CI represses the GFP promoter.
+    let builder = promoter_stage(builder, "P2", "CI", "GFP").unwrap();
+    let builder = degradation(builder, "GFP").unwrap();
+    BookCircuit {
+        id: "book_or",
+        description: "mass-action OR: NOR stage producing CI, inverted by a CI-repressed promoter",
+        inputs: vec!["LacI".into(), "TetR".into()],
+        output: "GFP".into(),
+        expected: TruthTable::from_hex(2, 0xE),
+        gate_count: 2,
+        component_count: 9,
+        model: builder.build().unwrap(),
+    }
+}
+
+/// The paper's Figure 1 AND gate.
+///
+/// Promoters `P1` (blocked by LacI) and `P2` (blocked by TetR) both
+/// produce `CI`; `P3` (blocked by CI) produces GFP. GFP is high only
+/// when both inputs are present: `GFP = LacI AND TetR`.
+pub fn and_gate() -> BookCircuit {
+    let builder = base_builder("book_and")
+        .boundary_species("LacI", 0.0)
+        .boundary_species("TetR", 0.0)
+        .species("CI", 0.0)
+        .species("GFP", 0.0);
+    let builder = promoter_stage(builder, "P1", "LacI", "CI").unwrap();
+    let builder = promoter_stage(builder, "P2", "TetR", "CI").unwrap();
+    let builder = degradation(builder, "CI").unwrap();
+    let builder = promoter_stage(builder, "P3", "CI", "GFP").unwrap();
+    let builder = degradation(builder, "GFP").unwrap();
+    BookCircuit {
+        id: "book_and",
+        description: "Figure 1 AND gate: LacI and TetR each block a CI promoter; CI blocks GFP",
+        inputs: vec!["LacI".into(), "TetR".into()],
+        output: "GFP".into(),
+        expected: TruthTable::from_hex(2, 0x8),
+        gate_count: 3,
+        component_count: 12,
+        model: builder.build().unwrap(),
+    }
+}
+
+/// All five book circuits.
+pub fn all() -> Vec<BookCircuit> {
+    vec![not_gate(), nor_gate(), nand_gate(), or_gate(), and_gate()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glc_ssa::CompiledModel;
+
+    /// Stochastic mean output at a combination with inputs at `level`
+    /// (time-averaged over the second half of the run; the exact SSA
+    /// sidesteps the stiffness of the binding reactions that would force
+    /// a tiny ODE step).
+    fn ssa_output(circuit: &BookCircuit, combo: usize, level: f64) -> f64 {
+        let n = circuit.inputs.len();
+        let mut model = circuit.model.clone();
+        for (j, input) in circuit.inputs.iter().enumerate() {
+            let high = (combo >> (n - 1 - j)) & 1 == 1;
+            assert!(model.set_initial_amount(input, if high { level } else { 0.0 }));
+        }
+        let compiled = CompiledModel::new(&model).unwrap();
+        let trace =
+            glc_ssa::simulate(&compiled, &mut glc_ssa::Direct::new(), 1200.0, 1.0, 42)
+                .unwrap();
+        trace.mean(&circuit.output, 600, trace.len())
+    }
+
+    #[test]
+    fn all_five_circuits_build_and_validate() {
+        let circuits = all();
+        assert_eq!(circuits.len(), 5);
+        for circuit in &circuits {
+            assert!(circuit.model.validate().is_ok(), "{}", circuit.id);
+            assert!(circuit.gate_count >= 1 && circuit.gate_count <= 7);
+            assert!(circuit.component_count >= 3 && circuit.component_count <= 26);
+            assert_eq!(circuit.expected.inputs(), circuit.inputs.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_steady_states_match_expected_logic() {
+        // Each circuit's mean behaviour must separate around the
+        // 15-molecule threshold at 15-molecule inputs.
+        for circuit in all() {
+            let n = circuit.inputs.len();
+            for m in 0..1usize << n {
+                let out = ssa_output(&circuit, m, 15.0);
+                if circuit.expected.value(m) {
+                    assert!(
+                        out > 25.0,
+                        "{} combo {m}: {out} should be high",
+                        circuit.id
+                    );
+                } else {
+                    assert!(
+                        out < 12.0,
+                        "{} combo {m}: {out} should be low",
+                        circuit.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn promoter_copy_number_is_conserved() {
+        // Free + bound promoter copies always sum to 1 in the AND model.
+        use glc_ssa::{Direct, Engine, Observer};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let circuit = and_gate();
+        let mut model = circuit.model.clone();
+        model.set_initial_amount("LacI", 15.0);
+        let compiled = CompiledModel::new(&model).unwrap();
+        let p1 = compiled.species_slot("P1").unwrap();
+        let p1b = compiled.species_slot("P1_bound").unwrap();
+        struct Conserve {
+            p1: usize,
+            p1b: usize,
+        }
+        impl Observer for Conserve {
+            fn on_advance(&mut self, _t: f64, values: &[f64]) {
+                assert_eq!(values[self.p1] + values[self.p1b], 1.0);
+            }
+        }
+        let mut state = compiled.initial_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        Direct::new()
+            .run(
+                &compiled,
+                &mut state,
+                300.0,
+                &mut rng,
+                &mut Conserve { p1, p1b },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn sbml_round_trip_of_book_models() {
+        for circuit in all() {
+            let doc = glc_model::sbml::write(&circuit.model);
+            let back = glc_model::sbml::read(&doc).unwrap();
+            assert_eq!(back, circuit.model, "{}", circuit.id);
+        }
+    }
+
+    #[test]
+    fn weak_input_fails_to_repress() {
+        // Figure 5 regime: 3-molecule input barely represses the NOT
+        // gate, leaving the output (wrongly) high.
+        let circuit = not_gate();
+        let out = ssa_output(&circuit, 1, 3.0);
+        assert!(out > 25.0, "weak input should leak: {out}");
+    }
+}

@@ -1,0 +1,226 @@
+//! The 15-circuit evaluation catalog.
+//!
+//! Mirrors the paper's eval set: 5 textbook circuits from Myers [12]
+//! (mass-action models, [`crate::book`]) and 10 Cello circuits from
+//! Nielsen et al. [11] rebuilt from their truth-table hex ids
+//! (Hill-kinetics models synthesized by [`crate::synth`] and compiled by
+//! [`crate::compile`]). The set spans 1–3 inputs, 1–7 logic gates and
+//! roughly 3–26 genetic components, as the paper reports.
+
+use crate::book;
+use crate::compile::compile;
+use crate::netlist::Netlist;
+use crate::parts::structure;
+use crate::synth::synthesize;
+use glc_core::TruthTable;
+use glc_model::Model;
+
+/// Provenance of a catalog circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitKind {
+    /// Mass-action model in the style of Myers' book [12].
+    Book,
+    /// Cello circuit rebuilt from its truth-table hex id [11].
+    Cello {
+        /// The truth-table id (e.g. `0x0B`).
+        hex: u64,
+    },
+}
+
+/// One evaluation circuit with its metadata.
+#[derive(Debug, Clone)]
+pub struct CircuitEntry {
+    /// Unique identifier (`book_and`, `cello_0x0B`, ...).
+    pub id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Provenance.
+    pub kind: CircuitKind,
+    /// Input species names, combination MSB first.
+    pub inputs: Vec<String>,
+    /// Output species name.
+    pub output: String,
+    /// The intended Boolean function.
+    pub expected: TruthTable,
+    /// Logic gate count.
+    pub gate_count: usize,
+    /// Genetic component count.
+    pub component_count: usize,
+    /// The behavioural model.
+    pub model: Model,
+}
+
+/// Cello sensor/input species names by input count.
+fn cello_inputs(n: usize) -> Vec<&'static str> {
+    match n {
+        1 => vec!["IPTG"],
+        2 => vec!["IPTG", "aTc"],
+        3 => vec!["IPTG", "aTc", "Ara"],
+        _ => panic!("Cello circuits have 1..=3 inputs, got {n}"),
+    }
+}
+
+/// Builds a Cello-style circuit from its hex id.
+///
+/// # Panics
+///
+/// Panics if `n` is outside `1..=3`.
+pub fn cello(n: usize, hex: u64) -> CircuitEntry {
+    let table = TruthTable::from_hex(n, hex);
+    let inputs = cello_inputs(n);
+    let netlist: Netlist = synthesize(&table, &inputs, "YFP");
+    let model = compile(&netlist).expect("library netlists always compile");
+    let components = structure(&netlist).component_count();
+    CircuitEntry {
+        id: format!("cello_0x{hex:02X}"),
+        description: format!(
+            "Cello circuit 0x{hex:02X}: {n}-input NOR/NOT circuit ({} gates)",
+            netlist.gate_count()
+        ),
+        kind: CircuitKind::Cello { hex },
+        inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        output: "YFP".to_string(),
+        expected: table,
+        gate_count: netlist.gate_count(),
+        component_count: components,
+        model,
+    }
+}
+
+impl From<book::BookCircuit> for CircuitEntry {
+    fn from(circuit: book::BookCircuit) -> Self {
+        CircuitEntry {
+            id: circuit.id.to_string(),
+            description: circuit.description.to_string(),
+            kind: CircuitKind::Book,
+            inputs: circuit.inputs,
+            output: circuit.output,
+            expected: circuit.expected,
+            gate_count: circuit.gate_count,
+            component_count: circuit.component_count,
+            model: circuit.model,
+        }
+    }
+}
+
+/// The hex ids of the ten Cello circuits in the catalog (the three the
+/// paper plots — 0x0B, 0x04, 0x1C — first).
+pub const CELLO_HEXES: [(usize, u64); 10] = [
+    (3, 0x0B),
+    (3, 0x04),
+    (3, 0x1C),
+    (3, 0x41),
+    (3, 0x70),
+    (3, 0x07),
+    (3, 0xB3),
+    (3, 0xF4),
+    (2, 0x6),
+    (2, 0x8),
+];
+
+/// The full 15-circuit evaluation set (5 book + 10 Cello).
+pub fn all() -> Vec<CircuitEntry> {
+    let mut entries: Vec<CircuitEntry> =
+        book::all().into_iter().map(CircuitEntry::from).collect();
+    entries.extend(CELLO_HEXES.iter().map(|&(n, hex)| cello(n, hex)));
+    entries
+}
+
+/// Looks a circuit up by id.
+pub fn by_id(id: &str) -> Option<CircuitEntry> {
+    all().into_iter().find(|entry| entry.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_fifteen_circuits() {
+        let entries = all();
+        assert_eq!(entries.len(), 15);
+        let books = entries
+            .iter()
+            .filter(|e| e.kind == CircuitKind::Book)
+            .count();
+        assert_eq!(books, 5);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let entries = all();
+        let mut ids: Vec<&str> = entries.iter().map(|e| e.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn metadata_matches_paper_ranges() {
+        for entry in all() {
+            assert!(
+                (1..=3).contains(&entry.inputs.len()),
+                "{}: {} inputs",
+                entry.id,
+                entry.inputs.len()
+            );
+            assert!(
+                (1..=7).contains(&entry.gate_count),
+                "{}: {} gates",
+                entry.id,
+                entry.gate_count
+            );
+            assert!(
+                (3..=26).contains(&entry.component_count),
+                "{}: {} components",
+                entry.id,
+                entry.component_count
+            );
+            assert_eq!(entry.expected.inputs(), entry.inputs.len(), "{}", entry.id);
+            assert!(entry.model.validate().is_ok(), "{}", entry.id);
+        }
+    }
+
+    #[test]
+    fn cello_entries_expose_their_hex() {
+        let entry = by_id("cello_0x0B").unwrap();
+        assert_eq!(entry.kind, CircuitKind::Cello { hex: 0x0B });
+        assert_eq!(entry.expected.to_hex(), 0x0B);
+        assert_eq!(entry.inputs, vec!["IPTG", "aTc", "Ara"]);
+        assert_eq!(entry.output, "YFP");
+    }
+
+    #[test]
+    fn paper_plotted_circuits_lead_the_cello_list() {
+        assert_eq!(CELLO_HEXES[0], (3, 0x0B));
+        assert_eq!(CELLO_HEXES[1], (3, 0x04));
+        assert_eq!(CELLO_HEXES[2], (3, 0x1C));
+    }
+
+    #[test]
+    fn by_id_misses_gracefully() {
+        assert!(by_id("nonexistent").is_none());
+        assert!(by_id("book_and").is_some());
+    }
+
+    #[test]
+    fn models_have_boundary_inputs() {
+        for entry in all() {
+            for input in &entry.inputs {
+                let idx = entry.model.species_id(input).expect("input declared");
+                assert!(
+                    entry.model.species_at(idx).boundary,
+                    "{}: input {input} must be a boundary species",
+                    entry.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3 inputs")]
+    fn cello_rejects_wide_inputs() {
+        let _ = cello(4, 0x0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Compilation of a [`Netlist`] into a behavioural reaction model.
+//!
+//! This is the role the SBOL→SBML converter [14] plays in the paper's
+//! toolchain: turn the structural circuit into reaction kinetics. For
+//! each gate `g` with repressor `R_g`:
+//!
+//! * production `∅ → R_g` at rate `Σ activity(input promoter)` — the
+//!   tandem input promoters transcribe the repressor gene independently
+//!   (free OR), with each promoter's activity given by its Hill
+//!   response;
+//! * degradation `R_g → ∅` at rate `kdeg · R_g`.
+//!
+//! The output protein is produced at the summed activity of the output
+//! drive promoters and degrades the same way. Input species are
+//! boundary species (clamped by the experiment runner).
+
+use crate::library::{self, SensorParams, DEGRADATION_RATE};
+use crate::netlist::{Netlist, Signal};
+use glc_model::{Model, ModelBuilder, ModelError};
+
+/// Species name of gate `g`'s repressor in compiled models.
+pub fn repressor_species(netlist: &Netlist, g: usize) -> String {
+    format!("R_{}", netlist.gates()[g].repressor)
+}
+
+/// Compiles `netlist` into a validated [`Model`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a gate references a repressor missing from
+/// the library (hand-built netlists only; synthesized ones are always
+/// valid).
+pub fn compile(netlist: &Netlist) -> Result<Model, ModelError> {
+    compile_with_sensor(netlist, &SensorParams::default())
+}
+
+/// Compiles with custom input-sensor parameters.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_sensor(
+    netlist: &Netlist,
+    sensor: &SensorParams,
+) -> Result<Model, ModelError> {
+    let mut builder = ModelBuilder::new(format!("netlist_{}", netlist.output_name()));
+
+    for name in netlist.input_names() {
+        builder = builder.boundary_species(name.clone(), 0.0);
+    }
+    for g in 0..netlist.gates().len() {
+        builder = builder.species(repressor_species(netlist, g), 0.0);
+    }
+    builder = builder.species(netlist.output_name().to_string(), 0.0);
+    builder = builder.parameter("kdeg", DEGRADATION_RATE);
+
+    // The promoter-activity expression of a signal.
+    let activity = |signal: &Signal| -> Result<String, ModelError> {
+        Ok(match *signal {
+            Signal::Input(j) => sensor.response.law(&netlist.input_names()[j]),
+            Signal::Gate(g) => {
+                let gate = &netlist.gates()[g];
+                let params = library::repressor(&gate.repressor).ok_or_else(|| {
+                    ModelError::Sbml(format!(
+                        "repressor `{}` not found in the gate library",
+                        gate.repressor
+                    ))
+                })?;
+                params.response.law(&repressor_species(netlist, g))
+            }
+        })
+    };
+
+    for (g, gate) in netlist.gates().iter().enumerate() {
+        let species = repressor_species(netlist, g);
+        let law = gate
+            .inputs
+            .iter()
+            .map(&activity)
+            .collect::<Result<Vec<_>, _>>()?
+            .join(" + ");
+        let modifiers: Vec<String> = gate
+            .inputs
+            .iter()
+            .map(|signal| match *signal {
+                Signal::Input(j) => netlist.input_names()[j].clone(),
+                Signal::Gate(h) => repressor_species(netlist, h),
+            })
+            .collect();
+        builder = builder
+            .reaction_full(
+                format!("prod_{species}"),
+                vec![],
+                vec![(species.clone(), 1)],
+                modifiers,
+                &law,
+            )?
+            .reaction(
+                format!("deg_{species}"),
+                &[species.as_str()],
+                &[],
+                &format!("kdeg * {species}"),
+            )?;
+    }
+
+    // Output gene: wired-OR of the drive promoters.
+    let output = netlist.output_name().to_string();
+    let mut drive_laws: Vec<String> = Vec::new();
+    let mut modifiers: Vec<String> = Vec::new();
+    if netlist.is_constitutive() {
+        // A constitutive promoter at a typical fully-on activity.
+        drive_laws.push("3.0".to_string());
+    }
+    for signal in netlist.outputs() {
+        drive_laws.push(activity(signal)?);
+        modifiers.push(match *signal {
+            Signal::Input(j) => netlist.input_names()[j].clone(),
+            Signal::Gate(g) => repressor_species(netlist, g),
+        });
+    }
+    if !drive_laws.is_empty() {
+        builder = builder.reaction_full(
+            format!("prod_{output}"),
+            vec![],
+            vec![(output.clone(), 1)],
+            modifiers,
+            &drive_laws.join(" + "),
+        )?;
+    }
+    builder = builder.reaction(
+        format!("deg_{output}"),
+        &[output.as_str()],
+        &[],
+        &format!("kdeg * {output}"),
+    )?;
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+    use glc_core::TruthTable;
+    use glc_ssa::ode;
+    use glc_ssa::CompiledModel;
+
+    fn compile_hex(n: usize, hex: u64) -> (Netlist, Model) {
+        let table = TruthTable::from_hex(n, hex);
+        let names: Vec<String> = (0..n).map(|j| format!("I{j}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let netlist = synthesize(&table, &name_refs, "OUT");
+        let model = compile(&netlist).unwrap();
+        (netlist, model)
+    }
+
+    /// Deterministic steady-state output amount at a given input combo.
+    fn ode_output(model: &Model, n: usize, combo: usize, level: f64) -> f64 {
+        let mut model = model.clone();
+        for j in 0..n {
+            let high = (combo >> (n - 1 - j)) & 1 == 1;
+            assert!(model.set_initial_amount(&format!("I{j}"), if high { level } else { 0.0 }));
+        }
+        let compiled = CompiledModel::new(&model).unwrap();
+        let trace = ode::integrate(&compiled, 600.0, 0.1, 50.0).unwrap();
+        *trace.series("OUT").unwrap().last().unwrap()
+    }
+
+    #[test]
+    fn compiled_model_structure() {
+        let (netlist, model) = compile_hex(2, 0x8); // AND
+        // Species: 2 inputs + 3 repressors + OUT.
+        assert_eq!(model.species().len(), 2 + netlist.gate_count() + 1);
+        assert!(model.species()[0].boundary);
+        assert!(!model.species()[2].boundary);
+        // Reactions: 2 per gate + production + degradation of OUT.
+        assert_eq!(model.reactions().len(), 2 * netlist.gate_count() + 2);
+    }
+
+    #[test]
+    fn and_gate_steady_states_separate_cleanly() {
+        let (_, model) = compile_hex(2, 0x8);
+        // Inputs applied at the paper's 15-molecule level.
+        let low_combos = [0b00, 0b01, 0b10];
+        for combo in low_combos {
+            let out = ode_output(&model, 2, combo, 15.0);
+            assert!(out < 10.0, "combo {combo:02b}: OUT = {out} should be low");
+        }
+        let out = ode_output(&model, 2, 0b11, 15.0);
+        assert!(out > 30.0, "combo 11: OUT = {out} should be high");
+    }
+
+    #[test]
+    fn all_paper_hexes_separate_at_threshold_inputs() {
+        // Deterministic check that every catalog function's compiled
+        // model puts highs above and lows below the 15-molecule
+        // threshold with margin.
+        for (n, hex) in [
+            (3usize, 0x0Bu64),
+            (3, 0x04),
+            (3, 0x1C),
+            (3, 0x41),
+            (3, 0x70),
+            (2, 0x6),
+            (2, 0x8),
+        ] {
+            let table = TruthTable::from_hex(n, hex);
+            let (_, model) = compile_hex(n, hex);
+            for m in 0..1usize << n {
+                let out = ode_output(&model, n, m, 15.0);
+                if table.value(m) {
+                    assert!(out > 25.0, "0x{hex:X} combo {m}: {out} should be high");
+                } else {
+                    assert!(out < 10.0, "0x{hex:X} combo {m}: {out} should be low");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_inputs_fail_to_actuate() {
+        // The Figure 5 threshold-3 regime: inputs too weak to trigger.
+        let (_, model) = compile_hex(1, 0x1); // NOT gate
+        let out_high_input = ode_output(&model, 1, 1, 3.0);
+        // With a 3-molecule input the sensor barely activates, the
+        // inverter stays open, and the output remains high — the wrong
+        // answer, as the paper observes.
+        assert!(
+            out_high_input > 15.0,
+            "OUT = {out_high_input}: weak input should fail to repress"
+        );
+    }
+
+    #[test]
+    fn unknown_repressor_is_reported() {
+        use crate::netlist::{Gate, Netlist, Signal};
+        let netlist = Netlist::new(
+            vec!["A".into()],
+            "Y",
+            vec![Gate {
+                repressor: "Mystery".into(),
+                inputs: vec![Signal::Input(0)],
+            }],
+            vec![Signal::Gate(0)],
+            false,
+        )
+        .unwrap();
+        let err = compile(&netlist).unwrap_err();
+        assert!(err.to_string().contains("Mystery"));
+    }
+
+    #[test]
+    fn constitutive_netlist_produces_constantly() {
+        let (_, model) = compile_hex(1, 0x3); // constant true
+        let out = ode_output(&model, 1, 0, 15.0);
+        assert!(out > 30.0, "constitutive OUT = {out}");
+    }
+
+    #[test]
+    fn contradiction_netlist_produces_nothing() {
+        let (_, model) = compile_hex(1, 0x0);
+        let out = ode_output(&model, 1, 1, 15.0);
+        assert!(out < 1.0, "silent OUT = {out}");
+    }
+
+    #[test]
+    fn sbml_round_trip_of_compiled_model() {
+        let (_, model) = compile_hex(3, 0x0B);
+        let doc = glc_model::sbml::write(&model);
+        let back = glc_model::sbml::read(&doc).unwrap();
+        assert_eq!(back, model);
+    }
+}

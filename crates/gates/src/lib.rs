@@ -1,0 +1,59 @@
+//! Genetic gate library, netlists, synthesis and the evaluation-circuit
+//! catalog.
+//!
+//! The paper evaluates its algorithm on 15 genetic circuits: 10 real
+//! circuits from Cello (Nielsen et al., *Science* 2016 [11], named by the
+//! hex id of their truth table, e.g. `0x0B`) and 5 textbook circuits from
+//! Myers' *Engineering Genetic Circuits* [12]. The original SBOL/SBML
+//! files are not redistributable, so this crate rebuilds the circuits
+//! from their specifications (see `DESIGN.md` for the substitution
+//! argument):
+//!
+//! * [`response`] — Hill response functions of repressor gates and input
+//!   sensors;
+//! * [`library`] — a Cello-style repressor library (PhlF, SrpR, …) with
+//!   distinct response parameters;
+//! * [`netlist`] — NOT/NOR netlists over input sensors, with free
+//!   wired-OR at the output (tandem promoters), exactly the gate model
+//!   Cello synthesizes to;
+//! * [`synth`] — truth table → minimized SOP (Quine–McCluskey from
+//!   `glc-core`) → NOR/NOT netlist;
+//! * [`compile`] — netlist → behavioural [`glc_model::Model`]
+//!   (production with Hill propensities, first-order degradation);
+//! * [`parts`] — SBOL-like structural view (promoters, RBS, CDS,
+//!   terminators) used for the paper's "3–26 genetic components" counts;
+//! * [`book`] — the 5 mass-action textbook circuits (explicit
+//!   promoter–repressor binding), including Figure 1's AND gate;
+//! * [`catalog`] — the full 15-circuit evaluation set with metadata.
+//!
+//! # Example
+//!
+//! ```
+//! use glc_gates::synth::synthesize;
+//! use glc_gates::compile::compile;
+//! use glc_core::TruthTable;
+//!
+//! // Rebuild Cello circuit 0x0B and compile it to a reaction model.
+//! let table = TruthTable::from_hex(3, 0x0B);
+//! let netlist = synthesize(&table, &["A", "B", "C"], "YFP");
+//! assert!(netlist.gate_count() <= 7);
+//! let model = compile(&netlist).unwrap();
+//! assert!(!model.reactions().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod book;
+pub mod catalog;
+pub mod compile;
+pub mod library;
+pub mod netlist;
+pub mod parts;
+pub mod response;
+pub mod sbol;
+pub mod synth;
+
+pub use catalog::{CircuitEntry, CircuitKind};
+pub use library::{GateParams, SensorParams, DEGRADATION_RATE};
+pub use netlist::{Netlist, Signal};

@@ -1,0 +1,150 @@
+//! The repressor gate library.
+//!
+//! Twelve repressors modelled on the Cello gate library (Nielsen et al.
+//! 2016, Table S5): PhlF, SrpR, BM3R1, … Each has a distinct Hill
+//! response. The published parameters are in RPU (relative promoter
+//! units); this reproduction rescales them to molecule-count units such
+//! that a fully-on promoter sustains a steady state of ~50–75 molecules
+//! against the shared degradation rate — comfortably above the paper's
+//! 15-molecule threshold — while a fully-repressed one sustains ~1–3.
+//! The rescaling is a documented substitution (`DESIGN.md` §7).
+
+use crate::response::{Activation, Repression};
+use serde::{Deserialize, Serialize};
+
+/// Shared first-order degradation rate of every protein (1/t.u.).
+///
+/// With production rates `ymax ∈ [2.4, 3.8]` this puts fully-on steady
+/// states at `ymax / DEGRADATION_RATE ∈ [48, 76]` molecules.
+pub const DEGRADATION_RATE: f64 = 0.05;
+
+/// A library repressor gate: name plus response parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateParams {
+    /// Repressor name (also used to derive species identifiers).
+    pub name: String,
+    /// Response of the gate's cognate promoter to the repressor.
+    pub response: Repression,
+}
+
+/// An input sensor: promoter activity rises with the input amount
+/// (e.g. pTac responding to IPTG).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorParams {
+    /// Response of the sensor promoter to the input species.
+    pub response: Activation,
+}
+
+impl Default for SensorParams {
+    fn default() -> Self {
+        SensorParams {
+            response: Activation {
+                ymax: 3.0,
+                ymin: 0.03,
+                k: 7.0,
+                n: 2.8,
+            },
+        }
+    }
+}
+
+/// The twelve library repressors, in assignment order.
+///
+/// Parameters are distinct per repressor (as in the real library) so
+/// cascaded gates don't behave identically.
+pub fn repressors() -> Vec<GateParams> {
+    let raw: [(&str, f64, f64, f64, f64); 12] = [
+        // (name, ymax, ymin, K, n)
+        ("PhlF", 3.8, 0.06, 8.0, 3.9),
+        ("SrpR", 2.9, 0.07, 7.0, 2.9),
+        ("BM3R1", 2.6, 0.10, 6.5, 3.4),
+        ("QacR", 3.2, 0.15, 9.0, 2.7),
+        ("AmtR", 2.8, 0.08, 7.5, 2.8),
+        ("LitR", 3.0, 0.12, 8.5, 2.6),
+        ("BetI", 2.7, 0.09, 7.8, 3.1),
+        ("HlyIIR", 2.5, 0.07, 6.8, 3.2),
+        ("IcaRA", 2.4, 0.10, 7.2, 2.5),
+        ("PsrA", 3.1, 0.11, 8.2, 2.9),
+        ("LmrA", 2.6, 0.08, 7.0, 3.0),
+        ("AmeR", 2.9, 0.13, 8.8, 2.7),
+    ];
+    raw.iter()
+        .map(|&(name, ymax, ymin, k, n)| GateParams {
+            name: name.to_string(),
+            response: Repression { ymax, ymin, k, n },
+        })
+        .collect()
+}
+
+/// Looks up a repressor by name.
+pub fn repressor(name: &str) -> Option<GateParams> {
+    repressors().into_iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_distinct_repressors() {
+        let lib = repressors();
+        assert_eq!(lib.len(), 12);
+        let mut names: Vec<&str> = lib.iter().map(|g| g.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "names must be unique");
+    }
+
+    #[test]
+    fn steady_states_bracket_the_threshold() {
+        // Every gate's fully-on steady state must sit well above the
+        // paper's 15-molecule threshold and the fully-repressed state
+        // well below it.
+        for gate in repressors() {
+            let on = gate.response.ymax / DEGRADATION_RATE;
+            let off = gate.response.ymin / DEGRADATION_RATE;
+            assert!(on > 40.0, "{}: on state {on} too low", gate.name);
+            assert!(off < 5.0, "{}: off state {off} too high", gate.name);
+        }
+    }
+
+    #[test]
+    fn gates_switch_decisively_at_upstream_levels() {
+        // Driven by another gate's fully-on steady state (~50+), each
+        // promoter must be nearly fully repressed; at an off state (~3)
+        // nearly fully open.
+        for gate in repressors() {
+            let repressed = gate.response.activity(50.0);
+            let open = gate.response.activity(3.0);
+            assert!(
+                repressed < 0.2 * gate.response.ymax,
+                "{} not repressed at 50 molecules",
+                gate.name
+            );
+            assert!(
+                open > 0.7 * gate.response.ymax,
+                "{} not open at 3 molecules",
+                gate.name
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_discriminates_threshold_inputs() {
+        // At the paper's applied input of 15 molecules the sensor should
+        // be mostly on; at 3 molecules mostly off (the Figure 5
+        // "too weak to trigger" regime).
+        let sensor = SensorParams::default();
+        let at_15 = sensor.response.activity(15.0);
+        let at_3 = sensor.response.activity(3.0);
+        assert!(at_15 > 0.8 * sensor.response.ymax, "at 15: {at_15}");
+        assert!(at_3 < 0.15 * sensor.response.ymax, "at 3: {at_3}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(repressor("PhlF").is_some());
+        assert!(repressor("SrpR").is_some());
+        assert!(repressor("NoSuchGate").is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! NOT/NOR netlists over input sensors.
+//!
+//! The gate model mirrors what Cello synthesizes to, with signals being
+//! *promoter activities*:
+//!
+//! * an **input sensor** is a promoter whose activity follows the input
+//!   species (high input ⇒ active promoter);
+//! * every logic gate is a **NOR**: the gate's repressor gene is
+//!   transcribed from tandem copies of its input promoters (free OR),
+//!   and the repressor shuts its own cognate promoter (inversion), so
+//!   the gate's output promoter activity is `NOR(inputs)`; fan-in 1 is a
+//!   NOT;
+//! * the circuit **output gene** is transcribed from tandem copies of
+//!   one promoter per output drive (free wired-OR), optionally plus a
+//!   constitutive promoter. A drive is a plain signal, so the output
+//!   stage adds no gate.
+
+use glc_core::TruthTable;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signal source: an input sensor or a gate's output promoter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Input sensor `j` (promoter activity follows input species `j`).
+    Input(usize),
+    /// Cognate promoter of gate `g`.
+    Gate(usize),
+}
+
+/// One NOR gate (fan-in 1 behaves as NOT).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Library repressor assigned to this gate.
+    pub repressor: String,
+    /// Signals OR-ed at the gate's tandem input promoters.
+    pub inputs: Vec<Signal>,
+}
+
+impl Gate {
+    /// Whether this gate is an inverter (fan-in 1).
+    pub fn is_not(&self) -> bool {
+        self.inputs.len() == 1
+    }
+}
+
+/// A validated NOT/NOR netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    input_names: Vec<String>,
+    output_name: String,
+    gates: Vec<Gate>,
+    /// Promoters transcribing the output gene (wired-OR of signals).
+    outputs: Vec<Signal>,
+    /// Whether a constitutive promoter additionally drives the output
+    /// (used only for the constant-true function).
+    constitutive: bool,
+}
+
+/// Error constructing a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate or output drive references an input index out of range.
+    BadInput {
+        /// Index of the referencing gate (`None` = an output drive).
+        gate: Option<usize>,
+        /// The out-of-range input index.
+        input: usize,
+    },
+    /// A gate references itself or a later gate (must be feed-forward).
+    NotFeedForward {
+        /// Index of the offending gate.
+        gate: usize,
+        /// The referenced gate index.
+        referenced: usize,
+    },
+    /// An output drive references a gate that does not exist.
+    BadOutputRef(usize),
+    /// A gate has no inputs.
+    EmptyGate(usize),
+    /// No inputs were declared.
+    NoInputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadInput { gate, input } => match gate {
+                Some(g) => write!(f, "gate {g} references unknown input {input}"),
+                None => write!(f, "output drive references unknown input {input}"),
+            },
+            NetlistError::NotFeedForward { gate, referenced } => write!(
+                f,
+                "gate {gate} references gate {referenced}; netlists must be feed-forward"
+            ),
+            NetlistError::BadOutputRef(g) => {
+                write!(f, "output drive references unknown gate {g}")
+            }
+            NetlistError::EmptyGate(g) => write!(f, "gate {g} has no inputs"),
+            NetlistError::NoInputs => f.write_str("netlist has no inputs"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl Netlist {
+    /// Builds and validates a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if signal references are out of range,
+    /// the gate graph is not feed-forward, or a gate is empty.
+    pub fn new(
+        input_names: Vec<String>,
+        output_name: impl Into<String>,
+        gates: Vec<Gate>,
+        outputs: Vec<Signal>,
+        constitutive: bool,
+    ) -> Result<Self, NetlistError> {
+        if input_names.is_empty() {
+            return Err(NetlistError::NoInputs);
+        }
+        let n = input_names.len();
+        for (g, gate) in gates.iter().enumerate() {
+            if gate.inputs.is_empty() {
+                return Err(NetlistError::EmptyGate(g));
+            }
+            for signal in &gate.inputs {
+                match *signal {
+                    Signal::Input(j) if j >= n => {
+                        return Err(NetlistError::BadInput {
+                            gate: Some(g),
+                            input: j,
+                        })
+                    }
+                    Signal::Gate(h) if h >= g => {
+                        return Err(NetlistError::NotFeedForward {
+                            gate: g,
+                            referenced: h,
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for signal in &outputs {
+            match *signal {
+                Signal::Input(j) if j >= n => {
+                    return Err(NetlistError::BadInput {
+                        gate: None,
+                        input: j,
+                    })
+                }
+                Signal::Gate(h) if h >= gates.len() => {
+                    return Err(NetlistError::BadOutputRef(h))
+                }
+                _ => {}
+            }
+        }
+        Ok(Netlist {
+            input_names,
+            output_name: output_name.into(),
+            gates,
+            outputs,
+            constitutive,
+        })
+    }
+
+    /// Input species names (combination MSB first).
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output species name.
+    pub fn output_name(&self) -> &str {
+        &self.output_name
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// The logic gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Signals whose promoters drive the output gene.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Whether a constitutive promoter drives the output.
+    pub fn is_constitutive(&self) -> bool {
+        self.constitutive
+    }
+
+    /// Number of logic gates (the count the paper reports as "1–7
+    /// genetic logic gates"; sensors and the output stage are free).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Evaluates the netlist at input combination `m` (paper convention:
+    /// input 0 is the MSB of `m`).
+    pub fn eval_combo(&self, m: usize) -> bool {
+        let n = self.inputs();
+        let mut gate_values: Vec<bool> = Vec::with_capacity(self.gates.len());
+        let value_of = |signal: &Signal, gate_values: &[bool]| -> bool {
+            match *signal {
+                Signal::Input(j) => (m >> (n - 1 - j)) & 1 == 1,
+                Signal::Gate(g) => gate_values[g],
+            }
+        };
+        for gate in &self.gates {
+            let any_high = gate
+                .inputs
+                .iter()
+                .any(|signal| value_of(signal, &gate_values));
+            gate_values.push(!any_high); // NOR
+        }
+        self.constitutive
+            || self
+                .outputs
+                .iter()
+                .any(|signal| value_of(signal, &gate_values))
+    }
+
+    /// The complete Boolean function of the netlist.
+    pub fn truth_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.inputs(), |m| self.eval_combo(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Hand-built Figure 1 AND gate: two inverters feeding a NOR whose
+    /// promoter drives GFP.
+    fn and_gate() -> Netlist {
+        Netlist::new(
+            names(&["LacI", "TetR"]),
+            "GFP",
+            vec![
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Input(0)],
+                },
+                Gate {
+                    repressor: "SrpR".into(),
+                    inputs: vec![Signal::Input(1)],
+                },
+                Gate {
+                    repressor: "BM3R1".into(),
+                    inputs: vec![Signal::Gate(0), Signal::Gate(1)],
+                },
+            ],
+            vec![Signal::Gate(2)],
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn and_gate_truth_table_and_count() {
+        let netlist = and_gate();
+        assert_eq!(netlist.truth_table().to_hex(), 0x8);
+        assert_eq!(netlist.gate_count(), 3); // matches the paper's Fig. 1
+        assert!(netlist.gates()[0].is_not());
+        assert!(!netlist.gates()[2].is_not());
+    }
+
+    #[test]
+    fn single_nor_gate() {
+        let netlist = Netlist::new(
+            names(&["A", "B"]),
+            "Y",
+            vec![Gate {
+                repressor: "PhlF".into(),
+                inputs: vec![Signal::Input(0), Signal::Input(1)],
+            }],
+            vec![Signal::Gate(0)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(netlist.truth_table().to_hex(), 0x1);
+        assert_eq!(netlist.gate_count(), 1);
+    }
+
+    #[test]
+    fn nand_is_wired_or_of_two_inverters() {
+        let netlist = Netlist::new(
+            names(&["A", "B"]),
+            "Y",
+            vec![
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Input(0)],
+                },
+                Gate {
+                    repressor: "SrpR".into(),
+                    inputs: vec![Signal::Input(1)],
+                },
+            ],
+            vec![Signal::Gate(0), Signal::Gate(1)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(netlist.truth_table().to_hex(), 0x7);
+        assert_eq!(netlist.gate_count(), 2);
+    }
+
+    #[test]
+    fn buffer_is_a_zero_gate_wire() {
+        let netlist =
+            Netlist::new(names(&["A"]), "Y", vec![], vec![Signal::Input(0)], false).unwrap();
+        assert_eq!(netlist.truth_table().to_hex(), 0x2);
+        assert_eq!(netlist.gate_count(), 0);
+    }
+
+    #[test]
+    fn constitutive_output_is_tautology() {
+        let netlist = Netlist::new(names(&["A"]), "Y", vec![], vec![], true).unwrap();
+        assert!(netlist.truth_table().is_tautology());
+    }
+
+    #[test]
+    fn no_drive_is_contradiction() {
+        let netlist = Netlist::new(names(&["A"]), "Y", vec![], vec![], false).unwrap();
+        assert!(netlist.truth_table().is_contradiction());
+    }
+
+    #[test]
+    fn validation_catches_bad_references() {
+        assert_eq!(
+            Netlist::new(vec![], "Y", vec![], vec![], false),
+            Err(NetlistError::NoInputs)
+        );
+        assert!(matches!(
+            Netlist::new(
+                names(&["A"]),
+                "Y",
+                vec![Gate {
+                    repressor: "X".into(),
+                    inputs: vec![Signal::Input(1)],
+                }],
+                vec![],
+                false,
+            ),
+            Err(NetlistError::BadInput { .. })
+        ));
+        assert!(matches!(
+            Netlist::new(
+                names(&["A"]),
+                "Y",
+                vec![Gate {
+                    repressor: "X".into(),
+                    inputs: vec![Signal::Gate(0)],
+                }],
+                vec![],
+                false,
+            ),
+            Err(NetlistError::NotFeedForward { .. })
+        ));
+        assert!(matches!(
+            Netlist::new(names(&["A"]), "Y", vec![], vec![Signal::Gate(3)], false),
+            Err(NetlistError::BadOutputRef(3))
+        ));
+        assert!(matches!(
+            Netlist::new(
+                names(&["A"]),
+                "Y",
+                vec![Gate {
+                    repressor: "X".into(),
+                    inputs: vec![],
+                }],
+                vec![],
+                false,
+            ),
+            Err(NetlistError::EmptyGate(0))
+        ));
+    }
+
+    #[test]
+    fn cascaded_inverters_make_a_buffer() {
+        let netlist = Netlist::new(
+            names(&["A"]),
+            "Y",
+            vec![
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Input(0)],
+                },
+                Gate {
+                    repressor: "SrpR".into(),
+                    inputs: vec![Signal::Gate(0)],
+                },
+            ],
+            vec![Signal::Gate(1)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(netlist.truth_table().to_hex(), 0x2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NetlistError::NoInputs.to_string().contains("no inputs"));
+        assert!(NetlistError::BadOutputRef(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,190 @@
+//! Hill response functions of genetic gates and input sensors.
+//!
+//! A repressor gate's steady-state behaviour is captured by the Hill
+//! repression response
+//!
+//! ```text
+//! y(x) = ymin + (ymax − ymin) · K^n / (K^n + x^n)
+//! ```
+//!
+//! where `x` is the repressor amount, `ymax`/`ymin` the un-/fully
+//! repressed promoter activity (production rate), `K` the switch point
+//! and `n` the cooperativity (Nielsen et al. 2016, Fig. 2). An input
+//! sensor uses the activation form: promoter activity rises with the
+//! input amount.
+
+use serde::{Deserialize, Serialize};
+
+/// Hill *repression* response of a gate's cognate promoter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Repression {
+    /// Activity with no repressor bound (production rate, molecules/t.u.).
+    pub ymax: f64,
+    /// Activity at full repression (the leak).
+    pub ymin: f64,
+    /// Repressor amount at half-repression (molecules).
+    pub k: f64,
+    /// Hill coefficient (cooperativity).
+    pub n: f64,
+}
+
+impl Repression {
+    /// Steady-state activity at repressor amount `x`.
+    pub fn activity(&self, x: f64) -> f64 {
+        let kn = self.k.powf(self.n);
+        self.ymin + (self.ymax - self.ymin) * kn / (kn + x.max(0.0).powf(self.n))
+    }
+
+    /// The kinetic-law fragment for this response applied to species
+    /// `species` (parsable by `glc-model`).
+    pub fn law(&self, species: &str) -> String {
+        format!(
+            "{} + {} * hillr({species}, {}, {})",
+            fmt(self.ymin),
+            fmt(self.ymax - self.ymin),
+            fmt(self.k),
+            fmt(self.n)
+        )
+    }
+
+    /// Like [`Repression::law`] but for a promoter repressed by the *sum*
+    /// of several species (a multi-input NOR promoter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is empty.
+    pub fn law_sum(&self, species: &[&str]) -> String {
+        assert!(!species.is_empty(), "at least one repressor required");
+        if species.len() == 1 {
+            return self.law(species[0]);
+        }
+        format!(
+            "{} + {} * hillr({}, {}, {})",
+            fmt(self.ymin),
+            fmt(self.ymax - self.ymin),
+            species.join(" + "),
+            fmt(self.k),
+            fmt(self.n)
+        )
+    }
+}
+
+/// Hill *activation* response of an input sensor promoter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Activation {
+    /// Activity at saturating input.
+    pub ymax: f64,
+    /// Activity with no input (the leak).
+    pub ymin: f64,
+    /// Input amount at half-activation (molecules).
+    pub k: f64,
+    /// Hill coefficient.
+    pub n: f64,
+}
+
+impl Activation {
+    /// Steady-state activity at input amount `x`.
+    pub fn activity(&self, x: f64) -> f64 {
+        let xn = x.max(0.0).powf(self.n);
+        self.ymin + (self.ymax - self.ymin) * xn / (self.k.powf(self.n) + xn)
+    }
+
+    /// The kinetic-law fragment for this response applied to `species`.
+    pub fn law(&self, species: &str) -> String {
+        format!(
+            "{} + {} * hilla({species}, {}, {})",
+            fmt(self.ymin),
+            fmt(self.ymax - self.ymin),
+            fmt(self.k),
+            fmt(self.n)
+        )
+    }
+}
+
+/// Formats a parameter without trailing zeros (keeps kinetic laws
+/// readable and round-trippable).
+fn fmt(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glc_model::Expr;
+    use std::collections::HashMap;
+
+    const REP: Repression = Repression {
+        ymax: 3.8,
+        ymin: 0.06,
+        k: 8.0,
+        n: 3.9,
+    };
+
+    const ACT: Activation = Activation {
+        ymax: 3.0,
+        ymin: 0.03,
+        k: 7.0,
+        n: 2.8,
+    };
+
+    #[test]
+    fn repression_limits() {
+        assert!((REP.activity(0.0) - REP.ymax).abs() < 1e-9);
+        assert!((REP.activity(1e6) - REP.ymin).abs() < 1e-6);
+        let half = REP.activity(REP.k);
+        assert!((half - (REP.ymax + REP.ymin) / 2.0).abs() < 1e-9);
+        // Monotone decreasing.
+        assert!(REP.activity(5.0) > REP.activity(10.0));
+    }
+
+    #[test]
+    fn activation_limits() {
+        assert!((ACT.activity(0.0) - ACT.ymin).abs() < 1e-9);
+        assert!((ACT.activity(1e6) - ACT.ymax).abs() < 1e-4);
+        assert!(ACT.activity(10.0) > ACT.activity(5.0));
+    }
+
+    #[test]
+    fn laws_parse_and_match_activity() {
+        let law = Expr::parse(&REP.law("R")).unwrap();
+        for x in [0.0, 2.0, 8.0, 30.0, 100.0] {
+            let mut env = HashMap::new();
+            env.insert("R".to_string(), x);
+            let from_law = law.eval(&env).unwrap();
+            assert!(
+                (from_law - REP.activity(x)).abs() < 1e-9,
+                "x = {x}: law {from_law} vs activity {}",
+                REP.activity(x)
+            );
+        }
+        let law = Expr::parse(&ACT.law("I")).unwrap();
+        let mut env = HashMap::new();
+        env.insert("I".to_string(), 15.0);
+        assert!((law.eval(&env).unwrap() - ACT.activity(15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn law_sum_adds_repressors() {
+        let law = Expr::parse(&REP.law_sum(&["R1", "R2"])).unwrap();
+        let mut env = HashMap::new();
+        env.insert("R1".to_string(), 4.0);
+        env.insert("R2".to_string(), 4.0);
+        assert!((law.eval(&env).unwrap() - REP.activity(8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repressor")]
+    fn law_sum_rejects_empty() {
+        let _ = REP.law_sum(&[]);
+    }
+
+    #[test]
+    fn negative_amounts_clamp() {
+        assert_eq!(REP.activity(-5.0), REP.activity(0.0));
+        assert_eq!(ACT.activity(-5.0), ACT.activity(0.0));
+    }
+}

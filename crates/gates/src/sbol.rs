@@ -1,0 +1,440 @@
+//! SBOL-subset structural interchange and the SBOL→model converter.
+//!
+//! The paper's circuits arrive as SBOL files from Cello: SBOL describes
+//! *structure* (components and their regulatory interactions) but not
+//! behaviour, so the authors run them through the SBOL→SBML converter of
+//! Roehner et al. [14] before simulation. This module reproduces that
+//! leg of the toolchain with an SBOL-flavoured subset:
+//!
+//! * a `moduleDefinition` lists `functionalComponent`s with roles
+//!   (`input`, `repressor`, `output`) and the regulatory `interaction`s
+//!   between them — `inhibition` (a repressor represses a promoter
+//!   transcribing the target) and `stimulation` (an input sensor
+//!   promoter transcribes the target);
+//! * [`write`] serializes a [`Netlist`]; [`read`] reconstructs the
+//!   netlist (re-deriving gate topological order from the interaction
+//!   graph); [`convert`] goes straight to a behavioural
+//!   [`glc_model::Model`], the exact role of [14].
+
+use crate::netlist::{Gate, Netlist, Signal};
+use glc_model::sbml::xml::{self, Element};
+use glc_model::Model;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+const SBOL_NS: &str = "http://sbols.org/v2#";
+
+/// Error reading an SBOL-subset document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SbolError {
+    /// Malformed XML or missing required structure.
+    Malformed(String),
+    /// An interaction references an undeclared component.
+    UnknownComponent(String),
+    /// The repression graph has a cycle — only feed-forward circuits
+    /// are supported (matching [`Netlist`] semantics).
+    Cyclic,
+    /// The netlist failed validation after reconstruction.
+    Invalid(String),
+}
+
+impl fmt::Display for SbolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbolError::Malformed(msg) => write!(f, "malformed SBOL document: {msg}"),
+            SbolError::UnknownComponent(name) => {
+                write!(f, "interaction references undeclared component `{name}`")
+            }
+            SbolError::Cyclic => f.write_str("repression graph is cyclic (not feed-forward)"),
+            SbolError::Invalid(msg) => write!(f, "reconstructed netlist invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SbolError {}
+
+/// Serializes a netlist as an SBOL-subset document.
+///
+/// # Panics
+///
+/// Panics if two gates share a repressor name (library-synthesized
+/// netlists never do).
+pub fn write(netlist: &Netlist) -> String {
+    let mut repressors = BTreeSet::new();
+    for gate in netlist.gates() {
+        assert!(
+            repressors.insert(gate.repressor.as_str()),
+            "duplicate repressor `{}` cannot be serialized",
+            gate.repressor
+        );
+    }
+
+    let mut module = Element::new("moduleDefinition")
+        .attr("id", format!("circuit_{}", netlist.output_name()));
+
+    for name in netlist.input_names() {
+        module.children.push(
+            Element::new("functionalComponent")
+                .attr("id", name.clone())
+                .attr("role", "input"),
+        );
+    }
+    for gate in netlist.gates() {
+        module.children.push(
+            Element::new("functionalComponent")
+                .attr("id", gate.repressor.clone())
+                .attr("role", "repressor"),
+        );
+    }
+    let mut output = Element::new("functionalComponent")
+        .attr("id", netlist.output_name())
+        .attr("role", "output");
+    if netlist.is_constitutive() {
+        output = output.attr("constitutive", "true");
+    }
+    module.children.push(output);
+
+    let push_interaction = |module: &mut Element, signal: &Signal, target: &str| {
+        let (kind, source) = match *signal {
+            Signal::Input(j) => ("stimulation", netlist.input_names()[j].clone()),
+            Signal::Gate(g) => ("inhibition", netlist.gates()[g].repressor.clone()),
+        };
+        module.children.push(
+            Element::new("interaction")
+                .attr("type", kind)
+                .attr("participant", source)
+                .attr("target", target),
+        );
+    };
+
+    for gate in netlist.gates() {
+        for signal in &gate.inputs {
+            push_interaction(&mut module, signal, &gate.repressor);
+        }
+    }
+    for signal in netlist.outputs() {
+        push_interaction(&mut module, signal, netlist.output_name());
+    }
+
+    let root = Element::new("sbol").attr("xmlns", SBOL_NS).child(module);
+    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", root.to_xml())
+}
+
+/// Parses an SBOL-subset document back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`SbolError`] for malformed documents, dangling component
+/// references, or cyclic repression graphs.
+pub fn read(document: &str) -> Result<Netlist, SbolError> {
+    let root = xml::parse(document).map_err(|e| SbolError::Malformed(e.to_string()))?;
+    if root.name != "sbol" {
+        return Err(SbolError::Malformed(format!(
+            "expected root `sbol`, found `{}`",
+            root.name
+        )));
+    }
+    let module = root
+        .find("moduleDefinition")
+        .ok_or_else(|| SbolError::Malformed("missing `moduleDefinition`".into()))?;
+
+    let mut input_names: Vec<String> = Vec::new();
+    let mut repressor_names: Vec<String> = Vec::new();
+    let mut output_name: Option<String> = None;
+    let mut constitutive = false;
+    for component in module.find_all("functionalComponent") {
+        let id = component
+            .attribute("id")
+            .ok_or_else(|| SbolError::Malformed("component without id".into()))?
+            .to_string();
+        match component.attribute("role") {
+            Some("input") => input_names.push(id),
+            Some("repressor") => repressor_names.push(id),
+            Some("output") => {
+                constitutive = component.attribute("constitutive") == Some("true");
+                if output_name.replace(id).is_some() {
+                    return Err(SbolError::Malformed("multiple outputs".into()));
+                }
+            }
+            other => {
+                return Err(SbolError::Malformed(format!(
+                    "component `{id}` has unsupported role {other:?}"
+                )))
+            }
+        }
+    }
+    let output_name =
+        output_name.ok_or_else(|| SbolError::Malformed("no output component".into()))?;
+
+    // Collect incoming signals per target.
+    #[derive(Debug, Clone, Copy)]
+    enum Source {
+        Input(usize),
+        Repressor(usize),
+    }
+    let input_index: BTreeMap<&str, usize> = input_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let repressor_index: BTreeMap<&str, usize> = repressor_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    let mut incoming: Vec<Vec<Source>> = vec![Vec::new(); repressor_names.len()];
+    let mut output_sources: Vec<Source> = Vec::new();
+    for interaction in module.find_all("interaction") {
+        let kind = interaction
+            .attribute("type")
+            .ok_or_else(|| SbolError::Malformed("interaction without type".into()))?;
+        let participant = interaction
+            .attribute("participant")
+            .ok_or_else(|| SbolError::Malformed("interaction without participant".into()))?;
+        let target = interaction
+            .attribute("target")
+            .ok_or_else(|| SbolError::Malformed("interaction without target".into()))?;
+        let source = match kind {
+            "stimulation" => Source::Input(
+                *input_index
+                    .get(participant)
+                    .ok_or_else(|| SbolError::UnknownComponent(participant.to_string()))?,
+            ),
+            "inhibition" => Source::Repressor(
+                *repressor_index
+                    .get(participant)
+                    .ok_or_else(|| SbolError::UnknownComponent(participant.to_string()))?,
+            ),
+            other => {
+                return Err(SbolError::Malformed(format!(
+                    "unsupported interaction type `{other}`"
+                )))
+            }
+        };
+        if target == output_name {
+            output_sources.push(source);
+        } else if let Some(&r) = repressor_index.get(target) {
+            incoming[r].push(source);
+        } else {
+            return Err(SbolError::UnknownComponent(target.to_string()));
+        }
+    }
+
+    // Topological order of repressors over repression edges.
+    let count = repressor_names.len();
+    let mut order: Vec<usize> = Vec::with_capacity(count);
+    let mut placed = vec![false; count];
+    while order.len() < count {
+        let mut progressed = false;
+        for r in 0..count {
+            if placed[r] {
+                continue;
+            }
+            let ready = incoming[r].iter().all(|source| match source {
+                Source::Input(_) => true,
+                Source::Repressor(h) => placed[*h],
+            });
+            if ready {
+                placed[r] = true;
+                order.push(r);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return Err(SbolError::Cyclic);
+        }
+    }
+    let position: BTreeMap<usize, usize> =
+        order.iter().enumerate().map(|(pos, &r)| (r, pos)).collect();
+
+    let to_signal = |source: &Source| -> Signal {
+        match source {
+            Source::Input(j) => Signal::Input(*j),
+            Source::Repressor(r) => Signal::Gate(position[r]),
+        }
+    };
+    let gates: Vec<Gate> = order
+        .iter()
+        .map(|&r| Gate {
+            repressor: repressor_names[r].clone(),
+            inputs: incoming[r].iter().map(&to_signal).collect(),
+        })
+        .collect();
+    let outputs: Vec<Signal> = output_sources.iter().map(&to_signal).collect();
+
+    Netlist::new(input_names, output_name, gates, outputs, constitutive)
+        .map_err(|e| SbolError::Invalid(e.to_string()))
+}
+
+/// The SBOL→model converter: parses the structural document and compiles
+/// it to a behavioural reaction model — the role reference [14] plays in
+/// the paper's toolchain.
+///
+/// # Errors
+///
+/// Returns [`SbolError`] for structural problems; compilation failures
+/// (unknown repressors) surface as [`SbolError::Invalid`].
+pub fn convert(document: &str) -> Result<Model, SbolError> {
+    let netlist = read(document)?;
+    crate::compile::compile(&netlist).map_err(|e| SbolError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+    use glc_core::TruthTable;
+
+    fn netlist_of(hex: u64) -> Netlist {
+        synthesize(&TruthTable::from_hex(3, hex), &["IPTG", "aTc", "Ara"], "YFP")
+    }
+
+    #[test]
+    fn write_read_round_trip_preserves_function() {
+        for hex in [0x0Bu64, 0x04, 0x1C, 0x96, 0xE8, 0x01, 0xFE] {
+            let original = netlist_of(hex);
+            let document = write(&original);
+            let back = read(&document).unwrap_or_else(|e| panic!("0x{hex:X}: {e}"));
+            assert_eq!(
+                back.truth_table().to_hex(),
+                hex,
+                "0x{hex:X} function changed"
+            );
+            assert_eq!(back.gate_count(), original.gate_count(), "0x{hex:X}");
+            assert_eq!(back.input_names(), original.input_names());
+            assert_eq!(back.output_name(), original.output_name());
+        }
+    }
+
+    #[test]
+    fn document_is_sbol_flavoured() {
+        let document = write(&netlist_of(0x0B));
+        assert!(document.contains("<sbol"));
+        assert!(document.contains("moduleDefinition"));
+        assert!(document.contains("functionalComponent"));
+        assert!(document.contains("role=\"repressor\""));
+        assert!(document.contains("type=\"inhibition\""));
+        assert!(document.contains("type=\"stimulation\""));
+    }
+
+    #[test]
+    fn convert_produces_a_simulatable_model() {
+        let document = write(&netlist_of(0x04));
+        let model = convert(&document).unwrap();
+        assert!(model.validate().is_ok());
+        // Same behavioural model as compiling the netlist directly.
+        let direct = crate::compile::compile(&netlist_of(0x04)).unwrap();
+        assert_eq!(model, direct);
+    }
+
+    #[test]
+    fn constitutive_flag_round_trips() {
+        let netlist = synthesize(&TruthTable::from_hex(1, 0x3), &["A"], "Y");
+        assert!(netlist.is_constitutive());
+        let back = read(&write(&netlist)).unwrap();
+        assert!(back.is_constitutive());
+        assert!(back.truth_table().is_tautology());
+    }
+
+    #[test]
+    fn gate_order_is_rederived_from_topology() {
+        // Hand-build a netlist whose serialization order differs from a
+        // valid topological order after the reader's reconstruction.
+        let netlist = Netlist::new(
+            vec!["A".into()],
+            "Y",
+            vec![
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Input(0)],
+                },
+                Gate {
+                    repressor: "SrpR".into(),
+                    inputs: vec![Signal::Gate(0)],
+                },
+                Gate {
+                    repressor: "BM3R1".into(),
+                    inputs: vec![Signal::Gate(1), Signal::Input(0)],
+                },
+            ],
+            vec![Signal::Gate(2)],
+            false,
+        )
+        .unwrap();
+        let back = read(&write(&netlist)).unwrap();
+        assert_eq!(back.truth_table(), netlist.truth_table());
+    }
+
+    #[test]
+    fn cyclic_document_is_rejected() {
+        let document = r#"<sbol><moduleDefinition id="c">
+            <functionalComponent id="A" role="input"/>
+            <functionalComponent id="R1" role="repressor"/>
+            <functionalComponent id="R2" role="repressor"/>
+            <functionalComponent id="Y" role="output"/>
+            <interaction type="inhibition" participant="R1" target="R2"/>
+            <interaction type="inhibition" participant="R2" target="R1"/>
+            <interaction type="inhibition" participant="R1" target="Y"/>
+        </moduleDefinition></sbol>"#;
+        assert_eq!(read(document), Err(SbolError::Cyclic));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(matches!(read("<nope/>"), Err(SbolError::Malformed(_))));
+        assert!(matches!(read("<sbol/>"), Err(SbolError::Malformed(_))));
+        assert!(matches!(read("not xml"), Err(SbolError::Malformed(_))));
+        // Unknown participant.
+        let document = r#"<sbol><moduleDefinition id="c">
+            <functionalComponent id="A" role="input"/>
+            <functionalComponent id="Y" role="output"/>
+            <interaction type="stimulation" participant="ghost" target="Y"/>
+        </moduleDefinition></sbol>"#;
+        assert!(matches!(read(document), Err(SbolError::UnknownComponent(_))));
+        // Unknown target.
+        let document = r#"<sbol><moduleDefinition id="c">
+            <functionalComponent id="A" role="input"/>
+            <functionalComponent id="Y" role="output"/>
+            <interaction type="stimulation" participant="A" target="ghost"/>
+        </moduleDefinition></sbol>"#;
+        assert!(matches!(read(document), Err(SbolError::UnknownComponent(_))));
+        // Unsupported role / interaction type.
+        let document = r#"<sbol><moduleDefinition id="c">
+            <functionalComponent id="A" role="wizard"/>
+        </moduleDefinition></sbol>"#;
+        assert!(matches!(read(document), Err(SbolError::Malformed(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SbolError::Cyclic.to_string().contains("cyclic"));
+        assert!(SbolError::UnknownComponent("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(SbolError::Invalid("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate repressor")]
+    fn duplicate_repressors_cannot_serialize() {
+        let netlist = Netlist::new(
+            vec!["A".into()],
+            "Y",
+            vec![
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Input(0)],
+                },
+                Gate {
+                    repressor: "PhlF".into(),
+                    inputs: vec![Signal::Gate(0)],
+                },
+            ],
+            vec![Signal::Gate(1)],
+            false,
+        )
+        .unwrap();
+        let _ = write(&netlist);
+    }
+}

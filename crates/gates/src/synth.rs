@@ -1,0 +1,213 @@
+//! Logic synthesis: truth table → NOR/NOT netlist.
+//!
+//! The strategy mirrors Cello's output. Minimize the function to a
+//! sum-of-products (Quine–McCluskey from `glc-core`), then map
+//!
+//! * each product term to one **NOR gate** whose inputs are the
+//!   *complements* of the term's literals — the gate's promoter is
+//!   active only when none of those complements are high, i.e. exactly
+//!   when every literal holds;
+//! * the complement of a *positive* literal to a shared **NOT gate** on
+//!   that input's sensor (negative literals feed the sensor directly);
+//! * the sum of terms to the free wired-OR of the term-gate promoters at
+//!   the output gene.
+//!
+//! Special cases keep circuits minimal: a term that is a single positive
+//! literal becomes a direct sensor→output wire (no gate), and the
+//! constant-true function becomes a constitutive output promoter.
+//! Gate repressors are assigned from the library in a fixed order, so
+//! synthesis is deterministic.
+
+use crate::library;
+use crate::netlist::{Gate, Netlist, Signal};
+use glc_core::boolexpr::Cube;
+use glc_core::qmc;
+use glc_core::TruthTable;
+
+/// Synthesizes a netlist computing `table` over the given input names.
+///
+/// # Panics
+///
+/// Panics if `input_names.len() != table.inputs()` or if the circuit
+/// needs more gates than the library has repressors (12).
+pub fn synthesize(table: &TruthTable, input_names: &[&str], output_name: &str) -> Netlist {
+    let n = table.inputs();
+    assert_eq!(input_names.len(), n, "one name per input required");
+
+    let cubes: Vec<Cube> = qmc::minimize(n, &table.minterms(), &[]);
+    let library = library::repressors();
+    let mut next_repressor = 0usize;
+    let mut gates: Vec<Gate> = Vec::new();
+    // Shared inverter per input that appears positively in some
+    // multi-literal cube.
+    let mut inverter_of: Vec<Option<usize>> = vec![None; n];
+    let mut outputs: Vec<Signal> = Vec::new();
+    let mut constitutive = false;
+
+    let mut push_gate = |gates: &mut Vec<Gate>, inputs: Vec<Signal>| -> usize {
+        assert!(
+            next_repressor < library.len(),
+            "circuit needs more than {} gates",
+            library.len()
+        );
+        let repressor = library[next_repressor].name.clone();
+        next_repressor += 1;
+        gates.push(Gate { repressor, inputs });
+        gates.len() - 1
+    };
+
+    for cube in &cubes {
+        let literals: Vec<(usize, bool)> = (0..n)
+            .filter_map(|j| {
+                let k = n - 1 - j; // minterm-index bit of input j
+                if cube.care >> k & 1 == 1 {
+                    Some((j, cube.value >> k & 1 == 1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        match literals.as_slice() {
+            [] => {
+                // Empty cube: the constant-true function.
+                constitutive = true;
+            }
+            [(j, true)] => {
+                // Single positive literal: sensor drives the output
+                // directly (a wire, no gate).
+                outputs.push(Signal::Input(*j));
+            }
+            _ => {
+                // General product: NOR of the complements.
+                let mut term_inputs: Vec<Signal> = Vec::with_capacity(literals.len());
+                for &(j, positive) in &literals {
+                    if positive {
+                        let inv = match inverter_of[j] {
+                            Some(g) => g,
+                            None => {
+                                let g = push_gate(&mut gates, vec![Signal::Input(j)]);
+                                inverter_of[j] = Some(g);
+                                g
+                            }
+                        };
+                        term_inputs.push(Signal::Gate(inv));
+                    } else {
+                        term_inputs.push(Signal::Input(j));
+                    }
+                }
+                let term = push_gate(&mut gates, term_inputs);
+                outputs.push(Signal::Gate(term));
+            }
+        }
+    }
+
+    Netlist::new(
+        input_names.iter().map(|s| s.to_string()).collect(),
+        output_name,
+        gates,
+        outputs,
+        constitutive,
+    )
+    .expect("synthesized netlists are well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_hex(n: usize, hex: u64) -> Netlist {
+        let table = TruthTable::from_hex(n, hex);
+        let names: Vec<String> = (0..n).map(|j| format!("I{j}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        synthesize(&table, &name_refs, "OUT")
+    }
+
+    #[test]
+    fn synthesized_netlists_compute_their_spec() {
+        for hex in 0u64..16 {
+            let netlist = synth_hex(2, hex);
+            assert_eq!(netlist.truth_table().to_hex(), hex, "2-input 0x{hex:X}");
+        }
+        for hex in [0x0Bu64, 0x04, 0x1C, 0x41, 0x70, 0x8E, 0xB3, 0xF4, 0x96, 0x69] {
+            let netlist = synth_hex(3, hex);
+            assert_eq!(netlist.truth_table().to_hex(), hex, "3-input 0x{hex:X}");
+        }
+    }
+
+    #[test]
+    fn gate_counts_match_known_circuits() {
+        assert_eq!(synth_hex(2, 0x8).gate_count(), 3); // AND (paper Fig. 1)
+        assert_eq!(synth_hex(2, 0x1).gate_count(), 1); // NOR
+        assert_eq!(synth_hex(2, 0x7).gate_count(), 2); // NAND
+        assert_eq!(synth_hex(2, 0x6).gate_count(), 4); // XOR
+        assert_eq!(synth_hex(1, 0x1).gate_count(), 1); // NOT
+        assert_eq!(synth_hex(1, 0x2).gate_count(), 0); // BUF: a wire
+    }
+
+    #[test]
+    fn every_three_input_function_fits_the_library() {
+        for hex in 0u64..256 {
+            let netlist = synth_hex(3, hex);
+            assert_eq!(netlist.truth_table().to_hex(), hex, "0x{hex:X}");
+            assert!(
+                netlist.gate_count() <= 12,
+                "0x{hex:X} used {} gates",
+                netlist.gate_count()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_circuits_fit_the_reported_gate_range() {
+        // The paper's eval circuits use 1–7 gates.
+        for hex in [0x0Bu64, 0x04, 0x1C, 0x41, 0x70, 0x8E, 0xB3, 0xF4] {
+            let count = synth_hex(3, hex).gate_count();
+            assert!(
+                (1..=7).contains(&count),
+                "0x{hex:X}: {count} gates outside 1–7"
+            );
+        }
+    }
+
+    #[test]
+    fn inverters_are_shared_between_cubes() {
+        // 0x88 = A * B... take 0xE8 = AB + AC + BC (majority): A, B, C all
+        // appear positively in two cubes each; inverters must be shared.
+        let netlist = synth_hex(3, 0xE8);
+        let inverters = netlist.gates().iter().filter(|g| g.is_not()).count();
+        assert_eq!(inverters, 3, "one shared inverter per input");
+        assert_eq!(netlist.gate_count(), 6); // 3 INV + 3 term NORs
+    }
+
+    #[test]
+    fn distinct_repressors_per_gate() {
+        let netlist = synth_hex(3, 0x96); // 3-input XOR-ish: many gates
+        let mut repressors: Vec<&str> = netlist
+            .gates()
+            .iter()
+            .map(|g| g.repressor.as_str())
+            .collect();
+        let before = repressors.len();
+        repressors.sort_unstable();
+        repressors.dedup();
+        assert_eq!(repressors.len(), before, "repressor reused");
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = synth_hex(2, 0x0);
+        assert!(zero.truth_table().is_contradiction());
+        assert_eq!(zero.gate_count(), 0);
+        let one = synth_hex(2, 0xF);
+        assert!(one.truth_table().is_tautology());
+        assert!(one.is_constitutive());
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per input")]
+    fn name_count_mismatch_panics() {
+        let table = TruthTable::from_hex(2, 0x8);
+        let _ = synthesize(&table, &["A"], "Y");
+    }
+}

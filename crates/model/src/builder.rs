@@ -1,0 +1,229 @@
+//! Fluent construction of [`Model`]s.
+
+use crate::error::ModelError;
+use crate::expr::Expr;
+use crate::model::{Model, Parameter, Reaction, Species, Stoichiometry};
+
+/// Incrementally assembles a [`Model`], deferring validation to
+/// [`ModelBuilder::build`] (except kinetic-law parsing, which fails fast).
+///
+/// # Example
+///
+/// ```
+/// use glc_model::ModelBuilder;
+///
+/// # fn main() -> Result<(), glc_model::ModelError> {
+/// let model = ModelBuilder::new("toggle")
+///     .species("LacI_p", 30.0)
+///     .species("TetR_p", 0.0)
+///     .parameter("k", 1.0)
+///     .reaction("r1", &["LacI_p"], &["TetR_p"], "k * LacI_p")?
+///     .build()?;
+/// assert_eq!(model.id(), "toggle");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelBuilder {
+    id: String,
+    species: Vec<Species>,
+    parameters: Vec<Parameter>,
+    reactions: Vec<Reaction>,
+}
+
+impl ModelBuilder {
+    /// Starts a builder for a model with the given identifier.
+    pub fn new(id: impl Into<String>) -> Self {
+        ModelBuilder {
+            id: id.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a non-boundary species with the given initial amount.
+    pub fn species(mut self, id: impl Into<String>, initial_amount: f64) -> Self {
+        self.species.push(Species {
+            id: id.into(),
+            initial_amount,
+            boundary: false,
+        });
+        self
+    }
+
+    /// Declares a boundary (clamped) species; reactions read it but do not
+    /// change it. Input species of genetic circuits are boundary species.
+    pub fn boundary_species(mut self, id: impl Into<String>, initial_amount: f64) -> Self {
+        self.species.push(Species {
+            id: id.into(),
+            initial_amount,
+            boundary: true,
+        });
+        self
+    }
+
+    /// Declares a constant parameter.
+    pub fn parameter(mut self, id: impl Into<String>, value: f64) -> Self {
+        self.parameters.push(Parameter {
+            id: id.into(),
+            value,
+        });
+        self
+    }
+
+    /// Adds a reaction with unit stoichiometries, parsing `kinetic_law`
+    /// from its infix form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::KineticLaw`] if the law fails to parse.
+    pub fn reaction(
+        self,
+        id: impl Into<String>,
+        reactants: &[&str],
+        products: &[&str],
+        kinetic_law: &str,
+    ) -> Result<Self, ModelError> {
+        let reactants: Vec<(String, Stoichiometry)> =
+            reactants.iter().map(|s| (s.to_string(), 1)).collect();
+        let products: Vec<(String, Stoichiometry)> =
+            products.iter().map(|s| (s.to_string(), 1)).collect();
+        self.reaction_full(id, reactants, products, Vec::new(), kinetic_law)
+    }
+
+    /// Adds a reaction with explicit stoichiometries and modifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::KineticLaw`] if the law fails to parse.
+    pub fn reaction_full(
+        mut self,
+        id: impl Into<String>,
+        reactants: Vec<(String, Stoichiometry)>,
+        products: Vec<(String, Stoichiometry)>,
+        modifiers: Vec<String>,
+        kinetic_law: &str,
+    ) -> Result<Self, ModelError> {
+        let id = id.into();
+        let law = Expr::parse(kinetic_law).map_err(|source| ModelError::KineticLaw {
+            reaction: id.clone(),
+            source,
+        })?;
+        self.reactions.push(Reaction {
+            id,
+            reactants,
+            products,
+            modifiers,
+            kinetic_law: law,
+        });
+        Ok(self)
+    }
+
+    /// Adds a reaction whose kinetic law is an already-built [`Expr`].
+    pub fn reaction_expr(
+        mut self,
+        id: impl Into<String>,
+        reactants: Vec<(String, Stoichiometry)>,
+        products: Vec<(String, Stoichiometry)>,
+        modifiers: Vec<String>,
+        kinetic_law: Expr,
+    ) -> Self {
+        self.reactions.push(Reaction {
+            id: id.into(),
+            reactants,
+            products,
+            modifiers,
+            kinetic_law,
+        });
+        self
+    }
+
+    /// Validates and finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::from_parts`].
+    pub fn build(self) -> Result<Model, ModelError> {
+        Model::from_parts(self.id, self.species, self.parameters, self.reactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_all_parts() {
+        let model = ModelBuilder::new("m")
+            .species("A", 5.0)
+            .boundary_species("I", 100.0)
+            .parameter("k", 0.1)
+            .reaction("r1", &["A"], &[], "k * A * I")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(model.species().len(), 2);
+        assert!(model.species()[1].boundary);
+        assert!(!model.species()[0].boundary);
+        assert_eq!(model.reactions()[0].reactants, vec![("A".to_string(), 1)]);
+    }
+
+    #[test]
+    fn bad_kinetic_law_fails_fast_with_reaction_name() {
+        let err = ModelBuilder::new("m")
+            .reaction("broken", &[], &[], "1 +")
+            .unwrap_err();
+        match err {
+            ModelError::KineticLaw { reaction, .. } => assert_eq!(reaction, "broken"),
+            other => panic!("expected KineticLaw error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reaction_full_keeps_stoichiometry_and_modifiers() {
+        let model = ModelBuilder::new("m")
+            .species("D", 2.0)
+            .species("P", 0.0)
+            .species("R", 1.0)
+            .parameter("k", 1.0)
+            .reaction_full(
+                "dimerize",
+                vec![("D".into(), 2)],
+                vec![("P".into(), 1)],
+                vec!["R".into()],
+                "k * D * (D - 1) / 2 * R",
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let r = &model.reactions()[0];
+        assert_eq!(r.reactants, vec![("D".to_string(), 2)]);
+        assert_eq!(r.modifiers, vec!["R".to_string()]);
+        assert_eq!(r.net_change("D"), -2);
+    }
+
+    #[test]
+    fn reaction_expr_accepts_prebuilt_ast() {
+        let model = ModelBuilder::new("m")
+            .species("X", 0.0)
+            .reaction_expr(
+                "influx",
+                vec![],
+                vec![("X".into(), 1)],
+                vec![],
+                Expr::num(3.0),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(model.reactions()[0].kinetic_law, Expr::num(3.0));
+    }
+
+    #[test]
+    fn build_rejects_inconsistent_model() {
+        let err = ModelBuilder::new("m")
+            .reaction("r", &["nope"], &[], "1")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownSpecies { .. }));
+    }
+}

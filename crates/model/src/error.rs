@@ -1,0 +1,235 @@
+//! Error types shared across the model crate.
+
+use std::fmt;
+
+/// Error produced while parsing a kinetic-law expression from its infix
+/// textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source string at which the error was detected.
+    pub position: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error at `position` with the given `message`.
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        Self {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced while evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An identifier in the expression was not found in the environment.
+    UnknownIdentifier(String),
+    /// A function was called with the wrong number of arguments.
+    Arity {
+        /// Function name as written in the expression.
+        function: String,
+        /// Number of arguments the function expects.
+        expected: usize,
+        /// Number of arguments actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownIdentifier(id) => {
+                write!(f, "unknown identifier `{id}` in expression")
+            }
+            EvalError::Arity {
+                function,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} argument(s), got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Error produced while constructing or validating a [`crate::Model`], or
+/// while reading one from its SBML-subset serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two species, parameters or reactions share the same identifier.
+    DuplicateId(String),
+    /// A reaction references a species that is not declared in the model.
+    UnknownSpecies {
+        /// Reaction in which the reference occurs.
+        reaction: String,
+        /// The undeclared species identifier.
+        species: String,
+    },
+    /// A kinetic law references an identifier that is neither a species nor
+    /// a parameter.
+    UnknownIdentifier {
+        /// Reaction whose kinetic law contains the reference.
+        reaction: String,
+        /// The unresolved identifier.
+        identifier: String,
+    },
+    /// A stoichiometric coefficient of zero was supplied.
+    ZeroStoichiometry {
+        /// Reaction in which the zero coefficient occurs.
+        reaction: String,
+        /// Species with the zero coefficient.
+        species: String,
+    },
+    /// A species was declared with a negative initial amount.
+    NegativeInitialAmount {
+        /// The offending species.
+        species: String,
+        /// The declared amount.
+        amount: f64,
+    },
+    /// A kinetic law failed to parse.
+    KineticLaw {
+        /// Reaction whose kinetic law failed to parse.
+        reaction: String,
+        /// The underlying parse error.
+        source: ParseError,
+    },
+    /// An identifier is empty or contains characters outside
+    /// `[A-Za-z0-9_]` (first character must not be a digit).
+    InvalidIdentifier(String),
+    /// The SBML-subset reader encountered malformed or unsupported input.
+    Sbml(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateId(id) => write!(f, "duplicate identifier `{id}`"),
+            ModelError::UnknownSpecies { reaction, species } => {
+                write!(f, "reaction `{reaction}` references unknown species `{species}`")
+            }
+            ModelError::UnknownIdentifier {
+                reaction,
+                identifier,
+            } => write!(
+                f,
+                "kinetic law of reaction `{reaction}` references unknown identifier `{identifier}`"
+            ),
+            ModelError::ZeroStoichiometry { reaction, species } => write!(
+                f,
+                "reaction `{reaction}` declares zero stoichiometry for species `{species}`"
+            ),
+            ModelError::NegativeInitialAmount { species, amount } => write!(
+                f,
+                "species `{species}` has negative initial amount {amount}"
+            ),
+            ModelError::KineticLaw { reaction, source } => {
+                write!(f, "kinetic law of reaction `{reaction}`: {source}")
+            }
+            ModelError::InvalidIdentifier(id) => write!(f, "invalid identifier `{id}`"),
+            ModelError::Sbml(msg) => write!(f, "sbml: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::KineticLaw { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ModelError {
+    fn from(err: ParseError) -> Self {
+        ModelError::KineticLaw {
+            reaction: String::new(),
+            source: err,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_mentions_position() {
+        let err = ParseError::new(7, "unexpected token");
+        assert_eq!(err.to_string(), "parse error at byte 7: unexpected token");
+    }
+
+    #[test]
+    fn eval_error_display() {
+        let err = EvalError::UnknownIdentifier("LacI".into());
+        assert!(err.to_string().contains("LacI"));
+        let err = EvalError::Arity {
+            function: "hillr".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(err.to_string().contains("hillr"));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn model_error_display_variants() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (ModelError::DuplicateId("x".into()), "duplicate"),
+            (
+                ModelError::UnknownSpecies {
+                    reaction: "r".into(),
+                    species: "s".into(),
+                },
+                "unknown species",
+            ),
+            (
+                ModelError::ZeroStoichiometry {
+                    reaction: "r".into(),
+                    species: "s".into(),
+                },
+                "zero stoichiometry",
+            ),
+            (
+                ModelError::NegativeInitialAmount {
+                    species: "s".into(),
+                    amount: -1.0,
+                },
+                "negative initial",
+            ),
+            (ModelError::InvalidIdentifier("9x".into()), "invalid identifier"),
+            (ModelError::Sbml("broken".into()), "sbml"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "`{err}` should contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn kinetic_law_error_exposes_source() {
+        use std::error::Error;
+        let err = ModelError::KineticLaw {
+            reaction: "r1".into(),
+            source: ParseError::new(0, "empty expression"),
+        };
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,343 @@
+//! Compiled expression form for fast repeated evaluation.
+//!
+//! Stochastic simulation evaluates every kinetic law millions of times, so
+//! the tree-walking [`Expr::eval`] with string-keyed lookup is too slow.
+//! [`CompiledExpr`] flattens the tree into a postfix instruction sequence
+//! whose variable references are pre-resolved to slot indices in a flat
+//! `&[f64]` value vector, as described by a [`SymbolTable`].
+
+use super::{BinOp, Expr, Func};
+use crate::error::EvalError;
+use std::collections::HashMap;
+
+/// Maps identifier names to slots of a flat value vector.
+///
+/// The simulator lays out species first and parameters after them; the
+/// table just records the final name → index assignment.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    slots: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `name` to the table, returning its slot.
+    ///
+    /// If `name` is already present its existing slot is returned instead
+    /// of creating a duplicate.
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&slot) = self.slots.get(name) {
+            return slot;
+        }
+        let slot = self.names.len();
+        self.names.push(name.to_string());
+        self.slots.insert(name.to_string(), slot);
+        slot
+    }
+
+    /// Returns the slot of `name`, if interned.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.slots.get(name).copied()
+    }
+
+    /// Returns the name stored at `slot`.
+    pub fn name(&self, slot: usize) -> Option<&str> {
+        self.names.get(slot).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(slot, name)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Instr {
+    PushNum(f64),
+    PushSlot(usize),
+    Neg,
+    Bin(BinOp),
+    Call(Func),
+}
+
+/// An expression compiled against a [`SymbolTable`].
+///
+/// # Example
+///
+/// ```
+/// use glc_model::Expr;
+/// use glc_model::expr::SymbolTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let expr: Expr = "k * S".parse()?;
+/// let mut table = SymbolTable::new();
+/// table.intern("S"); // slot 0
+/// table.intern("k"); // slot 1
+/// let compiled = expr.compile(&table)?;
+/// assert_eq!(compiled.eval(&[10.0, 0.5]), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    prog: Vec<Instr>,
+    max_depth: usize,
+    slots: Vec<usize>,
+}
+
+impl Expr {
+    /// Compiles the expression, resolving every identifier through `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnknownIdentifier`] for identifiers missing
+    /// from the table, and [`EvalError::Arity`] for hand-built `Call`
+    /// nodes with a wrong argument count.
+    pub fn compile(&self, table: &SymbolTable) -> Result<CompiledExpr, EvalError> {
+        let mut prog = Vec::with_capacity(self.node_count());
+        emit(self, table, &mut prog)?;
+        let max_depth = stack_depth(&prog);
+        let slots = prog
+            .iter()
+            .filter_map(|instr| match instr {
+                Instr::PushSlot(slot) => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        Ok(CompiledExpr {
+            prog,
+            max_depth,
+            slots,
+        })
+    }
+}
+
+fn emit(expr: &Expr, table: &SymbolTable, prog: &mut Vec<Instr>) -> Result<(), EvalError> {
+    match expr {
+        Expr::Num(value) => prog.push(Instr::PushNum(*value)),
+        Expr::Var(name) => {
+            let slot = table
+                .slot(name)
+                .ok_or_else(|| EvalError::UnknownIdentifier(name.clone()))?;
+            prog.push(Instr::PushSlot(slot));
+        }
+        Expr::Neg(inner) => {
+            emit(inner, table, prog)?;
+            prog.push(Instr::Neg);
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            emit(lhs, table, prog)?;
+            emit(rhs, table, prog)?;
+            prog.push(Instr::Bin(*op));
+        }
+        Expr::Call(func, args) => {
+            if args.len() != func.arity() {
+                return Err(EvalError::Arity {
+                    function: func.name().to_string(),
+                    expected: func.arity(),
+                    actual: args.len(),
+                });
+            }
+            for arg in args {
+                emit(arg, table, prog)?;
+            }
+            prog.push(Instr::Call(*func));
+        }
+    }
+    Ok(())
+}
+
+fn stack_depth(prog: &[Instr]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for instr in prog {
+        match instr {
+            Instr::PushNum(_) | Instr::PushSlot(_) => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Instr::Neg => {}
+            Instr::Bin(_) => depth -= 1,
+            Instr::Call(func) => depth -= func.arity() - 1,
+        }
+    }
+    max
+}
+
+impl CompiledExpr {
+    /// Evaluates against `values`, where `values[slot]` holds the value of
+    /// the identifier interned at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the highest slot referenced by
+    /// the expression.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut stack = Vec::with_capacity(self.max_depth);
+        self.eval_with(values, &mut stack)
+    }
+
+    /// Evaluates like [`CompiledExpr::eval`] but reuses a caller-provided
+    /// stack, avoiding the per-call allocation. The stack is cleared on
+    /// entry.
+    pub fn eval_with(&self, values: &[f64], stack: &mut Vec<f64>) -> f64 {
+        stack.clear();
+        for instr in &self.prog {
+            match instr {
+                Instr::PushNum(value) => stack.push(*value),
+                Instr::PushSlot(slot) => stack.push(values[*slot]),
+                Instr::Neg => {
+                    let top = stack.last_mut().expect("stack underflow: Neg");
+                    *top = -*top;
+                }
+                Instr::Bin(op) => {
+                    let rhs = stack.pop().expect("stack underflow: Bin rhs");
+                    let lhs = stack.last_mut().expect("stack underflow: Bin lhs");
+                    *lhs = op.apply(*lhs, rhs);
+                }
+                Instr::Call(func) => {
+                    let arity = func.arity();
+                    let base = stack.len() - arity;
+                    let result = func.apply(&stack[base..]);
+                    stack.truncate(base);
+                    stack.push(result);
+                }
+            }
+        }
+        stack.pop().expect("compiled expression left empty stack")
+    }
+
+    /// Slots (deduplicated not guaranteed) of every variable reference in
+    /// the program, in evaluation order. The simulator uses this to build
+    /// reaction dependency graphs.
+    pub fn referenced_slots(&self) -> &[usize] {
+        &self.slots
+    }
+
+    /// Maximum operand-stack depth needed during evaluation.
+    pub fn max_stack_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(names: &[&str]) -> SymbolTable {
+        let mut table = SymbolTable::new();
+        for name in names {
+            table.intern(name);
+        }
+        table
+    }
+
+    #[test]
+    fn symbol_table_interning_is_idempotent() {
+        let mut table = SymbolTable::new();
+        assert_eq!(table.intern("a"), 0);
+        assert_eq!(table.intern("b"), 1);
+        assert_eq!(table.intern("a"), 0);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.name(1), Some("b"));
+        assert_eq!(table.slot("b"), Some(1));
+        assert_eq!(table.slot("c"), None);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn compiled_matches_tree_walk() {
+        let sources = [
+            "a + b * c",
+            "-a ^ 2 + b / (c - 1)",
+            "hillr(a + b, 20, 2) * 15 + 0.5",
+            "max(a, min(b, c)) - exp(-a)",
+            "2 ^ 3 ^ 2",
+        ];
+        let table = table_of(&["a", "b", "c"]);
+        let values = [1.5, 2.5, 3.5];
+        let env: &[(&str, f64)] = &[("a", 1.5), ("b", 2.5), ("c", 3.5)];
+        for source in sources {
+            let expr = Expr::parse(source).unwrap();
+            let compiled = expr.compile(&table).unwrap();
+            let expected = expr.eval(env).unwrap();
+            let actual = compiled.eval(&values);
+            assert!(
+                (expected - actual).abs() < 1e-12,
+                "`{source}`: tree {expected} vs compiled {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_identifier_fails_at_compile_time() {
+        let expr = Expr::parse("ghost * 2").unwrap();
+        let table = table_of(&["a"]);
+        assert_eq!(
+            expr.compile(&table),
+            Err(EvalError::UnknownIdentifier("ghost".into()))
+        );
+    }
+
+    impl PartialEq for CompiledExpr {
+        fn eq(&self, other: &Self) -> bool {
+            self.prog == other.prog
+        }
+    }
+
+    #[test]
+    fn referenced_slots_lists_variable_uses() {
+        let expr = Expr::parse("a * b + a").unwrap();
+        let table = table_of(&["a", "b"]);
+        let compiled = expr.compile(&table).unwrap();
+        assert_eq!(compiled.referenced_slots(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn max_stack_depth_is_exact() {
+        let table = table_of(&["a", "b", "c", "d"]);
+        // ((a*b) + (c*d)) needs depth 3: a b [*] c d.
+        let expr = Expr::parse("a * b + c * d").unwrap();
+        let compiled = expr.compile(&table).unwrap();
+        assert_eq!(compiled.max_stack_depth(), 3);
+        // A single literal needs depth 1.
+        let expr = Expr::parse("42").unwrap();
+        let compiled = expr.compile(&table).unwrap();
+        assert_eq!(compiled.max_stack_depth(), 1);
+    }
+
+    #[test]
+    fn eval_with_reuses_stack() {
+        let table = table_of(&["x"]);
+        let expr = Expr::parse("x * x + 1").unwrap();
+        let compiled = expr.compile(&table).unwrap();
+        let mut stack = Vec::new();
+        assert_eq!(compiled.eval_with(&[3.0], &mut stack), 10.0);
+        assert_eq!(compiled.eval_with(&[4.0], &mut stack), 17.0);
+    }
+
+    #[test]
+    fn hand_built_call_with_bad_arity_fails_compile() {
+        let expr = Expr::Call(Func::Exp, vec![]);
+        let table = SymbolTable::new();
+        assert!(matches!(
+            expr.compile(&table),
+            Err(EvalError::Arity { .. })
+        ));
+    }
+}

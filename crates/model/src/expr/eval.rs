@@ -1,0 +1,147 @@
+//! Tree-walking evaluation of [`Expr`] against a name → value environment.
+
+use super::Expr;
+use crate::error::EvalError;
+use std::collections::{BTreeMap, HashMap};
+
+/// A read-only mapping from identifier names to numeric values.
+///
+/// Implemented for the standard map types so tests and small tools can pass
+/// a `HashMap<String, f64>` directly; the simulator uses the compiled form
+/// ([`super::CompiledExpr`]) instead, which bypasses name lookup entirely.
+pub trait Env {
+    /// Returns the value bound to `name`, or `None` if unbound.
+    fn lookup(&self, name: &str) -> Option<f64>;
+}
+
+impl Env for HashMap<String, f64> {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.get(name).copied()
+    }
+}
+
+impl Env for BTreeMap<String, f64> {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.get(name).copied()
+    }
+}
+
+impl Env for [(&str, f64)] {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.iter()
+            .find(|(candidate, _)| *candidate == name)
+            .map(|(_, value)| *value)
+    }
+}
+
+impl<E: Env + ?Sized> Env for &E {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        (**self).lookup(name)
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression against `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnknownIdentifier`] if a referenced identifier
+    /// is not bound in `env`. Arity errors cannot occur for expressions
+    /// built by the parser (it checks arity), but manually constructed
+    /// [`Expr::Call`] nodes with the wrong argument count are reported as
+    /// [`EvalError::Arity`].
+    pub fn eval<E: Env + ?Sized>(&self, env: &E) -> Result<f64, EvalError> {
+        match self {
+            Expr::Num(value) => Ok(*value),
+            Expr::Var(name) => env
+                .lookup(name)
+                .ok_or_else(|| EvalError::UnknownIdentifier(name.clone())),
+            Expr::Neg(inner) => Ok(-inner.eval(env)?),
+            Expr::Bin(op, lhs, rhs) => Ok(op.apply(lhs.eval(env)?, rhs.eval(env)?)),
+            Expr::Call(func, args) => {
+                if args.len() != func.arity() {
+                    return Err(EvalError::Arity {
+                        function: func.name().to_string(),
+                        expected: func.arity(),
+                        actual: args.len(),
+                    });
+                }
+                let mut values = [0.0f64; 3];
+                for (slot, arg) in values.iter_mut().zip(args) {
+                    *slot = arg.eval(env)?;
+                }
+                Ok(func.apply(&values[..args.len()]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+
+    #[test]
+    fn eval_with_hashmap_env() {
+        let expr = Expr::parse("a * b + c").unwrap();
+        let mut env = HashMap::new();
+        env.insert("a".to_string(), 2.0);
+        env.insert("b".to_string(), 3.0);
+        env.insert("c".to_string(), 4.0);
+        assert_eq!(expr.eval(&env).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn eval_with_slice_env() {
+        let expr = Expr::parse("x ^ 2").unwrap();
+        let env: &[(&str, f64)] = &[("x", 3.0)];
+        assert_eq!(expr.eval(env).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn eval_with_btreemap_env() {
+        let expr = Expr::parse("v / 2").unwrap();
+        let mut env = BTreeMap::new();
+        env.insert("v".to_string(), 8.0);
+        assert_eq!(expr.eval(&env).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn unknown_identifier_is_reported_by_name() {
+        let expr = Expr::parse("missing + 1").unwrap();
+        let env: &[(&str, f64)] = &[];
+        assert_eq!(
+            expr.eval(env),
+            Err(EvalError::UnknownIdentifier("missing".into()))
+        );
+    }
+
+    #[test]
+    fn manual_call_with_wrong_arity_is_rejected() {
+        let expr = Expr::Call(Func::Min, vec![Expr::num(1.0)]);
+        let env: &[(&str, f64)] = &[];
+        assert!(matches!(expr.eval(env), Err(EvalError::Arity { .. })));
+    }
+
+    #[test]
+    fn division_by_zero_follows_ieee() {
+        let expr = Expr::parse("1 / 0").unwrap();
+        let env: &[(&str, f64)] = &[];
+        assert!(expr.eval(env).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn nested_function_calls() {
+        let expr = Expr::parse("max(min(5, 3), 1)").unwrap();
+        let env: &[(&str, f64)] = &[];
+        assert_eq!(expr.eval(env).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn env_by_reference_also_works() {
+        let expr = Expr::parse("x").unwrap();
+        let env: &[(&str, f64)] = &[("x", 1.5)];
+        // &&E path through the blanket impl.
+        assert_eq!(expr.eval(&env).unwrap(), 1.5);
+    }
+}

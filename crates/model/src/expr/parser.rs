@@ -1,0 +1,405 @@
+//! Recursive-descent parser for the infix kinetic-law grammar.
+
+use super::{BinOp, Expr, Func};
+use crate::error::ParseError;
+
+/// Parses `input` into an [`Expr`].
+pub(super) fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expr()?;
+    match parser.peek() {
+        Token::Eof => Ok(expr),
+        other => Err(ParseError::new(
+            parser.position(),
+            format!("unexpected trailing input `{other}`"),
+        )),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Num(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SpannedToken {
+    kind: TokenKind,
+    position: usize,
+}
+
+type Token = TokenKind;
+
+fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'+' => push_simple(&mut tokens, TokenKind::Plus, start, &mut i),
+            b'-' => push_simple(&mut tokens, TokenKind::Minus, start, &mut i),
+            b'*' => push_simple(&mut tokens, TokenKind::Star, start, &mut i),
+            b'/' => push_simple(&mut tokens, TokenKind::Slash, start, &mut i),
+            b'^' => push_simple(&mut tokens, TokenKind::Caret, start, &mut i),
+            b'(' => push_simple(&mut tokens, TokenKind::LParen, start, &mut i),
+            b')' => push_simple(&mut tokens, TokenKind::RParen, start, &mut i),
+            b',' => push_simple(&mut tokens, TokenKind::Comma, start, &mut i),
+            b'0'..=b'9' | b'.' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                    j += 1;
+                }
+                // Scientific notation: 1e-3, 2.5E+6.
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        while k < bytes.len() && bytes[k].is_ascii_digit() {
+                            k += 1;
+                        }
+                        j = k;
+                    }
+                }
+                let text = &input[i..j];
+                let value: f64 = text.parse().map_err(|_| {
+                    ParseError::new(start, format!("invalid numeric literal `{text}`"))
+                })?;
+                tokens.push(SpannedToken {
+                    kind: TokenKind::Num(value),
+                    position: start,
+                });
+                i = j;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(SpannedToken {
+                    kind: TokenKind::Ident(input[i..j].to_string()),
+                    position: start,
+                });
+                i = j;
+            }
+            _ => {
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{}`", &input[start..start + 1]),
+                ))
+            }
+        }
+    }
+    tokens.push(SpannedToken {
+        kind: TokenKind::Eof,
+        position: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn push_simple(tokens: &mut Vec<SpannedToken>, kind: TokenKind, start: usize, i: &mut usize) {
+    tokens.push(SpannedToken {
+        kind,
+        position: start,
+    });
+    *i += 1;
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn expect(&mut self, expected: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.position(),
+                format!("expected `{expected}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.atom()?;
+        if matches!(self.peek(), TokenKind::Caret) {
+            self.advance();
+            // Right-associative: `a ^ b ^ c` parses as `a ^ (b ^ c)`.
+            // The exponent re-enters `unary` so `a ^ -b` works.
+            let exponent = self.unary()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exponent)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let position = self.position();
+        match self.advance() {
+            TokenKind::Num(value) => Ok(Expr::Num(value)),
+            TokenKind::Ident(name) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.advance();
+                    let args = self.args()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let func = Func::from_name(&name).ok_or_else(|| {
+                        ParseError::new(position, format!("unknown function `{name}`"))
+                    })?;
+                    if args.len() != func.arity() {
+                        return Err(ParseError::new(
+                            position,
+                            format!(
+                                "function `{name}` expects {} argument(s), got {}",
+                                func.arity(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseError::new(
+                position,
+                format!("expected a number, identifier or `(`, found `{other}`"),
+            )),
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if matches!(self.peek(), TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn eval(src: &str, vars: &[(&str, f64)]) -> f64 {
+        let expr = parse(src).unwrap();
+        let env: HashMap<String, f64> = vars
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect();
+        expr.eval(&env).unwrap()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(eval("1 + 2 * 3", &[]), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &[]), 9.0);
+    }
+
+    #[test]
+    fn left_associativity_of_sub_and_div() {
+        assert_eq!(eval("10 - 3 - 2", &[]), 5.0);
+        assert_eq!(eval("16 / 4 / 2", &[]), 2.0);
+    }
+
+    #[test]
+    fn right_associativity_of_pow() {
+        // 2 ^ 3 ^ 2 = 2 ^ 9 = 512, not 64.
+        assert_eq!(eval("2 ^ 3 ^ 2", &[]), 512.0);
+    }
+
+    #[test]
+    fn unary_minus_interactions() {
+        assert_eq!(eval("-2 + 3", &[]), 1.0);
+        assert_eq!(eval("-(2 + 3)", &[]), -5.0);
+        assert_eq!(eval("2 ^ -1", &[]), 0.5);
+        assert_eq!(eval("--2", &[]), 2.0);
+        // Unary minus binds looser than ^: -2^2 = -(2^2) = -4 in this
+        // grammar since ^ is parsed below unary on the base side... the
+        // base is an atom, so `-2 ^ 2` is Neg(2 ^ 2).
+        assert_eq!(eval("-2 ^ 2", &[]), -4.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(eval("1e3", &[]), 1000.0);
+        assert_eq!(eval("2.5e-3", &[]), 0.0025);
+        assert_eq!(eval("1E+2", &[]), 100.0);
+    }
+
+    #[test]
+    fn variables_and_functions() {
+        assert_eq!(eval("k * S", &[("k", 0.5), ("S", 10.0)]), 5.0);
+        assert_eq!(eval("max(a, b)", &[("a", 1.0), ("b", 2.0)]), 2.0);
+        assert_eq!(eval("pow(2, 10)", &[]), 1024.0);
+        let y = eval("hillr(x, 20, 2)", &[("x", 20.0)]);
+        assert!((y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(eval("  1\t+\n2 ", &[]), 3.0);
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let err = parse("foo(1)").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let err = parse("hillr(1, 2)").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn error_trailing_input() {
+        let err = parse("1 + 2 3").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        assert_eq!(err.position, 6);
+    }
+
+    #[test]
+    fn error_unbalanced_parentheses() {
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("1 + 2)").is_err());
+    }
+
+    #[test]
+    fn error_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn error_bad_character() {
+        let err = parse("a $ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn error_double_dot_number() {
+        assert!(parse("1..2").is_err());
+    }
+
+    #[test]
+    fn identifier_with_underscore_and_digits() {
+        assert_eq!(eval("k_deg1 * 2", &[("k_deg1", 3.0)]), 6.0);
+    }
+
+    #[test]
+    fn empty_argument_list_rejected_for_known_function() {
+        let err = parse("exp()").unwrap_err();
+        assert!(err.message.contains("expects 1"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Reaction-network models for genetic logic circuits.
+//!
+//! This crate is the behavioural-model substrate of the reproduction of
+//! *Baig & Madsen, "Logic Analysis and Verification of n-input Genetic Logic
+//! Circuits", DATE 2017*. The paper consumes genetic circuits expressed in
+//! SBML; since no SBML ecosystem exists for Rust, this crate provides:
+//!
+//! * [`expr`] — kinetic-law arithmetic expressions: AST, infix parser,
+//!   evaluator, and a compiled form for fast repeated evaluation inside a
+//!   stochastic simulator;
+//! * [`model`] — species / parameters / reactions / kinetic laws with
+//!   validation, the in-memory equivalent of an SBML model;
+//! * [`builder`] — a fluent [`builder::ModelBuilder`];
+//! * [`sbml`] — a self-contained SBML-subset XML reader and writer (with its
+//!   own minimal XML parser in [`sbml::xml`]).
+//!
+//! # Example
+//!
+//! Build a one-gene expression model (constitutive production plus
+//! first-order degradation):
+//!
+//! ```
+//! use glc_model::ModelBuilder;
+//!
+//! # fn main() -> Result<(), glc_model::ModelError> {
+//! let model = ModelBuilder::new("expression")
+//!     .species("GFP", 0.0)
+//!     .parameter("k_prod", 0.5)
+//!     .parameter("k_deg", 0.01)
+//!     .reaction("production", &[], &["GFP"], "k_prod")?
+//!     .reaction("degradation", &["GFP"], &[], "k_deg * GFP")?
+//!     .build()?;
+//! assert_eq!(model.species().len(), 1);
+//! assert_eq!(model.reactions().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod sbml;
+
+pub use builder::ModelBuilder;
+pub use error::{EvalError, ModelError, ParseError};
+pub use expr::Expr;
+pub use model::{Model, Parameter, Reaction, Species, SpeciesId, Stoichiometry};

@@ -1,0 +1,605 @@
+//! The reaction-network model: species, parameters, reactions.
+//!
+//! A [`Model`] is the in-memory equivalent of the behavioural part of an
+//! SBML document: a set of species with initial amounts, a set of named
+//! constant parameters, and a set of reactions whose rates are arbitrary
+//! kinetic-law expressions over species and parameters.
+
+use crate::error::ModelError;
+use crate::expr::{CompiledExpr, Expr, SymbolTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable index of a species inside its [`Model`].
+///
+/// Indices are assigned in declaration order and never change once the
+/// model is built, so simulators can use them to address flat state
+/// vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpeciesId(pub usize);
+
+impl fmt::Display for SpeciesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Stoichiometric coefficient (always positive; direction is encoded by
+/// which list — reactants or products — the entry lives in).
+pub type Stoichiometry = u32;
+
+/// A molecular species.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Species {
+    /// Unique identifier (valid identifier characters only).
+    pub id: String,
+    /// Initial amount in molecules.
+    pub initial_amount: f64,
+    /// If `true` the species is clamped: reactions read it but firing a
+    /// reaction does not change it (SBML's `boundaryCondition`). Input
+    /// species driven by the experiment runner are boundary species.
+    pub boundary: bool,
+}
+
+/// A named constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Unique identifier.
+    pub id: String,
+    /// Constant value.
+    pub value: f64,
+}
+
+/// A reaction: reactants are consumed, products are produced, modifiers
+/// are read by the kinetic law without being changed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reaction {
+    /// Unique identifier.
+    pub id: String,
+    /// `(species id, stoichiometry)` consumed per firing.
+    pub reactants: Vec<(String, Stoichiometry)>,
+    /// `(species id, stoichiometry)` produced per firing.
+    pub products: Vec<(String, Stoichiometry)>,
+    /// Species read by the kinetic law but not consumed (e.g. repressors).
+    pub modifiers: Vec<String>,
+    /// Propensity (stochastic rate) expression.
+    pub kinetic_law: Expr,
+}
+
+impl Reaction {
+    /// Net change of `species` per firing (products minus reactants),
+    /// ignoring boundary status.
+    pub fn net_change(&self, species: &str) -> i64 {
+        let produced: i64 = self
+            .products
+            .iter()
+            .filter(|(id, _)| id == species)
+            .map(|(_, n)| i64::from(*n))
+            .sum();
+        let consumed: i64 = self
+            .reactants
+            .iter()
+            .filter(|(id, _)| id == species)
+            .map(|(_, n)| i64::from(*n))
+            .sum();
+        produced - consumed
+    }
+}
+
+/// A validated reaction-network model.
+///
+/// Use [`crate::ModelBuilder`] to construct one; [`Model::validate`] runs
+/// automatically at build time and again after deserialization via
+/// [`Model::from_parts`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    id: String,
+    species: Vec<Species>,
+    parameters: Vec<Parameter>,
+    reactions: Vec<Reaction>,
+    #[serde(skip)]
+    species_index: HashMap<String, usize>,
+}
+
+impl Model {
+    /// Assembles and validates a model from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModelError`] found: duplicate ids, invalid
+    /// identifiers, unknown species in reactions, unknown identifiers in
+    /// kinetic laws, zero stoichiometries or negative initial amounts.
+    pub fn from_parts(
+        id: impl Into<String>,
+        species: Vec<Species>,
+        parameters: Vec<Parameter>,
+        reactions: Vec<Reaction>,
+    ) -> Result<Self, ModelError> {
+        let mut model = Model {
+            id: id.into(),
+            species,
+            parameters,
+            reactions,
+            species_index: HashMap::new(),
+        };
+        model.rebuild_index();
+        model.validate()?;
+        Ok(model)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.species_index = self
+            .species
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.clone(), i))
+            .collect();
+    }
+
+    /// Model identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// All species in declaration order.
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// All parameters in declaration order.
+    pub fn parameters(&self) -> &[Parameter] {
+        &self.parameters
+    }
+
+    /// All reactions in declaration order.
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Looks up a species index by id.
+    pub fn species_id(&self, id: &str) -> Option<SpeciesId> {
+        self.species_index.get(id).copied().map(SpeciesId)
+    }
+
+    /// Returns the species at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for this model.
+    pub fn species_at(&self, idx: SpeciesId) -> &Species {
+        &self.species[idx.0]
+    }
+
+    /// Initial state vector (one entry per species, declaration order).
+    pub fn initial_state(&self) -> Vec<f64> {
+        self.species.iter().map(|s| s.initial_amount).collect()
+    }
+
+    /// Builds the canonical symbol table used to compile kinetic laws:
+    /// species occupy slots `0..species.len()` in declaration order,
+    /// parameters follow.
+    pub fn symbol_table(&self) -> SymbolTable {
+        let mut table = SymbolTable::new();
+        for species in &self.species {
+            table.intern(&species.id);
+        }
+        for parameter in &self.parameters {
+            table.intern(&parameter.id);
+        }
+        table
+    }
+
+    /// Value vector matching [`Model::symbol_table`]: initial species
+    /// amounts followed by parameter values.
+    pub fn initial_values(&self) -> Vec<f64> {
+        let mut values = self.initial_state();
+        values.extend(self.parameters.iter().map(|p| p.value));
+        values
+    }
+
+    /// Compiles every kinetic law against the canonical symbol table, in
+    /// reaction order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::EvalError`] as a [`ModelError::UnknownIdentifier`]
+    /// naming the offending reaction (cannot normally happen for a
+    /// validated model).
+    pub fn compile_kinetics(&self) -> Result<Vec<CompiledExpr>, ModelError> {
+        let table = self.symbol_table();
+        self.reactions
+            .iter()
+            .map(|r| {
+                r.kinetic_law.compile(&table).map_err(|err| {
+                    ModelError::UnknownIdentifier {
+                        reaction: r.id.clone(),
+                        identifier: err.to_string(),
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Re-checks every model invariant.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::from_parts`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let mut seen = HashMap::new();
+        for species in &self.species {
+            check_identifier(&species.id)?;
+            if seen.insert(species.id.clone(), ()).is_some() {
+                return Err(ModelError::DuplicateId(species.id.clone()));
+            }
+            if species.initial_amount < 0.0 {
+                return Err(ModelError::NegativeInitialAmount {
+                    species: species.id.clone(),
+                    amount: species.initial_amount,
+                });
+            }
+        }
+        for parameter in &self.parameters {
+            check_identifier(&parameter.id)?;
+            if seen.insert(parameter.id.clone(), ()).is_some() {
+                return Err(ModelError::DuplicateId(parameter.id.clone()));
+            }
+        }
+        let mut reaction_ids = HashMap::new();
+        for reaction in &self.reactions {
+            check_identifier(&reaction.id)?;
+            if reaction_ids.insert(reaction.id.clone(), ()).is_some() {
+                return Err(ModelError::DuplicateId(reaction.id.clone()));
+            }
+            for (species, stoich) in reaction.reactants.iter().chain(&reaction.products) {
+                if !self.species_index.contains_key(species) {
+                    return Err(ModelError::UnknownSpecies {
+                        reaction: reaction.id.clone(),
+                        species: species.clone(),
+                    });
+                }
+                if *stoich == 0 {
+                    return Err(ModelError::ZeroStoichiometry {
+                        reaction: reaction.id.clone(),
+                        species: species.clone(),
+                    });
+                }
+            }
+            for modifier in &reaction.modifiers {
+                if !self.species_index.contains_key(modifier) {
+                    return Err(ModelError::UnknownSpecies {
+                        reaction: reaction.id.clone(),
+                        species: modifier.clone(),
+                    });
+                }
+            }
+            for identifier in reaction.kinetic_law.identifiers() {
+                let known = self.species_index.contains_key(identifier)
+                    || self.parameters.iter().any(|p| p.id == identifier);
+                if !known {
+                    return Err(ModelError::UnknownIdentifier {
+                        reaction: reaction.id.clone(),
+                        identifier: identifier.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the initial amount of species `id`.
+    ///
+    /// Returns `false` (and changes nothing) if the species is unknown.
+    pub fn set_initial_amount(&mut self, id: &str, amount: f64) -> bool {
+        match self.species_index.get(id) {
+            Some(&idx) if amount >= 0.0 => {
+                self.species[idx].initial_amount = amount;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sets the value of parameter `id`. Returns `false` if unknown.
+    pub fn set_parameter(&mut self, id: &str, value: f64) -> bool {
+        for parameter in &mut self.parameters {
+            if parameter.id == id {
+                parameter.value = value;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks species `id` as a boundary (clamped) species. Returns
+    /// `false` if unknown.
+    pub fn set_boundary(&mut self, id: &str, boundary: bool) -> bool {
+        match self.species_index.get(id) {
+            Some(&idx) => {
+                self.species[idx].boundary = boundary;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restores the internal species index after deserialization.
+    ///
+    /// `serde` skips the index; call this (or go through
+    /// [`Model::from_parts`]) before using a deserialized model.
+    pub fn reindex(&mut self) {
+        self.rebuild_index();
+    }
+}
+
+fn check_identifier(id: &str) -> Result<(), ModelError> {
+    let mut chars = id.chars();
+    let valid = match chars.next() {
+        Some(first) if first.is_ascii_alphabetic() || first == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => false,
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidIdentifier(id.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelBuilder;
+
+    fn two_species_model() -> Model {
+        ModelBuilder::new("m")
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k", 0.5)
+            .reaction("conv", &["A"], &["B"], "k * A")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn indices_follow_declaration_order() {
+        let model = two_species_model();
+        assert_eq!(model.species_id("A"), Some(SpeciesId(0)));
+        assert_eq!(model.species_id("B"), Some(SpeciesId(1)));
+        assert_eq!(model.species_id("C"), None);
+        assert_eq!(model.species_at(SpeciesId(0)).id, "A");
+    }
+
+    #[test]
+    fn initial_values_layout_species_then_parameters() {
+        let model = two_species_model();
+        assert_eq!(model.initial_values(), vec![10.0, 0.0, 0.5]);
+        let table = model.symbol_table();
+        assert_eq!(table.slot("A"), Some(0));
+        assert_eq!(table.slot("k"), Some(2));
+    }
+
+    #[test]
+    fn compile_kinetics_produces_working_evaluators() {
+        let model = two_species_model();
+        let kinetics = model.compile_kinetics().unwrap();
+        assert_eq!(kinetics.len(), 1);
+        assert_eq!(kinetics[0].eval(&model.initial_values()), 5.0);
+    }
+
+    #[test]
+    fn net_change_accounts_for_both_sides() {
+        let reaction = Reaction {
+            id: "r".into(),
+            reactants: vec![("A".into(), 2)],
+            products: vec![("A".into(), 1), ("B".into(), 3)],
+            modifiers: vec![],
+            kinetic_law: Expr::num(1.0),
+        };
+        assert_eq!(reaction.net_change("A"), -1);
+        assert_eq!(reaction.net_change("B"), 3);
+        assert_eq!(reaction.net_change("C"), 0);
+    }
+
+    #[test]
+    fn duplicate_species_id_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![
+                Species {
+                    id: "A".into(),
+                    initial_amount: 0.0,
+                    boundary: false,
+                },
+                Species {
+                    id: "A".into(),
+                    initial_amount: 0.0,
+                    boundary: false,
+                },
+            ],
+            vec![],
+            vec![],
+        );
+        assert_eq!(result.unwrap_err(), ModelError::DuplicateId("A".into()));
+    }
+
+    #[test]
+    fn species_parameter_name_collision_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![Species {
+                id: "x".into(),
+                initial_amount: 0.0,
+                boundary: false,
+            }],
+            vec![Parameter {
+                id: "x".into(),
+                value: 1.0,
+            }],
+            vec![],
+        );
+        assert_eq!(result.unwrap_err(), ModelError::DuplicateId("x".into()));
+    }
+
+    #[test]
+    fn unknown_species_in_reaction_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![],
+            vec![],
+            vec![Reaction {
+                id: "r".into(),
+                reactants: vec![("ghost".into(), 1)],
+                products: vec![],
+                modifiers: vec![],
+                kinetic_law: Expr::num(1.0),
+            }],
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ModelError::UnknownSpecies { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_modifier_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![],
+            vec![],
+            vec![Reaction {
+                id: "r".into(),
+                reactants: vec![],
+                products: vec![],
+                modifiers: vec!["ghost".into()],
+                kinetic_law: Expr::num(1.0),
+            }],
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ModelError::UnknownSpecies { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_identifier_in_kinetic_law_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![],
+            vec![],
+            vec![Reaction {
+                id: "r".into(),
+                reactants: vec![],
+                products: vec![],
+                modifiers: vec![],
+                kinetic_law: Expr::var("mystery"),
+            }],
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ModelError::UnknownIdentifier { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_stoichiometry_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![Species {
+                id: "A".into(),
+                initial_amount: 0.0,
+                boundary: false,
+            }],
+            vec![],
+            vec![Reaction {
+                id: "r".into(),
+                reactants: vec![("A".into(), 0)],
+                products: vec![],
+                modifiers: vec![],
+                kinetic_law: Expr::num(1.0),
+            }],
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ModelError::ZeroStoichiometry { .. }
+        ));
+    }
+
+    #[test]
+    fn negative_initial_amount_rejected() {
+        let result = Model::from_parts(
+            "m",
+            vec![Species {
+                id: "A".into(),
+                initial_amount: -1.0,
+                boundary: false,
+            }],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ModelError::NegativeInitialAmount { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_identifiers_rejected() {
+        for bad in ["", "9lives", "has space", "dash-ed", "ünicode"] {
+            let result = Model::from_parts(
+                "m",
+                vec![Species {
+                    id: bad.into(),
+                    initial_amount: 0.0,
+                    boundary: false,
+                }],
+                vec![],
+                vec![],
+            );
+            assert!(
+                matches!(result.unwrap_err(), ModelError::InvalidIdentifier(_)),
+                "identifier `{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn setters_update_and_report_unknown_ids() {
+        let mut model = two_species_model();
+        assert!(model.set_initial_amount("A", 42.0));
+        assert_eq!(model.initial_state()[0], 42.0);
+        assert!(!model.set_initial_amount("A", -1.0));
+        assert!(!model.set_initial_amount("zzz", 1.0));
+        assert!(model.set_parameter("k", 2.0));
+        assert!(!model.set_parameter("zzz", 2.0));
+        assert!(model.set_boundary("B", true));
+        assert!(model.species_at(SpeciesId(1)).boundary);
+        assert!(!model.set_boundary("zzz", true));
+    }
+
+    #[test]
+    fn serde_round_trip_with_reindex() {
+        let model = two_species_model();
+        let json = serde_json::to_string(&model).unwrap();
+        let mut back: Model = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.species_id("B"), Some(SpeciesId(1)));
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn duplicate_reaction_id_rejected() {
+        let result = ModelBuilder::new("m")
+            .species("A", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &[], "k * A")
+            .unwrap()
+            .reaction("r", &[], &["A"], "k")
+            .unwrap()
+            .build();
+        assert_eq!(result.unwrap_err(), ModelError::DuplicateId("r".into()));
+    }
+}

@@ -1,0 +1,425 @@
+//! SBML-subset reader and writer.
+//!
+//! The paper's toolchain exchanges circuits as SBML Level 3 documents.
+//! This module serializes [`Model`]s to a faithful subset of that format:
+//!
+//! * `sbml` / `model` / `listOfSpecies` / `listOfParameters` /
+//!   `listOfReactions` structure as in SBML L3V1 core;
+//! * `species` with `id`, `initialAmount`, `boundaryCondition`;
+//! * `parameter` with `id`, `value`;
+//! * `reaction` with `listOfReactants`, `listOfProducts`,
+//!   `listOfModifiers` (`speciesReference` / `modifierSpeciesReference`);
+//! * `kineticLaw` whose `math` element carries the kinetic law in this
+//!   crate's infix syntax instead of MathML (documented deviation — the
+//!   numerical content is identical and round-trips losslessly).
+//!
+//! ```
+//! use glc_model::{ModelBuilder, sbml};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ModelBuilder::new("inverter")
+//!     .boundary_species("LacI", 0.0)
+//!     .species("GFP", 0.0)
+//!     .parameter("k_deg", 0.05)
+//!     .reaction("prod", &[], &["GFP"], "15 * hillr(LacI, 20, 2)")?
+//!     .reaction("deg", &["GFP"], &[], "k_deg * GFP")?
+//!     .build()?;
+//! let xml = sbml::write(&model);
+//! let back = sbml::read(&xml)?;
+//! assert_eq!(back, model);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod xml;
+
+use crate::error::ModelError;
+use crate::expr::Expr;
+use crate::model::{Model, Parameter, Reaction, Species, Stoichiometry};
+use xml::Element;
+
+const SBML_NS: &str = "http://www.sbml.org/sbml/level3/version1/core";
+
+/// Serializes a model to an SBML-subset document.
+pub fn write(model: &Model) -> String {
+    let mut doc = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    doc.push_str(&to_element(model).to_xml());
+    doc
+}
+
+/// Builds the `<sbml>` element tree for a model.
+pub fn to_element(model: &Model) -> Element {
+    let mut model_el = Element::new("model").attr("id", model.id());
+
+    if !model.species().is_empty() {
+        let mut list = Element::new("listOfSpecies");
+        for species in model.species() {
+            list.children.push(
+                Element::new("species")
+                    .attr("id", &species.id)
+                    .attr("initialAmount", format_number(species.initial_amount))
+                    .attr("boundaryCondition", bool_str(species.boundary))
+                    .attr("hasOnlySubstanceUnits", "true")
+                    .attr("constant", "false"),
+            );
+        }
+        model_el.children.push(list);
+    }
+
+    if !model.parameters().is_empty() {
+        let mut list = Element::new("listOfParameters");
+        for parameter in model.parameters() {
+            list.children.push(
+                Element::new("parameter")
+                    .attr("id", &parameter.id)
+                    .attr("value", format_number(parameter.value))
+                    .attr("constant", "true"),
+            );
+        }
+        model_el.children.push(list);
+    }
+
+    if !model.reactions().is_empty() {
+        let mut list = Element::new("listOfReactions");
+        for reaction in model.reactions() {
+            list.children.push(reaction_element(reaction));
+        }
+        model_el.children.push(list);
+    }
+
+    Element::new("sbml")
+        .attr("xmlns", SBML_NS)
+        .attr("level", "3")
+        .attr("version", "1")
+        .child(model_el)
+}
+
+fn reaction_element(reaction: &Reaction) -> Element {
+    let mut el = Element::new("reaction")
+        .attr("id", &reaction.id)
+        .attr("reversible", "false");
+    if !reaction.reactants.is_empty() {
+        let mut list = Element::new("listOfReactants");
+        for (species, stoich) in &reaction.reactants {
+            list.children.push(species_reference(species, *stoich));
+        }
+        el.children.push(list);
+    }
+    if !reaction.products.is_empty() {
+        let mut list = Element::new("listOfProducts");
+        for (species, stoich) in &reaction.products {
+            list.children.push(species_reference(species, *stoich));
+        }
+        el.children.push(list);
+    }
+    if !reaction.modifiers.is_empty() {
+        let mut list = Element::new("listOfModifiers");
+        for species in &reaction.modifiers {
+            list.children
+                .push(Element::new("modifierSpeciesReference").attr("species", species));
+        }
+        el.children.push(list);
+    }
+    el.children.push(
+        Element::new("kineticLaw")
+            .child(Element::new("math").with_text(reaction.kinetic_law.to_string())),
+    );
+    el
+}
+
+fn species_reference(species: &str, stoich: Stoichiometry) -> Element {
+    Element::new("speciesReference")
+        .attr("species", species)
+        .attr("stoichiometry", stoich.to_string())
+        .attr("constant", "true")
+}
+
+fn bool_str(value: bool) -> &'static str {
+    if value {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+fn format_number(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Parses an SBML-subset document back into a [`Model`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Sbml`] for malformed XML or documents outside the
+/// supported subset, and the usual validation errors if the content is
+/// structurally valid but semantically inconsistent.
+pub fn read(document: &str) -> Result<Model, ModelError> {
+    let root = xml::parse(document).map_err(|e| ModelError::Sbml(e.to_string()))?;
+    from_element(&root)
+}
+
+/// Converts a parsed `<sbml>` element tree into a [`Model`].
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn from_element(root: &Element) -> Result<Model, ModelError> {
+    if root.name != "sbml" {
+        return Err(ModelError::Sbml(format!(
+            "expected root element `sbml`, found `{}`",
+            root.name
+        )));
+    }
+    let model_el = root
+        .find("model")
+        .ok_or_else(|| ModelError::Sbml("missing `model` element".into()))?;
+    let id = model_el.attribute("id").unwrap_or("unnamed").to_string();
+
+    let mut species = Vec::new();
+    if let Some(list) = model_el.find("listOfSpecies") {
+        for el in list.find_all("species") {
+            species.push(Species {
+                id: required_attr(el, "id")?.to_string(),
+                initial_amount: parse_number(el.attribute("initialAmount").unwrap_or("0"))?,
+                boundary: el.attribute("boundaryCondition") == Some("true"),
+            });
+        }
+    }
+
+    let mut parameters = Vec::new();
+    if let Some(list) = model_el.find("listOfParameters") {
+        for el in list.find_all("parameter") {
+            parameters.push(Parameter {
+                id: required_attr(el, "id")?.to_string(),
+                value: parse_number(el.attribute("value").unwrap_or("0"))?,
+            });
+        }
+    }
+
+    let mut reactions = Vec::new();
+    if let Some(list) = model_el.find("listOfReactions") {
+        for el in list.find_all("reaction") {
+            reactions.push(read_reaction(el)?);
+        }
+    }
+
+    Model::from_parts(id, species, parameters, reactions)
+}
+
+fn read_reaction(el: &Element) -> Result<Reaction, ModelError> {
+    let id = required_attr(el, "id")?.to_string();
+    let mut reactants = Vec::new();
+    if let Some(list) = el.find("listOfReactants") {
+        for r in list.find_all("speciesReference") {
+            reactants.push(read_species_reference(r)?);
+        }
+    }
+    let mut products = Vec::new();
+    if let Some(list) = el.find("listOfProducts") {
+        for r in list.find_all("speciesReference") {
+            products.push(read_species_reference(r)?);
+        }
+    }
+    let mut modifiers = Vec::new();
+    if let Some(list) = el.find("listOfModifiers") {
+        for r in list.find_all("modifierSpeciesReference") {
+            modifiers.push(required_attr(r, "species")?.to_string());
+        }
+    }
+    let math = el
+        .find("kineticLaw")
+        .and_then(|kl| kl.find("math"))
+        .ok_or_else(|| {
+            ModelError::Sbml(format!("reaction `{id}` is missing `kineticLaw/math`"))
+        })?;
+    let kinetic_law = Expr::parse(&math.text).map_err(|source| ModelError::KineticLaw {
+        reaction: id.clone(),
+        source,
+    })?;
+    Ok(Reaction {
+        id,
+        reactants,
+        products,
+        modifiers,
+        kinetic_law,
+    })
+}
+
+fn read_species_reference(el: &Element) -> Result<(String, Stoichiometry), ModelError> {
+    let species = required_attr(el, "species")?.to_string();
+    let stoich_text = el.attribute("stoichiometry").unwrap_or("1");
+    let stoich: f64 = parse_number(stoich_text)?;
+    if stoich.fract() != 0.0 || stoich < 0.0 || stoich > f64::from(u32::MAX) {
+        return Err(ModelError::Sbml(format!(
+            "unsupported stoichiometry `{stoich_text}` for species `{species}` (must be a non-negative integer)"
+        )));
+    }
+    Ok((species, stoich as Stoichiometry))
+}
+
+fn required_attr<'a>(el: &'a Element, name: &str) -> Result<&'a str, ModelError> {
+    el.attribute(name).ok_or_else(|| {
+        ModelError::Sbml(format!(
+            "element `{}` is missing required attribute `{name}`",
+            el.name
+        ))
+    })
+}
+
+fn parse_number(text: &str) -> Result<f64, ModelError> {
+    text.trim()
+        .parse()
+        .map_err(|_| ModelError::Sbml(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelBuilder;
+
+    fn sample_model() -> Model {
+        ModelBuilder::new("and_gate")
+            .boundary_species("LacI", 0.0)
+            .boundary_species("TetR", 0.0)
+            .species("CI", 0.0)
+            .species("GFP", 0.0)
+            .parameter("k_deg", 0.0462)
+            .reaction_full(
+                "ci_prod",
+                vec![],
+                vec![("CI".into(), 1)],
+                vec!["LacI".into(), "TetR".into()],
+                "15 * (hillr(LacI, 20, 2) + hillr(TetR, 20, 2))",
+            )
+            .unwrap()
+            .reaction("ci_deg", &["CI"], &[], "k_deg * CI")
+            .unwrap()
+            .reaction_full(
+                "gfp_prod",
+                vec![],
+                vec![("GFP".into(), 1)],
+                vec!["CI".into()],
+                "15 * hillr(CI, 20, 2)",
+            )
+            .unwrap()
+            .reaction("gfp_deg", &["GFP"], &[], "k_deg * GFP")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip_preserves_model() {
+        let model = sample_model();
+        let doc = write(&model);
+        let back = read(&doc).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn written_document_has_sbml_structure() {
+        let doc = write(&sample_model());
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("level=\"3\""));
+        assert!(doc.contains("<listOfSpecies>"));
+        assert!(doc.contains("boundaryCondition=\"true\""));
+        assert!(doc.contains("<kineticLaw>"));
+    }
+
+    #[test]
+    fn read_defaults_stoichiometry_to_one() {
+        let doc = r#"<sbml><model id="m">
+            <listOfSpecies><species id="A" initialAmount="1"/></listOfSpecies>
+            <listOfReactions><reaction id="r">
+              <listOfReactants><speciesReference species="A"/></listOfReactants>
+              <kineticLaw><math>A</math></kineticLaw>
+            </reaction></listOfReactions>
+        </model></sbml>"#;
+        let model = read(doc).unwrap();
+        assert_eq!(model.reactions()[0].reactants, vec![("A".to_string(), 1)]);
+    }
+
+    #[test]
+    fn read_rejects_missing_model() {
+        let err = read("<sbml/>").unwrap_err();
+        assert!(matches!(err, ModelError::Sbml(_)));
+    }
+
+    #[test]
+    fn read_rejects_wrong_root() {
+        let err = read("<notsbml/>").unwrap_err();
+        assert!(matches!(err, ModelError::Sbml(_)));
+    }
+
+    #[test]
+    fn read_rejects_missing_kinetic_law() {
+        let doc = r#"<sbml><model id="m">
+            <listOfReactions><reaction id="r"/></listOfReactions>
+        </model></sbml>"#;
+        let err = read(doc).unwrap_err();
+        assert!(err.to_string().contains("kineticLaw"));
+    }
+
+    #[test]
+    fn read_rejects_fractional_stoichiometry() {
+        let doc = r#"<sbml><model id="m">
+            <listOfSpecies><species id="A"/></listOfSpecies>
+            <listOfReactions><reaction id="r">
+              <listOfProducts><speciesReference species="A" stoichiometry="0.5"/></listOfProducts>
+              <kineticLaw><math>1</math></kineticLaw>
+            </reaction></listOfReactions>
+        </model></sbml>"#;
+        let err = read(doc).unwrap_err();
+        assert!(err.to_string().contains("stoichiometry"));
+    }
+
+    #[test]
+    fn read_rejects_bad_math() {
+        let doc = r#"<sbml><model id="m">
+            <listOfReactions><reaction id="r">
+              <kineticLaw><math>1 +</math></kineticLaw>
+            </reaction></listOfReactions>
+        </model></sbml>"#;
+        let err = read(doc).unwrap_err();
+        assert!(matches!(err, ModelError::KineticLaw { .. }));
+    }
+
+    #[test]
+    fn read_validates_semantics() {
+        // Reaction references an undeclared species.
+        let doc = r#"<sbml><model id="m">
+            <listOfReactions><reaction id="r">
+              <listOfProducts><speciesReference species="ghost"/></listOfProducts>
+              <kineticLaw><math>1</math></kineticLaw>
+            </reaction></listOfReactions>
+        </model></sbml>"#;
+        let err = read(doc).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownSpecies { .. }));
+    }
+
+    #[test]
+    fn missing_required_attribute_is_reported() {
+        let doc = r#"<sbml><model id="m">
+            <listOfSpecies><species initialAmount="1"/></listOfSpecies>
+        </model></sbml>"#;
+        let err = read(doc).unwrap_err();
+        assert!(err.to_string().contains("missing required attribute"));
+    }
+
+    #[test]
+    fn model_without_id_gets_default_name() {
+        let model = read("<sbml><model/></sbml>").unwrap();
+        assert_eq!(model.id(), "unnamed");
+    }
+
+    #[test]
+    fn numbers_format_compactly() {
+        assert_eq!(format_number(15.0), "15");
+        assert_eq!(format_number(0.0462), "0.0462");
+        assert_eq!(format_number(-3.0), "-3");
+    }
+}

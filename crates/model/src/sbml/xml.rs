@@ -1,0 +1,488 @@
+//! Minimal XML reader/writer for the SBML subset.
+//!
+//! No XML crate is available offline, so this module implements just what
+//! SBML-subset documents need: elements, attributes, text content, CDATA,
+//! comments, processing instructions and the five predefined entities.
+//! Namespaces are treated as plain attribute/element-name text.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An XML element subtree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name (namespace prefixes are kept verbatim).
+    pub name: String,
+    /// Attributes in document order; duplicate names are rejected by the
+    /// parser.
+    pub attributes: BTreeMap<String, String>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated text and CDATA content, entity-decoded and trimmed.
+    pub text: String,
+}
+
+impl Element {
+    /// Creates an element with the given tag name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets an attribute (builder style).
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(name.into(), value.into());
+        self
+    }
+
+    /// Appends a child element (builder style).
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Sets the text content (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// First child with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given tag name, in document order.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.get(name).map(String::as_str)
+    }
+
+    /// Serializes the subtree with 2-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(out, "{indent}<{}", self.name);
+        for (name, value) in &self.attributes {
+            let _ = write!(out, " {name}=\"{}\"", escape(value));
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if self.children.is_empty() {
+            let _ = write!(out, "{}</{}>\n", escape(&self.text), self.name);
+            return;
+        }
+        out.push('\n');
+        if !self.text.is_empty() {
+            let _ = write!(out, "{indent}  {}\n", escape(&self.text));
+        }
+        for child in &self.children {
+            child.write_into(out, depth + 1);
+        }
+        let _ = write!(out, "{indent}</{}>\n", self.name);
+    }
+}
+
+/// Escapes the five predefined XML entities.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Error while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document into its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] for malformed markup: unterminated tags,
+/// mismatched close tags, duplicate attributes, unknown entities, or
+/// trailing content after the root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut parser = XmlParser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    parser.skip_misc()?;
+    let root = parser.element()?;
+    parser.skip_misc()?;
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, processing instructions and the XML
+    /// declaration between elements.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_whitespace();
+            if self.input[self.pos..].starts_with("<?") {
+                let end = self.input[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| self.error("unterminated processing instruction"))?;
+                self.pos += end + 2;
+            } else if self.input[self.pos..].starts_with("<!--") {
+                let end = self.input[self.pos..]
+                    .find("-->")
+                    .ok_or_else(|| self.error("unterminated comment"))?;
+                self.pos += end + 3;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'<' {
+            return Err(self.error("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_whitespace();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    if self.bytes.get(self.pos + 1) != Some(&b'>') {
+                        return Err(self.error("expected `/>`"));
+                    }
+                    self.pos += 2;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.content(&mut element)?;
+                    return Ok(element);
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_whitespace();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.error("expected `=` after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let value = self.quoted_value()?;
+                    if element
+                        .attributes
+                        .insert(attr_name.clone(), value)
+                        .is_some()
+                    {
+                        return Err(self.error(format!("duplicate attribute `{attr_name}`")));
+                    }
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+    }
+
+    fn content(&mut self, element: &mut Element) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            let rest = &self.input[self.pos..];
+            if rest.is_empty() {
+                return Err(self.error(format!("unterminated element `{}`", element.name)));
+            }
+            if let Some(stripped) = rest.strip_prefix("<![CDATA[") {
+                let end = stripped
+                    .find("]]>")
+                    .ok_or_else(|| self.error("unterminated CDATA section"))?;
+                text.push_str(&stripped[..end]);
+                self.pos += "<![CDATA[".len() + end + 3;
+            } else if rest.starts_with("<!--") {
+                let end = rest
+                    .find("-->")
+                    .ok_or_else(|| self.error("unterminated comment"))?;
+                self.pos += end + 3;
+            } else if rest.starts_with("</") {
+                self.pos += 2;
+                let close_name = self.name()?;
+                if close_name != element.name {
+                    return Err(self.error(format!(
+                        "mismatched close tag: expected `</{}>`, found `</{close_name}>`",
+                        element.name
+                    )));
+                }
+                self.skip_whitespace();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.error("expected `>` in close tag"));
+                }
+                self.pos += 1;
+                element.text = text.trim().to_string();
+                return Ok(());
+            } else if rest.starts_with('<') {
+                element.children.push(self.element()?);
+            } else {
+                let next_tag = rest.find('<').unwrap_or(rest.len());
+                text.push_str(&decode_entities(
+                    &rest[..next_tag],
+                    self.pos,
+                )?);
+                self.pos += next_tag;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn quoted_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return Err(self.error("unterminated attribute value"));
+        }
+        let raw = &self.input[start..self.pos];
+        self.pos += 1;
+        decode_entities(raw, start)
+    }
+}
+
+fn decode_entities(raw: &str, base: usize) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut offset = 0usize;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        let after = &rest[idx..];
+        let end = after.find(';').ok_or(XmlError {
+            position: base + offset + idx,
+            message: "unterminated entity".into(),
+        })?;
+        let entity = &after[1..end];
+        let decoded = match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            other => {
+                if let Some(hex) = other.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(XmlError {
+                            position: base + offset + idx,
+                            message: format!("invalid character reference `&{other};`"),
+                        })?
+                } else if let Some(dec) = other.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(XmlError {
+                            position: base + offset + idx,
+                            message: format!("invalid character reference `&{other};`"),
+                        })?
+                } else {
+                    return Err(XmlError {
+                        position: base + offset + idx,
+                        message: format!("unknown entity `&{other};`"),
+                    });
+                }
+            }
+        };
+        out.push(decoded);
+        offset += idx + end + 1;
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = r#"<?xml version="1.0"?>
+            <root a="1" b="two">
+              <child x="y"/>
+              <child x="z">text</child>
+            </root>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "root");
+        assert_eq!(root.attribute("a"), Some("1"));
+        assert_eq!(root.attribute("b"), Some("two"));
+        let children: Vec<_> = root.find_all("child").collect();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].attribute("x"), Some("y"));
+        assert_eq!(children[1].text, "text");
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let doc = r#"<m note="a &lt; b &amp; c">x &gt; y &#65; &#x42;</m>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.attribute("note"), Some("a < b & c"));
+        assert_eq!(root.text, "x > y A B");
+    }
+
+    #[test]
+    fn cdata_is_raw_text() {
+        let doc = "<math><![CDATA[a < b & k*2]]></math>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.text, "a < b & k*2");
+    }
+
+    #[test]
+    fn comments_are_skipped_everywhere() {
+        let doc = "<!-- head --><r><!-- inner --><c/><!-- tail --></r><!-- after -->";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_close_tag() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_unterminated_everything() {
+        assert!(parse("<a").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a x=\"1>").is_err());
+        assert!(parse("<a><![CDATA[x]]</a>").is_err());
+        assert!(parse("<?xml version=\"1.0\"").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let nasty = r#"<&>"' plain"#;
+        let doc = format!(r#"<a v="{}">{}</a>"#, escape(nasty), escape(nasty));
+        let root = parse(&doc).unwrap();
+        assert_eq!(root.attribute("v"), Some(nasty));
+        assert_eq!(root.text, nasty);
+    }
+
+    #[test]
+    fn element_to_xml_round_trips() {
+        let element = Element::new("model")
+            .attr("id", "m1")
+            .child(
+                Element::new("species")
+                    .attr("id", "GFP")
+                    .attr("initialAmount", "0"),
+            )
+            .child(Element::new("math").with_text("k * GFP"));
+        let xml = element.to_xml();
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, element);
+    }
+
+    #[test]
+    fn namespaced_names_are_accepted() {
+        let root = parse(r#"<sbml:model xmlns:sbml="urn:x"><sbml:x/></sbml:model>"#).unwrap();
+        assert_eq!(root.name, "sbml:model");
+        assert!(root.find("sbml:x").is_some());
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let root = parse("<a>\n   <b/>\n</a>").unwrap();
+        assert_eq!(root.text, "");
+    }
+}

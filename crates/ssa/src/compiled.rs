@@ -1,0 +1,377 @@
+//! Compilation of a [`glc_model::Model`] into a simulation-ready form.
+//!
+//! Compilation resolves every kinetic-law identifier to a slot in a flat
+//! value vector (species first, parameters after), precomputes each
+//! reaction's net state change (excluding boundary species, which are
+//! clamped), and builds the reaction dependency graph used by the
+//! Gibson–Bruck next-reaction method.
+
+use crate::error::SimError;
+use glc_model::expr::CompiledExpr;
+use glc_model::{Model, ModelError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Simulation state: current time plus the flat value vector.
+///
+/// `values[0..species_count]` are species amounts (kept integral by the
+/// exact engines), followed by the constant parameter values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    /// Current simulation time.
+    pub t: f64,
+    /// Species amounts followed by parameter values.
+    pub values: Vec<f64>,
+}
+
+impl State {
+    /// Species amount at `slot`.
+    pub fn species(&self, slot: usize) -> f64 {
+        self.values[slot]
+    }
+
+    /// Sets the species amount at `slot` (used by input schedules to clamp
+    /// boundary species).
+    pub fn set_species(&mut self, slot: usize, amount: f64) {
+        self.values[slot] = amount;
+    }
+}
+
+/// A model compiled for simulation.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    id: String,
+    species_names: Vec<String>,
+    reaction_ids: Vec<String>,
+    species_count: usize,
+    kinetics: Vec<CompiledExpr>,
+    deltas: Vec<Vec<(usize, i64)>>,
+    dependents: Vec<Vec<usize>>,
+    initial_values: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Compiles `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] if a kinetic law references an unknown
+    /// identifier (cannot happen for a model that passed validation).
+    pub fn new(model: &Model) -> Result<Self, ModelError> {
+        let kinetics = model.compile_kinetics()?;
+        let species_count = model.species().len();
+
+        let mut deltas = Vec::with_capacity(model.reactions().len());
+        for reaction in model.reactions() {
+            let mut delta: Vec<(usize, i64)> = Vec::new();
+            let mut touched: BTreeSet<&str> = BTreeSet::new();
+            for (id, _) in reaction.reactants.iter().chain(&reaction.products) {
+                touched.insert(id);
+            }
+            for id in touched {
+                let slot = model
+                    .species_id(id)
+                    .expect("validated model has all species")
+                    .0;
+                if model.species()[slot].boundary {
+                    // Boundary species are clamped: the reaction reads them
+                    // but firing it must not change them.
+                    continue;
+                }
+                let net = reaction.net_change(id);
+                if net != 0 {
+                    delta.push((slot, net));
+                }
+            }
+            deltas.push(delta);
+        }
+
+        // dependents[r] = reactions whose propensity reads a slot that
+        // firing r changes (the Gibson–Bruck dependency graph).
+        let refs: Vec<BTreeSet<usize>> = kinetics
+            .iter()
+            .map(|k| k.referenced_slots().iter().copied().collect())
+            .collect();
+        let mut dependents = Vec::with_capacity(deltas.len());
+        for delta in &deltas {
+            let changed: BTreeSet<usize> = delta.iter().map(|&(slot, _)| slot).collect();
+            let deps: Vec<usize> = refs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !changed.is_disjoint(r))
+                .map(|(j, _)| j)
+                .collect();
+            dependents.push(deps);
+        }
+
+        Ok(CompiledModel {
+            id: model.id().to_string(),
+            species_names: model.species().iter().map(|s| s.id.clone()).collect(),
+            reaction_ids: model.reactions().iter().map(|r| r.id.clone()).collect(),
+            species_count,
+            kinetics,
+            deltas,
+            dependents,
+            initial_values: model.initial_values(),
+        })
+    }
+
+    /// Model identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Number of species (and length of the species prefix of the value
+    /// vector).
+    pub fn species_count(&self) -> usize {
+        self.species_count
+    }
+
+    /// Number of reactions.
+    pub fn reaction_count(&self) -> usize {
+        self.kinetics.len()
+    }
+
+    /// Species names in slot order.
+    pub fn species_names(&self) -> &[String] {
+        &self.species_names
+    }
+
+    /// Slot of the species named `name`.
+    pub fn species_slot(&self, name: &str) -> Option<usize> {
+        self.species_names.iter().position(|n| n == name)
+    }
+
+    /// Identifier of reaction `r`.
+    pub fn reaction_id(&self, r: usize) -> &str {
+        &self.reaction_ids[r]
+    }
+
+    /// Fresh state at `t = 0` with initial amounts and parameter values.
+    pub fn initial_state(&self) -> State {
+        State {
+            t: 0.0,
+            values: self.initial_values.clone(),
+        }
+    }
+
+    /// Net state change of reaction `r` as `(slot, delta)` pairs
+    /// (boundary species already excluded).
+    pub fn delta(&self, r: usize) -> &[(usize, i64)] {
+        &self.deltas[r]
+    }
+
+    /// Reactions whose propensity may change when reaction `r` fires.
+    pub fn dependents(&self, r: usize) -> &[usize] {
+        &self.dependents[r]
+    }
+
+    /// Evaluates the propensity of reaction `r`, reusing `stack` as
+    /// scratch space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NegativePropensity`] or
+    /// [`SimError::NonFinitePropensity`] for invalid values.
+    pub fn propensity_with(
+        &self,
+        r: usize,
+        state: &State,
+        stack: &mut Vec<f64>,
+    ) -> Result<f64, SimError> {
+        let value = self.kinetics[r].eval_with(&state.values, stack);
+        if !value.is_finite() {
+            return Err(SimError::NonFinitePropensity {
+                reaction: self.reaction_ids[r].clone(),
+                time: state.t,
+            });
+        }
+        if value < 0.0 {
+            return Err(SimError::NegativePropensity {
+                reaction: self.reaction_ids[r].clone(),
+                time: state.t,
+                value,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Evaluates all propensities into `out` (resized as needed).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModel::propensity_with`].
+    pub fn propensities_into(
+        &self,
+        state: &State,
+        out: &mut Vec<f64>,
+        stack: &mut Vec<f64>,
+    ) -> Result<f64, SimError> {
+        out.resize(self.kinetics.len(), 0.0);
+        let mut total = 0.0;
+        for r in 0..self.kinetics.len() {
+            let a = self.propensity_with(r, state, stack)?;
+            out[r] = a;
+            total += a;
+        }
+        Ok(total)
+    }
+
+    /// Applies the state change of firing reaction `r` once.
+    pub fn apply(&self, r: usize, state: &mut State) {
+        for &(slot, delta) in &self.deltas[r] {
+            let updated = state.values[slot] + delta as f64;
+            debug_assert!(
+                updated >= 0.0,
+                "species `{}` driven negative by reaction `{}`",
+                self.species_names[slot],
+                self.reaction_ids[r]
+            );
+            state.values[slot] = updated.max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glc_model::ModelBuilder;
+
+    fn sample() -> CompiledModel {
+        let model = ModelBuilder::new("m")
+            .boundary_species("I", 100.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k", 0.5)
+            .reaction("r0", &["A"], &["B"], "k * A * I")
+            .unwrap()
+            .reaction("r1", &["B"], &[], "k * B")
+            .unwrap()
+            .reaction("r2", &[], &["A"], "k")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn layout_and_names() {
+        let compiled = sample();
+        assert_eq!(compiled.species_count(), 3);
+        assert_eq!(compiled.reaction_count(), 3);
+        assert_eq!(compiled.species_slot("A"), Some(1));
+        assert_eq!(compiled.species_slot("nope"), None);
+        assert_eq!(compiled.reaction_id(1), "r1");
+        assert_eq!(compiled.id(), "m");
+        let state = compiled.initial_state();
+        assert_eq!(state.values, vec![100.0, 10.0, 0.0, 0.5]);
+        assert_eq!(state.t, 0.0);
+    }
+
+    #[test]
+    fn boundary_species_are_not_changed_by_apply() {
+        // A reaction consuming the boundary species I must leave it intact.
+        let model = ModelBuilder::new("m")
+            .boundary_species("I", 5.0)
+            .species("P", 0.0)
+            .reaction("uptake", &["I"], &["P"], "I")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let mut state = compiled.initial_state();
+        compiled.apply(0, &mut state);
+        assert_eq!(state.values[0], 5.0, "boundary species clamped");
+        assert_eq!(state.values[1], 1.0, "product still produced");
+    }
+
+    #[test]
+    fn deltas_cancel_catalytic_species() {
+        // A + A -> A + B style: net change of catalyst is zero and should
+        // not appear in the delta list.
+        let model = ModelBuilder::new("m")
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .reaction_full(
+                "cat",
+                vec![("A".into(), 1)],
+                vec![("A".into(), 1), ("B".into(), 1)],
+                vec![],
+                "A",
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        assert_eq!(compiled.delta(0), &[(1, 1)]);
+    }
+
+    #[test]
+    fn dependency_graph_links_changed_slots_to_readers() {
+        let compiled = sample();
+        // r0 changes A (slot 1) and B (slot 2); r0 reads A, r1 reads B,
+        // r2 reads nothing.
+        assert_eq!(compiled.dependents(0), &[0, 1]);
+        // r1 changes B only; r1 reads B.
+        assert_eq!(compiled.dependents(1), &[1]);
+        // r2 changes A; r0 reads A.
+        assert_eq!(compiled.dependents(2), &[0]);
+    }
+
+    #[test]
+    fn propensities_evaluate_against_state() {
+        let compiled = sample();
+        let state = compiled.initial_state();
+        let mut stack = Vec::new();
+        let a0 = compiled.propensity_with(0, &state, &mut stack).unwrap();
+        assert_eq!(a0, 0.5 * 10.0 * 100.0);
+        let mut all = Vec::new();
+        let total = compiled
+            .propensities_into(&state, &mut all, &mut stack)
+            .unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(total, a0 + 0.0 + 0.5);
+    }
+
+    #[test]
+    fn non_finite_propensity_is_reported() {
+        let model = ModelBuilder::new("m")
+            .species("X", 0.0)
+            .reaction("bad", &[], &["X"], "1 / X")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let state = compiled.initial_state();
+        let mut stack = Vec::new();
+        let err = compiled.propensity_with(0, &state, &mut stack).unwrap_err();
+        assert!(matches!(err, SimError::NonFinitePropensity { .. }));
+    }
+
+    #[test]
+    fn negative_propensity_is_reported() {
+        let model = ModelBuilder::new("m")
+            .species("X", 0.0)
+            .reaction("bad", &[], &["X"], "X - 1")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let state = compiled.initial_state();
+        let mut stack = Vec::new();
+        let err = compiled.propensity_with(0, &state, &mut stack).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NegativePropensity { value, .. } if value == -1.0
+        ));
+    }
+
+    #[test]
+    fn state_accessors() {
+        let compiled = sample();
+        let mut state = compiled.initial_state();
+        assert_eq!(state.species(1), 10.0);
+        state.set_species(1, 25.0);
+        assert_eq!(state.species(1), 25.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Piecewise-constant input schedules.
+//!
+//! Genetic-circuit inputs are boundary species whose amounts the virtual
+//! lab clamps from outside the model (the wet-lab equivalent is adding or
+//! washing out an inducer). An [`InputSchedule`] lists timed set-points;
+//! a [`ScheduleRunner`] executes a simulation in segments, applying the
+//! set-points between engine runs, and records one continuous trace.
+
+use crate::compiled::{CompiledModel, State};
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::trace::{Trace, TraceRecorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A timed list of species set-points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InputSchedule {
+    /// `(time, species slot, amount)` triples, kept sorted by time
+    /// (stable for equal times, preserving insertion order).
+    events: Vec<(f64, usize, f64)>,
+}
+
+impl InputSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a set-point: at time `t`, clamp species `slot` to `amount`.
+    pub fn set(&mut self, t: f64, slot: usize, amount: f64) -> &mut Self {
+        let insert_at = self.events.partition_point(|&(et, _, _)| et <= t);
+        self.events.insert(insert_at, (t, slot, amount));
+        self
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[(f64, usize, f64)] {
+        &self.events
+    }
+
+    /// Distinct event times, in order.
+    pub fn event_times(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = Vec::new();
+        for &(t, _, _) in &self.events {
+            if times.last().map_or(true, |&last| t > last) {
+                times.push(t);
+            }
+        }
+        times
+    }
+
+    /// Applies every event with time in `[from, to)` to `state`.
+    pub fn apply_range(&self, from: f64, to: f64, state: &mut State) {
+        for &(t, slot, amount) in &self.events {
+            if t >= from && t < to {
+                state.set_species(slot, amount);
+            }
+        }
+    }
+}
+
+/// Executes a simulation under an [`InputSchedule`].
+#[derive(Debug, Clone)]
+pub struct ScheduleRunner {
+    schedule: InputSchedule,
+    sample_dt: f64,
+}
+
+impl ScheduleRunner {
+    /// Creates a runner for `schedule`, recording samples every
+    /// `sample_dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `sample_dt` is not strictly
+    /// positive or any event time is negative.
+    pub fn new(schedule: InputSchedule, sample_dt: f64) -> Result<Self, SimError> {
+        if !(sample_dt.is_finite() && sample_dt > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "sample_dt must be positive and finite, got {sample_dt}"
+            )));
+        }
+        if schedule.events().iter().any(|&(t, _, _)| t < 0.0) {
+            return Err(SimError::InvalidConfig(
+                "schedule contains a negative event time".into(),
+            ));
+        }
+        Ok(ScheduleRunner {
+            schedule,
+            sample_dt,
+        })
+    }
+
+    /// Runs `engine` on `model` from its initial state to `t_end`,
+    /// applying scheduled set-points and recording one continuous trace.
+    ///
+    /// Events at `t = 0` are applied before the first engine segment;
+    /// events at or beyond `t_end` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; rejects a negative `t_end`.
+    pub fn run(
+        &self,
+        model: &CompiledModel,
+        engine: &mut dyn Engine,
+        t_end: f64,
+        seed: u64,
+    ) -> Result<Trace, SimError> {
+        if t_end < 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "t_end must be non-negative, got {t_end}"
+            )));
+        }
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recorder = TraceRecorder::new(model, self.sample_dt);
+
+        let mut boundaries: Vec<f64> = self
+            .schedule
+            .event_times()
+            .into_iter()
+            .filter(|&t| t < t_end)
+            .collect();
+        boundaries.push(t_end);
+
+        let mut segment_start = 0.0;
+        // Apply t = 0 events before simulating.
+        self.schedule
+            .apply_range(-f64::EPSILON, f64::MIN_POSITIVE, &mut state);
+        for &boundary in &boundaries {
+            if boundary > segment_start {
+                engine.run(model, &mut state, boundary, &mut rng, &mut recorder)?;
+            }
+            if boundary < t_end {
+                // Apply the set-points firing exactly at this boundary.
+                self.schedule.apply_range(
+                    boundary.max(f64::MIN_POSITIVE),
+                    boundary + boundary_width(boundary),
+                    &mut state,
+                );
+            }
+            segment_start = boundary;
+        }
+        Ok(recorder.finish(t_end, &state))
+    }
+}
+
+/// Half-open width used to select the events at exactly one boundary.
+fn boundary_width(t: f64) -> f64 {
+    (t.abs() * f64::EPSILON).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::Direct;
+    use glc_model::ModelBuilder;
+
+    fn clamp_model() -> CompiledModel {
+        // Output Y relaxes toward the clamped input X.
+        let model = ModelBuilder::new("follow")
+            .boundary_species("X", 0.0)
+            .species("Y", 0.0)
+            .parameter("k", 0.5)
+            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["X".into()], "k * X")
+            .unwrap()
+            .reaction("deg", &["Y"], &[], "k * Y")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn schedule_keeps_events_sorted() {
+        let mut schedule = InputSchedule::new();
+        schedule.set(5.0, 0, 1.0);
+        schedule.set(1.0, 0, 2.0);
+        schedule.set(3.0, 1, 3.0);
+        let times: Vec<f64> = schedule.events().iter().map(|e| e.0).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        assert_eq!(schedule.event_times(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_time_events_preserve_insertion_order() {
+        let mut schedule = InputSchedule::new();
+        schedule.set(1.0, 0, 10.0);
+        schedule.set(1.0, 0, 20.0); // later insertion wins when applied
+        let mut state = State {
+            t: 0.0,
+            values: vec![0.0],
+        };
+        schedule.apply_range(0.5, 1.5, &mut state);
+        assert_eq!(state.values[0], 20.0);
+        assert_eq!(schedule.event_times(), vec![1.0]);
+    }
+
+    #[test]
+    fn runner_applies_clamps_and_output_follows() {
+        let model = clamp_model();
+        let mut schedule = InputSchedule::new();
+        let x = model.species_slot("X").unwrap();
+        schedule.set(0.0, x, 100.0);
+        schedule.set(100.0, x, 0.0);
+        let runner = ScheduleRunner::new(schedule, 1.0).unwrap();
+        let trace = runner.run(&model, &mut Direct::new(), 200.0, 7).unwrap();
+
+        let xs = trace.series("X").unwrap();
+        let ys = trace.series("Y").unwrap();
+        // Input clamps visible in the trace.
+        assert_eq!(xs[1], 100.0);
+        assert_eq!(xs[150], 0.0);
+        // Output approaches 100 before the switch, decays after.
+        assert!(ys[90] > 60.0, "Y[90] = {}", ys[90]);
+        assert!(ys[199] < 30.0, "Y[199] = {}", ys[199]);
+        assert_eq!(trace.len(), 201);
+    }
+
+    #[test]
+    fn events_beyond_horizon_are_ignored() {
+        let model = clamp_model();
+        let mut schedule = InputSchedule::new();
+        schedule.set(1000.0, 0, 99.0);
+        let runner = ScheduleRunner::new(schedule, 1.0).unwrap();
+        let trace = runner.run(&model, &mut Direct::new(), 10.0, 7).unwrap();
+        assert!(trace.series("X").unwrap().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ScheduleRunner::new(InputSchedule::new(), 0.0).is_err());
+        let mut schedule = InputSchedule::new();
+        schedule.set(-1.0, 0, 1.0);
+        assert!(ScheduleRunner::new(schedule, 1.0).is_err());
+        let runner = ScheduleRunner::new(InputSchedule::new(), 1.0).unwrap();
+        let model = clamp_model();
+        assert!(runner.run(&model, &mut Direct::new(), -5.0, 0).is_err());
+    }
+
+    #[test]
+    fn apply_range_is_half_open() {
+        let mut schedule = InputSchedule::new();
+        schedule.set(2.0, 0, 5.0);
+        let mut state = State {
+            t: 0.0,
+            values: vec![0.0],
+        };
+        schedule.apply_range(0.0, 2.0, &mut state); // [0, 2) excludes t=2
+        assert_eq!(state.values[0], 0.0);
+        schedule.apply_range(2.0, 3.0, &mut state);
+        assert_eq!(state.values[0], 5.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Gillespie's direct method (SSA).
+//!
+//! At each step the total propensity `a0 = Σ a_j` determines an
+//! exponentially distributed waiting time `τ ~ Exp(a0)`, and the firing
+//! reaction is chosen with probability `a_j / a0` (Gillespie 1977, the
+//! algorithm the paper cites as reference [7]).
+
+use crate::compiled::{CompiledModel, State};
+use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
+use crate::error::SimError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The direct method.
+#[derive(Debug, Clone)]
+pub struct Direct {
+    step_limit: u64,
+    propensities: Vec<f64>,
+    stack: Vec<f64>,
+}
+
+impl Direct {
+    /// Creates a direct-method engine with the default step limit.
+    pub fn new() -> Self {
+        Self::with_step_limit(DEFAULT_STEP_LIMIT)
+    }
+
+    /// Creates a direct-method engine with a custom per-run step limit.
+    pub fn with_step_limit(step_limit: u64) -> Self {
+        Direct {
+            step_limit,
+            propensities: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl Default for Direct {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine for Direct {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
+    fn run(
+        &mut self,
+        model: &CompiledModel,
+        state: &mut State,
+        t_end: f64,
+        rng: &mut StdRng,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError> {
+        if t_end < state.t {
+            return Err(SimError::InvalidConfig(format!(
+                "t_end {t_end} is before current time {}",
+                state.t
+            )));
+        }
+        let mut steps: u64 = 0;
+        loop {
+            let a0 =
+                model.propensities_into(state, &mut self.propensities, &mut self.stack)?;
+            if a0 <= 0.0 {
+                // Quiescent: nothing can ever fire again (propensities only
+                // change when state changes). Jump to the horizon.
+                break;
+            }
+            // τ ~ Exp(a0). `gen` yields [0, 1); use 1 - u to avoid ln(0).
+            let u: f64 = rng.gen();
+            let tau = -(1.0 - u).ln() / a0;
+            let t_next = state.t + tau;
+            if t_next >= t_end {
+                break;
+            }
+            // Pick reaction j with probability a_j / a0.
+            let mut target = rng.gen::<f64>() * a0;
+            let mut fired = self.propensities.len() - 1;
+            for (j, &a) in self.propensities.iter().enumerate() {
+                if target < a {
+                    fired = j;
+                    break;
+                }
+                target -= a;
+            }
+            observer.on_advance(t_next, &state.values);
+            state.t = t_next;
+            model.apply(fired, state);
+            steps += 1;
+            if steps >= self.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.step_limit,
+                    time: state.t,
+                });
+            }
+        }
+        observer.on_advance(t_end, &state.values);
+        state.t = t_end;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullObserver;
+    use glc_model::ModelBuilder;
+    use rand::SeedableRng;
+
+    fn birth_death(k_prod: f64, k_deg: f64, x0: f64) -> CompiledModel {
+        let model = ModelBuilder::new("bd")
+            .species("X", x0)
+            .parameter("kp", k_prod)
+            .parameter("kd", k_deg)
+            .reaction("prod", &[], &["X"], "kp")
+            .unwrap()
+            .reaction("deg", &["X"], &[], "kd * X")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn reaches_horizon_and_sets_time() {
+        let model = birth_death(5.0, 0.1, 0.0);
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        Direct::new()
+            .run(&model, &mut state, 10.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.t, 10.0);
+    }
+
+    #[test]
+    fn quiescent_model_jumps_to_horizon() {
+        // No production, nothing to degrade: zero total propensity.
+        let model = birth_death(0.0, 0.1, 0.0);
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        Direct::new()
+            .run(&model, &mut state, 100.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.t, 100.0);
+        assert_eq!(state.values[0], 0.0);
+    }
+
+    #[test]
+    fn birth_death_converges_to_analytic_mean() {
+        // Stationary distribution is Poisson(kp/kd); mean 50.
+        let model = birth_death(5.0, 0.1, 0.0);
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = Direct::new();
+        // Burn in.
+        engine
+            .run(&model, &mut state, 200.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        // Time-average over a long window.
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for _ in 0..2000 {
+            let t_next = state.t + 1.0;
+            engine
+                .run(&model, &mut state, t_next, &mut rng, &mut NullObserver)
+                .unwrap();
+            sum += state.values[0];
+            count += 1;
+        }
+        let mean = sum / count as f64;
+        assert!(
+            (mean - 50.0).abs() < 3.0,
+            "empirical mean {mean} too far from 50"
+        );
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let model = birth_death(1e6, 0.0, 0.0);
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = Direct::with_step_limit(100)
+            .run(&model, &mut state, 1e9, &mut rng, &mut NullObserver)
+            .unwrap_err();
+        assert!(matches!(err, SimError::StepLimitExceeded { limit: 100, .. }));
+    }
+
+    #[test]
+    fn t_end_in_the_past_is_rejected() {
+        let model = birth_death(1.0, 1.0, 0.0);
+        let mut state = model.initial_state();
+        state.t = 5.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = Direct::new()
+            .run(&model, &mut state, 1.0, &mut rng, &mut NullObserver)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn species_counts_stay_non_negative_and_integral() {
+        let model = birth_death(5.0, 0.5, 20.0);
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        struct Check;
+        impl Observer for Check {
+            fn on_advance(&mut self, _t: f64, values: &[f64]) {
+                assert!(values[0] >= 0.0);
+                assert_eq!(values[0].fract(), 0.0);
+            }
+        }
+        Direct::new()
+            .run(&model, &mut state, 50.0, &mut rng, &mut Check)
+            .unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let model = birth_death(5.0, 0.1, 0.0);
+        let run = |seed: u64| {
+            let mut state = model.initial_state();
+            let mut rng = StdRng::seed_from_u64(seed);
+            Direct::new()
+                .run(&model, &mut state, 100.0, &mut rng, &mut NullObserver)
+                .unwrap();
+            state.values[0]
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`Engine`] trait shared by all stochastic simulation algorithms.
+
+use crate::compiled::{CompiledModel, State};
+use crate::error::SimError;
+use rand::rngs::StdRng;
+
+/// Default cap on the number of reaction firings per [`Engine::run`] call,
+/// guarding against runaway models.
+pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
+
+/// Receives simulation progress.
+///
+/// `on_advance(t_new, values)` is called when simulated time advances to
+/// `t_new` while the state held in `values` was valid over the preceding
+/// interval — i.e. *before* the state change at `t_new` is applied. This
+/// is exactly what a uniform sampler needs: every sample point in
+/// `[t_prev, t_new)` takes the old state.
+pub trait Observer {
+    /// Reports that time advanced to `t_new` with `values` valid until
+    /// then.
+    fn on_advance(&mut self, t_new: f64, values: &[f64]);
+}
+
+/// A no-op observer for callers that only want the final state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_advance(&mut self, _t_new: f64, _values: &[f64]) {}
+}
+
+/// A stochastic simulation algorithm.
+///
+/// Engines are stateless between [`Engine::run`] calls (any internal
+/// structures are rebuilt at the start of each call), so a run can be
+/// split into segments with external state edits — input clamping —
+/// in between. That is how the virtual lab applies input combinations.
+pub trait Engine {
+    /// Algorithm name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Advances `state` until `state.t >= t_end` or no reaction can fire.
+    ///
+    /// The observer is notified per firing; see [`Observer`]. On return
+    /// `state.t == t_end` (time is always advanced to the horizon, even
+    /// when the system went quiescent).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on invalid propensities or when the step limit is
+    /// exceeded.
+    fn run(
+        &mut self,
+        model: &CompiledModel,
+        state: &mut State,
+        t_end: f64,
+        rng: &mut StdRng,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError>;
+
+    /// Maximum number of firings allowed per `run` call.
+    fn step_limit(&self) -> u64 {
+        DEFAULT_STEP_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_a_unit() {
+        let mut obs = NullObserver;
+        obs.on_advance(1.0, &[1.0, 2.0]);
+    }
+}

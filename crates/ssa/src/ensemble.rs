@@ -1,0 +1,250 @@
+//! Ensemble simulation: many stochastic replicates, aggregated.
+//!
+//! A single SSA trajectory is one sample of a distribution; circuit
+//! noise analyses (and the mean-vs-ODE cross-checks) need the ensemble
+//! mean and spread. [`run_ensemble`] runs independent replicates on
+//! worker threads (crossbeam scoped threads, one RNG stream per
+//! replicate derived from a base seed) and aggregates them into
+//! mean/standard-deviation traces on the common sampling grid.
+
+use crate::compiled::CompiledModel;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::simulate;
+use crate::trace::Trace;
+use parking_lot::Mutex;
+
+/// Aggregated result of an ensemble run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ensemble {
+    /// Point-wise ensemble mean of every species.
+    pub mean: Trace,
+    /// Point-wise ensemble standard deviation (population).
+    pub std_dev: Trace,
+    /// Number of replicates aggregated.
+    pub replicates: usize,
+}
+
+/// Runs `replicates` independent simulations of `model` until `t_end`
+/// (sampled every `sample_dt`), seeding replicate `i` with
+/// `base_seed + i`, spread across `threads` workers.
+///
+/// `make_engine` is called once per worker to create that worker's
+/// engine (engines are stateful scratch, not shareable).
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any replicate produced, and
+/// [`SimError::InvalidConfig`] for zero `replicates`/`threads`.
+pub fn run_ensemble<F>(
+    model: &CompiledModel,
+    make_engine: F,
+    replicates: usize,
+    t_end: f64,
+    sample_dt: f64,
+    base_seed: u64,
+    threads: usize,
+) -> Result<Ensemble, SimError>
+where
+    F: Fn() -> Box<dyn Engine> + Sync,
+{
+    if replicates == 0 {
+        return Err(SimError::InvalidConfig("replicates must be >= 1".into()));
+    }
+    if threads == 0 {
+        return Err(SimError::InvalidConfig("threads must be >= 1".into()));
+    }
+
+    let next: Mutex<usize> = Mutex::new(0);
+    let failure: Mutex<Option<SimError>> = Mutex::new(None);
+    // Accumulate sum and sum-of-squares per species per sample.
+    let accum: Mutex<Option<(Vec<Vec<f64>>, Vec<Vec<f64>>, usize)>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(replicates) {
+            scope.spawn(|_| {
+                let mut engine = make_engine();
+                loop {
+                    let replicate = {
+                        let mut guard = next.lock();
+                        if *guard >= replicates || failure.lock().is_some() {
+                            return;
+                        }
+                        let r = *guard;
+                        *guard += 1;
+                        r
+                    };
+                    let seed = base_seed.wrapping_add(replicate as u64);
+                    match simulate(model, engine.as_mut(), t_end, sample_dt, seed) {
+                        Ok(trace) => {
+                            let mut guard = accum.lock();
+                            let species = model.species_count();
+                            let samples = trace.len();
+                            let (sums, squares, count) = guard.get_or_insert_with(|| {
+                                (
+                                    vec![vec![0.0; samples]; species],
+                                    vec![vec![0.0; samples]; species],
+                                    0,
+                                )
+                            });
+                            for s in 0..species {
+                                let series = trace.series_at(s);
+                                for (k, &v) in series.iter().enumerate() {
+                                    sums[s][k] += v;
+                                    squares[s][k] += v * v;
+                                }
+                            }
+                            *count += 1;
+                        }
+                        Err(err) => {
+                            failure.lock().get_or_insert(err);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("ensemble worker panicked");
+
+    if let Some(err) = failure.into_inner() {
+        return Err(err);
+    }
+    let (sums, squares, count) = accum
+        .into_inner()
+        .expect("at least one replicate completed");
+    debug_assert_eq!(count, replicates);
+
+    let names = model.species_names().to_vec();
+    let mut mean = Trace::new(names.clone(), sample_dt, 0.0);
+    let mut std_dev = Trace::new(names, sample_dt, 0.0);
+    let samples = sums[0].len();
+    let n = count as f64;
+    for k in 0..samples {
+        let mean_row: Vec<f64> = (0..sums.len()).map(|s| sums[s][k] / n).collect();
+        let std_row: Vec<f64> = (0..sums.len())
+            .map(|s| {
+                let m = sums[s][k] / n;
+                (squares[s][k] / n - m * m).max(0.0).sqrt()
+            })
+            .collect();
+        mean.push_row(&mean_row);
+        std_dev.push_row(&std_row);
+    }
+    Ok(Ensemble {
+        mean,
+        std_dev,
+        replicates: count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::Direct;
+    use crate::ode;
+    use glc_model::ModelBuilder;
+
+    fn birth_death() -> CompiledModel {
+        let model = ModelBuilder::new("bd")
+            .species("X", 0.0)
+            .parameter("kp", 5.0)
+            .parameter("kd", 0.1)
+            .reaction("prod", &[], &["X"], "kp")
+            .unwrap()
+            .reaction("deg", &["X"], &[], "kd * X")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn ensemble_mean_tracks_the_ode_solution() {
+        let model = birth_death();
+        let ensemble = run_ensemble(
+            &model,
+            || Box::new(Direct::new()),
+            64,
+            60.0,
+            5.0,
+            7,
+            4,
+        )
+        .unwrap();
+        assert_eq!(ensemble.replicates, 64);
+        let ode_trace = ode::integrate(&model, 60.0, 0.01, 5.0).unwrap();
+        let mean = ensemble.mean.series("X").unwrap();
+        let expected = ode_trace.series("X").unwrap();
+        assert_eq!(mean.len(), expected.len());
+        for (k, (&m, &e)) in mean.iter().zip(expected).enumerate().skip(1) {
+            // Standard error of 64 replicates around Poisson-ish spread.
+            assert!(
+                (m - e).abs() < 4.0,
+                "sample {k}: ensemble {m} vs ODE {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_std_matches_poisson_at_stationarity() {
+        let model = birth_death();
+        let ensemble = run_ensemble(
+            &model,
+            || Box::new(Direct::new()),
+            128,
+            120.0,
+            10.0,
+            3,
+            4,
+        )
+        .unwrap();
+        let std = ensemble.std_dev.series("X").unwrap();
+        // Stationary distribution is Poisson(50): σ = √50 ≈ 7.07.
+        let last = *std.last().unwrap();
+        assert!((last - 50.0f64.sqrt()).abs() < 2.0, "σ = {last}");
+        // Initial condition is deterministic: σ(0) = 0.
+        assert_eq!(std[0], 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_base_seed() {
+        let model = birth_death();
+        let run = |threads| {
+            run_ensemble(
+                &model,
+                || Box::new(Direct::new()),
+                16,
+                30.0,
+                5.0,
+                11,
+                threads,
+            )
+            .unwrap()
+        };
+        // Seeds are assigned per replicate index, so thread count must
+        // not change the aggregate.
+        assert_eq!(run(1).mean, run(4).mean);
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = birth_death();
+        assert!(run_ensemble(&model, || Box::new(Direct::new()), 0, 1.0, 1.0, 0, 1).is_err());
+        assert!(run_ensemble(&model, || Box::new(Direct::new()), 1, 1.0, 1.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn replicate_failures_propagate() {
+        let model = ModelBuilder::new("bad")
+            .species("X", 0.0)
+            .reaction("boom", &[], &["X"], "1 / X")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let err = run_ensemble(&compiled, || Box::new(Direct::new()), 4, 1.0, 1.0, 0, 2)
+            .unwrap_err();
+        assert!(matches!(err, SimError::NonFinitePropensity { .. }));
+    }
+}

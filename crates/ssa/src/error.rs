@@ -1,0 +1,94 @@
+//! Simulation error type.
+
+use std::fmt;
+
+/// Error raised during stochastic or deterministic simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A kinetic law evaluated to a negative value. Propensities must be
+    /// non-negative; a negative value indicates a modelling error (e.g. a
+    /// mass-action law referencing a species that went negative).
+    NegativePropensity {
+        /// Reaction whose propensity went negative.
+        reaction: String,
+        /// Simulation time at which it happened.
+        time: f64,
+        /// The offending value.
+        value: f64,
+    },
+    /// A kinetic law evaluated to NaN or infinity.
+    NonFinitePropensity {
+        /// Reaction whose propensity was non-finite.
+        reaction: String,
+        /// Simulation time at which it happened.
+        time: f64,
+    },
+    /// The step budget was exhausted before reaching the end time,
+    /// indicating a runaway model (propensities growing without bound).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+        /// Simulation time reached when the limit hit.
+        time: f64,
+    },
+    /// Invalid configuration (non-positive sampling interval, zero leap
+    /// length, end time before start time, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NegativePropensity {
+                reaction,
+                time,
+                value,
+            } => write!(
+                f,
+                "reaction `{reaction}` has negative propensity {value} at t = {time}"
+            ),
+            SimError::NonFinitePropensity { reaction, time } => write!(
+                f,
+                "reaction `{reaction}` has non-finite propensity at t = {time}"
+            ),
+            SimError::StepLimitExceeded { limit, time } => write!(
+                f,
+                "step limit of {limit} reactions exceeded at t = {time} (runaway model?)"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SimError::NegativePropensity {
+            reaction: "deg".into(),
+            time: 1.5,
+            value: -2.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("deg") && text.contains("-2") && text.contains("1.5"));
+
+        let err = SimError::StepLimitExceeded {
+            limit: 10,
+            time: 0.1,
+        };
+        assert!(err.to_string().contains("10"));
+
+        let err = SimError::InvalidConfig("dt must be positive".into());
+        assert!(err.to_string().contains("dt must be positive"));
+
+        let err = SimError::NonFinitePropensity {
+            reaction: "r".into(),
+            time: 2.0,
+        };
+        assert!(err.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Indexed binary min-heap used by the Gibson–Bruck next-reaction method.
+//!
+//! Supports `O(log n)` key updates of arbitrary items, which is the
+//! operation the next-reaction method performs for every dependent
+//! reaction after a firing.
+
+/// A min-heap over items `0..n` keyed by `f64` (typically absolute firing
+/// times; `f64::INFINITY` marks reactions that currently cannot fire).
+///
+/// NaN keys are not supported and will panic in debug builds.
+#[derive(Debug, Clone)]
+pub struct IndexedPriorityQueue {
+    /// Heap array of item ids.
+    heap: Vec<usize>,
+    /// `pos[item]` = index of `item` within `heap`.
+    pos: Vec<usize>,
+    /// `keys[item]` = current key of `item`.
+    keys: Vec<f64>,
+}
+
+impl IndexedPriorityQueue {
+    /// Builds a queue from initial keys (item ids are `0..keys.len()`).
+    pub fn new(keys: Vec<f64>) -> Self {
+        debug_assert!(keys.iter().all(|k| !k.is_nan()), "NaN key");
+        let n = keys.len();
+        let mut queue = IndexedPriorityQueue {
+            heap: (0..n).collect(),
+            pos: (0..n).collect(),
+            keys,
+        };
+        // Standard bottom-up heapify.
+        for i in (0..n / 2).rev() {
+            queue.sift_down(i);
+        }
+        queue
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The item with the smallest key and its key.
+    ///
+    /// Returns `None` only for an empty queue.
+    pub fn min(&self) -> Option<(usize, f64)> {
+        self.heap.first().map(|&item| (item, self.keys[item]))
+    }
+
+    /// Current key of `item`.
+    pub fn key(&self, item: usize) -> f64 {
+        self.keys[item]
+    }
+
+    /// Sets the key of `item`, restoring the heap property.
+    pub fn update(&mut self, item: usize, key: f64) {
+        debug_assert!(!key.is_nan(), "NaN key");
+        let old = self.keys[item];
+        self.keys[item] = key;
+        let index = self.pos[item];
+        if key < old {
+            self.sift_up(index);
+        } else if key > old {
+            self.sift_down(index);
+        }
+    }
+
+    fn sift_up(&mut self, mut index: usize) {
+        while index > 0 {
+            let parent = (index - 1) / 2;
+            if self.keys[self.heap[index]] < self.keys[self.heap[parent]] {
+                self.swap(index, parent);
+                index = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut index: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * index + 1;
+            let right = left + 1;
+            let mut smallest = index;
+            if left < n && self.keys[self.heap[left]] < self.keys[self.heap[smallest]] {
+                smallest = left;
+            }
+            if right < n && self.keys[self.heap[right]] < self.keys[self.heap[smallest]] {
+                smallest = right;
+            }
+            if smallest == index {
+                break;
+            }
+            self.swap(index, smallest);
+            index = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+
+    /// Debug check: verifies the heap property and the position index.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (index, &item) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[item], index, "pos index out of sync");
+            if index > 0 {
+                let parent = (index - 1) / 2;
+                assert!(
+                    self.keys[self.heap[parent]] <= self.keys[item],
+                    "heap property violated at index {index}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn heapify_finds_minimum() {
+        let queue = IndexedPriorityQueue::new(vec![5.0, 1.0, 3.0, 0.5, 9.0]);
+        queue.check_invariants();
+        assert_eq!(queue.min(), Some((3, 0.5)));
+        assert_eq!(queue.len(), 5);
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_has_no_min() {
+        let queue = IndexedPriorityQueue::new(vec![]);
+        assert_eq!(queue.min(), None);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn update_moves_items_both_directions() {
+        let mut queue = IndexedPriorityQueue::new(vec![1.0, 2.0, 3.0, 4.0]);
+        queue.update(0, 10.0); // min moves away
+        queue.check_invariants();
+        assert_eq!(queue.min(), Some((1, 2.0)));
+        queue.update(3, 0.1); // last becomes min
+        queue.check_invariants();
+        assert_eq!(queue.min(), Some((3, 0.1)));
+        assert_eq!(queue.key(0), 10.0);
+    }
+
+    #[test]
+    fn update_with_equal_key_is_a_no_op() {
+        let mut queue = IndexedPriorityQueue::new(vec![1.0, 2.0]);
+        queue.update(1, 2.0);
+        queue.check_invariants();
+        assert_eq!(queue.min(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn infinity_keys_sink_to_the_bottom() {
+        let mut queue = IndexedPriorityQueue::new(vec![f64::INFINITY, 2.0, f64::INFINITY]);
+        assert_eq!(queue.min(), Some((1, 2.0)));
+        queue.update(1, f64::INFINITY);
+        let (_, key) = queue.min().unwrap();
+        assert!(key.is_infinite());
+    }
+
+    #[test]
+    fn randomized_updates_preserve_invariants_and_min() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 64;
+        let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut queue = IndexedPriorityQueue::new(keys.clone());
+        for _ in 0..2000 {
+            let item = rng.gen_range(0..n);
+            let key = if rng.gen_bool(0.1) {
+                f64::INFINITY
+            } else {
+                rng.gen_range(0.0..100.0)
+            };
+            keys[item] = key;
+            queue.update(item, key);
+            queue.check_invariants();
+            let expected_min = keys
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let (_, actual_min) = queue.min().unwrap();
+            assert_eq!(actual_min, expected_min);
+        }
+    }
+}

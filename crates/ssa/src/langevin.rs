@@ -1,0 +1,227 @@
+//! Chemical Langevin equation engine (Euler–Maruyama).
+//!
+//! Between the exact SSA (every firing resolved) and the deterministic
+//! reaction-rate ODE (no noise at all) sits the chemical Langevin
+//! equation: species evolve continuously with drift `Σ ν_j a_j(x)` and
+//! per-reaction Gaussian noise of magnitude `√a_j(x)`. It reproduces the
+//! right noise *scale* when molecule counts are moderately large at a
+//! fraction of the exact methods' cost, and it is the standard middle
+//! rung of the simulation-fidelity ladder the engine ablation sweeps.
+//!
+//! States are continuous here; amounts are clamped at zero and the trace
+//! is *not* integer-valued (unlike the exact engines).
+
+use crate::compiled::{CompiledModel, State};
+use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
+use crate::error::SimError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The chemical Langevin engine with fixed time step.
+#[derive(Debug, Clone)]
+pub struct Langevin {
+    dt: f64,
+    step_limit: u64,
+    propensities: Vec<f64>,
+    stack: Vec<f64>,
+}
+
+impl Langevin {
+    /// Creates a Langevin engine with the given Euler–Maruyama step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `dt` is positive and
+    /// finite.
+    pub fn new(dt: f64) -> Result<Self, SimError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "dt must be positive and finite, got {dt}"
+            )));
+        }
+        Ok(Langevin {
+            dt,
+            step_limit: DEFAULT_STEP_LIMIT,
+            propensities: Vec::new(),
+            stack: Vec::new(),
+        })
+    }
+
+    /// The integration step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+}
+
+/// Standard normal sample (Box–Muller).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Engine for Langevin {
+    fn name(&self) -> &'static str {
+        "langevin"
+    }
+
+    fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
+    fn run(
+        &mut self,
+        model: &CompiledModel,
+        state: &mut State,
+        t_end: f64,
+        rng: &mut StdRng,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError> {
+        if t_end < state.t {
+            return Err(SimError::InvalidConfig(format!(
+                "t_end {t_end} is before current time {}",
+                state.t
+            )));
+        }
+        let mut steps: u64 = 0;
+        while state.t < t_end {
+            let h = self.dt.min(t_end - state.t);
+            let t_next = state.t + h;
+            model.propensities_into(state, &mut self.propensities, &mut self.stack)?;
+            observer.on_advance(t_next, &state.values);
+            let sqrt_h = h.sqrt();
+            for r in 0..model.reaction_count() {
+                let a = self.propensities[r];
+                if a == 0.0 {
+                    continue;
+                }
+                let increment = a * h + a.sqrt() * sqrt_h * standard_normal(rng);
+                for &(slot, delta) in model.delta(r) {
+                    state.values[slot] += delta as f64 * increment;
+                }
+            }
+            for slot in 0..model.species_count() {
+                if state.values[slot] < 0.0 {
+                    state.values[slot] = 0.0;
+                }
+            }
+            state.t = t_next;
+            steps += 1;
+            if steps >= self.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.step_limit,
+                    time: state.t,
+                });
+            }
+        }
+        state.t = t_end;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullObserver;
+    use crate::simulate;
+    use glc_model::ModelBuilder;
+    use rand::SeedableRng;
+
+    fn birth_death() -> CompiledModel {
+        let model = ModelBuilder::new("bd")
+            .species("X", 0.0)
+            .parameter("kp", 5.0)
+            .parameter("kd", 0.1)
+            .reaction("prod", &[], &["X"], "kp")
+            .unwrap()
+            .reaction("deg", &["X"], &[], "kd * X")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_dt() {
+        assert!(Langevin::new(0.0).is_err());
+        assert!(Langevin::new(f64::NAN).is_err());
+        assert_eq!(Langevin::new(0.25).unwrap().dt(), 0.25);
+    }
+
+    #[test]
+    fn stationary_mean_matches_exact_engines() {
+        let model = birth_death();
+        let mut engine = Langevin::new(0.05).unwrap();
+        let trace = simulate(&model, &mut engine, 2000.0, 1.0, 5).unwrap();
+        let series = &trace.series("X").unwrap()[200..];
+        let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        assert!((mean - 50.0).abs() < 4.0, "mean {mean}");
+    }
+
+    #[test]
+    fn noise_scale_is_poissonian() {
+        // CLE should reproduce the √mean noise of the birth–death
+        // process: variance ≈ 50 at stationarity.
+        let model = birth_death();
+        let mut engine = Langevin::new(0.05).unwrap();
+        let trace = simulate(&model, &mut engine, 5000.0, 1.0, 11).unwrap();
+        let series = &trace.series("X").unwrap()[500..];
+        let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        let var: f64 =
+            series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+        assert!(
+            (var / mean - 1.0).abs() < 0.35,
+            "Fano {} too far from 1",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn states_stay_non_negative() {
+        let model = birth_death();
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = Langevin::new(0.5).unwrap(); // coarse on purpose
+        struct NonNegative;
+        impl Observer for NonNegative {
+            fn on_advance(&mut self, _t: f64, values: &[f64]) {
+                assert!(values[0] >= 0.0);
+            }
+        }
+        engine
+            .run(&model, &mut state, 200.0, &mut rng, &mut NonNegative)
+            .unwrap();
+        assert_eq!(state.t, 200.0);
+    }
+
+    #[test]
+    fn time_lands_on_horizon_and_rejects_past() {
+        let model = birth_death();
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut engine = Langevin::new(0.3).unwrap();
+        engine
+            .run(&model, &mut state, 1.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.t, 1.0);
+        assert!(engine
+            .run(&model, &mut state, 0.5, &mut rng, &mut NullObserver)
+            .is_err());
+    }
+
+    #[test]
+    fn quiescent_model_stays_put() {
+        let model = ModelBuilder::new("still")
+            .species("X", 7.0)
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let mut state = compiled.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        Langevin::new(0.1)
+            .unwrap()
+            .run(&compiled, &mut state, 5.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.values[0], 7.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fixed-step tau-leaping (approximate SSA).
+//!
+//! Advances time in fixed increments `tau`, firing each reaction a
+//! Poisson-distributed number of times with mean `a_j * tau`. Much faster
+//! than exact methods on stiff models at the cost of accuracy; provided
+//! for the engine-ablation benchmark. Species counts are clamped at zero
+//! (the standard non-negativity fix-up for plain tau-leaping).
+
+use crate::compiled::{CompiledModel, State};
+use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
+use crate::error::SimError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The tau-leaping engine.
+#[derive(Debug, Clone)]
+pub struct TauLeap {
+    tau: f64,
+    step_limit: u64,
+    propensities: Vec<f64>,
+    stack: Vec<f64>,
+}
+
+impl TauLeap {
+    /// Creates a tau-leaping engine with the given fixed leap length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `tau` is not strictly
+    /// positive and finite.
+    pub fn new(tau: f64) -> Result<Self, SimError> {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "leap length must be positive and finite, got {tau}"
+            )));
+        }
+        Ok(TauLeap {
+            tau,
+            step_limit: DEFAULT_STEP_LIMIT,
+            propensities: Vec::new(),
+            stack: Vec::new(),
+        })
+    }
+
+    /// The fixed leap length.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+/// Samples `Poisson(lambda)`.
+///
+/// Knuth's product method for small means; for large means a rounded
+/// normal approximation `N(lambda, lambda)`, which is accurate to well
+/// under a percent for `lambda > 30` — fine for an approximate engine.
+pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let threshold = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > threshold {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let sample = lambda + lambda.sqrt() * z;
+        sample.round().max(0.0) as u64
+    }
+}
+
+impl Engine for TauLeap {
+    fn name(&self) -> &'static str {
+        "tau-leap"
+    }
+
+    fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
+    fn run(
+        &mut self,
+        model: &CompiledModel,
+        state: &mut State,
+        t_end: f64,
+        rng: &mut StdRng,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError> {
+        if t_end < state.t {
+            return Err(SimError::InvalidConfig(format!(
+                "t_end {t_end} is before current time {}",
+                state.t
+            )));
+        }
+        let mut steps: u64 = 0;
+        while state.t < t_end {
+            let t_next = (state.t + self.tau).min(t_end);
+            model.propensities_into(state, &mut self.propensities, &mut self.stack)?;
+            observer.on_advance(t_next, &state.values);
+            let dt = t_next - state.t;
+            for r in 0..model.reaction_count() {
+                let firings = poisson(rng, self.propensities[r] * dt);
+                if firings == 0 {
+                    continue;
+                }
+                // Bulk update: equivalent to applying the reaction
+                // `firings` times, in O(species touched) instead of
+                // O(firings).
+                for &(slot, delta) in model.delta(r) {
+                    state.values[slot] += delta as f64 * firings as f64;
+                }
+            }
+            // Clamp any species driven negative by the approximation.
+            for slot in 0..model.species_count() {
+                if state.values[slot] < 0.0 {
+                    state.values[slot] = 0.0;
+                }
+            }
+            state.t = t_next;
+            steps += 1;
+            if steps >= self.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.step_limit,
+                    time: state.t,
+                });
+            }
+        }
+        state.t = t_end;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullObserver;
+    use glc_model::ModelBuilder;
+    use rand::SeedableRng;
+
+    fn birth_death() -> CompiledModel {
+        let model = ModelBuilder::new("bd")
+            .species("X", 0.0)
+            .parameter("kp", 5.0)
+            .parameter("kd", 0.1)
+            .reaction("prod", &[], &["X"], "kp")
+            .unwrap()
+            .reaction("deg", &["X"], &[], "kd * X")
+            .unwrap()
+            .build()
+            .unwrap();
+        CompiledModel::new(&model).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_tau() {
+        assert!(TauLeap::new(0.0).is_err());
+        assert!(TauLeap::new(-1.0).is_err());
+        assert!(TauLeap::new(f64::NAN).is_err());
+        assert!(TauLeap::new(f64::INFINITY).is_err());
+        assert_eq!(TauLeap::new(0.5).unwrap().tau(), 0.5);
+    }
+
+    #[test]
+    fn approximates_stationary_mean() {
+        let model = birth_death();
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut engine = TauLeap::new(0.1).unwrap();
+        engine
+            .run(&model, &mut state, 200.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        let mut sum = 0.0;
+        for _ in 0..1500 {
+            let t_next = state.t + 1.0;
+            engine
+                .run(&model, &mut state, t_next, &mut rng, &mut NullObserver)
+                .unwrap();
+            sum += state.values[0];
+        }
+        let mean = sum / 1500.0;
+        assert!(
+            (mean - 50.0).abs() < 5.0,
+            "empirical mean {mean} too far from 50"
+        );
+    }
+
+    #[test]
+    fn time_lands_exactly_on_horizon() {
+        let model = birth_death();
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(1);
+        TauLeap::new(0.3)
+            .unwrap()
+            .run(&model, &mut state, 1.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.t, 1.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lambda = 3.0;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lambda = 250.0;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn species_never_go_negative() {
+        let model = birth_death();
+        let mut state = model.initial_state();
+        state.set_species(0, 5.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut engine = TauLeap::new(2.0).unwrap(); // coarse leap on purpose
+        for _ in 0..200 {
+            let t_next = state.t + 2.0;
+            engine
+                .run(&model, &mut state, t_next, &mut rng, &mut NullObserver)
+                .unwrap();
+            assert!(state.values[0] >= 0.0);
+        }
+    }
+}

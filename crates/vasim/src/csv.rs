@@ -1,0 +1,214 @@
+//! CSV logging of simulation traces.
+//!
+//! D-VASim logs experimental simulation data to files which are then fed
+//! to the logic analyzer; this module provides the same round-trip. The
+//! format is one header row (`time,<species>,...`) and one row per
+//! sample.
+
+use crate::error::VasimError;
+use glc_ssa::Trace;
+use std::fmt::Write as _;
+
+/// Serializes a trace to CSV (header row plus one row per sample).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("time");
+    for name in trace.species() {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for k in 0..trace.len() {
+        let _ = write!(out, "{}", trace.time(k));
+        for s in 0..trace.species().len() {
+            let _ = write!(out, ",{}", trace.series_at(s)[k]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace from CSV produced by [`to_csv`] (or any file with a
+/// `time` column first and uniformly spaced samples).
+///
+/// # Errors
+///
+/// Returns [`VasimError::Csv`] for missing headers, ragged rows,
+/// non-numeric fields, or a non-uniform time grid.
+pub fn from_csv(text: &str) -> Result<Trace, VasimError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(VasimError::Csv {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let mut columns = header.split(',');
+    let time_col = columns.next().unwrap_or("");
+    if time_col.trim() != "time" {
+        return Err(VasimError::Csv {
+            line: 1,
+            message: format!("first column must be `time`, found `{time_col}`"),
+        });
+    }
+    let species: Vec<String> = columns.map(|c| c.trim().to_string()).collect();
+    if species.is_empty() {
+        return Err(VasimError::Csv {
+            line: 1,
+            message: "no species columns".into(),
+        });
+    }
+
+    let mut times: Vec<f64> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parse = |field: Option<&str>, idx: usize| -> Result<f64, VasimError> {
+            let text = field.ok_or(VasimError::Csv {
+                line: idx + 1,
+                message: "missing field".into(),
+            })?;
+            text.trim().parse().map_err(|_| VasimError::Csv {
+                line: idx + 1,
+                message: format!("invalid number `{text}`"),
+            })
+        };
+        times.push(parse(fields.next(), idx)?);
+        let mut row = Vec::with_capacity(species.len());
+        for _ in 0..species.len() {
+            row.push(parse(fields.next(), idx)?);
+        }
+        if fields.next().is_some() {
+            return Err(VasimError::Csv {
+                line: idx + 1,
+                message: "too many fields".into(),
+            });
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(VasimError::Csv {
+            line: 2,
+            message: "no data rows".into(),
+        });
+    }
+
+    let t0 = times[0];
+    let sample_dt = if times.len() >= 2 {
+        times[1] - times[0]
+    } else {
+        1.0
+    };
+    if sample_dt <= 0.0 {
+        return Err(VasimError::Csv {
+            line: 3,
+            message: "time column must be strictly increasing".into(),
+        });
+    }
+    for (k, &t) in times.iter().enumerate() {
+        let expected = t0 + k as f64 * sample_dt;
+        if (t - expected).abs() > 1e-6 * sample_dt.max(1.0) {
+            return Err(VasimError::Csv {
+                line: k + 2,
+                message: format!("non-uniform time grid: expected {expected}, found {t}"),
+            });
+        }
+    }
+
+    let mut trace = Trace::new(species, sample_dt, t0);
+    for row in &rows {
+        trace.push_row(row);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new(vec!["A".into(), "GFP".into()], 0.5, 0.0);
+        trace.push_row(&[1.0, 0.0]);
+        trace.push_row(&[2.0, 0.5]);
+        trace.push_row(&[3.0, 30.0]);
+        trace
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(&sample_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,A,GFP");
+        assert_eq!(lines[1], "0,1,0");
+        assert_eq!(lines[3], "1,3,30");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_csv("t,A\n0,1\n"),
+            Err(VasimError::Csv { line: 1, .. })
+        ));
+        assert!(matches!(from_csv(""), Err(VasimError::Csv { .. })));
+        assert!(matches!(from_csv("time\n0\n"), Err(VasimError::Csv { .. })));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(matches!(
+            from_csv("time,A\n0,1\n1\n"),
+            Err(VasimError::Csv { line: 3, .. })
+        ));
+        assert!(matches!(
+            from_csv("time,A\n0,1,9\n"),
+            Err(VasimError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_grids() {
+        assert!(matches!(
+            from_csv("time,A\n0,abc\n"),
+            Err(VasimError::Csv { .. })
+        ));
+        assert!(matches!(
+            from_csv("time,A\n0,1\n1,2\n5,3\n"),
+            Err(VasimError::Csv { .. })
+        ));
+        assert!(matches!(
+            from_csv("time,A\n1,1\n0,2\n"),
+            Err(VasimError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn no_data_rows_is_an_error() {
+        assert!(matches!(
+            from_csv("time,A\n"),
+            Err(VasimError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn single_row_defaults_dt() {
+        let trace = from_csv("time,A\n0,7\n").unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.sample_dt(), 1.0);
+        assert_eq!(trace.series("A").unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = from_csv("time,A\n0,1\n\n1,2\n").unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+}

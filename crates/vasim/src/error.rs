@@ -1,0 +1,110 @@
+//! Error type of the virtual lab.
+
+use glc_core::data::DataError;
+use glc_ssa::SimError;
+use std::fmt;
+
+/// Error raised while running or analyzing a virtual-lab experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VasimError {
+    /// The model does not declare a required species.
+    UnknownSpecies(String),
+    /// An input species is not marked as a boundary species — the
+    /// experiment clamps inputs, which requires boundary semantics.
+    NotBoundary(String),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// Extracted series failed validation.
+    Data(DataError),
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An analysis could not produce an estimate (e.g. no separation
+    /// between output levels).
+    NoEstimate(String),
+}
+
+impl fmt::Display for VasimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VasimError::UnknownSpecies(name) => {
+                write!(f, "model does not declare species `{name}`")
+            }
+            VasimError::NotBoundary(name) => write!(
+                f,
+                "input species `{name}` must be a boundary species to be clamped"
+            ),
+            VasimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            VasimError::Sim(err) => write!(f, "simulation failed: {err}"),
+            VasimError::Data(err) => write!(f, "logged data invalid: {err}"),
+            VasimError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            VasimError::NoEstimate(msg) => write!(f, "no estimate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VasimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VasimError::Sim(err) => Some(err),
+            VasimError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for VasimError {
+    fn from(err: SimError) -> Self {
+        VasimError::Sim(err)
+    }
+}
+
+impl From<DataError> for VasimError {
+    fn from(err: DataError) -> Self {
+        VasimError::Data(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VasimError::UnknownSpecies("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(VasimError::NotBoundary("I".into())
+            .to_string()
+            .contains("boundary"));
+        assert!(VasimError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(VasimError::Csv {
+            line: 3,
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(VasimError::NoEstimate("flat".into())
+            .to_string()
+            .contains("flat"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let err = VasimError::from(SimError::InvalidConfig("x".into()));
+        assert!(err.source().is_some());
+        let err = VasimError::from(DataError::NoInputs);
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,73 @@
+//! Noise analysis: why genetic circuits need stochastic verification.
+//!
+//! The paper's premise is McAdams & Arkin's "It's a noisy business" [6]:
+//! molecule counts are small, so deterministic ODEs mislead. This
+//! example quantifies that for the Figure 1 AND gate: it runs a
+//! 64-replicate stochastic ensemble, compares the ensemble mean to the
+//! RK4 ODE solution, and reports the noise statistics (standard
+//! deviation, Fano factor, coefficient of variation, decorrelation
+//! time) that determine how long the logic analyzer must observe each
+//! input combination.
+//!
+//! Run with `cargo run --release --example noise_analysis`.
+
+use genetic_logic::gates::catalog;
+use genetic_logic::ssa::{ode, run_ensemble, CompiledModel, Direct};
+use genetic_logic::vasim::stats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = catalog::by_id("book_and").expect("catalog circuit");
+    // Both inputs present: GFP should settle high.
+    let mut model = circuit.model.clone();
+    model.set_initial_amount("LacI", 15.0);
+    model.set_initial_amount("TetR", 15.0);
+    let compiled = CompiledModel::new(&model)?;
+
+    println!("ensemble vs ODE for {} (both inputs at 15)\n", circuit.id);
+    let ensemble = run_ensemble(&compiled, || Box::new(Direct::new()), 64, 800.0, 20.0, 7, 4)?;
+    let ode_trace = ode::integrate(&compiled, 800.0, 0.002, 20.0)?;
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "t", "SSA mean GFP", "SSA std", "ODE GFP"
+    );
+    let mean = ensemble.mean.series("GFP").unwrap();
+    let std = ensemble.std_dev.series("GFP").unwrap();
+    let ode_gfp = ode_trace.series("GFP").unwrap();
+    for k in (0..mean.len()).step_by(5) {
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>10.1}",
+            ensemble.mean.time(k),
+            mean[k],
+            std[k],
+            ode_gfp[k]
+        );
+    }
+
+    // Single-trajectory noise statistics at stationarity.
+    let single = genetic_logic::ssa::simulate(&compiled, &mut Direct::new(), 6000.0, 1.0, 3)?;
+    let window = &single.series("GFP").unwrap()[1000..];
+    let s = stats::stats(window);
+    println!("\nstationary single-trajectory statistics of GFP:");
+    println!(
+        "  mean {:.1}   std {:.1}   Fano {:.2}   CV {:.2}   min {:.0}   max {:.0}",
+        s.mean, s.std_dev, s.fano, s.cv, s.min, s.max
+    );
+    match stats::decorrelation_lag(window, 500) {
+        Some(lag) => println!(
+            "  decorrelation time ≈ {lag} t.u. — hold times must be many times this \
+             for Case_I streams to sample independent states"
+        ),
+        None => println!("  noise does not decorrelate within 500 t.u."),
+    }
+
+    // The punchline: the ODE says "always exactly the same level"; the
+    // ensemble spread is what the threshold + filters have to survive.
+    let final_std = *std.last().unwrap();
+    println!(
+        "\nODE predicts a noiseless {:.1}; the real spread is ±{final_std:.1} molecules —",
+        ode_gfp.last().unwrap()
+    );
+    println!("this is why the paper digitizes with a threshold and filters variation.");
+    Ok(())
+}

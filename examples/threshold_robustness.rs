@@ -1,0 +1,76 @@
+//! Robustness analysis: how parameter choices change verified behaviour.
+//!
+//! The paper's conclusion: "the circuit may not behave as expected if
+//! the circuit parameter(s), like threshold value, are varied. This may
+//! help users to analyze the circuit's behavior and robustness for
+//! different parameter sets before creating them in the laboratory."
+//! This example sweeps the threshold/input level across a range for one
+//! circuit, reporting for each point the extracted expression, fitness,
+//! wrong states and total output variation — plus D-VASim-style
+//! automatic threshold and propagation-delay estimates to suggest a
+//! good operating point.
+//!
+//! Run with `cargo run --release --example threshold_robustness`.
+
+use genetic_logic::core::{verify, AnalyzerConfig, LogicAnalyzer};
+use genetic_logic::gates::catalog;
+use genetic_logic::vasim::{
+    estimate_delay, estimate_threshold, Experiment, ExperimentConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = catalog::by_id("cello_0x04").expect("catalog circuit");
+    println!("robustness sweep of {} ({})\n", entry.id, entry.description);
+
+    // First, the automated D-VASim-style calibration: estimate the
+    // circuit's natural threshold and propagation delay.
+    let calibration = Experiment::new(ExperimentConfig::new(800.0, 15.0).repeats(2)).run(
+        &entry.model,
+        &entry.inputs,
+        &entry.output,
+        11,
+    )?;
+    match estimate_threshold(&calibration) {
+        Ok(est) => {
+            println!(
+                "estimated threshold: {:.1} (low {:.1} / high {:.1}, separation {:.1})",
+                est.threshold, est.low_mean, est.high_mean, est.separation
+            );
+            if let Ok(delay) = estimate_delay(&calibration, est.threshold) {
+                println!(
+                    "estimated propagation delay: mean {:.0} t.u., max {:.0} t.u.",
+                    delay.mean, delay.max
+                );
+            }
+        }
+        Err(err) => println!("calibration failed: {err}"),
+    }
+    println!();
+
+    println!(
+        "{:>9} | {:<30} | {:>8} | {:>7} | wrong states",
+        "threshold", "extracted expression", "fitness", "Var tot"
+    );
+    for threshold in [3.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0] {
+        let config = ExperimentConfig::paper_protocol(entry.inputs.len(), threshold);
+        let result =
+            Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 7)?;
+        let report =
+            LogicAnalyzer::new(AnalyzerConfig::new(threshold)).analyze(&result.data)?;
+        let verdict = verify(&report, &entry.expected);
+        let total_var: usize = report.combos.iter().map(|c| c.variation_count).sum();
+        println!(
+            "{:>9} | {:<30} | {:>7.2}% | {:>7} | {}",
+            threshold,
+            report.expression.to_string(),
+            report.fitness,
+            total_var,
+            if verdict.equivalent {
+                "none".to_string()
+            } else {
+                verdict.wrong_labels().join(", ")
+            }
+        );
+    }
+    Ok(())
+}

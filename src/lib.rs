@@ -1,0 +1,16 @@
+//! Umbrella crate for the genetic logic analysis & verification suite.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can depend on a single package:
+//!
+//! * [`model`] — reaction-network models, kinetic laws, SBML-subset I/O;
+//! * [`ssa`] — stochastic simulation algorithms and traces;
+//! * [`gates`] — genetic gate library, netlists, synthesis, circuit catalog;
+//! * [`vasim`] — virtual-lab experiments, threshold & delay analysis;
+//! * [`core`] — the DATE 2017 logic analysis & verification algorithm.
+
+pub use glc_core as core;
+pub use glc_gates as gates;
+pub use glc_model as model;
+pub use glc_ssa as ssa;
+pub use glc_vasim as vasim;

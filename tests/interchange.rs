@@ -1,0 +1,89 @@
+//! Interchange integration: SBML and CSV round trips across the whole
+//! catalog, and engine-independence of the logic verdicts.
+
+use genetic_logic::core::{verify, AnalyzerConfig, LogicAnalyzer};
+use genetic_logic::gates::catalog;
+use genetic_logic::model::sbml;
+use genetic_logic::ssa::{Direct, NextReaction};
+use genetic_logic::vasim::{csv, Experiment, ExperimentConfig};
+use glc_core::data::AnalogData;
+
+#[test]
+fn every_catalog_model_round_trips_through_sbml() {
+    for entry in catalog::all() {
+        let document = sbml::write(&entry.model);
+        let reloaded = sbml::read(&document)
+            .unwrap_or_else(|e| panic!("{}: SBML read failed: {e}", entry.id));
+        assert_eq!(reloaded, entry.model, "{}: SBML round trip", entry.id);
+    }
+}
+
+#[test]
+fn sbml_reload_preserves_simulation_behaviour() {
+    // Same seed + same model (original vs round-tripped) must produce
+    // identical traces.
+    let entry = catalog::by_id("cello_0x04").unwrap();
+    let reloaded = sbml::read(&sbml::write(&entry.model)).unwrap();
+    let config = ExperimentConfig::new(300.0, 15.0);
+    let a = Experiment::new(config.clone())
+        .run(&entry.model, &entry.inputs, &entry.output, 8)
+        .unwrap();
+    let b = Experiment::new(config)
+        .run(&reloaded, &entry.inputs, &entry.output, 8)
+        .unwrap();
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn csv_logged_experiment_analyzes_identically() {
+    let entry = catalog::by_id("book_nor").unwrap();
+    let config = ExperimentConfig::new(400.0, 15.0).repeats(2);
+    let result = Experiment::new(config)
+        .run(&entry.model, &entry.inputs, &entry.output, 4)
+        .unwrap();
+
+    let direct = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
+        .analyze(&result.data)
+        .unwrap();
+
+    let reloaded = csv::from_csv(&csv::to_csv(&result.trace)).unwrap();
+    let inputs: Vec<(String, Vec<f64>)> = entry
+        .inputs
+        .iter()
+        .map(|name| (name.clone(), reloaded.series(name).unwrap().to_vec()))
+        .collect();
+    let output = (
+        entry.output.clone(),
+        reloaded.series(&entry.output).unwrap().to_vec(),
+    );
+    let from_csv = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
+        .analyze(&AnalogData::new(inputs, output).unwrap())
+        .unwrap();
+
+    assert_eq!(direct.minterms, from_csv.minterms);
+    assert_eq!(direct.fitness, from_csv.fitness);
+}
+
+#[test]
+fn direct_and_next_reaction_engines_agree_on_logic() {
+    // Different exact engines produce statistically different traces but
+    // the same verified logic.
+    let entry = catalog::by_id("cello_0x70").unwrap();
+    let config = ExperimentConfig::new(600.0, 15.0);
+    for (name, engine) in [
+        ("direct", &mut Direct::new() as &mut dyn genetic_logic::ssa::Engine),
+        ("next-reaction", &mut NextReaction::new()),
+    ] {
+        let result = Experiment::new(config.clone())
+            .run_with_engine(&entry.model, &entry.inputs, &entry.output, 21, engine)
+            .unwrap();
+        let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
+            .analyze(&result.data)
+            .unwrap();
+        assert!(
+            verify(&report, &entry.expected).equivalent,
+            "{name} engine produced wrong logic: {}",
+            report.expression
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use genetic_logic::core::bdd::Bdd;
+use genetic_logic::core::boolexpr::TruthTable;
+use genetic_logic::core::cases::CaseAnalysis;
+use genetic_logic::core::digitize::digitize;
+use genetic_logic::core::qmc;
+use genetic_logic::core::variation;
+use genetic_logic::gates::compile::compile;
+use genetic_logic::gates::synth::synthesize;
+use genetic_logic::model::Expr;
+use genetic_logic::ssa::Trace;
+use genetic_logic::vasim::csv;
+use proptest::prelude::*;
+
+/// Strategy for random expression trees over variables a, b, c.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Non-negative literals only: `-5` prints back as unary
+        // negation, which is semantically equal but structurally
+        // distinct; negation is exercised via the Neg combinator below.
+        (0.0f64..100.0).prop_map(|v| Expr::num((v * 100.0).round() / 100.0)),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::add(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::sub(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::mul(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::div(l, r)),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    /// Printing and re-parsing an expression is the identity.
+    #[test]
+    fn expr_display_parse_round_trip(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Compiled evaluation matches tree-walking evaluation.
+    #[test]
+    fn expr_compiled_matches_tree(expr in arb_expr(),
+                                  a in -50.0f64..50.0,
+                                  b in -50.0f64..50.0,
+                                  c in -50.0f64..50.0) {
+        use genetic_logic::model::expr::SymbolTable;
+        let mut table = SymbolTable::new();
+        table.intern("a");
+        table.intern("b");
+        table.intern("c");
+        let compiled = expr.compile(&table).unwrap();
+        let env: &[(&str, f64)] = &[("a", a), ("b", b), ("c", c)];
+        let tree = expr.eval(env).unwrap();
+        let fast = compiled.eval(&[a, b, c]);
+        // NaN-equal counts as equal (0/0 etc. must agree in kind).
+        prop_assert!(tree == fast || (tree.is_nan() && fast.is_nan()),
+                     "tree {} vs compiled {}", tree, fast);
+    }
+
+    /// QMC covers exactly the requested on-set for random functions.
+    #[test]
+    fn qmc_implements_its_spec(bits in proptest::collection::vec(any::<bool>(), 16)) {
+        let table = TruthTable::new(4, bits);
+        let cubes = qmc::minimize(4, &table.minterms(), &[]);
+        for m in 0..16usize {
+            let covered = cubes.iter().any(|c| c.covers(m));
+            prop_assert_eq!(covered, table.value(m), "minterm {}", m);
+        }
+    }
+
+    /// BDD connectives agree with pointwise truth-table operations.
+    #[test]
+    fn bdd_ops_match_table_ops(xa in 0u64..256, xb in 0u64..256) {
+        let ta = TruthTable::from_hex(3, xa);
+        let tb = TruthTable::from_hex(3, xb);
+        let mut bdd = Bdd::new(3);
+        let fa = bdd.from_truth_table(&ta);
+        let fb = bdd.from_truth_table(&tb);
+        let and = bdd.and(fa, fb);
+        let or = bdd.or(fa, fb);
+        let xor = bdd.xor(fa, fb);
+        let not = bdd.not(fa);
+        prop_assert_eq!(bdd.to_truth_table(and).to_hex(), xa & xb);
+        prop_assert_eq!(bdd.to_truth_table(or).to_hex(), xa | xb);
+        prop_assert_eq!(bdd.to_truth_table(xor).to_hex(), xa ^ xb);
+        prop_assert_eq!(bdd.to_truth_table(not).to_hex(), !xa & 0xFF);
+        // Canonicity: equal functions share one node.
+        prop_assert_eq!(bdd.equivalent(fa, fb), xa == xb);
+    }
+
+    /// BDD satisfying-assignment count equals the number of minterms.
+    #[test]
+    fn bdd_sat_count_matches(hex in 0u64..256) {
+        let table = TruthTable::from_hex(3, hex);
+        let mut bdd = Bdd::new(3);
+        let f = bdd.from_truth_table(&table);
+        prop_assert_eq!(bdd.sat_count(f), hex.count_ones() as u64);
+    }
+
+    /// Synthesized netlists compute their specification and compile to
+    /// valid models.
+    #[test]
+    fn synthesis_is_correct_for_random_functions(hex in 0u64..256) {
+        let table = TruthTable::from_hex(3, hex);
+        let netlist = synthesize(&table, &["A", "B", "C"], "OUT");
+        prop_assert_eq!(netlist.truth_table().to_hex(), hex);
+        let model = compile(&netlist).unwrap();
+        prop_assert!(model.validate().is_ok());
+    }
+
+    /// CaseAnalysis conserves samples and bounds its statistics.
+    #[test]
+    fn case_analysis_invariants(
+        raw in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..200)
+    ) {
+        let a: Vec<bool> = raw.iter().map(|r| r.0).collect();
+        let b: Vec<bool> = raw.iter().map(|r| r.1).collect();
+        let y: Vec<bool> = raw.iter().map(|r| r.2).collect();
+        let analysis = CaseAnalysis::analyze(&[a, b], &y);
+        let total: usize = (0..4).map(|i| analysis.case_count(i)).sum();
+        prop_assert_eq!(total, raw.len(), "Case_I must partition the samples");
+        for stats in variation::analyze(&analysis) {
+            prop_assert!(stats.high_count <= stats.case_count);
+            prop_assert!(stats.variation_count <= stats.case_count.saturating_sub(1));
+            prop_assert!((0.0..=1.0).contains(&stats.fov_est()));
+        }
+    }
+
+    /// Digitization is monotone in the threshold: raising it can only
+    /// turn 1s into 0s.
+    #[test]
+    fn digitize_monotone_in_threshold(
+        series in proptest::collection::vec(0.0f64..100.0, 1..100),
+        low in 1.0f64..50.0,
+        delta in 0.0f64..50.0,
+    ) {
+        let at_low = digitize(&series, low);
+        let at_high = digitize(&series, low + delta);
+        for (l, h) in at_low.iter().zip(&at_high) {
+            prop_assert!(*l || !*h, "raising the threshold created a 1");
+        }
+    }
+
+    /// Hysteresis digitization never chatters more than the plain ADC:
+    /// every Schmitt-trigger transition requires a full band crossing,
+    /// which passes the plain threshold at least once.
+    #[test]
+    fn hysteresis_never_increases_transitions(
+        series in proptest::collection::vec(0.0f64..40.0, 2..200)
+    ) {
+        use genetic_logic::core::signal::{digitize_hysteresis, transition_count};
+        let plain = digitize(&series, 15.0);
+        let banded = digitize_hysteresis(&series, 10.0, 20.0);
+        prop_assert!(
+            transition_count(&banded) <= transition_count(&plain),
+            "banded {} vs plain {}",
+            transition_count(&banded),
+            transition_count(&plain)
+        );
+    }
+
+    /// CSV round trip is lossless for arbitrary traces.
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec((0.0f64..1e4, 0.0f64..1e4), 1..50),
+                      dt in 0.25f64..4.0) {
+        let mut trace = Trace::new(vec!["X".into(), "Y".into()], dt, 0.0);
+        for (x, y) in &rows {
+            trace.push_row(&[*x, *y]);
+        }
+        let back = csv::from_csv(&csv::to_csv(&trace)).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        prop_assert_eq!(back.series("X").unwrap(), trace.series("X").unwrap());
+        prop_assert_eq!(back.series("Y").unwrap(), trace.series("Y").unwrap());
+    }
+
+    /// SBML round trip is lossless for synthesized circuit models.
+    #[test]
+    fn sbml_round_trip_for_synthesized_models(hex in 0u64..256) {
+        use genetic_logic::model::sbml;
+        let table = TruthTable::from_hex(3, hex);
+        let netlist = synthesize(&table, &["A", "B", "C"], "OUT");
+        let model = compile(&netlist).unwrap();
+        let back = sbml::read(&sbml::write(&model)).unwrap();
+        prop_assert_eq!(back, model);
+    }
+}
