@@ -1,18 +1,36 @@
 //! SSA engine ablation: direct vs. first-reaction vs. next-reaction vs.
-//! tau-leaping.
+//! tau-leaping — plus the incremental-vs-full-recompute comparison for
+//! the propensity engine.
 //!
 //! Not a paper figure, but the design-choice ablation `DESIGN.md` calls
 //! out: the paper's workflow is dominated by stochastic simulation, so
 //! the choice of exact algorithm matters. Each engine simulates 200 t.u.
 //! of the Figure 1 AND-gate circuit (all inputs high) and of the largest
 //! Cello circuit in the catalog.
+//!
+//! Beyond the per-engine wall times, a throughput section measures
+//! **steps per second** for `Direct` with dependency-driven updates
+//! against the retained `Direct::with_full_recompute` baseline, which
+//! re-evaluates every propensity on every step — the recompute-all
+//! *schedule* of the pre-incremental engine, kept callable on top of
+//! the shared propensity set so the two columns are bitwise-comparable.
+//! (It is not the literal pre-PR code path: that summed sequentially
+//! and selected by linear scan, so its trajectories differed in fp
+//! round-off.) Results land in `BENCH_ssa.json` at the workspace root,
+//! so the perf trajectory of the hot loop is tracked over time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
 use glc_model::Model;
+use glc_ssa::engine::Observer;
 use glc_ssa::{
     simulate, CompiledModel, Direct, Engine, FirstReaction, Langevin, NextReaction, TauLeap,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
 fn prepared(id: &str) -> CompiledModel {
     let entry = catalog::by_id(id).expect("catalog circuit");
@@ -29,6 +47,7 @@ fn bench_engines(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("ssa_engines/{id}"));
         let mut engines: Vec<Box<dyn Engine>> = vec![
             Box::new(Direct::new()),
+            Box::new(Direct::with_full_recompute()),
             Box::new(FirstReaction::new()),
             Box::new(NextReaction::new()),
         ];
@@ -56,9 +75,88 @@ fn bench_engines(c: &mut Criterion) {
     }
 }
 
+/// Counts reaction firings (the final horizon callback is one extra
+/// `on_advance`, identical for both engines and negligible).
+struct StepCounter(u64);
+
+impl Observer for StepCounter {
+    fn on_advance(&mut self, _t: f64, _values: &[f64]) {
+        self.0 += 1;
+    }
+}
+
+/// Measures sustained steps/second of `engine` on `model` by running
+/// fixed-horizon simulations until `min_wall` seconds have elapsed.
+fn steps_per_second(engine: &mut dyn Engine, model: &CompiledModel, min_wall: f64) -> f64 {
+    let mut steps = 0u64;
+    let mut elapsed = 0.0f64;
+    let mut seed = 42u64;
+    while elapsed < min_wall {
+        let mut state = model.initial_state();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counter = StepCounter(0);
+        let start = Instant::now();
+        engine
+            .run(model, &mut state, 200.0, &mut rng, &mut counter)
+            .expect("simulate");
+        elapsed += start.elapsed().as_secs_f64();
+        steps += counter.0;
+        seed += 1;
+    }
+    steps as f64 / elapsed
+}
+
+/// Steps/second of the incremental `Direct` vs. the full-recompute
+/// baseline, written to `BENCH_ssa.json` and printed.
+fn throughput_report() {
+    let mut rows = String::new();
+    println!("\nthroughput: Gillespie direct, steps/second (200 t.u. horizon)");
+    for id in ["book_and", "cello_0x1C"] {
+        let model = prepared(id);
+        // Warm up both paths before timing.
+        steps_per_second(&mut Direct::new(), &model, 0.05);
+        let incremental = steps_per_second(&mut Direct::new(), &model, 0.4);
+        let full = steps_per_second(&mut Direct::with_full_recompute(), &model, 0.4);
+        let speedup = incremental / full;
+        println!(
+            "  {id}: incremental {incremental:.0}/s  full-recompute {full:.0}/s  \
+             speedup {speedup:.2}x"
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"circuit\":\"{id}\",\"reactions\":{},\
+             \"incremental_steps_per_sec\":{incremental:.1},\
+             \"full_recompute_steps_per_sec\":{full:.1},\
+             \"speedup\":{speedup:.3}}}",
+            model.reaction_count()
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"ssa_engines/direct_throughput\",\n  \"unit\": \
+         \"steps_per_second\",\n  \"results\": [{rows}\n  ]\n}}\n"
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
+    // workspace root next to ROADMAP.md.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ssa.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(err) => eprintln!("  could not write {}: {err}", path.display()),
+    }
+}
+
+fn bench_engines_and_throughput(c: &mut Criterion) {
+    bench_engines(c);
+    throughput_report();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engines
+    targets = bench_engines_and_throughput
 }
 criterion_main!(benches);

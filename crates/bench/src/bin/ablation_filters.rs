@@ -14,7 +14,7 @@
 use glc_bench::{run_circuit, CircuitRun, PAPER_FOV_UD, PAPER_THRESHOLD};
 use glc_core::boolexpr::TruthTable;
 use glc_gates::catalog;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Acceptance rules under ablation.
 #[derive(Clone, Copy, PartialEq)]
@@ -80,17 +80,16 @@ fn ablation_at(threshold: f64) {
     println!();
 
     let runs: Mutex<Vec<(usize, CircuitRun)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (index, entry) in entries.iter().enumerate() {
             let runs = &runs;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let run = run_circuit(entry, threshold, 4242 + index as u64);
-                runs.lock().push((index, run));
+                runs.lock().expect("no poisoned worker").push((index, run));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut runs = runs.into_inner();
+    });
+    let mut runs = runs.into_inner().expect("no poisoned worker");
     runs.sort_by_key(|(index, _)| *index);
 
     let rules = [
@@ -112,8 +111,7 @@ fn ablation_at(threshold: f64) {
         let entry = &entries[*index];
         let mut cells = Vec::new();
         for (r, rule) in rules.iter().enumerate() {
-            let extracted =
-                TruthTable::from_minterms(entry.inputs.len(), &rule.minterms(run));
+            let extracted = TruthTable::from_minterms(entry.inputs.len(), &rule.minterms(run));
             let wrong = extracted.diff(&entry.expected).len();
             if wrong == 0 {
                 correct[r] += 1;

@@ -30,7 +30,11 @@ fn stream_stats(name: &str, inputs: Vec<bool>, output: Vec<bool>, fov_ud: f64) {
             s.high_count,
             s.variation_count,
             s.fov_est(),
-            if stability_filter(s, fov_ud) { "pass" } else { "FAIL" },
+            if stability_filter(s, fov_ud) {
+                "pass"
+            } else {
+                "FAIL"
+            },
             if majority_filter(s) { "pass" } else { "FAIL" },
             outcome,
         );
@@ -57,8 +61,8 @@ fn main() {
     }
     // Combination 1: alternating pattern with 12 highs — oscillatory.
     let oscillating = [
-        true, false, true, false, true, false, true, true, false, true, false, true, true,
-        false, true, false, true, true, false, true,
+        true, false, true, false, true, false, true, true, false, true, false, true, true, false,
+        true, false, true, true, false, true,
     ];
     for &bit in &oscillating {
         inputs.push(true);

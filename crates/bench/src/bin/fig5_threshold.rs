@@ -20,12 +20,7 @@ fn main() {
     println!();
     for threshold in [3.0, 15.0, 40.0, 50.0] {
         let run = run_circuit(&entry, threshold, 2017);
-        let total_var: usize = run
-            .report
-            .combos
-            .iter()
-            .map(|c| c.variation_count)
-            .sum();
+        let total_var: usize = run.report.combos.iter().map(|c| c.variation_count).sum();
         println!("--- threshold {threshold} molecules ---");
         print!("{}", combo_table(&run.report));
         println!("  {}", summary_line(&run));

@@ -5,14 +5,14 @@
 //! components, extracted expression, percentage fitness, verification
 //! verdict, and the simulation/analysis runtimes. Also reproduces the
 //! threshold and propagation-delay analysis (D-VASim's pre-step) per
-//! circuit. Circuits run in parallel with crossbeam's scoped threads.
+//! circuit. Circuits run in parallel with std's scoped threads.
 //!
 //! Run with `cargo run --release -p glc-bench --bin table_all_circuits`.
 
 use glc_bench::{run_circuit, summary_line, CircuitRun, PAPER_THRESHOLD};
 use glc_gates::catalog;
 use glc_vasim::{estimate_delay, estimate_threshold, Experiment, ExperimentConfig};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn main() {
     let entries = catalog::all();
@@ -22,32 +22,34 @@ fn main() {
     );
     println!();
 
-    let results: Mutex<Vec<(usize, CircuitRun, Option<(f64, f64)>)>> =
-        Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    /// Row: catalog index, full run, optional (threshold, delay) estimates.
+    type Row = (usize, CircuitRun, Option<(f64, f64)>);
+    let results: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for (index, entry) in entries.iter().enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let run = run_circuit(entry, PAPER_THRESHOLD, 2017 + index as u64);
                 // D-VASim pre-analysis: estimate threshold and delay from
                 // a shorter calibration sweep.
-                let calib = Experiment::new(
-                    ExperimentConfig::new(500.0, PAPER_THRESHOLD).repeats(2),
-                )
-                .run(&entry.model, &entry.inputs, &entry.output, 99)
-                .ok();
+                let calib =
+                    Experiment::new(ExperimentConfig::new(500.0, PAPER_THRESHOLD).repeats(2))
+                        .run(&entry.model, &entry.inputs, &entry.output, 99)
+                        .ok();
                 let estimates = calib.and_then(|result| {
                     let threshold = estimate_threshold(&result).ok()?;
                     let delay = estimate_delay(&result, threshold.threshold).ok()?;
                     Some((threshold.threshold, delay.max))
                 });
-                results.lock().push((index, run, estimates));
+                results
+                    .lock()
+                    .expect("no poisoned worker")
+                    .push((index, run, estimates));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    let mut results = results.into_inner();
+    let mut results = results.into_inner().expect("no poisoned worker");
     results.sort_by_key(|(index, _, _)| *index);
 
     println!(
@@ -76,7 +78,10 @@ fn main() {
     }
     println!();
 
-    let correct = results.iter().filter(|(_, r, _)| r.verdict.equivalent).count();
+    let correct = results
+        .iter()
+        .filter(|(_, r, _)| r.verdict.equivalent)
+        .count();
     let mean_fitness: f64 = results
         .iter()
         .map(|(_, r, _)| r.report.fitness)

@@ -433,7 +433,7 @@ mod tests {
     #[test]
     fn glitchy_output_lowers_fitness_but_not_logic() {
         // Combination 11 output mostly high with a few dips.
-        let mut data_inputs = vec![Vec::new(), Vec::new()];
+        let mut data_inputs = [Vec::new(), Vec::new()];
         let mut output = Vec::new();
         for combo in 0..4usize {
             for k in 0..100 {
@@ -463,7 +463,7 @@ mod tests {
 
     #[test]
     fn oscillating_combo_is_rejected_as_unstable() {
-        let mut inputs = vec![Vec::new()];
+        let mut inputs = [Vec::new()];
         let mut output = Vec::new();
         for combo in 0..2usize {
             for k in 0..100 {
@@ -472,11 +472,8 @@ mod tests {
                 output.push(if combo == 1 && k % 2 == 0 { 30.0 } else { 0.0 });
             }
         }
-        let data = AnalogData::new(
-            vec![("A".into(), inputs[0].clone())],
-            ("Y".into(), output),
-        )
-        .unwrap();
+        let data =
+            AnalogData::new(vec![("A".into(), inputs[0].clone())], ("Y".into(), output)).unwrap();
         let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
             .analyze(&data)
             .unwrap();
@@ -496,19 +493,16 @@ mod tests {
                 output.push(if combo == 1 { 30.0 } else { 0.0 });
             }
         }
-        let data =
-            AnalogData::new(vec![("A".into(), input)], ("Y".into(), output)).unwrap();
+        let data = AnalogData::new(vec![("A".into(), input)], ("Y".into(), output)).unwrap();
 
         let shared = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
             .analyze(&data)
             .unwrap();
         assert_eq!(shared.unobserved(), vec![1], "input never crosses 15");
 
-        let per_input = LogicAnalyzer::new(
-            AnalyzerConfig::new(15.0).input_thresholds(vec![5.0]),
-        )
-        .analyze(&data)
-        .unwrap();
+        let per_input = LogicAnalyzer::new(AnalyzerConfig::new(15.0).input_thresholds(vec![5.0]))
+            .analyze(&data)
+            .unwrap();
         assert_eq!(per_input.minterms, vec![1]);
     }
 
@@ -516,11 +510,9 @@ mod tests {
     fn output_threshold_override() {
         let data = synthetic(1, 50, |m| m == 1);
         // Absurdly high output threshold: output never reads high.
-        let report = LogicAnalyzer::new(
-            AnalyzerConfig::new(15.0).output_threshold(1000.0),
-        )
-        .analyze(&data)
-        .unwrap();
+        let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0).output_threshold(1000.0))
+            .analyze(&data)
+            .unwrap();
         assert!(report.minterms.is_empty());
     }
 
@@ -541,8 +533,7 @@ mod tests {
             Err(AnalyzeError::ThresholdCountMismatch { .. })
         ));
         assert!(matches!(
-            LogicAnalyzer::new(AnalyzerConfig::new(15.0).output_threshold(f64::NAN))
-                .analyze(&data),
+            LogicAnalyzer::new(AnalyzerConfig::new(15.0).output_threshold(f64::NAN)).analyze(&data),
             Err(AnalyzeError::InvalidThreshold(_))
         ));
     }
@@ -565,7 +556,7 @@ mod tests {
         // don't-cares the AND-looking function minimizes to a single
         // literal (or smaller) expression, while the default reads the
         // unobserved combos as 0 and keeps the full product.
-        let mut inputs = vec![Vec::new(), Vec::new()];
+        let mut inputs = [Vec::new(), Vec::new()];
         let mut output = Vec::new();
         for combo in [0usize, 3] {
             for _ in 0..50 {
@@ -575,7 +566,10 @@ mod tests {
             }
         }
         let data = AnalogData::new(
-            vec![("A".into(), inputs[0].clone()), ("B".into(), inputs[1].clone())],
+            vec![
+                ("A".into(), inputs[0].clone()),
+                ("B".into(), inputs[1].clone()),
+            ],
             ("Y".into(), output),
         )
         .unwrap();

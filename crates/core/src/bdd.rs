@@ -63,7 +63,7 @@ impl Bdd {
     ///
     /// Panics if `n == 0` or `n > 32`.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 32, "n = {n} out of range");
+        assert!((1..=32).contains(&n), "n = {n} out of range");
         // Terminal pseudo-nodes occupy slots 0 and 1 with var = n
         // (below every real variable).
         let terminal = Node {
@@ -150,11 +150,7 @@ impl Bdd {
         if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
             return cached;
         }
-        let top = self
-            .node(f)
-            .var
-            .min(self.node(g).var)
-            .min(self.node(h).var);
+        let top = self.node(f).var.min(self.node(g).var).min(self.node(h).var);
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);

@@ -47,14 +47,14 @@ impl TruthTable {
     ///
     /// Panics if `bits.len() != 2^n`, `n == 0`, or `n > MAX_INPUTS`.
     pub fn new(n: usize, bits: Vec<bool>) -> Self {
-        assert!(n >= 1 && n <= MAX_INPUTS, "n = {n} out of range");
+        assert!((1..=MAX_INPUTS).contains(&n), "n = {n} out of range");
         assert_eq!(bits.len(), 1 << n, "output column length");
         TruthTable { n, bits }
     }
 
     /// Builds a table by evaluating `f` on every combination.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        Self::new(n, (0..1usize << n).map(|m| f(m)).collect())
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> bool) -> Self {
+        Self::new(n, (0..1usize << n).map(f).collect())
     }
 
     /// Builds a table from the set of high combinations.
@@ -78,10 +78,13 @@ impl TruthTable {
     /// Panics if `n > 6` (hex ids beyond 64 rows don't fit `u64`) or if
     /// `hex` has bits above `2^(2^n)`.
     pub fn from_hex(n: usize, hex: u64) -> Self {
-        assert!(n >= 1 && n <= 6, "hex ids support 1..=6 inputs");
+        assert!((1..=6).contains(&n), "hex ids support 1..=6 inputs");
         let rows = 1usize << n;
         if rows < 64 {
-            assert!(hex < (1u64 << rows), "hex id 0x{hex:X} too wide for n = {n}");
+            assert!(
+                hex < (1u64 << rows),
+                "hex id 0x{hex:X} too wide for n = {n}"
+            );
         }
         Self::from_fn(n, |m| (hex >> m) & 1 == 1)
     }
@@ -204,13 +207,13 @@ impl Cube {
     pub fn render(&self, names: &[String]) -> String {
         let n = names.len();
         let mut parts = Vec::new();
-        for j in 0..n {
+        for (j, name) in names.iter().enumerate() {
             let k = n - 1 - j;
             if self.care >> k & 1 == 1 {
                 if self.value >> k & 1 == 1 {
-                    parts.push(names[j].clone());
+                    parts.push(name.clone());
                 } else {
-                    parts.push(format!("{}'", names[j]));
+                    parts.push(format!("{name}'"));
                 }
             }
         }

@@ -32,7 +32,7 @@ impl CaseAnalysis {
     /// differ.
     pub fn analyze(inputs: &[Vec<bool>], output: &[bool]) -> Self {
         let n = inputs.len();
-        assert!(n >= 1 && n <= 16, "1..=16 inputs supported, got {n}");
+        assert!((1..=16).contains(&n), "1..=16 inputs supported, got {n}");
         for (j, series) in inputs.iter().enumerate() {
             assert_eq!(
                 series.len(),

@@ -50,7 +50,10 @@ impl fmt::Display for DataError {
             DataError::Empty => f.write_str("series contain no samples"),
             DataError::DuplicateName(name) => write!(f, "duplicate series name `{name}`"),
             DataError::NonFiniteSample { series, index } => {
-                write!(f, "series `{series}` has a non-finite sample at index {index}")
+                write!(
+                    f,
+                    "series `{series}` has a non-finite sample at index {index}"
+                )
             }
         }
     }
@@ -171,11 +174,8 @@ mod tests {
 
     #[test]
     fn length_mismatch_rejected() {
-        let err = AnalogData::new(
-            vec![("A".into(), vec![1.0])],
-            ("Y".into(), vec![1.0, 2.0]),
-        )
-        .unwrap_err();
+        let err = AnalogData::new(vec![("A".into(), vec![1.0])], ("Y".into(), vec![1.0, 2.0]))
+            .unwrap_err();
         assert!(matches!(err, DataError::LengthMismatch { .. }));
     }
 
@@ -193,21 +193,15 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, DataError::DuplicateName("A".into()));
-        let err = AnalogData::new(
-            vec![("Y".into(), vec![1.0])],
-            ("Y".into(), vec![1.0]),
-        )
-        .unwrap_err();
+        let err =
+            AnalogData::new(vec![("Y".into(), vec![1.0])], ("Y".into(), vec![1.0])).unwrap_err();
         assert_eq!(err, DataError::DuplicateName("Y".into()));
     }
 
     #[test]
     fn non_finite_sample_rejected() {
-        let err = AnalogData::new(
-            vec![("A".into(), vec![f64::NAN])],
-            ("Y".into(), vec![1.0]),
-        )
-        .unwrap_err();
+        let err = AnalogData::new(vec![("A".into(), vec![f64::NAN])], ("Y".into(), vec![1.0]))
+            .unwrap_err();
         assert!(matches!(err, DataError::NonFiniteSample { index: 0, .. }));
     }
 

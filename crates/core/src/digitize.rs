@@ -38,10 +38,7 @@ mod tests {
 
     #[test]
     fn threshold_is_inclusive() {
-        assert_eq!(
-            digitize(&[14.9, 15.0, 15.1], 15.0),
-            vec![false, true, true]
-        );
+        assert_eq!(digitize(&[14.9, 15.0, 15.1], 15.0), vec![false, true, true]);
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Implicant {
 /// Panics if `n == 0`, `n > 16`, or any minterm/don't-care is out of
 /// range, or if a minterm is also listed as a don't-care.
 pub fn minimize(n: usize, minterms: &[usize], dont_cares: &[usize]) -> Vec<Cube> {
-    assert!(n >= 1 && n <= 16, "n = {n} out of range");
+    assert!((1..=16).contains(&n), "n = {n} out of range");
     let rows = 1usize << n;
     let on: BTreeSet<usize> = minterms.iter().copied().collect();
     let dc: BTreeSet<usize> = dont_cares.iter().copied().collect();
@@ -81,8 +81,7 @@ pub fn minimize(n: usize, minterms: &[usize], dont_cares: &[usize]) -> Vec<Cube>
 
 /// All prime implicants of the on-set ∪ dc-set.
 fn prime_implicants(on: &BTreeSet<usize>, dc: &BTreeSet<usize>) -> Vec<Implicant> {
-    let mut current: BTreeSet<Implicant> =
-        on.iter().chain(dc).map(|&m| Implicant::of(m)).collect();
+    let mut current: BTreeSet<Implicant> = on.iter().chain(dc).map(|&m| Implicant::of(m)).collect();
     let mut primes: Vec<Implicant> = Vec::new();
 
     while !current.is_empty() {

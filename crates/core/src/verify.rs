@@ -161,8 +161,7 @@ mod tests {
         // all of them wrong, flagged as unobserved.
         let input = vec![0.0; 50];
         let output = vec![30.0; 50];
-        let data =
-            AnalogData::new(vec![("A".into(), input)], ("Y".into(), output)).unwrap();
+        let data = AnalogData::new(vec![("A".into(), input)], ("Y".into(), output)).unwrap();
         let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
             .analyze(&data)
             .unwrap();

@@ -108,8 +108,7 @@ pub fn evaluate(netlist: &Netlist, input_level: f64) -> AssignmentScore {
 ///
 /// Panics if the netlist has more gates than the library has repressors.
 pub fn optimize(netlist: &Netlist, input_level: f64) -> (Netlist, AssignmentScore) {
-    let library_names: Vec<String> =
-        library::repressors().into_iter().map(|g| g.name).collect();
+    let library_names: Vec<String> = library::repressors().into_iter().map(|g| g.name).collect();
     assert!(
         netlist.gates().len() <= library_names.len(),
         "netlist needs more repressors than the library provides"

@@ -98,10 +98,7 @@ fn base_builder(id: &str) -> ModelBuilder {
         .parameter("kdeg", K_DEG)
 }
 
-fn degradation(
-    builder: ModelBuilder,
-    species: &str,
-) -> Result<ModelBuilder, ModelError> {
+fn degradation(builder: ModelBuilder, species: &str) -> Result<ModelBuilder, ModelError> {
     builder.reaction(
         format!("deg_{species}"),
         &[species],
@@ -332,8 +329,7 @@ mod tests {
         }
         let compiled = CompiledModel::new(&model).unwrap();
         let trace =
-            glc_ssa::simulate(&compiled, &mut glc_ssa::Direct::new(), 1200.0, 1.0, 42)
-                .unwrap();
+            glc_ssa::simulate(&compiled, &mut glc_ssa::Direct::new(), 1200.0, 1.0, 42).unwrap();
         trace.mean(&circuit.output, 600, trace.len())
     }
 
@@ -358,17 +354,9 @@ mod tests {
             for m in 0..1usize << n {
                 let out = ssa_output(&circuit, m, 15.0);
                 if circuit.expected.value(m) {
-                    assert!(
-                        out > 25.0,
-                        "{} combo {m}: {out} should be high",
-                        circuit.id
-                    );
+                    assert!(out > 25.0, "{} combo {m}: {out} should be high", circuit.id);
                 } else {
-                    assert!(
-                        out < 12.0,
-                        "{} combo {m}: {out} should be low",
-                        circuit.id
-                    );
+                    assert!(out < 12.0, "{} combo {m}: {out} should be low", circuit.id);
                 }
             }
         }

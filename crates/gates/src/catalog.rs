@@ -120,8 +120,7 @@ pub const CELLO_HEXES: [(usize, u64); 10] = [
 
 /// The full 15-circuit evaluation set (5 book + 10 Cello).
 pub fn all() -> Vec<CircuitEntry> {
-    let mut entries: Vec<CircuitEntry> =
-        book::all().into_iter().map(CircuitEntry::from).collect();
+    let mut entries: Vec<CircuitEntry> = book::all().into_iter().map(CircuitEntry::from).collect();
     entries.extend(CELLO_HEXES.iter().map(|&(n, hex)| cello(n, hex)));
     entries
 }

@@ -39,10 +39,7 @@ pub fn compile(netlist: &Netlist) -> Result<Model, ModelError> {
 /// # Errors
 ///
 /// See [`compile`].
-pub fn compile_with_sensor(
-    netlist: &Netlist,
-    sensor: &SensorParams,
-) -> Result<Model, ModelError> {
+pub fn compile_with_sensor(netlist: &Netlist, sensor: &SensorParams) -> Result<Model, ModelError> {
     let mut builder = ModelBuilder::new(format!("netlist_{}", netlist.output_name()));
 
     for name in netlist.input_names() {
@@ -169,7 +166,7 @@ mod tests {
     #[test]
     fn compiled_model_structure() {
         let (netlist, model) = compile_hex(2, 0x8); // AND
-        // Species: 2 inputs + 3 repressors + OUT.
+                                                    // Species: 2 inputs + 3 repressors + OUT.
         assert_eq!(model.species().len(), 2 + netlist.gate_count() + 1);
         assert!(model.species()[0].boundary);
         assert!(!model.species()[2].boundary);

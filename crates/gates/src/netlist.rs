@@ -152,9 +152,7 @@ impl Netlist {
                         input: j,
                     })
                 }
-                Signal::Gate(h) if h >= gates.len() => {
-                    return Err(NetlistError::BadOutputRef(h))
-                }
+                Signal::Gate(h) if h >= gates.len() => return Err(NetlistError::BadOutputRef(h)),
                 _ => {}
             }
         }

@@ -73,7 +73,10 @@ pub struct StructuralCircuit {
 impl StructuralCircuit {
     /// Total genetic component count (the paper's 3–26 metric).
     pub fn component_count(&self) -> usize {
-        self.units.iter().map(TranscriptionalUnit::component_count).sum()
+        self.units
+            .iter()
+            .map(TranscriptionalUnit::component_count)
+            .sum()
     }
 }
 

@@ -69,8 +69,8 @@ pub fn write(netlist: &Netlist) -> String {
         );
     }
 
-    let mut module = Element::new("moduleDefinition")
-        .attr("id", format!("circuit_{}", netlist.output_name()));
+    let mut module =
+        Element::new("moduleDefinition").attr("id", format!("circuit_{}", netlist.output_name()));
 
     for name in netlist.input_names() {
         module.children.push(
@@ -117,7 +117,10 @@ pub fn write(netlist: &Netlist) -> String {
     }
 
     let root = Element::new("sbol").attr("xmlns", SBOL_NS).child(module);
-    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", root.to_xml())
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}",
+        root.to_xml()
+    )
 }
 
 /// Parses an SBOL-subset document back into a [`Netlist`].
@@ -287,7 +290,11 @@ mod tests {
     use glc_core::TruthTable;
 
     fn netlist_of(hex: u64) -> Netlist {
-        synthesize(&TruthTable::from_hex(3, hex), &["IPTG", "aTc", "Ara"], "YFP")
+        synthesize(
+            &TruthTable::from_hex(3, hex),
+            &["IPTG", "aTc", "Ara"],
+            "YFP",
+        )
     }
 
     #[test]
@@ -391,14 +398,20 @@ mod tests {
             <functionalComponent id="Y" role="output"/>
             <interaction type="stimulation" participant="ghost" target="Y"/>
         </moduleDefinition></sbol>"#;
-        assert!(matches!(read(document), Err(SbolError::UnknownComponent(_))));
+        assert!(matches!(
+            read(document),
+            Err(SbolError::UnknownComponent(_))
+        ));
         // Unknown target.
         let document = r#"<sbol><moduleDefinition id="c">
             <functionalComponent id="A" role="input"/>
             <functionalComponent id="Y" role="output"/>
             <interaction type="stimulation" participant="A" target="ghost"/>
         </moduleDefinition></sbol>"#;
-        assert!(matches!(read(document), Err(SbolError::UnknownComponent(_))));
+        assert!(matches!(
+            read(document),
+            Err(SbolError::UnknownComponent(_))
+        ));
         // Unsupported role / interaction type.
         let document = r#"<sbol><moduleDefinition id="c">
             <functionalComponent id="A" role="wizard"/>

@@ -129,7 +129,9 @@ mod tests {
             let netlist = synth_hex(2, hex);
             assert_eq!(netlist.truth_table().to_hex(), hex, "2-input 0x{hex:X}");
         }
-        for hex in [0x0Bu64, 0x04, 0x1C, 0x41, 0x70, 0x8E, 0xB3, 0xF4, 0x96, 0x69] {
+        for hex in [
+            0x0Bu64, 0x04, 0x1C, 0x41, 0x70, 0x8E, 0xB3, 0xF4, 0x96, 0x69,
+        ] {
             let netlist = synth_hex(3, hex);
             assert_eq!(netlist.truth_table().to_hex(), hex, "3-input 0x{hex:X}");
         }

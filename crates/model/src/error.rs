@@ -120,7 +120,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::DuplicateId(id) => write!(f, "duplicate identifier `{id}`"),
             ModelError::UnknownSpecies { reaction, species } => {
-                write!(f, "reaction `{reaction}` references unknown species `{species}`")
+                write!(
+                    f,
+                    "reaction `{reaction}` references unknown species `{species}`"
+                )
             }
             ModelError::UnknownIdentifier {
                 reaction,
@@ -212,7 +215,10 @@ mod tests {
                 },
                 "negative initial",
             ),
-            (ModelError::InvalidIdentifier("9x".into()), "invalid identifier"),
+            (
+                ModelError::InvalidIdentifier("9x".into()),
+                "invalid identifier",
+            ),
             (ModelError::Sbml("broken".into()), "sbml"),
         ];
         for (err, needle) in cases {

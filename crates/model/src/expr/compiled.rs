@@ -5,6 +5,23 @@
 //! [`CompiledExpr`] flattens the tree into a postfix instruction sequence
 //! whose variable references are pre-resolved to slot indices in a flat
 //! `&[f64]` value vector, as described by a [`SymbolTable`].
+//!
+//! # Kinetics fast path
+//!
+//! On top of the postfix VM, compilation classifies each program into a
+//! [`KineticForm`]. The overwhelmingly common kinetic-law shapes —
+//! mass-action products like `k * A * B` and the Cello gate response
+//! `ymin + (ymax - ymin) * hillr(R, K, n)` — evaluate as a handful of
+//! loads and multiplies with **no instruction dispatch and no operand
+//! stack**; everything else falls back to the VM unchanged.
+//!
+//! The fast paths are constructed to be **bitwise identical** to the VM:
+//! classification only matches left-associated `+`/`*` spines (the shape
+//! the parser produces), evaluates factors and terms in the same order
+//! the postfix program would, and routes Hill responses through the very
+//! same [`Func::apply`]. Simulation results therefore do not depend on
+//! which path evaluated a propensity — the property the incremental
+//! propensity engine in `glc_ssa` relies on.
 
 use super::{BinOp, Expr, Func};
 use crate::error::EvalError;
@@ -75,6 +92,287 @@ enum Instr {
     Call(Func),
 }
 
+/// A leaf of the kinetics fast path: a literal or a slot load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Numeric literal.
+    Num(f64),
+    /// Load of `values[slot]`.
+    Slot(usize),
+}
+
+impl Operand {
+    #[inline]
+    fn load(self, values: &[f64]) -> f64 {
+        match self {
+            Operand::Num(value) => value,
+            Operand::Slot(slot) => values[slot],
+        }
+    }
+}
+
+/// A Hill response call `hillr`/`hilla` over a (sum of) operand(s).
+///
+/// Covers the promoter response laws the gate compiler emits, including
+/// tandem-promoter laws where the repressor amounts are summed inside
+/// the call: `hillr(R_a + R_b, K, n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HillCall {
+    /// `true` for `hilla`, `false` for `hillr`.
+    pub activation: bool,
+    /// Summands of the regulator amount, added left to right.
+    pub xs: Vec<Operand>,
+    /// Half-response constant.
+    pub k: Operand,
+    /// Hill coefficient.
+    pub n: Operand,
+}
+
+impl HillCall {
+    #[inline]
+    fn eval(&self, values: &[f64]) -> f64 {
+        let mut x = self.xs[0].load(values);
+        for operand in &self.xs[1..] {
+            x += operand.load(values);
+        }
+        // Same primitive the VM dispatches to, so results are bitwise
+        // identical between the two paths.
+        let func = if self.activation {
+            Func::HillActivation
+        } else {
+            Func::HillRepression
+        };
+        func.apply(&[x, self.k.load(values), self.n.load(values)])
+    }
+}
+
+/// One multiplicand of a product term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Factor {
+    /// A literal or slot load.
+    Op(Operand),
+    /// A Hill response call.
+    Hill(HillCall),
+}
+
+impl Factor {
+    #[inline]
+    fn eval(&self, values: &[f64]) -> f64 {
+        match self {
+            Factor::Op(operand) => operand.load(values),
+            Factor::Hill(hill) => hill.eval(values),
+        }
+    }
+}
+
+/// A product of factors, multiplied left to right (the association the
+/// parser gives `a * b * c`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Factors in evaluation order; never empty.
+    pub factors: Vec<Factor>,
+}
+
+impl Term {
+    #[inline]
+    fn eval(&self, values: &[f64]) -> f64 {
+        let mut product = self.factors[0].eval(values);
+        for factor in &self.factors[1..] {
+            product *= factor.eval(values);
+        }
+        product
+    }
+}
+
+/// The shape class of a compiled kinetic law, decided once at compile
+/// time so the hot loop can skip VM dispatch for the common shapes.
+///
+/// Ordered roughly by dispatch cost. `Const`/`Load`/`Linear`/`Bilinear`
+/// cover mass-action laws (`k`, `k * A`, `k * A * B`); `Hill` covers the
+/// single-promoter gate response; `SumOfProducts` covers tandem-promoter
+/// sums of responses and longer mass-action chains; `General` is the
+/// postfix VM fallback for everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KineticForm {
+    /// A lone literal.
+    Const(f64),
+    /// A lone identifier: `values[slot]`.
+    Load(usize),
+    /// `a * b`.
+    Linear(Operand, Operand),
+    /// `(a * b) * c`.
+    Bilinear(Operand, Operand, Operand),
+    /// `base + span * hill(x…, k, n)` — the Cello gate response law.
+    Hill {
+        /// The leak term (`ymin`).
+        base: Operand,
+        /// The dynamic range (`ymax - ymin`, pre-folded by the law
+        /// printer).
+        span: Operand,
+        /// The response call.
+        hill: HillCall,
+    },
+    /// A left-associated sum of product terms.
+    SumOfProducts(Vec<Term>),
+    /// No special shape: evaluate through the postfix VM.
+    General,
+}
+
+impl KineticForm {
+    /// Classifies `expr` against `table`. Only called after successful
+    /// compilation, so every identifier is known to resolve.
+    fn classify(expr: &Expr, table: &SymbolTable) -> KineticForm {
+        // Lone operands.
+        match operand_of(expr, table) {
+            Some(Operand::Num(value)) => return KineticForm::Const(value),
+            Some(Operand::Slot(slot)) => return KineticForm::Load(slot),
+            None => {}
+        }
+
+        // Pure left-associated operand products: Linear / Bilinear.
+        if let Some(term) = term_of(expr, table) {
+            let operands: Option<Vec<Operand>> = term
+                .factors
+                .iter()
+                .map(|f| match f {
+                    Factor::Op(op) => Some(*op),
+                    Factor::Hill(_) => None,
+                })
+                .collect();
+            if let Some(ops) = operands {
+                match ops.as_slice() {
+                    [a, b] => return KineticForm::Linear(*a, *b),
+                    [a, b, c] => return KineticForm::Bilinear(*a, *b, *c),
+                    _ => {}
+                }
+            }
+            return KineticForm::SumOfProducts(vec![term]);
+        }
+
+        // The gate response law: base + span * hill(...).
+        if let Expr::Bin(BinOp::Add, lhs, rhs) = expr {
+            if let (Some(base), Expr::Bin(BinOp::Mul, span_expr, hill_expr)) =
+                (operand_of(lhs, table), rhs.as_ref())
+            {
+                if let (Some(span), Some(hill)) =
+                    (operand_of(span_expr, table), hill_call_of(hill_expr, table))
+                {
+                    return KineticForm::Hill { base, span, hill };
+                }
+            }
+        }
+
+        // General left-associated sums of product terms.
+        if let Some(terms) = sum_of_terms(expr, table) {
+            return KineticForm::SumOfProducts(terms);
+        }
+
+        KineticForm::General
+    }
+}
+
+/// `expr` as a single operand, if it is a literal or identifier.
+fn operand_of(expr: &Expr, table: &SymbolTable) -> Option<Operand> {
+    match expr {
+        Expr::Num(value) => Some(Operand::Num(*value)),
+        Expr::Var(name) => table.slot(name).map(Operand::Slot),
+        _ => None,
+    }
+}
+
+/// `expr` as a `hillr`/`hilla` call whose regulator argument is a
+/// left-associated sum of operands and whose `k`/`n` are operands.
+fn hill_call_of(expr: &Expr, table: &SymbolTable) -> Option<HillCall> {
+    let Expr::Call(func, args) = expr else {
+        return None;
+    };
+    let activation = match func {
+        Func::HillRepression => false,
+        Func::HillActivation => true,
+        _ => return None,
+    };
+    let [x, k, n] = args.as_slice() else {
+        return None;
+    };
+    let xs = operand_sum_of(x, table)?;
+    Some(HillCall {
+        activation,
+        xs,
+        k: operand_of(k, table)?,
+        n: operand_of(n, table)?,
+    })
+}
+
+/// Flattens a left-associated `+` spine of operands: `a + b + c`.
+fn operand_sum_of(expr: &Expr, table: &SymbolTable) -> Option<Vec<Operand>> {
+    match expr {
+        Expr::Bin(BinOp::Add, lhs, rhs) => {
+            let mut xs = operand_sum_of(lhs, table)?;
+            xs.push(operand_of(rhs, table)?);
+            Some(xs)
+        }
+        _ => Some(vec![operand_of(expr, table)?]),
+    }
+}
+
+/// `expr` as one product term: a left-associated `*` spine whose leaves
+/// are operands or Hill calls. Must contain at least one `*` (lone
+/// operands are classified separately).
+fn term_of(expr: &Expr, table: &SymbolTable) -> Option<Term> {
+    fn factors_of(expr: &Expr, table: &SymbolTable, out: &mut Vec<Factor>) -> Option<()> {
+        if let Expr::Bin(BinOp::Mul, lhs, rhs) = expr {
+            factors_of(lhs, table, out)?;
+            out.push(factor_of(rhs, table)?);
+            Some(())
+        } else {
+            out.push(factor_of(expr, table)?);
+            Some(())
+        }
+    }
+    if !matches!(expr, Expr::Bin(BinOp::Mul, _, _)) {
+        return None;
+    }
+    let mut factors = Vec::new();
+    factors_of(expr, table, &mut factors)?;
+    Some(Term { factors })
+}
+
+fn factor_of(expr: &Expr, table: &SymbolTable) -> Option<Factor> {
+    if let Some(operand) = operand_of(expr, table) {
+        return Some(Factor::Op(operand));
+    }
+    hill_call_of(expr, table).map(Factor::Hill)
+}
+
+/// Flattens a left-associated `+` spine into product terms (single
+/// factors allowed per term). Requires at least one `+`.
+fn sum_of_terms(expr: &Expr, table: &SymbolTable) -> Option<Vec<Term>> {
+    fn terms_of(expr: &Expr, table: &SymbolTable, out: &mut Vec<Term>) -> Option<()> {
+        if let Expr::Bin(BinOp::Add, lhs, rhs) = expr {
+            terms_of(lhs, table, out)?;
+            out.push(single_term_of(rhs, table)?);
+            Some(())
+        } else {
+            out.push(single_term_of(expr, table)?);
+            Some(())
+        }
+    }
+    fn single_term_of(expr: &Expr, table: &SymbolTable) -> Option<Term> {
+        if let Some(term) = term_of(expr, table) {
+            return Some(term);
+        }
+        factor_of(expr, table).map(|factor| Term {
+            factors: vec![factor],
+        })
+    }
+    if !matches!(expr, Expr::Bin(BinOp::Add, _, _)) {
+        return None;
+    }
+    let mut terms = Vec::new();
+    terms_of(expr, table, &mut terms)?;
+    Some(terms)
+}
+
 /// An expression compiled against a [`SymbolTable`].
 ///
 /// # Example
@@ -98,6 +396,7 @@ pub struct CompiledExpr {
     prog: Vec<Instr>,
     max_depth: usize,
     slots: Vec<usize>,
+    form: KineticForm,
 }
 
 impl Expr {
@@ -119,10 +418,12 @@ impl Expr {
                 _ => None,
             })
             .collect();
+        let form = KineticForm::classify(self, table);
         Ok(CompiledExpr {
             prog,
             max_depth,
             slots,
+            form,
         })
     }
 }
@@ -220,6 +521,43 @@ impl CompiledExpr {
             }
         }
         stack.pop().expect("compiled expression left empty stack")
+    }
+
+    /// Evaluates through the kinetics fast path when the expression
+    /// classified as one of the common shapes, falling back to the VM
+    /// (via `stack`) otherwise.
+    ///
+    /// Bitwise identical to [`CompiledExpr::eval_with`] for every
+    /// expression: the fast paths replay the exact operation order of
+    /// the postfix program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the highest referenced slot.
+    #[inline]
+    pub fn eval_fast(&self, values: &[f64], stack: &mut Vec<f64>) -> f64 {
+        match &self.form {
+            KineticForm::Const(value) => *value,
+            KineticForm::Load(slot) => values[*slot],
+            KineticForm::Linear(a, b) => a.load(values) * b.load(values),
+            KineticForm::Bilinear(a, b, c) => a.load(values) * b.load(values) * c.load(values),
+            KineticForm::Hill { base, span, hill } => {
+                base.load(values) + span.load(values) * hill.eval(values)
+            }
+            KineticForm::SumOfProducts(terms) => {
+                let mut total = terms[0].eval(values);
+                for term in &terms[1..] {
+                    total += term.eval(values);
+                }
+                total
+            }
+            KineticForm::General => self.eval_with(values, stack),
+        }
+    }
+
+    /// The shape class the expression compiled to.
+    pub fn kinetic_form(&self) -> &KineticForm {
+        &self.form
     }
 
     /// Slots (deduplicated not guaranteed) of every variable reference in
@@ -335,9 +673,85 @@ mod tests {
     fn hand_built_call_with_bad_arity_fails_compile() {
         let expr = Expr::Call(Func::Exp, vec![]);
         let table = SymbolTable::new();
+        assert!(matches!(expr.compile(&table), Err(EvalError::Arity { .. })));
+    }
+
+    fn form_of(source: &str, table: &SymbolTable) -> KineticForm {
+        Expr::parse(source)
+            .unwrap()
+            .compile(table)
+            .unwrap()
+            .kinetic_form()
+            .clone()
+    }
+
+    #[test]
+    fn kinetic_forms_classify_the_common_laws() {
+        let table = table_of(&["A", "B", "k"]);
+        assert_eq!(form_of("3.5", &table), KineticForm::Const(3.5));
+        assert_eq!(form_of("k", &table), KineticForm::Load(2));
+        assert_eq!(
+            form_of("k * A", &table),
+            KineticForm::Linear(Operand::Slot(2), Operand::Slot(0))
+        );
+        assert_eq!(
+            form_of("0.5 * A * B", &table),
+            KineticForm::Bilinear(Operand::Num(0.5), Operand::Slot(0), Operand::Slot(1))
+        );
         assert!(matches!(
-            expr.compile(&table),
-            Err(EvalError::Arity { .. })
+            form_of("0.03 + 3.7 * hillr(A, 20, 2)", &table),
+            KineticForm::Hill { .. }
         ));
+        // Tandem-promoter law: sum of two Hill responses.
+        assert!(matches!(
+            form_of(
+                "0.03 + 3.7 * hillr(A, 20, 2) + 0.1 + 2.9 * hilla(B, 7, 2.8)",
+                &table
+            ),
+            KineticForm::SumOfProducts(terms) if terms.len() == 4
+        ));
+        // Right-nested association must NOT be flattened (it would
+        // change rounding); it falls back to the VM.
+        assert_eq!(form_of("k * (A * B)", &table), KineticForm::General);
+        assert_eq!(form_of("A - B", &table), KineticForm::General);
+    }
+
+    #[test]
+    fn fast_path_is_bitwise_identical_to_the_vm() {
+        let table = table_of(&["A", "B", "k"]);
+        let sources = [
+            "2.5",
+            "k",
+            "k * A",
+            "k * A * B",
+            "k * A * B * A",
+            "0.03 + 3.7 * hillr(A, 20, 2)",
+            "0.1 + 2.9 * hilla(A + B, 7, 2.8)",
+            "k * hillr(A, 20, 2)",
+            "0.03 + 3.7 * hillr(A, 20, 2) + 0.1 + 2.9 * hilla(B, 7, 2.8)",
+            "3.0 + 0.03 + 3.7 * hillr(A + B, 12, 1.9)",
+            // General fallbacks must agree trivially too.
+            "k * (A * B)",
+            "A - B / (k + 1)",
+            "max(A, B) - exp(-k)",
+        ];
+        let mut stack = Vec::new();
+        for source in sources {
+            let compiled = Expr::parse(source).unwrap().compile(&table).unwrap();
+            for values in [
+                [0.0, 0.0, 0.5],
+                [1.0, 3.0, 0.25],
+                [17.0, 42.0, 1.5],
+                [1e6, 1e-6, 123.456],
+            ] {
+                let vm = compiled.eval_with(&values, &mut stack);
+                let fast = compiled.eval_fast(&values, &mut stack);
+                assert_eq!(
+                    vm.to_bits(),
+                    fast.to_bits(),
+                    "`{source}` at {values:?}: vm {vm} vs fast {fast}"
+                );
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@ mod compiled;
 mod eval;
 mod parser;
 
-pub use compiled::{CompiledExpr, SymbolTable};
+pub use compiled::{CompiledExpr, Factor, HillCall, KineticForm, Operand, SymbolTable, Term};
 pub use eval::Env;
 
 use crate::error::ParseError;
@@ -254,21 +254,28 @@ impl Expr {
     }
 
     /// `lhs + rhs`.
+    ///
+    /// Deliberately named like `std::ops::Add::add`: these are plain
+    /// constructors used as combinators, not operator overloads.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Self {
         Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs))
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Self {
         Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs))
     }
 
     /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Self {
         Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs))
     }
 
     /// `lhs / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(lhs: Expr, rhs: Expr) -> Self {
         Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs))
     }
@@ -343,8 +350,16 @@ impl Expr {
                 // side the operator does NOT associate with: the right for
                 // left-associative -, /, and the left for the
                 // right-associative `^`.
-                let lhs_prec = if *op == BinOp::Pow { my_prec + 1 } else { my_prec };
-                let rhs_prec = if *op == BinOp::Pow { my_prec } else { my_prec + 1 };
+                let lhs_prec = if *op == BinOp::Pow {
+                    my_prec + 1
+                } else {
+                    my_prec
+                };
+                let rhs_prec = if *op == BinOp::Pow {
+                    my_prec
+                } else {
+                    my_prec + 1
+                };
                 lhs.fmt_prec(f, lhs_prec)?;
                 write!(f, " {} ", op.symbol())?;
                 rhs.fmt_prec(f, rhs_prec)?;

@@ -108,9 +108,7 @@ fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 tokens.push(SpannedToken {

@@ -211,12 +211,12 @@ impl Model {
         self.reactions
             .iter()
             .map(|r| {
-                r.kinetic_law.compile(&table).map_err(|err| {
-                    ModelError::UnknownIdentifier {
+                r.kinetic_law
+                    .compile(&table)
+                    .map_err(|err| ModelError::UnknownIdentifier {
                         reaction: r.id.clone(),
                         identifier: err.to_string(),
-                    }
-                })
+                    })
             })
             .collect()
     }

@@ -233,9 +233,7 @@ fn read_reaction(el: &Element) -> Result<Reaction, ModelError> {
     let math = el
         .find("kineticLaw")
         .and_then(|kl| kl.find("math"))
-        .ok_or_else(|| {
-            ModelError::Sbml(format!("reaction `{id}` is missing `kineticLaw/math`"))
-        })?;
+        .ok_or_else(|| ModelError::Sbml(format!("reaction `{id}` is missing `kineticLaw/math`")))?;
     let kinetic_law = Expr::parse(&math.text).map_err(|source| ModelError::KineticLaw {
         reaction: id.clone(),
         source,

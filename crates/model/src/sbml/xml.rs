@@ -83,17 +83,17 @@ impl Element {
         }
         out.push('>');
         if self.children.is_empty() {
-            let _ = write!(out, "{}</{}>\n", escape(&self.text), self.name);
+            let _ = writeln!(out, "{}</{}>", escape(&self.text), self.name);
             return;
         }
         out.push('\n');
         if !self.text.is_empty() {
-            let _ = write!(out, "{indent}  {}\n", escape(&self.text));
+            let _ = writeln!(out, "{indent}  {}", escape(&self.text));
         }
         for child in &self.children {
             child.write_into(out, depth + 1);
         }
-        let _ = write!(out, "{indent}</{}>\n", self.name);
+        let _ = writeln!(out, "{indent}</{}>", self.name);
     }
 }
 
@@ -275,10 +275,7 @@ impl<'a> XmlParser<'a> {
                 element.children.push(self.element()?);
             } else {
                 let next_tag = rest.find('<').unwrap_or(rest.len());
-                text.push_str(&decode_entities(
-                    &rest[..next_tag],
-                    self.pos,
-                )?);
+                text.push_str(&decode_entities(&rest[..next_tag], self.pos)?);
                 self.pos += next_tag;
             }
         }

@@ -44,7 +44,7 @@ impl InputSchedule {
     pub fn event_times(&self) -> Vec<f64> {
         let mut times: Vec<f64> = Vec::new();
         for &(t, _, _) in &self.events {
-            if times.last().map_or(true, |&last| t > last) {
+            if times.last().is_none_or(|&last| t > last) {
                 times.push(t);
             }
         }
@@ -165,7 +165,13 @@ mod tests {
             .boundary_species("X", 0.0)
             .species("Y", 0.0)
             .parameter("k", 0.5)
-            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["X".into()], "k * X")
+            .reaction_full(
+                "prod",
+                vec![],
+                vec![("Y".into(), 1)],
+                vec!["X".into()],
+                "k * X",
+            )
             .unwrap()
             .reaction("deg", &["Y"], &[], "k * Y")
             .unwrap()

@@ -3,16 +3,32 @@
 //! A single SSA trajectory is one sample of a distribution; circuit
 //! noise analyses (and the mean-vs-ODE cross-checks) need the ensemble
 //! mean and spread. [`run_ensemble`] runs independent replicates on
-//! worker threads (crossbeam scoped threads, one RNG stream per
-//! replicate derived from a base seed) and aggregates them into
-//! mean/standard-deviation traces on the common sampling grid.
+//! worker threads (std scoped threads, one RNG stream per replicate
+//! derived from a base seed) and aggregates them into mean /
+//! standard-deviation traces on the common sampling grid.
+//!
+//! # Accumulation without locks
+//!
+//! Workers claim replicate indices from an atomic counter and send
+//! finished traces over a channel; the calling thread merges them into
+//! the sum / sum-of-squares buffers **in replicate order** (out-of-order
+//! arrivals are parked until their turn). Two consequences:
+//!
+//! * no `Mutex` anywhere on the per-replicate path, so ensemble
+//!   throughput scales with cores instead of serializing on a lock;
+//! * floating-point accumulation order is a function of the replicate
+//!   indices only, so the aggregate is bitwise independent of the
+//!   thread count — even for engines with non-integral traces
+//!   (Langevin), not just the exact integer-count engines.
 
 use crate::compiled::CompiledModel;
 use crate::engine::Engine;
 use crate::error::SimError;
 use crate::simulate;
 use crate::trace::Trace;
-use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Aggregated result of an ensemble run.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +41,34 @@ pub struct Ensemble {
     pub replicates: usize,
 }
 
+/// Sum and sum-of-squares per species per sample, merged in strict
+/// replicate order.
+struct Accumulator {
+    sums: Vec<Vec<f64>>,
+    squares: Vec<Vec<f64>>,
+    merged: usize,
+}
+
+impl Accumulator {
+    fn new(species: usize, samples: usize) -> Self {
+        Accumulator {
+            sums: vec![vec![0.0; samples]; species],
+            squares: vec![vec![0.0; samples]; species],
+            merged: 0,
+        }
+    }
+
+    fn merge(&mut self, trace: &Trace) {
+        for (s, (sums, squares)) in self.sums.iter_mut().zip(&mut self.squares).enumerate() {
+            for (k, &v) in trace.series_at(s).iter().enumerate() {
+                sums[k] += v;
+                squares[k] += v * v;
+            }
+        }
+        self.merged += 1;
+    }
+}
+
 /// Runs `replicates` independent simulations of `model` until `t_end`
 /// (sampled every `sample_dt`), seeding replicate `i` with
 /// `base_seed + i`, spread across `threads` workers.
@@ -32,10 +76,15 @@ pub struct Ensemble {
 /// `make_engine` is called once per worker to create that worker's
 /// engine (engines are stateful scratch, not shareable).
 ///
+/// The aggregate is independent of `threads`: replicate seeds depend
+/// only on the replicate index, and accumulation happens in replicate
+/// order on the calling thread.
+///
 /// # Errors
 ///
-/// Returns the first [`SimError`] any replicate produced, and
-/// [`SimError::InvalidConfig`] for zero `replicates`/`threads`.
+/// Returns the lowest-replicate [`SimError`] any replicate produced,
+/// and [`SimError::InvalidConfig`] for zero `replicates`/`threads` or a
+/// model with no species (there would be nothing to aggregate).
 pub fn run_ensemble<F>(
     model: &CompiledModel,
     make_engine: F,
@@ -54,78 +103,116 @@ where
     if threads == 0 {
         return Err(SimError::InvalidConfig("threads must be >= 1".into()));
     }
+    if model.species_count() == 0 {
+        return Err(SimError::InvalidConfig(
+            "model has no species to aggregate".into(),
+        ));
+    }
 
-    let next: Mutex<usize> = Mutex::new(0);
-    let failure: Mutex<Option<SimError>> = Mutex::new(None);
-    // Accumulate sum and sum-of-squares per species per sample.
-    let accum: Mutex<Option<(Vec<Vec<f64>>, Vec<Vec<f64>>, usize)>> = Mutex::new(None);
+    let worker_count = threads.min(replicates);
+    // In-flight window: a worker may not start a replicate more than
+    // this far ahead of the merge frontier, which bounds the merger's
+    // `pending` buffer at `window` traces even when one early replicate
+    // happens to simulate much slower than its successors.
+    let window = worker_count * 4;
+    let next = AtomicUsize::new(0);
+    let merged_frontier = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, Result<Trace, SimError>)>();
+    let make_engine = &make_engine;
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(replicates) {
-            scope.spawn(|_| {
+    let (accumulator, first_error) = std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            let tx = tx.clone();
+            let next = &next;
+            let merged_frontier = &merged_frontier;
+            let abort = &abort;
+            scope.spawn(move || {
                 let mut engine = make_engine();
                 loop {
-                    let replicate = {
-                        let mut guard = next.lock();
-                        if *guard >= replicates || failure.lock().is_some() {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let replicate = next.fetch_add(1, Ordering::Relaxed);
+                    if replicate >= replicates {
+                        return;
+                    }
+                    // Throttle: wait until the merge frontier is within
+                    // `window` of this replicate. The frontier replicate
+                    // itself never waits (replicate == frontier < frontier
+                    // + window), so progress is always possible.
+                    while replicate >= merged_frontier.load(Ordering::Acquire) + window {
+                        if abort.load(Ordering::Relaxed) {
                             return;
                         }
-                        let r = *guard;
-                        *guard += 1;
-                        r
-                    };
+                        std::thread::yield_now();
+                    }
                     let seed = base_seed.wrapping_add(replicate as u64);
-                    match simulate(model, engine.as_mut(), t_end, sample_dt, seed) {
-                        Ok(trace) => {
-                            let mut guard = accum.lock();
-                            let species = model.species_count();
-                            let samples = trace.len();
-                            let (sums, squares, count) = guard.get_or_insert_with(|| {
-                                (
-                                    vec![vec![0.0; samples]; species],
-                                    vec![vec![0.0; samples]; species],
-                                    0,
-                                )
-                            });
-                            for s in 0..species {
-                                let series = trace.series_at(s);
-                                for (k, &v) in series.iter().enumerate() {
-                                    sums[s][k] += v;
-                                    squares[s][k] += v * v;
-                                }
-                            }
-                            *count += 1;
-                        }
-                        Err(err) => {
-                            failure.lock().get_or_insert(err);
-                            return;
-                        }
+                    let outcome = simulate(model, engine.as_mut(), t_end, sample_dt, seed);
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((replicate, outcome)).is_err() {
+                        return;
                     }
                 }
             });
         }
-    })
-    .expect("ensemble worker panicked");
+        // Close the original sender so the receive loop ends when the
+        // last worker exits.
+        drop(tx);
 
-    if let Some(err) = failure.into_inner() {
+        // Ordered merge on this thread: replicate `merged` is always the
+        // next one folded in, so summation order never depends on thread
+        // scheduling. Out-of-order arrivals wait in `pending`, which the
+        // claim throttle above keeps at no more than `window` entries.
+        let mut accumulator: Option<Accumulator> = None;
+        let mut pending: BTreeMap<usize, Trace> = BTreeMap::new();
+        let mut first_error: Option<(usize, SimError)> = None;
+        for (replicate, outcome) in rx {
+            match outcome {
+                Ok(trace) => {
+                    pending.insert(replicate, trace);
+                    let accumulator = accumulator.get_or_insert_with(|| {
+                        let samples = pending.values().next().expect("just inserted").len();
+                        Accumulator::new(model.species_count(), samples)
+                    });
+                    while let Some(trace) = pending.remove(&accumulator.merged) {
+                        accumulator.merge(&trace);
+                        merged_frontier.store(accumulator.merged, Ordering::Release);
+                    }
+                }
+                Err(err) => {
+                    if first_error
+                        .as_ref()
+                        .is_none_or(|(prev, _)| replicate < *prev)
+                    {
+                        first_error = Some((replicate, err));
+                    }
+                }
+            }
+        }
+        (accumulator, first_error)
+    });
+
+    if let Some((_, err)) = first_error {
         return Err(err);
     }
-    let (sums, squares, count) = accum
-        .into_inner()
-        .expect("at least one replicate completed");
-    debug_assert_eq!(count, replicates);
+    let accumulator = accumulator.expect("replicates >= 1 and no error");
+    debug_assert_eq!(accumulator.merged, replicates);
 
     let names = model.species_names().to_vec();
     let mut mean = Trace::new(names.clone(), sample_dt, 0.0);
     let mut std_dev = Trace::new(names, sample_dt, 0.0);
-    let samples = sums[0].len();
-    let n = count as f64;
+    let samples = accumulator.sums[0].len();
+    let species = accumulator.sums.len();
+    let n = accumulator.merged as f64;
     for k in 0..samples {
-        let mean_row: Vec<f64> = (0..sums.len()).map(|s| sums[s][k] / n).collect();
-        let std_row: Vec<f64> = (0..sums.len())
+        let mean_row: Vec<f64> = (0..species).map(|s| accumulator.sums[s][k] / n).collect();
+        let std_row: Vec<f64> = (0..species)
             .map(|s| {
-                let m = sums[s][k] / n;
-                (squares[s][k] / n - m * m).max(0.0).sqrt()
+                let m = accumulator.sums[s][k] / n;
+                (accumulator.squares[s][k] / n - m * m).max(0.0).sqrt()
             })
             .collect();
         mean.push_row(&mean_row);
@@ -134,7 +221,7 @@ where
     Ok(Ensemble {
         mean,
         std_dev,
-        replicates: count,
+        replicates: accumulator.merged,
     })
 }
 
@@ -142,8 +229,9 @@ where
 mod tests {
     use super::*;
     use crate::direct::Direct;
+    use crate::langevin::Langevin;
     use crate::ode;
-    use glc_model::ModelBuilder;
+    use glc_model::{Model, ModelBuilder};
 
     fn birth_death() -> CompiledModel {
         let model = ModelBuilder::new("bd")
@@ -162,16 +250,8 @@ mod tests {
     #[test]
     fn ensemble_mean_tracks_the_ode_solution() {
         let model = birth_death();
-        let ensemble = run_ensemble(
-            &model,
-            || Box::new(Direct::new()),
-            64,
-            60.0,
-            5.0,
-            7,
-            4,
-        )
-        .unwrap();
+        let ensemble =
+            run_ensemble(&model, || Box::new(Direct::new()), 64, 60.0, 5.0, 7, 4).unwrap();
         assert_eq!(ensemble.replicates, 64);
         let ode_trace = ode::integrate(&model, 60.0, 0.01, 5.0).unwrap();
         let mean = ensemble.mean.series("X").unwrap();
@@ -179,26 +259,15 @@ mod tests {
         assert_eq!(mean.len(), expected.len());
         for (k, (&m, &e)) in mean.iter().zip(expected).enumerate().skip(1) {
             // Standard error of 64 replicates around Poisson-ish spread.
-            assert!(
-                (m - e).abs() < 4.0,
-                "sample {k}: ensemble {m} vs ODE {e}"
-            );
+            assert!((m - e).abs() < 4.0, "sample {k}: ensemble {m} vs ODE {e}");
         }
     }
 
     #[test]
     fn ensemble_std_matches_poisson_at_stationarity() {
         let model = birth_death();
-        let ensemble = run_ensemble(
-            &model,
-            || Box::new(Direct::new()),
-            128,
-            120.0,
-            10.0,
-            3,
-            4,
-        )
-        .unwrap();
+        let ensemble =
+            run_ensemble(&model, || Box::new(Direct::new()), 128, 120.0, 10.0, 3, 4).unwrap();
         let std = ensemble.std_dev.series("X").unwrap();
         // Stationary distribution is Poisson(50): σ = √50 ≈ 7.07.
         let last = *std.last().unwrap();
@@ -228,10 +297,43 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_for_non_integral_traces_too() {
+        // Langevin traces are continuous-valued, so this exercises the
+        // ordered merge: naive merge-on-arrival would make the result
+        // depend on thread scheduling through fp non-associativity.
+        let model = birth_death();
+        let run = |threads| {
+            run_ensemble(
+                &model,
+                || Box::new(Langevin::new(0.05).unwrap()),
+                12,
+                20.0,
+                2.0,
+                23,
+                threads,
+            )
+            .unwrap()
+        };
+        let single = run(1);
+        let multi = run(3);
+        assert_eq!(single.mean, multi.mean);
+        assert_eq!(single.std_dev, multi.std_dev);
+    }
+
+    #[test]
     fn config_validation() {
         let model = birth_death();
         assert!(run_ensemble(&model, || Box::new(Direct::new()), 0, 1.0, 1.0, 0, 1).is_err());
         assert!(run_ensemble(&model, || Box::new(Direct::new()), 1, 1.0, 1.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn zero_species_model_is_rejected_not_a_panic() {
+        let model = Model::from_parts("empty", vec![], vec![], vec![]).unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let err =
+            run_ensemble(&compiled, || Box::new(Direct::new()), 4, 1.0, 1.0, 0, 2).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]
@@ -243,8 +345,8 @@ mod tests {
             .build()
             .unwrap();
         let compiled = CompiledModel::new(&model).unwrap();
-        let err = run_ensemble(&compiled, || Box::new(Direct::new()), 4, 1.0, 1.0, 0, 2)
-            .unwrap_err();
+        let err =
+            run_ensemble(&compiled, || Box::new(Direct::new()), 4, 1.0, 1.0, 0, 2).unwrap_err();
         assert!(matches!(err, SimError::NonFinitePropensity { .. }));
     }
 }

@@ -4,10 +4,15 @@
 //! fires the earliest. Statistically equivalent to the direct method but
 //! uses `M` random numbers per step; included as the historical baseline
 //! the next-reaction method improves on.
+//!
+//! Propensities come from a [`PropensitySet`]: only `dependents(fired)`
+//! are re-evaluated per step. The per-step random-number draws remain
+//! O(M) — that is the method, not the bookkeeping.
 
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
+use crate::propensity::PropensitySet;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -15,7 +20,7 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct FirstReaction {
     step_limit: u64,
-    stack: Vec<f64>,
+    propensities: PropensitySet,
 }
 
 impl FirstReaction {
@@ -23,7 +28,7 @@ impl FirstReaction {
     pub fn new() -> Self {
         FirstReaction {
             step_limit: DEFAULT_STEP_LIMIT,
-            stack: Vec::new(),
+            propensities: PropensitySet::new(),
         }
     }
 }
@@ -58,17 +63,18 @@ impl Engine for FirstReaction {
             )));
         }
         let m = model.reaction_count();
+        self.propensities.rebuild(model, state)?;
         let mut steps: u64 = 0;
         loop {
             let mut best: Option<(f64, usize)> = None;
             for r in 0..m {
-                let a = model.propensity_with(r, state, &mut self.stack)?;
+                let a = self.propensities.propensity(r);
                 if a <= 0.0 {
                     continue;
                 }
                 let u: f64 = rng.gen();
                 let tau = -(1.0 - u).ln() / a;
-                if best.map_or(true, |(t, _)| tau < t) {
+                if best.is_none_or(|(t, _)| tau < t) {
                     best = Some((tau, r));
                 }
             }
@@ -82,6 +88,7 @@ impl Engine for FirstReaction {
             observer.on_advance(t_next, &state.values);
             state.t = t_next;
             model.apply(fired, state);
+            self.propensities.update_after(model, state, fired)?;
             steps += 1;
             if steps >= self.step_limit {
                 return Err(SimError::StepLimitExceeded {

@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn randomized_updates_preserve_invariants_and_min() {
         let mut rng = StdRng::seed_from_u64(99);
-        let n = 64;
+        let n = 64usize;
         let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
         let mut queue = IndexedPriorityQueue::new(keys.clone());
         for _ in 0..2000 {
@@ -191,10 +191,7 @@ mod tests {
             keys[item] = key;
             queue.update(item, key);
             queue.check_invariants();
-            let expected_min = keys
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let expected_min = keys.iter().cloned().fold(f64::INFINITY, f64::min);
             let (_, actual_min) = queue.min().unwrap();
             assert_eq!(actual_min, expected_min);
         }

@@ -167,8 +167,7 @@ mod tests {
         let trace = simulate(&model, &mut engine, 5000.0, 1.0, 11).unwrap();
         let series = &trace.series("X").unwrap()[500..];
         let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
-        let var: f64 =
-            series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+        let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
         assert!(
             (var / mean - 1.0).abs() < 0.35,
             "Fano {} too far from 1",

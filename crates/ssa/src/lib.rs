@@ -7,6 +7,10 @@
 //! * [`compiled`] — a [`compiled::CompiledModel`]: kinetic laws compiled to
 //!   slot-indexed programs, per-reaction state deltas (boundary species
 //!   excluded), and the reaction dependency graph;
+//! * [`propensity`] / [`sum_tree`] — the incremental propensity engine
+//!   shared by the exact methods: cached propensities updated only for
+//!   `dependents(fired)` after each firing, with O(log R) reaction
+//!   selection through a flat binary sum tree;
 //! * [`engine`] — the [`engine::Engine`] trait plus four implementations:
 //!   [`direct::Direct`] (Gillespie's direct method),
 //!   [`first_reaction::FirstReaction`],
@@ -55,6 +59,8 @@ pub mod ipq;
 pub mod langevin;
 pub mod next_reaction;
 pub mod ode;
+pub mod propensity;
+pub mod sum_tree;
 pub mod tau_leap;
 pub mod trace;
 
@@ -67,6 +73,8 @@ pub use error::SimError;
 pub use first_reaction::FirstReaction;
 pub use langevin::Langevin;
 pub use next_reaction::NextReaction;
+pub use propensity::PropensitySet;
+pub use sum_tree::SumTree;
 pub use tau_leap::TauLeap;
 pub use trace::{Trace, TraceRecorder};
 

@@ -82,10 +82,8 @@ impl Engine for NextReaction {
         let mut queue = IndexedPriorityQueue::new(times);
 
         let mut steps: u64 = 0;
-        loop {
-            let Some((fired, t_next)) = queue.min() else {
-                break; // model with zero reactions
-            };
+        // `min` is `None` only for a model with zero reactions.
+        while let Some((fired, t_next)) = queue.min() {
             if t_next >= t_end {
                 break; // also covers the all-infinite (quiescent) case
             }

@@ -56,16 +56,40 @@ pub fn integrate(
         // RK4 stages: derivative at the state, twice at midpoints, at the
         // endpoint.
         derivative(model, &state.values, state.t, &mut k[0], &mut stack)?;
-        stage(&state.values, &k[0], h / 2.0, species_count, &mut scratch.values);
-        derivative(model, &scratch.values, state.t + h / 2.0, &mut k[1], &mut stack)?;
-        stage(&state.values, &k[1], h / 2.0, species_count, &mut scratch.values);
-        derivative(model, &scratch.values, state.t + h / 2.0, &mut k[2], &mut stack)?;
+        stage(
+            &state.values,
+            &k[0],
+            h / 2.0,
+            species_count,
+            &mut scratch.values,
+        );
+        derivative(
+            model,
+            &scratch.values,
+            state.t + h / 2.0,
+            &mut k[1],
+            &mut stack,
+        )?;
+        stage(
+            &state.values,
+            &k[1],
+            h / 2.0,
+            species_count,
+            &mut scratch.values,
+        );
+        derivative(
+            model,
+            &scratch.values,
+            state.t + h / 2.0,
+            &mut k[2],
+            &mut stack,
+        )?;
         stage(&state.values, &k[2], h, species_count, &mut scratch.values);
         derivative(model, &scratch.values, state.t + h, &mut k[3], &mut stack)?;
 
-        for s in 0..species_count {
+        for (s, value) in state.values.iter_mut().take(species_count).enumerate() {
             let increment = h / 6.0 * (k[0][s] + 2.0 * k[1][s] + 2.0 * k[2][s] + k[3][s]);
-            state.values[s] = (state.values[s] + increment).max(0.0);
+            *value = (*value + increment).max(0.0);
         }
         state.t += h;
     }

@@ -1,0 +1,256 @@
+//! Flat binary sum tree over per-reaction propensities.
+//!
+//! The exact SSA needs two aggregate operations per step: the total
+//! propensity `a0 = Σ a_j` (for the waiting-time draw) and the inverse
+//! CDF lookup "first `j` with `Σ_{i<=j} a_i > target`" (for reaction
+//! selection). A linear scan pays O(R) for the second; this tree pays
+//! O(log R) for both update and selection, with the total read off the
+//! root for free.
+//!
+//! # Layout
+//!
+//! Standard implicit binary heap layout in one `Vec<f64>`: node `i` has
+//! children `2i` and `2i + 1`, leaves occupy `cap .. cap + len` where
+//! `cap` is `len` rounded up to a power of two (unused leaves stay
+//! `0.0` and are unreachable by selection as long as values are
+//! non-negative).
+//!
+//! # Invariants
+//!
+//! 1. **Parents are sums of children**: after every mutation each
+//!    internal node is *recomputed* as `left + right` — never adjusted
+//!    by a delta. Node values are therefore a pure function of the
+//!    current leaf values, so a tree maintained incrementally through
+//!    any sequence of [`SumTree::set`] calls is **bitwise identical**
+//!    to one rebuilt from scratch with [`SumTree::fill_from`] over the
+//!    same leaves. The incremental propensity engine relies on this to
+//!    keep incremental and full-recompute trajectories identical.
+//! 2. **Selection follows the CDF walk**: [`SumTree::select`] descends
+//!    from the root, going left when `target` is below the left
+//!    subtree's sum and subtracting it otherwise — the tree-shaped
+//!    equivalent of the classic linear scan. For `target` in
+//!    `[0, total)` and non-negative leaves it returns a leaf index with
+//!    positive prefix mass; fp round-off at the very top of the range
+//!    is clamped to the last live leaf, mirroring the scan's fallback.
+
+/// A fixed-size sum tree over `f64` values (non-negative by contract of
+/// the propensity use; `set` itself accepts anything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumTree {
+    len: usize,
+    cap: usize,
+    /// 1-indexed implicit tree; `nodes[0]` unused.
+    nodes: Vec<f64>,
+}
+
+impl Default for SumTree {
+    /// Equivalent to [`SumTree::new`]`(0)`: no leaves, zero total.
+    fn default() -> Self {
+        SumTree::new(0)
+    }
+}
+
+impl SumTree {
+    /// Creates a tree of `len` zero leaves.
+    pub fn new(len: usize) -> Self {
+        let cap = len.next_power_of_two().max(1);
+        SumTree {
+            len,
+            cap,
+            nodes: vec![0.0; 2 * cap],
+        }
+    }
+
+    /// Number of live leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resizes to `len` leaves, zeroing everything.
+    pub fn reset(&mut self, len: usize) {
+        let cap = len.next_power_of_two().max(1);
+        self.len = len;
+        self.cap = cap;
+        self.nodes.clear();
+        self.nodes.resize(2 * cap, 0.0);
+    }
+
+    /// Leaf value at `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> f64 {
+        debug_assert!(index < self.len);
+        self.nodes[self.cap + index]
+    }
+
+    /// The live leaves as a slice.
+    pub fn leaves(&self) -> &[f64] {
+        &self.nodes[self.cap..self.cap + self.len]
+    }
+
+    /// Sets leaf `index` to `value` and refreshes the path to the root
+    /// (each ancestor recomputed as `left + right`).
+    #[inline]
+    pub fn set(&mut self, index: usize, value: f64) {
+        debug_assert!(index < self.len);
+        let mut node = self.cap + index;
+        self.nodes[node] = value;
+        while node > 1 {
+            node /= 2;
+            self.nodes[node] = self.nodes[2 * node] + self.nodes[2 * node + 1];
+        }
+    }
+
+    /// Rewrites all leaves from `values` (`values.len()` must equal
+    /// [`SumTree::len`]) and rebuilds every level bottom-up — the same
+    /// pairwise sums an incremental history would have produced.
+    pub fn fill_from(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.len, "leaf count mismatch");
+        self.nodes[self.cap..self.cap + self.len].copy_from_slice(values);
+        for node in (1..self.cap).rev() {
+            self.nodes[node] = self.nodes[2 * node] + self.nodes[2 * node + 1];
+        }
+    }
+
+    /// Sum of all leaves (the root).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.nodes[1]
+    }
+
+    /// Finds the leaf selected by `target` under the CDF walk: the
+    /// first leaf `j` (in index order) whose cumulative sum exceeds
+    /// `target`. `target` should lie in `[0, total())`; values at or
+    /// beyond the total clamp to the last live leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on an empty tree.
+    #[inline]
+    pub fn select(&self, mut target: f64) -> usize {
+        debug_assert!(self.len > 0, "select on empty tree");
+        let mut node = 1usize;
+        while node < self.cap {
+            let left = 2 * node;
+            let left_sum = self.nodes[left];
+            if target < left_sum {
+                node = left;
+            } else {
+                target -= left_sum;
+                node = left + 1;
+            }
+        }
+        (node - self.cap).min(self.len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference linear scan with the same semantics as `select`.
+    fn scan_select(leaves: &[f64], mut target: f64) -> usize {
+        for (j, &a) in leaves.iter().enumerate() {
+            if target < a {
+                return j;
+            }
+            target -= a;
+        }
+        leaves.len() - 1
+    }
+
+    #[test]
+    fn totals_and_updates() {
+        let mut tree = SumTree::new(5);
+        assert_eq!(tree.total(), 0.0);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().enumerate() {
+            tree.set(i, v);
+        }
+        assert_eq!(tree.total(), 15.0);
+        assert_eq!(tree.get(2), 3.0);
+        tree.set(2, 0.0);
+        assert_eq!(tree.total(), 12.0);
+        assert_eq!(tree.leaves(), &[1.0, 2.0, 0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_bitwise() {
+        // Awkward magnitudes on purpose: the pure-function invariant
+        // must hold through fp round-off.
+        let values = [0.1, 1e-9, 3.7e5, 0.0, 2.2250738585072014e-308, 42.0, 7.5];
+        let mut incremental = SumTree::new(values.len());
+        // Write in a scrambled order, with some overwrites.
+        for &i in &[3usize, 0, 6, 2, 5, 1, 4, 0, 6] {
+            incremental.set(i, values[i]);
+        }
+        let mut rebuilt = SumTree::new(values.len());
+        rebuilt.fill_from(&values);
+        assert_eq!(incremental, rebuilt);
+        assert_eq!(incremental.total().to_bits(), rebuilt.total().to_bits());
+    }
+
+    #[test]
+    fn select_matches_linear_scan() {
+        let leaves = [0.0, 2.5, 0.0, 1.25, 4.0, 0.25, 0.0, 1.0, 3.5];
+        let mut tree = SumTree::new(leaves.len());
+        tree.fill_from(&leaves);
+        let total = tree.total();
+        let mut target = 0.0;
+        while target < total {
+            let by_tree = tree.select(target);
+            let by_scan = scan_select(&leaves, target);
+            // Both walk the same CDF; they may differ only through fp
+            // associativity, which these dyadic values exclude.
+            assert_eq!(by_tree, by_scan, "target {target}");
+            target += 0.125;
+        }
+        // At or past the total: clamp to last leaf like the scan.
+        assert_eq!(tree.select(total), leaves.len() - 1);
+        assert_eq!(tree.select(total + 10.0), leaves.len() - 1);
+    }
+
+    #[test]
+    fn select_skips_zero_leaves() {
+        let mut tree = SumTree::new(4);
+        tree.set(2, 1.0);
+        assert_eq!(tree.select(0.0), 2);
+        assert_eq!(tree.select(0.999), 2);
+    }
+
+    #[test]
+    fn default_and_zero_leaf_trees_are_benign() {
+        let tree = SumTree::default();
+        assert!(tree.is_empty());
+        assert_eq!(tree.total(), 0.0);
+        let tree = SumTree::new(0);
+        assert_eq!(tree.total(), 0.0);
+        assert_eq!(tree.leaves(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn single_leaf_and_reset() {
+        let mut tree = SumTree::new(1);
+        tree.set(0, 2.0);
+        assert_eq!(tree.total(), 2.0);
+        assert_eq!(tree.select(1.9), 0);
+        tree.reset(3);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.total(), 0.0);
+        tree.set(1, 1.0);
+        assert_eq!(tree.select(0.5), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_padding_is_invisible() {
+        let leaves = [1.0, 1.0, 1.0, 1.0, 1.0]; // cap = 8, 3 padding leaves
+        let mut tree = SumTree::new(5);
+        tree.fill_from(&leaves);
+        assert_eq!(tree.total(), 5.0);
+        assert_eq!(tree.select(4.5), 4);
+        assert_eq!(tree.select(4.999), 4);
+    }
+}

@@ -9,6 +9,7 @@
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
+use crate::propensity::PropensitySet;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -17,8 +18,7 @@ use rand::Rng;
 pub struct TauLeap {
     tau: f64,
     step_limit: u64,
-    propensities: Vec<f64>,
-    stack: Vec<f64>,
+    propensities: PropensitySet,
 }
 
 impl TauLeap {
@@ -37,8 +37,7 @@ impl TauLeap {
         Ok(TauLeap {
             tau,
             step_limit: DEFAULT_STEP_LIMIT,
-            propensities: Vec::new(),
-            stack: Vec::new(),
+            propensities: PropensitySet::new(),
         })
     }
 
@@ -102,11 +101,18 @@ impl Engine for TauLeap {
         let mut steps: u64 = 0;
         while state.t < t_end {
             let t_next = (state.t + self.tau).min(t_end);
-            model.propensities_into(state, &mut self.propensities, &mut self.stack)?;
+            // A leap fires many reactions at once, so the union of their
+            // dependency sets approaches all of R anyway: a full rebuild
+            // (through the kinetics fast path) is the right granularity.
+            // The tree maintenance inside `rebuild` (~2R adds) is noise
+            // next to the R kinetic-law evaluations and R Poisson draws
+            // each leap already pays; sharing `PropensitySet` keeps one
+            // propensity code path across engines.
+            self.propensities.rebuild(model, state)?;
             observer.on_advance(t_next, &state.values);
             let dt = t_next - state.t;
             for r in 0..model.reaction_count() {
-                let firings = poisson(rng, self.propensities[r] * dt);
+                let firings = poisson(rng, self.propensities.propensity(r) * dt);
                 if firings == 0 {
                     continue;
                 }

@@ -50,7 +50,7 @@ pub fn estimate_delay(
     let mut per_segment: Vec<Option<f64>> = vec![None; result.combos.len()];
     let mut settled: Vec<f64> = Vec::new();
 
-    for s in 1..result.combos.len() {
+    for (s, slot) in per_segment.iter_mut().enumerate().skip(1) {
         let start = result.segment_start(s);
         let end = (start + segment_len).min(output.len());
         if start >= end {
@@ -76,7 +76,7 @@ pub fn estimate_delay(
             continue;
         }
         let settle_time = settle_idx as f64 * dt;
-        per_segment[s] = Some(settle_time);
+        *slot = Some(settle_time);
         settled.push(settle_time);
     }
 
@@ -121,7 +121,13 @@ mod tests {
             .boundary_species("I", 0.0)
             .species("Y", 0.0)
             .parameter("k", k)
-            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["I".into()], "k * I")
+            .reaction_full(
+                "prod",
+                vec![],
+                vec![("Y".into(), 1)],
+                vec!["I".into()],
+                "k * I",
+            )
             .unwrap()
             .reaction("deg", &["Y"], &[], &format!("{k} * Y"))
             .unwrap()
@@ -159,7 +165,10 @@ mod tests {
             .unwrap();
         let delay = estimate_delay(&result, 20.0).unwrap();
         assert_eq!(delay.per_segment.len(), 4);
-        assert!(delay.per_segment[0].is_none(), "first segment has no switch");
+        assert!(
+            delay.per_segment[0].is_none(),
+            "first segment has no switch"
+        );
         assert!(delay.max >= delay.mean);
     }
 

@@ -86,9 +86,8 @@ impl ExperimentConfig {
         if self.repeats == 0 {
             return Err(VasimError::InvalidConfig("repeats must be >= 1".into()));
         }
-        if !(self.input_high.is_finite() && self.input_high >= 0.0)
-            || !(self.input_low.is_finite() && self.input_low >= 0.0)
-        {
+        let valid_level = |level: f64| level.is_finite() && level >= 0.0;
+        if !valid_level(self.input_high) || !valid_level(self.input_low) {
             return Err(VasimError::InvalidConfig(
                 "input levels must be non-negative and finite".into(),
             ));
@@ -195,8 +194,8 @@ impl Experiment {
             return Err(VasimError::UnknownSpecies(output.to_string()));
         }
 
-        let compiled = CompiledModel::new(model)
-            .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
+        let compiled =
+            CompiledModel::new(model).map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
         let n = inputs.len();
         let slots: Vec<usize> = inputs
             .iter()
@@ -264,7 +263,13 @@ mod tests {
             .boundary_species("I", 0.0)
             .species("Y", 0.0)
             .parameter("k", 0.5)
-            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["I".into()], "k * I")
+            .reaction_full(
+                "prod",
+                vec![],
+                vec![("Y".into(), 1)],
+                vec!["I".into()],
+                "k * I",
+            )
             .unwrap()
             .reaction("deg", &["Y"], &[], "k * Y")
             .unwrap()
@@ -285,10 +290,15 @@ mod tests {
         let input = result.data.input(0);
         assert!(input[..99].iter().all(|&v| v == 0.0));
         assert!(input[101..199].iter().all(|&v| v == 20.0));
-        // Output follows with the same threshold behaviour.
+        // Output follows: quiet in segment 0, settled near the input
+        // level (steady state k·I/k = 20) late in segment 1. A single
+        // sample of a Poisson(20)-ish distribution sits below 20 almost
+        // half the time, so assert on a settled-window mean instead.
         let output = result.data.output();
         assert!(output[90] < 10.0);
-        assert!(output[190] > 20.0, "output[190] = {}", output[190]);
+        let settled = &output[150..199];
+        let mean: f64 = settled.iter().sum::<f64>() / settled.len() as f64;
+        assert!(mean > 15.0, "settled mean {mean}");
     }
 
     #[test]

@@ -65,8 +65,8 @@ impl VirtualLab {
                 "sample_dt must be positive, got {sample_dt}"
             )));
         }
-        let compiled = CompiledModel::new(model)
-            .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
+        let compiled =
+            CompiledModel::new(model).map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
         let state = compiled.initial_state();
         let recorder = TraceRecorder::new(&compiled, sample_dt);
         Ok(VirtualLab {
@@ -162,7 +162,13 @@ mod tests {
             .boundary_species("I", 0.0)
             .species("Y", 0.0)
             .parameter("k", 0.5)
-            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["I".into()], "k * I")
+            .reaction_full(
+                "prod",
+                vec![],
+                vec![("Y".into(), 1)],
+                vec!["I".into()],
+                "k * I",
+            )
             .unwrap()
             .reaction("deg", &["Y"], &[], "k * Y")
             .unwrap()

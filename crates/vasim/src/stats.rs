@@ -46,8 +46,16 @@ pub fn stats(series: &[f64]) -> SeriesStats {
     let std_dev = variance.sqrt();
     let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let fano = if mean != 0.0 { variance / mean } else { f64::NAN };
-    let cv = if mean != 0.0 { std_dev / mean } else { f64::NAN };
+    let fano = if mean != 0.0 {
+        variance / mean
+    } else {
+        f64::NAN
+    };
+    let cv = if mean != 0.0 {
+        std_dev / mean
+    } else {
+        f64::NAN
+    };
     SeriesStats {
         count,
         mean,
@@ -166,7 +174,9 @@ mod tests {
     fn autocorrelation_basics() {
         let constant = [5.0; 10];
         assert!(autocorrelation(&constant, 1).is_nan());
-        let alternating: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let alternating: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert!((autocorrelation(&alternating, 0) - 1.0).abs() < 1e-12);
         assert!(autocorrelation(&alternating, 1) < -0.9);
         assert!(autocorrelation(&alternating, 2) > 0.9);
@@ -200,7 +210,13 @@ mod tests {
         let trend: Vec<f64> = (0..100).map(|i| i as f64).collect();
         assert!(!is_stationary(&trend, 3.0));
         assert!(is_stationary(&[1.0, 1.0], 3.0), "tiny windows pass");
-        assert!(is_stationary(&[2.0, 2.0, 2.0, 2.0], 3.0), "zero variance equal means");
-        assert!(!is_stationary(&[1.0, 1.0, 5.0, 5.0], 3.0), "zero variance unequal means");
+        assert!(
+            is_stationary(&[2.0, 2.0, 2.0, 2.0], 3.0),
+            "zero variance equal means"
+        );
+        assert!(
+            !is_stationary(&[1.0, 1.0, 5.0, 5.0], 3.0),
+            "zero variance unequal means"
+        );
     }
 }

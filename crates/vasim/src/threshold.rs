@@ -125,7 +125,13 @@ mod tests {
             .boundary_species("I", 0.0)
             .species("Y", 0.0)
             .parameter("k", 0.5)
-            .reaction_full("prod", vec![], vec![("Y".into(), 1)], vec!["I".into()], "k * I")
+            .reaction_full(
+                "prod",
+                vec![],
+                vec![("Y".into(), 1)],
+                vec!["I".into()],
+                "k * I",
+            )
             .unwrap()
             .reaction("deg", &["Y"], &[], "k * Y")
             .unwrap()

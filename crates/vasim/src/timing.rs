@@ -96,7 +96,10 @@ pub fn analyze_timing(
         // Final level: majority over the last quarter of the segment.
         let segment = &output[start..end];
         let tail_start = segment.len() - (segment.len() / 4).max(1);
-        let highs = segment[tail_start..].iter().filter(|&&v| v >= threshold).count();
+        let highs = segment[tail_start..]
+            .iter()
+            .filter(|&&v| v >= threshold)
+            .count();
         let after = 2 * highs > segment.len() - tail_start;
 
         let kind = match (before, after) {

@@ -16,7 +16,9 @@ use genetic_logic::gates::catalog;
 use genetic_logic::vasim::{Experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "0x0B".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "0x0B".to_string());
     let hex = u64::from_str_radix(arg.trim_start_matches("0x"), 16)?;
     let entry = catalog::cello(3, hex);
     let expected = TruthTable::from_hex(3, hex);
@@ -34,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // applied at the 15-molecule threshold, full sweep repeated to fill
     // at least 10,000 t.u.
     let config = ExperimentConfig::paper_protocol(entry.inputs.len(), 15.0);
-    let result =
-        Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 7)?;
+    let result = Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 7)?;
 
     let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0)).analyze(&result.data)?;
     println!("{report}");

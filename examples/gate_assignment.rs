@@ -20,12 +20,8 @@ use genetic_logic::vasim::{Experiment, ExperimentConfig};
 fn analyze(netlist: &Netlist, expected: &TruthTable) -> Result<String, Box<dyn std::error::Error>> {
     let model = compile(netlist)?;
     let config = ExperimentConfig::new(1000.0, 15.0);
-    let result = Experiment::new(config).run(
-        &model,
-        netlist.input_names(),
-        netlist.output_name(),
-        17,
-    )?;
+    let result =
+        Experiment::new(config).run(&model, netlist.input_names(), netlist.output_name(), 17)?;
     let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0)).analyze(&result.data)?;
     let verdict = verify(&report, expected);
     Ok(format!(
@@ -62,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let default_score = assign::evaluate(&netlist, 15.0);
     println!(
         "default assignment  {:?}\n  margin {:.1} (on_min {:.1} / off_max {:.1})",
-        netlist.gates().iter().map(|g| g.repressor.as_str()).collect::<Vec<_>>(),
+        netlist
+            .gates()
+            .iter()
+            .map(|g| g.repressor.as_str())
+            .collect::<Vec<_>>(),
         default_score.margin,
         default_score.on_min,
         default_score.off_max
@@ -71,13 +71,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scramble: rotate the assignment so response curves mismatch their
     // positions in the cascade.
-    let mut names: Vec<String> = netlist.gates().iter().map(|g| g.repressor.clone()).collect();
+    let mut names: Vec<String> = netlist
+        .gates()
+        .iter()
+        .map(|g| g.repressor.clone())
+        .collect();
     names.rotate_left(1);
     let scrambled = reassigned(&netlist, names);
     let scrambled_score = assign::evaluate(&scrambled, 15.0);
     println!(
         "scrambled assignment  {:?}\n  margin {:.1}",
-        scrambled.gates().iter().map(|g| g.repressor.as_str()).collect::<Vec<_>>(),
+        scrambled
+            .gates()
+            .iter()
+            .map(|g| g.repressor.as_str())
+            .collect::<Vec<_>>(),
         scrambled_score.margin
     );
     println!("  analyzer: {}\n", analyze(&scrambled, &expected)?);
@@ -86,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (optimized, optimized_score) = assign::optimize(&scrambled, 15.0);
     println!(
         "optimized assignment  {:?}\n  margin {:.1} (on_min {:.1} / off_max {:.1})",
-        optimized.gates().iter().map(|g| g.repressor.as_str()).collect::<Vec<_>>(),
+        optimized
+            .gates()
+            .iter()
+            .map(|g| g.repressor.as_str())
+            .collect::<Vec<_>>(),
         optimized_score.margin,
         optimized_score.on_min,
         optimized_score.off_max

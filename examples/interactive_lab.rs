@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     };
 
-    println!("interactive session on {} ({})\n", circuit.id, circuit.description);
+    println!(
+        "interactive session on {} ({})\n",
+        circuit.id, circuit.description
+    );
     observe(&lab, "fresh cell");
 
     lab.run_for(600.0)?;
@@ -62,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.output.clone(),
         trace.series(&circuit.output).unwrap().to_vec(),
     );
-    let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0))
-        .analyze(&AnalogData::new(inputs, output)?)?;
+    let report =
+        LogicAnalyzer::new(AnalyzerConfig::new(15.0)).analyze(&AnalogData::new(inputs, output)?)?;
     println!("\nlogic extracted from the session:\n{report}");
     Ok(())
 }

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mystery circuit with inputs {:?}\n", entry.inputs);
 
     let config = ExperimentConfig::paper_protocol(entry.inputs.len(), 15.0);
-    let result =
-        Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 3)?;
+    let result = Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 3)?;
     let analyzer = LogicAnalyzer::new(AnalyzerConfig::new(15.0));
 
     // End-to-end logic.
@@ -51,12 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let inputs: Vec<(String, Vec<f64>)> = entry
             .inputs
             .iter()
-            .map(|input| {
-                (
-                    input.clone(),
-                    result.trace.series(input).unwrap().to_vec(),
-                )
-            })
+            .map(|input| (input.clone(), result.trace.series(input).unwrap().to_vec()))
             .collect();
         let data = AnalogData::new(inputs, (name.clone(), series))?;
         let report = analyzer.analyze(&data)?;
@@ -66,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nground truth: {} gates, intended function 0x1C", entry.gate_count);
+    println!(
+        "\nground truth: {} gates, intended function 0x1C",
+        entry.gate_count
+    );
     Ok(())
 }

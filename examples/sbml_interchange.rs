@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = LogicAnalyzer::new(AnalyzerConfig::new(15.0)).analyze(&data)?;
     let verdict = verify(&report, &expected);
-    println!("\nYFP = {}   (fitness {:.2}%)", report.expression, report.fitness);
+    println!(
+        "\nYFP = {}   (fitness {:.2}%)",
+        report.expression, report.fitness
+    );
     println!("{verdict}");
     assert!(verdict.equivalent);
     Ok(())

@@ -14,9 +14,7 @@
 
 use genetic_logic::core::{verify, AnalyzerConfig, LogicAnalyzer};
 use genetic_logic::gates::catalog;
-use genetic_logic::vasim::{
-    estimate_delay, estimate_threshold, Experiment, ExperimentConfig,
-};
+use genetic_logic::vasim::{estimate_delay, estimate_threshold, Experiment, ExperimentConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = catalog::by_id("cello_0x04").expect("catalog circuit");
@@ -53,10 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for threshold in [3.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0] {
         let config = ExperimentConfig::paper_protocol(entry.inputs.len(), threshold);
-        let result =
-            Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 7)?;
-        let report =
-            LogicAnalyzer::new(AnalyzerConfig::new(threshold)).analyze(&result.data)?;
+        let result = Experiment::new(config).run(&entry.model, &entry.inputs, &entry.output, 7)?;
+        let report = LogicAnalyzer::new(AnalyzerConfig::new(threshold)).analyze(&result.data)?;
         let verdict = verify(&report, &entry.expected);
         let total_var: usize = report.combos.iter().map(|c| c.variation_count).sum();
         println!(

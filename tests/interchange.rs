@@ -12,8 +12,8 @@ use glc_core::data::AnalogData;
 fn every_catalog_model_round_trips_through_sbml() {
     for entry in catalog::all() {
         let document = sbml::write(&entry.model);
-        let reloaded = sbml::read(&document)
-            .unwrap_or_else(|e| panic!("{}: SBML read failed: {e}", entry.id));
+        let reloaded =
+            sbml::read(&document).unwrap_or_else(|e| panic!("{}: SBML read failed: {e}", entry.id));
         assert_eq!(reloaded, entry.model, "{}: SBML round trip", entry.id);
     }
 }
@@ -71,7 +71,10 @@ fn direct_and_next_reaction_engines_agree_on_logic() {
     let entry = catalog::by_id("cello_0x70").unwrap();
     let config = ExperimentConfig::new(600.0, 15.0);
     for (name, engine) in [
-        ("direct", &mut Direct::new() as &mut dyn genetic_logic::ssa::Engine),
+        (
+            "direct",
+            &mut Direct::new() as &mut dyn genetic_logic::ssa::Engine,
+        ),
         ("next-reaction", &mut NextReaction::new()),
     ] {
         let result = Experiment::new(config.clone())

@@ -83,7 +83,11 @@ fn whole_catalog_verifies_with_one_seed() {
     // One pass over all 15 circuits with a shared seed; slower circuits
     // get the hold time their cascades need.
     for entry in catalog::all() {
-        let hold = if entry.id.starts_with("book") { 700.0 } else { 600.0 };
+        let hold = if entry.id.starts_with("book") {
+            700.0
+        } else {
+            600.0
+        };
         verify_circuit(&entry.id, hold, 2017);
     }
 }

@@ -1,0 +1,382 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros the workspace's
+//! property tests use — `Strategy` with `prop_map`/`prop_recursive`,
+//! `Just`, ranges, tuples, `collection::vec`, `any::<bool>()`,
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!` and the `proptest!`
+//! test wrapper. Differences from upstream: no shrinking (a failing case
+//! panics with the drawn values unreduced) and a fixed deterministic
+//! case schedule (64 cases per test, seeds 0..64), which keeps failures
+//! reproducible without a persistence file.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest (value trees + shrinking), a strategy here
+/// simply draws a value from an RNG.
+pub trait Strategy: Clone + 'static {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone + 'static,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the
+    /// "smaller" level and returns the strategy for one level up.
+    /// `depth` bounds the recursion; the size hints are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let leaf = self.boxed();
+        let mut strategy = leaf.clone();
+        for _ in 0..depth {
+            // Each level picks a leaf half the time, so generated trees
+            // have geometrically distributed depth up to `depth`.
+            strategy = oneof(vec![leaf.clone(), f(strategy).boxed()]);
+        }
+        strategy
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Uniformly picks one of the given strategies per drawn value.
+pub fn oneof<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        inner: Rc::new(move |rng: &mut TestRng| {
+            let pick = rng.gen_range(0..choices.len());
+            choices[pick].generate(rng)
+        }),
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone + 'static,
+    O: 'static,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for "any value" of a type (implemented for the types the
+/// workspace asks for).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Creates an [`Any`] strategy: `any::<bool>()` etc.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! strategy_tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+strategy_tuple_impls! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing vectors whose elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a vector strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniformly chooses between the listed strategies (all arms must share
+/// one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::oneof(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Wraps property-test functions: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::CASES {
+                let rng = &mut <$crate::TestRng as ::rand::SeedableRng>::seed_from_u64(
+                    0x5eed_0000u64 ^ case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn fresh_rng() -> TestRng {
+        rand::SeedableRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = fresh_rng();
+        let strategy = (0.0f64..10.0).prop_map(|x| x * 2.0);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((0.0..20.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec() {
+        let mut rng = fresh_rng();
+        let strategy = collection::vec(prop_oneof![Just(1u64), Just(2u64)], 3usize);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(value) => {
+                    assert!(*value < 10, "leaf out of strategy range");
+                    0
+                }
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strategy = (0u64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = fresh_rng();
+        for _ in 0..200 {
+            assert!(depth(&strategy.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_works(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flag;
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+}

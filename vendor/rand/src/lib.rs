@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the API surface the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] convenience methods
+//! `gen`, `gen_range`, and `gen_bool` — backed by xoshiro256** seeded via
+//! SplitMix64. The stream differs from upstream `rand`'s ChaCha-based
+//! `StdRng`, which is fine: every consumer in this workspace only relies
+//! on determinism for a fixed seed, not on a specific stream.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range range");
+        let u = f64::sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty gen_range range");
+        let span = (self.end - self.start) as u64;
+        // Multiply-shift bounded sampling (Lemire); the tiny modulo bias
+        // of the plain variant is irrelevant for test data generation.
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Core 64-bit random source.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable random sources, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256**.
+    ///
+    /// Small, fast, and statistically solid for simulation workloads
+    /// (passes BigCrush). Seeded through SplitMix64 per the xoshiro
+    /// authors' recommendation so that low-entropy seeds (0, 1, 2, …)
+    /// still produce well-mixed initial states.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+}
