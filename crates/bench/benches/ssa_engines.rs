@@ -106,20 +106,100 @@ fn steps_per_second(engine: &mut dyn Engine, model: &CompiledModel, min_wall: f6
     steps as f64 / elapsed
 }
 
-/// Steps/second of the incremental `Direct` vs. the full-recompute
-/// baseline, written to `BENCH_ssa.json` and printed.
+/// Measures sustained full-propensity-sweep throughput (sweeps/second)
+/// over a cycle of states sampled along a direct-method trajectory —
+/// the evaluation pattern of the tau-leap/Langevin/ODE full-sweep path.
+/// `batched` selects the kinetic-form-bank sweep; otherwise the scalar
+/// per-law reference sweep.
+fn sweeps_per_second(model: &CompiledModel, states: &[glc_ssa::State], batched: bool) -> f64 {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    let mut sweeps = 0u64;
+    let mut sink = 0.0f64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.4 {
+        for state in states {
+            sink += if batched {
+                model
+                    .propensities_into(state, &mut out, &mut stack)
+                    .expect("sweep")
+            } else {
+                model
+                    .propensities_into_scalar(state, &mut out, &mut stack)
+                    .expect("sweep")
+            };
+            sweeps += 1;
+        }
+    }
+    assert!(sink.is_finite());
+    sweeps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// States sampled along a direct-method trajectory, so sweep benches
+/// see realistic (and identical, for both paths) molecule counts.
+fn sampled_states(model: &CompiledModel, count: usize) -> Vec<glc_ssa::State> {
+    struct Sampler {
+        states: Vec<glc_ssa::State>,
+        every: u64,
+        seen: u64,
+        template: glc_ssa::State,
+    }
+    impl Observer for Sampler {
+        fn on_advance(&mut self, t: f64, values: &[f64]) {
+            self.seen += 1;
+            if self.seen.is_multiple_of(self.every) {
+                let mut state = self.template.clone();
+                state.t = t;
+                state.values.copy_from_slice(values);
+                self.states.push(state);
+            }
+        }
+    }
+    let mut sampler = Sampler {
+        states: Vec::new(),
+        every: 50,
+        seen: 0,
+        template: model.initial_state(),
+    };
+    let mut state = model.initial_state();
+    let mut rng = StdRng::seed_from_u64(42);
+    Direct::new()
+        .run(model, &mut state, 200.0, &mut rng, &mut sampler)
+        .expect("simulate");
+    sampler.states.truncate(count.max(1));
+    if sampler.states.is_empty() {
+        sampler.states.push(model.initial_state());
+    }
+    sampler.states
+}
+
+/// Steps/second of every engine, the incremental-vs-full-recompute
+/// comparison, and the batched-vs-scalar full-sweep comparison; written
+/// to `BENCH_ssa.json` and printed. The `results` section is the
+/// baseline the CI `check_regression` gate compares against.
 fn throughput_report() {
     let mut rows = String::new();
-    println!("\nthroughput: Gillespie direct, steps/second (200 t.u. horizon)");
+    let mut engine_rows = String::new();
+    let mut sweep_rows = String::new();
+    println!("\nthroughput: steps/second (200 t.u. horizon)");
     for id in ["book_and", "cello_0x1C"] {
         let model = prepared(id);
-        // Warm up both paths before timing.
+        let bank = model.bank();
+        println!(
+            "  {id}: {} reactions ({} in SoA groups, {} fallback)",
+            model.reaction_count(),
+            bank.batched_len(),
+            bank.fallback_len()
+        );
+        // Warm up before timing. The two columns below feed the CI
+        // regression gate (as a ratio), so they get the longest
+        // measurement windows — 1 s each — to damp shared-runner noise.
         steps_per_second(&mut Direct::new(), &model, 0.05);
-        let incremental = steps_per_second(&mut Direct::new(), &model, 0.4);
-        let full = steps_per_second(&mut Direct::with_full_recompute(), &model, 0.4);
+        let incremental = steps_per_second(&mut Direct::new(), &model, 1.0);
+        let full = steps_per_second(&mut Direct::with_full_recompute(), &model, 1.0);
         let speedup = incremental / full;
         println!(
-            "  {id}: incremental {incremental:.0}/s  full-recompute {full:.0}/s  \
+            "    direct: incremental {incremental:.0}/s  full-recompute {full:.0}/s  \
              speedup {speedup:.2}x"
         );
         if !rows.is_empty() {
@@ -133,10 +213,61 @@ fn throughput_report() {
              \"speedup\":{speedup:.3}}}",
             model.reaction_count()
         );
+
+        // Per-engine sustained throughput on the shared propensity set.
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(FirstReaction::new()),
+            Box::new(NextReaction::new()),
+        ];
+        if id.starts_with("cello") {
+            engines.push(Box::new(TauLeap::new(0.5).expect("valid tau")));
+        }
+        let mut per_engine = vec![("direct", incremental), ("direct-full-recompute", full)];
+        for engine in &mut engines {
+            let name = engine.name();
+            let rate = steps_per_second(engine.as_mut(), &model, 0.4);
+            per_engine.push((name, rate));
+        }
+        for (name, rate) in per_engine {
+            println!("    {name}: {rate:.0} steps/s");
+            if !engine_rows.is_empty() {
+                engine_rows.push(',');
+            }
+            let _ = write!(
+                engine_rows,
+                "\n    {{\"circuit\":\"{id}\",\"engine\":\"{name}\",\
+                 \"steps_per_sec\":{rate:.1}}}"
+            );
+        }
+
+        // Full-sweep path (tau-leap/Langevin/ODE rebuilds): batched
+        // bank sweep vs the scalar per-law reference.
+        let states = sampled_states(&model, 64);
+        sweeps_per_second(&model, &states, true); // warm-up
+        let batched = sweeps_per_second(&model, &states, true);
+        let scalar = sweeps_per_second(&model, &states, false);
+        let sweep_speedup = batched / scalar;
+        println!(
+            "    full sweep: batched {batched:.0}/s  scalar {scalar:.0}/s  \
+             speedup {sweep_speedup:.2}x"
+        );
+        if !sweep_rows.is_empty() {
+            sweep_rows.push(',');
+        }
+        let _ = write!(
+            sweep_rows,
+            "\n    {{\"circuit\":\"{id}\",\"reactions\":{},\
+             \"batched_sweeps_per_sec\":{batched:.1},\
+             \"scalar_sweeps_per_sec\":{scalar:.1},\
+             \"speedup\":{sweep_speedup:.3}}}",
+            model.reaction_count()
+        );
     }
     let json = format!(
-        "{{\n  \"bench\": \"ssa_engines/direct_throughput\",\n  \"unit\": \
-         \"steps_per_second\",\n  \"results\": [{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"ssa_engines\",\n  \"unit\": \
+         \"steps_per_second\",\n  \"results\": [{rows}\n  ],\n  \
+         \"engines\": [{engine_rows}\n  ],\n  \
+         \"full_sweep\": [{sweep_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

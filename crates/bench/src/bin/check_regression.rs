@@ -1,0 +1,270 @@
+//! CI bench-regression gate over `BENCH_ssa.json`.
+//!
+//! Usage: `check_regression <baseline.json> <current.json> [--threshold 0.20]`
+//!
+//! Gates on the incremental direct-method throughput of every circuit
+//! in the committed baseline, **normalized by the full-recompute
+//! throughput measured in the same run** — i.e. on the `speedup` column
+//! (incremental steps/s ÷ full-recompute steps/s). Absolute steps/s are
+//! machine-dependent: a committed baseline benched on a fast developer
+//! box would fail every run on a slower shared CI runner (and mask real
+//! regressions on a faster one), while the in-run ratio cancels machine
+//! speed and isolates what the incremental engine actually buys. The
+//! absolute numbers are still printed for the log/artifact trail.
+//!
+//! Exits non-zero if any circuit's speedup dropped more than
+//! `threshold` (default 20%) below its baseline speedup. Improvements
+//! and new circuits pass; a circuit present in the baseline but missing
+//! from the current run fails.
+//!
+//! The parser is a deliberately tiny scanner for the flat object layout
+//! the `ssa_engines` bench writes (no nested objects inside entries, no
+//! braces inside strings) — the offline `serde_json` stand-in has no
+//! generic `Value` parser, and pulling one in for three keys per entry
+//! is not worth it.
+
+use std::process::ExitCode;
+
+/// One `{"circuit": ..., "incremental_steps_per_sec": ..., "speedup": ...}`
+/// entry from the `results` section.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    circuit: String,
+    steps_per_sec: f64,
+    speedup: f64,
+}
+
+/// Extracts every depth-2 `{...}` object body from `json` (the entries
+/// of the top-level arrays; the root object is depth 1).
+fn objects(json: &str) -> Vec<&str> {
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut found = Vec::new();
+    for (at, byte) in json.bytes().enumerate() {
+        match byte {
+            b'{' => {
+                depth += 1;
+                if depth == 2 {
+                    start = Some(at + 1);
+                }
+            }
+            b'}' => {
+                if depth == 2 {
+                    if let Some(from) = start.take() {
+                        found.push(&json[from..at]);
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Value of `"key": "..."` within a flat object body.
+fn str_field(object: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = object.find(&needle)? + needle.len();
+    let rest = object[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Value of `"key": <number>` within a flat object body.
+fn num_field(object: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = object.find(&needle)? + needle.len();
+    let rest = object[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Every incremental-throughput entry in a `BENCH_ssa.json` document.
+/// (The `full_sweep` section also carries a `speedup` key, but only
+/// `results` entries have `incremental_steps_per_sec`, which is the
+/// discriminator here.)
+fn incremental_entries(json: &str) -> Vec<Entry> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some(Entry {
+                circuit: str_field(object, "circuit")?,
+                steps_per_sec: num_field(object, "incremental_steps_per_sec")?,
+                speedup: num_field(object, "speedup")?,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
+    };
+    let baseline = incremental_entries(&read(baseline_path)?);
+    let current = incremental_entries(&read(current_path)?);
+    if baseline.is_empty() {
+        return Err(format!(
+            "{baseline_path} has no incremental_steps_per_sec entries"
+        ));
+    }
+
+    let mut failures = Vec::new();
+    println!(
+        "bench regression gate (incremental/full-recompute speedup, threshold: -{:.0}%)",
+        threshold * 100.0
+    );
+    for base in &baseline {
+        let Some(now) = current.iter().find(|e| e.circuit == base.circuit) else {
+            failures.push(format!(
+                "{}: present in baseline but missing from current run",
+                base.circuit
+            ));
+            continue;
+        };
+        // Machine-independent metric: the in-run incremental vs
+        // full-recompute ratio. Absolute steps/s shown for the log.
+        let ratio = now.speedup / base.speedup;
+        let verdict = if ratio < 1.0 - threshold {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {}: speedup baseline {:.2}x  current {:.2}x  ({:+.1}%)  \
+             [abs: {:.0}/s -> {:.0}/s]  {verdict}",
+            base.circuit,
+            base.speedup,
+            now.speedup,
+            (ratio - 1.0) * 100.0,
+            base.steps_per_sec,
+            now.steps_per_sec,
+        );
+        if ratio < 1.0 - threshold {
+            failures.push(format!(
+                "{}: incremental speedup {:.2}x is {:.1}% below baseline {:.2}x",
+                base.circuit,
+                now.speedup,
+                (1.0 - ratio) * 100.0,
+                base.speedup
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("no regression beyond {:.0}%", threshold * 100.0);
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.20f64;
+    let mut paths = Vec::new();
+    let mut at = 0;
+    while at < args.len() {
+        if args[at] == "--threshold" {
+            let Some(value) = args.get(at + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--threshold needs a numeric argument");
+                return ExitCode::FAILURE;
+            };
+            threshold = value;
+            at += 2;
+        } else {
+            paths.push(args[at].clone());
+            at += 1;
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("usage: check_regression <baseline.json> <current.json> [--threshold 0.20]");
+        return ExitCode::FAILURE;
+    };
+    match run(baseline, current, threshold) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench regression:\n{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "ssa_engines",
+  "results": [
+    {"circuit":"book_and","reactions":11,"incremental_steps_per_sec":1000.0,"speedup":4.0},
+    {"circuit":"cello_0x1C","reactions":10,"incremental_steps_per_sec":500.0,"speedup":2.7}
+  ],
+  "engines": [
+    {"circuit":"book_and","engine":"direct","steps_per_sec":1000.0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_incremental_entries() {
+        let entries = incremental_entries(DOC);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].circuit, "book_and");
+        assert_eq!(entries[0].steps_per_sec, 1000.0);
+        assert_eq!(entries[0].speedup, 4.0);
+        assert_eq!(entries[1].circuit, "cello_0x1C");
+        assert_eq!(entries[1].steps_per_sec, 500.0);
+        assert_eq!(entries[1].speedup, 2.7);
+    }
+
+    /// Writes `content` to a unique temp file and returns its path.
+    fn temp_doc(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("check_regression_test_{name}.json"));
+        std::fs::write(&path, content).expect("write temp doc");
+        path
+    }
+
+    fn run_gate(baseline: &str, current: &str, tag: &str) -> Result<(), String> {
+        let base = temp_doc(&format!("{tag}_base"), baseline);
+        let cur = temp_doc(&format!("{tag}_cur"), current);
+        let outcome = run(base.to_str().unwrap(), cur.to_str().unwrap(), 0.20);
+        let _ = std::fs::remove_file(base);
+        let _ = std::fs::remove_file(cur);
+        outcome
+    }
+
+    #[test]
+    fn gate_is_machine_speed_independent() {
+        // A slower CI runner: absolute steps/s halve but the in-run
+        // speedups are unchanged — the gate must pass.
+        let slower_machine = DOC
+            .replace(
+                "\"incremental_steps_per_sec\":1000.0",
+                "\"incremental_steps_per_sec\":480.0",
+            )
+            .replace(
+                "\"incremental_steps_per_sec\":500.0",
+                "\"incremental_steps_per_sec\":240.0",
+            );
+        run_gate(DOC, &slower_machine, "slow").expect("slower machine must pass");
+
+        // A genuine regression: same absolute throughput, but book_and's
+        // incremental speedup halves — the gate must fail and name it.
+        let regressed = DOC.replace("\"speedup\":4.0", "\"speedup\":2.0");
+        let err = run_gate(DOC, &regressed, "drop").expect_err("speedup drop must fail");
+        assert!(err.contains("book_and"), "failure names the circuit: {err}");
+
+        // A circuit vanishing from the current run must fail too.
+        let missing = DOC.replace("\"circuit\":\"cello_0x1C\"", "\"circuit\":\"renamed\"");
+        let err = run_gate(DOC, &missing, "gone").expect_err("missing circuit must fail");
+        assert!(err.contains("cello_0x1C"), "{err}");
+    }
+
+    #[test]
+    fn scanner_handles_scientific_notation_and_whitespace() {
+        let object = r#""circuit": "c1", "incremental_steps_per_sec": 1.25e6"#;
+        assert_eq!(str_field(object, "circuit").as_deref(), Some("c1"));
+        assert_eq!(num_field(object, "incremental_steps_per_sec"), Some(1.25e6));
+    }
+}

@@ -373,6 +373,513 @@ fn sum_of_terms(expr: &Expr, table: &SymbolTable) -> Option<Vec<Term>> {
     Some(terms)
 }
 
+/// Chunk width of the batched evaluator: how many reactions a
+/// [`KineticFormBank`] group processes per gather/compute round.
+///
+/// Eight `f64` lanes fill two AVX2 registers (or one AVX-512 register);
+/// the per-lane arithmetic below is written so the autovectorizer can
+/// use them, but correctness never depends on it — lane math is the
+/// exact scalar op sequence of [`CompiledExpr::eval_fast`].
+pub const BANK_LANES: usize = 8;
+
+/// Sentinel in [`OperandLanes::slots`] marking a literal operand.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Structure-of-arrays storage for one operand position across every
+/// law of a group: parallel `slots`/`consts` arrays indexed by lane.
+#[derive(Debug, Clone, Default)]
+struct OperandLanes {
+    /// Value-vector slot to gather from, or [`NO_SLOT`] for a literal.
+    slots: Vec<u32>,
+    /// Literal value when `slots[lane] == NO_SLOT` (0.0 otherwise).
+    consts: Vec<f64>,
+}
+
+impl OperandLanes {
+    fn push(&mut self, operand: Operand) {
+        match operand {
+            Operand::Num(value) => {
+                self.slots.push(NO_SLOT);
+                self.consts.push(value);
+            }
+            Operand::Slot(slot) => {
+                self.slots.push(u32::try_from(slot).expect("slot fits u32"));
+                self.consts.push(0.0);
+            }
+        }
+    }
+
+    /// Loads lane `lane` against `values` — the SoA equivalent of
+    /// [`Operand::load`], bit-for-bit.
+    #[inline]
+    fn load(&self, lane: usize, values: &[f64]) -> f64 {
+        let slot = self.slots[lane];
+        if slot == NO_SLOT {
+            self.consts[lane]
+        } else {
+            values[slot as usize]
+        }
+    }
+
+    /// Gathers lanes `at..at + width` into `out[..width]` (slice-driven
+    /// so the loop carries no per-lane index bounds checks).
+    #[inline]
+    fn gather(&self, at: usize, width: usize, values: &[f64], out: &mut [f64; BANK_LANES]) {
+        let slots = &self.slots[at..at + width];
+        let consts = &self.consts[at..at + width];
+        for (lane, (&slot, &cst)) in slots.iter().zip(consts).enumerate() {
+            out[lane] = if slot == NO_SLOT {
+                cst
+            } else {
+                values[slot as usize]
+            };
+        }
+    }
+}
+
+/// Where a law landed inside a [`KineticFormBank`]: which group, and at
+/// which lane within that group's SoA arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LaneRef {
+    Const(u32),
+    Load(u32),
+    Linear(u32),
+    Bilinear(u32),
+    Hill(u32),
+    Sop(u32),
+    Fallback(u32),
+}
+
+/// SoA lanes for single-regulator Hill response calls, shared by the
+/// standalone gate-response group and by product terms inside sums.
+///
+/// When a lane's `k` and `n` are both literals — true for every law the
+/// gate compiler emits — `k^n` is hoisted to build time: `powf` is a
+/// pure function of its operand bits, so the precomputed value is
+/// bitwise identical to evaluating it on every call, and the response
+/// costs one `powf` instead of two.
+#[derive(Debug, Clone, Default)]
+struct HillLanes {
+    x: OperandLanes,
+    k: OperandLanes,
+    n: OperandLanes,
+    /// `k^n` for lanes with literal `k` and `n` (0.0 otherwise).
+    kn: Vec<f64>,
+    /// Whether `kn` holds the precomputed value for this lane.
+    kn_ready: Vec<bool>,
+    /// `true` → `hilla`, `false` → `hillr` (per lane).
+    activation: Vec<bool>,
+}
+
+impl HillLanes {
+    /// Adds `hill` as a lane, returning its position — or `None` for
+    /// multi-regulator calls, which have no flat lane layout.
+    fn push(&mut self, hill: &HillCall) -> Option<u32> {
+        let [x] = hill.xs.as_slice() else {
+            return None;
+        };
+        let pos = self.activation.len() as u32;
+        self.x.push(*x);
+        self.k.push(hill.k);
+        self.n.push(hill.n);
+        if let (Operand::Num(k), Operand::Num(n)) = (hill.k, hill.n) {
+            self.kn.push(k.powf(n));
+            self.kn_ready.push(true);
+        } else {
+            self.kn.push(0.0);
+            self.kn_ready.push(false);
+        }
+        self.activation.push(hill.activation);
+        Some(pos)
+    }
+
+    /// Evaluates lane `lane`: the exact operation sequence of
+    /// [`Func::apply`] on `[x, k, n]`, with `k^n` read from the
+    /// precomputed lane when available.
+    #[inline]
+    fn eval(&self, lane: usize, values: &[f64]) -> f64 {
+        let x = self.x.load(lane, values).max(0.0);
+        let n = self.n.load(lane, values);
+        let kn = if self.kn_ready[lane] {
+            self.kn[lane]
+        } else {
+            self.k.load(lane, values).powf(n)
+        };
+        let xn = x.powf(n);
+        if self.activation[lane] {
+            xn / (kn + xn)
+        } else {
+            kn / (kn + xn)
+        }
+    }
+}
+
+/// One multiplicand inside a [`SopGroup`] factor stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FactorRef {
+    /// Operand at this position of the group's operand lanes.
+    Op(u32),
+    /// Hill call at this position of the group's Hill lanes.
+    Hill(u32),
+}
+
+/// `k * A` laws: `out = a * b`.
+#[derive(Debug, Clone, Default)]
+struct LinearGroup {
+    idx: Vec<u32>,
+    a: OperandLanes,
+    b: OperandLanes,
+}
+
+/// `k * A * B` laws: `out = (a * b) * c`.
+#[derive(Debug, Clone, Default)]
+struct BilinearGroup {
+    idx: Vec<u32>,
+    a: OperandLanes,
+    b: OperandLanes,
+    c: OperandLanes,
+}
+
+/// Single-regulator gate-response laws:
+/// `out = base + span * hill(x, k, n)`.
+///
+/// Laws with more than one regulator summand inside the Hill call have
+/// no flat lane layout and go to the fallback group instead.
+#[derive(Debug, Clone, Default)]
+struct HillGroup {
+    idx: Vec<u32>,
+    base: OperandLanes,
+    span: OperandLanes,
+    hills: HillLanes,
+}
+
+/// Sum-of-products laws — tandem-promoter sums of gate responses and
+/// longer mass-action chains — in a CSR layout: `law_starts` slices the
+/// term list, `term_starts` slices the flat factor stream, and each
+/// factor indexes into shared operand or Hill lanes. Evaluation walks
+/// contiguous arrays instead of the nested `Term`/`Factor` heap
+/// structure of the scalar path, in the same left-to-right order.
+#[derive(Debug, Clone, Default)]
+struct SopGroup {
+    idx: Vec<u32>,
+    /// Law lane `l` owns terms `law_starts[l]..law_starts[l + 1]`.
+    law_starts: Vec<u32>,
+    /// Term `t` owns factors `term_starts[t]..term_starts[t + 1]`.
+    term_starts: Vec<u32>,
+    factors: Vec<FactorRef>,
+    ops: OperandLanes,
+    hills: HillLanes,
+}
+
+impl SopGroup {
+    /// Adds a law, returning its lane — or `None` if any factor is a
+    /// multi-regulator Hill call (no flat layout; nothing committed).
+    fn push(&mut self, index: u32, terms: &[Term]) -> Option<u32> {
+        let regular = terms.iter().all(|term| {
+            term.factors.iter().all(|factor| match factor {
+                Factor::Op(_) => true,
+                Factor::Hill(hill) => hill.xs.len() == 1,
+            })
+        });
+        if !regular {
+            return None;
+        }
+        if self.law_starts.is_empty() {
+            self.law_starts.push(0);
+            self.term_starts.push(0);
+        }
+        let lane = self.idx.len() as u32;
+        self.idx.push(index);
+        for term in terms {
+            for factor in &term.factors {
+                let factor = match factor {
+                    Factor::Op(operand) => {
+                        let pos = self.ops.slots.len() as u32;
+                        self.ops.push(*operand);
+                        FactorRef::Op(pos)
+                    }
+                    Factor::Hill(hill) => {
+                        FactorRef::Hill(self.hills.push(hill).expect("validated single-x"))
+                    }
+                };
+                self.factors.push(factor);
+            }
+            self.term_starts.push(self.factors.len() as u32);
+        }
+        self.law_starts.push(self.term_starts.len() as u32 - 1);
+        Some(lane)
+    }
+
+    /// Evaluates law lane `lane` — terms added left to right, factors
+    /// multiplied left to right, exactly as
+    /// [`KineticForm::SumOfProducts`] evaluates on the scalar path.
+    #[inline]
+    fn eval_law(&self, lane: usize, values: &[f64]) -> f64 {
+        let t0 = self.law_starts[lane] as usize;
+        let t1 = self.law_starts[lane + 1] as usize;
+        let mut total = self.eval_term(t0, values);
+        for term in t0 + 1..t1 {
+            total += self.eval_term(term, values);
+        }
+        total
+    }
+
+    #[inline]
+    fn eval_term(&self, term: usize, values: &[f64]) -> f64 {
+        let f0 = self.term_starts[term] as usize;
+        let f1 = self.term_starts[term + 1] as usize;
+        let mut product = self.eval_factor(f0, values);
+        for factor in f0 + 1..f1 {
+            product *= self.eval_factor(factor, values);
+        }
+        product
+    }
+
+    #[inline]
+    fn eval_factor(&self, factor: usize, values: &[f64]) -> f64 {
+        match self.factors[factor] {
+            FactorRef::Op(pos) => self.ops.load(pos as usize, values),
+            FactorRef::Hill(pos) => self.hills.eval(pos as usize, values),
+        }
+    }
+}
+
+/// Batched, structure-of-arrays evaluator over a set of compiled
+/// kinetic laws.
+///
+/// Construction groups the laws by [`KineticForm`] shape; regular
+/// shapes (`Const`, `Load`, `Linear`, `Bilinear`, single-regulator
+/// `Hill`, and `SumOfProducts` over such factors) are exploded into
+/// parallel flat arrays of rate constants, species slots and Hill
+/// coefficients. [`KineticFormBank::eval_all`] then evaluates each
+/// group [`BANK_LANES`] laws at a time over flat `f64` lanes — one
+/// gather pass, one arithmetic pass, one scatter pass per chunk for the
+/// mass-action groups; contiguous lane walks for the `powf`-bound Hill
+/// and sum-of-products groups, with `k^n` hoisted to build time for
+/// literal Hill constants — instead of dispatching on every law's form
+/// and chasing its `CompiledExpr` allocations. Irregular laws
+/// (multi-regulator `Hill`, `General`) fall back to a retained
+/// [`CompiledExpr`] per law, which itself falls back to the postfix VM
+/// for `General` shapes.
+///
+/// # Bitwise contract
+///
+/// Every lane performs the exact floating-point operation sequence of
+/// [`CompiledExpr::eval_fast`] on the same operand values, so bank
+/// results are **bitwise identical** to per-law evaluation — the
+/// property the shared `PropensitySet` in `glc_ssa` (and its
+/// trajectory-determinism guarantees) relies on.
+#[derive(Debug, Clone, Default)]
+pub struct KineticFormBank {
+    /// Per-law dispatch record, indexed by the law's original position.
+    lanes: Vec<LaneRef>,
+    consts: Vec<(u32, f64)>,
+    loads: Vec<(u32, u32)>,
+    linear: LinearGroup,
+    bilinear: BilinearGroup,
+    hill: HillGroup,
+    sop: SopGroup,
+    /// `(original index, law)` for shapes with no SoA layout.
+    fallback: Vec<(u32, CompiledExpr)>,
+}
+
+impl KineticFormBank {
+    /// Builds a bank over `laws`, grouping by [`KineticForm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `laws.len()` or any referenced slot exceeds `u32`
+    /// range (unreachable for realistic models).
+    pub fn new(laws: &[CompiledExpr]) -> Self {
+        let mut bank = KineticFormBank::default();
+        for (index, law) in laws.iter().enumerate() {
+            let index = u32::try_from(index).expect("law index fits u32");
+            let lane = match law.kinetic_form() {
+                KineticForm::Const(value) => {
+                    let pos = bank.consts.len() as u32;
+                    bank.consts.push((index, *value));
+                    LaneRef::Const(pos)
+                }
+                KineticForm::Load(slot) => {
+                    let pos = bank.loads.len() as u32;
+                    bank.loads
+                        .push((index, u32::try_from(*slot).expect("slot fits u32")));
+                    LaneRef::Load(pos)
+                }
+                KineticForm::Linear(a, b) => {
+                    let lane = bank.linear.idx.len() as u32;
+                    bank.linear.idx.push(index);
+                    bank.linear.a.push(*a);
+                    bank.linear.b.push(*b);
+                    LaneRef::Linear(lane)
+                }
+                KineticForm::Bilinear(a, b, c) => {
+                    let lane = bank.bilinear.idx.len() as u32;
+                    bank.bilinear.idx.push(index);
+                    bank.bilinear.a.push(*a);
+                    bank.bilinear.b.push(*b);
+                    bank.bilinear.c.push(*c);
+                    LaneRef::Bilinear(lane)
+                }
+                KineticForm::Hill { base, span, hill } => match bank.hill.hills.push(hill) {
+                    Some(lane) => {
+                        bank.hill.idx.push(index);
+                        bank.hill.base.push(*base);
+                        bank.hill.span.push(*span);
+                        LaneRef::Hill(lane)
+                    }
+                    None => {
+                        let lane = bank.fallback.len() as u32;
+                        bank.fallback.push((index, law.clone()));
+                        LaneRef::Fallback(lane)
+                    }
+                },
+                KineticForm::SumOfProducts(terms) => match bank.sop.push(index, terms) {
+                    Some(lane) => LaneRef::Sop(lane),
+                    None => {
+                        let lane = bank.fallback.len() as u32;
+                        bank.fallback.push((index, law.clone()));
+                        LaneRef::Fallback(lane)
+                    }
+                },
+                KineticForm::General => {
+                    let lane = bank.fallback.len() as u32;
+                    bank.fallback.push((index, law.clone()));
+                    LaneRef::Fallback(lane)
+                }
+            };
+            bank.lanes.push(lane);
+        }
+        bank
+    }
+
+    /// Number of laws in the bank.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the bank holds no laws.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Number of laws with a structure-of-arrays layout.
+    pub fn batched_len(&self) -> usize {
+        self.lanes.len() - self.fallback.len()
+    }
+
+    /// Number of irregular laws evaluated through their retained
+    /// [`CompiledExpr`].
+    pub fn fallback_len(&self) -> usize {
+        self.fallback.len()
+    }
+
+    /// Evaluates every law against `values`, writing law `i`'s result
+    /// to `out[i]`. Groups are processed [`BANK_LANES`] wide; `stack`
+    /// is the operand stack for fallback laws that hit the VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()` or `values` is shorter than
+    /// the highest referenced slot.
+    pub fn eval_all(&self, values: &[f64], out: &mut [f64], stack: &mut Vec<f64>) {
+        assert_eq!(out.len(), self.lanes.len(), "output length mismatch");
+        for &(index, value) in &self.consts {
+            out[index as usize] = value;
+        }
+        for &(index, slot) in &self.loads {
+            out[index as usize] = values[slot as usize];
+        }
+
+        // Linear: gather the two operand lanes for a chunk, multiply,
+        // scatter. The gather/compute split keeps the multiply loop
+        // free of branches so it can vectorize.
+        let n = self.linear.idx.len();
+        let mut at = 0;
+        while at < n {
+            let width = BANK_LANES.min(n - at);
+            let mut a = [0.0f64; BANK_LANES];
+            let mut b = [0.0f64; BANK_LANES];
+            self.linear.a.gather(at, width, values, &mut a);
+            self.linear.b.gather(at, width, values, &mut b);
+            for (lane, &index) in self.linear.idx[at..at + width].iter().enumerate() {
+                out[index as usize] = a[lane] * b[lane];
+            }
+            at += width;
+        }
+
+        // Bilinear: (a * b) * c, the association `eval_fast` uses.
+        let n = self.bilinear.idx.len();
+        let mut at = 0;
+        while at < n {
+            let width = BANK_LANES.min(n - at);
+            let mut a = [0.0f64; BANK_LANES];
+            let mut b = [0.0f64; BANK_LANES];
+            let mut c = [0.0f64; BANK_LANES];
+            self.bilinear.a.gather(at, width, values, &mut a);
+            self.bilinear.b.gather(at, width, values, &mut b);
+            self.bilinear.c.gather(at, width, values, &mut c);
+            for (lane, &index) in self.bilinear.idx[at..at + width].iter().enumerate() {
+                out[index as usize] = a[lane] * b[lane] * c[lane];
+            }
+            at += width;
+        }
+
+        // Hill: the response call is `powf`-bound, so lanes evaluate
+        // sequentially over the SoA arrays (contiguous reads, no
+        // per-law dispatch, and `k^n` precomputed for literal lanes).
+        for lane in 0..self.hill.idx.len() {
+            out[self.hill.idx[lane] as usize] = self.eval_hill_lane(lane, values);
+        }
+
+        // Sum-of-products: CSR walk over the flat factor stream.
+        for lane in 0..self.sop.idx.len() {
+            out[self.sop.idx[lane] as usize] = self.sop.eval_law(lane, values);
+        }
+
+        for (index, law) in &self.fallback {
+            out[*index as usize] = law.eval_fast(values, stack);
+        }
+    }
+
+    /// Evaluates the single law at original position `index` out of its
+    /// SoA lane (or retained fallback expression).
+    ///
+    /// Bitwise identical to [`CompiledExpr::eval_fast`] on the law, and
+    /// to what [`KineticFormBank::eval_all`] writes at `out[index]` —
+    /// incremental (per-dependent) and full-sweep updates can therefore
+    /// be mixed freely.
+    #[inline]
+    pub fn eval_one(&self, index: usize, values: &[f64], stack: &mut Vec<f64>) -> f64 {
+        match self.lanes[index] {
+            LaneRef::Const(pos) => self.consts[pos as usize].1,
+            LaneRef::Load(pos) => values[self.loads[pos as usize].1 as usize],
+            LaneRef::Linear(lane) => {
+                let lane = lane as usize;
+                self.linear.a.load(lane, values) * self.linear.b.load(lane, values)
+            }
+            LaneRef::Bilinear(lane) => {
+                let lane = lane as usize;
+                self.bilinear.a.load(lane, values)
+                    * self.bilinear.b.load(lane, values)
+                    * self.bilinear.c.load(lane, values)
+            }
+            LaneRef::Hill(lane) => self.eval_hill_lane(lane as usize, values),
+            LaneRef::Sop(lane) => self.sop.eval_law(lane as usize, values),
+            LaneRef::Fallback(pos) => self.fallback[pos as usize].1.eval_fast(values, stack),
+        }
+    }
+
+    /// One Hill lane: `base + span * hill(x, k, n)`, with the response
+    /// replaying the operation sequence of [`Func::apply`] bit-for-bit
+    /// (see [`HillLanes::eval`]).
+    #[inline]
+    fn eval_hill_lane(&self, lane: usize, values: &[f64]) -> f64 {
+        let response = self.hill.hills.eval(lane, values);
+        self.hill.base.load(lane, values) + self.hill.span.load(lane, values) * response
+    }
+}
+
 /// An expression compiled against a [`SymbolTable`].
 ///
 /// # Example
@@ -714,6 +1221,103 @@ mod tests {
         // change rounding); it falls back to the VM.
         assert_eq!(form_of("k * (A * B)", &table), KineticForm::General);
         assert_eq!(form_of("A - B", &table), KineticForm::General);
+    }
+
+    /// The law mix of a realistic circuit: every regular form, plus
+    /// irregular laws that must take the fallback lane.
+    fn mixed_laws(table: &SymbolTable) -> Vec<CompiledExpr> {
+        [
+            "2.5",                                                         // Const
+            "k",                                                           // Load
+            "k * A",                                                       // Linear
+            "0.5 * A * B",                                                 // Bilinear
+            "0.03 + 3.7 * hillr(A, 20, 2)",                                // Hill (repression)
+            "0.1 + 2.9 * hilla(B, 7, 2.8)",                                // Hill (activation)
+            "0.1 + 2.9 * hilla(A + B, 7, 2.8)", // multi-regulator → fallback
+            "k * A * B * A",                    // single-term SumOfProducts
+            "0.03 + 3.7 * hillr(A, 20, 2) + 0.1 + 2.9 * hilla(B, 7, 2.8)", // tandem SoP
+            "0.03 + 3.7 * hillr(A, k, 2) + k * B", // SoP with non-literal Hill k
+            "0.2 + 1.5 * hilla(A + B, 7, 2) + k * A", // SoP with multi-x Hill → fallback
+            "A - B / (k + 1)",                  // General → fallback (VM)
+            "k * B",                            // Linear again (second lane)
+            "1.5 * B * A",                      // Bilinear again
+        ]
+        .iter()
+        .map(|source| Expr::parse(source).unwrap().compile(table).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn bank_groups_laws_by_form() {
+        let table = table_of(&["A", "B", "k"]);
+        let laws = mixed_laws(&table);
+        let bank = KineticFormBank::new(&laws);
+        assert_eq!(bank.len(), laws.len());
+        assert!(!bank.is_empty());
+        assert_eq!(bank.fallback_len(), 3); // multi-x Hill, SoP w/ multi-x factor, General
+        assert_eq!(bank.batched_len(), laws.len() - 3);
+    }
+
+    #[test]
+    fn bank_eval_all_and_eval_one_are_bitwise_identical_to_eval_fast() {
+        let table = table_of(&["A", "B", "k"]);
+        let laws = mixed_laws(&table);
+        let bank = KineticFormBank::new(&laws);
+        let mut stack = Vec::new();
+        let mut out = vec![0.0; laws.len()];
+        for values in [
+            [0.0, 0.0, 0.5],
+            [1.0, 3.0, 0.25],
+            [17.0, 42.0, 1.5],
+            [1e6, 1e-6, 123.456],
+        ] {
+            bank.eval_all(&values, &mut out, &mut stack);
+            for (r, law) in laws.iter().enumerate() {
+                let scalar = law.eval_fast(&values, &mut stack);
+                assert_eq!(
+                    out[r].to_bits(),
+                    scalar.to_bits(),
+                    "law {r} at {values:?}: batched {} vs scalar {scalar}",
+                    out[r]
+                );
+                let one = bank.eval_one(r, &values, &mut stack);
+                assert_eq!(one.to_bits(), scalar.to_bits(), "eval_one law {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bank_chunking_covers_partial_and_multiple_chunks() {
+        // 19 Linear laws: two full 8-lane chunks plus a 3-lane tail.
+        let table = table_of(&["A", "B", "k"]);
+        let laws: Vec<CompiledExpr> = (0..19)
+            .map(|i| {
+                let source = format!("{}.5 * {}", i, if i % 2 == 0 { "A" } else { "B" });
+                Expr::parse(&source).unwrap().compile(&table).unwrap()
+            })
+            .collect();
+        let bank = KineticFormBank::new(&laws);
+        assert_eq!(bank.batched_len(), 19);
+        let values = [3.0, 7.0, 0.5];
+        let mut stack = Vec::new();
+        let mut out = vec![0.0; laws.len()];
+        bank.eval_all(&values, &mut out, &mut stack);
+        for (r, law) in laws.iter().enumerate() {
+            assert_eq!(
+                out[r].to_bits(),
+                law.eval_fast(&values, &mut stack).to_bits(),
+                "law {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let bank = KineticFormBank::new(&[]);
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+        let mut stack = Vec::new();
+        bank.eval_all(&[], &mut [], &mut stack);
     }
 
     #[test]

@@ -20,7 +20,10 @@ mod compiled;
 mod eval;
 mod parser;
 
-pub use compiled::{CompiledExpr, Factor, HillCall, KineticForm, Operand, SymbolTable, Term};
+pub use compiled::{
+    CompiledExpr, Factor, HillCall, KineticForm, KineticFormBank, Operand, SymbolTable, Term,
+    BANK_LANES,
+};
 pub use eval::Env;
 
 use crate::error::ParseError;

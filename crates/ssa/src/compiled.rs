@@ -7,7 +7,7 @@
 //! Gibson–Bruck next-reaction method.
 
 use crate::error::SimError;
-use glc_model::expr::CompiledExpr;
+use glc_model::expr::{CompiledExpr, KineticFormBank};
 use glc_model::{Model, ModelError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -45,6 +45,10 @@ pub struct CompiledModel {
     reaction_ids: Vec<String>,
     species_count: usize,
     kinetics: Vec<CompiledExpr>,
+    /// Batched structure-of-arrays evaluator over `kinetics`; the hot
+    /// propensity paths all go through it (bitwise identical to per-law
+    /// evaluation).
+    bank: KineticFormBank,
     deltas: Vec<Vec<(usize, i64)>>,
     dependents: Vec<Vec<usize>>,
     initial_values: Vec<f64>,
@@ -104,12 +108,14 @@ impl CompiledModel {
             dependents.push(deps);
         }
 
+        let bank = KineticFormBank::new(&kinetics);
         Ok(CompiledModel {
             id: model.id().to_string(),
             species_names: model.species().iter().map(|s| s.id.clone()).collect(),
             reaction_ids: model.reactions().iter().map(|r| r.id.clone()).collect(),
             species_count,
             kinetics,
+            bank,
             deltas,
             dependents,
             initial_values: model.initial_values(),
@@ -179,28 +185,39 @@ impl CompiledModel {
         state: &State,
         stack: &mut Vec<f64>,
     ) -> Result<f64, SimError> {
-        // `eval_fast` dispatches on the law's `KineticForm`: mass-action
-        // and Hill shapes evaluate with zero VM dispatch; anything else
-        // runs the postfix VM on `stack`. Both paths are bitwise
-        // identical, so this is a pure constant-factor win.
-        let value = self.kinetics[r].eval_fast(&state.values, stack);
+        // The bank reads the law out of its structure-of-arrays lane
+        // (mass-action and Hill shapes with zero dispatch; irregular
+        // laws through the retained `CompiledExpr`, which falls back to
+        // the postfix VM on `stack`). All paths are bitwise identical,
+        // so this is a pure constant-factor win.
+        let value = self.bank.eval_one(r, &state.values, stack);
+        self.check_propensity(r, value, state.t)
+    }
+
+    /// Validates one evaluated propensity.
+    fn check_propensity(&self, r: usize, value: f64, t: f64) -> Result<f64, SimError> {
         if !value.is_finite() {
             return Err(SimError::NonFinitePropensity {
                 reaction: self.reaction_ids[r].clone(),
-                time: state.t,
+                time: t,
             });
         }
         if value < 0.0 {
             return Err(SimError::NegativePropensity {
                 reaction: self.reaction_ids[r].clone(),
-                time: state.t,
+                time: t,
                 value,
             });
         }
         Ok(value)
     }
 
-    /// Evaluates all propensities into `out` (resized as needed).
+    /// Evaluates all propensities into `out` (resized as needed) in one
+    /// batched sweep through the [`KineticFormBank`].
+    ///
+    /// The returned total is the sequential sum in reaction order, and
+    /// the first invalid propensity (in reaction order) is the error
+    /// reported — both exactly as the scalar loop behaved.
     ///
     /// # Errors
     ///
@@ -211,14 +228,61 @@ impl CompiledModel {
         out: &mut Vec<f64>,
         stack: &mut Vec<f64>,
     ) -> Result<f64, SimError> {
+        self.propensities_at(&state.values, state.t, out, stack)
+    }
+
+    /// Like [`CompiledModel::propensities_into`] but against a raw value
+    /// vector (`t` only labels errors). This is the full-sweep primitive
+    /// behind tau-leap/Langevin rebuilds and the ODE derivative.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModel::propensity_with`].
+    pub fn propensities_at(
+        &self,
+        values: &[f64],
+        t: f64,
+        out: &mut Vec<f64>,
+        stack: &mut Vec<f64>,
+    ) -> Result<f64, SimError> {
+        out.resize(self.kinetics.len(), 0.0);
+        self.bank.eval_all(values, out, stack);
+        let mut total = 0.0;
+        for (r, &value) in out.iter().enumerate() {
+            total += self.check_propensity(r, value, t)?;
+        }
+        Ok(total)
+    }
+
+    /// The scalar reference sweep: evaluates every law one at a time via
+    /// [`CompiledExpr::eval_fast`], bypassing the bank's SoA layout.
+    ///
+    /// Kept as the baseline the batched path is benchmarked and
+    /// property-tested against; results are bitwise identical to
+    /// [`CompiledModel::propensities_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModel::propensity_with`].
+    pub fn propensities_into_scalar(
+        &self,
+        state: &State,
+        out: &mut Vec<f64>,
+        stack: &mut Vec<f64>,
+    ) -> Result<f64, SimError> {
         out.resize(self.kinetics.len(), 0.0);
         let mut total = 0.0;
         for (r, slot) in out.iter_mut().enumerate() {
-            let a = self.propensity_with(r, state, stack)?;
-            *slot = a;
-            total += a;
+            let value = self.kinetics[r].eval_fast(&state.values, stack);
+            *slot = self.check_propensity(r, value, state.t)?;
+            total += *slot;
         }
         Ok(total)
+    }
+
+    /// The batched evaluator over this model's kinetic laws.
+    pub fn bank(&self) -> &KineticFormBank {
+        &self.bank
     }
 
     /// Applies the state change of firing reaction `r` once.

@@ -14,16 +14,21 @@
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
+use crate::propensity::PropensitySet;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The chemical Langevin engine with fixed time step.
+///
+/// Every Euler–Maruyama step needs all `R` propensities, so the engine
+/// refreshes its shared [`PropensitySet`] with one batched full-sweep
+/// rebuild per step — the same cache and kinetic-form-bank path the
+/// exact engines use, rather than a private propensity vector.
 #[derive(Debug, Clone)]
 pub struct Langevin {
     dt: f64,
     step_limit: u64,
-    propensities: Vec<f64>,
-    stack: Vec<f64>,
+    propensities: PropensitySet,
 }
 
 impl Langevin {
@@ -42,8 +47,7 @@ impl Langevin {
         Ok(Langevin {
             dt,
             step_limit: DEFAULT_STEP_LIMIT,
-            propensities: Vec::new(),
-            stack: Vec::new(),
+            propensities: PropensitySet::new(),
         })
     }
 
@@ -87,11 +91,11 @@ impl Engine for Langevin {
         while state.t < t_end {
             let h = self.dt.min(t_end - state.t);
             let t_next = state.t + h;
-            model.propensities_into(state, &mut self.propensities, &mut self.stack)?;
+            self.propensities.rebuild(model, state)?;
             observer.on_advance(t_next, &state.values);
             let sqrt_h = h.sqrt();
             for r in 0..model.reaction_count() {
-                let a = self.propensities[r];
+                let a = self.propensities.propensity(r);
                 if a == 0.0 {
                     continue;
                 }

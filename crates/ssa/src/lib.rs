@@ -5,17 +5,21 @@
 //! stochastic simulation algorithm rather than ODEs. This crate provides:
 //!
 //! * [`compiled`] — a [`compiled::CompiledModel`]: kinetic laws compiled to
-//!   slot-indexed programs, per-reaction state deltas (boundary species
-//!   excluded), and the reaction dependency graph;
+//!   slot-indexed programs and grouped by shape into a batched
+//!   structure-of-arrays evaluator (`glc_model::expr::KineticFormBank`),
+//!   per-reaction state deltas (boundary species excluded), and the
+//!   reaction dependency graph;
 //! * [`propensity`] / [`sum_tree`] — the incremental propensity engine
-//!   shared by the exact methods: cached propensities updated only for
-//!   `dependents(fired)` after each firing, with O(log R) reaction
-//!   selection through a flat binary sum tree;
+//!   shared by **all** engines: cached propensities updated only for
+//!   `dependents(fired)` after each firing (full-sweep engines rebuild
+//!   through one batched bank sweep), with O(log R) reaction selection
+//!   through a flat binary sum tree;
 //! * [`engine`] — the [`engine::Engine`] trait plus four implementations:
 //!   [`direct::Direct`] (Gillespie's direct method),
 //!   [`first_reaction::FirstReaction`],
 //!   [`next_reaction::NextReaction`] (Gibson–Bruck, using the indexed
-//!   priority queue in [`ipq`]), and [`tau_leap::TauLeap`];
+//!   priority queue in [`ipq`] on top of the shared propensity cache),
+//!   and [`tau_leap::TauLeap`];
 //! * [`trace`] — uniformly-sampled simulation traces (the "simulation data
 //!   of all I/O species", `SDA`, consumed by the logic analyzer);
 //! * [`control`] — piecewise-constant input schedules for driving boundary

@@ -6,11 +6,23 @@
 //! dependency graph). Firing times of unaffected reactions are *reused*;
 //! affected ones are rescaled by the propensity ratio, so the method
 //! consumes one fresh random number per firing.
+//!
+//! Propensities live in the same [`PropensitySet`] the other exact
+//! engines share (one cache, one invalidation path, batched rebuilds
+//! through the model's kinetic-form bank); the engine keeps only its
+//! indexed priority queue of tentative times on top. The
+//! [`PropensitySet::update_after_with`] hook hands this engine each
+//! dependent's old and new propensity in one pass, which is exactly
+//! what the Gibson–Bruck rescale needs. A reaction whose propensity
+//! returns from zero (or whose tentative time was consumed/infinite)
+//! cannot be rescaled — the ratio would divide by the stale zero — so
+//! that branch always takes a fresh exponential draw instead.
 
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
 use crate::ipq::IndexedPriorityQueue;
+use crate::propensity::PropensitySet;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -18,7 +30,7 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct NextReaction {
     step_limit: u64,
-    stack: Vec<f64>,
+    propensities: PropensitySet,
 }
 
 impl NextReaction {
@@ -26,7 +38,7 @@ impl NextReaction {
     pub fn new() -> Self {
         NextReaction {
             step_limit: DEFAULT_STEP_LIMIT,
-            stack: Vec::new(),
+            propensities: PropensitySet::new(),
         }
     }
 
@@ -71,13 +83,12 @@ impl Engine for NextReaction {
         }
         let m = model.reaction_count();
 
-        // Internal structures are rebuilt every run so external state
-        // edits between runs (input clamping) are always picked up.
-        let mut propensities = vec![0.0f64; m];
+        // The shared set is rebuilt every run so external state edits
+        // between runs (input clamping) are always picked up.
+        self.propensities.rebuild(model, state)?;
         let mut times = vec![f64::INFINITY; m];
-        for r in 0..m {
-            propensities[r] = model.propensity_with(r, state, &mut self.stack)?;
-            times[r] = Self::draw_time(rng, state.t, propensities[r]);
+        for (r, time) in times.iter_mut().enumerate() {
+            *time = Self::draw_time(rng, state.t, self.propensities.propensity(r));
         }
         let mut queue = IndexedPriorityQueue::new(times);
 
@@ -91,30 +102,35 @@ impl Engine for NextReaction {
             state.t = t_next;
             model.apply(fired, state);
 
-            for &dep in model.dependents(fired) {
-                if dep == fired {
-                    continue; // handled below with a fresh draw
-                }
-                let a_new = model.propensity_with(dep, state, &mut self.stack)?;
-                let a_old = propensities[dep];
-                let t_dep = queue.key(dep);
-                let updated = if a_new <= 0.0 {
-                    f64::INFINITY
-                } else if a_old > 0.0 && t_dep.is_finite() {
-                    // Rescale the remaining waiting time by the propensity
-                    // ratio (Gibson–Bruck reuse; keeps exactness with no
-                    // new random number).
-                    state.t + (a_old / a_new) * (t_dep - state.t)
-                } else {
-                    Self::draw_time(rng, state.t, a_new)
-                };
-                propensities[dep] = a_new;
-                queue.update(dep, updated);
-            }
+            let t_now = state.t;
+            self.propensities
+                .update_after_with(model, state, fired, |dep, a_old, a_new| {
+                    if dep == fired {
+                        return; // handled below with a fresh draw
+                    }
+                    let t_dep = queue.key(dep);
+                    let updated = if a_new <= 0.0 {
+                        f64::INFINITY
+                    } else if a_old > 0.0 && t_dep.is_finite() {
+                        // Rescale the remaining waiting time by the
+                        // propensity ratio (Gibson–Bruck reuse; keeps
+                        // exactness with no new random number).
+                        t_now + (a_old / a_new) * (t_dep - t_now)
+                    } else {
+                        // Resurrected from zero propensity (or an
+                        // exhausted/infinite tentative time): there is
+                        // no valid waiting time to rescale, so draw a
+                        // fresh exponential.
+                        Self::draw_time(rng, t_now, a_new)
+                    };
+                    queue.update(dep, updated);
+                })?;
 
             // The fired reaction always gets a fresh exponential draw.
-            let a_fired = model.propensity_with(fired, state, &mut self.stack)?;
-            propensities[fired] = a_fired;
+            // Its cache slot is current either way: `update_after_with`
+            // re-evaluated it if it depends on itself, and a reaction
+            // outside its own dependent set reads no slot it changed.
+            let a_fired = self.propensities.propensity(fired);
             queue.update(fired, Self::draw_time(rng, state.t, a_fired));
 
             steps += 1;
@@ -243,6 +259,59 @@ mod tests {
             "degradation did not act on clamped value: {}",
             state.values[0]
         );
+    }
+
+    #[test]
+    fn resurrected_reaction_gets_a_fresh_draw_on_the_shared_set() {
+        // A chain where the downstream reaction's propensity repeatedly
+        // collapses to zero and comes back: production refills A, and
+        // conversion (rate k * A) dies whenever A hits 0. On the shared
+        // set the `a_old == 0` branch must take a fresh exponential
+        // draw — the propensity-ratio rescale would divide the stale
+        // zero into the new propensity (0/a_new times an infinite
+        // remaining wait: NaN) and wedge the reaction forever.
+        let model = ModelBuilder::new("resurrect")
+            .species("A", 0.0)
+            .species("B", 0.0)
+            .parameter("ka", 2.0)
+            .parameter("k", 10.0)
+            .reaction("prod_a", &[], &["A"], "ka")
+            .unwrap()
+            .reaction("a_to_b", &["A"], &["B"], "k * A")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+
+        // `a_to_b` starts at zero propensity (A = 0) and, with k >> ka,
+        // drains A back to zero after nearly every production event —
+        // so the run exercises resurrection from zero many times.
+        let mut state = compiled.initial_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = NextReaction::new();
+        engine
+            .run(&compiled, &mut state, 50.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.t, 50.0);
+        // The resurrected reaction really fires: essentially everything
+        // produced has been converted (E[B] ≈ ka * t = 100).
+        assert!(
+            state.values[1] > 50.0,
+            "resurrected a_to_b barely fired: B = {}",
+            state.values[1]
+        );
+        assert!(
+            state.values[0] < 20.0,
+            "A accumulated, conversion wedged: A = {}",
+            state.values[0]
+        );
+        // And the whole thing is reproducible per seed.
+        let mut again = compiled.initial_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        engine
+            .run(&compiled, &mut again, 50.0, &mut rng, &mut NullObserver)
+            .unwrap();
+        assert_eq!(state.values, again.values);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub fn integrate(
     let mut next_sample = 0.0;
 
     let mut stack = Vec::new();
+    let mut rates = Vec::new();
     let mut scratch = state.clone();
     let mut k = vec![vec![0.0; species_count]; 4];
 
@@ -55,7 +56,14 @@ pub fn integrate(
 
         // RK4 stages: derivative at the state, twice at midpoints, at the
         // endpoint.
-        derivative(model, &state.values, state.t, &mut k[0], &mut stack)?;
+        derivative(
+            model,
+            &state.values,
+            state.t,
+            &mut k[0],
+            &mut rates,
+            &mut stack,
+        )?;
         stage(
             &state.values,
             &k[0],
@@ -68,6 +76,7 @@ pub fn integrate(
             &scratch.values,
             state.t + h / 2.0,
             &mut k[1],
+            &mut rates,
             &mut stack,
         )?;
         stage(
@@ -82,10 +91,18 @@ pub fn integrate(
             &scratch.values,
             state.t + h / 2.0,
             &mut k[2],
+            &mut rates,
             &mut stack,
         )?;
         stage(&state.values, &k[2], h, species_count, &mut scratch.values);
-        derivative(model, &scratch.values, state.t + h, &mut k[3], &mut stack)?;
+        derivative(
+            model,
+            &scratch.values,
+            state.t + h,
+            &mut k[3],
+            &mut rates,
+            &mut stack,
+        )?;
 
         for (s, value) in state.values.iter_mut().take(species_count).enumerate() {
             let increment = h / 6.0 * (k[0][s] + 2.0 * k[1][s] + 2.0 * k[2][s] + k[3][s]);
@@ -101,20 +118,22 @@ pub fn integrate(
 }
 
 /// Writes `d(species)/dt` into `out` given the full value vector.
+///
+/// All reaction rates come from one batched kinetic-form-bank sweep
+/// into `rates` (no per-stage probe-state allocation), then fold into
+/// the species derivative in reaction order — the same accumulation
+/// order as the previous per-reaction loop.
 fn derivative(
     model: &CompiledModel,
     values: &[f64],
     t: f64,
     out: &mut [f64],
+    rates: &mut Vec<f64>,
     stack: &mut Vec<f64>,
 ) -> Result<(), SimError> {
+    model.propensities_at(values, t, rates, stack)?;
     out.fill(0.0);
-    let probe = crate::compiled::State {
-        t,
-        values: values.to_vec(),
-    };
-    for r in 0..model.reaction_count() {
-        let rate = model.propensity_with(r, &probe, stack)?;
+    for (r, &rate) in rates.iter().enumerate() {
         for &(slot, delta) in model.delta(r) {
             out[slot] += rate * delta as f64;
         }

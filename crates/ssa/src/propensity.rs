@@ -74,25 +74,24 @@ impl PropensitySet {
         self.tree.is_empty()
     }
 
-    /// Fully re-evaluates every propensity against `state` and rebuilds
-    /// the tree. Call at the start of every engine run and whenever
-    /// `state` was edited outside [`CompiledModel::apply`].
+    /// Fully re-evaluates every propensity against `state` — one batched
+    /// structure-of-arrays sweep through the model's
+    /// [`glc_model::expr::KineticFormBank`] — and rebuilds the tree.
+    /// Call at the start of every engine run and whenever `state` was
+    /// edited outside [`CompiledModel::apply`].
     ///
     /// # Errors
     ///
-    /// Propagates the first invalid propensity
+    /// Propagates the first invalid propensity in reaction order
     /// ([`SimError::NegativePropensity`] /
-    /// [`SimError::NonFinitePropensity`]), like the full-recompute path
-    /// it replaces.
+    /// [`SimError::NonFinitePropensity`]), like the scalar loop it
+    /// replaces.
     pub fn rebuild(&mut self, model: &CompiledModel, state: &State) -> Result<(), SimError> {
         let reactions = model.reaction_count();
         if self.tree.len() != reactions {
             self.tree.reset(reactions);
         }
-        self.scratch.resize(reactions, 0.0);
-        for r in 0..reactions {
-            self.scratch[r] = model.propensity_with(r, state, &mut self.stack)?;
-        }
+        model.propensities_into(state, &mut self.scratch, &mut self.stack)?;
         self.tree.fill_from(&self.scratch);
         Ok(())
     }
@@ -100,7 +99,9 @@ impl PropensitySet {
     /// Re-evaluates the propensities of `dependents(fired)` after
     /// reaction `fired` was applied to `state`. All other cached values
     /// are untouched — their kinetic laws read no slot the firing
-    /// changed.
+    /// changed. Each dependent is read out of its bank lane
+    /// ([`CompiledModel::propensity_with`]); dependent sets are small
+    /// and scattered, so per-lane reads beat re-gathering a chunk.
     ///
     /// # Errors
     ///
@@ -112,9 +113,36 @@ impl PropensitySet {
         state: &State,
         fired: usize,
     ) -> Result<(), SimError> {
+        self.update_after_with(model, state, fired, |_, _, _| ())
+    }
+
+    /// Like [`PropensitySet::update_after`], but reports each dependent's
+    /// `(reaction, old propensity, new propensity)` to `visit` as it is
+    /// re-evaluated — the hook the next-reaction method uses to rescale
+    /// its tentative firing times off the shared cache without
+    /// evaluating any law twice.
+    ///
+    /// `visit` runs in `dependents(fired)` order, after the cache slot
+    /// has been updated.
+    ///
+    /// # Errors
+    ///
+    /// See [`PropensitySet::rebuild`]. On error, dependents earlier in
+    /// the order have already been updated and visited (the run is
+    /// abandoned anyway — engines rebuild per run).
+    #[inline]
+    pub fn update_after_with(
+        &mut self,
+        model: &CompiledModel,
+        state: &State,
+        fired: usize,
+        mut visit: impl FnMut(usize, f64, f64),
+    ) -> Result<(), SimError> {
         for &dep in model.dependents(fired) {
+            let old = self.tree.get(dep);
             let value = model.propensity_with(dep, state, &mut self.stack)?;
             self.tree.set(dep, value);
+            visit(dep, old, value);
         }
         Ok(())
     }

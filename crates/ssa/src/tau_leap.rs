@@ -103,10 +103,11 @@ impl Engine for TauLeap {
             let t_next = (state.t + self.tau).min(t_end);
             // A leap fires many reactions at once, so the union of their
             // dependency sets approaches all of R anyway: a full rebuild
-            // (through the kinetics fast path) is the right granularity.
-            // The tree maintenance inside `rebuild` (~2R adds) is noise
-            // next to the R kinetic-law evaluations and R Poisson draws
-            // each leap already pays; sharing `PropensitySet` keeps one
+            // — one batched structure-of-arrays sweep through the
+            // model's kinetic-form bank — is the right granularity. The
+            // tree maintenance inside `rebuild` (~2R adds) is noise next
+            // to the R kinetic-law evaluations and R Poisson draws each
+            // leap already pays; sharing `PropensitySet` keeps one
             // propensity code path across engines.
             self.propensities.rebuild(model, state)?;
             observer.on_advance(t_next, &state.values);

@@ -1,0 +1,128 @@
+//! Cross-engine validation on the catalog circuits: the three exact
+//! engines implement the same stochastic process, so their ensemble
+//! aggregates must agree — and each engine's aggregate must be exactly
+//! reproducible for a fixed seed set, before and after any refactor of
+//! the propensity plumbing.
+//!
+//! Two layers of assertion:
+//!
+//! * **Bitwise**: for the direct method, the incremental engine and the
+//!   retained full-recompute baseline (the pre-batched-path schedule,
+//!   now also routed through the kinetic-form bank) produce *identical*
+//!   mean/variance aggregates — the "before vs after the batched path"
+//!   equivalence, ensemble-level.
+//! * **Statistical**: Direct, FirstReaction and NextReaction consume
+//!   randomness differently, so their aggregates only agree in
+//!   distribution; with the seed set fixed the comparison is
+//!   deterministic, and the tolerances below are several times the
+//!   observed gaps.
+
+use genetic_logic::gates::catalog;
+use genetic_logic::model::Model;
+use genetic_logic::ssa::{
+    run_ensemble, CompiledModel, Direct, Engine, Ensemble, FirstReaction, NextReaction,
+};
+
+fn prepared(id: &str) -> CompiledModel {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut model: Model = entry.model.clone();
+    for input in &entry.inputs {
+        model.set_initial_amount(input, 15.0);
+    }
+    CompiledModel::new(&model).expect("compiles")
+}
+
+const REPLICATES: usize = 48;
+const T_END: f64 = 80.0;
+const SAMPLE_DT: f64 = 8.0;
+const BASE_SEED: u64 = 7;
+
+fn ensemble<F>(model: &CompiledModel, make_engine: F) -> Ensemble
+where
+    F: Fn() -> Box<dyn Engine> + Sync,
+{
+    run_ensemble(
+        model,
+        make_engine,
+        REPLICATES,
+        T_END,
+        SAMPLE_DT,
+        BASE_SEED,
+        4,
+    )
+    .expect("ensemble runs")
+}
+
+/// Final-sample mean and variance per species.
+fn tail_aggregates(ensemble: &Ensemble, model: &CompiledModel) -> Vec<(f64, f64)> {
+    model
+        .species_names()
+        .iter()
+        .map(|name| {
+            let mean = *ensemble.mean.series(name).unwrap().last().unwrap();
+            let std = *ensemble.std_dev.series(name).unwrap().last().unwrap();
+            (mean, std * std)
+        })
+        .collect()
+}
+
+#[test]
+fn direct_incremental_and_full_recompute_ensembles_are_identical() {
+    for id in ["book_and", "cello_0x1C"] {
+        let model = prepared(id);
+        let incremental = ensemble(&model, || Box::new(Direct::new()));
+        let full = ensemble(&model, || Box::new(Direct::with_full_recompute()));
+        // Bitwise-equal traces (Trace implements PartialEq over f64
+        // payloads): the batched incremental path and the recompute-all
+        // schedule walk identical trajectories, so every aggregate
+        // matches exactly.
+        assert_eq!(incremental.mean, full.mean, "{id}: means diverged");
+        assert_eq!(incremental.std_dev, full.std_dev, "{id}: spreads diverged");
+    }
+}
+
+#[test]
+fn exact_engines_are_reproducible_per_seed_set() {
+    let model = prepared("book_and");
+    let makes: [fn() -> Box<dyn Engine>; 3] = [
+        || Box::new(Direct::new()),
+        || Box::new(FirstReaction::new()),
+        || Box::new(NextReaction::new()),
+    ];
+    for make in makes {
+        let a = ensemble(&model, make);
+        let b = ensemble(&model, make);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_dev, b.std_dev);
+    }
+}
+
+#[test]
+fn exact_engines_agree_on_ensemble_aggregates() {
+    for id in ["book_and", "cello_0x1C"] {
+        let model = prepared(id);
+        let direct = tail_aggregates(&ensemble(&model, || Box::new(Direct::new())), &model);
+        let first = tail_aggregates(&ensemble(&model, || Box::new(FirstReaction::new())), &model);
+        let next = tail_aggregates(&ensemble(&model, || Box::new(NextReaction::new())), &model);
+        for (s, name) in model.species_names().iter().enumerate() {
+            let (m_d, v_d) = direct[s];
+            for (label, (m_o, v_o)) in [("first-reaction", first[s]), ("next-reaction", next[s])] {
+                // Mean: within a few standard errors of the ensemble
+                // spread (plus an absolute floor for near-zero species).
+                let se = (v_d.max(v_o) / REPLICATES as f64).sqrt();
+                let tol = 5.0 * se + 1.5;
+                assert!(
+                    (m_d - m_o).abs() <= tol,
+                    "{id}/{name}: direct mean {m_d} vs {label} {m_o} (tol {tol})"
+                );
+                // Variance: same order of magnitude (sampling noise on
+                // a variance estimate from 48 replicates is large).
+                let v_tol = 0.8 * v_d.max(v_o) + 4.0;
+                assert!(
+                    (v_d - v_o).abs() <= v_tol,
+                    "{id}/{name}: direct var {v_d} vs {label} {v_o} (tol {v_tol})"
+                );
+            }
+        }
+    }
+}

@@ -7,8 +7,9 @@
 use genetic_logic::gates::catalog;
 use genetic_logic::model::Model;
 use genetic_logic::ssa::engine::Observer;
+use genetic_logic::ssa::ipq::IndexedPriorityQueue;
 use genetic_logic::ssa::propensity::PropensitySet;
-use genetic_logic::ssa::{CompiledModel, Direct, Engine, FirstReaction};
+use genetic_logic::ssa::{CompiledModel, Direct, Engine, FirstReaction, NextReaction, State};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,6 +75,134 @@ fn first_reaction_is_deterministic_on_catalog_circuits() {
     let a = bit_trace(&mut FirstReaction::new(), &model, 42);
     let b = bit_trace(&mut FirstReaction::new(), &model, 42);
     assert_eq!(a.0, b.0);
+}
+
+/// The pre-port next-reaction loop, kept verbatim as a reference: a
+/// private propensity vector maintained with per-law evaluations,
+/// exactly as the engine worked before it moved onto the shared
+/// `PropensitySet`. The ported engine must walk through bitwise-identical
+/// trajectories — same propensities, same rescales, same RNG draws.
+fn reference_next_reaction(model: &CompiledModel, seed: u64, t_end: f64) -> BitTrace {
+    fn draw_time(rng: &mut StdRng, t: f64, propensity: f64) -> f64 {
+        if propensity > 0.0 {
+            let u: f64 = rng.gen();
+            t - (1.0 - u).ln() / propensity
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    let mut state: State = model.initial_state();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = BitTrace::default();
+    let mut stack = Vec::new();
+
+    let m = model.reaction_count();
+    let mut propensities = vec![0.0f64; m];
+    let mut times = vec![f64::INFINITY; m];
+    for r in 0..m {
+        propensities[r] = model.propensity_with(r, &state, &mut stack).unwrap();
+        times[r] = draw_time(&mut rng, state.t, propensities[r]);
+    }
+    let mut queue = IndexedPriorityQueue::new(times);
+
+    while let Some((fired, t_next)) = queue.min() {
+        if t_next >= t_end {
+            break;
+        }
+        trace.on_advance(t_next, &state.values);
+        state.t = t_next;
+        model.apply(fired, &mut state);
+
+        for &dep in model.dependents(fired) {
+            if dep == fired {
+                continue;
+            }
+            let a_new = model.propensity_with(dep, &state, &mut stack).unwrap();
+            let a_old = propensities[dep];
+            let t_dep = queue.key(dep);
+            let updated = if a_new <= 0.0 {
+                f64::INFINITY
+            } else if a_old > 0.0 && t_dep.is_finite() {
+                state.t + (a_old / a_new) * (t_dep - state.t)
+            } else {
+                draw_time(&mut rng, state.t, a_new)
+            };
+            propensities[dep] = a_new;
+            queue.update(dep, updated);
+        }
+
+        let a_fired = model.propensity_with(fired, &state, &mut stack).unwrap();
+        propensities[fired] = a_fired;
+        queue.update(fired, draw_time(&mut rng, state.t, a_fired));
+    }
+    trace.on_advance(t_end, &state.values);
+    trace
+}
+
+/// Next-reaction on the shared `PropensitySet` reproduces the private
+/// propensity-vector implementation bitwise, on both catalog circuits
+/// for seeds {1, 42, 1337} — the engine-port acceptance criterion.
+#[test]
+fn next_reaction_on_shared_set_matches_private_vector_bitwise() {
+    for id in ["book_and", "cello_0x1C"] {
+        let model = prepared(id);
+        for seed in [1u64, 42, 1337] {
+            let ported = bit_trace(&mut NextReaction::new(), &model, seed);
+            let reference = reference_next_reaction(&model, seed, 200.0);
+            assert_eq!(
+                ported.0.len(),
+                reference.0.len(),
+                "{id} seed {seed}: step counts diverged"
+            );
+            assert_eq!(ported.0, reference.0, "{id} seed {seed}");
+        }
+    }
+}
+
+/// The batched structure-of-arrays sweep is bitwise identical to the
+/// scalar per-law sweep at every state along a simulated trajectory —
+/// per reaction and for the sequential total.
+#[test]
+fn batched_sweep_matches_scalar_sweep_bitwise_on_catalog_circuits() {
+    for id in ["book_and", "cello_0x1C"] {
+        let model = prepared(id);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state = model.initial_state();
+        let mut set = PropensitySet::new();
+        set.rebuild(&model, &state).unwrap();
+        let mut batched = Vec::new();
+        let mut scalar = Vec::new();
+        let mut stack = Vec::new();
+        for step in 0..500 {
+            let total = set.total();
+            if total <= 0.0 {
+                break;
+            }
+            let fired = set.select(rng.gen::<f64>() * total);
+            model.apply(fired, &mut state);
+            set.update_after(&model, &state, fired).unwrap();
+
+            let batched_total = model
+                .propensities_into(&state, &mut batched, &mut stack)
+                .unwrap();
+            let scalar_total = model
+                .propensities_into_scalar(&state, &mut scalar, &mut stack)
+                .unwrap();
+            assert_eq!(
+                batched_total.to_bits(),
+                scalar_total.to_bits(),
+                "{id} step {step}: totals diverged"
+            );
+            for r in 0..model.reaction_count() {
+                assert_eq!(
+                    batched[r].to_bits(),
+                    scalar[r].to_bits(),
+                    "{id} step {step}: reaction {r}"
+                );
+            }
+        }
+    }
 }
 
 /// Distance in representable doubles between two non-negative finite
@@ -145,5 +274,43 @@ proptest! {
     fn incremental_invariant_holds_on_cello_circuit(seed in 0u64..1_000_000, steps in 1usize..400) {
         let model = prepared("cello_0x1C");
         check_incremental_invariant(&model, seed, steps);
+    }
+
+    /// Batched-path property: after N random firings the batched bank
+    /// sweep and the scalar per-law sweep agree bitwise — per reaction
+    /// and on the sequential total — for both law families.
+    #[test]
+    fn batched_sweep_equals_scalar_sweep_after_random_firings(
+        seed in 0u64..1_000_000,
+        steps in 1usize..300,
+        cello in any::<bool>(),
+    ) {
+        let model = prepared(if cello { "cello_0x1C" } else { "book_and" });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = model.initial_state();
+        let mut set = PropensitySet::new();
+        set.rebuild(&model, &state).expect("rebuild");
+        let (mut batched, mut scalar, mut stack) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..steps {
+            let total = set.total();
+            if total <= 0.0 {
+                break;
+            }
+            let fired = set.select(rng.gen::<f64>() * total);
+            model.apply(fired, &mut state);
+            set.update_after(&model, &state, fired).expect("update");
+        }
+        let batched_total = model
+            .propensities_into(&state, &mut batched, &mut stack)
+            .expect("batched sweep");
+        let scalar_total = model
+            .propensities_into_scalar(&state, &mut scalar, &mut stack)
+            .expect("scalar sweep");
+        prop_assert_eq!(batched_total.to_bits(), scalar_total.to_bits());
+        for r in 0..model.reaction_count() {
+            prop_assert_eq!(batched[r].to_bits(), scalar[r].to_bits(), "reaction {}", r);
+            // The incrementally maintained cache agrees with both.
+            prop_assert_eq!(set.propensity(r).to_bits(), scalar[r].to_bits());
+        }
     }
 }
