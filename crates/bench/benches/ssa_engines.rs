@@ -22,9 +22,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
 use glc_model::Model;
+use glc_service::{Coordinator, EngineSpec, ModelSource, WorkOrder};
 use glc_ssa::engine::Observer;
 use glc_ssa::{
-    simulate, CompiledModel, Direct, Engine, FirstReaction, Langevin, NextReaction, TauLeap,
+    run_ensemble, simulate, CompiledModel, Direct, Engine, FirstReaction, Langevin, NextReaction,
+    TauLeap,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -173,14 +175,116 @@ fn sampled_states(model: &CompiledModel, count: usize) -> Vec<glc_ssa::State> {
     sampler.states
 }
 
+/// Ensemble-grid parameters for the replicate-throughput comparison.
+/// The batch is sized so per-batch protocol costs (process spawn,
+/// model compile, JSON) amortize over real simulation work instead of
+/// dominating it — a distributed deployment would batch at least this
+/// coarsely.
+const ENSEMBLE_T_END: f64 = 100.0;
+const ENSEMBLE_DT: f64 = 10.0;
+const ENSEMBLE_BATCH: usize = 192;
+/// Parallelism on both sides of the comparison, so the sharded column
+/// measures protocol overhead rather than a core-count difference.
+const ENSEMBLE_PARALLELISM: usize = 2;
+
+/// Sustained in-process ensemble replicate throughput (replicates/s)
+/// via `run_ensemble` batches.
+fn ensemble_replicates_per_second(model: &CompiledModel, min_wall: f64) -> f64 {
+    let mut replicates = 0u64;
+    let mut elapsed = 0.0f64;
+    let mut seed = 42u64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        run_ensemble(
+            model,
+            || Box::new(Direct::new()),
+            ENSEMBLE_BATCH,
+            ENSEMBLE_T_END,
+            ENSEMBLE_DT,
+            seed,
+            ENSEMBLE_PARALLELISM,
+        )
+        .expect("ensemble");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+        seed += 1_000;
+    }
+    replicates as f64 / elapsed
+}
+
+/// Sustained replicate throughput of the same batches sharded over
+/// `glc-worker` child processes (spawn + JSON + merge included — this
+/// is the end-to-end cost a distributed deployment pays per batch).
+fn sharded_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f64) -> f64 {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut order = WorkOrder::new(
+        ModelSource::Catalog(id.to_string()),
+        EngineSpec::Direct,
+        42,
+        ENSEMBLE_BATCH as u64,
+        ENSEMBLE_T_END,
+        ENSEMBLE_DT,
+    );
+    for input in &entry.inputs {
+        order = order.with_amount(input, 15.0);
+    }
+    let coordinator = Coordinator::new(worker, ENSEMBLE_PARALLELISM).expect("coordinator");
+    let mut replicates = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        coordinator.run_ensemble(&order).expect("sharded ensemble");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+        order.base_seed += 1_000;
+    }
+    replicates as f64 / elapsed
+}
+
+/// Locates the `glc-worker` binary next to this bench's target
+/// directory, building it through the invoking cargo if absent.
+fn worker_binary() -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?; // …/target/release/deps/ssa_engines-*
+    dir.pop(); // deps
+    dir.pop(); // release
+    let path = dir.join("glc-worker");
+    if path.exists() {
+        return Some(path);
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let built = std::process::Command::new(cargo)
+        .args([
+            "build",
+            "--release",
+            "-p",
+            "glc-service",
+            "--bin",
+            "glc-worker",
+        ])
+        .status()
+        .map(|status| status.success())
+        .unwrap_or(false);
+    (built && path.exists()).then_some(path)
+}
+
 /// Steps/second of every engine, the incremental-vs-full-recompute
-/// comparison, and the batched-vs-scalar full-sweep comparison; written
-/// to `BENCH_ssa.json` and printed. The `results` section is the
-/// baseline the CI `check_regression` gate compares against.
+/// comparison, the batched-vs-scalar full-sweep comparison, and the
+/// in-process vs process-sharded ensemble replicate throughput; written
+/// to `BENCH_ssa.json` and printed. The `results` and `ensemble`
+/// sections are the baselines the CI `check_regression` gate compares
+/// against.
 fn throughput_report() {
     let mut rows = String::new();
     let mut engine_rows = String::new();
     let mut sweep_rows = String::new();
+    let mut ensemble_rows = String::new();
+    let worker = worker_binary();
+    if worker.is_none() {
+        eprintln!(
+            "  glc-worker binary unavailable; sharded ensemble throughput will be skipped \
+             (build it with `cargo build --release -p glc-service`)"
+        );
+    }
     println!("\nthroughput: steps/second (200 t.u. horizon)");
     for id in ["book_and", "cello_0x1C"] {
         let model = prepared(id);
@@ -262,12 +366,41 @@ fn throughput_report() {
              \"speedup\":{sweep_speedup:.3}}}",
             model.reaction_count()
         );
+
+        // Ensemble replicate throughput: the in-process shard-then-
+        // merge path vs the same batches fanned out over glc-worker
+        // processes (equal parallelism on both sides). The efficiency
+        // ratio cancels machine speed — it isolates what the worker
+        // protocol costs on top of the shared run_partial core — and
+        // feeds the CI regression gate.
+        if let Some(worker) = &worker {
+            ensemble_replicates_per_second(&model, 0.05); // warm-up
+            let in_process = ensemble_replicates_per_second(&model, 0.5);
+            let sharded = sharded_replicates_per_second(id, worker, 0.5);
+            let efficiency = sharded / in_process;
+            println!(
+                "    ensemble ({ENSEMBLE_BATCH} reps × {ENSEMBLE_T_END} t.u., \
+                 {ENSEMBLE_PARALLELISM}-way): in-process {in_process:.0} reps/s  \
+                 sharded {sharded:.0} reps/s  efficiency {efficiency:.2}"
+            );
+            if !ensemble_rows.is_empty() {
+                ensemble_rows.push(',');
+            }
+            let _ = write!(
+                ensemble_rows,
+                "\n    {{\"circuit\":\"{id}\",\
+                 \"in_process_replicates_per_sec\":{in_process:.1},\
+                 \"sharded_replicates_per_sec\":{sharded:.1},\
+                 \"shard_efficiency\":{efficiency:.3}}}"
+            );
+        }
     }
     let json = format!(
         "{{\n  \"bench\": \"ssa_engines\",\n  \"unit\": \
          \"steps_per_second\",\n  \"results\": [{rows}\n  ],\n  \
          \"engines\": [{engine_rows}\n  ],\n  \
-         \"full_sweep\": [{sweep_rows}\n  ]\n}}\n"
+         \"full_sweep\": [{sweep_rows}\n  ],\n  \
+         \"ensemble\": [{ensemble_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

@@ -99,33 +99,44 @@ fn incremental_entries(json: &str) -> Vec<Entry> {
         .collect()
 }
 
-fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), String> {
-    let read = |path: &str| {
-        std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
-    };
-    let baseline = incremental_entries(&read(baseline_path)?);
-    let current = incremental_entries(&read(current_path)?);
-    if baseline.is_empty() {
-        return Err(format!(
-            "{baseline_path} has no incremental_steps_per_sec entries"
-        ));
-    }
+/// Every ensemble-throughput entry (the `ensemble` section):
+/// `shard_efficiency` is the process-sharded vs in-process replicate
+/// throughput ratio at equal parallelism — like `speedup`, an in-run
+/// ratio that cancels machine speed and isolates protocol overhead.
+fn ensemble_entries(json: &str) -> Vec<Entry> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some(Entry {
+                circuit: str_field(object, "circuit")?,
+                steps_per_sec: num_field(object, "in_process_replicates_per_sec")?,
+                speedup: num_field(object, "shard_efficiency")?,
+            })
+        })
+        .collect()
+}
 
-    let mut failures = Vec::new();
-    println!(
-        "bench regression gate (incremental/full-recompute speedup, threshold: -{:.0}%)",
-        threshold * 100.0
-    );
-    for base in &baseline {
+/// Gates one metric section: every baseline circuit must be present in
+/// the current run with its ratio metric no more than `threshold`
+/// below baseline.
+fn gate_section(
+    label: &str,
+    baseline: &[Entry],
+    current: &[Entry],
+    threshold: f64,
+    failures: &mut Vec<String>,
+) {
+    println!("{label} (threshold: -{:.0}%)", threshold * 100.0);
+    for base in baseline {
         let Some(now) = current.iter().find(|e| e.circuit == base.circuit) else {
             failures.push(format!(
-                "{}: present in baseline but missing from current run",
+                "{} [{label}]: present in baseline but missing from current run",
                 base.circuit
             ));
             continue;
         };
-        // Machine-independent metric: the in-run incremental vs
-        // full-recompute ratio. Absolute steps/s shown for the log.
+        // Machine-independent metric: an in-run ratio (speedup or
+        // shard efficiency). Absolute rates shown for the log.
         let ratio = now.speedup / base.speedup;
         let verdict = if ratio < 1.0 - threshold {
             "FAIL"
@@ -133,7 +144,7 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
             "ok"
         };
         println!(
-            "  {}: speedup baseline {:.2}x  current {:.2}x  ({:+.1}%)  \
+            "  {}: baseline {:.2}x  current {:.2}x  ({:+.1}%)  \
              [abs: {:.0}/s -> {:.0}/s]  {verdict}",
             base.circuit,
             base.speedup,
@@ -144,13 +155,52 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
         );
         if ratio < 1.0 - threshold {
             failures.push(format!(
-                "{}: incremental speedup {:.2}x is {:.1}% below baseline {:.2}x",
+                "{} [{label}]: {:.2}x is {:.1}% below baseline {:.2}x",
                 base.circuit,
                 now.speedup,
                 (1.0 - ratio) * 100.0,
                 base.speedup
             ));
         }
+    }
+}
+
+fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
+    };
+    let baseline_doc = read(baseline_path)?;
+    let current_doc = read(current_path)?;
+    let baseline = incremental_entries(&baseline_doc);
+    let current = incremental_entries(&current_doc);
+    if baseline.is_empty() {
+        return Err(format!(
+            "{baseline_path} has no incremental_steps_per_sec entries"
+        ));
+    }
+
+    let mut failures = Vec::new();
+    gate_section(
+        "bench regression gate: incremental/full-recompute speedup",
+        &baseline,
+        &current,
+        threshold,
+        &mut failures,
+    );
+    // Ensemble shard efficiency: only gated once the committed
+    // baseline carries the section (older baselines predate it).
+    // Process spawn time on shared runners is noisier than in-process
+    // arithmetic, so this section's tolerance never drops below 35%
+    // even when the speedup gate runs tighter.
+    let ensemble_baseline = ensemble_entries(&baseline_doc);
+    if !ensemble_baseline.is_empty() {
+        gate_section(
+            "bench regression gate: ensemble shard efficiency",
+            &ensemble_baseline,
+            &ensemble_entries(&current_doc),
+            threshold.max(0.35),
+            &mut failures,
+        );
     }
     if failures.is_empty() {
         println!("no regression beyond {:.0}%", threshold * 100.0);
@@ -203,6 +253,9 @@ mod tests {
   ],
   "engines": [
     {"circuit":"book_and","engine":"direct","steps_per_sec":1000.0}
+  ],
+  "ensemble": [
+    {"circuit":"book_and","in_process_replicates_per_sec":200.0,"sharded_replicates_per_sec":160.0,"shard_efficiency":0.8}
   ]
 }"#;
 
@@ -259,6 +312,24 @@ mod tests {
         let missing = DOC.replace("\"circuit\":\"cello_0x1C\"", "\"circuit\":\"renamed\"");
         let err = run_gate(DOC, &missing, "gone").expect_err("missing circuit must fail");
         assert!(err.contains("cello_0x1C"), "{err}");
+    }
+
+    #[test]
+    fn ensemble_shard_efficiency_is_gated_too() {
+        // A collapse of the worker-protocol efficiency must fail even
+        // when the incremental speedups are healthy.
+        let regressed = DOC.replace("\"shard_efficiency\":0.8", "\"shard_efficiency\":0.4");
+        let err = run_gate(DOC, &regressed, "shard_drop").expect_err("efficiency drop must fail");
+        assert!(
+            err.contains("shard efficiency") && err.contains("book_and"),
+            "{err}"
+        );
+        // Efficiency noise within the threshold passes.
+        let wobble = DOC.replace("\"shard_efficiency\":0.8", "\"shard_efficiency\":0.75");
+        run_gate(DOC, &wobble, "shard_ok").expect("small wobble passes");
+        // Baselines without the section (pre-protocol) skip the gate.
+        let old_baseline = DOC.replace("\"shard_efficiency\":0.8", "\"no_metric\":1.0");
+        run_gate(&old_baseline, DOC, "shard_absent").expect("absent baseline section passes");
     }
 
     #[test]

@@ -146,6 +146,32 @@ impl HillCall {
     }
 }
 
+/// A clamp call `max(x, 0)` or `max(x - shift, 0)` over operand
+/// leaves — the cooperative-binding gate of the book models'
+/// mass-action laws (`R * max(R - 1, 0) * max(R - 2, 0)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxZeroCall {
+    /// The clamped quantity.
+    pub x: Operand,
+    /// Optional subtrahend: when present the call is
+    /// `max(x - shift, 0)`.
+    pub shift: Option<Operand>,
+}
+
+impl MaxZeroCall {
+    #[inline]
+    fn eval(&self, values: &[f64]) -> f64 {
+        let x = self.x.load(values);
+        let arg = match self.shift {
+            // Same primitives the VM dispatches to, so results are
+            // bitwise identical between the two paths.
+            Some(shift) => BinOp::Sub.apply(x, shift.load(values)),
+            None => x,
+        };
+        Func::Max.apply(&[arg, 0.0])
+    }
+}
+
 /// One multiplicand of a product term.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Factor {
@@ -153,6 +179,8 @@ pub enum Factor {
     Op(Operand),
     /// A Hill response call.
     Hill(HillCall),
+    /// A `max(…, 0)` clamp call.
+    MaxZero(MaxZeroCall),
 }
 
 impl Factor {
@@ -161,6 +189,7 @@ impl Factor {
         match self {
             Factor::Op(operand) => operand.load(values),
             Factor::Hill(hill) => hill.eval(values),
+            Factor::MaxZero(clamp) => clamp.eval(values),
         }
     }
 }
@@ -214,6 +243,17 @@ pub enum KineticForm {
     },
     /// A left-associated sum of product terms.
     SumOfProducts(Vec<Term>),
+    /// A product term divided by an operand: `f0 * f1 * … / d`.
+    ///
+    /// Covers the book models' cooperative-binding laws
+    /// (`kon * P * R * max(R-1, 0) * max(R-2, 0) / 6`), which would
+    /// otherwise run the postfix VM on every propensity update.
+    TermDiv {
+        /// The numerator product.
+        term: Term,
+        /// The divisor operand.
+        divisor: Operand,
+    },
     /// No special shape: evaluate through the postfix VM.
     General,
 }
@@ -236,7 +276,7 @@ impl KineticForm {
                 .iter()
                 .map(|f| match f {
                     Factor::Op(op) => Some(*op),
-                    Factor::Hill(_) => None,
+                    Factor::Hill(_) | Factor::MaxZero(_) => None,
                 })
                 .collect();
             if let Some(ops) = operands {
@@ -265,6 +305,15 @@ impl KineticForm {
         // General left-associated sums of product terms.
         if let Some(terms) = sum_of_terms(expr, table) {
             return KineticForm::SumOfProducts(terms);
+        }
+
+        // A product (or lone factor) with a trailing division.
+        if let Expr::Bin(BinOp::Div, lhs, rhs) = expr {
+            if let (Some(term), Some(divisor)) =
+                (term_or_factor_of(lhs, table), operand_of(rhs, table))
+            {
+                return KineticForm::TermDiv { term, divisor };
+            }
         }
 
         KineticForm::General
@@ -341,7 +390,47 @@ fn factor_of(expr: &Expr, table: &SymbolTable) -> Option<Factor> {
     if let Some(operand) = operand_of(expr, table) {
         return Some(Factor::Op(operand));
     }
-    hill_call_of(expr, table).map(Factor::Hill)
+    if let Some(hill) = hill_call_of(expr, table) {
+        return Some(Factor::Hill(hill));
+    }
+    max_zero_call_of(expr, table).map(Factor::MaxZero)
+}
+
+/// `expr` as `max(x, 0)` or `max(x - shift, 0)` with operand leaves.
+/// The zero must be the literal `0` (not `-0.0`), so the clamp can be
+/// replayed with a fixed positive zero bit pattern.
+fn max_zero_call_of(expr: &Expr, table: &SymbolTable) -> Option<MaxZeroCall> {
+    let Expr::Call(Func::Max, args) = expr else {
+        return None;
+    };
+    let [arg, zero] = args.as_slice() else {
+        return None;
+    };
+    if !matches!(zero, Expr::Num(z) if z.to_bits() == 0.0f64.to_bits()) {
+        return None;
+    }
+    match arg {
+        Expr::Bin(BinOp::Sub, lhs, rhs) => Some(MaxZeroCall {
+            x: operand_of(lhs, table)?,
+            shift: Some(operand_of(rhs, table)?),
+        }),
+        _ => Some(MaxZeroCall {
+            x: operand_of(arg, table)?,
+            shift: None,
+        }),
+    }
+}
+
+/// `expr` as a product term, accepting a lone factor as a one-factor
+/// term (used by the `TermDiv` numerator, where `X / 2` is as valid as
+/// `k * X / 2`).
+fn term_or_factor_of(expr: &Expr, table: &SymbolTable) -> Option<Term> {
+    if let Some(term) = term_of(expr, table) {
+        return Some(term);
+    }
+    factor_of(expr, table).map(|factor| Term {
+        factors: vec![factor],
+    })
 }
 
 /// Flattens a left-associated `+` spine into product terms (single
@@ -447,6 +536,7 @@ enum LaneRef {
     Bilinear(u32),
     Hill(u32),
     Sop(u32),
+    TermDiv(u32),
     Fallback(u32),
 }
 
@@ -514,13 +604,91 @@ impl HillLanes {
     }
 }
 
-/// One multiplicand inside a [`SopGroup`] factor stream.
+/// SoA lanes for clamp calls `max(x, 0)` / `max(x - shift, 0)`.
+#[derive(Debug, Clone, Default)]
+struct MaxZeroLanes {
+    x: OperandLanes,
+    /// `Operand::Num(0.0)` placeholder when the lane has no shift.
+    shift: OperandLanes,
+    has_shift: Vec<bool>,
+}
+
+impl MaxZeroLanes {
+    fn push(&mut self, call: &MaxZeroCall) -> u32 {
+        let pos = self.has_shift.len() as u32;
+        self.x.push(call.x);
+        self.shift.push(call.shift.unwrap_or(Operand::Num(0.0)));
+        self.has_shift.push(call.shift.is_some());
+        pos
+    }
+
+    /// Evaluates lane `lane`: the exact operation sequence of
+    /// [`MaxZeroCall::eval`] (and therefore of the postfix VM).
+    #[inline]
+    fn eval(&self, lane: usize, values: &[f64]) -> f64 {
+        let x = self.x.load(lane, values);
+        let arg = if self.has_shift[lane] {
+            BinOp::Sub.apply(x, self.shift.load(lane, values))
+        } else {
+            x
+        };
+        Func::Max.apply(&[arg, 0.0])
+    }
+}
+
+/// One multiplicand inside a factor stream ([`SopGroup`] /
+/// [`TermDivGroup`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum FactorRef {
     /// Operand at this position of the group's operand lanes.
     Op(u32),
     /// Hill call at this position of the group's Hill lanes.
     Hill(u32),
+    /// Clamp call at this position of the group's max-zero lanes.
+    MaxZero(u32),
+}
+
+/// Shared SoA storage behind a factor stream: operand, Hill and
+/// max-zero lanes, addressed through [`FactorRef`]s.
+#[derive(Debug, Clone, Default)]
+struct FactorLanes {
+    ops: OperandLanes,
+    hills: HillLanes,
+    maxzeros: MaxZeroLanes,
+}
+
+impl FactorLanes {
+    /// Adds `factor`, returning its reference — or `None` for factors
+    /// with no flat lane layout (multi-regulator Hill calls). Callers
+    /// must pre-validate before committing a law's factors.
+    fn push(&mut self, factor: &Factor) -> Option<FactorRef> {
+        match factor {
+            Factor::Op(operand) => {
+                let pos = self.ops.slots.len() as u32;
+                self.ops.push(*operand);
+                Some(FactorRef::Op(pos))
+            }
+            Factor::Hill(hill) => self.hills.push(hill).map(FactorRef::Hill),
+            Factor::MaxZero(call) => Some(FactorRef::MaxZero(self.maxzeros.push(call))),
+        }
+    }
+
+    /// Whether `factor` has a flat lane layout.
+    fn is_regular(factor: &Factor) -> bool {
+        match factor {
+            Factor::Op(_) | Factor::MaxZero(_) => true,
+            Factor::Hill(hill) => hill.xs.len() == 1,
+        }
+    }
+
+    #[inline]
+    fn eval(&self, factor: FactorRef, values: &[f64]) -> f64 {
+        match factor {
+            FactorRef::Op(pos) => self.ops.load(pos as usize, values),
+            FactorRef::Hill(pos) => self.hills.eval(pos as usize, values),
+            FactorRef::MaxZero(pos) => self.maxzeros.eval(pos as usize, values),
+        }
+    }
 }
 
 /// `k * A` laws: `out = a * b`.
@@ -567,20 +735,16 @@ struct SopGroup {
     /// Term `t` owns factors `term_starts[t]..term_starts[t + 1]`.
     term_starts: Vec<u32>,
     factors: Vec<FactorRef>,
-    ops: OperandLanes,
-    hills: HillLanes,
+    lanes: FactorLanes,
 }
 
 impl SopGroup {
     /// Adds a law, returning its lane — or `None` if any factor is a
     /// multi-regulator Hill call (no flat layout; nothing committed).
     fn push(&mut self, index: u32, terms: &[Term]) -> Option<u32> {
-        let regular = terms.iter().all(|term| {
-            term.factors.iter().all(|factor| match factor {
-                Factor::Op(_) => true,
-                Factor::Hill(hill) => hill.xs.len() == 1,
-            })
-        });
+        let regular = terms
+            .iter()
+            .all(|term| term.factors.iter().all(FactorLanes::is_regular));
         if !regular {
             return None;
         }
@@ -592,16 +756,7 @@ impl SopGroup {
         self.idx.push(index);
         for term in terms {
             for factor in &term.factors {
-                let factor = match factor {
-                    Factor::Op(operand) => {
-                        let pos = self.ops.slots.len() as u32;
-                        self.ops.push(*operand);
-                        FactorRef::Op(pos)
-                    }
-                    Factor::Hill(hill) => {
-                        FactorRef::Hill(self.hills.push(hill).expect("validated single-x"))
-                    }
-                };
+                let factor = self.lanes.push(factor).expect("validated regular");
                 self.factors.push(factor);
             }
             self.term_starts.push(self.factors.len() as u32);
@@ -628,19 +783,61 @@ impl SopGroup {
     fn eval_term(&self, term: usize, values: &[f64]) -> f64 {
         let f0 = self.term_starts[term] as usize;
         let f1 = self.term_starts[term + 1] as usize;
-        let mut product = self.eval_factor(f0, values);
+        let mut product = self.lanes.eval(self.factors[f0], values);
         for factor in f0 + 1..f1 {
-            product *= self.eval_factor(factor, values);
+            product *= self.lanes.eval(self.factors[factor], values);
         }
         product
     }
+}
 
-    #[inline]
-    fn eval_factor(&self, factor: usize, values: &[f64]) -> f64 {
-        match self.factors[factor] {
-            FactorRef::Op(pos) => self.ops.load(pos as usize, values),
-            FactorRef::Hill(pos) => self.hills.eval(pos as usize, values),
+/// Fused product-term laws with a trailing division,
+/// `f0 * f1 * … / d`, in a CSR layout over shared factor lanes — the
+/// book-model cooperative-binding shape, which previously ran the
+/// postfix VM on every propensity update.
+#[derive(Debug, Clone, Default)]
+struct TermDivGroup {
+    idx: Vec<u32>,
+    /// Law lane `l` owns factors `starts[l]..starts[l + 1]`.
+    starts: Vec<u32>,
+    factors: Vec<FactorRef>,
+    lanes: FactorLanes,
+    divisor: OperandLanes,
+}
+
+impl TermDivGroup {
+    /// Adds a law, returning its lane — or `None` if any factor has no
+    /// flat layout (nothing committed).
+    fn push(&mut self, index: u32, term: &Term, divisor: Operand) -> Option<u32> {
+        if !term.factors.iter().all(FactorLanes::is_regular) {
+            return None;
         }
+        if self.starts.is_empty() {
+            self.starts.push(0);
+        }
+        let lane = self.idx.len() as u32;
+        self.idx.push(index);
+        for factor in &term.factors {
+            let factor = self.lanes.push(factor).expect("validated regular");
+            self.factors.push(factor);
+        }
+        self.starts.push(self.factors.len() as u32);
+        self.divisor.push(divisor);
+        Some(lane)
+    }
+
+    /// Evaluates law lane `lane`: factors multiplied left to right,
+    /// then one division — the exact operation order of
+    /// [`KineticForm::TermDiv`] on the scalar path (and of the VM).
+    #[inline]
+    fn eval_law(&self, lane: usize, values: &[f64]) -> f64 {
+        let f0 = self.starts[lane] as usize;
+        let f1 = self.starts[lane + 1] as usize;
+        let mut product = self.lanes.eval(self.factors[f0], values);
+        for factor in f0 + 1..f1 {
+            product *= self.lanes.eval(self.factors[factor], values);
+        }
+        BinOp::Div.apply(product, self.divisor.load(lane, values))
     }
 }
 
@@ -649,7 +846,8 @@ impl SopGroup {
 ///
 /// Construction groups the laws by [`KineticForm`] shape; regular
 /// shapes (`Const`, `Load`, `Linear`, `Bilinear`, single-regulator
-/// `Hill`, and `SumOfProducts` over such factors) are exploded into
+/// `Hill`, and `SumOfProducts`/`TermDiv` over operand, single-regulator
+/// Hill, or `max(…, 0)` clamp factors) are exploded into
 /// parallel flat arrays of rate constants, species slots and Hill
 /// coefficients. [`KineticFormBank::eval_all`] then evaluates each
 /// group [`BANK_LANES`] laws at a time over flat `f64` lanes — one
@@ -679,6 +877,7 @@ pub struct KineticFormBank {
     bilinear: BilinearGroup,
     hill: HillGroup,
     sop: SopGroup,
+    term_div: TermDivGroup,
     /// `(original index, law)` for shapes with no SoA layout.
     fallback: Vec<(u32, CompiledExpr)>,
 }
@@ -742,6 +941,16 @@ impl KineticFormBank {
                         LaneRef::Fallback(lane)
                     }
                 },
+                KineticForm::TermDiv { term, divisor } => {
+                    match bank.term_div.push(index, term, *divisor) {
+                        Some(lane) => LaneRef::TermDiv(lane),
+                        None => {
+                            let lane = bank.fallback.len() as u32;
+                            bank.fallback.push((index, law.clone()));
+                            LaneRef::Fallback(lane)
+                        }
+                    }
+                }
                 KineticForm::General => {
                     let lane = bank.fallback.len() as u32;
                     bank.fallback.push((index, law.clone()));
@@ -837,6 +1046,11 @@ impl KineticFormBank {
             out[self.sop.idx[lane] as usize] = self.sop.eval_law(lane, values);
         }
 
+        // Fused term-with-division laws: CSR walk, one division each.
+        for lane in 0..self.term_div.idx.len() {
+            out[self.term_div.idx[lane] as usize] = self.term_div.eval_law(lane, values);
+        }
+
         for (index, law) in &self.fallback {
             out[*index as usize] = law.eval_fast(values, stack);
         }
@@ -866,6 +1080,7 @@ impl KineticFormBank {
             }
             LaneRef::Hill(lane) => self.eval_hill_lane(lane as usize, values),
             LaneRef::Sop(lane) => self.sop.eval_law(lane as usize, values),
+            LaneRef::TermDiv(lane) => self.term_div.eval_law(lane as usize, values),
             LaneRef::Fallback(pos) => self.fallback[pos as usize].1.eval_fast(values, stack),
         }
     }
@@ -1058,6 +1273,9 @@ impl CompiledExpr {
                 }
                 total
             }
+            KineticForm::TermDiv { term, divisor } => {
+                BinOp::Div.apply(term.eval(values), divisor.load(values))
+            }
             KineticForm::General => self.eval_with(values, stack),
         }
     }
@@ -1217,6 +1435,30 @@ mod tests {
             ),
             KineticForm::SumOfProducts(terms) if terms.len() == 4
         ));
+        // The book cooperative-binding law: a clamp-gated product with
+        // a trailing division.
+        assert!(matches!(
+            form_of("k * A * B * max(B - 1, 0) * max(B - 2, 0) / 6", &table),
+            KineticForm::TermDiv { term, divisor: Operand::Num(d) }
+                if term.factors.len() == 5 && d == 6.0
+        ));
+        // Clamp factors are regular inside plain products too.
+        assert!(matches!(
+            form_of("k * max(A, 0)", &table),
+            KineticForm::SumOfProducts(terms) if terms.len() == 1
+        ));
+        // Lone-factor numerators divide fine.
+        assert!(matches!(
+            form_of("A / 2", &table),
+            KineticForm::TermDiv { .. }
+        ));
+        // A max against anything but literal 0, or a non-operand
+        // divisor, has no flat shape.
+        assert_eq!(
+            form_of("k * max(A - 1, 2) / 6", &table),
+            KineticForm::General
+        );
+        assert_eq!(form_of("k * A / (B + 1)", &table), KineticForm::General);
         // Right-nested association must NOT be flattened (it would
         // change rounding); it falls back to the VM.
         assert_eq!(form_of("k * (A * B)", &table), KineticForm::General);
@@ -1241,6 +1483,9 @@ mod tests {
             "A - B / (k + 1)",                  // General → fallback (VM)
             "k * B",                            // Linear again (second lane)
             "1.5 * B * A",                      // Bilinear again
+            "k * A * B * max(B - 1, 0) * max(B - 2, 0) / 6", // book binding → TermDiv
+            "k * max(A - 1, 0)",                // SoP term with a clamp factor
+            "A / 2",                            // lone-factor TermDiv
         ]
         .iter()
         .map(|source| Expr::parse(source).unwrap().compile(table).unwrap())
@@ -1334,10 +1579,17 @@ mod tests {
             "k * hillr(A, 20, 2)",
             "0.03 + 3.7 * hillr(A, 20, 2) + 0.1 + 2.9 * hilla(B, 7, 2.8)",
             "3.0 + 0.03 + 3.7 * hillr(A + B, 12, 1.9)",
+            // Clamp-gated products and trailing divisions (the book
+            // cooperative-binding shape).
+            "k * A * B * max(B - 1, 0) * max(B - 2, 0) / 6",
+            "k * max(A, 0) * max(B - 2, 0)",
+            "A / 2",
+            "k * A / 123.456",
             // General fallbacks must agree trivially too.
             "k * (A * B)",
             "A - B / (k + 1)",
             "max(A, B) - exp(-k)",
+            "max(A - 1, 0)",
         ];
         let mut stack = Vec::new();
         for source in sources {

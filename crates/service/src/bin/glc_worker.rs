@@ -1,0 +1,38 @@
+//! `glc-worker`: one ensemble shard per process.
+//!
+//! Protocol: read a single [`glc_service::WorkOrder`] as JSON from
+//! **stdin** (to EOF), simulate its replicate range, write the
+//! resulting `glc_ssa::EnsemblePartial` as JSON to **stdout**. Any
+//! failure goes to stderr with a non-zero exit status.
+//!
+//! The binary is deliberately transport-agnostic: a local
+//! `Coordinator` drives it over pipes today, and the same bytes work
+//! over ssh, a container exec, or a job queue tomorrow.
+
+use glc_service::WorkOrder;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn run() -> Result<String, String> {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .map_err(|e| format!("reading work order from stdin: {e}"))?;
+    let order: WorkOrder =
+        serde_json::from_str(input.trim()).map_err(|e| format!("parsing work order: {e}"))?;
+    let partial = order.execute().map_err(|e| e.to_string())?;
+    serde_json::to_string(&partial).map_err(|e| format!("encoding partial: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("glc-worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Process-level ensemble sharding: the `glc-worker` protocol.
+//!
+//! The virtual-lab workload is ensemble-shaped — every noise figure,
+//! threshold estimate and propagation-delay measurement averages many
+//! stochastic replicates — and replicates are embarrassingly parallel.
+//! This crate is the first distribution rung from `ROADMAP.md`: a
+//! process-level worker protocol built on the mergeable
+//! [`EnsemblePartial`] aggregates from `glc_ssa`.
+//!
+//! * [`WorkOrder`] — a self-contained JSON description of one shard:
+//!   the model (inline SBML via `glc_model::sbml`, or a catalog
+//!   circuit id), initial-amount overrides, the engine, a contiguous
+//!   replicate range, and the sampling grid;
+//! * `glc-worker` (binary) — reads one work order on **stdin**, runs
+//!   [`WorkOrder::execute`], writes the resulting [`EnsemblePartial`]
+//!   as JSON on **stdout**. No flags, no files, no network: anything
+//!   that can move bytes between processes can host a worker;
+//! * [`Coordinator`] — shards a replicate range into work orders, fans
+//!   them out over `std::process` children, merges the returned
+//!   partials in shard order and finalizes the [`Ensemble`].
+//!
+//! # Determinism
+//!
+//! Replicate `i` is seeded `base_seed + i` no matter which process runs
+//! it, and partial merging is exact (see `glc_ssa::exact`), so a
+//! coordinator over any number of workers reproduces the in-process
+//! `run_ensemble` aggregate **bitwise**. The integration tests assert
+//! exactly that, and CI exercises it on every push.
+//!
+//! See `crates/service/README.md` for the wire schema with a worked
+//! example.
+
+#![warn(missing_docs)]
+
+use glc_model::Model;
+use glc_ssa::{
+    run_partial_from, CompiledModel, Direct, Engine, Ensemble, EnsemblePartial, FirstReaction,
+    Langevin, NextReaction, SimError, TauLeap,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Error raised by the worker protocol or the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The work order could not be interpreted (unknown circuit,
+    /// malformed SBML, unknown species, bad engine parameters).
+    Order(String),
+    /// Simulation failed.
+    Sim(SimError),
+    /// JSON (de)serialization failed.
+    Protocol(String),
+    /// A worker process could not be spawned or exited unsuccessfully.
+    Worker(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Order(msg) => write!(f, "invalid work order: {msg}"),
+            ServiceError::Sim(err) => write!(f, "simulation failed: {err}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Worker(msg) => write!(f, "worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SimError> for ServiceError {
+    fn from(err: SimError) -> Self {
+        ServiceError::Sim(err)
+    }
+}
+
+/// Where the circuit model comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSource {
+    /// An inline SBML document (the `glc_model::sbml` interchange
+    /// subset). Fully self-contained: the worker needs no local data.
+    Sbml(String),
+    /// A circuit id from the built-in `glc_gates::catalog`
+    /// (e.g. `"book_and"`, `"cello_0x1C"`).
+    Catalog(String),
+}
+
+impl ModelSource {
+    /// Materializes the model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for unknown catalog ids or SBML that
+    /// fails to parse.
+    pub fn load(&self) -> Result<Model, ServiceError> {
+        match self {
+            ModelSource::Sbml(document) => glc_model::sbml::read(document)
+                .map_err(|e| ServiceError::Order(format!("SBML: {e}"))),
+            ModelSource::Catalog(id) => glc_gates::catalog::by_id(id)
+                .map(|entry| entry.model.clone())
+                .ok_or_else(|| ServiceError::Order(format!("unknown catalog circuit `{id}`"))),
+        }
+    }
+}
+
+/// Which SSA engine a worker runs, with step parameters where the
+/// algorithm needs one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Gillespie's direct method (incremental propensities).
+    Direct,
+    /// Gillespie's first-reaction method.
+    FirstReaction,
+    /// Gibson–Bruck next-reaction method.
+    NextReaction,
+    /// Tau-leaping with the given leap length.
+    TauLeap(f64),
+    /// Chemical Langevin with the given time step.
+    Langevin(f64),
+}
+
+impl EngineSpec {
+    /// Builds a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for invalid step parameters.
+    pub fn build(&self) -> Result<Box<dyn Engine>, ServiceError> {
+        let bad = |e: SimError| ServiceError::Order(e.to_string());
+        Ok(match self {
+            EngineSpec::Direct => Box::new(Direct::new()),
+            EngineSpec::FirstReaction => Box::new(FirstReaction::new()),
+            EngineSpec::NextReaction => Box::new(NextReaction::new()),
+            EngineSpec::TauLeap(tau) => Box::new(TauLeap::new(*tau).map_err(bad)?),
+            EngineSpec::Langevin(dt) => Box::new(Langevin::new(*dt).map_err(bad)?),
+        })
+    }
+}
+
+/// One shard of ensemble work: everything a worker process needs to
+/// produce an [`EnsemblePartial`], as a single JSON value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkOrder {
+    /// The circuit to simulate.
+    pub model: ModelSource,
+    /// Initial-amount overrides applied before compilation (typically
+    /// clamping input species high, as the virtual lab does).
+    pub set_amounts: Vec<(String, f64)>,
+    /// The engine to run.
+    pub engine: EngineSpec,
+    /// Seed of replicate 0 of the *whole* ensemble. Replicate `i` is
+    /// seeded `base_seed + i` in every process, which is what makes
+    /// shards interchangeable with the in-process path.
+    pub base_seed: u64,
+    /// First replicate index of this shard.
+    pub first_replicate: u64,
+    /// Number of replicates in this shard.
+    pub replicates: u64,
+    /// Simulation horizon per replicate.
+    pub t_end: f64,
+    /// Trace sampling interval.
+    pub sample_dt: f64,
+}
+
+impl WorkOrder {
+    /// A one-shard order covering replicates `0..replicates`.
+    pub fn new(
+        model: ModelSource,
+        engine: EngineSpec,
+        base_seed: u64,
+        replicates: u64,
+        t_end: f64,
+        sample_dt: f64,
+    ) -> Self {
+        WorkOrder {
+            model,
+            set_amounts: Vec::new(),
+            engine,
+            base_seed,
+            first_replicate: 0,
+            replicates,
+            t_end,
+            sample_dt,
+        }
+    }
+
+    /// Adds an initial-amount override (builder style).
+    pub fn with_amount(mut self, species: &str, amount: f64) -> Self {
+        self.set_amounts.push((species.to_string(), amount));
+        self
+    }
+
+    /// Materializes and compiles the model with overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for unresolvable models or unknown
+    /// override species.
+    pub fn compile_model(&self) -> Result<CompiledModel, ServiceError> {
+        let mut model = self.model.load()?;
+        for (species, amount) in &self.set_amounts {
+            if model.species_id(species).is_none() {
+                return Err(ServiceError::Order(format!(
+                    "set_amounts names unknown species `{species}`"
+                )));
+            }
+            model.set_initial_amount(species, *amount);
+        }
+        CompiledModel::new(&model).map_err(|e| ServiceError::Order(e.to_string()))
+    }
+
+    /// Runs the shard in-process: the exact work a `glc-worker` child
+    /// performs between stdin and stdout.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for bad orders, [`ServiceError::Sim`]
+    /// for replicate failures.
+    pub fn execute(&self) -> Result<EnsemblePartial, ServiceError> {
+        if self.replicates == 0 {
+            return Err(ServiceError::Order("replicates must be >= 1".into()));
+        }
+        let model = self.compile_model()?;
+        self.engine.build()?; // Surface bad engine parameters as Order errors.
+        let engine = &self.engine;
+        // `run_partial_from` advances seeds with wrapping arithmetic,
+        // so shards near the top of the u64 seed space still simulate
+        // every replicate.
+        let partial = run_partial_from(
+            &model,
+            || engine.build().expect("validated just above"),
+            self.base_seed.wrapping_add(self.first_replicate),
+            self.replicates,
+            self.t_end,
+            self.sample_dt,
+        )?;
+        Ok(partial)
+    }
+
+    /// Splits this order's replicate range into `shards` contiguous
+    /// sub-orders (at most one per replicate). Shard boundaries do not
+    /// affect the merged aggregate — exact accumulation makes partials
+    /// associative — so this is purely a load-balancing choice.
+    pub fn shard(&self, shards: u64) -> Vec<WorkOrder> {
+        let shards = shards.clamp(1, self.replicates.max(1));
+        let base = self.replicates / shards;
+        let extra = self.replicates % shards;
+        let mut orders = Vec::with_capacity(shards as usize);
+        let mut first = self.first_replicate;
+        for s in 0..shards {
+            let count = base + u64::from(s < extra);
+            if count == 0 {
+                continue;
+            }
+            let mut order = self.clone();
+            order.first_replicate = first;
+            order.replicates = count;
+            orders.push(order);
+            first += count;
+        }
+        orders
+    }
+}
+
+/// Fans work orders out over `glc-worker` child processes and merges
+/// their partials.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    worker: PathBuf,
+    workers: usize,
+}
+
+impl Coordinator {
+    /// A coordinator spawning `workers` children of the `glc-worker`
+    /// binary at `worker`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for zero `workers`.
+    pub fn new(worker: impl Into<PathBuf>, workers: usize) -> Result<Self, ServiceError> {
+        if workers == 0 {
+            return Err(ServiceError::Order("workers must be >= 1".into()));
+        }
+        Ok(Coordinator {
+            worker: worker.into(),
+            workers,
+        })
+    }
+
+    /// Executes `order` sharded across the worker processes and merges
+    /// the partials in shard order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Worker`] when a child fails (its stderr is
+    /// included), [`ServiceError::Protocol`] for undecodable output,
+    /// and the first failing shard's error otherwise.
+    pub fn run(&self, order: &WorkOrder) -> Result<EnsemblePartial, ServiceError> {
+        let shards = order.shard(self.workers as u64);
+        // Spawn every child before reading any output so the shards
+        // run concurrently; each child gets its order on stdin and is
+        // then left to work while the later ones start.
+        let mut children: Vec<(Child, WorkOrder)> = Vec::with_capacity(shards.len());
+        for shard in shards {
+            match self.spawn_shard(&shard) {
+                Ok(child) => children.push((child, shard)),
+                Err(err) => {
+                    // Don't leak the shards already running.
+                    reap(children);
+                    return Err(err);
+                }
+            }
+        }
+
+        // Collect and merge in shard order. Order does not matter for
+        // the bits (exact accumulation); it does give deterministic
+        // error reporting: the lowest-replicate failing shard wins.
+        // After a failure the remaining children are killed and reaped
+        // — never left computing (or as zombies) past this call.
+        let mut merged: Option<EnsemblePartial> = None;
+        let mut first_failure: Option<ServiceError> = None;
+        for (mut child, shard) in children {
+            if first_failure.is_some() {
+                let _ = child.kill();
+                let _ = child.wait();
+                continue;
+            }
+            let outcome = collect_partial(child, &shard).and_then(|partial| match &mut merged {
+                None => {
+                    merged = Some(partial);
+                    Ok(())
+                }
+                Some(total) => total.merge(&partial).map_err(ServiceError::from),
+            });
+            if let Err(err) = outcome {
+                first_failure = Some(err);
+            }
+        }
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))
+    }
+
+    /// Spawns one worker child and hands it its order on stdin.
+    fn spawn_shard(&self, shard: &WorkOrder) -> Result<Child, ServiceError> {
+        let mut child = Command::new(&self.worker)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                ServiceError::Worker(format!("cannot spawn {}: {e}", self.worker.display()))
+            })?;
+        let payload =
+            serde_json::to_string(shard).map_err(|e| ServiceError::Protocol(e.to_string()));
+        let written = payload.and_then(|payload| {
+            let mut stdin = child.stdin.take().expect("stdin piped");
+            stdin
+                .write_all(payload.as_bytes())
+                .map_err(|e| ServiceError::Worker(format!("writing work order: {e}")))
+            // Dropping stdin here sends EOF: the order is complete.
+        });
+        if let Err(err) = written {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(err);
+        }
+        Ok(child)
+    }
+
+    /// Like [`Coordinator::run`] but finalizes the merged partial into
+    /// an [`Ensemble`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::run`] and `EnsemblePartial::finalize`.
+    pub fn run_ensemble(&self, order: &WorkOrder) -> Result<Ensemble, ServiceError> {
+        Ok(self.run(order)?.finalize()?)
+    }
+}
+
+/// Reaps a worker child's output: waits, checks the exit status, and
+/// decodes the partial.
+fn collect_partial(child: Child, shard: &WorkOrder) -> Result<EnsemblePartial, ServiceError> {
+    let output = child
+        .wait_with_output()
+        .map_err(|e| ServiceError::Worker(format!("waiting for worker: {e}")))?;
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        return Err(ServiceError::Worker(format!(
+            "shard at replicate {} exited with {}: {}",
+            shard.first_replicate,
+            output.status,
+            stderr.trim()
+        )));
+    }
+    let text = String::from_utf8(output.stdout)
+        .map_err(|e| ServiceError::Protocol(format!("worker output not UTF-8: {e}")))?;
+    serde_json::from_str(text.trim())
+        .map_err(|e| ServiceError::Protocol(format!("undecodable partial: {e}")))
+}
+
+/// Kills and waits every child, ignoring failures (cleanup path).
+fn reap(children: Vec<(Child, WorkOrder)>) {
+    for (mut child, _) in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order() -> WorkOrder {
+        WorkOrder::new(
+            ModelSource::Catalog("book_and".into()),
+            EngineSpec::Direct,
+            7,
+            10,
+            40.0,
+            4.0,
+        )
+        .with_amount("LacI", 15.0)
+        .with_amount("TetR", 15.0)
+    }
+
+    #[test]
+    fn work_orders_round_trip_through_json() {
+        for engine in [
+            EngineSpec::Direct,
+            EngineSpec::FirstReaction,
+            EngineSpec::NextReaction,
+            EngineSpec::TauLeap(0.5),
+            EngineSpec::Langevin(0.1),
+        ] {
+            let mut order = order();
+            order.engine = engine;
+            let json = serde_json::to_string(&order).unwrap();
+            let back: WorkOrder = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, order);
+        }
+    }
+
+    #[test]
+    fn sharding_covers_the_range_contiguously() {
+        let order = order();
+        for shards in [1u64, 2, 3, 7, 10, 25] {
+            let pieces = order.shard(shards);
+            assert!(pieces.len() as u64 <= shards.min(order.replicates));
+            let mut next = order.first_replicate;
+            let mut total = 0;
+            for piece in &pieces {
+                assert_eq!(piece.first_replicate, next, "gap at shard boundary");
+                assert!(piece.replicates > 0);
+                next += piece.replicates;
+                total += piece.replicates;
+            }
+            assert_eq!(total, order.replicates);
+        }
+    }
+
+    #[test]
+    fn execute_matches_run_partial_bitwise() {
+        let order = order();
+        let partial = order.execute().unwrap();
+        assert_eq!(partial.replicates(), 10);
+        let model = order.compile_model().unwrap();
+        let reference = glc_ssa::run_partial(
+            &model,
+            || Box::new(Direct::new()) as Box<dyn Engine>,
+            7..17,
+            40.0,
+            4.0,
+        )
+        .unwrap();
+        assert_eq!(partial, reference);
+    }
+
+    #[test]
+    fn bad_orders_are_rejected() {
+        let mut bad = order();
+        bad.replicates = 0;
+        assert!(matches!(bad.execute(), Err(ServiceError::Order(_))));
+        let mut bad = order();
+        bad.model = ModelSource::Catalog("nope".into());
+        assert!(matches!(bad.execute(), Err(ServiceError::Order(_))));
+        let mut bad = order();
+        bad.set_amounts.push(("Ghost".into(), 1.0));
+        assert!(matches!(bad.execute(), Err(ServiceError::Order(_))));
+        let mut bad = order();
+        bad.engine = EngineSpec::TauLeap(-1.0);
+        assert!(matches!(bad.execute(), Err(ServiceError::Order(_))));
+        let mut bad = order();
+        bad.model = ModelSource::Sbml("<not-sbml/>".into());
+        assert!(matches!(bad.execute(), Err(ServiceError::Order(_))));
+        assert!(Coordinator::new("glc-worker", 0).is_err());
+    }
+
+    #[test]
+    fn sbml_source_matches_catalog_source_bitwise() {
+        let entry = glc_gates::catalog::by_id("book_not").unwrap();
+        let document = glc_model::sbml::write(&entry.model);
+        let base = WorkOrder::new(
+            ModelSource::Catalog("book_not".into()),
+            EngineSpec::Direct,
+            3,
+            6,
+            30.0,
+            5.0,
+        )
+        .with_amount("LacI", 15.0);
+        let mut inline = base.clone();
+        inline.model = ModelSource::Sbml(document);
+        assert_eq!(base.execute().unwrap(), inline.execute().unwrap());
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end worker-protocol tests: real `glc-worker` child
+//! processes, driven by the [`Coordinator`], checked **bitwise**
+//! against the in-process `run_ensemble`.
+//!
+//! This is the acceptance gate of the sharding refactor: the same base
+//! seed must produce the same ensemble bits whether the replicates run
+//! on one thread, many threads, or across process boundaries — CI runs
+//! this on every push (`worker-protocol` job).
+
+use glc_service::{Coordinator, EngineSpec, ModelSource, WorkOrder};
+use glc_ssa::{run_ensemble, Direct, Engine, Ensemble, Langevin};
+
+/// Path of the freshly built worker binary under test.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glc-worker")
+}
+
+fn book_and_order(engine: EngineSpec, replicates: u64) -> WorkOrder {
+    WorkOrder::new(
+        ModelSource::Catalog("book_and".into()),
+        engine,
+        7,
+        replicates,
+        60.0,
+        6.0,
+    )
+    .with_amount("LacI", 15.0)
+    .with_amount("TetR", 15.0)
+}
+
+/// Trace-level bitwise equality (PartialEq on f64 can hide ±0 / NaN
+/// differences; compare the actual bits).
+fn assert_bitwise_equal(a: &Ensemble, b: &Ensemble) {
+    assert_eq!(a.replicates, b.replicates);
+    for (mine, theirs) in [(&a.mean, &b.mean), (&a.std_dev, &b.std_dev)] {
+        assert_eq!(mine.species(), theirs.species());
+        assert_eq!(mine.len(), theirs.len());
+        for (s, _) in mine.species().iter().enumerate() {
+            let x = mine.series_at(s);
+            let y = theirs.series_at(s);
+            for (k, (va, vb)) in x.iter().zip(y).enumerate() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "species {s} sample {k}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coordinator_over_two_workers_matches_in_process_bitwise() {
+    let order = book_and_order(EngineSpec::Direct, 12);
+    let sharded = Coordinator::new(worker_bin(), 2)
+        .unwrap()
+        .run_ensemble(&order)
+        .unwrap();
+    let model = order.compile_model().unwrap();
+    let in_process = run_ensemble(
+        &model,
+        || Box::new(Direct::new()) as Box<dyn Engine>,
+        12,
+        60.0,
+        6.0,
+        7,
+        4,
+    )
+    .unwrap();
+    assert_bitwise_equal(&sharded, &in_process);
+}
+
+#[test]
+fn worker_count_does_not_change_the_bits() {
+    // Langevin traces are continuous-valued: without exact partial
+    // accumulation, different shardings would differ in the last bits.
+    let order = book_and_order(EngineSpec::Langevin(0.2), 9);
+    let reference = Coordinator::new(worker_bin(), 1)
+        .unwrap()
+        .run_ensemble(&order)
+        .unwrap();
+    for workers in [2usize, 3, 5] {
+        let sharded = Coordinator::new(worker_bin(), workers)
+            .unwrap()
+            .run_ensemble(&order)
+            .unwrap();
+        assert_bitwise_equal(&sharded, &reference);
+    }
+    let model = order.compile_model().unwrap();
+    let in_process = run_ensemble(
+        &model,
+        || Box::new(Langevin::new(0.2).unwrap()) as Box<dyn Engine>,
+        9,
+        60.0,
+        6.0,
+        7,
+        3,
+    )
+    .unwrap();
+    assert_bitwise_equal(&reference, &in_process);
+}
+
+#[test]
+fn sbml_work_orders_travel_whole_models() {
+    // A fully self-contained order: the model rides inside the JSON,
+    // so the worker needs no shared catalog.
+    let entry = glc_gates::catalog::by_id("book_not").unwrap();
+    let mut model = entry.model.clone();
+    model.set_initial_amount("LacI", 15.0);
+    let order = WorkOrder::new(
+        ModelSource::Sbml(glc_model::sbml::write(&model)),
+        EngineSpec::Direct,
+        11,
+        6,
+        30.0,
+        5.0,
+    );
+    let sharded = Coordinator::new(worker_bin(), 3)
+        .unwrap()
+        .run_ensemble(&order)
+        .unwrap();
+    let compiled = order.compile_model().unwrap();
+    let in_process = run_ensemble(
+        &compiled,
+        || Box::new(Direct::new()) as Box<dyn Engine>,
+        6,
+        30.0,
+        5.0,
+        11,
+        2,
+    )
+    .unwrap();
+    assert_bitwise_equal(&sharded, &in_process);
+}
+
+#[test]
+fn worker_failures_surface_with_stderr() {
+    let mut order = book_and_order(EngineSpec::Direct, 4);
+    order.model = ModelSource::Catalog("no_such_circuit".into());
+    let err = Coordinator::new(worker_bin(), 2)
+        .unwrap()
+        .run(&order)
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.contains("no_such_circuit"),
+        "error should carry the worker's stderr: {text}"
+    );
+}
+
+#[test]
+fn missing_worker_binary_is_a_clean_error() {
+    let order = book_and_order(EngineSpec::Direct, 2);
+    let err = Coordinator::new("/nonexistent/glc-worker", 2)
+        .unwrap()
+        .run(&order)
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot spawn"), "{err}");
+}

@@ -1,34 +1,46 @@
-//! Ensemble simulation: many stochastic replicates, aggregated.
+//! Ensemble simulation: many stochastic replicates, aggregated through
+//! mergeable partials.
 //!
 //! A single SSA trajectory is one sample of a distribution; circuit
 //! noise analyses (and the mean-vs-ODE cross-checks) need the ensemble
-//! mean and spread. [`run_ensemble`] runs independent replicates on
-//! worker threads (std scoped threads, one RNG stream per replicate
-//! derived from a base seed) and aggregates them into mean /
-//! standard-deviation traces on the common sampling grid.
+//! mean and spread. The aggregation is built from one primitive:
 //!
-//! # Accumulation without locks
+//! * [`EnsemblePartial`] — per-species / per-sample sum and
+//!   sum-of-squares plus a replicate count, carried in exact
+//!   order-independent accumulators ([`crate::exact::ExactSum`]) and
+//!   stamped with a model/grid fingerprint. Partials from disjoint
+//!   replicate ranges [`EnsemblePartial::merge`] associatively and
+//!   [`EnsemblePartial::finalize`] into an [`Ensemble`];
+//! * [`run_partial`] — simulates one contiguous seed range on the
+//!   calling thread and returns its partial. This is the unit of work
+//!   the process-level `glc-worker` protocol ships across machines;
+//! * [`run_ensemble`] — a thin shard-then-merge over [`run_partial`]:
+//!   worker threads claim contiguous replicate chunks and the chunk
+//!   partials merge into the final aggregate. The in-process path and
+//!   the distributed coordinator therefore share one implementation.
 //!
-//! Workers claim replicate indices from an atomic counter and send
-//! finished traces over a channel; the calling thread merges them into
-//! the sum / sum-of-squares buffers **in replicate order** (out-of-order
-//! arrivals are parked until their turn). Two consequences:
+//! # Determinism contract
 //!
-//! * no `Mutex` anywhere on the per-replicate path, so ensemble
-//!   throughput scales with cores instead of serializing on a lock;
-//! * floating-point accumulation order is a function of the replicate
-//!   indices only, so the aggregate is bitwise independent of the
-//!   thread count — even for engines with non-integral traces
-//!   (Langevin), not just the exact integer-count engines.
+//! Replicate `i` is always seeded `base_seed + i`, so a replicate's
+//! trajectory depends only on its index. Accumulation is *exact* (see
+//! [`crate::exact`]), so the aggregate is bitwise independent of thread
+//! count, chunk size, process boundaries, and merge order — any
+//! contiguous sharding of `0..replicates` finalizes to exactly the
+//! bits of the unsharded run, even for engines with non-integral
+//! traces (Langevin). No ordered-merge machinery is needed for
+//! determinism; on failure, the error of the lowest observed failing
+//! replicate is preferred (deterministic whenever a single replicate
+//! fails).
 
 use crate::compiled::CompiledModel;
 use crate::engine::Engine;
 use crate::error::SimError;
+use crate::exact::ExactSum;
 use crate::simulate;
 use crate::trace::Trace;
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Aggregated result of an ensemble run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,32 +53,295 @@ pub struct Ensemble {
     pub replicates: usize,
 }
 
-/// Sum and sum-of-squares per species per sample, merged in strict
-/// replicate order.
-struct Accumulator {
-    sums: Vec<Vec<f64>>,
-    squares: Vec<Vec<f64>>,
-    merged: usize,
+/// Identity of the model and sampling grid a partial was built on.
+///
+/// Two partials may only merge when their fingerprints match exactly:
+/// a mismatch means the shards simulated different systems or sampled
+/// different grids, and merging them would silently produce garbage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialFingerprint {
+    /// Model identifier.
+    pub model_id: String,
+    /// Species names in slot order.
+    pub species: Vec<String>,
+    /// Sampling interval of every replicate trace.
+    pub sample_dt: f64,
+    /// Simulation horizon of every replicate.
+    pub t_end: f64,
+    /// Samples per series on the `[0, t_end]` grid.
+    pub samples: u64,
 }
 
-impl Accumulator {
-    fn new(species: usize, samples: usize) -> Self {
-        Accumulator {
-            sums: vec![vec![0.0; samples]; species],
-            squares: vec![vec![0.0; samples]; species],
-            merged: 0,
+/// A mergeable, serializable shard of an ensemble aggregate.
+///
+/// Holds the per-species / per-sample sum and sum-of-squares over some
+/// set of replicates, in exact accumulators, plus the replicate count
+/// and the [`PartialFingerprint`] of the model/grid. `merge` is
+/// associative and commutative **bitwise** (exact arithmetic), which is
+/// what lets the process-level worker protocol shard a replicate range
+/// arbitrarily and still reproduce the single-process aggregate bit
+/// for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsemblePartial {
+    fingerprint: PartialFingerprint,
+    /// `sums[s * samples + k]` = Σ over replicates of species `s` at
+    /// sample `k`.
+    sums: Vec<ExactSum>,
+    squares: Vec<ExactSum>,
+    replicates: u64,
+}
+
+impl EnsemblePartial {
+    /// An empty partial for `model` on the `[0, t_end]` grid sampled
+    /// every `sample_dt`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for a non-positive/non-finite grid
+    /// or a model with no species (there would be nothing to
+    /// aggregate).
+    pub fn new(model: &CompiledModel, t_end: f64, sample_dt: f64) -> Result<Self, SimError> {
+        if model.species_count() == 0 {
+            return Err(SimError::InvalidConfig(
+                "model has no species to aggregate".into(),
+            ));
         }
+        if !(sample_dt.is_finite() && sample_dt > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "sample_dt must be positive, got {sample_dt}"
+            )));
+        }
+        if !(t_end.is_finite() && t_end >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "t_end must be non-negative, got {t_end}"
+            )));
+        }
+        // Replicates the recorder's sampling loop exactly (same float
+        // additions), so the expected count matches what `simulate`
+        // produces for this grid.
+        let mut samples = 0u64;
+        let mut t = 0.0f64;
+        while t <= t_end + 1e-9 {
+            samples += 1;
+            t += sample_dt;
+        }
+        let slots = model.species_count() * samples as usize;
+        Ok(EnsemblePartial {
+            fingerprint: PartialFingerprint {
+                model_id: model.id().to_string(),
+                species: model.species_names().to_vec(),
+                sample_dt,
+                t_end,
+                samples,
+            },
+            sums: vec![ExactSum::new(); slots],
+            squares: vec![ExactSum::new(); slots],
+            replicates: 0,
+        })
     }
 
-    fn merge(&mut self, trace: &Trace) {
-        for (s, (sums, squares)) in self.sums.iter_mut().zip(&mut self.squares).enumerate() {
-            for (k, &v) in trace.series_at(s).iter().enumerate() {
-                sums[k] += v;
-                squares[k] += v * v;
+    /// The model/grid identity this partial aggregates over.
+    pub fn fingerprint(&self) -> &PartialFingerprint {
+        &self.fingerprint
+    }
+
+    /// Number of replicates folded in so far.
+    pub fn replicates(&self) -> u64 {
+        self.replicates
+    }
+
+    /// Folds one replicate trace in.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the trace's species list,
+    /// sampling interval or length disagree with the fingerprint —
+    /// aggregating a mismatched trace would silently corrupt every
+    /// moment, so the mismatch is rejected instead.
+    pub fn accumulate(&mut self, trace: &Trace) -> Result<(), SimError> {
+        if trace.species() != self.fingerprint.species.as_slice() {
+            return Err(SimError::InvalidConfig(format!(
+                "trace species {:?} do not match partial species {:?}",
+                trace.species(),
+                self.fingerprint.species
+            )));
+        }
+        if trace.sample_dt() != self.fingerprint.sample_dt {
+            return Err(SimError::InvalidConfig(format!(
+                "trace sample_dt {} does not match partial sample_dt {}",
+                trace.sample_dt(),
+                self.fingerprint.sample_dt
+            )));
+        }
+        if trace.len() as u64 != self.fingerprint.samples {
+            return Err(SimError::InvalidConfig(format!(
+                "trace has {} samples, partial grid expects {}",
+                trace.len(),
+                self.fingerprint.samples
+            )));
+        }
+        let samples = self.fingerprint.samples as usize;
+        for s in 0..self.fingerprint.species.len() {
+            let series = trace.series_at(s);
+            let base = s * samples;
+            for (k, &v) in series.iter().enumerate() {
+                self.sums[base + k].add(v);
+                self.squares[base + k].add(v * v);
             }
         }
-        self.merged += 1;
+        self.replicates += 1;
+        Ok(())
     }
+
+    /// Merges `other` in. Associative and commutative bitwise; see the
+    /// type docs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] on a fingerprint mismatch.
+    pub fn merge(&mut self, other: &EnsemblePartial) -> Result<(), SimError> {
+        if self.fingerprint != other.fingerprint {
+            return Err(SimError::InvalidConfig(format!(
+                "partial fingerprint mismatch: {:?} vs {:?}",
+                self.fingerprint, other.fingerprint
+            )));
+        }
+        for (mine, theirs) in self.sums.iter_mut().zip(&other.sums) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.squares.iter_mut().zip(&other.squares) {
+            mine.merge(theirs);
+        }
+        self.replicates += other.replicates;
+        Ok(())
+    }
+
+    /// Rounds the exact moments into mean / standard-deviation traces.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an empty partial (no replicates)
+    /// or a partial poisoned by non-finite trace values.
+    pub fn finalize(&self) -> Result<Ensemble, SimError> {
+        if self.replicates == 0 {
+            return Err(SimError::InvalidConfig(
+                "cannot finalize a partial with zero replicates".into(),
+            ));
+        }
+        let species = self.fingerprint.species.len();
+        let samples = self.fingerprint.samples as usize;
+        let n = self.replicates as f64;
+        let mut mean = Trace::new(
+            self.fingerprint.species.clone(),
+            self.fingerprint.sample_dt,
+            0.0,
+        );
+        let mut std_dev = Trace::new(
+            self.fingerprint.species.clone(),
+            self.fingerprint.sample_dt,
+            0.0,
+        );
+        let mut mean_row = vec![0.0; species];
+        let mut std_row = vec![0.0; species];
+        for k in 0..samples {
+            for s in 0..species {
+                let sum = self.sums[s * samples + k].value();
+                let square = self.squares[s * samples + k].value();
+                if !(sum.is_finite() && square.is_finite()) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "partial poisoned by non-finite values (species `{}`, sample {k})",
+                        self.fingerprint.species[s]
+                    )));
+                }
+                let m = sum / n;
+                mean_row[s] = m;
+                std_row[s] = (square / n - m * m).max(0.0).sqrt();
+            }
+            mean.push_row(&mean_row);
+            std_dev.push_row(&std_row);
+        }
+        Ok(Ensemble {
+            mean,
+            std_dev,
+            replicates: self.replicates as usize,
+        })
+    }
+}
+
+/// Runs the contiguous seed range `seeds` of replicates sequentially on
+/// the calling thread and returns their partial aggregate.
+///
+/// This is the shard primitive shared by the in-process
+/// [`run_ensemble`] and the process-level `glc-worker` protocol:
+/// replicate seeds are absolute (`base_seed + replicate_index`), so a
+/// worker handed `base_seed + first .. base_seed + first + count` and
+/// the in-process path produce interchangeable partials.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) [`SimError`] a replicate
+/// produces, and [`SimError::InvalidConfig`] for an invalid grid/model
+/// (see [`EnsemblePartial::new`]).
+pub fn run_partial<F>(
+    model: &CompiledModel,
+    make_engine: F,
+    seeds: Range<u64>,
+    t_end: f64,
+    sample_dt: f64,
+) -> Result<EnsemblePartial, SimError>
+where
+    F: Fn() -> Box<dyn Engine>,
+{
+    let count = seeds.end.saturating_sub(seeds.start);
+    run_partial_from(model, make_engine, seeds.start, count, t_end, sample_dt)
+}
+
+/// Like [`run_partial`], but with the shard given as a first seed and a
+/// replicate count. Seeds advance with wrapping arithmetic, so shards
+/// whose range crosses the top of the `u64` seed space still simulate
+/// every replicate (a `Range<u64>` would be empty there) — the
+/// convention `run_ensemble` and the worker protocol both follow for
+/// `base_seed + i`.
+///
+/// # Errors
+///
+/// See [`run_partial`].
+pub fn run_partial_from<F>(
+    model: &CompiledModel,
+    make_engine: F,
+    first_seed: u64,
+    count: u64,
+    t_end: f64,
+    sample_dt: f64,
+) -> Result<EnsemblePartial, SimError>
+where
+    F: Fn() -> Box<dyn Engine>,
+{
+    let mut partial = EnsemblePartial::new(model, t_end, sample_dt)?;
+    let mut engine = make_engine();
+    accumulate_range(model, engine.as_mut(), &mut partial, first_seed, count)
+        .map_err(|(_, err)| err)?;
+    Ok(partial)
+}
+
+/// Simulates `count` replicates seeded `first_seed`, `first_seed + 1`,
+/// … (wrapping) into `partial`, reporting the zero-based offset of a
+/// failing replicate alongside its error so callers can order failures
+/// across shards.
+fn accumulate_range(
+    model: &CompiledModel,
+    engine: &mut dyn Engine,
+    partial: &mut EnsemblePartial,
+    first_seed: u64,
+    count: u64,
+) -> Result<(), (u64, SimError)> {
+    let (t_end, sample_dt) = (partial.fingerprint.t_end, partial.fingerprint.sample_dt);
+    for offset in 0..count {
+        let seed = first_seed.wrapping_add(offset);
+        let trace = simulate(model, engine, t_end, sample_dt, seed).map_err(|e| (offset, e))?;
+        partial.accumulate(&trace).map_err(|e| (offset, e))?;
+    }
+    Ok(())
 }
 
 /// Runs `replicates` independent simulations of `model` until `t_end`
@@ -76,15 +351,21 @@ impl Accumulator {
 /// `make_engine` is called once per worker to create that worker's
 /// engine (engines are stateful scratch, not shareable).
 ///
-/// The aggregate is independent of `threads`: replicate seeds depend
-/// only on the replicate index, and accumulation happens in replicate
-/// order on the calling thread.
+/// Implemented as a thin shard-then-merge over [`run_partial`]'s
+/// accumulation: workers claim contiguous replicate chunks from an
+/// atomic counter and fold them into per-worker [`EnsemblePartial`]s,
+/// which merge into the final aggregate. Exact accumulation makes the
+/// result bitwise independent of `threads` and of the chunking — the
+/// same property the distributed coordinator relies on.
 ///
 /// # Errors
 ///
-/// Returns the lowest-replicate [`SimError`] any replicate produced,
-/// and [`SimError::InvalidConfig`] for zero `replicates`/`threads` or a
-/// model with no species (there would be nothing to aggregate).
+/// Returns the [`SimError`] of the lowest failing replicate index
+/// among the failures observed before the early-abort took effect
+/// (with a single failing replicate this is deterministic; with
+/// several failing concurrently, which error wins can depend on
+/// scheduling), and [`SimError::InvalidConfig`] for zero
+/// `replicates`/`threads` or a model with no species.
 pub fn run_ensemble<F>(
     model: &CompiledModel,
     make_engine: F,
@@ -103,126 +384,94 @@ where
     if threads == 0 {
         return Err(SimError::InvalidConfig("threads must be >= 1".into()));
     }
-    if model.species_count() == 0 {
-        return Err(SimError::InvalidConfig(
-            "model has no species to aggregate".into(),
-        ));
-    }
+    // Validate the grid/model up front (and on the error path below).
+    let template = EnsemblePartial::new(model, t_end, sample_dt)?;
 
     let worker_count = threads.min(replicates);
-    // In-flight window: a worker may not start a replicate more than
-    // this far ahead of the merge frontier, which bounds the merger's
-    // `pending` buffer at `window` traces even when one early replicate
-    // happens to simulate much slower than its successors.
-    let window = worker_count * 4;
+    // Contiguous chunks, claimed dynamically for load balance. The
+    // aggregate is chunking-independent (exact accumulation), so the
+    // chunk size is purely a scheduling knob: a few chunks per worker
+    // amortizes engine setup while still smoothing uneven replicates.
+    let chunk_size = replicates.div_ceil(worker_count * 4).max(1);
+    let chunk_count = replicates.div_ceil(chunk_size);
     let next = AtomicUsize::new(0);
-    let merged_frontier = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<(usize, Result<Trace, SimError>)>();
     let make_engine = &make_engine;
+    let template = &template;
 
-    let (accumulator, first_error) = std::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            let tx = tx.clone();
-            let next = &next;
-            let merged_frontier = &merged_frontier;
-            let abort = &abort;
-            scope.spawn(move || {
-                let mut engine = make_engine();
-                loop {
-                    if abort.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let replicate = next.fetch_add(1, Ordering::Relaxed);
-                    if replicate >= replicates {
-                        return;
-                    }
-                    // Throttle: wait until the merge frontier is within
-                    // `window` of this replicate. The frontier replicate
-                    // itself never waits (replicate == frontier < frontier
-                    // + window), so progress is always possible.
-                    while replicate >= merged_frontier.load(Ordering::Acquire) + window {
+    type WorkerOutcome = (Option<EnsemblePartial>, Option<(usize, SimError)>);
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let next = &next;
+                let abort = &abort;
+                scope.spawn(move || -> WorkerOutcome {
+                    let mut engine = make_engine();
+                    let mut local: Option<EnsemblePartial> = None;
+                    let mut failure: Option<(usize, SimError)> = None;
+                    loop {
                         if abort.load(Ordering::Relaxed) {
-                            return;
+                            break;
                         }
-                        std::thread::yield_now();
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunk_count {
+                            break;
+                        }
+                        let first = chunk * chunk_size;
+                        let count = chunk_size.min(replicates - first);
+                        let partial = local.get_or_insert_with(|| template.clone());
+                        // Seeds advance with wrapping arithmetic so an
+                        // ensemble whose seeds straddle u64::MAX still
+                        // runs every replicate.
+                        if let Err((offset, err)) = accumulate_range(
+                            model,
+                            engine.as_mut(),
+                            partial,
+                            base_seed.wrapping_add(first as u64),
+                            count as u64,
+                        ) {
+                            // Chunks are claimed in ascending order per
+                            // worker, so the first failure is this
+                            // worker's lowest replicate.
+                            failure = Some((first + offset as usize, err));
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
-                    let seed = base_seed.wrapping_add(replicate as u64);
-                    let outcome = simulate(model, engine.as_mut(), t_end, sample_dt, seed);
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    if tx.send((replicate, outcome)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        // Close the original sender so the receive loop ends when the
-        // last worker exits.
-        drop(tx);
-
-        // Ordered merge on this thread: replicate `merged` is always the
-        // next one folded in, so summation order never depends on thread
-        // scheduling. Out-of-order arrivals wait in `pending`, which the
-        // claim throttle above keeps at no more than `window` entries.
-        let mut accumulator: Option<Accumulator> = None;
-        let mut pending: BTreeMap<usize, Trace> = BTreeMap::new();
-        let mut first_error: Option<(usize, SimError)> = None;
-        for (replicate, outcome) in rx {
-            match outcome {
-                Ok(trace) => {
-                    pending.insert(replicate, trace);
-                    let accumulator = accumulator.get_or_insert_with(|| {
-                        let samples = pending.values().next().expect("just inserted").len();
-                        Accumulator::new(model.species_count(), samples)
-                    });
-                    while let Some(trace) = pending.remove(&accumulator.merged) {
-                        accumulator.merge(&trace);
-                        merged_frontier.store(accumulator.merged, Ordering::Release);
-                    }
-                }
-                Err(err) => {
-                    if first_error
-                        .as_ref()
-                        .is_none_or(|(prev, _)| replicate < *prev)
-                    {
-                        first_error = Some((replicate, err));
-                    }
-                }
-            }
-        }
-        (accumulator, first_error)
-    });
-
-    if let Some((_, err)) = first_error {
-        return Err(err);
-    }
-    let accumulator = accumulator.expect("replicates >= 1 and no error");
-    debug_assert_eq!(accumulator.merged, replicates);
-
-    let names = model.species_names().to_vec();
-    let mut mean = Trace::new(names.clone(), sample_dt, 0.0);
-    let mut std_dev = Trace::new(names, sample_dt, 0.0);
-    let samples = accumulator.sums[0].len();
-    let species = accumulator.sums.len();
-    let n = accumulator.merged as f64;
-    for k in 0..samples {
-        let mean_row: Vec<f64> = (0..species).map(|s| accumulator.sums[s][k] / n).collect();
-        let std_row: Vec<f64> = (0..species)
-            .map(|s| {
-                let m = accumulator.sums[s][k] / n;
-                (accumulator.squares[s][k] / n - m * m).max(0.0).sqrt()
+                    (local, failure)
+                })
             })
             .collect();
-        mean.push_row(&mean_row);
-        std_dev.push_row(&std_row);
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("ensemble worker panicked"))
+            .collect()
+    });
+
+    // Deterministic preference, best effort: the lowest failing
+    // replicate among the failures observed before the abort landed.
+    // (A worker that aborts before reaching its own failing chunk
+    // records nothing, so with multiple concurrent failures the winner
+    // can still depend on scheduling.)
+    if let Some((_, err)) = outcomes
+        .iter()
+        .filter_map(|(_, failure)| failure.as_ref())
+        .min_by_key(|(replicate, _)| *replicate)
+    {
+        return Err(err.clone());
     }
-    Ok(Ensemble {
-        mean,
-        std_dev,
-        replicates: accumulator.merged,
-    })
+
+    let mut merged: Option<EnsemblePartial> = None;
+    for (partial, _) in outcomes {
+        let Some(partial) = partial else { continue };
+        match &mut merged {
+            None => merged = Some(partial),
+            Some(total) => total.merge(&partial)?,
+        }
+    }
+    let merged = merged.expect("replicates >= 1 and no error");
+    debug_assert_eq!(merged.replicates(), replicates as u64);
+    merged.finalize()
 }
 
 #[cfg(test)]
@@ -299,8 +548,8 @@ mod tests {
     #[test]
     fn deterministic_for_non_integral_traces_too() {
         // Langevin traces are continuous-valued, so this exercises the
-        // ordered merge: naive merge-on-arrival would make the result
-        // depend on thread scheduling through fp non-associativity.
+        // exact accumulators: plain f64 merge-on-arrival would make the
+        // result depend on grouping through fp non-associativity.
         let model = birth_death();
         let run = |threads| {
             run_ensemble(
@@ -321,10 +570,154 @@ mod tests {
     }
 
     #[test]
+    fn run_partial_shards_reproduce_run_ensemble_bitwise() {
+        let model = birth_death();
+        let reference = run_ensemble(
+            &model,
+            || Box::new(Langevin::new(0.05).unwrap()),
+            9,
+            10.0,
+            1.0,
+            5,
+            1,
+        )
+        .unwrap();
+        // Shard 0..9 as [0,4) + [4,9), merged in either order.
+        let engine = || Box::new(Langevin::new(0.05).unwrap()) as Box<dyn Engine>;
+        let a = run_partial(&model, engine, 5..9, 10.0, 1.0).unwrap();
+        let b = run_partial(&model, engine, 9..14, 10.0, 1.0).unwrap();
+        let mut forward = a.clone();
+        forward.merge(&b).unwrap();
+        let mut backward = b.clone();
+        backward.merge(&a).unwrap();
+        for merged in [forward, backward] {
+            let ensemble = merged.finalize().unwrap();
+            assert_eq!(ensemble.replicates, reference.replicates);
+            assert_eq!(ensemble.mean, reference.mean);
+            assert_eq!(ensemble.std_dev, reference.std_dev);
+        }
+    }
+
+    #[test]
+    fn seed_space_wraparound_runs_every_replicate() {
+        // A base seed near u64::MAX makes `base_seed + i` wrap; seeds
+        // advance with wrapping arithmetic, so no replicate may be
+        // silently dropped (a `Range<u64>` across the wrap is empty).
+        let model = birth_death();
+        let ensemble = run_ensemble(
+            &model,
+            || Box::new(Direct::new()),
+            4,
+            2.0,
+            1.0,
+            u64::MAX - 1,
+            2,
+        )
+        .unwrap();
+        assert_eq!(ensemble.replicates, 4);
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let partial = run_partial_from(&model, engine, u64::MAX - 1, 4, 2.0, 1.0).unwrap();
+        assert_eq!(partial.replicates(), 4);
+        let reference = partial.finalize().unwrap();
+        assert_eq!(ensemble.mean, reference.mean);
+        assert_eq!(ensemble.std_dev, reference.std_dev);
+    }
+
+    #[test]
+    fn partial_serde_round_trip_is_bitwise() {
+        let model = birth_death();
+        let engine = || Box::new(Langevin::new(0.1).unwrap()) as Box<dyn Engine>;
+        let partial = run_partial(&model, engine, 3..7, 8.0, 2.0).unwrap();
+        let json = serde_json::to_string(&partial).unwrap();
+        let back: EnsemblePartial = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, partial);
+        let a = partial.finalize().unwrap();
+        let b = back.finalize().unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_dev, b.std_dev);
+    }
+
+    #[test]
+    fn mismatched_traces_are_rejected_not_mismerged() {
+        // Regression for the latent pre-refactor hazard: the merge loop
+        // sized its buffers from the first arriving trace and silently
+        // assumed every later trace matched. Injected mismatches (as a
+        // buggy or misconfigured engine/worker would produce) must now
+        // be InvalidConfig errors.
+        let model = birth_death();
+        let mut partial = EnsemblePartial::new(&model, 4.0, 1.0).unwrap();
+        let good = simulate(&model, &mut Direct::new(), 4.0, 1.0, 1).unwrap();
+        partial.accumulate(&good).unwrap();
+
+        // Wrong length: a trace cut short mid-run.
+        let mut short = Trace::new(vec!["X".into()], 1.0, 0.0);
+        short.push_row(&[1.0]);
+        short.push_row(&[2.0]);
+        let err = partial.accumulate(&short).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+
+        // Wrong species set.
+        let mut alien = Trace::new(vec!["Y".into()], 1.0, 0.0);
+        for _ in 0..5 {
+            alien.push_row(&[0.0]);
+        }
+        let err = partial.accumulate(&alien).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+
+        // Wrong sampling interval.
+        let mut coarse = Trace::new(vec!["X".into()], 2.0, 0.0);
+        for _ in 0..5 {
+            coarse.push_row(&[0.0]);
+        }
+        let err = partial.accumulate(&coarse).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+
+        // The rejected traces must not have corrupted the aggregate.
+        assert_eq!(partial.replicates(), 1);
+        let mut clean = EnsemblePartial::new(&model, 4.0, 1.0).unwrap();
+        clean.accumulate(&good).unwrap();
+        assert_eq!(partial, clean);
+    }
+
+    #[test]
+    fn mismatched_partials_refuse_to_merge() {
+        let model = birth_death();
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let mut a = run_partial(&model, engine, 0..2, 4.0, 1.0).unwrap();
+        // Different grid.
+        let b = run_partial(&model, engine, 2..4, 4.0, 2.0).unwrap();
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        // Different model.
+        let other = ModelBuilder::new("other")
+            .species("X", 0.0)
+            .reaction("prod", &[], &["X"], "1.0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let other = CompiledModel::new(&other).unwrap();
+        let c = run_partial(&other, engine, 0..2, 4.0, 1.0).unwrap();
+        let err = a.merge(&c).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn empty_partial_cannot_finalize() {
+        let model = birth_death();
+        let partial = EnsemblePartial::new(&model, 4.0, 1.0).unwrap();
+        assert!(matches!(
+            partial.finalize(),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn config_validation() {
         let model = birth_death();
         assert!(run_ensemble(&model, || Box::new(Direct::new()), 0, 1.0, 1.0, 0, 1).is_err());
         assert!(run_ensemble(&model, || Box::new(Direct::new()), 1, 1.0, 1.0, 0, 0).is_err());
+        assert!(EnsemblePartial::new(&model, 1.0, 0.0).is_err());
+        assert!(EnsemblePartial::new(&model, -1.0, 1.0).is_err());
     }
 
     #[test]
@@ -347,6 +740,9 @@ mod tests {
         let compiled = CompiledModel::new(&model).unwrap();
         let err =
             run_ensemble(&compiled, || Box::new(Direct::new()), 4, 1.0, 1.0, 0, 2).unwrap_err();
+        assert!(matches!(err, SimError::NonFinitePropensity { .. }));
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let err = run_partial(&compiled, engine, 0..4, 1.0, 1.0).unwrap_err();
         assert!(matches!(err, SimError::NonFinitePropensity { .. }));
     }
 }

@@ -1,0 +1,471 @@
+//! Exact, order-independent `f64` accumulation.
+//!
+//! Floating-point addition is not associative, so a sum accumulated in
+//! shard A then merged with shard B's sum generally differs — in the
+//! last bits — from the same values summed sequentially. That would
+//! make a sharded ensemble depend on how the replicate range was cut,
+//! breaking the bitwise-determinism contract the distributed worker
+//! protocol needs: *any* contiguous sharding of the replicate range
+//! must finalize to exactly the same aggregate.
+//!
+//! [`ExactSum`] removes the problem at the root: it keeps the running
+//! sum **exactly**, as a fixed-point integer spanning the entire finite
+//! `f64` range (a Kulisch-style superaccumulator). Adding a value is
+//! exact, so accumulation is genuinely associative *and* commutative —
+//! merging two accumulators digit-wise is the same mathematical sum no
+//! matter how the inputs were grouped. [`ExactSum::value`] rounds the
+//! exact sum to the nearest `f64` (ties to even), which is a pure
+//! function of the represented value; two accumulators that saw the
+//! same multiset of inputs therefore produce bit-identical results.
+//!
+//! # Representation
+//!
+//! The sum is `Σ digits[i] · 2^(32·i - 1074)`: base-2^32 digits
+//! starting at the least significant bit of the smallest subnormal
+//! (2^-1074) and covering past the largest finite `f64` (< 2^1024).
+//! Digits are held in `i64` **carry-save** form — additions just add
+//! into at most three digits without propagating carries — and a
+//! pending-addition counter triggers normalization long before the
+//! 2^63 headroom could overflow. Non-finite inputs poison the
+//! accumulator (sticky), and `value()` then reports NaN.
+//!
+//! The flat digit array trades memory for hot-path simplicity: one
+//! accumulator is ~550 bytes where a plain `f64` sum is 8, so a
+//! partial over `species × samples` cells costs ~70x the old buffers
+//! (a few MB for typical ensemble grids, per worker). If very fine
+//! grids ever matter, a sparse digit window (`lo` offset + short
+//! vector, as the serialized form already uses) is the known
+//! follow-up.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Number of base-2^32 digits: 66 cover bit positions 0..=2111
+/// (the finite range needs 0..=2097), plus one top digit that only
+/// ever holds carries / the sign of a negative total.
+const DIGITS: usize = 67;
+
+/// Mask selecting one base-2^32 digit.
+const DIGIT_MASK: i64 = 0xFFFF_FFFF;
+
+/// Normalize after this many carry-save additions. Each addition
+/// contributes less than 2^32 per digit, so digit magnitudes stay
+/// below 2^(32+29) = 2^61 — comfortably inside `i64`.
+const CARRY_LIMIT: u32 = 1 << 29;
+
+/// An exact running sum of `f64` values (fixed-point superaccumulator).
+///
+/// `add` and `merge` are exact, hence associative and commutative;
+/// [`ExactSum::value`] is the correctly-rounded (nearest, ties to even)
+/// `f64` of the exact total. See the module docs for why ensemble
+/// partials are built on this.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    digits: [i64; DIGITS],
+    /// Carry-save additions since the last normalization.
+    pending: u32,
+    /// Sticky poison flag: a non-finite input was added.
+    non_finite: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum {
+            digits: [0; DIGITS],
+            pending: 0,
+            non_finite: false,
+        }
+    }
+}
+
+/// `2^e` as an exact `f64`, for `e` in `-1074..=1023`.
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1074..=1023).contains(&e));
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        // Subnormal powers of two: a single mantissa bit.
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+impl ExactSum {
+    /// A fresh zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` exactly. Non-finite values poison the accumulator:
+    /// every later [`ExactSum::value`] call reports NaN.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite = true;
+            return;
+        }
+        if v == 0.0 {
+            return; // ±0 contributes nothing.
+        }
+        if self.pending >= CARRY_LIMIT {
+            self.normalize();
+        }
+        let bits = v.to_bits();
+        let exponent_field = ((bits >> 52) & 0x7FF) as i32;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // v = mantissa · 2^(shift - 1074), with the implicit leading
+        // bit restored for normal numbers.
+        let (mantissa, shift) = if exponent_field == 0 {
+            (fraction, 0)
+        } else {
+            (fraction | (1 << 52), exponent_field - 1)
+        };
+        let digit = (shift / 32) as usize;
+        let offset = (shift % 32) as u32;
+        // The 53-bit mantissa shifted by < 32 spans at most 85 bits:
+        // three base-2^32 digits.
+        let spread = u128::from(mantissa) << offset;
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1i64 };
+        self.digits[digit] += sign * ((spread as i64) & DIGIT_MASK);
+        self.digits[digit + 1] += sign * (((spread >> 32) as i64) & DIGIT_MASK);
+        self.digits[digit + 2] += sign * ((spread >> 64) as i64);
+        self.pending += 1;
+    }
+
+    /// Folds `other` in, digit-wise. Exact, so the result is the same
+    /// whatever grouping or order produced the two sides.
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.non_finite |= other.non_finite;
+        if self.pending >= CARRY_LIMIT - other.pending.min(CARRY_LIMIT) {
+            self.normalize();
+        }
+        for (mine, theirs) in self.digits.iter_mut().zip(&other.digits) {
+            *mine += *theirs;
+        }
+        self.pending = self.pending.saturating_add(other.pending.max(1));
+    }
+
+    /// Propagates carries so every digit below the top is in
+    /// `[0, 2^32)`; the top digit keeps the sign. The represented value
+    /// is unchanged and the resulting digit vector is canonical for it.
+    fn normalize(&mut self) {
+        let mut carry = 0i64;
+        for digit in &mut self.digits[..DIGITS - 1] {
+            let total = *digit + carry;
+            carry = total >> 32; // Arithmetic shift: floor division.
+            *digit = total & DIGIT_MASK;
+        }
+        self.digits[DIGITS - 1] += carry;
+        self.pending = 1;
+    }
+
+    /// The exact total rounded to the nearest `f64` (ties to even);
+    /// NaN if any non-finite value was ever added.
+    pub fn value(&self) -> f64 {
+        if self.non_finite {
+            return f64::NAN;
+        }
+        let mut normalized = self.clone();
+        normalized.normalize();
+        let mut digits = normalized.digits;
+        // Sign: after normalization only the top digit can be negative.
+        let negative = digits[DIGITS - 1] < 0;
+        if negative {
+            // Two's-complement negate to get the magnitude digits.
+            let mut borrow = 0i64;
+            for digit in &mut digits[..DIGITS - 1] {
+                let total = -*digit + borrow;
+                borrow = total >> 32;
+                *digit = total & DIGIT_MASK;
+            }
+            digits[DIGITS - 1] = -digits[DIGITS - 1] + borrow;
+        }
+        // Most significant set bit over the magnitude.
+        let Some(top) = (0..DIGITS).rev().find(|&i| digits[i] != 0) else {
+            return 0.0;
+        };
+        let msb = 63 - digits[top].leading_zeros() as i64;
+        let high_bit = top as i64 * 32 + msb; // Position above 2^-1074.
+                                              // Round at 53 significant bits, or at bit 0 (2^-1074) when the
+                                              // value is subnormal — bit 0 *is* the subnormal rounding step.
+        let round_pos = (high_bit - 52).max(0);
+        let mut mantissa = 0u64;
+        for bit in (round_pos..=high_bit).rev() {
+            let digit = (bit / 32) as usize;
+            let offset = (bit % 32) as u32;
+            mantissa = (mantissa << 1) | ((digits[digit] >> offset) as u64 & 1);
+        }
+        // Guard bit and sticky (any set bit below the guard).
+        let guard = round_pos > 0 && {
+            let bit = round_pos - 1;
+            (digits[(bit / 32) as usize] >> (bit % 32)) & 1 == 1
+        };
+        let sticky = round_pos > 1
+            && (0..round_pos - 1).any(|bit| (digits[(bit / 32) as usize] >> (bit % 32)) & 1 == 1);
+        if guard && (sticky || mantissa & 1 == 1) {
+            mantissa += 1;
+        }
+        // `mantissa` ≤ 2^53 is exact in f64, and the power-of-two scale
+        // makes the product exact (or a correctly-rounded infinity for
+        // totals beyond f64::MAX), so no double rounding occurs.
+        let scale_exp = round_pos as i32 - 1074;
+        let magnitude = if scale_exp > 1023 {
+            // Total exceeds 2^1024 territory: overflows to infinity.
+            f64::INFINITY
+        } else {
+            mantissa as f64 * pow2(scale_exp)
+        };
+        if negative {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Whether any non-finite value poisoned the accumulator.
+    pub fn is_poisoned(&self) -> bool {
+        self.non_finite
+    }
+}
+
+impl PartialEq for ExactSum {
+    fn eq(&self, other: &Self) -> bool {
+        if self.non_finite || other.non_finite {
+            return self.non_finite == other.non_finite;
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.normalize();
+        b.normalize();
+        a.digits == b.digits
+    }
+}
+
+// Serialized sparsely as `{"lo": first-digit-index, "digits": [...]}`
+// over the canonical normalized form (each listed digit fits in 2^32,
+// well inside the JSON layer's 2^53 exact-integer range); a poisoned
+// accumulator serializes as `{"non_finite": true}`.
+impl Serialize for ExactSum {
+    fn to_value(&self) -> Value {
+        if self.non_finite {
+            return Value::Object(vec![("non_finite".to_string(), Value::Bool(true))]);
+        }
+        let mut normalized = self.clone();
+        normalized.normalize();
+        let digits = &normalized.digits;
+        let lo = digits.iter().position(|&d| d != 0).unwrap_or(0);
+        let hi = digits.iter().rposition(|&d| d != 0).map_or(lo, |h| h + 1);
+        Value::Object(vec![
+            ("lo".to_string(), Value::Num(lo as f64)),
+            (
+                "digits".to_string(),
+                Value::Array(
+                    digits[lo..hi.max(lo)]
+                        .iter()
+                        .map(|&d| Value::Num(d as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ExactSum {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(Value::Bool(true)) = value.get("non_finite") {
+            let mut sum = ExactSum::new();
+            sum.non_finite = true;
+            return Ok(sum);
+        }
+        let lo = match value.get("lo") {
+            Some(Value::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => *n as usize,
+            other => return Err(DeError(format!("ExactSum: bad `lo` field: {other:?}"))),
+        };
+        let digits = match value.get("digits") {
+            Some(Value::Array(items)) => items,
+            other => return Err(DeError(format!("ExactSum: bad `digits` field: {other:?}"))),
+        };
+        if lo + digits.len() > DIGITS {
+            return Err(DeError(format!(
+                "ExactSum: {} digits starting at {lo} exceed capacity {DIGITS}",
+                digits.len()
+            )));
+        }
+        let mut sum = ExactSum::new();
+        for (i, item) in digits.iter().enumerate() {
+            match item {
+                Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9.0e15 => {
+                    sum.digits[lo + i] = *n as i64;
+                }
+                other => return Err(DeError::expected("ExactSum digit", other)),
+            }
+        }
+        sum.pending = 1;
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sum_of(values: &[f64]) -> ExactSum {
+        let mut acc = ExactSum::new();
+        for &v in values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_sequential_sum_when_that_sum_is_exact() {
+        let acc = sum_of(&[1.0, 2.0, 3.5, -0.25, 1e6]);
+        assert_eq!(acc.value(), 1.0 + 2.0 + 3.5 - 0.25 + 1e6);
+        assert_eq!(sum_of(&[]).value(), 0.0);
+        assert_eq!(sum_of(&[0.0, -0.0]).value(), 0.0);
+    }
+
+    #[test]
+    fn repairs_catastrophic_cancellation() {
+        // Sequential f64 summation loses the 1.0 entirely.
+        let values = [1e300, 1.0, -1e300];
+        assert_eq!(values.iter().sum::<f64>(), 0.0);
+        assert_eq!(sum_of(&values).value(), 1.0);
+        // And the classic small-residual case.
+        let acc = sum_of(&[1e16, 2.0, -1e16]);
+        assert_eq!(acc.value(), 2.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let values: Vec<f64> = (0..200)
+            .map(|_| {
+                let magnitude: f64 = rng.gen_range(-300.0..300.0);
+                let mantissa: f64 = rng.gen_range(-1.0..1.0);
+                mantissa * 10f64.powf(magnitude)
+            })
+            .collect();
+        let whole = sum_of(&values).value();
+        for split in [1usize, 7, 50, 199] {
+            let (left, right) = values.split_at(split);
+            let mut a = sum_of(left);
+            let b = sum_of(right);
+            a.merge(&b);
+            assert_eq!(
+                a.value().to_bits(),
+                whole.to_bits(),
+                "split at {split}: {} vs {whole}",
+                a.value()
+            );
+            // Commuted merge.
+            let mut c = sum_of(right);
+            c.merge(&sum_of(left));
+            assert_eq!(c.value().to_bits(), whole.to_bits(), "commuted {split}");
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn value_is_correctly_rounded() {
+        // 1 + 2^-53 + 2^-53 must round to the next representable
+        // number above 1 (exact total is representable's midpoint + …
+        // actually 1 + 2^-52 exactly).
+        let acc = sum_of(&[1.0, f64::powi(2.0, -53), f64::powi(2.0, -53)]);
+        assert_eq!(acc.value(), 1.0 + f64::powi(2.0, -52));
+        // A lone half-ulp ties to even: stays at 1.0.
+        let tie = sum_of(&[1.0, f64::powi(2.0, -53)]);
+        assert_eq!(tie.value(), 1.0);
+        // …but any sticky bit below breaks the tie upward.
+        let broken = sum_of(&[1.0, f64::powi(2.0, -53), f64::powi(2.0, -80)]);
+        assert_eq!(broken.value(), 1.0 + f64::powi(2.0, -52));
+    }
+
+    #[test]
+    fn extreme_magnitudes_round_trip() {
+        for v in [
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            5e-324,                  // smallest subnormal
+            f64::MAX,
+            -f64::MAX,
+            1.0,
+            -1.0,
+            0.1,
+        ] {
+            assert_eq!(sum_of(&[v]).value().to_bits(), v.to_bits(), "{v:e}");
+        }
+        // Overflowing total saturates to infinity, as rounding demands.
+        assert_eq!(sum_of(&[f64::MAX, f64::MAX]).value(), f64::INFINITY);
+        assert_eq!(sum_of(&[-f64::MAX, -f64::MAX]).value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormal_totals_avoid_double_rounding() {
+        // Two tiny values whose exact sum is subnormal.
+        let a = 3.0 * 5e-324;
+        let b = 2.0 * 5e-324;
+        assert_eq!(sum_of(&[a, b]).value(), 5.0 * 5e-324);
+        // Cancellation down into the subnormal range.
+        let acc = sum_of(&[f64::MIN_POSITIVE, -f64::MIN_POSITIVE / 2.0]);
+        assert_eq!(acc.value(), f64::MIN_POSITIVE / 2.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_poison() {
+        let mut acc = sum_of(&[1.0]);
+        acc.add(f64::INFINITY);
+        assert!(acc.is_poisoned());
+        assert!(acc.value().is_nan());
+        let mut clean = sum_of(&[2.0]);
+        clean.merge(&acc);
+        assert!(clean.value().is_nan(), "poison is sticky across merge");
+    }
+
+    #[test]
+    fn many_additions_stay_exact_across_normalization() {
+        // Exceeding any plausible pending threshold is impractical in a
+        // unit test, so force normalization explicitly mid-stream.
+        let mut acc = ExactSum::new();
+        let mut values = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0e6..1.0e6);
+            values.push(v);
+            acc.add(v);
+            if i % 977 == 0 {
+                acc.normalize();
+            }
+        }
+        assert_eq!(acc.value().to_bits(), sum_of(&values).value().to_bits());
+    }
+
+    #[test]
+    fn serde_round_trip_is_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0e9..1.0e9)).collect();
+        let acc = sum_of(&values);
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: ExactSum = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+        assert_eq!(back.value().to_bits(), acc.value().to_bits());
+        // Zero and poisoned forms round-trip too.
+        let zero = ExactSum::new();
+        let back: ExactSum = serde_json::from_str(&serde_json::to_string(&zero).unwrap()).unwrap();
+        assert_eq!(back, zero);
+        let mut poisoned = ExactSum::new();
+        poisoned.add(f64::NAN);
+        let back: ExactSum =
+            serde_json::from_str(&serde_json::to_string(&poisoned).unwrap()).unwrap();
+        assert!(back.is_poisoned());
+    }
+
+    #[test]
+    fn negative_totals_are_exact_too() {
+        let acc = sum_of(&[-1e30, 1.0, 1e30, -3.0]);
+        assert_eq!(acc.value(), -2.0);
+        let acc = sum_of(&[-0.1, -0.2]);
+        // Correctly rounded -(0.1 + 0.2) exact sum, not the sequential
+        // rounding: both happen to agree here, which pins the sign path.
+        assert_eq!(acc.value(), -(0.1f64 + 0.2f64));
+    }
+}

@@ -58,6 +58,7 @@ pub mod direct;
 pub mod engine;
 pub mod ensemble;
 pub mod error;
+pub mod exact;
 pub mod first_reaction;
 pub mod ipq;
 pub mod langevin;
@@ -72,8 +73,11 @@ pub use compiled::{CompiledModel, State};
 pub use control::{InputSchedule, ScheduleRunner};
 pub use direct::Direct;
 pub use engine::{Engine, Observer};
-pub use ensemble::{run_ensemble, Ensemble};
+pub use ensemble::{
+    run_ensemble, run_partial, run_partial_from, Ensemble, EnsemblePartial, PartialFingerprint,
+};
 pub use error::SimError;
+pub use exact::ExactSum;
 pub use first_reaction::FirstReaction;
 pub use langevin::Langevin;
 pub use next_reaction::NextReaction;

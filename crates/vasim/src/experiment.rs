@@ -9,9 +9,12 @@
 //! input high level defaults to the analysis threshold.
 
 use crate::error::VasimError;
+use crate::stats::{ensemble_noise, NoisePoint};
 use glc_core::data::AnalogData;
 use glc_model::Model;
-use glc_ssa::{CompiledModel, Direct, Engine, InputSchedule, ScheduleRunner, Trace};
+use glc_ssa::{
+    CompiledModel, Direct, Engine, Ensemble, EnsemblePartial, InputSchedule, ScheduleRunner, Trace,
+};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a sweep experiment.
@@ -130,6 +133,56 @@ impl ExperimentResult {
     }
 }
 
+/// The outcome of a replicated sweep: ensemble moments on the sweep
+/// grid, aggregated through a mergeable [`EnsemblePartial`] (the same
+/// partial format the distributed `glc-worker` protocol ships), so the
+/// noise figures come from exact cross-replicate sums instead of being
+/// re-derived ad hoc from raw traces.
+#[derive(Debug, Clone)]
+pub struct ReplicatedSweep {
+    /// Cross-replicate mean / standard-deviation traces of every
+    /// species on the sweep's sampling grid.
+    pub ensemble: Ensemble,
+    /// Input combinations in the order applied (one entry per segment).
+    pub combos: Vec<usize>,
+    /// Hold time per segment.
+    pub hold_time: f64,
+    /// Total simulated time per replicate.
+    pub total_time: f64,
+}
+
+impl ReplicatedSweep {
+    /// Per-sample noise figures of `species` (see
+    /// [`crate::stats::ensemble_noise`]); `None` for unknown species.
+    pub fn noise(&self, species: &str) -> Option<Vec<NoisePoint>> {
+        ensemble_noise(&self.ensemble, species)
+    }
+
+    /// Noise figures of `species` over the settled second half of hold
+    /// segment `s` — the window the threshold estimator reads — with
+    /// each figure averaged across the window's sample instants.
+    /// `None` for unknown species or an out-of-range segment.
+    pub fn segment_noise(&self, species: &str, s: usize) -> Option<NoisePoint> {
+        if s >= self.combos.len() {
+            return None;
+        }
+        let points = self.noise(species)?;
+        let dt = self.ensemble.mean.sample_dt();
+        let segment_len = (self.hold_time / dt).round() as usize;
+        let start = ((s as f64 * self.hold_time) / dt).round() as usize;
+        let end = (start + segment_len).min(points.len());
+        let from = start + (end.saturating_sub(start)) / 2;
+        if from >= end {
+            return None;
+        }
+        let window = &points[from..end];
+        let n = window.len() as f64;
+        let mean = window.iter().map(|p| p.mean).sum::<f64>() / n;
+        let variance = window.iter().map(|p| p.variance).sum::<f64>() / n;
+        Some(NoisePoint::from_moments(window[0].t, mean, variance))
+    }
+}
+
 /// Runs sweep experiments on a circuit model.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -176,6 +229,90 @@ impl Experiment {
         seed: u64,
         engine: &mut dyn Engine,
     ) -> Result<ExperimentResult, VasimError> {
+        let (compiled, runner, combos, total_time) = self.prepare(model, inputs, output)?;
+        let trace = runner.run(&compiled, engine, total_time, seed)?;
+
+        let input_series: Vec<(String, Vec<f64>)> = inputs
+            .iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    trace.series(name).expect("input recorded").to_vec(),
+                )
+            })
+            .collect();
+        let output_series = (
+            output.to_string(),
+            trace.series(output).expect("output recorded").to_vec(),
+        );
+        let data = AnalogData::new(input_series, output_series)?;
+
+        Ok(ExperimentResult {
+            trace,
+            data,
+            combos,
+            hold_time: self.config.hold_time,
+            total_time,
+        })
+    }
+
+    /// Runs the sweep `replicates` times (replicate `i` seeded
+    /// `base_seed + i`), aggregating every replicate trace into an
+    /// [`EnsemblePartial`] and finalizing the cross-replicate moments.
+    ///
+    /// This is the virtual lab's noise path: instead of re-deriving
+    /// means and variances from raw traces downstream, the sweep
+    /// produces the same exact, mergeable aggregate the distributed
+    /// worker protocol uses, and every noise figure is read off it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`]; additionally rejects zero `replicates`.
+    pub fn run_replicated<F>(
+        &self,
+        model: &Model,
+        inputs: &[String],
+        output: &str,
+        base_seed: u64,
+        replicates: u64,
+        make_engine: F,
+    ) -> Result<ReplicatedSweep, VasimError>
+    where
+        F: Fn() -> Box<dyn Engine>,
+    {
+        if replicates == 0 {
+            return Err(VasimError::InvalidConfig("replicates must be >= 1".into()));
+        }
+        let (compiled, runner, combos, total_time) = self.prepare(model, inputs, output)?;
+        let mut partial = EnsemblePartial::new(&compiled, total_time, self.config.sample_dt)
+            .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
+        let mut engine = make_engine();
+        for replicate in 0..replicates {
+            let seed = base_seed.wrapping_add(replicate);
+            let trace = runner.run(&compiled, engine.as_mut(), total_time, seed)?;
+            partial
+                .accumulate(&trace)
+                .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
+        }
+        let ensemble = partial
+            .finalize()
+            .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
+        Ok(ReplicatedSweep {
+            ensemble,
+            combos,
+            hold_time: self.config.hold_time,
+            total_time,
+        })
+    }
+
+    /// Shared sweep setup: validation, compilation, and the input
+    /// schedule over all `2^N` combinations × repeats.
+    fn prepare(
+        &self,
+        model: &Model,
+        inputs: &[String],
+        output: &str,
+    ) -> Result<(CompiledModel, ScheduleRunner, Vec<usize>, f64), VasimError> {
         self.config.validate()?;
         if inputs.is_empty() {
             return Err(VasimError::InvalidConfig(
@@ -223,32 +360,8 @@ impl Experiment {
             }
         }
         let total_time = t;
-
         let runner = ScheduleRunner::new(schedule, self.config.sample_dt)?;
-        let trace = runner.run(&compiled, engine, total_time, seed)?;
-
-        let input_series: Vec<(String, Vec<f64>)> = inputs
-            .iter()
-            .map(|name| {
-                (
-                    name.clone(),
-                    trace.series(name).expect("input recorded").to_vec(),
-                )
-            })
-            .collect();
-        let output_series = (
-            output.to_string(),
-            trace.series(output).expect("output recorded").to_vec(),
-        );
-        let data = AnalogData::new(input_series, output_series)?;
-
-        Ok(ExperimentResult {
-            trace,
-            data,
-            combos,
-            hold_time: self.config.hold_time,
-            total_time,
-        })
+        Ok((compiled, runner, combos, total_time))
     }
 }
 
@@ -374,6 +487,67 @@ mod tests {
         let config = ExperimentConfig::new(10.0, 15.0).repeats(0);
         assert!(matches!(
             Experiment::new(config).run(&model, &["I".to_string()], "Y", 0),
+            Err(VasimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn replicated_sweep_reports_population_noise() {
+        use glc_ssa::Direct;
+        let model = follower();
+        let config = ExperimentConfig::new(100.0, 30.0);
+        let sweep = Experiment::new(config)
+            .run_replicated(&model, &["I".to_string()], "Y", 3, 24, || {
+                Box::new(Direct::new())
+            })
+            .unwrap();
+        assert_eq!(sweep.combos, vec![0, 1]);
+        assert_eq!(sweep.ensemble.replicates, 24);
+        // Segment 0 (input low): output near zero. Segment 1 (input
+        // 30): steady state is Poisson(30) across replicates, so the
+        // ensemble Fano factor sits near 1 — the moment the population
+        // path measures and a single trajectory only approximates.
+        let low = sweep.segment_noise("Y", 0).unwrap();
+        assert!(low.mean < 5.0, "low segment mean {}", low.mean);
+        let high = sweep.segment_noise("Y", 1).unwrap();
+        assert!(
+            (high.mean - 30.0).abs() < 5.0,
+            "high segment mean {}",
+            high.mean
+        );
+        assert!(
+            (high.fano - 1.0).abs() < 0.6,
+            "ensemble Fano {} too far from Poisson",
+            high.fano
+        );
+        // Per-sample noise series covers the whole sweep grid.
+        let points = sweep.noise("Y").unwrap();
+        assert_eq!(points.len(), sweep.ensemble.mean.len());
+        assert!(sweep.noise("ghost").is_none());
+        assert!(sweep.segment_noise("Y", 99).is_none());
+    }
+
+    #[test]
+    fn replicated_sweep_is_deterministic_and_validates() {
+        use glc_ssa::Direct;
+        let model = follower();
+        let config = ExperimentConfig::new(50.0, 20.0);
+        let run = || {
+            Experiment::new(config.clone())
+                .run_replicated(&model, &["I".to_string()], "Y", 9, 6, || {
+                    Box::new(Direct::new())
+                })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.ensemble.mean, b.ensemble.mean);
+        assert_eq!(a.ensemble.std_dev, b.ensemble.std_dev);
+        // Zero replicates rejected.
+        assert!(matches!(
+            Experiment::new(config).run_replicated(&model, &["I".to_string()], "Y", 9, 0, || {
+                Box::new(Direct::new())
+            },),
             Err(VasimError::InvalidConfig(_))
         ));
     }

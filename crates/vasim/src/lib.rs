@@ -46,7 +46,8 @@ pub mod timing;
 
 pub use delay::{estimate_delay, DelayEstimate};
 pub use error::VasimError;
-pub use experiment::{Experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, ReplicatedSweep};
 pub use lab::VirtualLab;
+pub use stats::{ensemble_noise, NoisePoint};
 pub use threshold::{estimate_threshold, ThresholdEstimate};
 pub use timing::{analyze_timing, TimingReport, TransitionKind};

@@ -8,7 +8,15 @@
 //! apart samples must be to be independent). The threshold and delay
 //! estimators consume these, and the `noise_analysis` example reports
 //! them per circuit.
+//!
+//! Two sources feed the figures: single-trajectory windows
+//! ([`stats`], time-averaged) and replicate ensembles
+//! ([`ensemble_noise`], population moments straight from
+//! `glc_ssa::Ensemble` — which an `EnsemblePartial` finalizes from
+//! exact order-independent sums, so the noise path never re-derives
+//! moments ad hoc from raw traces).
 
+use glc_ssa::Ensemble;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of one series window.
@@ -66,6 +74,67 @@ pub fn stats(series: &[f64]) -> SeriesStats {
         fano,
         cv,
     }
+}
+
+/// Noise figures of one species at one sample instant, derived from
+/// ensemble (cross-replicate) moments rather than a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoisePoint {
+    /// Sample time.
+    pub t: f64,
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Ensemble standard deviation (population).
+    pub std_dev: f64,
+    /// Ensemble variance.
+    pub variance: f64,
+    /// Fano factor `variance / mean` (`NaN` when the mean is zero).
+    pub fano: f64,
+    /// Coefficient of variation `std_dev / mean` (`NaN` when the mean
+    /// is zero).
+    pub cv: f64,
+}
+
+impl NoisePoint {
+    /// Derives the full figure set from a mean and variance at time
+    /// `t` (the one place encoding the `NaN`-at-zero-mean convention
+    /// for ratio figures).
+    pub fn from_moments(t: f64, mean: f64, variance: f64) -> Self {
+        let std_dev = variance.sqrt();
+        let (fano, cv) = if mean != 0.0 {
+            (variance / mean, std_dev / mean)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        NoisePoint {
+            t,
+            mean,
+            std_dev,
+            variance,
+            fano,
+            cv,
+        }
+    }
+}
+
+/// Per-sample noise figures of `species`, read directly off an
+/// [`Ensemble`]'s moment traces (no re-aggregation of raw replicate
+/// data). `None` if the species is not in the ensemble.
+///
+/// Unlike [`stats`] over a single-trajectory window, these are true
+/// population figures: sample `k` mixes no time averaging into the
+/// spread, so transients show their real replicate-to-replicate
+/// variability.
+pub fn ensemble_noise(ensemble: &Ensemble, species: &str) -> Option<Vec<NoisePoint>> {
+    let mean = ensemble.mean.series(species)?;
+    let std_dev = ensemble.std_dev.series(species)?;
+    Some(
+        mean.iter()
+            .zip(std_dev)
+            .enumerate()
+            .map(|(k, (&m, &sd))| NoisePoint::from_moments(ensemble.mean.time(k), m, sd * sd))
+            .collect(),
+    )
 }
 
 /// Normalized autocorrelation of a series at the given lag (1 at lag 0;
@@ -168,6 +237,47 @@ mod tests {
             s.fano
         );
         assert!((s.mean - 50.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn ensemble_noise_reads_moments_off_the_ensemble() {
+        use glc_ssa::{run_ensemble, Direct};
+        // Stationary birth–death: Poisson(50), so the *ensemble* Fano
+        // factor at a late sample is near 1 and CV near 1/√50.
+        let model = ModelBuilder::new("bd")
+            .species("X", 50.0)
+            .parameter("kp", 5.0)
+            .parameter("kd", 0.1)
+            .reaction("prod", &[], &["X"], "kp")
+            .unwrap()
+            .reaction("deg", &["X"], &[], "kd * X")
+            .unwrap()
+            .build()
+            .unwrap();
+        let compiled = CompiledModel::new(&model).unwrap();
+        let ensemble =
+            run_ensemble(&compiled, || Box::new(Direct::new()), 96, 60.0, 10.0, 5, 4).unwrap();
+        let points = ensemble_noise(&ensemble, "X").unwrap();
+        assert_eq!(points.len(), ensemble.mean.len());
+        // t = 0 is deterministic: zero spread, Fano 0.
+        assert_eq!(points[0].t, 0.0);
+        assert_eq!(points[0].std_dev, 0.0);
+        let last = points.last().unwrap();
+        assert!((last.mean - 50.0).abs() < 4.0, "mean {}", last.mean);
+        assert!((last.fano - 1.0).abs() < 0.5, "Fano {}", last.fano);
+        assert!(
+            (last.cv - 1.0 / 50.0f64.sqrt()).abs() < 0.08,
+            "CV {}",
+            last.cv
+        );
+        // Consistency with the raw moment traces: no re-derivation.
+        let mean = ensemble.mean.series("X").unwrap();
+        let std = ensemble.std_dev.series("X").unwrap();
+        for (k, p) in points.iter().enumerate() {
+            assert_eq!(p.mean.to_bits(), mean[k].to_bits());
+            assert_eq!(p.std_dev.to_bits(), std[k].to_bits());
+        }
+        assert!(ensemble_noise(&ensemble, "ghost").is_none());
     }
 
     #[test]

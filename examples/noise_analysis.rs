@@ -13,7 +13,7 @@
 
 use genetic_logic::gates::catalog;
 use genetic_logic::ssa::{ode, run_ensemble, CompiledModel, Direct};
-use genetic_logic::vasim::stats;
+use genetic_logic::vasim::stats::{self, ensemble_noise};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = catalog::by_id("book_and").expect("catalog circuit");
@@ -28,19 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ode_trace = ode::integrate(&compiled, 800.0, 0.002, 20.0)?;
 
     println!(
-        "{:>6} {:>12} {:>12} {:>10}",
-        "t", "SSA mean GFP", "SSA std", "ODE GFP"
+        "{:>6} {:>12} {:>12} {:>6} {:>6} {:>10}",
+        "t", "SSA mean GFP", "SSA std", "Fano", "CV", "ODE GFP"
     );
-    let mean = ensemble.mean.series("GFP").unwrap();
-    let std = ensemble.std_dev.series("GFP").unwrap();
+    // Every noise figure reads straight off the ensemble moments (the
+    // same mergeable partial aggregate the glc-worker protocol ships) —
+    // nothing is re-derived from raw replicate traces.
+    let noise = ensemble_noise(&ensemble, "GFP").expect("GFP recorded");
     let ode_gfp = ode_trace.series("GFP").unwrap();
-    for k in (0..mean.len()).step_by(5) {
+    for (point, ode_value) in noise.iter().zip(ode_gfp).step_by(5) {
         println!(
-            "{:>6} {:>12.1} {:>12.1} {:>10.1}",
-            ensemble.mean.time(k),
-            mean[k],
-            std[k],
-            ode_gfp[k]
+            "{:>6} {:>12.1} {:>12.1} {:>6.2} {:>6.2} {:>10.1}",
+            point.t, point.mean, point.std_dev, point.fano, point.cv, ode_value
         );
     }
 
@@ -63,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The punchline: the ODE says "always exactly the same level"; the
     // ensemble spread is what the threshold + filters have to survive.
-    let final_std = *std.last().unwrap();
+    let final_std = noise.last().unwrap().std_dev;
     println!(
         "\nODE predicts a noiseless {:.1}; the real spread is ±{final_std:.1} molecules —",
         ode_gfp.last().unwrap()

@@ -1,0 +1,213 @@
+//! Property tests for the mergeable-partials contract: **any**
+//! contiguous sharding of the replicate range `0..R` must finalize
+//! bitwise-identically to the unsharded `run_ensemble`, and partial
+//! merging must be associative — on real catalog circuits, for both an
+//! exact engine (Direct, integer-valued traces) and the Langevin
+//! engine (continuous-valued traces, where plain `f64` partial sums
+//! would diverge in the last bits between groupings).
+//!
+//! This is the property the process-level `glc-worker` protocol stands
+//! on: a coordinator may cut the replicate range anywhere and the
+//! merged aggregate is still the single-process answer, bit for bit.
+
+use genetic_logic::gates::catalog;
+use genetic_logic::model::Model;
+use genetic_logic::ssa::{
+    run_ensemble, run_partial, CompiledModel, Direct, Engine, Ensemble, EnsemblePartial, Langevin,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn prepared(id: &str) -> CompiledModel {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut model: Model = entry.model.clone();
+    for input in &entry.inputs {
+        model.set_initial_amount(input, 15.0);
+    }
+    CompiledModel::new(&model).expect("compiles")
+}
+
+fn assert_bitwise_equal(a: &Ensemble, b: &Ensemble, context: &str) {
+    assert_eq!(a.replicates, b.replicates, "{context}: replicate counts");
+    for (label, mine, theirs) in [
+        ("mean", &a.mean, &b.mean),
+        ("std_dev", &a.std_dev, &b.std_dev),
+    ] {
+        for (s, species) in mine.species().iter().enumerate() {
+            for (k, (va, vb)) in mine
+                .series_at(s)
+                .iter()
+                .zip(theirs.series_at(s))
+                .enumerate()
+            {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{context}: {label} of {species} at sample {k}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+/// Turns raw picked cut points into a sorted, deduplicated partition of
+/// `0..replicates` and returns the contiguous seed ranges.
+fn contiguous_ranges(replicates: u64, picks: &[u64], base_seed: u64) -> Vec<(u64, u64)> {
+    let mut cuts: Vec<u64> = picks
+        .iter()
+        .map(|p| 1 + p % replicates.max(1))
+        .filter(|&c| c < replicates)
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut ranges = Vec::new();
+    let mut start = 0u64;
+    for cut in cuts.into_iter().chain(std::iter::once(replicates)) {
+        ranges.push((base_seed + start, base_seed + cut));
+        start = cut;
+    }
+    ranges
+}
+
+/// Shards, merges (left fold and right fold), and checks both against
+/// the unsharded ensemble bitwise.
+#[allow(clippy::too_many_arguments)]
+fn check_sharding<F>(
+    model: &CompiledModel,
+    make_engine: F,
+    replicates: u64,
+    picks: &[u64],
+    t_end: f64,
+    sample_dt: f64,
+    base_seed: u64,
+    context: &str,
+) where
+    F: Fn() -> Box<dyn Engine> + Sync,
+{
+    let reference = run_ensemble(
+        model,
+        &make_engine,
+        replicates as usize,
+        t_end,
+        sample_dt,
+        base_seed,
+        1,
+    )
+    .expect("unsharded ensemble");
+
+    let partials: Vec<EnsemblePartial> = contiguous_ranges(replicates, picks, base_seed)
+        .into_iter()
+        .map(|(lo, hi)| {
+            run_partial(model, &make_engine, lo..hi, t_end, sample_dt).expect("shard runs")
+        })
+        .collect();
+
+    // Left fold: ((P0 + P1) + P2) + …
+    let mut left = partials[0].clone();
+    for partial in &partials[1..] {
+        left.merge(partial).expect("merge");
+    }
+    // Right fold: P0 + (P1 + (P2 + …)) — associativity means the two
+    // groupings agree exactly.
+    let mut right = partials[partials.len() - 1].clone();
+    for partial in partials[..partials.len() - 1].iter().rev() {
+        let mut merged = partial.clone();
+        merged.merge(&right).expect("merge");
+        right = merged;
+    }
+    prop_assert_helper(&left, &right, &reference, context);
+}
+
+fn prop_assert_helper(
+    left: &EnsemblePartial,
+    right: &EnsemblePartial,
+    reference: &Ensemble,
+    context: &str,
+) {
+    assert_eq!(left, right, "{context}: merge is not associative");
+    let from_left = left.finalize().expect("finalize");
+    let from_right = right.finalize().expect("finalize");
+    assert_bitwise_equal(&from_left, reference, &format!("{context} (left fold)"));
+    assert_bitwise_equal(&from_right, reference, &format!("{context} (right fold)"));
+}
+
+proptest! {
+    /// Direct method, mass-action book AND gate: integer-valued traces.
+    #[test]
+    fn sharding_is_bitwise_invisible_direct_book_and(
+        picks in vec(0u64..8, 0usize..5),
+        seed in 0u64..10_000,
+    ) {
+        let model = prepared("book_and");
+        check_sharding(
+            &model,
+            || Box::new(Direct::new()),
+            8,
+            &picks,
+            20.0,
+            4.0,
+            seed,
+            "direct/book_and",
+        );
+    }
+
+    /// Direct method on the largest Cello circuit (Hill kinetics).
+    #[test]
+    fn sharding_is_bitwise_invisible_direct_cello(
+        picks in vec(0u64..6, 0usize..4),
+        seed in 0u64..10_000,
+    ) {
+        let model = prepared("cello_0x1C");
+        check_sharding(
+            &model,
+            || Box::new(Direct::new()),
+            6,
+            &picks,
+            10.0,
+            2.0,
+            seed,
+            "direct/cello_0x1C",
+        );
+    }
+
+    /// Langevin on the Cello circuit: continuous-valued traces are the
+    /// adversarial case for merge associativity — plain f64 partial
+    /// sums would differ between groupings here.
+    #[test]
+    fn sharding_is_bitwise_invisible_langevin_cello(
+        picks in vec(0u64..6, 0usize..4),
+        seed in 0u64..10_000,
+    ) {
+        let model = prepared("cello_0x1C");
+        check_sharding(
+            &model,
+            || Box::new(Langevin::new(0.1).expect("valid dt")),
+            6,
+            &picks,
+            10.0,
+            2.0,
+            seed,
+            "langevin/cello_0x1C",
+        );
+    }
+
+    /// Langevin on the book AND gate (stiff mass-action laws, small
+    /// dt): non-integral traces on the cooperative-binding kinetics.
+    #[test]
+    fn sharding_is_bitwise_invisible_langevin_book_and(
+        picks in vec(0u64..5, 0usize..4),
+        seed in 0u64..10_000,
+    ) {
+        let model = prepared("book_and");
+        check_sharding(
+            &model,
+            || Box::new(Langevin::new(0.01).expect("valid dt")),
+            5,
+            &picks,
+            5.0,
+            1.0,
+            seed,
+            "langevin/book_and",
+        );
+    }
+}
