@@ -22,7 +22,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
 use glc_model::Model;
-use glc_service::{Coordinator, EngineSpec, ModelSource, WorkOrder};
+use glc_service::{
+    Coordinator, EngineSpec, ExtendBackend, ModelSource, SessionSpec, SessionStore, WorkOrder,
+};
 use glc_ssa::engine::Observer;
 use glc_ssa::{
     run_ensemble, simulate, CompiledModel, Direct, Engine, FirstReaction, Langevin, NextReaction,
@@ -241,6 +243,87 @@ fn sharded_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f
     replicates as f64 / elapsed
 }
 
+/// The session spec the resident-service comparison runs: same grid
+/// and batching as the ensemble section, Direct method.
+fn resident_spec(id: &str) -> SessionSpec {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut spec = SessionSpec::new(
+        ModelSource::Catalog(id.to_string()),
+        EngineSpec::Direct,
+        42,
+        ENSEMBLE_T_END,
+        ENSEMBLE_DT,
+    );
+    for input in &entry.inputs {
+        spec = spec.with_amount(input, 15.0);
+    }
+    spec
+}
+
+/// Sustained replicate throughput of resident `Extend` batches: one
+/// Submit (compile once), then extend-by-batch repeatedly against the
+/// warm session — the hot path of the query service.
+fn resident_extend_replicates_per_second(id: &str, min_wall: f64) -> f64 {
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+    let session = store.submit(&resident_spec(id)).expect("submit").session;
+    let mut replicates = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        store
+            .extend(&session, ENSEMBLE_BATCH as u64)
+            .expect("extend");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+    }
+    replicates as f64 / elapsed
+}
+
+/// Sustained replicate throughput of the cold one-shot path the
+/// resident service replaces: every batch re-resolves and recompiles
+/// the model (`WorkOrder::execute`) and throws the partial away.
+fn one_shot_replicates_per_second(id: &str, min_wall: f64) -> f64 {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut order = WorkOrder::new(
+        ModelSource::Catalog(id.to_string()),
+        EngineSpec::Direct,
+        42,
+        ENSEMBLE_BATCH as u64,
+        ENSEMBLE_T_END,
+        ENSEMBLE_DT,
+    );
+    for input in &entry.inputs {
+        order = order.with_amount(input, 15.0);
+    }
+    let mut replicates = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        order.execute().expect("one-shot batch");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+        order.base_seed += 1_000;
+    }
+    replicates as f64 / elapsed
+}
+
+/// Resident-partial footprint: bytes per cached accumulator cell after
+/// aggregating one ensemble batch, and what the former dense 67-digit
+/// representation paid for the same cell.
+fn cached_partial_footprint(id: &str) -> (f64, f64) {
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+    let session = store.submit(&resident_spec(id)).expect("submit").session;
+    store
+        .extend(&session, ENSEMBLE_BATCH as u64)
+        .expect("extend");
+    let partial = store.partial(&session).expect("resident partial");
+    let per_cell = partial.footprint_bytes() as f64 / partial.cells() as f64;
+    // The retired flat form: 67 i64 digits + pending/poison tail,
+    // 544 bytes per cell regardless of occupancy.
+    let dense_per_cell = (67 * std::mem::size_of::<i64>() + 8) as f64;
+    (per_cell, dense_per_cell)
+}
+
 /// Locates the `glc-worker` binary next to this bench's target
 /// directory, building it through the invoking cargo if absent.
 fn worker_binary() -> Option<PathBuf> {
@@ -278,6 +361,7 @@ fn throughput_report() {
     let mut engine_rows = String::new();
     let mut sweep_rows = String::new();
     let mut ensemble_rows = String::new();
+    let mut resident_rows = String::new();
     let worker = worker_binary();
     if worker.is_none() {
         eprintln!(
@@ -394,13 +478,47 @@ fn throughput_report() {
                  \"shard_efficiency\":{efficiency:.3}}}"
             );
         }
+
+        // Resident query service: warm Extend batches against the
+        // session store vs the cold one-shot path (recompile every
+        // batch), plus the cached-partial footprint the sparse
+        // ExactSum representation buys. extend_efficiency is the
+        // in-run ratio the CI gate watches; footprint_ratio is gated
+        // absolutely (the ≥5x acceptance criterion of the sparse
+        // representation swap).
+        resident_extend_replicates_per_second(id, 0.05); // warm-up
+        let extend = resident_extend_replicates_per_second(id, 0.5);
+        let one_shot = one_shot_replicates_per_second(id, 0.5);
+        let extend_efficiency = extend / one_shot;
+        let (bytes_per_cell, dense_bytes_per_cell) = cached_partial_footprint(id);
+        let footprint_ratio = dense_bytes_per_cell / bytes_per_cell;
+        println!(
+            "    resident ({ENSEMBLE_BATCH} reps/extend): extend {extend:.0} reps/s  \
+             one-shot {one_shot:.0} reps/s  efficiency {extend_efficiency:.2}  \
+             footprint {bytes_per_cell:.0} B/cell (dense {dense_bytes_per_cell:.0}, \
+             {footprint_ratio:.1}x smaller)"
+        );
+        if !resident_rows.is_empty() {
+            resident_rows.push(',');
+        }
+        let _ = write!(
+            resident_rows,
+            "\n    {{\"circuit\":\"{id}\",\
+             \"extend_replicates_per_sec\":{extend:.1},\
+             \"one_shot_replicates_per_sec\":{one_shot:.1},\
+             \"extend_efficiency\":{extend_efficiency:.3},\
+             \"bytes_per_cached_cell\":{bytes_per_cell:.1},\
+             \"dense_bytes_per_cell\":{dense_bytes_per_cell:.1},\
+             \"footprint_ratio\":{footprint_ratio:.2}}}"
+        );
     }
     let json = format!(
         "{{\n  \"bench\": \"ssa_engines\",\n  \"unit\": \
          \"steps_per_second\",\n  \"results\": [{rows}\n  ],\n  \
          \"engines\": [{engine_rows}\n  ],\n  \
          \"full_sweep\": [{sweep_rows}\n  ],\n  \
-         \"ensemble\": [{ensemble_rows}\n  ]\n}}\n"
+         \"ensemble\": [{ensemble_rows}\n  ],\n  \
+         \"resident\": [{resident_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

@@ -116,6 +116,38 @@ fn ensemble_entries(json: &str) -> Vec<Entry> {
         .collect()
 }
 
+/// Every resident-service entry (the `resident` section):
+/// `extend_efficiency` is warm resident-extend replicate throughput
+/// over the cold one-shot path at the same batch size — an in-run
+/// ratio like the others — and `footprint_ratio` is how many times
+/// smaller a cached accumulator cell is than the retired dense
+/// representation (gated absolutely: the sparse swap promised ≥ 5x).
+fn resident_entries(json: &str) -> Vec<Entry> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some(Entry {
+                circuit: str_field(object, "circuit")?,
+                steps_per_sec: num_field(object, "extend_replicates_per_sec")?,
+                speedup: num_field(object, "extend_efficiency")?,
+            })
+        })
+        .collect()
+}
+
+/// `footprint_ratio` per circuit from the `resident` section.
+fn footprint_ratios(json: &str) -> Vec<(String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some((
+                str_field(object, "circuit")?,
+                num_field(object, "footprint_ratio")?,
+            ))
+        })
+        .collect()
+}
+
 /// Gates one metric section: every baseline circuit must be present in
 /// the current run with its ratio metric no more than `threshold`
 /// below baseline.
@@ -201,6 +233,42 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
             threshold.max(0.35),
             &mut failures,
         );
+    }
+    // Resident query service: the warm-extend/one-shot ratio gates
+    // like shard efficiency (both involve timing loops with
+    // per-batch setup, so the floor stays at 35%)…
+    let resident_baseline = resident_entries(&baseline_doc);
+    if !resident_baseline.is_empty() {
+        gate_section(
+            "bench regression gate: resident extend efficiency",
+            &resident_baseline,
+            &resident_entries(&current_doc),
+            threshold.max(0.35),
+            &mut failures,
+        );
+    }
+    // …and the cached-cell footprint is gated absolutely: the sparse
+    // ExactSum representation must keep a resident cell ≥ 5x smaller
+    // than the retired dense form, whatever the baseline says (this is
+    // the acceptance criterion of the representation swap, not a
+    // machine-speed artifact — byte counts don't depend on the
+    // runner).
+    let footprints = footprint_ratios(&current_doc);
+    if !footprints.is_empty() {
+        println!("bench footprint gate: cached cell >= 5x smaller than dense");
+        for (circuit, ratio) in &footprints {
+            let verdict = if *ratio < 5.0 { "FAIL" } else { "ok" };
+            println!("  {circuit}: {ratio:.2}x smaller  {verdict}");
+            if *ratio < 5.0 {
+                failures.push(format!(
+                    "{circuit} [resident footprint]: cached cell only {ratio:.2}x \
+                     smaller than dense (needs >= 5x)"
+                ));
+            }
+        }
+    } else if !resident_baseline.is_empty() {
+        failures
+            .push("resident section in baseline but no footprint_ratio in current run".to_string());
     }
     if failures.is_empty() {
         println!("no regression beyond {:.0}%", threshold * 100.0);

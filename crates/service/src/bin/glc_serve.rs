@@ -1,0 +1,119 @@
+//! `glc-serve`: the resident ensemble query service.
+//!
+//! Protocol: **one request per line** on stdin (a
+//! [`glc_service::Request`] as JSON), **one response per line** on
+//! stdout (a [`glc_service::Response`] as JSON, flushed immediately).
+//! Malformed lines produce an `{"Error": …}` response; the service
+//! keeps serving until stdin reaches EOF. Nothing but responses is
+//! ever written to stdout, so the stream can be machine-consumed.
+//!
+//! The process keeps compiled models and partially-aggregated
+//! ensembles warm in an LRU-bounded session store: `Submit` compiles
+//! and caches, `Extend` simulates only the new seed range (in-process
+//! by default; over `glc-worker` children for any `--workers` ≥ 1) and
+//! merges it into the resident partial, `Query` finalizes figures with
+//! zero simulation work. Like `glc-worker`, the binary is
+//! transport-agnostic: pipes today, a socket relay or container exec
+//! tomorrow.
+//!
+//! Flags:
+//!
+//! * `--capacity N` — resident-session bound (default 16; LRU evicts
+//!   beyond it);
+//! * `--workers N`  — fan each Extend out over N `glc-worker` children
+//!   (default 0 = simulate in-process on the service thread);
+//! * `--worker-bin PATH` — the worker binary for `--workers`
+//!   (default: `glc-worker` next to this executable).
+
+use glc_service::{Coordinator, ExtendBackend, Request, Response, SessionStore};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Options {
+    capacity: usize,
+    workers: usize,
+    worker_bin: Option<PathBuf>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        capacity: 16,
+        workers: 0,
+        worker_bin: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--capacity" => {
+                options.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--worker-bin" => {
+                options.worker_bin = Some(PathBuf::from(value("--worker-bin")?));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// The `glc-worker` binary expected beside this executable.
+fn sibling_worker() -> Result<PathBuf, String> {
+    let mut path = std::env::current_exe().map_err(|e| format!("locating glc-serve: {e}"))?;
+    path.set_file_name("glc-worker");
+    Ok(path)
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_options()?;
+    let backend = if options.workers == 0 {
+        ExtendBackend::InProcess
+    } else {
+        let worker = match options.worker_bin.clone() {
+            Some(path) => path,
+            None => sibling_worker()?,
+        };
+        ExtendBackend::Coordinator(
+            Coordinator::new(worker, options.workers).map_err(|e| e.to_string())?,
+        )
+    };
+    let mut store = SessionStore::new(options.capacity, backend).map_err(|e| e.to_string())?;
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading request: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(line.trim()) {
+            Ok(request) => store.handle(&request),
+            Err(err) => Response::Error(format!("unparseable request: {err}")),
+        };
+        let encoded =
+            serde_json::to_string(&response).map_err(|e| format!("encoding response: {e}"))?;
+        writeln!(out, "{encoded}").map_err(|e| format!("writing response: {e}"))?;
+        out.flush().map_err(|e| format!("flushing response: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("glc-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,7 +7,10 @@
 //!
 //! The binary is deliberately transport-agnostic: a local
 //! `Coordinator` drives it over pipes today, and the same bytes work
-//! over ssh, a container exec, or a job queue tomorrow.
+//! over ssh, a container exec, or a job queue tomorrow. It stays the
+//! stateless shard primitive; the resident Submit/Extend/Query
+//! session protocol lives one level up, in `glc-serve`, which fans
+//! its Extend ranges out over these workers.
 
 use glc_service::WorkOrder;
 use std::io::Read as _;

@@ -17,20 +17,38 @@
 //!   that can move bytes between processes can host a worker;
 //! * [`Coordinator`] — shards a replicate range into work orders, fans
 //!   them out over `std::process` children, merges the returned
-//!   partials in shard order and finalizes the [`Ensemble`].
+//!   partials in shard order and finalizes the [`Ensemble`]. A failed
+//!   shard is retried once on a different worker slot (determinism
+//!   makes the re-issued seed range idempotent) and per-worker failure
+//!   counts are surfaced through [`RunReport`];
+//! * [`session`] — the **resident query service**: Submit / Extend /
+//!   Query over an LRU-bounded [`session::SessionStore`] that keeps
+//!   compiled models and partially-aggregated ensembles warm, served
+//!   by the `glc-serve` binary as line-delimited JSON. Extends fan out
+//!   over the same worker protocol; queries do zero simulation work.
 //!
 //! # Determinism
 //!
 //! Replicate `i` is seeded `base_seed + i` no matter which process runs
 //! it, and partial merging is exact (see `glc_ssa::exact`), so a
 //! coordinator over any number of workers reproduces the in-process
-//! `run_ensemble` aggregate **bitwise**. The integration tests assert
-//! exactly that, and CI exercises it on every push.
+//! `run_ensemble` aggregate **bitwise** — and a resident session
+//! extended `0..R` then `R..R+N` holds exactly the partial a fresh
+//! `0..R+N` run produces (seed-range accounting validates the merges
+//! are disjoint rather than trusting them). The integration tests
+//! assert exactly that, and CI exercises it on every push.
 //!
-//! See `crates/service/README.md` for the wire schema with a worked
-//! example.
+//! See `crates/service/README.md` for the wire schemas with worked
+//! examples.
 
 #![warn(missing_docs)]
+
+pub mod session;
+
+pub use session::{
+    ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request, Response, ServiceStats,
+    SessionSpec, SessionStore, SpeciesNoise, Submitted,
+};
 
 use glc_model::Model;
 use glc_ssa::{
@@ -272,6 +290,42 @@ pub struct Coordinator {
     workers: usize,
 }
 
+/// Health accounting of one [`Coordinator::run_with_report`] call.
+///
+/// "Worker slots" are positions in the coordinator's round-robin
+/// spawn schedule, not long-lived processes: every attempt is a fresh
+/// child of the same binary. Shard `i` counts against slot
+/// `i % workers`; its one retry counts against the next slot (the
+/// same slot when `workers == 1`). Re-running a seed range is
+/// idempotent — replicate seeds are absolute and partials are exact,
+/// so a retried shard's partial is bit-identical to what the failed
+/// attempt would have produced. The counts locate *when in the
+/// schedule* failures cluster; once workers live on distinct hosts
+/// (the roadmap's remote-transport rung), the slot becomes a real
+/// per-host health signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Failures observed per worker slot (first attempts and retries
+    /// both count against the slot they ran on).
+    pub worker_failures: Vec<u64>,
+    /// Shards that failed once and succeeded on their retry.
+    pub retried_shards: u64,
+}
+
+impl RunReport {
+    fn new(workers: usize) -> Self {
+        RunReport {
+            worker_failures: vec![0; workers],
+            retried_shards: 0,
+        }
+    }
+
+    /// Total shard failures observed across all worker slots.
+    pub fn total_failures(&self) -> u64 {
+        self.worker_failures.iter().sum()
+    }
+}
+
 impl Coordinator {
     /// A coordinator spawning `workers` children of the `glc-worker`
     /// binary at `worker`.
@@ -290,18 +344,37 @@ impl Coordinator {
     }
 
     /// Executes `order` sharded across the worker processes and merges
-    /// the partials in shard order.
+    /// the partials in shard order, discarding the health report.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Worker`] when a child fails (its stderr is
-    /// included), [`ServiceError::Protocol`] for undecodable output,
-    /// and the first failing shard's error otherwise.
+    /// See [`Coordinator::run_with_report`].
     pub fn run(&self, order: &WorkOrder) -> Result<EnsemblePartial, ServiceError> {
+        self.run_with_report(order).map(|(partial, _)| partial)
+    }
+
+    /// Executes `order` sharded across the worker processes, merges
+    /// the partials in shard order, and reports per-worker failure
+    /// counts. A shard whose child fails is re-issued **once** on the
+    /// next worker slot — determinism makes the retry idempotent, so
+    /// a transiently lost worker costs latency, not correctness.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Worker`] when a child (and its retry) fails
+    /// (stderr included), [`ServiceError::Protocol`] for undecodable
+    /// output, and the first failing shard's error otherwise.
+    pub fn run_with_report(
+        &self,
+        order: &WorkOrder,
+    ) -> Result<(EnsemblePartial, RunReport), ServiceError> {
         let shards = order.shard(self.workers as u64);
+        let mut report = RunReport::new(self.workers);
         // Spawn every child before reading any output so the shards
         // run concurrently; each child gets its order on stdin and is
-        // then left to work while the later ones start.
+        // then left to work while the later ones start. Shard `i` runs
+        // on worker slot `i % workers` (one shard per slot in the
+        // common full-width case).
         let mut children: Vec<(Child, WorkOrder)> = Vec::with_capacity(shards.len());
         for shard in shards {
             match self.spawn_shard(&shard) {
@@ -317,17 +390,48 @@ impl Coordinator {
         // Collect and merge in shard order. Order does not matter for
         // the bits (exact accumulation); it does give deterministic
         // error reporting: the lowest-replicate failing shard wins.
-        // After a failure the remaining children are killed and reaped
-        // — never left computing (or as zombies) past this call.
+        // After a terminal failure the remaining children are killed
+        // and reaped — never left computing (or as zombies) past this
+        // call.
         let mut merged: Option<EnsemblePartial> = None;
         let mut first_failure: Option<ServiceError> = None;
-        for (mut child, shard) in children {
+        for (index, (child, shard)) in children.into_iter().enumerate() {
             if first_failure.is_some() {
+                let mut child = child;
                 let _ = child.kill();
                 let _ = child.wait();
                 continue;
             }
-            let outcome = collect_partial(child, &shard).and_then(|partial| match &mut merged {
+            let partial = match collect_partial(child, &shard) {
+                Ok(partial) => Ok(partial),
+                Err(first_err) => {
+                    // Retry once on the next worker slot. The re-issued
+                    // order covers the same absolute seed range, so on
+                    // success the aggregate is exactly what the failed
+                    // attempt would have contributed.
+                    report.worker_failures[index % self.workers] += 1;
+                    let retry_slot = (index + 1) % self.workers;
+                    let retried = self
+                        .spawn_shard(&shard)
+                        .and_then(|retry| collect_partial(retry, &shard));
+                    match retried {
+                        Ok(partial) => {
+                            report.retried_shards += 1;
+                            Ok(partial)
+                        }
+                        Err(retry_err) => {
+                            report.worker_failures[retry_slot] += 1;
+                            // Prefer the retry's error: it is the one
+                            // that exhausted the shard's attempts (and
+                            // for deterministic failures the two
+                            // messages agree anyway).
+                            let _ = first_err;
+                            Err(retry_err)
+                        }
+                    }
+                }
+            };
+            let outcome = partial.and_then(|partial| match &mut merged {
                 None => {
                     merged = Some(partial);
                     Ok(())
@@ -341,7 +445,9 @@ impl Coordinator {
         if let Some(failure) = first_failure {
             return Err(failure);
         }
-        merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))
+        let merged =
+            merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))?;
+        Ok((merged, report))
     }
 
     /// Spawns one worker child and hands it its order on stdin.

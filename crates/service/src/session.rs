@@ -1,0 +1,678 @@
+//! The resident session protocol: Submit / Extend / Query over warm
+//! compiled models and partially-aggregated ensembles.
+//!
+//! The one-shot [`crate::WorkOrder`] protocol pays a cold start on
+//! every request: recompile the model, rerun all replicates, throw the
+//! partial away. The session protocol is the ROADMAP's next rung — a
+//! **resident query service** that keeps both expensive artifacts
+//! warm:
+//!
+//! * [`Request::Submit`] — compile the model once and cache it (with
+//!   an empty [`EnsemblePartial`]) under a fingerprint key derived
+//!   from the full session spec. Submitting the same spec again is
+//!   idempotent: it finds the warm session instead of recompiling.
+//! * [`Request::Extend`] — simulate **only the new seed range**
+//!   `base_seed + R .. base_seed + R + N` and merge it into the
+//!   resident partial. The partial's seed-range accounting validates
+//!   the merge is disjoint, and exact accumulation makes the extended
+//!   partial bitwise-identical to a fresh `0 .. R + N` run — the
+//!   property the session store is property-tested on.
+//! * [`Request::Query`] — finalize means/σ and per-species noise
+//!   figures off the resident partial. **Zero simulation work**: every
+//!   response carries `simulated` (replicates run while serving it),
+//!   and it is 0 for every query.
+//!
+//! Sessions live in an [`SessionStore`] bounded by an LRU policy:
+//! submitting past the capacity evicts the least-recently-touched
+//! session (its partial is gone; resubmitting starts cold). Extends
+//! run either in-process or — [`ExtendBackend::Coordinator`] — fanned
+//! out over `glc-worker` child processes, reusing the shard protocol
+//! unchanged; both produce the same bits, by the same argument as the
+//! one-shot path.
+//!
+//! The `glc-serve` binary serves this protocol as line-delimited JSON
+//! on stdin/stdout; see `crates/service/README.md` for a worked
+//! example.
+
+use crate::{Coordinator, EngineSpec, ModelSource, ServiceError, WorkOrder};
+use glc_ssa::{run_partial_from, CompiledModel, EnsemblePartial, Trace};
+use glc_vasim::stats::{ensemble_noise, NoisePoint};
+use serde::{Deserialize, Serialize};
+
+/// Everything that identifies a resident ensemble session: the model,
+/// the engine, the replicate-0 seed, and the sampling grid. Two
+/// submissions with the same spec are the same session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The circuit to simulate.
+    pub model: ModelSource,
+    /// Initial-amount overrides applied before compilation.
+    pub set_amounts: Vec<(String, f64)>,
+    /// The engine every replicate runs.
+    pub engine: EngineSpec,
+    /// Seed of replicate 0; replicate `i` is seeded `base_seed + i`.
+    pub base_seed: u64,
+    /// Simulation horizon per replicate.
+    pub t_end: f64,
+    /// Trace sampling interval.
+    pub sample_dt: f64,
+}
+
+impl SessionSpec {
+    /// A spec with no amount overrides (builder style via
+    /// [`SessionSpec::with_amount`]).
+    pub fn new(
+        model: ModelSource,
+        engine: EngineSpec,
+        base_seed: u64,
+        t_end: f64,
+        sample_dt: f64,
+    ) -> Self {
+        SessionSpec {
+            model,
+            set_amounts: Vec::new(),
+            engine,
+            base_seed,
+            t_end,
+            sample_dt,
+        }
+    }
+
+    /// Adds an initial-amount override (builder style).
+    pub fn with_amount(mut self, species: &str, amount: f64) -> Self {
+        self.set_amounts.push((species.to_string(), amount));
+        self
+    }
+
+    /// The session key: an FNV-1a fingerprint of the canonical JSON of
+    /// the spec. Deterministic across processes (the hash walks the
+    /// serialized bytes, not addresses), so a client can re-derive the
+    /// key of a session it submitted earlier.
+    pub fn fingerprint(&self) -> String {
+        let canonical = serde_json::to_string(self).unwrap_or_default();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in canonical.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("sess-{hash:016x}")
+    }
+
+    /// The one-shot work order covering this spec's replicates
+    /// `first .. first + count` — how an Extend reuses the worker
+    /// sharding protocol unchanged.
+    fn work_order(&self, first: u64, count: u64) -> WorkOrder {
+        WorkOrder {
+            model: self.model.clone(),
+            set_amounts: self.set_amounts.clone(),
+            engine: self.engine.clone(),
+            base_seed: self.base_seed,
+            first_replicate: first,
+            replicates: count,
+            t_end: self.t_end,
+            sample_dt: self.sample_dt,
+        }
+    }
+}
+
+/// One request to the resident query service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Compile and cache a session (idempotent per spec).
+    Submit(SessionSpec),
+    /// Extend a session's resident partial by N replicates.
+    Extend(ExtendRequest),
+    /// Read figures off a session's resident partial (no simulation).
+    Query(QueryRequest),
+    /// Service-level counters (sessions resident, evictions, total
+    /// replicates simulated).
+    Stats,
+}
+
+/// Parameters of [`Request::Extend`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtendRequest {
+    /// Session key from the Submit response.
+    pub session: String,
+    /// Number of *additional* replicates to simulate and merge.
+    pub replicates: u64,
+}
+
+/// Parameters of [`Request::Query`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Session key from the Submit response.
+    pub session: String,
+    /// Species to report noise figures for; empty = every species the
+    /// session aggregates.
+    pub species: Vec<String>,
+}
+
+/// One reply from the resident query service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Submit`].
+    Submitted(Submitted),
+    /// Reply to [`Request::Extend`].
+    Extended(Extended),
+    /// Reply to [`Request::Query`].
+    Queried(Queried),
+    /// Reply to [`Request::Stats`].
+    Stats(ServiceStats),
+    /// Any request that could not be served (the session protocol
+    /// keeps serving after an error).
+    Error(String),
+}
+
+/// Reply to [`Request::Submit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submitted {
+    /// Session key for Extend/Query.
+    pub session: String,
+    /// Replicates already resident (non-zero on an idempotent
+    /// re-submit of a warm session).
+    pub replicates: u64,
+    /// Whether the session was already resident.
+    pub warm: bool,
+    /// Replicates simulated while serving this request (always 0).
+    pub simulated: u64,
+}
+
+/// Reply to [`Request::Extend`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Extended {
+    /// Session key.
+    pub session: String,
+    /// Total replicates now resident.
+    pub replicates: u64,
+    /// Replicates simulated while serving this request (= the
+    /// requested extension).
+    pub simulated: u64,
+}
+
+/// Reply to [`Request::Query`]: figures finalized off the resident
+/// partial, zero replicates simulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Queried {
+    /// Session key.
+    pub session: String,
+    /// Replicates aggregated in the reported figures.
+    pub replicates: u64,
+    /// Ensemble mean of every species on the session grid.
+    pub mean: Trace,
+    /// Ensemble standard deviation (population).
+    pub std_dev: Trace,
+    /// Per-species noise figures (mean/σ/variance/Fano/CV per sample),
+    /// read off the borrowed partial.
+    pub noise: Vec<SpeciesNoise>,
+    /// Replicates simulated while serving this request (always 0 —
+    /// the acceptance criterion of the resident refactor).
+    pub simulated: u64,
+}
+
+/// Noise series of one species in a [`Queried`] reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesNoise {
+    /// Species name.
+    pub species: String,
+    /// Per-sample figures.
+    pub points: Vec<NoisePoint>,
+}
+
+/// Service-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServiceStats {
+    /// Sessions currently resident.
+    pub sessions: u64,
+    /// Sessions evicted by the LRU bound since startup.
+    pub evictions: u64,
+    /// Total replicates simulated since startup (only Extends add).
+    pub simulated: u64,
+}
+
+/// How an Extend's new seed range is simulated.
+pub enum ExtendBackend {
+    /// On the calling thread, against the session's warm compiled
+    /// model (no process or compile cost).
+    InProcess,
+    /// Fanned out over `glc-worker` child processes via the sharding
+    /// [`Coordinator`] (which re-ships the model; workers compile
+    /// their own copy, as the one-shot protocol always did).
+    Coordinator(Coordinator),
+}
+
+/// One resident session: the warm compiled model and the growing
+/// partial.
+struct Session {
+    /// The fingerprint key, computed once at submit (recomputing it
+    /// per lookup would re-serialize the whole spec — including any
+    /// inline SBML document — on every request).
+    key: String,
+    spec: SessionSpec,
+    model: CompiledModel,
+    partial: EnsemblePartial,
+    /// LRU clock stamp of the last touch.
+    last_used: u64,
+}
+
+/// An LRU-bounded store of resident sessions; the state behind a
+/// `glc-serve` process (and directly drivable in-process, which is how
+/// the extend-vs-fresh property tests run).
+pub struct SessionStore {
+    capacity: usize,
+    backend: ExtendBackend,
+    sessions: Vec<Session>,
+    clock: u64,
+    evictions: u64,
+    simulated: u64,
+}
+
+impl SessionStore {
+    /// A store holding at most `capacity` resident sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for zero capacity.
+    pub fn new(capacity: usize, backend: ExtendBackend) -> Result<Self, ServiceError> {
+        if capacity == 0 {
+            return Err(ServiceError::Order("session capacity must be >= 1".into()));
+        }
+        Ok(SessionStore {
+            capacity,
+            backend,
+            sessions: Vec::new(),
+            clock: 0,
+            evictions: 0,
+            simulated: 0,
+        })
+    }
+
+    /// Serves one request, never failing the loop: errors become
+    /// [`Response::Error`].
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Submit(spec) => match self.submit(spec) {
+                Ok(reply) => Response::Submitted(reply),
+                Err(err) => Response::Error(err.to_string()),
+            },
+            Request::Extend(extend) => match self.extend(&extend.session, extend.replicates) {
+                Ok(reply) => Response::Extended(reply),
+                Err(err) => Response::Error(err.to_string()),
+            },
+            Request::Query(query) => match self.query(&query.session, &query.species) {
+                Ok(reply) => Response::Queried(reply),
+                Err(err) => Response::Error(err.to_string()),
+            },
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    /// Compiles and caches `spec` (idempotent: a warm session with the
+    /// same spec is touched, not rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for unresolvable models, unknown
+    /// override species, invalid engine parameters, or an invalid
+    /// grid.
+    pub fn submit(&mut self, spec: &SessionSpec) -> Result<Submitted, ServiceError> {
+        let key = spec.fingerprint();
+        self.clock += 1;
+        if let Some(session) = self.sessions.iter_mut().find(|s| s.spec == *spec) {
+            session.last_used = self.clock;
+            return Ok(Submitted {
+                session: key,
+                replicates: session.partial.replicates(),
+                warm: true,
+                simulated: 0,
+            });
+        }
+        // Cold: compile the model and validate the whole spec up
+        // front (engine parameters included), so Extend can trust it.
+        let order = spec.work_order(0, 1);
+        let model = order.compile_model()?;
+        spec.engine.build()?;
+        let partial = EnsemblePartial::new(&model, spec.t_end, spec.sample_dt)?;
+        if self.sessions.len() >= self.capacity {
+            // Evict the least-recently-touched session.
+            let oldest = self
+                .sessions
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, store non-empty");
+            self.sessions.swap_remove(oldest);
+            self.evictions += 1;
+        }
+        self.sessions.push(Session {
+            key: key.clone(),
+            spec: spec.clone(),
+            model,
+            partial,
+            last_used: self.clock,
+        });
+        Ok(Submitted {
+            session: key,
+            replicates: 0,
+            warm: false,
+            simulated: 0,
+        })
+    }
+
+    /// Simulates the session's next `count` replicates (seed range
+    /// `base_seed + R .. base_seed + R + count`) and merges them into
+    /// the resident partial.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for an unknown session or zero
+    /// `count`, simulation/worker errors from the backend, and any
+    /// seed-coverage violation the partial's accounting detects.
+    pub fn extend(&mut self, session: &str, count: u64) -> Result<Extended, ServiceError> {
+        if count == 0 {
+            return Err(ServiceError::Order("extend replicates must be >= 1".into()));
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.lookup(session)?;
+        let resident = &mut self.sessions[slot];
+        resident.last_used = clock;
+        let first = resident.partial.replicates();
+        let fresh = match &self.backend {
+            ExtendBackend::InProcess => {
+                let spec = &resident.spec;
+                let engine = &spec.engine;
+                run_partial_from(
+                    &resident.model,
+                    || engine.build().expect("validated at submit"),
+                    spec.base_seed.wrapping_add(first),
+                    count,
+                    spec.t_end,
+                    spec.sample_dt,
+                )?
+            }
+            ExtendBackend::Coordinator(coordinator) => {
+                coordinator.run(&resident.spec.work_order(first, count))?
+            }
+        };
+        resident.partial.merge(&fresh)?;
+        self.simulated += count;
+        Ok(Extended {
+            session: session.to_string(),
+            replicates: resident.partial.replicates(),
+            simulated: count,
+        })
+    }
+
+    /// Finalizes figures off the resident partial: means, σ, and the
+    /// requested species' noise series. No replicate is simulated.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for an unknown session or a species the
+    /// session does not aggregate, [`ServiceError::Sim`] for a partial
+    /// that cannot finalize (zero replicates, poisoned cells).
+    pub fn query(&mut self, session: &str, species: &[String]) -> Result<Queried, ServiceError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.lookup(session)?;
+        let resident = &mut self.sessions[slot];
+        resident.last_used = clock;
+        let partial = &resident.partial;
+        let ensemble = partial.finalize()?;
+        let names: Vec<String> = if species.is_empty() {
+            partial.fingerprint().species.clone()
+        } else {
+            species.to_vec()
+        };
+        let mut noise = Vec::with_capacity(names.len());
+        for name in names {
+            // Read the figures off the traces finalize already
+            // materialized rather than re-expanding every exact cell
+            // through the borrowed-partial path — the two are pinned
+            // bitwise-identical (`glc_vasim::stats` parity test), and
+            // this halves the per-query superaccumulator work.
+            let points = ensemble_noise(&ensemble, &name).ok_or_else(|| {
+                ServiceError::Order(format!("session does not aggregate species `{name}`"))
+            })?;
+            noise.push(SpeciesNoise {
+                species: name,
+                points,
+            });
+        }
+        Ok(Queried {
+            session: session.to_string(),
+            replicates: partial.replicates(),
+            mean: ensemble.mean,
+            std_dev: ensemble.std_dev,
+            noise,
+            simulated: 0,
+        })
+    }
+
+    /// A borrowed view of a resident session's partial (primarily for
+    /// tests and embedding callers; protocol clients use Query).
+    pub fn partial(&self, session: &str) -> Option<&EnsemblePartial> {
+        self.sessions
+            .iter()
+            .find(|s| s.key == session)
+            .map(|s| &s.partial)
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            sessions: self.sessions.len() as u64,
+            evictions: self.evictions,
+            simulated: self.simulated,
+        }
+    }
+
+    /// Index of the session with the given key.
+    fn lookup(&self, session: &str) -> Result<usize, ServiceError> {
+        self.sessions
+            .iter()
+            .position(|s| s.key == session)
+            .ok_or_else(|| {
+                ServiceError::Order(format!(
+                    "unknown session `{session}` (expired from the LRU bound, or never submitted)"
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glc_ssa::run_partial_from as fresh_partial;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::new(
+            ModelSource::Catalog("book_and".into()),
+            EngineSpec::Direct,
+            7,
+            20.0,
+            4.0,
+        )
+        .with_amount("LacI", 15.0)
+        .with_amount("TetR", 15.0)
+    }
+
+    fn store() -> SessionStore {
+        SessionStore::new(4, ExtendBackend::InProcess).unwrap()
+    }
+
+    #[test]
+    fn submit_extend_query_round_trip() {
+        let mut store = store();
+        let submitted = store.submit(&spec()).unwrap();
+        assert!(!submitted.warm);
+        assert_eq!(submitted.replicates, 0);
+        assert_eq!(submitted.simulated, 0);
+
+        // Idempotent resubmit finds the warm session.
+        let again = store.submit(&spec()).unwrap();
+        assert!(again.warm);
+        assert_eq!(again.session, submitted.session);
+
+        let extended = store.extend(&submitted.session, 5).unwrap();
+        assert_eq!(extended.replicates, 5);
+        assert_eq!(extended.simulated, 5);
+        let extended = store.extend(&submitted.session, 3).unwrap();
+        assert_eq!(extended.replicates, 8);
+
+        let queried = store.query(&submitted.session, &[]).unwrap();
+        assert_eq!(queried.replicates, 8);
+        assert_eq!(queried.simulated, 0, "queries must not simulate");
+        assert_eq!(queried.mean.len(), queried.std_dev.len());
+        assert_eq!(
+            queried.noise.len(),
+            queried.mean.species().len(),
+            "empty filter reports every species"
+        );
+
+        // The resident partial is bitwise what a fresh 0..8 run makes.
+        let order = spec().work_order(0, 8);
+        let model = order.compile_model().unwrap();
+        let reference = fresh_partial(
+            &model,
+            || EngineSpec::Direct.build().unwrap(),
+            7,
+            8,
+            20.0,
+            4.0,
+        )
+        .unwrap();
+        assert_eq!(store.partial(&submitted.session).unwrap(), &reference);
+
+        let stats = store.stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.simulated, 8);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recently_touched() {
+        let mut store = SessionStore::new(2, ExtendBackend::InProcess).unwrap();
+        let make = |seed: u64| {
+            SessionSpec::new(
+                ModelSource::Catalog("book_not".into()),
+                EngineSpec::Direct,
+                seed,
+                10.0,
+                5.0,
+            )
+            .with_amount("LacI", 15.0)
+        };
+        let a = store.submit(&make(1)).unwrap().session;
+        let b = store.submit(&make(2)).unwrap().session;
+        // Touch A so B is the LRU victim.
+        store.extend(&a, 1).unwrap();
+        let c = store.submit(&make(3)).unwrap().session;
+        assert_eq!(store.stats().sessions, 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.partial(&a).is_some(), "recently-touched A survives");
+        assert!(store.partial(&b).is_none(), "LRU session B evicted");
+        assert!(store.partial(&c).is_some());
+        // Extending the evicted session is a clean error…
+        assert!(matches!(store.extend(&b, 1), Err(ServiceError::Order(_))));
+        // …and resubmitting starts it cold.
+        let again = store.submit(&make(2)).unwrap();
+        assert!(!again.warm);
+        assert_eq!(again.replicates, 0);
+    }
+
+    #[test]
+    fn bad_requests_are_clean_errors() {
+        let mut store = store();
+        assert!(SessionStore::new(0, ExtendBackend::InProcess).is_err());
+        let bad = SessionSpec::new(
+            ModelSource::Catalog("no_such".into()),
+            EngineSpec::Direct,
+            0,
+            10.0,
+            1.0,
+        );
+        assert!(matches!(store.submit(&bad), Err(ServiceError::Order(_))));
+        let bad_engine = SessionSpec::new(
+            ModelSource::Catalog("book_not".into()),
+            EngineSpec::TauLeap(-1.0),
+            0,
+            10.0,
+            1.0,
+        );
+        assert!(matches!(
+            store.submit(&bad_engine),
+            Err(ServiceError::Order(_))
+        ));
+        assert!(matches!(
+            store.extend("sess-missing", 1),
+            Err(ServiceError::Order(_))
+        ));
+        assert!(matches!(
+            store.query("sess-missing", &[]),
+            Err(ServiceError::Order(_))
+        ));
+        let session = store.submit(&spec()).unwrap().session;
+        assert!(matches!(
+            store.extend(&session, 0),
+            Err(ServiceError::Order(_))
+        ));
+        // Querying before any extend: zero replicates cannot finalize.
+        assert!(store.query(&session, &[]).is_err());
+        // Unknown species in the filter.
+        store.extend(&session, 1).unwrap();
+        assert!(matches!(
+            store.query(&session, &["Ghost".into()]),
+            Err(ServiceError::Order(_))
+        ));
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_json() {
+        let requests = [
+            Request::Submit(spec()),
+            Request::Extend(ExtendRequest {
+                session: "sess-00ff".into(),
+                replicates: 64,
+            }),
+            Request::Query(QueryRequest {
+                session: "sess-00ff".into(),
+                species: vec!["GFP".into()],
+            }),
+            Request::Stats,
+        ];
+        for request in &requests {
+            let json = serde_json::to_string(request).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, request);
+        }
+        let mut store = store();
+        let session = store.submit(&spec()).unwrap().session;
+        store.extend(&session, 2).unwrap();
+        let reply = store.handle(&Request::Query(QueryRequest {
+            session,
+            species: vec![],
+        }));
+        assert!(matches!(reply, Response::Queried(_)));
+        // NaN figures (Fano/CV at zero mean) make PartialEq useless
+        // here; canonical-JSON equality is the round-trip contract the
+        // wire actually needs.
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_specs() {
+        let base = spec();
+        let mut other = spec();
+        other.base_seed = 8;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut engine = spec();
+        engine.engine = EngineSpec::Langevin(0.1);
+        assert_ne!(base.fingerprint(), engine.fingerprint());
+        assert_eq!(base.fingerprint(), spec().fingerprint());
+    }
+}

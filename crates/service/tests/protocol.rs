@@ -133,6 +133,102 @@ fn sbml_work_orders_travel_whole_models() {
     assert_bitwise_equal(&sharded, &in_process);
 }
 
+/// Writes an executable shell script that fails on its first
+/// invocation (creating a marker file) and execs the real worker on
+/// every later one — a deterministic "transiently lost worker".
+#[cfg(unix)]
+fn flaky_worker_script(label: &str) -> std::path::PathBuf {
+    use std::os::unix::fs::PermissionsExt as _;
+    let dir = std::env::temp_dir().join(format!("glc-flaky-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create script dir");
+    let marker = dir.join("first-attempt-burned");
+    let _ = std::fs::remove_dir(&marker);
+    let script = dir.join("flaky-worker.sh");
+    // `mkdir` is atomic, so exactly one concurrently-spawned child
+    // claims the injected failure; stdin is drained first so the
+    // coordinator's order write never sees a broken pipe.
+    std::fs::write(
+        &script,
+        format!(
+            "#!/bin/sh\norder=$(cat)\nif mkdir '{marker}' 2>/dev/null; then\n  echo 'injected transient failure' >&2\n  exit 1\nfi\nprintf '%s' \"$order\" | '{worker}' \"$@\"\n",
+            marker = marker.display(),
+            worker = worker_bin(),
+        ),
+    )
+    .expect("write script");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("chmod script");
+    script
+}
+
+#[cfg(unix)]
+#[test]
+fn failed_shard_is_retried_once_and_reproduces_the_bits() {
+    // One worker child dies on its first attempt; the coordinator
+    // re-issues the shard (same absolute seed range → idempotent), so
+    // the aggregate is still bitwise the in-process run, and the
+    // report carries the failure.
+    let order = book_and_order(EngineSpec::Direct, 12);
+    let coordinator = Coordinator::new(flaky_worker_script("retry"), 2).unwrap();
+    let (partial, report) = coordinator.run_with_report(&order).unwrap();
+    assert_eq!(report.total_failures(), 1, "{report:?}");
+    assert_eq!(report.retried_shards, 1, "{report:?}");
+    assert_eq!(report.worker_failures.len(), 2);
+    let model = order.compile_model().unwrap();
+    let in_process = run_ensemble(
+        &model,
+        || Box::new(Direct::new()) as Box<dyn Engine>,
+        12,
+        60.0,
+        6.0,
+        7,
+        4,
+    )
+    .unwrap();
+    assert_bitwise_equal(&partial.finalize().unwrap(), &in_process);
+}
+
+#[cfg(unix)]
+#[test]
+fn permanently_failing_worker_exhausts_its_retry() {
+    use std::os::unix::fs::PermissionsExt as _;
+    // A worker that always fails (after draining its order, so the
+    // coordinator reaches the collect path) burns the first attempt
+    // and the one retry, then surfaces the failure.
+    let dir = std::env::temp_dir().join(format!("glc-dead-worker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create script dir");
+    let script = dir.join("dead-worker.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\ncat > /dev/null\necho 'permanently broken' >&2\nexit 1\n",
+    )
+    .expect("write script");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("chmod script");
+    let order = book_and_order(EngineSpec::Direct, 4);
+    let err = Coordinator::new(&script, 2)
+        .unwrap()
+        .run_with_report(&order)
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.contains("exited with") && text.contains("permanently broken"),
+        "{text}"
+    );
+}
+
+#[test]
+fn healthy_runs_report_zero_failures() {
+    let order = book_and_order(EngineSpec::Direct, 6);
+    let (_, report) = Coordinator::new(worker_bin(), 3)
+        .unwrap()
+        .run_with_report(&order)
+        .unwrap();
+    assert_eq!(report.total_failures(), 0);
+    assert_eq!(report.retried_shards, 0);
+    assert_eq!(report.worker_failures, vec![0, 0, 0]);
+}
+
 #[test]
 fn worker_failures_surface_with_stderr() {
     let mut order = book_and_order(EngineSpec::Direct, 4);

@@ -75,12 +75,26 @@ pub struct PartialFingerprint {
 /// A mergeable, serializable shard of an ensemble aggregate.
 ///
 /// Holds the per-species / per-sample sum and sum-of-squares over some
-/// set of replicates, in exact accumulators, plus the replicate count
-/// and the [`PartialFingerprint`] of the model/grid. `merge` is
-/// associative and commutative **bitwise** (exact arithmetic), which is
-/// what lets the process-level worker protocol shard a replicate range
-/// arbitrarily and still reproduce the single-process aggregate bit
-/// for bit.
+/// set of replicates, in exact accumulators, plus the replicate count,
+/// the covered seed ranges, and the [`PartialFingerprint`] of the
+/// model/grid. `merge` is associative and commutative **bitwise**
+/// (exact arithmetic), which is what lets the process-level worker
+/// protocol shard a replicate range arbitrarily and still reproduce
+/// the single-process aggregate bit for bit.
+///
+/// # Seed-range accounting
+///
+/// Every accumulated replicate records its absolute seed, kept as a
+/// sorted, disjoint, coalesced list of `(first_seed, count)` ranges
+/// (ranges that would cross the top of the `u64` seed space are split
+/// there). Accumulating an already-covered seed or merging partials
+/// with overlapping coverage is rejected (`InvalidConfig`) instead of
+/// silently double-counting — the resident query service extends
+/// cached partials incrementally, and this is what turns "the shards
+/// were disjoint" from an assumption into a checked invariant. Because
+/// adjacent ranges coalesce, a partial extended `0..R` then `R..R+N`
+/// is *equal* (including its coverage) to one accumulated `0..R+N`
+/// fresh.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnsemblePartial {
     fingerprint: PartialFingerprint,
@@ -89,6 +103,10 @@ pub struct EnsemblePartial {
     sums: Vec<ExactSum>,
     squares: Vec<ExactSum>,
     replicates: u64,
+    /// Covered absolute seed ranges: sorted by start, pairwise
+    /// disjoint, adjacent runs coalesced, never wrapping (a wrapping
+    /// run is stored as its two non-wrapping halves).
+    seed_ranges: Vec<(u64, u64)>,
 }
 
 impl EnsemblePartial {
@@ -137,7 +155,36 @@ impl EnsemblePartial {
             sums: vec![ExactSum::new(); slots],
             squares: vec![ExactSum::new(); slots],
             replicates: 0,
+            seed_ranges: Vec::new(),
         })
+    }
+
+    /// The covered absolute seed ranges, as sorted, disjoint,
+    /// coalesced `(first_seed, count)` runs (wrapping runs split at
+    /// the top of the seed space).
+    pub fn covered_seeds(&self) -> &[(u64, u64)] {
+        &self.seed_ranges
+    }
+
+    /// Whether the coverage is exactly the contiguous run of
+    /// `self.replicates()` seeds starting at `first` (wrapping) — the
+    /// shape a resident session extends from.
+    pub fn covers_contiguous_from(&self, first: u64) -> bool {
+        if self.replicates == 0 {
+            return self.seed_ranges.is_empty();
+        }
+        match self.seed_ranges.as_slice() {
+            [(s, c)] => *s == first && *c == self.replicates,
+            // A wrapped run splits into its top half and a
+            // zero-based remainder.
+            [(0, low), (s, c)] => {
+                *s == first
+                    && first != 0 // guards the capacity arithmetic below
+                    && *c == u64::MAX - first + 1
+                    && low.checked_add(*c) == Some(self.replicates)
+            }
+            _ => false,
+        }
     }
 
     /// The model/grid identity this partial aggregates over.
@@ -150,15 +197,18 @@ impl EnsemblePartial {
         self.replicates
     }
 
-    /// Folds one replicate trace in.
+    /// Folds one replicate trace in, recording `seed` (the replicate's
+    /// absolute seed) in the coverage accounting.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] when the trace's species list,
     /// sampling interval or length disagree with the fingerprint —
     /// aggregating a mismatched trace would silently corrupt every
-    /// moment, so the mismatch is rejected instead.
-    pub fn accumulate(&mut self, trace: &Trace) -> Result<(), SimError> {
+    /// moment, so the mismatch is rejected instead — or when `seed` is
+    /// already covered (double-counting a replicate would skew every
+    /// moment just as silently).
+    pub fn accumulate(&mut self, trace: &Trace, seed: u64) -> Result<(), SimError> {
         if trace.species() != self.fingerprint.species.as_slice() {
             return Err(SimError::InvalidConfig(format!(
                 "trace species {:?} do not match partial species {:?}",
@@ -180,6 +230,9 @@ impl EnsemblePartial {
                 self.fingerprint.samples
             )));
         }
+        // Record coverage before touching the accumulators so a
+        // rejected duplicate leaves the moments untouched.
+        insert_seed_run(&mut self.seed_ranges, seed, 1)?;
         let samples = self.fingerprint.samples as usize;
         for s in 0..self.fingerprint.species.len() {
             let series = trace.series_at(s);
@@ -198,13 +251,41 @@ impl EnsemblePartial {
     ///
     /// # Errors
     ///
-    /// [`SimError::InvalidConfig`] on a fingerprint mismatch.
+    /// [`SimError::InvalidConfig`] on a fingerprint mismatch, when the
+    /// two coverages overlap (the shards double-counted at least one
+    /// replicate), or when either side's coverage bookkeeping is
+    /// malformed or disagrees with its replicate count — partials
+    /// arrive deserialized from worker replies, so the invariants are
+    /// re-checked rather than trusted. Validation happens before any
+    /// accumulator is touched, so a rejected merge leaves `self`
+    /// unchanged.
     pub fn merge(&mut self, other: &EnsemblePartial) -> Result<(), SimError> {
         if self.fingerprint != other.fingerprint {
             return Err(SimError::InvalidConfig(format!(
                 "partial fingerprint mismatch: {:?} vs {:?}",
                 self.fingerprint, other.fingerprint
             )));
+        }
+        // Rebuild the combined coverage from scratch on a scratch
+        // list: this validates *both* sides' runs (either may have
+        // been deserialized from an untrusted reply), detects any
+        // overlap, and keeps merge all-or-nothing.
+        let mut coverage = Vec::with_capacity(self.seed_ranges.len() + other.seed_ranges.len());
+        for &(start, count) in self.seed_ranges.iter().chain(&other.seed_ranges) {
+            insert_seed_run(&mut coverage, start, count)?;
+        }
+        for (side, partial) in [("left", &*self), ("right", other)] {
+            let covered: u128 = partial
+                .seed_ranges
+                .iter()
+                .map(|&(_, c)| u128::from(c))
+                .sum();
+            if covered != u128::from(partial.replicates) {
+                return Err(SimError::InvalidConfig(format!(
+                    "{side} partial claims {} replicates but its coverage holds {covered}",
+                    partial.replicates
+                )));
+            }
         }
         for (mine, theirs) in self.sums.iter_mut().zip(&other.sums) {
             mine.merge(theirs);
@@ -213,7 +294,85 @@ impl EnsemblePartial {
             mine.merge(theirs);
         }
         self.replicates += other.replicates;
+        self.seed_ranges = coverage;
         Ok(())
+    }
+
+    /// `(t, mean, population σ)` of `species` at every sample instant,
+    /// read directly off the exact accumulators without materializing
+    /// the full mean/σ traces — the borrowed-partial path the resident
+    /// query service answers per-species noise queries from. The
+    /// figures are bitwise-identical to the corresponding samples of
+    /// the [`EnsemblePartial::finalize`] traces.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an unknown species, an empty
+    /// partial, or a cell poisoned by non-finite trace values (the
+    /// same conditions `finalize` rejects).
+    pub fn species_moments(&self, species: &str) -> Result<Vec<(f64, f64, f64)>, SimError> {
+        let Some(s) = self
+            .fingerprint
+            .species
+            .iter()
+            .position(|name| name == species)
+        else {
+            return Err(SimError::InvalidConfig(format!(
+                "partial does not aggregate species `{species}`"
+            )));
+        };
+        if self.replicates == 0 {
+            return Err(SimError::InvalidConfig(
+                "cannot read moments off a partial with zero replicates".into(),
+            ));
+        }
+        let samples = self.fingerprint.samples as usize;
+        let n = self.replicates as f64;
+        let base = s * samples;
+        (0..samples)
+            .map(|k| {
+                let sum = self.sums[base + k].value();
+                let square = self.squares[base + k].value();
+                if !(sum.is_finite() && square.is_finite()) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "partial poisoned by non-finite values (species `{species}`, sample {k})"
+                    )));
+                }
+                // Exactly the finalize arithmetic, so the borrowed
+                // path reproduces the materialized traces bitwise.
+                let m = sum / n;
+                let sd = (square / n - m * m).max(0.0).sqrt();
+                Ok((k as f64 * self.fingerprint.sample_dt, m, sd))
+            })
+            .collect()
+    }
+
+    /// Resident memory of this partial in bytes: both accumulator
+    /// grids (struct + digit-window heap per cell) plus the range and
+    /// fingerprint bookkeeping. Feeds the bench's bytes-per-cached-cell
+    /// footprint metric for the resident session store.
+    pub fn footprint_bytes(&self) -> usize {
+        let cells: usize = self
+            .sums
+            .iter()
+            .chain(&self.squares)
+            .map(ExactSum::footprint_bytes)
+            .sum();
+        cells
+            + std::mem::size_of::<Self>()
+            + self.seed_ranges.capacity() * std::mem::size_of::<(u64, u64)>()
+            + self
+                .fingerprint
+                .species
+                .iter()
+                .map(String::len)
+                .sum::<usize>()
+    }
+
+    /// Number of accumulator cells (`species × samples` each for sums
+    /// and sums-of-squares).
+    pub fn cells(&self) -> usize {
+        self.sums.len() + self.squares.len()
     }
 
     /// Rounds the exact moments into mean / standard-deviation traces.
@@ -266,6 +425,86 @@ impl EnsemblePartial {
             replicates: self.replicates as usize,
         })
     }
+}
+
+/// Inserts the non-wrapping seed run `start .. start + count` into a
+/// coverage list (sorted, disjoint, coalesced `(first_seed, count)`
+/// runs), rejecting any overlap and coalescing with adjacent runs.
+/// Runs never wrap: per-replicate accounting inserts one seed at a
+/// time, so a shard straddling the top of the seed space naturally
+/// records as its two non-wrapping halves (which keeps fresh and
+/// extended coverage of the same seeds structurally identical).
+///
+/// Rejects malformed runs (`count == 0`, or a run crossing the top of
+/// the seed space) rather than assuming them away: merge feeds this
+/// with ranges deserialized from worker replies, which are untrusted.
+fn insert_seed_run(ranges: &mut Vec<(u64, u64)>, start: u64, count: u64) -> Result<(), SimError> {
+    if count == 0 {
+        return Err(SimError::InvalidConfig(format!(
+            "empty seed range at {start} (count must be >= 1)"
+        )));
+    }
+    // Inclusive end: avoids overflow at u64::MAX for valid runs, and
+    // catches runs that would wrap (only a corrupt payload makes one).
+    let Some(end) = start.checked_add(count - 1) else {
+        return Err(SimError::InvalidConfig(format!(
+            "seed range {start}+{count} wraps the seed space"
+        )));
+    };
+    // Inclusive end of an *existing* run. Existing entries normally
+    // came through this function, but `accumulate` trusts whatever a
+    // derived Deserialize produced — so malformed neighbours are
+    // errors here too, not unchecked arithmetic.
+    let run_end = |s: u64, c: u64| {
+        c.checked_sub(1)
+            .and_then(|span| s.checked_add(span))
+            .ok_or_else(|| {
+                SimError::InvalidConfig(format!("malformed covered range {s}+{c} in coverage list"))
+            })
+    };
+    // Index of the first covered run starting after `start`.
+    let at = ranges.partition_point(|&(s, _)| s <= start);
+    if let Some(&(s, c)) = at.checked_sub(1).and_then(|i| ranges.get(i)) {
+        // Predecessor starts at or before `start`: overlap iff it
+        // reaches `start`.
+        if run_end(s, c)? >= start {
+            return Err(SimError::InvalidConfig(format!(
+                "seed range {start}+{count} overlaps covered range {s}+{c}"
+            )));
+        }
+    }
+    if let Some(&(s, c)) = ranges.get(at) {
+        run_end(s, c)?; // Reject a malformed successor before touching it.
+        if s <= end {
+            return Err(SimError::InvalidConfig(format!(
+                "seed range {start}+{count} overlaps covered range {s}+{c}"
+            )));
+        }
+    }
+    ranges.insert(at, (start, count));
+    // Coalesce with the successor, then the predecessor. A count sum
+    // that would overflow u64 (coverage spanning the whole seed
+    // space) skips coalescing — two adjacent runs are still correct.
+    if let Some(&(s, c)) = ranges.get(at + 1) {
+        if end.checked_add(1) == Some(s) {
+            if let Some(combined) = ranges[at].1.checked_add(c) {
+                ranges[at].1 = combined;
+                ranges.remove(at + 1);
+            }
+        }
+    }
+    if at > 0 {
+        let (ps, pc) = ranges[at - 1];
+        // Predecessor was validated non-overlapping above, so its end
+        // is < start <= u64::MAX and the +1 cannot overflow.
+        if ps + (pc - 1) + 1 == start {
+            if let Some(combined) = ranges[at - 1].1.checked_add(ranges[at].1) {
+                ranges[at - 1].1 = combined;
+                ranges.remove(at);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs the contiguous seed range `seeds` of replicates sequentially on
@@ -339,7 +578,7 @@ fn accumulate_range(
     for offset in 0..count {
         let seed = first_seed.wrapping_add(offset);
         let trace = simulate(model, engine, t_end, sample_dt, seed).map_err(|e| (offset, e))?;
-        partial.accumulate(&trace).map_err(|e| (offset, e))?;
+        partial.accumulate(&trace, seed).map_err(|e| (offset, e))?;
     }
     Ok(())
 }
@@ -647,13 +886,13 @@ mod tests {
         let model = birth_death();
         let mut partial = EnsemblePartial::new(&model, 4.0, 1.0).unwrap();
         let good = simulate(&model, &mut Direct::new(), 4.0, 1.0, 1).unwrap();
-        partial.accumulate(&good).unwrap();
+        partial.accumulate(&good, 1).unwrap();
 
         // Wrong length: a trace cut short mid-run.
         let mut short = Trace::new(vec!["X".into()], 1.0, 0.0);
         short.push_row(&[1.0]);
         short.push_row(&[2.0]);
-        let err = partial.accumulate(&short).unwrap_err();
+        let err = partial.accumulate(&short, 2).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
 
         // Wrong species set.
@@ -661,7 +900,7 @@ mod tests {
         for _ in 0..5 {
             alien.push_row(&[0.0]);
         }
-        let err = partial.accumulate(&alien).unwrap_err();
+        let err = partial.accumulate(&alien, 3).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
 
         // Wrong sampling interval.
@@ -669,14 +908,126 @@ mod tests {
         for _ in 0..5 {
             coarse.push_row(&[0.0]);
         }
-        let err = partial.accumulate(&coarse).unwrap_err();
+        let err = partial.accumulate(&coarse, 4).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+
+        // A duplicate seed is double-counting, even with a valid trace.
+        let err = partial.accumulate(&good, 1).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
 
         // The rejected traces must not have corrupted the aggregate.
         assert_eq!(partial.replicates(), 1);
         let mut clean = EnsemblePartial::new(&model, 4.0, 1.0).unwrap();
-        clean.accumulate(&good).unwrap();
+        clean.accumulate(&good, 1).unwrap();
         assert_eq!(partial, clean);
+    }
+
+    #[test]
+    fn seed_coverage_is_tracked_coalesced_and_validated() {
+        let model = birth_death();
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        // Extend path: 10..13 then 13..15 coalesces to one run…
+        let mut extended = run_partial(&model, engine, 10..13, 4.0, 1.0).unwrap();
+        assert_eq!(extended.covered_seeds(), &[(10, 3)]);
+        let next = run_partial(&model, engine, 13..15, 4.0, 1.0).unwrap();
+        extended.merge(&next).unwrap();
+        assert_eq!(extended.covered_seeds(), &[(10, 5)]);
+        assert!(extended.covers_contiguous_from(10));
+        assert!(!extended.covers_contiguous_from(11));
+        // …and is *equal* to the fresh 10..15 partial, coverage
+        // included (the resident-extend contract).
+        let fresh = run_partial(&model, engine, 10..15, 4.0, 1.0).unwrap();
+        assert_eq!(extended, fresh);
+
+        // Overlapping shards are rejected and leave self untouched.
+        let overlap = run_partial(&model, engine, 12..14, 4.0, 1.0).unwrap();
+        let before = extended.clone();
+        let err = extended.merge(&overlap).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        assert_eq!(extended, before);
+
+        // Disjoint non-adjacent shards keep separate runs.
+        let gap = run_partial(&model, engine, 20..22, 4.0, 1.0).unwrap();
+        extended.merge(&gap).unwrap();
+        assert_eq!(extended.covered_seeds(), &[(10, 5), (20, 2)]);
+        assert!(!extended.covers_contiguous_from(10));
+    }
+
+    #[test]
+    fn seed_coverage_splits_at_the_top_of_the_seed_space() {
+        let model = birth_death();
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let partial = run_partial_from(&model, engine, u64::MAX - 1, 4, 2.0, 1.0).unwrap();
+        // Seeds MAX-1, MAX, 0, 1: two non-wrapping halves.
+        assert_eq!(partial.covered_seeds(), &[(0, 2), (u64::MAX - 1, 2)]);
+        assert!(partial.covers_contiguous_from(u64::MAX - 1));
+        assert!(!partial.covers_contiguous_from(0));
+        // The wrapped coverage is reproduced identically by an
+        // extend-style split at the wrap point.
+        let mut extended = run_partial_from(&model, engine, u64::MAX - 1, 2, 2.0, 1.0).unwrap();
+        let rest = run_partial_from(&model, engine, 0, 2, 2.0, 1.0).unwrap();
+        extended.merge(&rest).unwrap();
+        assert_eq!(extended, partial);
+    }
+
+    #[test]
+    fn malformed_deserialized_coverage_is_rejected_not_trusted() {
+        // The derived Deserialize accepts seed_ranges verbatim, so a
+        // corrupt reply can claim a wrapping or empty run that
+        // insert_seed_run would never produce. Both accumulate and
+        // merge must reject such a partial with InvalidConfig — no
+        // overflow panic, no silent double-count.
+        let model = birth_death();
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let clean = run_partial(&model, engine, 1..2, 2.0, 1.0).unwrap();
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(json.contains("[[1.0,1.0]]"), "fixture drifted: {json}");
+        // A run wrapping the seed space (the 2^64-ish count saturates
+        // to u64::MAX through the JSON number layer) and an empty run.
+        for bogus in ["[[10.0,18446744073709551615.0]]", "[[5.0,0.0]]"] {
+            let corrupt: EnsemblePartial =
+                serde_json::from_str(&json.replace("[[1.0,1.0]]", bogus)).unwrap();
+            assert_ne!(corrupt.covered_seeds(), clean.covered_seeds());
+            let mut victim = corrupt.clone();
+            let trace = simulate(&model, &mut Direct::new(), 2.0, 1.0, 12).unwrap();
+            let err = victim.accumulate(&trace, 12).unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+            let other = run_partial(&model, engine, 30..31, 2.0, 1.0).unwrap();
+            let mut victim = corrupt.clone();
+            let err = victim.merge(&other).unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        }
+        // A replicate count disagreeing with the coverage is rejected
+        // by merge as well.
+        let lying: EnsemblePartial =
+            serde_json::from_str(&json.replace("\"replicates\":1.0", "\"replicates\":3.0"))
+                .unwrap();
+        let other = run_partial(&model, engine, 30..31, 2.0, 1.0).unwrap();
+        let mut victim = lying.clone();
+        let err = victim.merge(&other).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn species_moments_match_finalized_traces_bitwise() {
+        let model = birth_death();
+        let engine = || Box::new(Langevin::new(0.05).unwrap()) as Box<dyn Engine>;
+        let partial = run_partial(&model, engine, 3..9, 10.0, 2.0).unwrap();
+        let ensemble = partial.finalize().unwrap();
+        let moments = partial.species_moments("X").unwrap();
+        let mean = ensemble.mean.series("X").unwrap();
+        let std = ensemble.std_dev.series("X").unwrap();
+        assert_eq!(moments.len(), mean.len());
+        for (k, &(t, m, sd)) in moments.iter().enumerate() {
+            assert_eq!(t.to_bits(), ensemble.mean.time(k).to_bits());
+            assert_eq!(m.to_bits(), mean[k].to_bits(), "mean at {k}");
+            assert_eq!(sd.to_bits(), std[k].to_bits(), "σ at {k}");
+        }
+        // Unknown species and empty partials are rejected like
+        // finalize rejects them.
+        assert!(partial.species_moments("ghost").is_err());
+        let empty = EnsemblePartial::new(&model, 10.0, 2.0).unwrap();
+        assert!(empty.species_moments("X").is_err());
     }
 
     #[test]

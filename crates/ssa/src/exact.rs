@@ -23,58 +23,61 @@
 //! The sum is `Σ digits[i] · 2^(32·i - 1074)`: base-2^32 digits
 //! starting at the least significant bit of the smallest subnormal
 //! (2^-1074) and covering past the largest finite `f64` (< 2^1024).
+//! Conceptually there are [`DIGITS`] = 67 digit positions, but only a
+//! **window** of them is materialized: `lo` is the conceptual index of
+//! the first stored digit and `digits` holds the contiguous run that is
+//! (possibly) non-zero. A sum of same-magnitude inputs — the ensemble
+//! workload, where every cell accumulates one species at one sample
+//! instant — touches a handful of adjacent digits, so one accumulator
+//! costs tens of bytes instead of the ~550 the former flat array paid.
+//! The window grows on demand (downward for smaller magnitudes, upward
+//! for carries) and never exceeds the conceptual 67 digits.
+//!
 //! Digits are held in `i64` **carry-save** form — additions just add
 //! into at most three digits without propagating carries — and a
-//! pending-addition counter triggers normalization long before the
-//! 2^63 headroom could overflow. Non-finite inputs poison the
-//! accumulator (sticky), and `value()` then reports NaN.
-//!
-//! The flat digit array trades memory for hot-path simplicity: one
-//! accumulator is ~550 bytes where a plain `f64` sum is 8, so a
-//! partial over `species × samples` cells costs ~70x the old buffers
-//! (a few MB for typical ensemble grids, per worker). If very fine
-//! grids ever matter, a sparse digit window (`lo` offset + short
-//! vector, as the serialized form already uses) is the known
-//! follow-up.
+//! pending-addition counter triggers compaction long before the 2^63
+//! headroom could overflow. Compaction propagates carries within the
+//! window and keeps at most one signed top-of-window digit (the sign
+//! carrier, exactly like the old flat form's top digit), so negative
+//! totals stay compact in memory; only the canonical serialized form
+//! (unchanged from the flat representation) spells a negative total
+//! out to the top digit. Non-finite inputs poison the accumulator
+//! (sticky), and `value()` then reports NaN.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
-/// Number of base-2^32 digits: 66 cover bit positions 0..=2111
-/// (the finite range needs 0..=2097), plus one top digit that only
-/// ever holds carries / the sign of a negative total.
+/// Number of conceptual base-2^32 digits: 66 cover bit positions
+/// 0..=2111 (the finite range needs 0..=2097), plus one top digit that
+/// only ever holds carries / the sign of a negative total.
 const DIGITS: usize = 67;
 
 /// Mask selecting one base-2^32 digit.
 const DIGIT_MASK: i64 = 0xFFFF_FFFF;
 
-/// Normalize after this many carry-save additions. Each addition
+/// Compact after this many carry-save additions. Each addition
 /// contributes less than 2^32 per digit, so digit magnitudes stay
 /// below 2^(32+29) = 2^61 — comfortably inside `i64`.
 const CARRY_LIMIT: u32 = 1 << 29;
 
-/// An exact running sum of `f64` values (fixed-point superaccumulator).
+/// An exact running sum of `f64` values (fixed-point superaccumulator
+/// over a sparse digit window).
 ///
 /// `add` and `merge` are exact, hence associative and commutative;
 /// [`ExactSum::value`] is the correctly-rounded (nearest, ties to even)
 /// `f64` of the exact total. See the module docs for why ensemble
 /// partials are built on this.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExactSum {
-    digits: [i64; DIGITS],
-    /// Carry-save additions since the last normalization.
+    /// Conceptual index of `digits[0]` (0 = the 2^-1074 digit). An
+    /// empty window represents zero.
+    lo: usize,
+    /// Signed carry-save digits for conceptual positions
+    /// `lo .. lo + digits.len()`.
+    digits: Vec<i64>,
+    /// Carry-save additions since the last compaction.
     pending: u32,
     /// Sticky poison flag: a non-finite input was added.
     non_finite: bool,
-}
-
-impl Default for ExactSum {
-    fn default() -> Self {
-        ExactSum {
-            digits: [0; DIGITS],
-            pending: 0,
-            non_finite: false,
-        }
-    }
 }
 
 /// `2^e` as an exact `f64`, for `e` in `-1074..=1023`.
@@ -94,6 +97,26 @@ impl ExactSum {
         Self::default()
     }
 
+    /// Grows the window (if needed) to cover conceptual positions
+    /// `from .. to`, zero-filling the new digits.
+    fn ensure_window(&mut self, from: usize, to: usize) {
+        debug_assert!(from < to && to <= DIGITS);
+        if self.digits.is_empty() {
+            self.lo = from;
+            self.digits.resize(to - from, 0);
+            return;
+        }
+        if from < self.lo {
+            self.digits
+                .splice(0..0, std::iter::repeat_n(0, self.lo - from));
+            self.lo = from;
+        }
+        let end = self.lo + self.digits.len();
+        if to > end {
+            self.digits.resize(self.digits.len() + (to - end), 0);
+        }
+    }
+
     /// Adds `v` exactly. Non-finite values poison the accumulator:
     /// every later [`ExactSum::value`] call reports NaN.
     pub fn add(&mut self, v: f64) {
@@ -105,7 +128,7 @@ impl ExactSum {
             return; // ±0 contributes nothing.
         }
         if self.pending >= CARRY_LIMIT {
-            self.normalize();
+            self.compact();
         }
         let bits = v.to_bits();
         let exponent_field = ((bits >> 52) & 0x7FF) as i32;
@@ -120,12 +143,18 @@ impl ExactSum {
         let digit = (shift / 32) as usize;
         let offset = (shift % 32) as u32;
         // The 53-bit mantissa shifted by < 32 spans at most 85 bits:
-        // three base-2^32 digits.
+        // three base-2^32 digits (the top one often zero — don't grow
+        // the window for a digit that contributes nothing).
         let spread = u128::from(mantissa) << offset;
+        let top = (spread >> 64) as i64;
         let sign = if bits >> 63 == 1 { -1i64 } else { 1i64 };
-        self.digits[digit] += sign * ((spread as i64) & DIGIT_MASK);
-        self.digits[digit + 1] += sign * (((spread >> 32) as i64) & DIGIT_MASK);
-        self.digits[digit + 2] += sign * ((spread >> 64) as i64);
+        self.ensure_window(digit, digit + if top != 0 { 3 } else { 2 });
+        let at = digit - self.lo;
+        self.digits[at] += sign * ((spread as i64) & DIGIT_MASK);
+        self.digits[at + 1] += sign * (((spread >> 32) as i64) & DIGIT_MASK);
+        if top != 0 {
+            self.digits[at + 2] += sign * top;
+        }
         self.pending += 1;
     }
 
@@ -133,27 +162,77 @@ impl ExactSum {
     /// whatever grouping or order produced the two sides.
     pub fn merge(&mut self, other: &ExactSum) {
         self.non_finite |= other.non_finite;
-        if self.pending >= CARRY_LIMIT - other.pending.min(CARRY_LIMIT) {
-            self.normalize();
+        if other.digits.is_empty() {
+            return;
         }
-        for (mine, theirs) in self.digits.iter_mut().zip(&other.digits) {
+        if self.pending >= CARRY_LIMIT - other.pending.min(CARRY_LIMIT) {
+            self.compact();
+        }
+        self.ensure_window(other.lo, other.lo + other.digits.len());
+        let at = other.lo - self.lo;
+        for (mine, theirs) in self.digits[at..].iter_mut().zip(&other.digits) {
             *mine += *theirs;
         }
         self.pending = self.pending.saturating_add(other.pending.max(1));
     }
 
-    /// Propagates carries so every digit below the top is in
-    /// `[0, 2^32)`; the top digit keeps the sign. The represented value
-    /// is unchanged and the resulting digit vector is canonical for it.
-    fn normalize(&mut self) {
+    /// Propagates carries so every stored digit below the window top is
+    /// in `[0, 2^32)`, with at most one signed top-of-window digit
+    /// carrying the sign, then trims zero digits off both window ends.
+    /// The represented value is unchanged; the resulting window is as
+    /// small as the signed-top form allows (negative totals stay
+    /// compact — they are only spelled out to the conceptual top digit
+    /// in the canonical serialized form).
+    fn compact(&mut self) {
         let mut carry = 0i64;
-        for digit in &mut self.digits[..DIGITS - 1] {
+        for (i, digit) in self.digits.iter_mut().enumerate() {
+            if self.lo + i == DIGITS - 1 {
+                // The conceptual top digit absorbs carries unmasked and
+                // keeps the sign (it is necessarily the window's last).
+                *digit += carry;
+                carry = 0;
+                break;
+            }
             let total = *digit + carry;
             carry = total >> 32; // Arithmetic shift: floor division.
             *digit = total & DIGIT_MASK;
         }
-        self.digits[DIGITS - 1] += carry;
+        if carry != 0 {
+            // The window top was below the conceptual top: extend by
+            // one signed digit holding the outgoing carry (e.g. -1 for
+            // a negative total).
+            self.digits.push(carry);
+        }
+        while self.digits.last() == Some(&0) {
+            self.digits.pop();
+        }
+        let leading = self.digits.iter().take_while(|&&d| d == 0).count();
+        if leading > 0 {
+            self.digits.drain(..leading);
+            self.lo += leading;
+        }
+        if self.digits.is_empty() {
+            self.lo = 0;
+        }
         self.pending = 1;
+    }
+
+    /// The window expanded to the canonical flat digit array: carries
+    /// fully propagated so digits below the top are in `[0, 2^32)` and
+    /// only the top digit holds the sign — the exact digit vector the
+    /// former dense representation normalized to, and the basis of
+    /// `value()`, equality, and the serialized form.
+    fn canonical_digits(&self) -> [i64; DIGITS] {
+        let mut digits = [0i64; DIGITS];
+        digits[self.lo..self.lo + self.digits.len()].copy_from_slice(&self.digits);
+        let mut carry = 0i64;
+        for digit in &mut digits[..DIGITS - 1] {
+            let total = *digit + carry;
+            carry = total >> 32;
+            *digit = total & DIGIT_MASK;
+        }
+        digits[DIGITS - 1] += carry;
+        digits
     }
 
     /// The exact total rounded to the nearest `f64` (ties to even);
@@ -162,10 +241,9 @@ impl ExactSum {
         if self.non_finite {
             return f64::NAN;
         }
-        let mut normalized = self.clone();
-        normalized.normalize();
-        let mut digits = normalized.digits;
-        // Sign: after normalization only the top digit can be negative.
+        let mut digits = self.canonical_digits();
+        // Sign: after canonicalization only the top digit can be
+        // negative.
         let negative = digits[DIGITS - 1] < 0;
         if negative {
             // Two's-complement negate to get the magnitude digits.
@@ -223,6 +301,14 @@ impl ExactSum {
     pub fn is_poisoned(&self) -> bool {
         self.non_finite
     }
+
+    /// Resident memory of this accumulator in bytes: the struct itself
+    /// plus the heap the digit window occupies. The bench's
+    /// bytes-per-cached-cell footprint metric sums this over a cached
+    /// partial's cells.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.digits.capacity() * std::mem::size_of::<i64>()
+    }
 }
 
 impl PartialEq for ExactSum {
@@ -230,26 +316,22 @@ impl PartialEq for ExactSum {
         if self.non_finite || other.non_finite {
             return self.non_finite == other.non_finite;
         }
-        let mut a = self.clone();
-        let mut b = other.clone();
-        a.normalize();
-        b.normalize();
-        a.digits == b.digits
+        self.canonical_digits() == other.canonical_digits()
     }
 }
 
 // Serialized sparsely as `{"lo": first-digit-index, "digits": [...]}`
-// over the canonical normalized form (each listed digit fits in 2^32,
-// well inside the JSON layer's 2^53 exact-integer range); a poisoned
-// accumulator serializes as `{"non_finite": true}`.
+// over the canonical flat form (each listed digit fits in 2^32, well
+// inside the JSON layer's 2^53 exact-integer range; a negative total
+// spells its all-ones run out to the signed top digit, exactly as the
+// former dense representation did — the wire format is unchanged); a
+// poisoned accumulator serializes as `{"non_finite": true}`.
 impl Serialize for ExactSum {
     fn to_value(&self) -> Value {
         if self.non_finite {
             return Value::Object(vec![("non_finite".to_string(), Value::Bool(true))]);
         }
-        let mut normalized = self.clone();
-        normalized.normalize();
-        let digits = &normalized.digits;
+        let digits = self.canonical_digits();
         let lo = digits.iter().position(|&d| d != 0).unwrap_or(0);
         let hi = digits.iter().rposition(|&d| d != 0).map_or(lo, |h| h + 1);
         Value::Object(vec![
@@ -288,16 +370,25 @@ impl Deserialize for ExactSum {
                 digits.len()
             )));
         }
-        let mut sum = ExactSum::new();
-        for (i, item) in digits.iter().enumerate() {
+        let mut window = Vec::with_capacity(digits.len());
+        for item in digits {
             match item {
                 Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9.0e15 => {
-                    sum.digits[lo + i] = *n as i64;
+                    window.push(*n as i64);
                 }
                 other => return Err(DeError::expected("ExactSum digit", other)),
             }
         }
-        sum.pending = 1;
+        let mut sum = ExactSum {
+            lo,
+            digits: window,
+            pending: 1,
+            non_finite: false,
+        };
+        // Canonical payloads have no zero edge digits, but compacting
+        // tolerates hand-built ones (and re-establishes the trimmed
+        // window invariant either way).
+        sum.compact();
         Ok(sum)
     }
 }
@@ -422,9 +513,35 @@ mod tests {
     }
 
     #[test]
-    fn many_additions_stay_exact_across_normalization() {
-        // Exceeding any plausible pending threshold is impractical in a
-        // unit test, so force normalization explicitly mid-stream.
+    fn merging_two_poisoned_accumulators_stays_poisoned() {
+        // Pins the propagation rule explicitly (it was previously only
+        // reachable through a clean-merges-poisoned path): poison is a
+        // sticky OR, so poisoned ⊕ poisoned is poisoned — in both merge
+        // orders, with NaN values and poisoned-class equality.
+        let mut a = sum_of(&[1.0]);
+        a.add(f64::NAN);
+        let mut b = sum_of(&[-2.0]);
+        b.add(f64::NEG_INFINITY);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for merged in [&ab, &ba] {
+            assert!(merged.is_poisoned());
+            assert!(merged.value().is_nan());
+        }
+        // Equality collapses all poisoned accumulators into one class
+        // (digit content is unobservable once poisoned)…
+        assert_eq!(ab, ba);
+        assert_eq!(ab, a);
+        // …and never equates poisoned with clean.
+        assert_ne!(ab, sum_of(&[1.0, -2.0]));
+    }
+
+    #[test]
+    fn many_additions_stay_exact_across_compaction() {
+        // Exceeding the pending threshold is impractical in a unit
+        // test, so force compaction explicitly mid-stream.
         let mut acc = ExactSum::new();
         let mut values = Vec::new();
         let mut rng = StdRng::seed_from_u64(7);
@@ -433,10 +550,62 @@ mod tests {
             values.push(v);
             acc.add(v);
             if i % 977 == 0 {
-                acc.normalize();
+                acc.compact();
             }
         }
         assert_eq!(acc.value().to_bits(), sum_of(&values).value().to_bits());
+    }
+
+    #[test]
+    fn negative_totals_stay_compact_in_memory() {
+        // A negative running total must not expand the window to the
+        // conceptual top digit (that all-ones spelling is reserved for
+        // the canonical serialized form): compaction keeps one signed
+        // top-of-window digit instead.
+        let mut acc = sum_of(&[-1.0, -3.0, 2.0]);
+        acc.compact();
+        assert!(
+            acc.digits.len() <= 4,
+            "window of {} digits for a small negative total",
+            acc.digits.len()
+        );
+        assert_eq!(acc.value(), -2.0);
+        assert!(acc.footprint_bytes() < 120, "{}", acc.footprint_bytes());
+        // Alternating-sign accumulation (sums crossing zero) stays
+        // exact through compactions.
+        let mut acc = ExactSum::new();
+        for i in 0..1000 {
+            acc.add(if i % 2 == 0 { 1e8 } else { -1e8 - 0.5 });
+            if i % 97 == 0 {
+                acc.compact();
+            }
+        }
+        assert_eq!(acc.value(), -500.0 * 0.5);
+    }
+
+    #[test]
+    fn window_grows_to_cover_mixed_magnitudes() {
+        // Same-magnitude accumulation keeps the window small; mixing in
+        // a far-away magnitude grows it to cover both.
+        let mut acc = ExactSum::new();
+        for _ in 0..100 {
+            acc.add(1.5e3);
+        }
+        acc.compact();
+        let narrow = acc.digits.len();
+        assert!(narrow <= 4, "same-magnitude window is {narrow} digits");
+        acc.add(1e-300);
+        acc.add(1e300);
+        acc.compact();
+        assert_eq!(acc.value(), {
+            let mut dense = ExactSum::new();
+            for _ in 0..100 {
+                dense.add(1.5e3);
+            }
+            dense.add(1e-300);
+            dense.add(1e300);
+            dense.value()
+        });
     }
 
     #[test]
@@ -467,5 +636,11 @@ mod tests {
         // Correctly rounded -(0.1 + 0.2) exact sum, not the sequential
         // rounding: both happen to agree here, which pins the sign path.
         assert_eq!(acc.value(), -(0.1f64 + 0.2f64));
+        // A negative total serializes to the canonical all-ones-to-top
+        // spelling and round-trips bitwise.
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: ExactSum = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+        assert_eq!(back.value().to_bits(), acc.value().to_bits());
     }
 }

@@ -9,7 +9,7 @@
 //! input high level defaults to the analysis threshold.
 
 use crate::error::VasimError;
-use crate::stats::{ensemble_noise, NoisePoint};
+use crate::stats::{ensemble_noise_from_partial, NoisePoint};
 use glc_core::data::AnalogData;
 use glc_model::Model;
 use glc_ssa::{
@@ -133,16 +133,17 @@ impl ExperimentResult {
     }
 }
 
-/// The outcome of a replicated sweep: ensemble moments on the sweep
-/// grid, aggregated through a mergeable [`EnsemblePartial`] (the same
-/// partial format the distributed `glc-worker` protocol ships), so the
-/// noise figures come from exact cross-replicate sums instead of being
-/// re-derived ad hoc from raw traces.
+/// The outcome of a replicated sweep: the mergeable, resident
+/// [`EnsemblePartial`] over the sweep grid (the same partial format
+/// the distributed `glc-worker` protocol ships and the query service
+/// keeps warm), with every noise figure read off the **borrowed
+/// partial** — nothing is re-derived from raw traces and no mean/σ
+/// traces are materialized unless [`ReplicatedSweep::ensemble`] asks
+/// for them.
 #[derive(Debug, Clone)]
 pub struct ReplicatedSweep {
-    /// Cross-replicate mean / standard-deviation traces of every
-    /// species on the sweep's sampling grid.
-    pub ensemble: Ensemble,
+    /// Exact cross-replicate aggregate over the sweep's sampling grid.
+    partial: EnsemblePartial,
     /// Input combinations in the order applied (one entry per segment).
     pub combos: Vec<usize>,
     /// Hold time per segment.
@@ -152,10 +153,51 @@ pub struct ReplicatedSweep {
 }
 
 impl ReplicatedSweep {
-    /// Per-sample noise figures of `species` (see
-    /// [`crate::stats::ensemble_noise`]); `None` for unknown species.
+    /// Wraps an already-aggregated partial (e.g. one a resident query
+    /// service extended incrementally) with the sweep's segment
+    /// geometry, so noise/threshold figures can be served from cache.
+    pub fn from_partial(
+        partial: EnsemblePartial,
+        combos: Vec<usize>,
+        hold_time: f64,
+        total_time: f64,
+    ) -> Self {
+        ReplicatedSweep {
+            partial,
+            combos,
+            hold_time,
+            total_time,
+        }
+    }
+
+    /// The resident aggregate itself (borrow it to merge, ship, or
+    /// extend; every figure this type reports reads off it).
+    pub fn partial(&self) -> &EnsemblePartial {
+        &self.partial
+    }
+
+    /// Number of replicates aggregated.
+    pub fn replicates(&self) -> u64 {
+        self.partial.replicates()
+    }
+
+    /// Finalizes the partial into mean/σ traces — the one place a
+    /// sweep materializes them; the noise accessors below do not.
+    ///
+    /// # Errors
+    ///
+    /// See `EnsemblePartial::finalize`.
+    pub fn ensemble(&self) -> Result<Ensemble, VasimError> {
+        self.partial
+            .finalize()
+            .map_err(|e| VasimError::InvalidConfig(e.to_string()))
+    }
+
+    /// Per-sample noise figures of `species`, read off the borrowed
+    /// partial (see [`crate::stats::ensemble_noise_from_partial`]);
+    /// `None` for unknown species.
     pub fn noise(&self, species: &str) -> Option<Vec<NoisePoint>> {
-        ensemble_noise(&self.ensemble, species)
+        ensemble_noise_from_partial(&self.partial, species)
     }
 
     /// Noise figures of `species` over the settled second half of hold
@@ -167,7 +209,7 @@ impl ReplicatedSweep {
             return None;
         }
         let points = self.noise(species)?;
-        let dt = self.ensemble.mean.sample_dt();
+        let dt = self.partial.fingerprint().sample_dt;
         let segment_len = (self.hold_time / dt).round() as usize;
         let start = ((s as f64 * self.hold_time) / dt).round() as usize;
         let end = (start + segment_len).min(points.len());
@@ -258,12 +300,13 @@ impl Experiment {
 
     /// Runs the sweep `replicates` times (replicate `i` seeded
     /// `base_seed + i`), aggregating every replicate trace into an
-    /// [`EnsemblePartial`] and finalizing the cross-replicate moments.
+    /// [`EnsemblePartial`] that the returned sweep keeps resident.
     ///
     /// This is the virtual lab's noise path: instead of re-deriving
     /// means and variances from raw traces downstream, the sweep
     /// produces the same exact, mergeable aggregate the distributed
-    /// worker protocol uses, and every noise figure is read off it.
+    /// worker protocol ships and the query service caches, and every
+    /// noise figure is read off the borrowed partial.
     ///
     /// # Errors
     ///
@@ -291,14 +334,11 @@ impl Experiment {
             let seed = base_seed.wrapping_add(replicate);
             let trace = runner.run(&compiled, engine.as_mut(), total_time, seed)?;
             partial
-                .accumulate(&trace)
+                .accumulate(&trace, seed)
                 .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
         }
-        let ensemble = partial
-            .finalize()
-            .map_err(|e| VasimError::InvalidConfig(e.to_string()))?;
         Ok(ReplicatedSweep {
-            ensemble,
+            partial,
             combos,
             hold_time: self.config.hold_time,
             total_time,
@@ -502,7 +542,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(sweep.combos, vec![0, 1]);
-        assert_eq!(sweep.ensemble.replicates, 24);
+        assert_eq!(sweep.replicates(), 24);
         // Segment 0 (input low): output near zero. Segment 1 (input
         // 30): steady state is Poisson(30) across replicates, so the
         // ensemble Fano factor sits near 1 — the moment the population
@@ -520,11 +560,23 @@ mod tests {
             "ensemble Fano {} too far from Poisson",
             high.fano
         );
-        // Per-sample noise series covers the whole sweep grid.
+        // Per-sample noise series covers the whole sweep grid, and the
+        // borrowed-partial path agrees bitwise with reading the same
+        // figures off the finalized ensemble.
         let points = sweep.noise("Y").unwrap();
-        assert_eq!(points.len(), sweep.ensemble.mean.len());
+        let ensemble = sweep.ensemble().unwrap();
+        assert_eq!(points.len(), ensemble.mean.len());
+        let finalized = crate::stats::ensemble_noise(&ensemble, "Y").unwrap();
+        for (k, (a, b)) in points.iter().zip(&finalized).enumerate() {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "mean at {k}");
+            assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits(), "σ at {k}");
+            assert_eq!(a.fano.to_bits(), b.fano.to_bits(), "Fano at {k}");
+            assert_eq!(a.cv.to_bits(), b.cv.to_bits(), "CV at {k}");
+        }
         assert!(sweep.noise("ghost").is_none());
         assert!(sweep.segment_noise("Y", 99).is_none());
+        // The resident aggregate is exposed for merging/extension.
+        assert_eq!(sweep.partial().replicates(), 24);
     }
 
     #[test]
@@ -541,8 +593,10 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.ensemble.mean, b.ensemble.mean);
-        assert_eq!(a.ensemble.std_dev, b.ensemble.std_dev);
+        assert_eq!(a.partial(), b.partial());
+        let (a, b) = (a.ensemble().unwrap(), b.ensemble().unwrap());
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_dev, b.std_dev);
         // Zero replicates rejected.
         assert!(matches!(
             Experiment::new(config).run_replicated(&model, &["I".to_string()], "Y", 9, 0, || {

@@ -48,6 +48,6 @@ pub use delay::{estimate_delay, DelayEstimate};
 pub use error::VasimError;
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, ReplicatedSweep};
 pub use lab::VirtualLab;
-pub use stats::{ensemble_noise, NoisePoint};
+pub use stats::{ensemble_noise, ensemble_noise_from_partial, NoisePoint};
 pub use threshold::{estimate_threshold, ThresholdEstimate};
 pub use timing::{analyze_timing, TimingReport, TransitionKind};
