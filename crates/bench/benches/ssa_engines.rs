@@ -23,7 +23,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
 use glc_model::Model;
 use glc_service::{
-    Coordinator, EngineSpec, ExtendBackend, ModelSource, SessionSpec, SessionStore, WorkOrder,
+    session, Coordinator, EngineSpec, ExtendBackend, ModelSource, SessionSpec, SessionStore,
+    TcpRelay, Transport, WorkOrder, WorkerPool,
 };
 use glc_ssa::engine::Observer;
 use glc_ssa::{
@@ -33,6 +34,7 @@ use glc_ssa::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::io::BufRead as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -324,30 +326,140 @@ fn cached_partial_footprint(id: &str) -> (f64, f64) {
     (per_cell, dense_per_cell)
 }
 
-/// Locates the `glc-worker` binary next to this bench's target
+/// Locates a `glc-service` binary next to this bench's target
 /// directory, building it through the invoking cargo if absent.
-fn worker_binary() -> Option<PathBuf> {
+fn service_binary(name: &str) -> Option<PathBuf> {
     let mut dir = std::env::current_exe().ok()?; // …/target/release/deps/ssa_engines-*
     dir.pop(); // deps
     dir.pop(); // release
-    let path = dir.join("glc-worker");
+    let path = dir.join(name);
     if path.exists() {
         return Some(path);
     }
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let built = std::process::Command::new(cargo)
-        .args([
-            "build",
-            "--release",
-            "-p",
-            "glc-service",
-            "--bin",
-            "glc-worker",
-        ])
+        .args(["build", "--release", "-p", "glc-service", "--bin", name])
         .status()
         .map(|status| status.success())
         .unwrap_or(false);
     (built && path.exists()).then_some(path)
+}
+
+fn worker_binary() -> Option<PathBuf> {
+    service_binary("glc-worker")
+}
+
+/// A `glc-relay` child on a free localhost port (it exits when its
+/// stdin — held here — closes, so it cannot outlive the bench).
+struct RelayProc {
+    child: std::process::Child,
+    _stdin: std::process::ChildStdin,
+    addr: String,
+}
+
+impl RelayProc {
+    fn spawn() -> Option<Self> {
+        let path = service_binary("glc-relay")?;
+        let mut child = std::process::Command::new(path)
+            .args(["--listen", "127.0.0.1:0"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .ok()?;
+        let stdin = child.stdin.take()?;
+        let mut banner = String::new();
+        std::io::BufReader::new(child.stdout.take()?)
+            .read_line(&mut banner)
+            .ok()?;
+        let addr = banner.trim().rsplit(' ').next()?.to_string();
+        addr.contains(':').then_some(RelayProc {
+            child,
+            _stdin: stdin,
+            addr,
+        })
+    }
+}
+
+impl Drop for RelayProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Sustained replicate throughput of the same batches dispatched over
+/// TCP to a local `glc-relay` (connect, JSON framing, remote
+/// in-process run, merge — the end-to-end cost of fronting workers on
+/// another host, minus real network latency). Parallelism matches the
+/// other columns: one relay slot per coordinator worker, each served
+/// on its own relay-side thread.
+fn relay_replicates_per_second(id: &str, addr: &str, min_wall: f64) -> f64 {
+    let entry = catalog::by_id(id).expect("catalog circuit");
+    let mut order = WorkOrder::new(
+        ModelSource::Catalog(id.to_string()),
+        EngineSpec::Direct,
+        42,
+        ENSEMBLE_BATCH as u64,
+        ENSEMBLE_T_END,
+        ENSEMBLE_DT,
+    );
+    for input in &entry.inputs {
+        order = order.with_amount(input, 15.0);
+    }
+    let transports: Vec<Box<dyn Transport>> = (0..ENSEMBLE_PARALLELISM)
+        .map(|_| Box::new(TcpRelay::new(addr)) as Box<dyn Transport>)
+        .collect();
+    let mut pool = WorkerPool::new(transports).expect("relay pool");
+    let mut replicates = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        pool.run(&order).expect("relay ensemble");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+        order.base_seed += 1_000;
+    }
+    replicates as f64 / elapsed
+}
+
+/// Durable-session overhead: sustained write-through-snapshot and
+/// reload rates for a batch-sized resident partial, plus the snapshot
+/// file size. Recorded (not gated): this is the price of `--spill-dir`
+/// durability per Extend.
+fn spill_metrics(id: &str) -> (f64, f64, u64) {
+    let dir = std::env::temp_dir().join(format!("glc-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = resident_spec(id);
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+    let key = store.submit(&spec).expect("submit").session;
+    store.extend(&key, ENSEMBLE_BATCH as u64).expect("extend");
+    let partial = store.partial(&key).expect("resident partial");
+
+    let mut writes = 0u64;
+    let start = Instant::now();
+    let path = loop {
+        let path = session::write_spill(&dir, &spec, partial).expect("write spill");
+        writes += 1;
+        if start.elapsed().as_secs_f64() >= 0.3 {
+            break path;
+        }
+    };
+    let writes_per_sec = writes as f64 / start.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let mut reloads = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.3 {
+        let (_, reloaded) = session::read_spill(&dir, &key)
+            .expect("read spill")
+            .expect("snapshot exists");
+        assert_eq!(reloaded.replicates(), partial.replicates());
+        reloads += 1;
+    }
+    let reloads_per_sec = reloads as f64 / start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    (writes_per_sec, reloads_per_sec, bytes)
 }
 
 /// Steps/second of every engine, the incremental-vs-full-recompute
@@ -362,10 +474,19 @@ fn throughput_report() {
     let mut sweep_rows = String::new();
     let mut ensemble_rows = String::new();
     let mut resident_rows = String::new();
+    let mut relay_rows = String::new();
+    let mut spill_rows = String::new();
     let worker = worker_binary();
     if worker.is_none() {
         eprintln!(
             "  glc-worker binary unavailable; sharded ensemble throughput will be skipped \
+             (build it with `cargo build --release -p glc-service`)"
+        );
+    }
+    let relay = RelayProc::spawn();
+    if relay.is_none() {
+        eprintln!(
+            "  glc-relay binary unavailable; relay shard throughput will be skipped \
              (build it with `cargo build --release -p glc-service`)"
         );
     }
@@ -477,7 +598,51 @@ fn throughput_report() {
                  \"sharded_replicates_per_sec\":{sharded:.1},\
                  \"shard_efficiency\":{efficiency:.3}}}"
             );
+
+            // Relay transport: the same batches over localhost TCP to
+            // a glc-relay, at the same parallelism. relay_efficiency
+            // normalizes by the child-process column measured in this
+            // run — an in-run ratio like shard_efficiency — and feeds
+            // the CI regression gate at the same ≥35% floor.
+            if let Some(relay) = &relay {
+                relay_replicates_per_second(id, &relay.addr, 0.05); // warm-up
+                let relayed = relay_replicates_per_second(id, &relay.addr, 0.5);
+                let relay_efficiency = relayed / sharded;
+                println!(
+                    "    relay ({ENSEMBLE_PARALLELISM} TCP slots): {relayed:.0} reps/s  \
+                     vs child-process {sharded:.0} reps/s  efficiency {relay_efficiency:.2}"
+                );
+                if !relay_rows.is_empty() {
+                    relay_rows.push(',');
+                }
+                let _ = write!(
+                    relay_rows,
+                    "\n    {{\"circuit\":\"{id}\",\
+                     \"relay_replicates_per_sec\":{relayed:.1},\
+                     \"child_replicates_per_sec\":{sharded:.1},\
+                     \"relay_efficiency\":{relay_efficiency:.3}}}"
+                );
+            }
         }
+
+        // Durable-session spill: snapshot write/reload rates and size
+        // for a batch-sized partial (recorded, not gated — the cost of
+        // --spill-dir durability per Extend).
+        let (snapshot_writes, snapshot_reloads, snapshot_bytes) = spill_metrics(id);
+        println!(
+            "    spill: {snapshot_writes:.0} snapshot writes/s  \
+             {snapshot_reloads:.0} reloads/s  {snapshot_bytes} B/snapshot"
+        );
+        if !spill_rows.is_empty() {
+            spill_rows.push(',');
+        }
+        let _ = write!(
+            spill_rows,
+            "\n    {{\"circuit\":\"{id}\",\
+             \"snapshot_writes_per_sec\":{snapshot_writes:.1},\
+             \"snapshot_reloads_per_sec\":{snapshot_reloads:.1},\
+             \"snapshot_bytes\":{snapshot_bytes}}}"
+        );
 
         // Resident query service: warm Extend batches against the
         // session store vs the cold one-shot path (recompile every
@@ -518,7 +683,9 @@ fn throughput_report() {
          \"engines\": [{engine_rows}\n  ],\n  \
          \"full_sweep\": [{sweep_rows}\n  ],\n  \
          \"ensemble\": [{ensemble_rows}\n  ],\n  \
-         \"resident\": [{resident_rows}\n  ]\n}}\n"
+         \"resident\": [{resident_rows}\n  ],\n  \
+         \"relay\": [{relay_rows}\n  ],\n  \
+         \"spill\": [{spill_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

@@ -135,6 +135,25 @@ fn resident_entries(json: &str) -> Vec<Entry> {
         .collect()
 }
 
+/// Every relay-transport entry (the `relay` section):
+/// `relay_efficiency` is TCP-relay replicate throughput over the
+/// child-process column measured in the same run — an in-run ratio
+/// like `shard_efficiency`, gated at the same ≥35% floor (socket and
+/// thread scheduling on shared runners are at least as noisy as
+/// process spawns).
+fn relay_entries(json: &str) -> Vec<Entry> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some(Entry {
+                circuit: str_field(object, "circuit")?,
+                steps_per_sec: num_field(object, "relay_replicates_per_sec")?,
+                speedup: num_field(object, "relay_efficiency")?,
+            })
+        })
+        .collect()
+}
+
 /// `footprint_ratio` per circuit from the `resident` section.
 fn footprint_ratios(json: &str) -> Vec<(String, f64)> {
     objects(json)
@@ -234,6 +253,18 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
             &mut failures,
         );
     }
+    // Relay transport efficiency: gated like shard efficiency (≥35%
+    // floor) once the committed baseline carries the section.
+    let relay_baseline = relay_entries(&baseline_doc);
+    if !relay_baseline.is_empty() {
+        gate_section(
+            "bench regression gate: relay transport efficiency",
+            &relay_baseline,
+            &relay_entries(&current_doc),
+            threshold.max(0.35),
+            &mut failures,
+        );
+    }
     // Resident query service: the warm-extend/one-shot ratio gates
     // like shard efficiency (both involve timing loops with
     // per-batch setup, so the floor stays at 35%)…
@@ -324,6 +355,9 @@ mod tests {
   ],
   "ensemble": [
     {"circuit":"book_and","in_process_replicates_per_sec":200.0,"sharded_replicates_per_sec":160.0,"shard_efficiency":0.8}
+  ],
+  "relay": [
+    {"circuit":"book_and","relay_replicates_per_sec":140.0,"child_replicates_per_sec":160.0,"relay_efficiency":0.875}
   ]
 }"#;
 
@@ -398,6 +432,24 @@ mod tests {
         // Baselines without the section (pre-protocol) skip the gate.
         let old_baseline = DOC.replace("\"shard_efficiency\":0.8", "\"no_metric\":1.0");
         run_gate(&old_baseline, DOC, "shard_absent").expect("absent baseline section passes");
+    }
+
+    #[test]
+    fn relay_efficiency_is_gated_at_the_shard_floor() {
+        // A collapse of the relay-transport efficiency fails even when
+        // every other metric is healthy.
+        let regressed = DOC.replace("\"relay_efficiency\":0.875", "\"relay_efficiency\":0.4");
+        let err = run_gate(DOC, &regressed, "relay_drop").expect_err("relay drop must fail");
+        assert!(
+            err.contains("relay transport efficiency") && err.contains("book_and"),
+            "{err}"
+        );
+        // The floor is 35%, like process sharding: a 30% dip passes.
+        let wobble = DOC.replace("\"relay_efficiency\":0.875", "\"relay_efficiency\":0.62");
+        run_gate(DOC, &wobble, "relay_ok").expect("within the 35% floor passes");
+        // Baselines without the section (pre-relay) skip the gate.
+        let old_baseline = DOC.replace("\"relay_efficiency\":0.875", "\"no_metric\":1.0");
+        run_gate(&old_baseline, DOC, "relay_absent").expect("absent baseline section passes");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! `glc-relay`: a TCP shard relay — the remote-transport rung of the
+//! worker fabric.
+//!
+//! Listens on a socket, accepts connections, and serves **one
+//! newline-framed JSON [`glc_service::WorkOrder`] per line** on each
+//! connection, replying with one framed [`glc_service::RelayReply`]
+//! (the shard's `EnsemblePartial`, or the error that stopped it — a
+//! failed order never kills the relay). Each connection is served on
+//! its own thread, so a `glc-serve` holding several `TcpRelay` slots
+//! pointed at one relay runs its shards in parallel *here*, on this
+//! host's cores — which is the whole point: one front-end can fan
+//! ensemble work out to workers on other machines, and determinism
+//! (absolute replicate seeds + exact partial accumulation) guarantees
+//! the bits are identical to running everything locally.
+//!
+//! On startup the relay prints exactly one line to stdout —
+//! `glc-relay listening on HOST:PORT` — so a parent that bound port 0
+//! can scrape the chosen port, then exits when its stdin reaches EOF
+//! (so a dying parent cannot leak relays).
+//!
+//! Flags:
+//!
+//! * `--listen HOST:PORT` — bind address (default `127.0.0.1:0` = any
+//!   free local port, reported on stdout);
+//! * `--workers N` — run each order over N `glc-worker` children via a
+//!   local [`glc_service::Coordinator`] (default 0 = execute in this
+//!   process on the connection's thread);
+//! * `--worker-bin PATH` — the worker binary for `--workers`
+//!   (default: `glc-worker` next to this executable).
+
+use glc_service::{Coordinator, RelayReply, WorkOrder};
+use std::io::{BufRead, BufReader, Read as _, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Options {
+    listen: String,
+    workers: usize,
+    worker_bin: Option<PathBuf>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        listen: "127.0.0.1:0".to_string(),
+        workers: 0,
+        worker_bin: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--listen" => options.listen = value("--listen")?,
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--worker-bin" => {
+                options.worker_bin = Some(PathBuf::from(value("--worker-bin")?));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// How this relay executes one order.
+#[derive(Clone)]
+enum Executor {
+    /// On the connection's thread, in this process.
+    InProcess,
+    /// Over `glc-worker` children of this relay.
+    Coordinator { worker: PathBuf, workers: usize },
+}
+
+impl Executor {
+    fn execute(&self, order: &WorkOrder) -> RelayReply {
+        let outcome = match self {
+            Executor::InProcess => order.execute(),
+            Executor::Coordinator { worker, workers } => {
+                Coordinator::new(worker, *workers).and_then(|coordinator| coordinator.run(order))
+            }
+        };
+        match outcome {
+            Ok(partial) => RelayReply::Partial(partial),
+            Err(err) => RelayReply::Error(err.to_string()),
+        }
+    }
+}
+
+/// Serves every order frame on one connection until the peer closes.
+fn serve_connection(stream: TcpStream, executor: Executor) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(err) => {
+            eprintln!("glc-relay: cannot clone stream for {peer}: {err}");
+            return;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(err) => {
+                eprintln!("glc-relay: reading from {peer}: {err}");
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<WorkOrder>(line.trim()) {
+            Ok(order) => executor.execute(&order),
+            Err(err) => RelayReply::Error(format!("unparseable work order: {err}")),
+        };
+        let encoded = match serde_json::to_string(&reply) {
+            Ok(encoded) => encoded,
+            Err(err) => {
+                eprintln!("glc-relay: encoding reply for {peer}: {err}");
+                return;
+            }
+        };
+        if let Err(err) = writeln!(writer, "{encoded}").and_then(|()| writer.flush()) {
+            eprintln!("glc-relay: writing to {peer}: {err}");
+            return;
+        }
+    }
+}
+
+/// The `glc-worker` binary expected beside this executable.
+fn sibling_worker() -> Result<PathBuf, String> {
+    let mut path = std::env::current_exe().map_err(|e| format!("locating glc-relay: {e}"))?;
+    path.set_file_name("glc-worker");
+    Ok(path)
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_options()?;
+    let executor = if options.workers == 0 {
+        Executor::InProcess
+    } else {
+        let worker = match options.worker_bin.clone() {
+            Some(path) => path,
+            None => sibling_worker()?,
+        };
+        Executor::Coordinator {
+            worker,
+            workers: options.workers,
+        }
+    };
+    let listener = TcpListener::bind(&options.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", options.listen))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
+    // The one stdout line a parent scrapes for the chosen port.
+    println!("glc-relay listening on {bound}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flushing address line: {e}"))?;
+
+    // Exit when stdin closes: a relay spawned by a test, bench or
+    // supervisor dies with its parent instead of leaking.
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        std::process::exit(0);
+    });
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let executor = executor.clone();
+                std::thread::spawn(move || serve_connection(stream, executor));
+            }
+            Err(err) => eprintln!("glc-relay: accept failed: {err}"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("glc-relay: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,31 +1,42 @@
 //! `glc-serve`: the resident ensemble query service.
 //!
 //! Protocol: **one request per line** on stdin (a
-//! [`glc_service::Request`] as JSON), **one response per line** on
-//! stdout (a [`glc_service::Response`] as JSON, flushed immediately).
-//! Malformed lines produce an `{"Error": …}` response; the service
-//! keeps serving until stdin reaches EOF. Nothing but responses is
-//! ever written to stdout, so the stream can be machine-consumed.
+//! [`glc_service::Request`] as JSON, optionally wrapped in an
+//! [`glc_service::Envelope`] carrying a correlation `id`), **one
+//! response per line** on stdout (flushed immediately, with the
+//! request's `id` — if any — echoed back; string ids round-trip
+//! byte-exactly, numbers normalize through the JSON layer). Malformed
+//! produce an `{"Error": …}` response; the service keeps serving until
+//! stdin reaches EOF. Nothing but responses is ever written to stdout,
+//! so the stream can be machine-consumed.
 //!
 //! The process keeps compiled models and partially-aggregated
 //! ensembles warm in an LRU-bounded session store: `Submit` compiles
-//! and caches, `Extend` simulates only the new seed range (in-process
-//! by default; over `glc-worker` children for any `--workers` ≥ 1) and
-//! merges it into the resident partial, `Query` finalizes figures with
-//! zero simulation work. Like `glc-worker`, the binary is
-//! transport-agnostic: pipes today, a socket relay or container exec
-//! tomorrow.
+//! and caches, `Extend` simulates only the new seed range and merges
+//! it into the resident partial, `Query` finalizes figures with zero
+//! simulation work, `Stats` reports service counters. Extends run
+//! in-process by default, or over a worker pool mixing `glc-worker`
+//! children (`--workers`) and remote `glc-relay` hosts (`--relay`) —
+//! the pool sizes shards by observed slot throughput and quarantines
+//! consistently failing slots, none of which can move a bit of the
+//! result. With `--spill-dir`, sessions survive eviction *and process
+//! death*: every Extend write-through-snapshots the session, and a
+//! restarted service transparently resumes from the snapshots.
 //!
 //! Flags:
 //!
 //! * `--capacity N` — resident-session bound (default 16; LRU evicts
 //!   beyond it);
-//! * `--workers N`  — fan each Extend out over N `glc-worker` children
-//!   (default 0 = simulate in-process on the service thread);
+//! * `--workers N`  — add N `glc-worker` child slots to the Extend
+//!   pool (default 0);
 //! * `--worker-bin PATH` — the worker binary for `--workers`
-//!   (default: `glc-worker` next to this executable).
+//!   (default: `glc-worker` next to this executable);
+//! * `--relay HOST:PORT` — add one TCP-relay slot dialing a
+//!   `glc-relay` at that address (repeatable; combines with
+//!   `--workers`);
+//! * `--spill-dir PATH` — durable session snapshots (see above).
 
-use glc_service::{Coordinator, ExtendBackend, Request, Response, SessionStore};
+use glc_service::{transport, ExtendBackend, SessionStore, Transport, WorkerPool};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +46,8 @@ struct Options {
     capacity: usize,
     workers: usize,
     worker_bin: Option<PathBuf>,
+    relays: Vec<String>,
+    spill_dir: Option<PathBuf>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -42,6 +55,8 @@ fn parse_options() -> Result<Options, String> {
         capacity: 16,
         workers: 0,
         worker_bin: None,
+        relays: Vec::new(),
+        spill_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -60,6 +75,12 @@ fn parse_options() -> Result<Options, String> {
             "--worker-bin" => {
                 options.worker_bin = Some(PathBuf::from(value("--worker-bin")?));
             }
+            "--relay" => {
+                options.relays.push(value("--relay")?);
+            }
+            "--spill-dir" => {
+                options.spill_dir = Some(PathBuf::from(value("--spill-dir")?));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -75,18 +96,28 @@ fn sibling_worker() -> Result<PathBuf, String> {
 
 fn run() -> Result<(), String> {
     let options = parse_options()?;
-    let backend = if options.workers == 0 {
+    let backend = if options.workers == 0 && options.relays.is_empty() {
         ExtendBackend::InProcess
     } else {
-        let worker = match options.worker_bin.clone() {
-            Some(path) => path,
-            None => sibling_worker()?,
-        };
-        ExtendBackend::Coordinator(
-            Coordinator::new(worker, options.workers).map_err(|e| e.to_string())?,
-        )
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        if options.workers > 0 {
+            let worker = match options.worker_bin.clone() {
+                Some(path) => path,
+                None => sibling_worker()?,
+            };
+            for _ in 0..options.workers {
+                transports.push(Box::new(transport::ChildProcess::new(&worker)));
+            }
+        }
+        for relay in &options.relays {
+            transports.push(Box::new(transport::TcpRelay::new(relay.clone())));
+        }
+        ExtendBackend::Pool(WorkerPool::new(transports).map_err(|e| e.to_string())?)
     };
     let mut store = SessionStore::new(options.capacity, backend).map_err(|e| e.to_string())?;
+    if let Some(dir) = options.spill_dir {
+        store = store.with_spill_dir(dir);
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -96,12 +127,7 @@ fn run() -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
-        let response = match serde_json::from_str::<Request>(line.trim()) {
-            Ok(request) => store.handle(&request),
-            Err(err) => Response::Error(format!("unparseable request: {err}")),
-        };
-        let encoded =
-            serde_json::to_string(&response).map_err(|e| format!("encoding response: {e}"))?;
+        let encoded = store.handle_json_line(&line);
         writeln!(out, "{encoded}").map_err(|e| format!("writing response: {e}"))?;
         out.flush().map_err(|e| format!("flushing response: {e}"))?;
     }

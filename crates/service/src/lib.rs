@@ -44,10 +44,14 @@
 #![warn(missing_docs)]
 
 pub mod session;
+pub mod transport;
 
 pub use session::{
-    ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request, Response, ServiceStats,
-    SessionSpec, SessionStore, SpeciesNoise, Submitted,
+    Envelope, ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request, Response,
+    ServiceStats, SessionSpec, SessionStore, SpeciesNoise, Submitted,
+};
+pub use transport::{
+    ChildProcess, InProcess, RelayReply, ShardHandle, SlotHealth, TcpRelay, Transport, WorkerPool,
 };
 
 use glc_model::Model;
@@ -57,9 +61,7 @@ use glc_ssa::{
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::Write as _;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 
 /// Error raised by the worker protocol or the coordinator.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +75,8 @@ pub enum ServiceError {
     Protocol(String),
     /// A worker process could not be spawned or exited unsuccessfully.
     Worker(String),
+    /// The durable session store could not be read or written.
+    Spill(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -82,6 +86,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Sim(err) => write!(f, "simulation failed: {err}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::Worker(msg) => write!(f, "worker failed: {msg}"),
+            ServiceError::Spill(msg) => write!(f, "session spill failed: {msg}"),
         }
     }
 }
@@ -284,39 +289,53 @@ impl WorkOrder {
 
 /// Fans work orders out over `glc-worker` child processes and merges
 /// their partials.
+///
+/// This is the stateless convenience wrapper around the transport
+/// fabric: every call builds a fresh [`WorkerPool`] of
+/// [`ChildProcess`] slots (one per worker), so no health carries over
+/// between calls and a cold pool's throughput weights degenerate to
+/// the original even split. Long-lived callers that want persistent
+/// health — quarantine of consistently failing slots, shards sized by
+/// observed throughput — hold a [`WorkerPool`] directly (as
+/// `glc-serve` does for its Extend backend).
 #[derive(Debug, Clone)]
 pub struct Coordinator {
     worker: PathBuf,
     workers: usize,
 }
 
-/// Health accounting of one [`Coordinator::run_with_report`] call.
+/// Health accounting of one [`WorkerPool::run`] (or
+/// [`Coordinator::run_with_report`]) call.
 ///
-/// "Worker slots" are positions in the coordinator's round-robin
-/// spawn schedule, not long-lived processes: every attempt is a fresh
-/// child of the same binary. Shard `i` counts against slot
-/// `i % workers`; its one retry counts against the next slot (the
-/// same slot when `workers == 1`). Re-running a seed range is
-/// idempotent — replicate seeds are absolute and partials are exact,
-/// so a retried shard's partial is bit-identical to what the failed
-/// attempt would have produced. The counts locate *when in the
-/// schedule* failures cluster; once workers live on distinct hosts
-/// (the roadmap's remote-transport rung), the slot becomes a real
-/// per-host health signal.
+/// A **slot** is one transport position in the pool — a fresh child of
+/// the same binary per attempt for [`ChildProcess`] pools, a remote
+/// relay for [`TcpRelay`] slots, where it is a real per-host health
+/// signal. Re-running a seed range is idempotent — replicate seeds are
+/// absolute and partials are exact — so a retried shard's partial is
+/// bit-identical to what the failed attempt would have produced, and
+/// nothing in this report can correlate with the merged bits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Failures observed per worker slot (first attempts and retries
     /// both count against the slot they ran on).
     pub worker_failures: Vec<u64>,
-    /// Shards that failed once and succeeded on their retry.
+    /// Shards that failed at least once and succeeded on a retry.
     pub retried_shards: u64,
+    /// Slots quarantined by the pool's health policy as of the end of
+    /// this run (sorted ascending; always empty for the stateless
+    /// [`Coordinator`], whose pool never lives long enough).
+    pub quarantined_slots: Vec<usize>,
+    /// Replicates each slot contributed to the merged aggregate.
+    pub slot_replicates: Vec<u64>,
 }
 
 impl RunReport {
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         RunReport {
             worker_failures: vec![0; workers],
             retried_shards: 0,
+            quarantined_slots: Vec::new(),
+            slot_replicates: vec![0; workers],
         }
     }
 
@@ -355,126 +374,25 @@ impl Coordinator {
 
     /// Executes `order` sharded across the worker processes, merges
     /// the partials in shard order, and reports per-worker failure
-    /// counts. A shard whose child fails is re-issued **once** on the
-    /// next worker slot — determinism makes the retry idempotent, so
-    /// a transiently lost worker costs latency, not correctness.
+    /// counts. Scheduling is delegated to a fresh [`WorkerPool`] of
+    /// [`ChildProcess`] slots: a shard whose child fails is re-issued
+    /// on the other slots — determinism makes every retry idempotent,
+    /// so a transiently lost worker costs latency, not correctness.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Worker`] when a child (and its retry) fails
+    /// [`ServiceError::Worker`] when a child (and its retries) fails
     /// (stderr included), [`ServiceError::Protocol`] for undecodable
-    /// output, and the first failing shard's error otherwise.
+    /// or structurally invalid output, and the first failing shard's
+    /// error otherwise.
     pub fn run_with_report(
         &self,
         order: &WorkOrder,
     ) -> Result<(EnsemblePartial, RunReport), ServiceError> {
-        let shards = order.shard(self.workers as u64);
-        let mut report = RunReport::new(self.workers);
-        // Spawn every child before reading any output so the shards
-        // run concurrently; each child gets its order on stdin and is
-        // then left to work while the later ones start. Shard `i` runs
-        // on worker slot `i % workers` (one shard per slot in the
-        // common full-width case).
-        let mut children: Vec<(Child, WorkOrder)> = Vec::with_capacity(shards.len());
-        for shard in shards {
-            match self.spawn_shard(&shard) {
-                Ok(child) => children.push((child, shard)),
-                Err(err) => {
-                    // Don't leak the shards already running.
-                    reap(children);
-                    return Err(err);
-                }
-            }
-        }
-
-        // Collect and merge in shard order. Order does not matter for
-        // the bits (exact accumulation); it does give deterministic
-        // error reporting: the lowest-replicate failing shard wins.
-        // After a terminal failure the remaining children are killed
-        // and reaped — never left computing (or as zombies) past this
-        // call.
-        let mut merged: Option<EnsemblePartial> = None;
-        let mut first_failure: Option<ServiceError> = None;
-        for (index, (child, shard)) in children.into_iter().enumerate() {
-            if first_failure.is_some() {
-                let mut child = child;
-                let _ = child.kill();
-                let _ = child.wait();
-                continue;
-            }
-            let partial = match collect_partial(child, &shard) {
-                Ok(partial) => Ok(partial),
-                Err(first_err) => {
-                    // Retry once on the next worker slot. The re-issued
-                    // order covers the same absolute seed range, so on
-                    // success the aggregate is exactly what the failed
-                    // attempt would have contributed.
-                    report.worker_failures[index % self.workers] += 1;
-                    let retry_slot = (index + 1) % self.workers;
-                    let retried = self
-                        .spawn_shard(&shard)
-                        .and_then(|retry| collect_partial(retry, &shard));
-                    match retried {
-                        Ok(partial) => {
-                            report.retried_shards += 1;
-                            Ok(partial)
-                        }
-                        Err(retry_err) => {
-                            report.worker_failures[retry_slot] += 1;
-                            // Prefer the retry's error: it is the one
-                            // that exhausted the shard's attempts (and
-                            // for deterministic failures the two
-                            // messages agree anyway).
-                            let _ = first_err;
-                            Err(retry_err)
-                        }
-                    }
-                }
-            };
-            let outcome = partial.and_then(|partial| match &mut merged {
-                None => {
-                    merged = Some(partial);
-                    Ok(())
-                }
-                Some(total) => total.merge(&partial).map_err(ServiceError::from),
-            });
-            if let Err(err) = outcome {
-                first_failure = Some(err);
-            }
-        }
-        if let Some(failure) = first_failure {
-            return Err(failure);
-        }
-        let merged =
-            merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))?;
-        Ok((merged, report))
-    }
-
-    /// Spawns one worker child and hands it its order on stdin.
-    fn spawn_shard(&self, shard: &WorkOrder) -> Result<Child, ServiceError> {
-        let mut child = Command::new(&self.worker)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .map_err(|e| {
-                ServiceError::Worker(format!("cannot spawn {}: {e}", self.worker.display()))
-            })?;
-        let payload =
-            serde_json::to_string(shard).map_err(|e| ServiceError::Protocol(e.to_string()));
-        let written = payload.and_then(|payload| {
-            let mut stdin = child.stdin.take().expect("stdin piped");
-            stdin
-                .write_all(payload.as_bytes())
-                .map_err(|e| ServiceError::Worker(format!("writing work order: {e}")))
-            // Dropping stdin here sends EOF: the order is complete.
-        });
-        if let Err(err) = written {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(err);
-        }
-        Ok(child)
+        let transports: Vec<Box<dyn Transport>> = (0..self.workers)
+            .map(|_| Box::new(ChildProcess::new(&self.worker)) as Box<dyn Transport>)
+            .collect();
+        WorkerPool::new(transports)?.run(order)
     }
 
     /// Like [`Coordinator::run`] but finalizes the merged partial into
@@ -485,35 +403,6 @@ impl Coordinator {
     /// See [`Coordinator::run`] and `EnsemblePartial::finalize`.
     pub fn run_ensemble(&self, order: &WorkOrder) -> Result<Ensemble, ServiceError> {
         Ok(self.run(order)?.finalize()?)
-    }
-}
-
-/// Reaps a worker child's output: waits, checks the exit status, and
-/// decodes the partial.
-fn collect_partial(child: Child, shard: &WorkOrder) -> Result<EnsemblePartial, ServiceError> {
-    let output = child
-        .wait_with_output()
-        .map_err(|e| ServiceError::Worker(format!("waiting for worker: {e}")))?;
-    if !output.status.success() {
-        let stderr = String::from_utf8_lossy(&output.stderr);
-        return Err(ServiceError::Worker(format!(
-            "shard at replicate {} exited with {}: {}",
-            shard.first_replicate,
-            output.status,
-            stderr.trim()
-        )));
-    }
-    let text = String::from_utf8(output.stdout)
-        .map_err(|e| ServiceError::Protocol(format!("worker output not UTF-8: {e}")))?;
-    serde_json::from_str(text.trim())
-        .map_err(|e| ServiceError::Protocol(format!("undecodable partial: {e}")))
-}
-
-/// Kills and waits every child, ignoring failures (cleanup path).
-fn reap(children: Vec<(Child, WorkOrder)>) {
-    for (mut child, _) in children {
-        let _ = child.kill();
-        let _ = child.wait();
     }
 }
 

@@ -24,20 +24,28 @@
 //!
 //! Sessions live in an [`SessionStore`] bounded by an LRU policy:
 //! submitting past the capacity evicts the least-recently-touched
-//! session (its partial is gone; resubmitting starts cold). Extends
-//! run either in-process or — [`ExtendBackend::Coordinator`] — fanned
-//! out over `glc-worker` child processes, reusing the shard protocol
-//! unchanged; both produce the same bits, by the same argument as the
-//! one-shot path.
+//! session. Without a spill directory the evicted partial is gone and
+//! resubmitting starts cold; with one
+//! ([`SessionStore::with_spill_dir`]) evictions spill to disk,
+//! spilled sessions reload transparently on their next touch, and
+//! every Extend write-through-snapshots the session, so a restarted
+//! service resumes extends instead of recomputing from seed 0.
+//! Extends run in-process, over `glc-worker` children
+//! ([`ExtendBackend::Coordinator`]), or over a health-aware
+//! [`ExtendBackend::Pool`] mixing any [`crate::Transport`]s; all
+//! produce the same bits, by the same argument as the one-shot path.
 //!
 //! The `glc-serve` binary serves this protocol as line-delimited JSON
-//! on stdin/stdout; see `crates/service/README.md` for a worked
-//! example.
+//! on stdin/stdout, each request optionally [`Envelope`]-wrapped with
+//! a correlation `id` echoed back (string ids byte-exactly; numbers
+//! normalize through the JSON number layer); see
+//! `crates/service/README.md` for worked examples.
 
-use crate::{Coordinator, EngineSpec, ModelSource, ServiceError, WorkOrder};
+use crate::{Coordinator, EngineSpec, ModelSource, ServiceError, WorkOrder, WorkerPool};
 use glc_ssa::{run_partial_from, CompiledModel, EnsemblePartial, Trace};
 use glc_vasim::stats::{ensemble_noise, NoisePoint};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
 
 /// Everything that identifies a resident ensemble session: the model,
 /// the engine, the replicate-0 seed, and the sampling grid. Two
@@ -228,6 +236,15 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Total replicates simulated since startup (only Extends add).
     pub simulated: u64,
+    /// Evicted sessions serialized to the spill directory (a subset of
+    /// `evictions`; zero when spill is disabled).
+    pub spilled: u64,
+    /// Sessions transparently reloaded from the spill directory on a
+    /// later touch.
+    pub reloads: u64,
+    /// Write-through snapshots taken on Extend (what a restarted
+    /// service resumes from).
+    pub snapshots: u64,
 }
 
 /// How an Extend's new seed range is simulated.
@@ -237,8 +254,15 @@ pub enum ExtendBackend {
     InProcess,
     /// Fanned out over `glc-worker` child processes via the sharding
     /// [`Coordinator`] (which re-ships the model; workers compile
-    /// their own copy, as the one-shot protocol always did).
+    /// their own copy, as the one-shot protocol always did). Stateless:
+    /// each Extend builds a fresh pool, so no health persists.
     Coordinator(Coordinator),
+    /// Fanned out over a resident [`WorkerPool`] — any mix of
+    /// in-process, child-process and TCP-relay slots — whose health
+    /// accounting (throughput-sized shards, quarantine of consistently
+    /// failing slots) persists across Extends for the life of the
+    /// store.
+    Pool(WorkerPool),
 }
 
 /// One resident session: the warm compiled model and the growing
@@ -258,6 +282,27 @@ struct Session {
 /// An LRU-bounded store of resident sessions; the state behind a
 /// `glc-serve` process (and directly drivable in-process, which is how
 /// the extend-vs-fresh property tests run).
+///
+/// # Durable sessions (spill)
+///
+/// With a spill directory attached ([`SessionStore::with_spill_dir`])
+/// the store becomes restart-tolerant:
+///
+/// * an LRU **eviction** serializes the session (spec + partial) to
+///   `<dir>/<key>.session.json` instead of discarding it;
+/// * a touch of a non-resident key — Submit, Extend or Query —
+///   transparently **reloads** the spilled session (recompiling the
+///   model from its spec and re-validating the partial) before
+///   serving;
+/// * every successful Extend takes a **write-through snapshot**, so a
+///   killed-and-restarted `glc-serve` resumes extends from the
+///   snapshot's replicate count instead of recomputing from seed 0.
+///
+/// Snapshot files are written to a temporary sibling and renamed into
+/// place, so a crash mid-write leaves the previous snapshot intact.
+/// The partial's wire format is bitwise-canonical, so a
+/// reloaded-and-extended session finalizes identically to one that
+/// never left memory — the spill property tests pin exactly that.
 pub struct SessionStore {
     capacity: usize,
     backend: ExtendBackend,
@@ -265,6 +310,10 @@ pub struct SessionStore {
     clock: u64,
     evictions: u64,
     simulated: u64,
+    spill_dir: Option<PathBuf>,
+    spilled: u64,
+    reloads: u64,
+    snapshots: u64,
 }
 
 impl SessionStore {
@@ -284,7 +333,38 @@ impl SessionStore {
             clock: 0,
             evictions: 0,
             simulated: 0,
+            spill_dir: None,
+            spilled: 0,
+            reloads: 0,
+            snapshots: 0,
         })
+    }
+
+    /// Attaches a durable backing store: evicted sessions spill to
+    /// `dir`, spilled sessions reload transparently on their next
+    /// touch, and every Extend write-through-snapshots the session (see
+    /// the type docs). The directory is created on first use.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Serves one line of the wire protocol: parses an
+    /// [`Envelope`]-wrapped [`Request`], handles it, and returns the
+    /// encoded [`Response`] with the request's `id` (if any) echoed
+    /// back (see [`Envelope`] for the value-level echo contract).
+    /// Undecodable lines become an id-less [`Response::Error`]; this
+    /// never fails the serving loop.
+    pub fn handle_json_line(&mut self, line: &str) -> String {
+        let reply = match serde_json::from_str::<Envelope<Request>>(line.trim()) {
+            Ok(Envelope { id, body }) => Envelope {
+                id,
+                body: self.handle(&body),
+            },
+            Err(err) => Envelope::bare(Response::Error(format!("unparseable request: {err}"))),
+        };
+        serde_json::to_string(&reply)
+            .unwrap_or_else(|err| format!("{{\"Error\":\"encoding response: {err}\"}}"))
     }
 
     /// Serves one request, never failing the loop: errors become
@@ -308,7 +388,8 @@ impl SessionStore {
     }
 
     /// Compiles and caches `spec` (idempotent: a warm session with the
-    /// same spec is touched, not rebuilt).
+    /// same spec is touched, not rebuilt; a spilled session with the
+    /// same spec is reloaded, replicates intact).
     ///
     /// # Errors
     ///
@@ -327,24 +408,27 @@ impl SessionStore {
                 simulated: 0,
             });
         }
+        // A spilled session with this spec resumes warm with its
+        // snapshot's replicates. A snapshot that fails to reload
+        // (corrupt, unreadable, mismatched) is superseded by the cold
+        // rebuild below — and overwritten at the next snapshot — so
+        // Submit never hard-fails on a damaged spill file.
+        if let Ok(Some(slot)) = self.reload_from_spill(&key, Some(spec)) {
+            let replicates = self.sessions[slot].partial.replicates();
+            return Ok(Submitted {
+                session: key,
+                replicates,
+                warm: true,
+                simulated: 0,
+            });
+        }
         // Cold: compile the model and validate the whole spec up
         // front (engine parameters included), so Extend can trust it.
         let order = spec.work_order(0, 1);
         let model = order.compile_model()?;
         spec.engine.build()?;
         let partial = EnsemblePartial::new(&model, spec.t_end, spec.sample_dt)?;
-        if self.sessions.len() >= self.capacity {
-            // Evict the least-recently-touched session.
-            let oldest = self
-                .sessions
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1, store non-empty");
-            self.sessions.swap_remove(oldest);
-            self.evictions += 1;
-        }
+        self.evict_if_full()?;
         self.sessions.push(Session {
             key: key.clone(),
             spec: spec.clone(),
@@ -360,26 +444,121 @@ impl SessionStore {
         })
     }
 
+    /// Makes room for one more session: spills (when a spill directory
+    /// is attached) and evicts the least-recently-touched session once
+    /// the store is at capacity.
+    fn evict_if_full(&mut self) -> Result<(), ServiceError> {
+        if self.sessions.len() < self.capacity {
+            return Ok(());
+        }
+        let oldest = self
+            .sessions
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(i, _)| i)
+            .expect("capacity >= 1, store non-empty");
+        if let Some(dir) = &self.spill_dir {
+            let victim = &self.sessions[oldest];
+            write_spill(dir, &victim.spec, &victim.partial)?;
+            self.spilled += 1;
+        }
+        self.sessions.swap_remove(oldest);
+        self.evictions += 1;
+        Ok(())
+    }
+
+    /// Attempts to reload session `key` from the spill directory and
+    /// insert it resident (spilling/evicting another session if the
+    /// store is full). `Ok(None)` when spill is disabled or no
+    /// snapshot exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Spill`] for unreadable, undecodable or
+    /// structurally invalid snapshots (including a spec that does not
+    /// re-derive `key`, or — with `expect_spec` — a snapshot whose
+    /// spec differs from the submitted one), and compile errors for a
+    /// spec whose model no longer resolves.
+    fn reload_from_spill(
+        &mut self,
+        key: &str,
+        expect_spec: Option<&SessionSpec>,
+    ) -> Result<Option<usize>, ServiceError> {
+        let Some(dir) = self.spill_dir.clone() else {
+            return Ok(None);
+        };
+        let Some((spec, partial)) = read_spill(&dir, key)? else {
+            return Ok(None);
+        };
+        if spec.fingerprint() != key {
+            return Err(ServiceError::Spill(format!(
+                "snapshot `{key}` holds a spec fingerprinting to `{}`",
+                spec.fingerprint()
+            )));
+        }
+        if expect_spec.is_some_and(|expected| *expected != spec) {
+            return Err(ServiceError::Spill(format!(
+                "snapshot `{key}` spec differs from the submitted spec \
+                 (fingerprint collision or corruption)"
+            )));
+        }
+        // Recompile and re-derive the expected aggregate shape: the
+        // snapshot partial must belong to exactly this model and grid,
+        // and its coverage must be the contiguous extend shape a
+        // resident session maintains.
+        let model = spec.work_order(0, 1).compile_model()?;
+        spec.engine.build()?;
+        let expected = EnsemblePartial::new(&model, spec.t_end, spec.sample_dt)?;
+        if expected.fingerprint() != partial.fingerprint() {
+            return Err(ServiceError::Spill(format!(
+                "snapshot `{key}` partial does not match its spec's model/grid"
+            )));
+        }
+        if partial.replicates() > 0 && !partial.covers_contiguous_from(spec.base_seed) {
+            return Err(ServiceError::Spill(format!(
+                "snapshot `{key}` coverage is not contiguous from the base seed"
+            )));
+        }
+        self.evict_if_full()?;
+        self.sessions.push(Session {
+            key: key.to_string(),
+            spec,
+            model,
+            partial,
+            last_used: self.clock,
+        });
+        self.reloads += 1;
+        Ok(Some(self.sessions.len() - 1))
+    }
+
     /// Simulates the session's next `count` replicates (seed range
     /// `base_seed + R .. base_seed + R + count`) and merges them into
-    /// the resident partial.
+    /// the resident partial, write-through-snapshotting the session
+    /// when a spill directory is attached.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Order`] for an unknown session or zero
-    /// `count`, simulation/worker errors from the backend, and any
-    /// seed-coverage violation the partial's accounting detects.
+    /// `count`, simulation/worker errors from the backend, any
+    /// seed-coverage violation the partial's accounting detects, and
+    /// [`ServiceError::Spill`] when the write-through snapshot cannot
+    /// be written. In that last case the merge already stands — only
+    /// durability failed — so the error names the resident replicate
+    /// count and the recovery is an idempotent re-Submit (which
+    /// reports it), **not** a retried Extend (which would simulate the
+    /// *next* seed range on top).
     pub fn extend(&mut self, session: &str, count: u64) -> Result<Extended, ServiceError> {
         if count == 0 {
             return Err(ServiceError::Order("extend replicates must be >= 1".into()));
         }
         self.clock += 1;
         let clock = self.clock;
-        let slot = self.lookup(session)?;
+        let slot = self.touch_or_reload(session)?;
         let resident = &mut self.sessions[slot];
         resident.last_used = clock;
         let first = resident.partial.replicates();
-        let fresh = match &self.backend {
+        let fresh = match &mut self.backend {
             ExtendBackend::InProcess => {
                 let spec = &resident.spec;
                 let engine = &spec.engine;
@@ -395,12 +574,32 @@ impl SessionStore {
             ExtendBackend::Coordinator(coordinator) => {
                 coordinator.run(&resident.spec.work_order(first, count))?
             }
+            ExtendBackend::Pool(pool) => pool.run(&resident.spec.work_order(first, count))?.0,
         };
         resident.partial.merge(&fresh)?;
+        let resident_now = resident.partial.replicates();
+        if let Some(dir) = &self.spill_dir {
+            // The merge already stands when a snapshot write fails, so
+            // the error must leave the client a resync path: it names
+            // the resident count, and an idempotent re-Submit reports
+            // the same number — blindly retrying the Extend would
+            // simulate *further* replicates, not recover these.
+            write_spill(dir, &resident.spec, &resident.partial).map_err(|err| {
+                let detail = match err {
+                    ServiceError::Spill(msg) => msg,
+                    other => other.to_string(),
+                };
+                ServiceError::Spill(format!(
+                    "extend merged {count} replicates ({resident_now} now resident; \
+                     re-Submit to observe them) but the write-through snapshot failed: {detail}"
+                ))
+            })?;
+            self.snapshots += 1;
+        }
         self.simulated += count;
         Ok(Extended {
             session: session.to_string(),
-            replicates: resident.partial.replicates(),
+            replicates: resident_now,
             simulated: count,
         })
     }
@@ -416,7 +615,7 @@ impl SessionStore {
     pub fn query(&mut self, session: &str, species: &[String]) -> Result<Queried, ServiceError> {
         self.clock += 1;
         let clock = self.clock;
-        let slot = self.lookup(session)?;
+        let slot = self.touch_or_reload(session)?;
         let resident = &mut self.sessions[slot];
         resident.last_used = clock;
         let partial = &resident.partial;
@@ -466,19 +665,192 @@ impl SessionStore {
             sessions: self.sessions.len() as u64,
             evictions: self.evictions,
             simulated: self.simulated,
+            spilled: self.spilled,
+            reloads: self.reloads,
+            snapshots: self.snapshots,
         }
     }
 
-    /// Index of the session with the given key.
-    fn lookup(&self, session: &str) -> Result<usize, ServiceError> {
-        self.sessions
-            .iter()
-            .position(|s| s.key == session)
-            .ok_or_else(|| {
-                ServiceError::Order(format!(
-                    "unknown session `{session}` (expired from the LRU bound, or never submitted)"
-                ))
-            })
+    /// Index of the resident session with the given key, transparently
+    /// reloading it from the spill directory when it is not resident.
+    fn touch_or_reload(&mut self, session: &str) -> Result<usize, ServiceError> {
+        if let Some(slot) = self.sessions.iter().position(|s| s.key == session) {
+            return Ok(slot);
+        }
+        self.reload_from_spill(session, None)?.ok_or_else(|| {
+            ServiceError::Order(format!(
+                "unknown session `{session}` (expired from the LRU bound, or never submitted)"
+            ))
+        })
+    }
+}
+
+/// One serialized session: the on-disk snapshot format of the durable
+/// store, written to `<spill-dir>/<key>.session.json`. The `partial`
+/// field is the same bitwise-canonical `EnsemblePartial` wire format
+/// the worker protocol ships, so a snapshot can also be rehydrated by
+/// anything that reads partials (e.g. `glc_vasim`'s cached-sweep
+/// loader).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpilledSession {
+    /// The full session spec (the file name's key re-derives from it).
+    pub spec: SessionSpec,
+    /// The resident aggregate at snapshot time.
+    pub partial: EnsemblePartial,
+}
+
+/// The snapshot path of session `key` under `dir`.
+pub fn spill_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.session.json"))
+}
+
+/// Atomically writes a session snapshot: the document lands in a
+/// temporary sibling first and is renamed into place, so a crash
+/// mid-write leaves any previous snapshot intact. Creates `dir` if
+/// needed and returns the snapshot path.
+///
+/// # Errors
+///
+/// [`ServiceError::Spill`] for I/O or encoding failures.
+pub fn write_spill(
+    dir: &Path,
+    spec: &SessionSpec,
+    partial: &EnsemblePartial,
+) -> Result<PathBuf, ServiceError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ServiceError::Spill(format!("creating {}: {e}", dir.display())))?;
+    let key = spec.fingerprint();
+    let path = spill_path(dir, &key);
+    // Serialize through a borrowed value tree — no need to clone the
+    // whole partial into an owned SpilledSession just to encode it.
+    let doc = Value::Object(vec![
+        ("spec".to_string(), spec.to_value()),
+        ("partial".to_string(), partial.to_value()),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| ServiceError::Spill(format!("encoding snapshot `{key}`: {e}")))?;
+    let tmp = dir.join(format!("{key}.session.json.tmp"));
+    std::fs::write(&tmp, text)
+        .map_err(|e| ServiceError::Spill(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| ServiceError::Spill(format!("publishing {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+/// Reads and structurally validates the snapshot of session `key`
+/// under `dir`; `Ok(None)` when no snapshot exists.
+///
+/// # Errors
+///
+/// [`ServiceError::Spill`] for I/O failures, undecodable documents,
+/// and partials failing `EnsemblePartial::validate` — a snapshot file
+/// arrives from disk, not from this process, so nothing in it is
+/// trusted unchecked.
+pub fn read_spill(
+    dir: &Path,
+    key: &str,
+) -> Result<Option<(SessionSpec, EnsemblePartial)>, ServiceError> {
+    let path = spill_path(dir, key);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(ServiceError::Spill(format!(
+                "reading {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let doc: SpilledSession = serde_json::from_str(&text).map_err(|e| {
+        ServiceError::Spill(format!("undecodable snapshot {}: {e}", path.display()))
+    })?;
+    doc.partial
+        .validate()
+        .map_err(|e| ServiceError::Spill(format!("invalid snapshot {}: {e}", path.display())))?;
+    Ok(Some((doc.spec, doc.partial)))
+}
+
+/// A [`Request`] or [`Response`] with an optional client-supplied
+/// correlation `id`, echoed back — what pipelined clients use to
+/// match replies to in-flight requests.
+///
+/// The wire shape is **byte-identical to the bare body when `id` is
+/// absent** (old clients and old servers interoperate unchanged). With
+/// an id, the serialized body object gains a leading `"id"` entry —
+/// `{"id":7,"Extend":{…}}` — and a unit variant like `Stats` is
+/// spelled `{"id":7,"Stats":null}`. The id is any JSON value and is
+/// never interpreted; it is echoed as the same JSON **value**, not the
+/// same bytes: numbers travel through the JSON number layer (exact
+/// for integer magnitudes up to 2^53, canonical float spelling on the
+/// way out, so `41` returns as `41.0`). Clients that correlate by
+/// comparing raw token text — or use ids beyond 2^53 — should send
+/// **string** ids, which do round-trip byte-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<T> {
+    /// Opaque correlation id (`None` = today's bare wire format).
+    pub id: Option<Value>,
+    /// The request or response itself.
+    pub body: T,
+}
+
+impl<T> Envelope<T> {
+    /// An id-less envelope: serializes byte-identically to the bare
+    /// body.
+    pub fn bare(body: T) -> Self {
+        Envelope { id: None, body }
+    }
+
+    /// An envelope carrying a correlation id.
+    pub fn with_id(id: Value, body: T) -> Self {
+        Envelope { id: Some(id), body }
+    }
+}
+
+impl<T: Serialize> Serialize for Envelope<T> {
+    fn to_value(&self) -> Value {
+        let body = self.body.to_value();
+        let Some(id) = &self.id else {
+            return body;
+        };
+        let mut entries = vec![("id".to_string(), id.clone())];
+        match body {
+            Value::Object(fields) => entries.extend(fields),
+            // Unit enum variants serialize as strings; with an id they
+            // become `{"id":…,"Variant":null}`.
+            Value::Str(variant) => entries.push((variant, Value::Null)),
+            other => entries.push(("body".to_string(), other)),
+        }
+        Value::Object(entries)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Envelope<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = value else {
+            return Ok(Envelope::bare(T::from_value(value)?));
+        };
+        if !entries.iter().any(|(k, _)| k == "id") {
+            return Ok(Envelope::bare(T::from_value(value)?));
+        }
+        let mut id = None;
+        let mut rest = Vec::with_capacity(entries.len() - 1);
+        for (k, v) in entries {
+            if k == "id" && id.is_none() {
+                id = Some(v.clone());
+            } else {
+                rest.push((k.clone(), v.clone()));
+            }
+        }
+        // `{"id":…,"Variant":null}` is the enveloped spelling of the
+        // unit variant `"Variant"`; try that reading first, falling
+        // back to the object shape for data-carrying variants.
+        let body = if let [(variant, Value::Null)] = rest.as_slice() {
+            T::from_value(&Value::Str(variant.clone()))
+                .or_else(|_| T::from_value(&Value::Object(rest.clone())))?
+        } else {
+            T::from_value(&Value::Object(rest))?
+        };
+        Ok(Envelope { id, body })
     }
 }
 
@@ -662,6 +1034,88 @@ mod tests {
         let json = serde_json::to_string(&reply).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn idless_envelopes_are_byte_identical_to_the_bare_wire_format() {
+        // The id is strictly additive: old clients and new servers (and
+        // vice versa) interoperate on exactly yesterday's bytes.
+        let requests = [
+            Request::Submit(spec()),
+            Request::Extend(ExtendRequest {
+                session: "sess-00ff".into(),
+                replicates: 3,
+            }),
+            Request::Stats,
+        ];
+        for request in requests {
+            let bare = serde_json::to_string(&request).unwrap();
+            let envelope = serde_json::to_string(&Envelope::bare(request.clone())).unwrap();
+            assert_eq!(envelope, bare, "id-less envelope must not change a byte");
+            let back: Envelope<Request> = serde_json::from_str(&bare).unwrap();
+            assert_eq!(back.id, None);
+            assert_eq!(back.body, request);
+        }
+    }
+
+    #[test]
+    fn envelope_ids_round_trip_every_request_shape() {
+        let ids = [
+            Value::Num(7.0),
+            Value::Str("req-42".into()),
+            Value::Array(vec![Value::Num(1.0), Value::Bool(true)]),
+            Value::Null,
+        ];
+        let requests = [
+            Request::Submit(spec()),
+            Request::Query(QueryRequest {
+                session: "sess-00ff".into(),
+                species: vec![],
+            }),
+            Request::Stats, // Unit variant: the `{"id":…,"Stats":null}` spelling.
+        ];
+        for id in &ids {
+            for request in &requests {
+                let envelope = Envelope::with_id(id.clone(), request.clone());
+                let json = serde_json::to_string(&envelope).unwrap();
+                assert!(json.starts_with("{\"id\":"), "{json}");
+                let back: Envelope<Request> = serde_json::from_str(&json).unwrap();
+                assert_eq!(back.id.as_ref(), Some(id), "{json}");
+                assert_eq!(&back.body, request, "{json}");
+            }
+        }
+    }
+
+    #[test]
+    fn handle_json_line_echoes_the_id() {
+        let mut store = store();
+        // A Stats request with an id: the reply carries the same id.
+        let reply = store.handle_json_line("{\"id\":41,\"Stats\":null}");
+        let decoded: Envelope<Response> = serde_json::from_str(&reply).unwrap();
+        assert_eq!(decoded.id, Some(Value::Num(41.0)));
+        assert!(matches!(decoded.body, Response::Stats(_)));
+        // Without an id the reply is the bare historical format.
+        let reply = store.handle_json_line("\"Stats\"");
+        assert!(reply.starts_with("{\"Stats\":"), "{reply}");
+        // Submit with a string id; the echoed id survives alongside a
+        // data-carrying response variant.
+        let line = serde_json::to_string(&Envelope::with_id(
+            Value::Str("alpha".into()),
+            Request::Submit(spec()),
+        ))
+        .unwrap();
+        let raw = store.handle_json_line(&line);
+        // String ids are the byte-exact correlation tokens the docs
+        // steer clients toward (numbers normalize to float spelling).
+        assert!(raw.starts_with("{\"id\":\"alpha\","), "{raw}");
+        let decoded: Envelope<Response> = serde_json::from_str(&raw).unwrap();
+        assert_eq!(decoded.id, Some(Value::Str("alpha".into())));
+        assert!(matches!(decoded.body, Response::Submitted(_)));
+        // Garbage stays a served (id-less) error, never a crash.
+        let decoded: Envelope<Response> =
+            serde_json::from_str(&store.handle_json_line("not json")).unwrap();
+        assert_eq!(decoded.id, None);
+        assert!(matches!(decoded.body, Response::Error(_)));
     }
 
     #[test]

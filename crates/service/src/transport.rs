@@ -1,0 +1,726 @@
+//! Transport-abstracted worker fabric: *where* a shard runs, and the
+//! health-aware scheduler that decides *which* worker runs it.
+//!
+//! The original [`crate::Coordinator`] was hard-wired to local
+//! `std::process` children with a fixed even split and a single retry.
+//! This module factors that into two seams the ROADMAP called for:
+//!
+//! * [`Transport`] — one method, [`Transport::spawn_shard`]: begin
+//!   executing a [`WorkOrder`] somewhere and hand back a
+//!   [`ShardHandle`] that joins to its [`EnsemblePartial`]. Three
+//!   implementations ship:
+//!   - [`InProcess`] — a thread of this process (no serialization, no
+//!     process cost; the baseline every other transport is measured
+//!     against);
+//!   - [`ChildProcess`] — a `glc-worker` child over pipes (the
+//!     original coordinator path, extracted verbatim);
+//!   - [`TcpRelay`] — a TCP connection to a `glc-relay` process,
+//!     which may live on another host: the order travels as one
+//!     newline-framed JSON value, the reply as a [`RelayReply`]
+//!     frame. One `glc-serve` can therefore front workers on other
+//!     machines.
+//! * [`WorkerPool`] — a scheduler over one transport per **slot**. It
+//!   sizes shards by each slot's observed replicate throughput
+//!   (unknown slots get the mean weight, so a cold pool degenerates to
+//!   the old even split), retries a failed shard on the other slots,
+//!   and **quarantines** a slot after `quarantine_after` consecutive
+//!   failures — quarantined slots get no shards and serve no retries
+//!   until every slot is quarantined, at which point the pool lifts
+//!   the quarantine (probation) rather than deadlock. Health persists
+//!   across [`WorkerPool::run`] calls, so a resident `glc-serve`
+//!   accumulates it over the session's lifetime.
+//!
+//! # Determinism
+//!
+//! None of this moves a single bit: replicate seeds are absolute and
+//! partial accumulation is exact, so shard sizing, retries, transport
+//! choice and quarantine decisions affect *latency only*. The
+//! transport-equivalence tests pin `TcpRelay` ≡ `ChildProcess` ≡
+//! [`InProcess`] ≡ unsharded, bitwise, and a pool with an
+//! always-failing slot still completes with the correct bits while
+//! reporting the quarantine in [`RunReport`].
+
+use crate::{RunReport, ServiceError, WorkOrder};
+use glc_ssa::EnsemblePartial;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// Where a shard of ensemble work executes.
+///
+/// A transport is cheap to construct and stateless: spawning hands the
+/// order over (thread, child stdin, or TCP frame) and returns
+/// immediately, so a scheduler can put many shards in flight before
+/// joining any of them. All partials returned by
+/// [`ShardHandle::join`] are structurally validated
+/// (`EnsemblePartial::validate`) before they are trusted.
+pub trait Transport: Send {
+    /// Begins executing `order`, returning a handle that joins to the
+    /// shard's partial.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Worker`] when the execution vehicle cannot be
+    /// started (missing binary, unreachable relay), and
+    /// [`ServiceError::Protocol`] when the order cannot be encoded.
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError>;
+
+    /// A human-readable description of this transport, for reports and
+    /// logs (e.g. `child-process target/release/glc-worker`).
+    fn describe(&self) -> String;
+}
+
+/// An in-flight shard: join it to get the partial.
+pub struct ShardHandle {
+    inner: HandleKind,
+}
+
+enum HandleKind {
+    Thread(std::thread::JoinHandle<Result<EnsemblePartial, ServiceError>>),
+    Child {
+        child: Child,
+        first_replicate: u64,
+    },
+    Relay {
+        stream: TcpStream,
+        addr: String,
+        first_replicate: u64,
+    },
+}
+
+impl ShardHandle {
+    /// Waits for the shard and returns its validated partial.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Worker`] for execution failures (child exit
+    /// status, relay-reported errors, a panicked in-process shard) and
+    /// [`ServiceError::Protocol`] for undecodable or structurally
+    /// invalid replies.
+    pub fn join(self) -> Result<EnsemblePartial, ServiceError> {
+        let partial = match self.inner {
+            HandleKind::Thread(handle) => handle
+                .join()
+                .map_err(|_| ServiceError::Worker("in-process shard panicked".into()))??,
+            HandleKind::Child {
+                child,
+                first_replicate,
+            } => collect_child(child, first_replicate)?,
+            HandleKind::Relay {
+                stream,
+                addr,
+                first_replicate,
+            } => collect_relay(stream, &addr, first_replicate)?,
+        };
+        // Every reply crosses a trust boundary (JSON from a child or a
+        // socket); the in-process path pays the same cheap check for
+        // uniformity.
+        partial.validate().map_err(|e| {
+            ServiceError::Protocol(format!("shard returned an invalid partial: {e}"))
+        })?;
+        Ok(partial)
+    }
+
+    /// Abandons the shard without collecting it (cleanup after a
+    /// terminal failure elsewhere): children are killed and reaped,
+    /// relay connections are dropped. In-process threads have no
+    /// cancellation mechanism — they detach and run their shard to
+    /// completion in the background, their result discarded — so an
+    /// abandoned [`InProcess`] shard costs CPU until it finishes (a
+    /// rare error-path cost; the common failure vehicles are the
+    /// killable ones).
+    fn abandon(self) {
+        match self.inner {
+            HandleKind::Thread(_) => {} // Detaches; the thread finishes and is discarded.
+            HandleKind::Child { mut child, .. } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            HandleKind::Relay { stream, .. } => drop(stream),
+        }
+    }
+}
+
+/// Runs shards on threads of the calling process — the zero-overhead
+/// baseline transport (no serialization, no spawn cost).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcess;
+
+impl Transport for InProcess {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError> {
+        let order = order.clone();
+        Ok(ShardHandle {
+            inner: HandleKind::Thread(std::thread::spawn(move || order.execute())),
+        })
+    }
+
+    fn describe(&self) -> String {
+        "in-process".into()
+    }
+}
+
+/// Runs shards as `glc-worker` children of this process — the original
+/// coordinator path, extracted: the order goes down the child's stdin,
+/// the partial comes back on its stdout.
+#[derive(Debug, Clone)]
+pub struct ChildProcess {
+    worker: PathBuf,
+}
+
+impl ChildProcess {
+    /// A transport spawning children of the worker binary at `worker`.
+    pub fn new(worker: impl Into<PathBuf>) -> Self {
+        ChildProcess {
+            worker: worker.into(),
+        }
+    }
+}
+
+impl Transport for ChildProcess {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError> {
+        let mut child = Command::new(&self.worker)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                ServiceError::Worker(format!("cannot spawn {}: {e}", self.worker.display()))
+            })?;
+        let payload =
+            serde_json::to_string(order).map_err(|e| ServiceError::Protocol(e.to_string()));
+        let written = payload.and_then(|payload| {
+            let mut stdin = child.stdin.take().expect("stdin piped");
+            stdin
+                .write_all(payload.as_bytes())
+                .map_err(|e| ServiceError::Worker(format!("writing work order: {e}")))
+            // Dropping stdin here sends EOF: the order is complete.
+        });
+        if let Err(err) = written {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(err);
+        }
+        Ok(ShardHandle {
+            inner: HandleKind::Child {
+                child,
+                first_replicate: order.first_replicate,
+            },
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("child-process {}", self.worker.display())
+    }
+}
+
+/// Runs shards over TCP against a `glc-relay` process — potentially on
+/// another host. One connection per shard: the order goes out as a
+/// newline-framed JSON value, the [`RelayReply`] frame comes back when
+/// the relay finishes. Concurrency comes from the relay serving each
+/// connection on its own thread, so a pool of several `TcpRelay` slots
+/// pointed at one relay runs its shards in parallel over there.
+#[derive(Debug, Clone)]
+pub struct TcpRelay {
+    addr: String,
+}
+
+impl TcpRelay {
+    /// A transport dialing the relay at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpRelay { addr: addr.into() }
+    }
+
+    /// The relay address this transport dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Transport for TcpRelay {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| {
+            ServiceError::Worker(format!("cannot connect to relay {}: {e}", self.addr))
+        })?;
+        let mut payload =
+            serde_json::to_string(order).map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        payload.push('\n');
+        stream
+            .write_all(payload.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| {
+                ServiceError::Worker(format!("writing work order to relay {}: {e}", self.addr))
+            })?;
+        Ok(ShardHandle {
+            inner: HandleKind::Relay {
+                stream,
+                addr: self.addr.clone(),
+                first_replicate: order.first_replicate,
+            },
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp-relay {}", self.addr)
+    }
+}
+
+/// One reply frame of the `glc-relay` wire protocol: the shard's
+/// partial, or the error that stopped it (the relay stays up either
+/// way — a failed order poisons nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RelayReply {
+    /// The shard completed; here is its aggregate.
+    Partial(EnsemblePartial),
+    /// The shard failed with this message.
+    Error(String),
+}
+
+/// Reaps a worker child's output: waits, checks the exit status, and
+/// decodes the partial.
+fn collect_child(child: Child, first_replicate: u64) -> Result<EnsemblePartial, ServiceError> {
+    let output = child
+        .wait_with_output()
+        .map_err(|e| ServiceError::Worker(format!("waiting for worker: {e}")))?;
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        return Err(ServiceError::Worker(format!(
+            "shard at replicate {} exited with {}: {}",
+            first_replicate,
+            output.status,
+            stderr.trim()
+        )));
+    }
+    let text = String::from_utf8(output.stdout)
+        .map_err(|e| ServiceError::Protocol(format!("worker output not UTF-8: {e}")))?;
+    serde_json::from_str(text.trim())
+        .map_err(|e| ServiceError::Protocol(format!("undecodable partial: {e}")))
+}
+
+/// Reads and decodes the relay's one reply frame for a shard.
+fn collect_relay(
+    stream: TcpStream,
+    addr: &str,
+    first_replicate: u64,
+) -> Result<EnsemblePartial, ServiceError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ServiceError::Worker(format!("reading relay {addr} reply: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(ServiceError::Worker(format!(
+            "relay {addr} closed the connection without a reply \
+             (shard at replicate {first_replicate})"
+        )));
+    }
+    match serde_json::from_str::<RelayReply>(line.trim()) {
+        Ok(RelayReply::Partial(partial)) => Ok(partial),
+        Ok(RelayReply::Error(message)) => Err(ServiceError::Worker(format!(
+            "relay {addr}: shard at replicate {first_replicate} failed: {message}"
+        ))),
+        Err(e) => Err(ServiceError::Protocol(format!(
+            "undecodable relay reply: {e}"
+        ))),
+    }
+}
+
+/// Health accounting of one worker-pool slot, accumulated across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SlotHealth {
+    /// Shards this slot completed successfully.
+    pub successes: u64,
+    /// Shard attempts that failed on this slot (first attempts and
+    /// retries both count against the slot they ran on).
+    pub failures: u64,
+    /// Failures since the last success — the quarantine trigger.
+    pub consecutive_failures: u64,
+    /// Replicates this slot contributed to merged aggregates.
+    pub replicates: u64,
+    /// Wall-clock seconds this slot spent on successful shards
+    /// (spawn-to-join; the denominator of the throughput estimate).
+    pub busy_secs: f64,
+    /// Whether the slot is currently quarantined (no shards, no
+    /// retries) by the pool's health policy.
+    pub quarantined: bool,
+}
+
+impl SlotHealth {
+    /// Observed replicate throughput (replicates per second), once the
+    /// slot has completed at least one shard.
+    pub fn observed_throughput(&self) -> Option<f64> {
+        (self.replicates > 0 && self.busy_secs > 0.0)
+            .then(|| self.replicates as f64 / self.busy_secs)
+    }
+}
+
+/// Default consecutive-failure count that quarantines a slot.
+const DEFAULT_QUARANTINE_AFTER: u64 = 3;
+
+/// Throughput weights are clamped to within this factor of the pool
+/// mean, so one noisy measurement cannot starve (or flood) a slot.
+const WEIGHT_CLAMP: f64 = 8.0;
+
+struct PoolSlot {
+    transport: Box<dyn Transport>,
+    health: SlotHealth,
+}
+
+/// A health-aware scheduler over one [`Transport`] per slot.
+///
+/// Replaces the fixed even-split + single-retry logic that used to
+/// live in `Coordinator::run_with_report`: shards are sized by each
+/// slot's observed throughput, a failed shard is retried on the other
+/// (non-quarantined) slots, and slots that fail
+/// `quarantine_after` times in a row are quarantined until the pool
+/// would otherwise be empty. Health persists across
+/// [`WorkerPool::run`] calls; none of it affects the merged bits (see
+/// the module docs).
+pub struct WorkerPool {
+    slots: Vec<PoolSlot>,
+    quarantine_after: u64,
+}
+
+impl WorkerPool {
+    /// A pool with one slot per transport.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for an empty transport list.
+    pub fn new(transports: Vec<Box<dyn Transport>>) -> Result<Self, ServiceError> {
+        if transports.is_empty() {
+            return Err(ServiceError::Order(
+                "worker pool needs at least one transport".into(),
+            ));
+        }
+        Ok(WorkerPool {
+            slots: transports
+                .into_iter()
+                .map(|transport| PoolSlot {
+                    transport,
+                    health: SlotHealth::default(),
+                })
+                .collect(),
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+        })
+    }
+
+    /// Sets the consecutive-failure count that quarantines a slot
+    /// (default 3).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for zero (a slot must be allowed at
+    /// least one failure).
+    pub fn with_quarantine_after(mut self, failures: u64) -> Result<Self, ServiceError> {
+        if failures == 0 {
+            return Err(ServiceError::Order("quarantine_after must be >= 1".into()));
+        }
+        self.quarantine_after = failures;
+        Ok(self)
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A snapshot of every slot's health.
+    pub fn health(&self) -> Vec<SlotHealth> {
+        self.slots.iter().map(|slot| slot.health.clone()).collect()
+    }
+
+    /// Every slot's transport description, in slot order.
+    pub fn describe_slots(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .map(|slot| slot.transport.describe())
+            .collect()
+    }
+
+    /// Executes `order` across the pool and merges the shard partials:
+    /// sizes shards by observed slot throughput, retries failures on
+    /// the other slots, updates quarantine state, and reports what
+    /// happened. The merged partial is bitwise independent of all of
+    /// those choices.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Order`] for an empty order; otherwise the error
+    /// of the lowest-replicate shard whose attempts were exhausted.
+    pub fn run(&mut self, order: &WorkOrder) -> Result<(EnsemblePartial, RunReport), ServiceError> {
+        if order.replicates == 0 {
+            return Err(ServiceError::Order("replicates must be >= 1".into()));
+        }
+        let mut active: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| !self.slots[i].health.quarantined)
+            .collect();
+        if active.is_empty() {
+            // Every slot is quarantined: lift the quarantine rather
+            // than deadlock — the pool would otherwise never serve
+            // again (probation: a failure re-quarantines immediately).
+            for slot in &mut self.slots {
+                slot.health.quarantined = false;
+                slot.health.consecutive_failures = 0;
+            }
+            active = (0..self.slots.len()).collect();
+        }
+        let throughputs: Vec<Option<f64>> = active
+            .iter()
+            .map(|&i| self.slots[i].health.observed_throughput())
+            .collect();
+        let sizes = shard_sizes(order.replicates, &throughputs);
+
+        let mut report = RunReport::new(self.slots.len());
+        // Spawn every shard before joining any, so they run
+        // concurrently; a spawn error is just a first-attempt failure
+        // and goes through the same retry path at collect time.
+        let mut inflight: Vec<(usize, WorkOrder, Instant, Result<ShardHandle, ServiceError>)> =
+            Vec::new();
+        let mut first = order.first_replicate;
+        for (&slot, &size) in active.iter().zip(&sizes) {
+            if size == 0 {
+                continue;
+            }
+            let mut shard = order.clone();
+            shard.first_replicate = first;
+            shard.replicates = size;
+            first = first.wrapping_add(size);
+            let spawned = self.slots[slot].transport.spawn_shard(&shard);
+            inflight.push((slot, shard, Instant::now(), spawned));
+        }
+
+        // Collect and merge in shard order. Order does not matter for
+        // the bits (exact accumulation); it does give deterministic
+        // error reporting: the lowest-replicate failing shard wins.
+        // After a terminal failure the remaining shards are abandoned:
+        // children are killed and reaped, relay connections dropped;
+        // in-process threads (uncancellable) detach and finish in the
+        // background with their results discarded — see
+        // ShardHandle::abandon.
+        let mut merged: Option<EnsemblePartial> = None;
+        let mut first_failure: Option<ServiceError> = None;
+        for (slot, shard, started, spawned) in inflight {
+            if first_failure.is_some() {
+                if let Ok(handle) = spawned {
+                    handle.abandon();
+                }
+                continue;
+            }
+            let partial = match spawned.and_then(ShardHandle::join) {
+                Ok(partial) => {
+                    self.record_success(slot, &shard, started.elapsed().as_secs_f64(), &mut report);
+                    Ok(partial)
+                }
+                Err(err) => {
+                    self.record_failure(slot, &mut report);
+                    self.retry(slot, &shard, err, &mut report)
+                }
+            };
+            let outcome = partial.and_then(|partial| match &mut merged {
+                None => {
+                    merged = Some(partial);
+                    Ok(())
+                }
+                Some(total) => total.merge(&partial).map_err(ServiceError::from),
+            });
+            if let Err(err) = outcome {
+                first_failure = Some(err);
+            }
+        }
+        report.quarantined_slots = (0..self.slots.len())
+            .filter(|&i| self.slots[i].health.quarantined)
+            .collect();
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        let merged =
+            merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))?;
+        Ok((merged, report))
+    }
+
+    /// Re-issues a failed shard on the other slots, in rotation order
+    /// after the failed one. Non-quarantined slots are preferred; when
+    /// every other slot is quarantined (or this is a one-slot pool)
+    /// the rotation falls back to all slots so the shard still gets
+    /// its retry. Re-running a seed range is idempotent — replicate
+    /// seeds are absolute and partials exact — so a successful retry
+    /// contributes exactly the bits the failed attempt would have.
+    fn retry(
+        &mut self,
+        failed: usize,
+        shard: &WorkOrder,
+        first_err: ServiceError,
+        report: &mut RunReport,
+    ) -> Result<EnsemblePartial, ServiceError> {
+        let n = self.slots.len();
+        let rotation: Vec<usize> = (1..n).map(|step| (failed + step) % n).collect();
+        let mut candidates: Vec<usize> = rotation
+            .iter()
+            .copied()
+            .filter(|&i| !self.slots[i].health.quarantined)
+            .collect();
+        if candidates.is_empty() {
+            candidates = if rotation.is_empty() {
+                vec![failed] // One-slot pool: retry once on the same slot.
+            } else {
+                rotation
+            };
+        }
+        let mut last_err = first_err;
+        for slot in candidates {
+            let started = Instant::now();
+            let attempt = self.slots[slot]
+                .transport
+                .spawn_shard(shard)
+                .and_then(ShardHandle::join);
+            match attempt {
+                Ok(partial) => {
+                    report.retried_shards += 1;
+                    self.record_success(slot, shard, started.elapsed().as_secs_f64(), report);
+                    return Ok(partial);
+                }
+                Err(retry_err) => {
+                    self.record_failure(slot, report);
+                    // Prefer the later error: it is the one that
+                    // exhausted the shard's attempts (for deterministic
+                    // failures the messages agree anyway).
+                    last_err = retry_err;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn record_success(
+        &mut self,
+        slot: usize,
+        shard: &WorkOrder,
+        elapsed_secs: f64,
+        report: &mut RunReport,
+    ) {
+        let health = &mut self.slots[slot].health;
+        health.successes += 1;
+        health.consecutive_failures = 0;
+        health.replicates += shard.replicates;
+        health.busy_secs += elapsed_secs;
+        report.slot_replicates[slot] += shard.replicates;
+    }
+
+    fn record_failure(&mut self, slot: usize, report: &mut RunReport) {
+        let health = &mut self.slots[slot].health;
+        health.failures += 1;
+        health.consecutive_failures += 1;
+        if health.consecutive_failures >= self.quarantine_after {
+            health.quarantined = true;
+        }
+        report.worker_failures[slot] += 1;
+    }
+}
+
+/// Sizes `total` replicates across slots proportionally to their
+/// observed throughput (largest-remainder rounding, deterministic
+/// index tie-break). Slots with no history get the mean of the known
+/// throughputs — a cold pool therefore degenerates to the even split
+/// the original coordinator used — and weights are clamped to within
+/// [`WEIGHT_CLAMP`]× of the mean so one noisy measurement cannot
+/// starve a slot.
+fn shard_sizes(total: u64, throughputs: &[Option<f64>]) -> Vec<u64> {
+    let n = throughputs.len();
+    debug_assert!(n > 0);
+    let known: Vec<f64> = throughputs.iter().flatten().copied().collect();
+    let mean = if known.is_empty() {
+        1.0
+    } else {
+        known.iter().sum::<f64>() / known.len() as f64
+    };
+    let weights: Vec<f64> = throughputs
+        .iter()
+        .map(|t| {
+            t.unwrap_or(mean)
+                .clamp(mean / WEIGHT_CLAMP, mean * WEIGHT_CLAMP)
+        })
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let mut sizes = vec![0u64; n];
+    let mut fractions: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut assigned = 0u64;
+    for (i, weight) in weights.iter().enumerate() {
+        let exact = total as f64 * weight / weight_sum;
+        let floor = (exact.floor() as u64).min(total);
+        sizes[i] = floor;
+        assigned += floor;
+        fractions.push((i, exact - exact.floor()));
+    }
+    // Float round-off can leave the floors a few replicates short (or,
+    // pathologically, long). Distribute the shortfall by largest
+    // remainder; trim any excess from the tail.
+    while assigned > total {
+        let last = sizes.iter().rposition(|&s| s > 0).expect("assigned > 0");
+        sizes[last] -= 1;
+        assigned -= 1;
+    }
+    fractions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut remaining = total - assigned;
+    let mut at = 0;
+    while remaining > 0 {
+        let (slot, _) = fractions[at % n];
+        sizes[slot] += 1;
+        remaining -= 1;
+        at += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pools_split_evenly_like_the_old_coordinator() {
+        assert_eq!(shard_sizes(10, &[None, None]), vec![5, 5]);
+        assert_eq!(shard_sizes(11, &[None, None, None]), vec![4, 4, 3]);
+        assert_eq!(shard_sizes(2, &[None, None, None]), vec![1, 1, 0]);
+        assert_eq!(shard_sizes(1, &[None]), vec![1]);
+    }
+
+    #[test]
+    fn shard_sizes_follow_observed_throughput() {
+        // A slot measured 3x faster gets ~3x the replicates.
+        let sizes = shard_sizes(100, &[Some(300.0), Some(100.0)]);
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        assert!(sizes[0] > sizes[1], "{sizes:?}");
+        assert!((70..=80).contains(&sizes[0]), "{sizes:?}");
+        // Unknown slots get the mean weight.
+        let sizes = shard_sizes(90, &[Some(200.0), None, Some(100.0)]);
+        assert_eq!(sizes.iter().sum::<u64>(), 90);
+        assert!(sizes[0] > sizes[2], "{sizes:?}");
+        assert!(sizes[1] > sizes[2] && sizes[1] < sizes[0], "{sizes:?}");
+    }
+
+    #[test]
+    fn extreme_throughput_ratios_are_clamped() {
+        // A glitchy measurement cannot starve a slot to zero when the
+        // batch is large enough for the clamp to bite.
+        let sizes = shard_sizes(1000, &[Some(1.0), Some(1_000_000.0)]);
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert!(sizes[0] > 0, "{sizes:?}");
+    }
+
+    #[test]
+    fn every_total_is_preserved() {
+        for total in [1u64, 2, 3, 7, 97, 192] {
+            for weights in [
+                vec![None, None],
+                vec![Some(10.0), Some(20.0), Some(30.0)],
+                vec![Some(5.0)],
+                vec![None, Some(50.0), None, Some(0.5)],
+            ] {
+                let sizes = shard_sizes(total, &weights);
+                assert_eq!(sizes.iter().sum::<u64>(), total, "{total} over {weights:?}");
+            }
+        }
+    }
+}

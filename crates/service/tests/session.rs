@@ -285,6 +285,123 @@ fn glc_serve_worker_backend_matches_fresh_run() {
 }
 
 #[test]
+fn glc_serve_echoes_request_ids() {
+    use glc_service::Envelope;
+    use serde::Value;
+    let spec = catalog_spec("book_not", EngineSpec::Direct, 5);
+    let mut client = ServeClient::spawn(&[]);
+
+    // An id-carrying Submit: the reply carries the same id.
+    let line = serde_json::to_string(&Envelope::with_id(
+        Value::Num(7.0),
+        Request::Submit(spec.clone()),
+    ))
+    .unwrap();
+    writeln!(client.stdin, "{line}").unwrap();
+    client.stdin.flush().unwrap();
+    let mut reply = String::new();
+    client.stdout.read_line(&mut reply).unwrap();
+    let decoded: Envelope<Response> = serde_json::from_str(reply.trim()).unwrap();
+    assert_eq!(decoded.id, Some(Value::Num(7.0)));
+    let Response::Submitted(submitted) = decoded.body else {
+        panic!("expected Submitted, got {:?}", decoded.body);
+    };
+
+    // Pipelined requests with distinct ids come back correlated, in
+    // order, each with its own id — including the unit-variant Stats
+    // spelling `{"id":…,"Stats":null}`.
+    let lines = [
+        serde_json::to_string(&Envelope::with_id(
+            Value::Str("x-1".into()),
+            Request::Extend(ExtendRequest {
+                session: submitted.session.clone(),
+                replicates: 2,
+            }),
+        ))
+        .unwrap(),
+        "{\"id\":\"x-2\",\"Stats\":null}".to_string(),
+        // No id: the reply must be the bare historical format.
+        serde_json::to_string(&Request::Stats).unwrap(),
+    ];
+    for line in &lines {
+        writeln!(client.stdin, "{line}").unwrap();
+    }
+    client.stdin.flush().unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..lines.len() {
+        let mut reply = String::new();
+        client.stdout.read_line(&mut reply).unwrap();
+        replies.push(reply.trim().to_string());
+    }
+    let first: Envelope<Response> = serde_json::from_str(&replies[0]).unwrap();
+    assert_eq!(first.id, Some(Value::Str("x-1".into())));
+    assert!(matches!(first.body, Response::Extended(_)));
+    let second: Envelope<Response> = serde_json::from_str(&replies[1]).unwrap();
+    assert_eq!(second.id, Some(Value::Str("x-2".into())));
+    assert!(matches!(second.body, Response::Stats(_)));
+    assert!(
+        replies[2].starts_with("{\"Stats\":"),
+        "id-less request must get the bare reply format: {}",
+        replies[2]
+    );
+    client.shutdown();
+}
+
+#[test]
+fn glc_serve_relay_backend_matches_fresh_run() {
+    // One extend driven through a real glc-relay over localhost TCP
+    // (the remote-transport deployment shape): submit → extend → query
+    // against `glc-serve --relay` is still bitwise the fresh run.
+    let mut relay = Command::new(env!("CARGO_BIN_EXE_glc-relay"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn glc-relay");
+    let mut banner = String::new();
+    BufReader::new(relay.stdout.take().expect("stdout piped"))
+        .read_line(&mut banner)
+        .expect("read bound address");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address")
+        .to_string();
+
+    let spec = catalog_spec("book_and", EngineSpec::Direct, 31);
+    let mut client = ServeClient::spawn(&["--relay", &addr, "--relay", &addr]);
+    let Response::Submitted(submitted) = client.request(&Request::Submit(spec.clone())) else {
+        panic!("expected Submitted");
+    };
+    for batch in [4u64, 3] {
+        let reply = client.request(&Request::Extend(ExtendRequest {
+            session: submitted.session.clone(),
+            replicates: batch,
+        }));
+        assert!(matches!(reply, Response::Extended(_)), "{reply:?}");
+    }
+    let Response::Queried(queried) = client.request(&Request::Query(QueryRequest {
+        session: submitted.session.clone(),
+        species: vec![],
+    })) else {
+        panic!("expected Queried");
+    };
+    assert_eq!(queried.simulated, 0);
+    let reference = fresh_reference(&spec, 7).finalize().expect("finalize");
+    for (s, species) in queried.mean.species().iter().enumerate() {
+        let refs = reference.mean.series(species).expect("species");
+        for (k, (a, b)) in queried.mean.series_at(s).iter().zip(refs).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "mean of {species} at {k}");
+        }
+    }
+    client.shutdown();
+    let _ = relay.kill();
+    let _ = relay.wait();
+}
+
+#[test]
 fn glc_serve_survives_garbage_lines() {
     let mut client = ServeClient::spawn(&[]);
     writeln!(client.stdin, "this is not json").unwrap();

@@ -1,0 +1,408 @@
+//! Transport-fabric tests: the three [`Transport`] implementations
+//! driven through real processes and sockets, checked **bitwise**
+//! against each other, plus the [`WorkerPool`]'s health-aware
+//! scheduling (retries, quarantine, throughput accounting).
+//!
+//! The acceptance gate of the transport refactor: an Extend dispatched
+//! over `TcpRelay` ≡ `ChildProcess` ≡ `InProcess` ≡ a fresh unsharded
+//! run — property-tested for Direct + Langevin on `book_and` +
+//! `cello_0x1C` — and a pool with an always-failing slot still
+//! completes with the correct bits while reporting the quarantine.
+//! CI runs this file on every push (`query-service` job).
+
+use glc_service::{
+    ChildProcess, EngineSpec, ExtendBackend, InProcess, ModelSource, SessionSpec, SessionStore,
+    TcpRelay, Transport, WorkOrder, WorkerPool,
+};
+use glc_ssa::run_partial_from;
+use proptest::prelude::*;
+use std::io::{BufRead as _, BufReader};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::OnceLock;
+
+/// Paths of the freshly built binaries under test.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glc-worker")
+}
+
+fn relay_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glc-relay")
+}
+
+/// A `glc-relay` child bound to a free localhost port. The relay
+/// exits when its stdin closes, so even a leaked fixture dies with
+/// this test process.
+struct RelayFixture {
+    child: Child,
+    _stdin: ChildStdin,
+    addr: String,
+}
+
+impl RelayFixture {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = Command::new(relay_bin())
+            .args(["--listen", "127.0.0.1:0"])
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn glc-relay");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read bound address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address token")
+            .to_string();
+        assert!(
+            line.contains("listening on") && addr.contains(':'),
+            "unexpected banner: {line:?}"
+        );
+        RelayFixture {
+            child,
+            _stdin: stdin,
+            addr,
+        }
+    }
+}
+
+impl Drop for RelayFixture {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One relay shared by every property-test case (spawning a process
+/// per case would dominate the test); it exits with this process.
+fn shared_relay_addr() -> &'static str {
+    static RELAY: OnceLock<RelayFixture> = OnceLock::new();
+    &RELAY.get_or_init(|| RelayFixture::spawn(&[])).addr
+}
+
+fn catalog_spec(circuit: &str, engine: EngineSpec, base_seed: u64) -> SessionSpec {
+    let entry = glc_gates::catalog::by_id(circuit).expect("catalog circuit");
+    let mut spec = SessionSpec::new(
+        ModelSource::Catalog(circuit.into()),
+        engine,
+        base_seed,
+        20.0,
+        4.0,
+    );
+    for input in &entry.inputs {
+        spec = spec.with_amount(input, 15.0);
+    }
+    spec
+}
+
+/// The fresh-run reference: `run_partial_from` over the whole range,
+/// built from the same spec.
+fn fresh_reference(spec: &SessionSpec, replicates: u64) -> glc_ssa::EnsemblePartial {
+    let mut model = spec.model.load().expect("model loads");
+    for (species, amount) in &spec.set_amounts {
+        model.set_initial_amount(species, *amount);
+    }
+    let compiled = glc_ssa::CompiledModel::new(&model).expect("compiles");
+    run_partial_from(
+        &compiled,
+        || spec.engine.build().expect("engine builds"),
+        spec.base_seed,
+        replicates,
+        spec.t_end,
+        spec.sample_dt,
+    )
+    .expect("reference run")
+}
+
+/// A store whose Extends run over a pool of the given transports.
+fn pooled_store(transports: Vec<Box<dyn Transport>>) -> SessionStore {
+    let pool = WorkerPool::new(transports).expect("pool");
+    SessionStore::new(2, ExtendBackend::Pool(pool)).expect("store")
+}
+
+proptest! {
+    /// The acceptance property: the same extend schedule dispatched
+    /// over every transport — in-process threads, glc-worker children,
+    /// TCP relay — leaves bitwise-identical resident partials, all
+    /// equal to the fresh unsharded run. Direct + Langevin, book_and +
+    /// cello_0x1C.
+    #[test]
+    fn extends_agree_bitwise_across_all_transports(
+        first in 1u64..3,
+        growth in 1u64..3,
+        seed in 0u64..500,
+        cello in any::<bool>(),
+        langevin in any::<bool>(),
+    ) {
+        let circuit = if cello { "cello_0x1C" } else { "book_and" };
+        let engine = if langevin {
+            EngineSpec::Langevin(if cello { 0.1 } else { 0.01 })
+        } else {
+            EngineSpec::Direct
+        };
+        let spec = catalog_spec(circuit, engine, seed);
+        let mut stores = vec![
+            SessionStore::new(2, ExtendBackend::InProcess).unwrap(),
+            pooled_store(vec![Box::new(InProcess), Box::new(InProcess)]),
+            pooled_store(vec![
+                Box::new(ChildProcess::new(worker_bin())),
+                Box::new(ChildProcess::new(worker_bin())),
+            ]),
+            pooled_store(vec![
+                Box::new(TcpRelay::new(shared_relay_addr())),
+                Box::new(TcpRelay::new(shared_relay_addr())),
+            ]),
+        ];
+        let mut partials = Vec::new();
+        for store in &mut stores {
+            let session = store.submit(&spec).unwrap().session;
+            store.extend(&session, first).unwrap();
+            store.extend(&session, growth).unwrap();
+            partials.push(store.partial(&session).unwrap().clone());
+        }
+        let reference = fresh_reference(&spec, first + growth);
+        for (at, partial) in partials.iter().enumerate() {
+            prop_assert_eq!(partial, &reference, "backend #{} diverged", at);
+        }
+    }
+}
+
+#[test]
+fn mixed_transport_pools_merge_bitwise() {
+    // One pool mixing all three transports: the shard boundaries land
+    // on different vehicles entirely, and the bits cannot tell.
+    let relay = RelayFixture::spawn(&[]);
+    let spec = catalog_spec("book_and", EngineSpec::Direct, 17);
+    let mut store = pooled_store(vec![
+        Box::new(InProcess),
+        Box::new(ChildProcess::new(worker_bin())),
+        Box::new(TcpRelay::new(relay.addr.clone())),
+    ]);
+    let session = store.submit(&spec).unwrap().session;
+    for batch in [7u64, 5] {
+        store.extend(&session, batch).unwrap();
+    }
+    assert_eq!(
+        store.partial(&session).unwrap(),
+        &fresh_reference(&spec, 12)
+    );
+}
+
+#[test]
+fn relay_with_child_workers_matches_too() {
+    // A relay that fans its orders out over its own glc-worker
+    // children (the remote-host deployment shape): still the same
+    // bits.
+    let relay = RelayFixture::spawn(&["--workers", "2", "--worker-bin", worker_bin()]);
+    let spec = catalog_spec("book_and", EngineSpec::Langevin(0.01), 29);
+    let mut store = pooled_store(vec![Box::new(TcpRelay::new(relay.addr.clone()))]);
+    let session = store.submit(&spec).unwrap().session;
+    store.extend(&session, 6).unwrap();
+    assert_eq!(store.partial(&session).unwrap(), &fresh_reference(&spec, 6));
+}
+
+#[test]
+fn relay_reports_bad_orders_and_keeps_serving() {
+    let relay = RelayFixture::spawn(&[]);
+    let transport = TcpRelay::new(relay.addr.clone());
+    let bad = WorkOrder::new(
+        ModelSource::Catalog("no_such_circuit".into()),
+        EngineSpec::Direct,
+        1,
+        2,
+        5.0,
+        1.0,
+    );
+    let err = transport
+        .spawn_shard(&bad)
+        .and_then(|handle| handle.join())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("no_such_circuit"),
+        "error carries the relay's message: {err}"
+    );
+    // The failed order poisoned nothing: a good order on the same
+    // relay still round-trips.
+    let good = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        3,
+        2,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let partial = transport
+        .spawn_shard(&good)
+        .and_then(|handle| handle.join())
+        .unwrap();
+    assert_eq!(partial.replicates(), 2);
+    assert_eq!(partial, good.execute().unwrap());
+}
+
+#[test]
+fn unreachable_relay_is_a_clean_error() {
+    // Port 1 on localhost is essentially never listening.
+    let transport = TcpRelay::new("127.0.0.1:1");
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        1,
+        1,
+        2.0,
+        1.0,
+    );
+    let err = transport
+        .spawn_shard(&order)
+        .and_then(|handle| handle.join())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("cannot connect"),
+        "unexpected error: {err}"
+    );
+}
+
+/// Writes an executable shell script that drains its order and always
+/// fails — a permanently dead worker slot.
+#[cfg(unix)]
+fn dead_worker_script(label: &str) -> std::path::PathBuf {
+    use std::os::unix::fs::PermissionsExt as _;
+    let dir = std::env::temp_dir().join(format!("glc-dead-slot-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create script dir");
+    let script = dir.join("dead-worker.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\ncat > /dev/null\necho 'slot is dead' >&2\nexit 1\n",
+    )
+    .expect("write script");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("chmod script");
+    script
+}
+
+#[cfg(unix)]
+#[test]
+fn always_failing_slot_is_quarantined_and_the_result_is_still_exact() {
+    // The acceptance scenario: slot 0 always fails, slot 1 is healthy.
+    // Every run completes with the correct bits; the pool quarantines
+    // the dead slot and stops handing it work.
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_and".into()),
+        EngineSpec::Direct,
+        7,
+        10,
+        20.0,
+        4.0,
+    )
+    .with_amount("LacI", 15.0)
+    .with_amount("TetR", 15.0);
+    let reference = order.execute().unwrap();
+
+    let mut pool = WorkerPool::new(vec![
+        Box::new(ChildProcess::new(dead_worker_script("quarantine"))) as Box<dyn Transport>,
+        Box::new(ChildProcess::new(worker_bin())),
+    ])
+    .unwrap()
+    .with_quarantine_after(1)
+    .unwrap();
+
+    // Run 1: the dead slot's shard fails once, is retried on the
+    // healthy slot, and the dead slot is quarantined.
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference, "retry must reproduce the exact bits");
+    assert_eq!(report.worker_failures, vec![1, 0], "{report:?}");
+    assert_eq!(report.retried_shards, 1, "{report:?}");
+    assert_eq!(report.quarantined_slots, vec![0], "{report:?}");
+    assert_eq!(
+        report.slot_replicates,
+        vec![0, 10],
+        "the healthy slot carried everything: {report:?}"
+    );
+    assert!(pool.health()[0].quarantined);
+    assert!(!pool.health()[1].quarantined);
+
+    // Run 2: the quarantined slot gets no shards at all — zero new
+    // failures — and the bits are still exact.
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference);
+    assert_eq!(report.worker_failures, vec![0, 0], "{report:?}");
+    assert_eq!(report.retried_shards, 0, "{report:?}");
+    assert_eq!(report.quarantined_slots, vec![0], "{report:?}");
+    assert_eq!(report.slot_replicates, vec![0, 10]);
+}
+
+#[cfg(unix)]
+#[test]
+fn fully_quarantined_pools_get_probation_not_deadlock() {
+    // Every slot dead: runs fail, but each run still *attempts* the
+    // work (quarantine lifts when it would empty the pool) instead of
+    // deadlocking or panicking.
+    let script = dead_worker_script("probation");
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        3,
+        4,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let mut pool = WorkerPool::new(vec![
+        Box::new(ChildProcess::new(&script)) as Box<dyn Transport>,
+        Box::new(ChildProcess::new(&script)),
+    ])
+    .unwrap()
+    .with_quarantine_after(1)
+    .unwrap();
+    for round in 0..3 {
+        let err = pool.run(&order).unwrap_err();
+        assert!(
+            err.to_string().contains("slot is dead"),
+            "round {round}: {err}"
+        );
+    }
+    // Failures kept accumulating across rounds: probation really
+    // re-attempted the slots.
+    let health = pool.health();
+    assert!(
+        health.iter().map(|h| h.failures).sum::<u64>() >= 3,
+        "{health:?}"
+    );
+}
+
+#[test]
+fn pool_health_tracks_throughput_for_adaptive_sizing() {
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        11,
+        8,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let mut pool = WorkerPool::new(vec![
+        Box::new(InProcess) as Box<dyn Transport>,
+        Box::new(InProcess),
+    ])
+    .unwrap();
+    let reference = order.execute().unwrap();
+    let (first, report) = pool.run(&order).unwrap();
+    assert_eq!(first, reference);
+    assert_eq!(report.slot_replicates.iter().sum::<u64>(), 8);
+    let health = pool.health();
+    for slot in &health {
+        assert!(slot.observed_throughput().is_some(), "{slot:?}");
+        assert_eq!(slot.failures, 0);
+    }
+    // A second run sizes shards from that history — and the bits are
+    // still the reference bits whatever the sizes were.
+    let (second, report) = pool.run(&order).unwrap();
+    assert_eq!(second, reference);
+    assert_eq!(report.slot_replicates.iter().sum::<u64>(), 8);
+    assert_eq!(pool.describe_slots(), vec!["in-process", "in-process"]);
+}

@@ -246,6 +246,66 @@ impl EnsemblePartial {
         Ok(())
     }
 
+    /// Re-checks every structural invariant a well-formed partial
+    /// holds: a non-degenerate fingerprint, accumulator grids sized
+    /// `species × samples` on both sides, canonical seed coverage
+    /// (sorted, disjoint, coalesced, non-wrapping runs), and a
+    /// replicate count that equals the covered seed total.
+    ///
+    /// Derived deserialization accepts whatever shape the bytes spell,
+    /// so every trust boundary — worker replies, relay replies,
+    /// file-backed session snapshots — funnels through this before the
+    /// partial is merged or finalized. (A short accumulator grid would
+    /// otherwise truncate a zip-merge silently or panic `finalize`.)
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fp = &self.fingerprint;
+        if fp.species.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "partial fingerprint lists no species".into(),
+            ));
+        }
+        if fp.samples == 0 {
+            return Err(SimError::InvalidConfig(
+                "partial fingerprint has a zero-sample grid".into(),
+            ));
+        }
+        let slots = (fp.samples as usize).checked_mul(fp.species.len());
+        if slots != Some(self.sums.len()) || slots != Some(self.squares.len()) {
+            return Err(SimError::InvalidConfig(format!(
+                "partial grid expects {} × {} accumulator cells, found {} sums / {} squares",
+                fp.species.len(),
+                fp.samples,
+                self.sums.len(),
+                self.squares.len()
+            )));
+        }
+        // Re-inserting every run into a scratch list validates shape
+        // (non-empty, non-wrapping) and disjointness; equality with the
+        // stored list additionally pins the canonical sorted/coalesced
+        // form, so two equal coverages are structurally identical.
+        let mut coverage = Vec::with_capacity(self.seed_ranges.len());
+        for &(start, count) in &self.seed_ranges {
+            insert_seed_run(&mut coverage, start, count)?;
+        }
+        if coverage != self.seed_ranges {
+            return Err(SimError::InvalidConfig(
+                "partial seed coverage is not in canonical sorted/coalesced form".into(),
+            ));
+        }
+        let covered: u128 = self.seed_ranges.iter().map(|&(_, c)| u128::from(c)).sum();
+        if covered != u128::from(self.replicates) {
+            return Err(SimError::InvalidConfig(format!(
+                "partial claims {} replicates but its coverage holds {covered}",
+                self.replicates
+            )));
+        }
+        Ok(())
+    }
+
     /// Merges `other` in. Associative and commutative bitwise; see the
     /// type docs.
     ///
@@ -253,12 +313,11 @@ impl EnsemblePartial {
     ///
     /// [`SimError::InvalidConfig`] on a fingerprint mismatch, when the
     /// two coverages overlap (the shards double-counted at least one
-    /// replicate), or when either side's coverage bookkeeping is
-    /// malformed or disagrees with its replicate count — partials
-    /// arrive deserialized from worker replies, so the invariants are
-    /// re-checked rather than trusted. Validation happens before any
-    /// accumulator is touched, so a rejected merge leaves `self`
-    /// unchanged.
+    /// replicate), or when either side fails [`EnsemblePartial::
+    /// validate`] — partials arrive deserialized from worker replies,
+    /// so the invariants are re-checked rather than trusted. Validation
+    /// happens before any accumulator is touched, so a rejected merge
+    /// leaves `self` unchanged.
     pub fn merge(&mut self, other: &EnsemblePartial) -> Result<(), SimError> {
         if self.fingerprint != other.fingerprint {
             return Err(SimError::InvalidConfig(format!(
@@ -266,26 +325,15 @@ impl EnsemblePartial {
                 self.fingerprint, other.fingerprint
             )));
         }
+        self.validate()?;
+        other.validate()?;
         // Rebuild the combined coverage from scratch on a scratch
-        // list: this validates *both* sides' runs (either may have
-        // been deserialized from an untrusted reply), detects any
-        // overlap, and keeps merge all-or-nothing.
+        // list: per-side runs were just validated, so any rejection
+        // here is a genuine cross-side overlap — and the scratch copy
+        // keeps merge all-or-nothing.
         let mut coverage = Vec::with_capacity(self.seed_ranges.len() + other.seed_ranges.len());
         for &(start, count) in self.seed_ranges.iter().chain(&other.seed_ranges) {
             insert_seed_run(&mut coverage, start, count)?;
-        }
-        for (side, partial) in [("left", &*self), ("right", other)] {
-            let covered: u128 = partial
-                .seed_ranges
-                .iter()
-                .map(|&(_, c)| u128::from(c))
-                .sum();
-            if covered != u128::from(partial.replicates) {
-                return Err(SimError::InvalidConfig(format!(
-                    "{side} partial claims {} replicates but its coverage holds {covered}",
-                    partial.replicates
-                )));
-            }
         }
         for (mine, theirs) in self.sums.iter_mut().zip(&other.sums) {
             mine.merge(theirs);
@@ -326,6 +374,7 @@ impl EnsemblePartial {
                 "cannot read moments off a partial with zero replicates".into(),
             ));
         }
+        self.validate()?;
         let samples = self.fingerprint.samples as usize;
         let n = self.replicates as f64;
         let base = s * samples;
@@ -387,6 +436,7 @@ impl EnsemblePartial {
                 "cannot finalize a partial with zero replicates".into(),
             ));
         }
+        self.validate()?;
         let species = self.fingerprint.species.len();
         let samples = self.fingerprint.samples as usize;
         let n = self.replicates as f64;
@@ -1006,6 +1056,59 @@ mod tests {
         let mut victim = lying.clone();
         let err = victim.merge(&other).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_accumulator_grids_are_rejected_not_zipped_short() {
+        // A deserialized partial whose accumulator vectors are shorter
+        // than species × samples (a truncated or hand-corrupted
+        // snapshot file) used to truncate the zip in `merge` silently
+        // and panic `finalize`. validate() now rejects it at every
+        // trust boundary.
+        let model = birth_death();
+        let engine = || Box::new(Direct::new()) as Box<dyn Engine>;
+        let clean = run_partial(&model, engine, 1..3, 2.0, 1.0).unwrap();
+        let json = serde_json::to_string(&clean).unwrap();
+        let truncated = {
+            // Drop the last cell of the sums array textually.
+            let sums_start = json.find("\"sums\":[").unwrap() + "\"sums\":[".len();
+            let sums_end = json[sums_start..].find("],\"squares\"").unwrap() + sums_start;
+            let body = &json[sums_start..sums_end];
+            let last_obj = body.rfind(",{").unwrap();
+            format!(
+                "{}{}{}",
+                &json[..sums_start],
+                &body[..last_obj],
+                &json[sums_end..]
+            )
+        };
+        let corrupt: EnsemblePartial = serde_json::from_str(&truncated).unwrap();
+        let err = corrupt.validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        assert!(matches!(
+            corrupt.finalize(),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            corrupt.species_moments("X"),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let other = run_partial(&model, engine, 10..11, 2.0, 1.0).unwrap();
+        let mut victim = other.clone();
+        let err = victim.merge(&corrupt).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err:?}");
+        assert_eq!(victim, other, "rejected merge leaves self untouched");
+        // Non-canonical (unsorted / uncoalesced) coverage is rejected
+        // even when disjoint.
+        let swapped: EnsemblePartial = serde_json::from_str(
+            &serde_json::to_string(&clean)
+                .unwrap()
+                .replace("[[1.0,2.0]]", "[[2.0,1.0],[1.0,1.0]]"),
+        )
+        .unwrap();
+        assert!(swapped.validate().is_err());
+        // The clean partial passes.
+        clean.validate().unwrap();
     }
 
     #[test]

@@ -182,6 +182,22 @@ macro_rules! int_impls {
 
 int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// A value tree serializes as itself — the identity impls upstream
+// serde_json provides for its `Value`, needed by callers that carry
+// opaque caller-supplied JSON through typed structs (e.g. a request
+// id echoed back verbatim).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Container impls
 // ---------------------------------------------------------------------
