@@ -21,6 +21,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
+use glc_model::expr::EvalMemo;
 use glc_model::Model;
 use glc_service::{
     session, Coordinator, EngineSpec, ExtendBackend, ModelSource, SessionSpec, SessionStore,
@@ -47,24 +48,33 @@ fn prepared(id: &str) -> CompiledModel {
     CompiledModel::new(&model).expect("compiles")
 }
 
+/// Approximate-engine steps per circuit family. The smooth Hill-kinetics
+/// Cello models tolerate coarse steps; the stiff single-copy promoter
+/// binding of the mass-action book circuits diverges at those (Langevin
+/// at dt = 0.1 goes non-finite around t ≈ 120), but both engines resolve
+/// it at 0.02, so the book circuits get bench rows too instead of being
+/// silently skipped.
+fn approx_steps(id: &str) -> (f64, f64) {
+    if id.starts_with("cello") {
+        (0.5, 0.1)
+    } else {
+        (0.02, 0.02)
+    }
+}
+
 fn bench_engines(c: &mut Criterion) {
     for id in ["book_and", "cello_0x1C"] {
         let compiled = prepared(id);
+        let (tau, dt) = approx_steps(id);
         let mut group = c.benchmark_group(format!("ssa_engines/{id}"));
         let mut engines: Vec<Box<dyn Engine>> = vec![
             Box::new(Direct::new()),
             Box::new(Direct::with_full_recompute()),
             Box::new(FirstReaction::new()),
             Box::new(NextReaction::new()),
+            Box::new(TauLeap::new(tau).expect("valid tau")),
+            Box::new(Langevin::new(dt).expect("valid dt")),
         ];
-        if id.starts_with("cello") {
-            // The approximate engines need smooth, bounded propensities;
-            // a 0.5 t.u. leap is invalid for the stiff single-copy
-            // promoter binding of the mass-action book circuits, so they
-            // only run on the Hill-kinetics models.
-            engines.push(Box::new(TauLeap::new(0.5).expect("valid tau")));
-            engines.push(Box::new(Langevin::new(0.1).expect("valid dt")));
-        }
         for engine in &mut engines {
             let name = engine.name().to_string();
             group.bench_with_input(
@@ -120,6 +130,7 @@ fn steps_per_second(engine: &mut dyn Engine, model: &CompiledModel, min_wall: f6
 fn sweeps_per_second(model: &CompiledModel, states: &[glc_ssa::State], batched: bool) -> f64 {
     let mut out = Vec::new();
     let mut stack = Vec::new();
+    let mut memo = EvalMemo::new();
     let mut sweeps = 0u64;
     let mut sink = 0.0f64;
     let start = Instant::now();
@@ -127,7 +138,7 @@ fn sweeps_per_second(model: &CompiledModel, states: &[glc_ssa::State], batched: 
         for state in states {
             sink += if batched {
                 model
-                    .propensities_into(state, &mut out, &mut stack)
+                    .propensities_into(state, &mut out, &mut stack, &mut memo)
                     .expect("sweep")
             } else {
                 model
@@ -309,6 +320,48 @@ fn one_shot_replicates_per_second(id: &str, min_wall: f64) -> f64 {
     replicates as f64 / elapsed
 }
 
+/// Model-cache Submit cost: sustained Submit rates against a cold
+/// store (fresh `SessionStore` per Submit — every compile misses its
+/// empty cache) vs a warm one (one store, model resident after the
+/// first Submit, later Submits differing only in seed hit the
+/// fingerprint-keyed cache). The warm/cold ratio is the compile cost
+/// the shared `ModelCache` eliminates — an in-run ratio, so it cancels
+/// machine speed and is gated absolutely in `check_regression`.
+fn model_cache_submit_metrics(id: &str) -> (f64, f64, f64) {
+    let spec = resident_spec(id);
+    let mut submits = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.3 {
+        let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+        store.submit(&spec).expect("cold submit");
+        submits += 1;
+    }
+    let cold = submits as f64 / start.elapsed().as_secs_f64();
+
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+    let mut spec = resident_spec(id);
+    store.submit(&spec).expect("priming submit");
+    let mut submits = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.3 {
+        // Same model fingerprint, distinct session: a pure cache hit.
+        spec.base_seed += 1;
+        store.submit(&spec).expect("warm submit");
+        submits += 1;
+    }
+    let warm = submits as f64 / start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    assert_eq!(
+        stats.model_cache_misses, 1,
+        "{id}: only the priming submit may compile"
+    );
+    assert_eq!(
+        stats.model_cache_hits, submits,
+        "{id}: every warm submit must hit the model cache"
+    );
+    (cold, warm, warm / cold)
+}
+
 /// Resident-partial footprint: bytes per cached accumulator cell after
 /// aggregating one ensemble batch, and what the former dense 67-digit
 /// representation paid for the same cell.
@@ -472,6 +525,8 @@ fn throughput_report() {
     let mut rows = String::new();
     let mut engine_rows = String::new();
     let mut sweep_rows = String::new();
+    let mut lane_rows = String::new();
+    let mut cache_rows = String::new();
     let mut ensemble_rows = String::new();
     let mut resident_rows = String::new();
     let mut relay_rows = String::new();
@@ -494,11 +549,54 @@ fn throughput_report() {
     for id in ["book_and", "cello_0x1C"] {
         let model = prepared(id);
         let bank = model.bank();
+        let occupancy = bank.occupancy();
         println!(
             "  {id}: {} reactions ({} in SoA groups, {} fallback)",
             model.reaction_count(),
             bank.batched_len(),
             bank.fallback_len()
+        );
+        println!(
+            "    lanes: {} linear  {} bilinear  {} hill  {} sop  {} term-div  \
+             ({} const/load, {} wide, {} residual, {} fallback)",
+            occupancy.linear,
+            occupancy.bilinear,
+            occupancy.hill,
+            occupancy.sop,
+            occupancy.term_div,
+            occupancy.consts + occupancy.loads,
+            occupancy.wide,
+            occupancy.residual,
+            occupancy.fallback
+        );
+        // Every law of the two reference circuits fits a shaped lane
+        // group; a VM fallback appearing here means the bank's shape
+        // recognizer regressed, and must fail loudly rather than bench
+        // a silently slower path (also gated in `check_regression`).
+        assert_eq!(
+            occupancy.fallback, 0,
+            "{id}: {} kinetic laws silently fell back to the VM",
+            occupancy.fallback
+        );
+        if !lane_rows.is_empty() {
+            lane_rows.push(',');
+        }
+        let _ = write!(
+            lane_rows,
+            "\n    {{\"circuit\":\"{id}\",\"laws\":{},\
+             \"linear\":{},\"bilinear\":{},\"hill\":{},\"sop\":{},\
+             \"term_div\":{},\"direct_scatter\":{},\"wide\":{},\
+             \"residual\":{},\"fallback\":{}}}",
+            model.reaction_count(),
+            occupancy.linear,
+            occupancy.bilinear,
+            occupancy.hill,
+            occupancy.sop,
+            occupancy.term_div,
+            occupancy.consts + occupancy.loads,
+            occupancy.wide,
+            occupancy.residual,
+            occupancy.fallback
         );
         // Warm up before timing. The two columns below feed the CI
         // regression gate (as a ratio), so they get the longest
@@ -524,13 +622,16 @@ fn throughput_report() {
         );
 
         // Per-engine sustained throughput on the shared propensity set.
+        // Both circuit families get tau-leap and Langevin rows (at the
+        // family's largest stable step) so the vectorized full-sweep
+        // engines are tracked on the sweep mixes they used to lose.
+        let (tau, dt) = approx_steps(id);
         let mut engines: Vec<Box<dyn Engine>> = vec![
             Box::new(FirstReaction::new()),
             Box::new(NextReaction::new()),
+            Box::new(TauLeap::new(tau).expect("valid tau")),
+            Box::new(Langevin::new(dt).expect("valid dt")),
         ];
-        if id.starts_with("cello") {
-            engines.push(Box::new(TauLeap::new(0.5).expect("valid tau")));
-        }
         let mut per_engine = vec![("direct", incremental), ("direct-full-recompute", full)];
         for engine in &mut engines {
             let name = engine.name();
@@ -676,16 +777,39 @@ fn throughput_report() {
              \"dense_bytes_per_cell\":{dense_bytes_per_cell:.1},\
              \"footprint_ratio\":{footprint_ratio:.2}}}"
         );
+
+        // Fingerprint-keyed model cache: Submit against a cold store
+        // (compile every time) vs a warm one (cache hit every time).
+        // warm_speedup is the in-run ratio the CI gate watches — the
+        // compile cost the cache eliminates per Submit.
+        model_cache_submit_metrics(id); // warm-up
+        let (cold_submits, warm_submits, warm_speedup) = model_cache_submit_metrics(id);
+        println!(
+            "    model cache: cold submit {cold_submits:.0}/s  \
+             warm submit {warm_submits:.0}/s  speedup {warm_speedup:.2}x"
+        );
+        if !cache_rows.is_empty() {
+            cache_rows.push(',');
+        }
+        let _ = write!(
+            cache_rows,
+            "\n    {{\"circuit\":\"{id}\",\
+             \"cold_submits_per_sec\":{cold_submits:.1},\
+             \"warm_submits_per_sec\":{warm_submits:.1},\
+             \"warm_speedup\":{warm_speedup:.3}}}"
+        );
     }
     let json = format!(
         "{{\n  \"bench\": \"ssa_engines\",\n  \"unit\": \
          \"steps_per_second\",\n  \"results\": [{rows}\n  ],\n  \
          \"engines\": [{engine_rows}\n  ],\n  \
+         \"lanes\": [{lane_rows}\n  ],\n  \
          \"full_sweep\": [{sweep_rows}\n  ],\n  \
          \"ensemble\": [{ensemble_rows}\n  ],\n  \
          \"resident\": [{resident_rows}\n  ],\n  \
          \"relay\": [{relay_rows}\n  ],\n  \
-         \"spill\": [{spill_rows}\n  ]\n}}\n"
+         \"spill\": [{spill_rows}\n  ],\n  \
+         \"model_cache\": [{cache_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

@@ -167,6 +167,72 @@ fn footprint_ratios(json: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Per-circuit batched/scalar sweep `speedup` from the `full_sweep`
+/// section (`batched_sweeps_per_sec` is the discriminator — `results`
+/// entries also carry a `speedup`).
+fn full_sweep_speedups(json: &str) -> Vec<(String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            num_field(object, "batched_sweeps_per_sec")?;
+            Some((str_field(object, "circuit")?, num_field(object, "speedup")?))
+        })
+        .collect()
+}
+
+/// Per-circuit VM-fallback lane count from the `lanes` section
+/// (`residual` is the discriminator — only lane entries carry it).
+fn lane_fallbacks(json: &str) -> Vec<(String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            num_field(object, "residual")?;
+            Some((
+                str_field(object, "circuit")?,
+                num_field(object, "fallback")?,
+            ))
+        })
+        .collect()
+}
+
+/// `(circuit, engine, steps_per_sec)` rows from the `engines` section.
+fn engine_rates(json: &str) -> Vec<(String, String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some((
+                str_field(object, "circuit")?,
+                str_field(object, "engine")?,
+                num_field(object, "steps_per_sec")?,
+            ))
+        })
+        .collect()
+}
+
+/// Per-circuit warm/cold Submit `warm_speedup` from the `model_cache`
+/// section.
+fn cache_speedups(json: &str) -> Vec<(String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some((
+                str_field(object, "circuit")?,
+                num_field(object, "warm_speedup")?,
+            ))
+        })
+        .collect()
+}
+
+/// Absolute tau-leap throughput floors, per circuit. The bench box and
+/// the CI runner both clear these with more than 2x margin (measured:
+/// ~4M steps/s on `book_and` at tau 0.02, ~1.6M on `cello_0x1C` at tau
+/// 0.5, on a single shared core) — the floor catches the engine falling
+/// off its vectorized sweep path, not honest machine variance. Unlike
+/// the ratio gates this is machine-dependent by design: a sweep-path
+/// regression would speed-scale the scalar baseline too and hide from
+/// any in-run ratio.
+const TAU_LEAP_FLOORS: &[(&str, f64)] = &[("book_and", 1_500_000.0), ("cello_0x1C", 750_000.0)];
+
 /// Gates one metric section: every baseline circuit must be present in
 /// the current run with its ratio metric no more than `threshold`
 /// below baseline.
@@ -301,6 +367,93 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
         failures
             .push("resident section in baseline but no footprint_ratio in current run".to_string());
     }
+    // Batched full-sweep speedup is gated absolutely at 1.0: the bank
+    // sweep is only allowed to exist because it beats (or at worst
+    // ties) the scalar per-law reference on every reference circuit —
+    // a losing sweep must fail whatever the baseline recorded, because
+    // the honest fix for a losing lane mix is folding it back into the
+    // scalar pass, not re-baselining the loss.
+    let sweeps = full_sweep_speedups(&current_doc);
+    if !sweeps.is_empty() {
+        println!("bench full-sweep gate: batched >= scalar (speedup >= 1.0)");
+        for (circuit, speedup) in &sweeps {
+            let verdict = if *speedup < 1.0 { "FAIL" } else { "ok" };
+            println!("  {circuit}: {speedup:.2}x  {verdict}");
+            if *speedup < 1.0 {
+                failures.push(format!(
+                    "{circuit} [full sweep]: batched sweep only {speedup:.2}x the scalar \
+                     reference (needs >= 1.0)"
+                ));
+            }
+        }
+    } else if !full_sweep_speedups(&baseline_doc).is_empty() {
+        failures.push("full_sweep section in baseline but missing from current run".to_string());
+    }
+    // Lane placement is gated absolutely at zero fallbacks: every law
+    // of the reference circuits has a shaped lane, so a VM fallback
+    // appearing means the bank's recognizer regressed and a hot loop
+    // silently took the slow path.
+    let fallbacks = lane_fallbacks(&current_doc);
+    if !fallbacks.is_empty() {
+        println!("bench lane gate: no VM fallbacks on reference circuits");
+        for (circuit, fallback) in &fallbacks {
+            let verdict = if *fallback > 0.0 { "FAIL" } else { "ok" };
+            println!("  {circuit}: {fallback:.0} fallback lanes  {verdict}");
+            if *fallback > 0.0 {
+                failures.push(format!(
+                    "{circuit} [lanes]: {fallback:.0} kinetic laws fell back to the VM \
+                     (needs 0)"
+                ));
+            }
+        }
+    } else if !lane_fallbacks(&baseline_doc).is_empty() {
+        failures.push("lanes section in baseline but missing from current run".to_string());
+    }
+    // Absolute tau-leap throughput floors (see TAU_LEAP_FLOORS for why
+    // this one gate is deliberately machine-dependent).
+    let engines = engine_rates(&current_doc);
+    if !engines.is_empty() {
+        println!("bench tau-leap gate: absolute steps/s floors");
+        for &(circuit, floor) in TAU_LEAP_FLOORS {
+            let Some((_, _, rate)) = engines
+                .iter()
+                .find(|(c, e, _)| c == circuit && e == "tau-leap")
+            else {
+                failures.push(format!(
+                    "{circuit} [tau-leap floor]: no tau-leap engine row in current run"
+                ));
+                continue;
+            };
+            let verdict = if *rate < floor { "FAIL" } else { "ok" };
+            println!("  {circuit}: {rate:.0} steps/s (floor {floor:.0})  {verdict}");
+            if *rate < floor {
+                failures.push(format!(
+                    "{circuit} [tau-leap floor]: {rate:.0} steps/s is below the \
+                     {floor:.0} floor"
+                ));
+            }
+        }
+    }
+    // Model-cache Submit speedup is gated absolutely: a warm Submit
+    // must eliminate enough compile cost to run at least 2x the cold
+    // path (measured ~130x; the floor is far below honest timing noise
+    // but well above "the cache stopped hitting").
+    let caches = cache_speedups(&current_doc);
+    if !caches.is_empty() {
+        println!("bench model-cache gate: warm submit >= 2x cold");
+        for (circuit, speedup) in &caches {
+            let verdict = if *speedup < 2.0 { "FAIL" } else { "ok" };
+            println!("  {circuit}: {speedup:.1}x  {verdict}");
+            if *speedup < 2.0 {
+                failures.push(format!(
+                    "{circuit} [model cache]: warm submit only {speedup:.2}x cold \
+                     (needs >= 2.0)"
+                ));
+            }
+        }
+    } else if !cache_speedups(&baseline_doc).is_empty() {
+        failures.push("model_cache section in baseline but missing from current run".to_string());
+    }
     if failures.is_empty() {
         println!("no regression beyond {:.0}%", threshold * 100.0);
         Ok(())
@@ -351,7 +504,18 @@ mod tests {
     {"circuit":"cello_0x1C","reactions":10,"incremental_steps_per_sec":500.0,"speedup":2.7}
   ],
   "engines": [
-    {"circuit":"book_and","engine":"direct","steps_per_sec":1000.0}
+    {"circuit":"book_and","engine":"direct","steps_per_sec":1000.0},
+    {"circuit":"book_and","engine":"tau-leap","steps_per_sec":4000000.0},
+    {"circuit":"cello_0x1C","engine":"tau-leap","steps_per_sec":1600000.0}
+  ],
+  "lanes": [
+    {"circuit":"book_and","laws":11,"linear":5,"wide":0,"residual":11,"fallback":0}
+  ],
+  "full_sweep": [
+    {"circuit":"book_and","reactions":11,"batched_sweeps_per_sec":600.0,"scalar_sweeps_per_sec":500.0,"speedup":1.2}
+  ],
+  "model_cache": [
+    {"circuit":"book_and","cold_submits_per_sec":1500.0,"warm_submits_per_sec":190000.0,"warm_speedup":126.0}
   ],
   "ensemble": [
     {"circuit":"book_and","in_process_replicates_per_sec":200.0,"sharded_replicates_per_sec":160.0,"shard_efficiency":0.8}
@@ -450,6 +614,68 @@ mod tests {
         // Baselines without the section (pre-relay) skip the gate.
         let old_baseline = DOC.replace("\"relay_efficiency\":0.875", "\"no_metric\":1.0");
         run_gate(&old_baseline, DOC, "relay_absent").expect("absent baseline section passes");
+    }
+
+    #[test]
+    fn losing_batched_sweep_fails_absolutely() {
+        // The batched sweep dipping below the scalar reference fails
+        // even when the baseline itself recorded a loss — re-baselining
+        // cannot launder a losing lane mix.
+        let losing = DOC.replace("\"speedup\":1.2", "\"speedup\":0.95");
+        let err = run_gate(&losing, &losing, "sweep_loss").expect_err("losing sweep must fail");
+        assert!(
+            err.contains("full sweep") && err.contains("book_and"),
+            "{err}"
+        );
+        // Winning by any margin passes.
+        let winning = DOC.replace("\"speedup\":1.2", "\"speedup\":1.01");
+        run_gate(DOC, &winning, "sweep_win").expect("winning sweep passes");
+    }
+
+    #[test]
+    fn vm_fallback_lanes_fail_absolutely() {
+        let fell_back = DOC.replace(
+            "\"residual\":11,\"fallback\":0",
+            "\"residual\":9,\"fallback\":2",
+        );
+        let err = run_gate(DOC, &fell_back, "lane_fallback").expect_err("fallbacks must fail");
+        assert!(err.contains("[lanes]") && err.contains("book_and"), "{err}");
+        run_gate(DOC, DOC, "lane_clean").expect("zero fallbacks pass");
+    }
+
+    #[test]
+    fn tau_leap_floor_is_absolute() {
+        let slow = DOC.replace(
+            "\"circuit\":\"cello_0x1C\",\"engine\":\"tau-leap\",\"steps_per_sec\":1600000.0",
+            "\"circuit\":\"cello_0x1C\",\"engine\":\"tau-leap\",\"steps_per_sec\":500000.0",
+        );
+        let err = run_gate(DOC, &slow, "tau_floor").expect_err("below the floor must fail");
+        assert!(
+            err.contains("tau-leap floor") && err.contains("cello_0x1C"),
+            "{err}"
+        );
+        // A missing tau-leap row fails too: the engines must stay in
+        // the bench matrix for both reference circuits.
+        let missing = DOC.replace(
+            "\"circuit\":\"cello_0x1C\",\"engine\":\"tau-leap\"",
+            "\"circuit\":\"cello_0x1C\",\"engine\":\"renamed\"",
+        );
+        let err = run_gate(DOC, &missing, "tau_missing").expect_err("missing row must fail");
+        assert!(err.contains("no tau-leap engine row"), "{err}");
+    }
+
+    #[test]
+    fn model_cache_speedup_floor_is_absolute() {
+        let cold = DOC.replace("\"warm_speedup\":126.0", "\"warm_speedup\":1.1");
+        let err = run_gate(DOC, &cold, "cache_cold").expect_err("cache miss storm must fail");
+        assert!(
+            err.contains("model cache") && err.contains("book_and"),
+            "{err}"
+        );
+        // Anything >= 2x passes — the floor is about hit/miss, not
+        // timing precision.
+        let modest = DOC.replace("\"warm_speedup\":126.0", "\"warm_speedup\":2.5");
+        run_gate(DOC, &modest, "cache_ok").expect("modest warm speedup passes");
     }
 
     #[test]

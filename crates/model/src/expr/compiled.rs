@@ -26,6 +26,12 @@
 use super::{BinOp, Expr, Func};
 use crate::error::EvalError;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of unique bank identities for [`EvalMemo`] invalidation.
+/// Starts at 1 so a default-constructed memo (id 0) never aliases a
+/// real bank.
+static NEXT_BANK_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Maps identifier names to slots of a flat value vector.
 ///
@@ -475,26 +481,24 @@ pub const BANK_LANES: usize = 8;
 const NO_SLOT: u32 = u32::MAX;
 
 /// Structure-of-arrays storage for one operand position across every
-/// law of a group: parallel `slots`/`consts` arrays indexed by lane.
+/// law of a group: one `(slot, literal)` pair per lane. A single
+/// paired array (rather than parallel `slots`/`consts` vectors) halves
+/// the bounds checks on the scalar load path, which the fused residual
+/// pass takes for every operand.
 #[derive(Debug, Clone, Default)]
 struct OperandLanes {
-    /// Value-vector slot to gather from, or [`NO_SLOT`] for a literal.
-    slots: Vec<u32>,
-    /// Literal value when `slots[lane] == NO_SLOT` (0.0 otherwise).
-    consts: Vec<f64>,
+    /// `(value-vector slot, literal)` per lane; slot [`NO_SLOT`] marks
+    /// a literal operand (literal is 0.0 otherwise).
+    lanes: Vec<(u32, f64)>,
 }
 
 impl OperandLanes {
     fn push(&mut self, operand: Operand) {
         match operand {
-            Operand::Num(value) => {
-                self.slots.push(NO_SLOT);
-                self.consts.push(value);
-            }
-            Operand::Slot(slot) => {
-                self.slots.push(u32::try_from(slot).expect("slot fits u32"));
-                self.consts.push(0.0);
-            }
+            Operand::Num(value) => self.lanes.push((NO_SLOT, value)),
+            Operand::Slot(slot) => self
+                .lanes
+                .push((u32::try_from(slot).expect("slot fits u32"), 0.0)),
         }
     }
 
@@ -502,27 +506,120 @@ impl OperandLanes {
     /// [`Operand::load`], bit-for-bit.
     #[inline]
     fn load(&self, lane: usize, values: &[f64]) -> f64 {
-        let slot = self.slots[lane];
+        let (slot, literal) = self.lanes[lane];
         if slot == NO_SLOT {
-            self.consts[lane]
+            literal
         } else {
             values[slot as usize]
         }
     }
 
-    /// Gathers lanes `at..at + width` into `out[..width]` (slice-driven
-    /// so the loop carries no per-lane index bounds checks).
+    /// Gathers the full-width chunk `at..at + BANK_LANES` into `out`.
+    /// The fixed trip count lets the compiler unroll the loop completely
+    /// (partial chunks never reach this path — the build-time cost model
+    /// either folds them into the residual pass or the caller handles
+    /// the tail with scalar [`OperandLanes::load`]s).
     #[inline]
-    fn gather(&self, at: usize, width: usize, values: &[f64], out: &mut [f64; BANK_LANES]) {
-        let slots = &self.slots[at..at + width];
-        let consts = &self.consts[at..at + width];
-        for (lane, (&slot, &cst)) in slots.iter().zip(consts).enumerate() {
+    fn gather8(&self, at: usize, values: &[f64], out: &mut [f64; BANK_LANES]) {
+        let lanes = &self.lanes[at..at + BANK_LANES];
+        for lane in 0..BANK_LANES {
+            let (slot, literal) = lanes[lane];
             out[lane] = if slot == NO_SLOT {
-                cst
+                literal
             } else {
                 values[slot as usize]
             };
         }
+    }
+}
+
+/// Read/write access to the per-caller Hill response memo during a
+/// sweep. Two implementations: [`NoMemo`] (the zero-cost "always
+/// recompute" policy of [`KineticFormBank::eval_one`]) and the slice
+/// behind [`EvalMemo`]. Monomorphization keeps both free of dynamic
+/// dispatch.
+trait HillMemo {
+    /// The memoized response for `slot` if it was computed for exactly
+    /// these regulator bits.
+    fn lookup(&mut self, slot: usize, x_bits: u64) -> Option<f64>;
+    /// Records the response computed for `slot` at these regulator bits.
+    fn store(&mut self, slot: usize, x_bits: u64, response: f64);
+}
+
+/// The no-op memo policy: every lookup misses, nothing is stored.
+struct NoMemo;
+
+impl HillMemo for NoMemo {
+    #[inline]
+    fn lookup(&mut self, _slot: usize, _x_bits: u64) -> Option<f64> {
+        None
+    }
+    #[inline]
+    fn store(&mut self, _slot: usize, _x_bits: u64, _response: f64) {}
+}
+
+impl HillMemo for [(u64, f64)] {
+    #[inline]
+    fn lookup(&mut self, slot: usize, x_bits: u64) -> Option<f64> {
+        let (bits, response) = self[slot];
+        (bits == x_bits).then_some(response)
+    }
+    #[inline]
+    fn store(&mut self, slot: usize, x_bits: u64, response: f64) {
+        self[slot] = (x_bits, response);
+    }
+}
+
+/// Caller-owned memo for the bank's Hill response lanes.
+///
+/// `powf` dominates every Hill evaluation, yet gate-circuit sweeps keep
+/// presenting the same regulator values: input species are clamped
+/// constant for a whole experiment, and dynamic species frequently
+/// revisit recent copy numbers between leaps. Each Hill lane with
+/// literal `k`/`n` therefore remembers the last `(x.to_bits(),
+/// response)` pair it produced; on a hit the stored response is
+/// returned without touching `powf`.
+///
+/// # Bitwise contract
+///
+/// A hit replays a value previously produced by the exact canonical
+/// operation sequence for bit-identical inputs — `powf` and the
+/// follow-on divides are pure functions of their operand bits — so
+/// memoized sweeps stay bitwise identical to scalar evaluation. The
+/// key is taken *after* the `x.max(0.0)` clamp, which can never yield a
+/// NaN, so the all-ones NaN bit pattern is a safe "empty" sentinel.
+///
+/// The memo lives with the *caller* (engines keep one per propensity
+/// scratch), never inside the bank: [`KineticFormBank`] stays immutable
+/// and shareable across threads, e.g. behind the `Arc` of a compiled
+/// model cache. Each memo is stamped with the identity of the bank it
+/// was filled against and resets itself when handed to a different
+/// bank, so one scratch can serve models of any shape over its
+/// lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct EvalMemo {
+    /// Identity stamp of the bank the slots belong to.
+    bank_id: u64,
+    /// Per-hill-lane `(x_bits, response)` pairs.
+    hill: Vec<(u64, f64)>,
+}
+
+impl EvalMemo {
+    /// An empty memo; sized (and re-sized) by the first sweep of each
+    /// bank it is used with.
+    pub fn new() -> Self {
+        EvalMemo::default()
+    }
+
+    /// Binds the memo to `bank_id` with `slots` Hill lanes, clearing
+    /// every entry unless already bound to that exact bank.
+    fn ensure(&mut self, bank_id: u64, slots: usize) {
+        if self.bank_id == bank_id && self.hill.len() == slots {
+            return;
+        }
+        self.bank_id = bank_id;
+        self.hill.clear();
+        self.hill.resize(slots, (u64::MAX, 0.0));
     }
 }
 
@@ -559,9 +656,15 @@ struct HillLanes {
     kn_ready: Vec<bool>,
     /// `true` → `hilla`, `false` → `hillr` (per lane).
     activation: Vec<bool>,
+    /// First [`EvalMemo`] slot of this lane store; lane `l` memoizes at
+    /// `memo_base + l`. Assigned once when the bank finishes building.
+    memo_base: u32,
 }
 
 impl HillLanes {
+    fn len(&self) -> usize {
+        self.activation.len()
+    }
     /// Adds `hill` as a lane, returning its position — or `None` for
     /// multi-regulator calls, which have no flat lane layout.
     fn push(&mut self, hill: &HillCall) -> Option<u32> {
@@ -586,75 +689,99 @@ impl HillLanes {
     /// Evaluates lane `lane`: the exact operation sequence of
     /// [`Func::apply`] on `[x, k, n]`, with `k^n` read from the
     /// precomputed lane when available.
+    ///
+    /// Lanes with literal `k` and `n` consult `memo` first: the
+    /// response is then a pure function of the clamped regulator bits,
+    /// so replaying a stored value is bitwise identical to recomputing
+    /// it (see [`EvalMemo`]).
     #[inline]
-    fn eval(&self, lane: usize, values: &[f64]) -> f64 {
+    fn eval<M: HillMemo + ?Sized>(&self, lane: usize, values: &[f64], memo: &mut M) -> f64 {
         let x = self.x.load(lane, values).max(0.0);
-        let n = self.n.load(lane, values);
-        let kn = if self.kn_ready[lane] {
-            self.kn[lane]
+        if self.kn_ready[lane] {
+            let x_bits = x.to_bits();
+            let slot = self.memo_base as usize + lane;
+            if let Some(response) = memo.lookup(slot, x_bits) {
+                return response;
+            }
+            let n = self.n.load(lane, values);
+            let kn = self.kn[lane];
+            let xn = x.powf(n);
+            let response = if self.activation[lane] {
+                xn / (kn + xn)
+            } else {
+                kn / (kn + xn)
+            };
+            memo.store(slot, x_bits, response);
+            response
         } else {
-            self.k.load(lane, values).powf(n)
-        };
-        let xn = x.powf(n);
-        if self.activation[lane] {
-            xn / (kn + xn)
-        } else {
-            kn / (kn + xn)
+            let n = self.n.load(lane, values);
+            let kn = self.k.load(lane, values).powf(n);
+            let xn = x.powf(n);
+            if self.activation[lane] {
+                xn / (kn + xn)
+            } else {
+                kn / (kn + xn)
+            }
         }
     }
 }
 
-/// SoA lanes for clamp calls `max(x, 0)` / `max(x - shift, 0)`.
-#[derive(Debug, Clone, Default)]
-struct MaxZeroLanes {
-    x: OperandLanes,
-    /// `Operand::Num(0.0)` placeholder when the lane has no shift.
-    shift: OperandLanes,
-    has_shift: Vec<bool>,
+/// Encodes an operand as an inline `(slot, literal)` pair — slot
+/// [`NO_SLOT`] marks a literal (the [`OperandLanes`] convention).
+fn encode_operand(operand: Operand) -> (u32, f64) {
+    match operand {
+        Operand::Num(value) => (NO_SLOT, value),
+        Operand::Slot(slot) => (u32::try_from(slot).expect("slot fits u32"), 0.0),
+    }
 }
 
-impl MaxZeroLanes {
-    fn push(&mut self, call: &MaxZeroCall) -> u32 {
-        let pos = self.has_shift.len() as u32;
-        self.x.push(call.x);
-        self.shift.push(call.shift.unwrap_or(Operand::Num(0.0)));
-        self.has_shift.push(call.shift.is_some());
-        pos
-    }
-
-    /// Evaluates lane `lane`: the exact operation sequence of
-    /// [`MaxZeroCall::eval`] (and therefore of the postfix VM).
-    #[inline]
-    fn eval(&self, lane: usize, values: &[f64]) -> f64 {
-        let x = self.x.load(lane, values);
-        let arg = if self.has_shift[lane] {
-            BinOp::Sub.apply(x, self.shift.load(lane, values))
-        } else {
-            x
-        };
-        Func::Max.apply(&[arg, 0.0])
+/// Loads an inline-encoded operand — bit-for-bit [`Operand::load`].
+#[inline]
+fn load_encoded(slot: u32, literal: f64, values: &[f64]) -> f64 {
+    if slot == NO_SLOT {
+        literal
+    } else {
+        values[slot as usize]
     }
 }
 
 /// One multiplicand inside a factor stream ([`SopGroup`] /
 /// [`TermDivGroup`]).
+///
+/// Operand and clamp factors carry their data *inline* rather than
+/// indexing side arrays: a factor evaluation is then one match plus at
+/// most one `values` read, matching the scalar path's inline
+/// `Factor` layout — the CSR walks were measurably slower when every
+/// factor paid extra bounds checks against shared lane arrays. Hill
+/// factors still reference [`HillLanes`] (they need the precomputed
+/// `k^n` and a stable memo slot).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum FactorRef {
-    /// Operand at this position of the group's operand lanes.
-    Op(u32),
+    /// Inline operand: `(slot-or-NO_SLOT, literal)`.
+    Op(u32, f64),
     /// Hill call at this position of the group's Hill lanes.
     Hill(u32),
-    /// Clamp call at this position of the group's max-zero lanes.
-    MaxZero(u32),
+    /// Inline clamp call `max(x - shift, 0)` (or `max(x, 0)` when
+    /// `has_shift` is false): `x` and `shift` operands inline.
+    MaxZero {
+        /// `x` operand, inline-encoded.
+        x_slot: u32,
+        /// `x` literal when `x_slot` is [`NO_SLOT`].
+        x_literal: f64,
+        /// `shift` operand, inline-encoded (`Num(0.0)` placeholder).
+        shift_slot: u32,
+        /// `shift` literal when `shift_slot` is [`NO_SLOT`].
+        shift_literal: f64,
+        /// Whether the call has a shift subtraction at all.
+        has_shift: bool,
+    },
 }
 
-/// Shared SoA storage behind a factor stream: operand, Hill and
-/// max-zero lanes, addressed through [`FactorRef`]s.
+/// Hill lanes behind a factor stream, addressed by
+/// [`FactorRef::Hill`]; non-Hill factors are inline in the stream.
 #[derive(Debug, Clone, Default)]
 struct FactorLanes {
-    ops: OperandLanes,
     hills: HillLanes,
-    maxzeros: MaxZeroLanes,
 }
 
 impl FactorLanes {
@@ -664,12 +791,22 @@ impl FactorLanes {
     fn push(&mut self, factor: &Factor) -> Option<FactorRef> {
         match factor {
             Factor::Op(operand) => {
-                let pos = self.ops.slots.len() as u32;
-                self.ops.push(*operand);
-                Some(FactorRef::Op(pos))
+                let (slot, literal) = encode_operand(*operand);
+                Some(FactorRef::Op(slot, literal))
             }
             Factor::Hill(hill) => self.hills.push(hill).map(FactorRef::Hill),
-            Factor::MaxZero(call) => Some(FactorRef::MaxZero(self.maxzeros.push(call))),
+            Factor::MaxZero(call) => {
+                let (x_slot, x_literal) = encode_operand(call.x);
+                let (shift_slot, shift_literal) =
+                    encode_operand(call.shift.unwrap_or(Operand::Num(0.0)));
+                Some(FactorRef::MaxZero {
+                    x_slot,
+                    x_literal,
+                    shift_slot,
+                    shift_literal,
+                    has_shift: call.shift.is_some(),
+                })
+            }
         }
     }
 
@@ -681,12 +818,28 @@ impl FactorLanes {
         }
     }
 
+    /// Evaluates one factor: the exact operation sequence of the
+    /// corresponding [`Factor::eval`] arm (and therefore of the VM).
     #[inline]
-    fn eval(&self, factor: FactorRef, values: &[f64]) -> f64 {
+    fn eval<M: HillMemo + ?Sized>(&self, factor: FactorRef, values: &[f64], memo: &mut M) -> f64 {
         match factor {
-            FactorRef::Op(pos) => self.ops.load(pos as usize, values),
-            FactorRef::Hill(pos) => self.hills.eval(pos as usize, values),
-            FactorRef::MaxZero(pos) => self.maxzeros.eval(pos as usize, values),
+            FactorRef::Op(slot, literal) => load_encoded(slot, literal, values),
+            FactorRef::Hill(pos) => self.hills.eval(pos as usize, values, memo),
+            FactorRef::MaxZero {
+                x_slot,
+                x_literal,
+                shift_slot,
+                shift_literal,
+                has_shift,
+            } => {
+                let x = load_encoded(x_slot, x_literal, values);
+                let arg = if has_shift {
+                    BinOp::Sub.apply(x, load_encoded(shift_slot, shift_literal, values))
+                } else {
+                    x
+                };
+                Func::Max.apply(&[arg, 0.0])
+            }
         }
     }
 }
@@ -769,25 +922,64 @@ impl SopGroup {
     /// multiplied left to right, exactly as
     /// [`KineticForm::SumOfProducts`] evaluates on the scalar path.
     #[inline]
-    fn eval_law(&self, lane: usize, values: &[f64]) -> f64 {
+    fn eval_law<M: HillMemo + ?Sized>(&self, lane: usize, values: &[f64], memo: &mut M) -> f64 {
         let t0 = self.law_starts[lane] as usize;
         let t1 = self.law_starts[lane + 1] as usize;
-        let mut total = self.eval_term(t0, values);
-        for term in t0 + 1..t1 {
-            total += self.eval_term(term, values);
+        self.eval_terms(t0, t1, values, memo)
+    }
+
+    /// Sums terms `t0..t1` of the term list (the factor math of
+    /// [`SopGroup::eval_law`], shared with the whole-group walk).
+    #[inline]
+    fn eval_terms<M: HillMemo + ?Sized>(
+        &self,
+        t0: usize,
+        t1: usize,
+        values: &[f64],
+        memo: &mut M,
+    ) -> f64 {
+        let bounds = &self.term_starts[t0..=t1];
+        let mut terms = bounds.iter().zip(&bounds[1..]);
+        let (&f0, &f1) = terms.next().expect("laws have at least one term");
+        let mut total = self.eval_term(f0 as usize, f1 as usize, values, memo);
+        for (&f0, &f1) in terms {
+            total += self.eval_term(f0 as usize, f1 as usize, values, memo);
         }
         total
     }
 
     #[inline]
-    fn eval_term(&self, term: usize, values: &[f64]) -> f64 {
-        let f0 = self.term_starts[term] as usize;
-        let f1 = self.term_starts[term + 1] as usize;
-        let mut product = self.lanes.eval(self.factors[f0], values);
-        for factor in f0 + 1..f1 {
-            product *= self.lanes.eval(self.factors[factor], values);
+    fn eval_term<M: HillMemo + ?Sized>(
+        &self,
+        f0: usize,
+        f1: usize,
+        values: &[f64],
+        memo: &mut M,
+    ) -> f64 {
+        let (&first, rest) = self.factors[f0..f1]
+            .split_first()
+            .expect("terms are non-empty");
+        let mut product = self.lanes.eval(first, values, memo);
+        for &factor in rest {
+            product *= self.lanes.eval(factor, values, memo);
         }
         product
+    }
+
+    /// Walks every law of the group in lane order, scattering into
+    /// `out` — one zipped pass over the CSR arrays, so no per-law
+    /// bounds checks. Identical op sequence to per-lane
+    /// [`SopGroup::eval_law`] calls.
+    #[inline]
+    fn eval_all_into<M: HillMemo + ?Sized>(&self, values: &[f64], out: &mut [f64], memo: &mut M) {
+        for ((&index, &t0), &t1) in self
+            .idx
+            .iter()
+            .zip(&self.law_starts)
+            .zip(self.law_starts.iter().skip(1))
+        {
+            out[index as usize] = self.eval_terms(t0 as usize, t1 as usize, values, memo);
+        }
     }
 }
 
@@ -830,14 +1022,49 @@ impl TermDivGroup {
     /// then one division — the exact operation order of
     /// [`KineticForm::TermDiv`] on the scalar path (and of the VM).
     #[inline]
-    fn eval_law(&self, lane: usize, values: &[f64]) -> f64 {
+    fn eval_law<M: HillMemo + ?Sized>(&self, lane: usize, values: &[f64], memo: &mut M) -> f64 {
         let f0 = self.starts[lane] as usize;
         let f1 = self.starts[lane + 1] as usize;
-        let mut product = self.lanes.eval(self.factors[f0], values);
-        for factor in f0 + 1..f1 {
-            product *= self.lanes.eval(self.factors[factor], values);
-        }
+        let product = self.eval_product(f0, f1, values, memo);
         BinOp::Div.apply(product, self.divisor.load(lane, values))
+    }
+
+    /// Multiplies factors `f0..f1` left to right.
+    #[inline]
+    fn eval_product<M: HillMemo + ?Sized>(
+        &self,
+        f0: usize,
+        f1: usize,
+        values: &[f64],
+        memo: &mut M,
+    ) -> f64 {
+        let (&first, rest) = self.factors[f0..f1]
+            .split_first()
+            .expect("terms are non-empty");
+        let mut product = self.lanes.eval(first, values, memo);
+        for &factor in rest {
+            product *= self.lanes.eval(factor, values, memo);
+        }
+        product
+    }
+
+    /// Walks every law of the group in lane order, scattering into
+    /// `out` — one zipped pass over the CSR arrays and divisor lanes,
+    /// so no per-law bounds checks. Identical op sequence to per-lane
+    /// [`TermDivGroup::eval_law`] calls.
+    #[inline]
+    fn eval_all_into<M: HillMemo + ?Sized>(&self, values: &[f64], out: &mut [f64], memo: &mut M) {
+        for (((&index, &f0), &f1), &(d_slot, d_literal)) in self
+            .idx
+            .iter()
+            .zip(&self.starts)
+            .zip(self.starts.iter().skip(1))
+            .zip(&self.divisor.lanes)
+        {
+            let product = self.eval_product(f0 as usize, f1 as usize, values, memo);
+            out[index as usize] =
+                BinOp::Div.apply(product, load_encoded(d_slot, d_literal, values));
+        }
     }
 }
 
@@ -860,6 +1087,28 @@ impl TermDivGroup {
 /// [`CompiledExpr`] per law, which itself falls back to the postfix VM
 /// for `General` shapes.
 ///
+/// # Build-time cost model
+///
+/// A chunked kernel only pays off once a group is wide enough to fill
+/// its chunks: a three-lane group still pays the gather/scatter round
+/// trip, the partial-chunk zero-init, and a separate loop's worth of
+/// setup for what amounts to three multiplies. Construction therefore
+/// applies a simple cost model: groups with at least [`BANK_LANES`]
+/// lanes keep their dedicated kernel (explicitly eight-wide
+/// gather→compute→scatter rounds with scalar tails for the mass-action
+/// groups, contiguous CSR walks for the rest), while every law in a
+/// shorter group is folded into a single fused **residual pass** — one
+/// scalar loop over the laws in original order, dispatching each
+/// through its lane record. The residual pass evaluates the exact same
+/// lane math, so placement is purely a scheduling decision; it never
+/// affects results. [`KineticFormBank::occupancy`] reports where each
+/// law landed.
+///
+/// Hill-response lanes with literal coefficients additionally memoize
+/// their last `(regulator bits, response)` pair in a caller-owned
+/// [`EvalMemo`], eliding the `powf` when a sweep re-presents the same
+/// regulator value (constant circuit inputs do this on every step).
+///
 /// # Bitwise contract
 ///
 /// Every lane performs the exact floating-point operation sequence of
@@ -880,6 +1129,21 @@ pub struct KineticFormBank {
     term_div: TermDivGroup,
     /// `(original index, law)` for shapes with no SoA layout.
     fallback: Vec<(u32, CompiledExpr)>,
+    /// Laws whose group fell below the cost-model threshold, folded
+    /// into one fused scalar pass (original law indices, law order).
+    residual: Vec<u32>,
+    /// Whether each group kept its dedicated kernel (see the cost
+    /// model in the type docs).
+    linear_wide: bool,
+    bilinear_wide: bool,
+    hill_wide: bool,
+    sop_batched: bool,
+    term_div_batched: bool,
+    /// Total [`EvalMemo`] slots across the bank's three Hill lane
+    /// stores (standalone group, sum-of-products, term-div).
+    hill_memo_slots: u32,
+    /// Unique identity stamped into memos for invalidation.
+    bank_id: u64,
 }
 
 impl KineticFormBank {
@@ -959,6 +1223,47 @@ impl KineticFormBank {
             };
             bank.lanes.push(lane);
         }
+
+        // Assign memo slots across the three Hill lane stores, in a
+        // fixed order so a lane's slot is stable for the bank's life.
+        let hill_lanes = bank.hill.hills.len();
+        let sop_hills = bank.sop.lanes.hills.len();
+        let term_div_hills = bank.term_div.lanes.hills.len();
+        bank.hill.hills.memo_base = 0;
+        bank.sop.lanes.hills.memo_base = u32::try_from(hill_lanes).expect("lanes fit u32");
+        bank.term_div.lanes.hills.memo_base =
+            u32::try_from(hill_lanes + sop_hills).expect("lanes fit u32");
+        bank.hill_memo_slots =
+            u32::try_from(hill_lanes + sop_hills + term_div_hills).expect("lanes fit u32");
+        bank.bank_id = NEXT_BANK_ID.fetch_add(1, Ordering::Relaxed);
+
+        // Cost model: a group keeps its dedicated kernel only when it
+        // can fill at least one full chunk (or, for the CSR groups,
+        // amortize a separate walk); everything shorter folds into the
+        // fused residual pass.
+        bank.linear_wide = bank.linear.idx.len() >= BANK_LANES;
+        bank.bilinear_wide = bank.bilinear.idx.len() >= BANK_LANES;
+        bank.hill_wide = bank.hill.idx.len() >= BANK_LANES;
+        bank.sop_batched = bank.sop.idx.len() >= BANK_LANES;
+        bank.term_div_batched = bank.term_div.idx.len() >= BANK_LANES;
+        // The residual list is ordered group by group (not law order) so
+        // the dispatch in the fused pass takes each match arm in a
+        // predictable run instead of ping-ponging between lane kinds.
+        // Placement and order are scheduling only — each law writes its
+        // own output slot, so results are unaffected.
+        let folded: [(bool, &[u32]); 5] = [
+            (bank.linear_wide, &bank.linear.idx),
+            (bank.bilinear_wide, &bank.bilinear.idx),
+            (bank.hill_wide, &bank.hill.idx),
+            (bank.sop_batched, &bank.sop.idx),
+            (bank.term_div_batched, &bank.term_div.idx),
+        ];
+        let residual: Vec<u32> = folded
+            .into_iter()
+            .filter(|(kept, _)| !kept)
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
+        bank.residual = residual;
         bank
     }
 
@@ -984,14 +1289,34 @@ impl KineticFormBank {
     }
 
     /// Evaluates every law against `values`, writing law `i`'s result
-    /// to `out[i]`. Groups are processed [`BANK_LANES`] wide; `stack`
-    /// is the operand stack for fallback laws that hit the VM.
+    /// to `out[i]`. Wide groups are processed [`BANK_LANES`] at a time,
+    /// short groups through the fused residual pass; `stack` is the
+    /// operand stack for fallback laws that hit the VM, and `memo`
+    /// carries the caller's Hill response memo (rebound to this bank on
+    /// first use).
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()` or `values` is shorter than
     /// the highest referenced slot.
-    pub fn eval_all(&self, values: &[f64], out: &mut [f64], stack: &mut Vec<f64>) {
+    pub fn eval_all(
+        &self,
+        values: &[f64],
+        out: &mut [f64],
+        stack: &mut Vec<f64>,
+        memo: &mut EvalMemo,
+    ) {
+        memo.ensure(self.bank_id, self.hill_memo_slots as usize);
+        self.eval_all_with(values, out, stack, memo.hill.as_mut_slice());
+    }
+
+    fn eval_all_with<M: HillMemo + ?Sized>(
+        &self,
+        values: &[f64],
+        out: &mut [f64],
+        stack: &mut Vec<f64>,
+        memo: &mut M,
+    ) {
         assert_eq!(out.len(), self.lanes.len(), "output length mismatch");
         for &(index, value) in &self.consts {
             out[index as usize] = value;
@@ -1000,56 +1325,72 @@ impl KineticFormBank {
             out[index as usize] = values[slot as usize];
         }
 
-        // Linear: gather the two operand lanes for a chunk, multiply,
-        // scatter. The gather/compute split keeps the multiply loop
-        // free of branches so it can vectorize.
+        // Linear: for each full chunk, gather the two operand lanes,
+        // multiply, scatter. The fixed-width gather/compute split keeps
+        // the multiply loop free of branches so it can unroll and
+        // vectorize. Lanes past the last full chunk — the whole group
+        // when it is below the cost-model threshold — run the scalar
+        // residual loop instead: a partial chunk would pay the
+        // zero-init and gather round trip for a handful of multiplies.
         let n = self.linear.idx.len();
         let mut at = 0;
-        while at < n {
-            let width = BANK_LANES.min(n - at);
-            let mut a = [0.0f64; BANK_LANES];
-            let mut b = [0.0f64; BANK_LANES];
-            self.linear.a.gather(at, width, values, &mut a);
-            self.linear.b.gather(at, width, values, &mut b);
-            for (lane, &index) in self.linear.idx[at..at + width].iter().enumerate() {
-                out[index as usize] = a[lane] * b[lane];
+        if self.linear_wide {
+            while at + BANK_LANES <= n {
+                let mut a = [0.0f64; BANK_LANES];
+                let mut b = [0.0f64; BANK_LANES];
+                self.linear.a.gather8(at, values, &mut a);
+                self.linear.b.gather8(at, values, &mut b);
+                let idx = &self.linear.idx[at..at + BANK_LANES];
+                for lane in 0..BANK_LANES {
+                    out[idx[lane] as usize] = a[lane] * b[lane];
+                }
+                at += BANK_LANES;
             }
-            at += width;
+        }
+        for lane in at..n {
+            out[self.linear.idx[lane] as usize] =
+                self.linear.a.load(lane, values) * self.linear.b.load(lane, values);
         }
 
         // Bilinear: (a * b) * c, the association `eval_fast` uses.
         let n = self.bilinear.idx.len();
         let mut at = 0;
-        while at < n {
-            let width = BANK_LANES.min(n - at);
-            let mut a = [0.0f64; BANK_LANES];
-            let mut b = [0.0f64; BANK_LANES];
-            let mut c = [0.0f64; BANK_LANES];
-            self.bilinear.a.gather(at, width, values, &mut a);
-            self.bilinear.b.gather(at, width, values, &mut b);
-            self.bilinear.c.gather(at, width, values, &mut c);
-            for (lane, &index) in self.bilinear.idx[at..at + width].iter().enumerate() {
-                out[index as usize] = a[lane] * b[lane] * c[lane];
+        if self.bilinear_wide {
+            while at + BANK_LANES <= n {
+                let mut a = [0.0f64; BANK_LANES];
+                let mut b = [0.0f64; BANK_LANES];
+                let mut c = [0.0f64; BANK_LANES];
+                self.bilinear.a.gather8(at, values, &mut a);
+                self.bilinear.b.gather8(at, values, &mut b);
+                self.bilinear.c.gather8(at, values, &mut c);
+                let idx = &self.bilinear.idx[at..at + BANK_LANES];
+                for lane in 0..BANK_LANES {
+                    out[idx[lane] as usize] = a[lane] * b[lane] * c[lane];
+                }
+                at += BANK_LANES;
             }
-            at += width;
+        }
+        for lane in at..n {
+            out[self.bilinear.idx[lane] as usize] = self.bilinear.a.load(lane, values)
+                * self.bilinear.b.load(lane, values)
+                * self.bilinear.c.load(lane, values);
         }
 
-        // Hill: the response call is `powf`-bound, so lanes evaluate
-        // sequentially over the SoA arrays (contiguous reads, no
-        // per-law dispatch, and `k^n` precomputed for literal lanes).
+        // The `powf`-bound groups evaluate sequentially over their SoA
+        // arrays regardless of width (contiguous reads, no per-law
+        // dispatch, `k^n` precomputed for literal lanes, and the memo
+        // short-circuiting repeat regulator values) — chunking a `powf`
+        // saves nothing, so their wide/residual split is bookkeeping
+        // for the occupancy report, not a code-path switch.
         for lane in 0..self.hill.idx.len() {
-            out[self.hill.idx[lane] as usize] = self.eval_hill_lane(lane, values);
+            out[self.hill.idx[lane] as usize] = self.eval_hill_lane(lane, values, memo);
         }
 
         // Sum-of-products: CSR walk over the flat factor stream.
-        for lane in 0..self.sop.idx.len() {
-            out[self.sop.idx[lane] as usize] = self.sop.eval_law(lane, values);
-        }
+        self.sop.eval_all_into(values, out, memo);
 
         // Fused term-with-division laws: CSR walk, one division each.
-        for lane in 0..self.term_div.idx.len() {
-            out[self.term_div.idx[lane] as usize] = self.term_div.eval_law(lane, values);
-        }
+        self.term_div.eval_all_into(values, out, memo);
 
         for (index, law) in &self.fallback {
             out[*index as usize] = law.eval_fast(values, stack);
@@ -1065,7 +1406,20 @@ impl KineticFormBank {
     /// be mixed freely.
     #[inline]
     pub fn eval_one(&self, index: usize, values: &[f64], stack: &mut Vec<f64>) -> f64 {
-        match self.lanes[index] {
+        self.eval_lane(self.lanes[index], values, stack, &mut NoMemo)
+    }
+
+    /// Scalar dispatch shared by [`KineticFormBank::eval_one`] and the
+    /// residual pass of [`KineticFormBank::eval_all`].
+    #[inline]
+    fn eval_lane<M: HillMemo + ?Sized>(
+        &self,
+        lane: LaneRef,
+        values: &[f64],
+        stack: &mut Vec<f64>,
+        memo: &mut M,
+    ) -> f64 {
+        match lane {
             LaneRef::Const(pos) => self.consts[pos as usize].1,
             LaneRef::Load(pos) => values[self.loads[pos as usize].1 as usize],
             LaneRef::Linear(lane) => {
@@ -1078,9 +1432,9 @@ impl KineticFormBank {
                     * self.bilinear.b.load(lane, values)
                     * self.bilinear.c.load(lane, values)
             }
-            LaneRef::Hill(lane) => self.eval_hill_lane(lane as usize, values),
-            LaneRef::Sop(lane) => self.sop.eval_law(lane as usize, values),
-            LaneRef::TermDiv(lane) => self.term_div.eval_law(lane as usize, values),
+            LaneRef::Hill(lane) => self.eval_hill_lane(lane as usize, values, memo),
+            LaneRef::Sop(lane) => self.sop.eval_law(lane as usize, values, memo),
+            LaneRef::TermDiv(lane) => self.term_div.eval_law(lane as usize, values, memo),
             LaneRef::Fallback(pos) => self.fallback[pos as usize].1.eval_fast(values, stack),
         }
     }
@@ -1089,10 +1443,71 @@ impl KineticFormBank {
     /// replaying the operation sequence of [`Func::apply`] bit-for-bit
     /// (see [`HillLanes::eval`]).
     #[inline]
-    fn eval_hill_lane(&self, lane: usize, values: &[f64]) -> f64 {
-        let response = self.hill.hills.eval(lane, values);
+    fn eval_hill_lane<M: HillMemo + ?Sized>(
+        &self,
+        lane: usize,
+        values: &[f64],
+        memo: &mut M,
+    ) -> f64 {
+        let response = self.hill.hills.eval(lane, values, memo);
         self.hill.base.load(lane, values) + self.hill.span.load(lane, values) * response
     }
+
+    /// Where the build-time cost model placed each law.
+    pub fn occupancy(&self) -> LaneOccupancy {
+        let groups = [
+            (self.linear_wide, self.linear.idx.len()),
+            (self.bilinear_wide, self.bilinear.idx.len()),
+            (self.hill_wide, self.hill.idx.len()),
+            (self.sop_batched, self.sop.idx.len()),
+            (self.term_div_batched, self.term_div.idx.len()),
+        ];
+        LaneOccupancy {
+            consts: self.consts.len(),
+            loads: self.loads.len(),
+            linear: self.linear.idx.len(),
+            bilinear: self.bilinear.idx.len(),
+            hill: self.hill.idx.len(),
+            sop: self.sop.idx.len(),
+            term_div: self.term_div.idx.len(),
+            wide: groups
+                .iter()
+                .filter(|(kept, _)| *kept)
+                .map(|(_, n)| n)
+                .sum(),
+            residual: self.residual.len(),
+            fallback: self.fallback.len(),
+        }
+    }
+}
+
+/// How a bank's build-time cost model placed its laws — group sizes
+/// plus the wide/residual/fallback split. `wide + residual` covers the
+/// five shaped groups (`linear` through `term_div`); `consts`, `loads`
+/// and `fallback` are outside both scheduling classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneOccupancy {
+    /// Constant laws (direct scatter).
+    pub consts: usize,
+    /// Single-load laws (direct scatter).
+    pub loads: usize,
+    /// `k * A` lanes.
+    pub linear: usize,
+    /// `k * A * B` lanes.
+    pub bilinear: usize,
+    /// Single-regulator gate-response lanes.
+    pub hill: usize,
+    /// Sum-of-products lanes.
+    pub sop: usize,
+    /// Fused term-with-division lanes.
+    pub term_div: usize,
+    /// Laws in groups that kept their dedicated chunked/batched kernel.
+    pub wide: usize,
+    /// Laws folded into the fused scalar residual pass.
+    pub residual: usize,
+    /// Irregular laws retained as [`CompiledExpr`] fallbacks (VM-bound
+    /// for `General` shapes).
+    pub fallback: usize,
 }
 
 /// An expression compiled against a [`SymbolTable`].
@@ -1509,14 +1924,20 @@ mod tests {
         let laws = mixed_laws(&table);
         let bank = KineticFormBank::new(&laws);
         let mut stack = Vec::new();
+        let mut memo = EvalMemo::new();
         let mut out = vec![0.0; laws.len()];
+        // The value sequence revisits earlier states so sweeps exercise
+        // memo hits, misses, and overwrites.
         for values in [
             [0.0, 0.0, 0.5],
             [1.0, 3.0, 0.25],
+            [1.0, 3.0, 0.25],
             [17.0, 42.0, 1.5],
+            [1.0, 3.0, 0.25],
             [1e6, 1e-6, 123.456],
+            [0.0, 0.0, 0.5],
         ] {
-            bank.eval_all(&values, &mut out, &mut stack);
+            bank.eval_all(&values, &mut out, &mut stack, &mut memo);
             for (r, law) in laws.iter().enumerate() {
                 let scalar = law.eval_fast(&values, &mut stack);
                 assert_eq!(
@@ -1527,6 +1948,86 @@ mod tests {
                 );
                 let one = bank.eval_one(r, &values, &mut stack);
                 assert_eq!(one.to_bits(), scalar.to_bits(), "eval_one law {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn memo_rebinds_across_banks() {
+        let table = table_of(&["A", "B", "k"]);
+        let hill_a: Vec<CompiledExpr> = ["0.03 + 3.7 * hillr(A, 20, 2)"]
+            .iter()
+            .map(|s| Expr::parse(s).unwrap().compile(&table).unwrap())
+            .collect();
+        let hill_b: Vec<CompiledExpr> = ["0.1 + 2.9 * hilla(A, 7, 2.8)"]
+            .iter()
+            .map(|s| Expr::parse(s).unwrap().compile(&table).unwrap())
+            .collect();
+        let bank_a = KineticFormBank::new(&hill_a);
+        let bank_b = KineticFormBank::new(&hill_b);
+        let values = [5.0, 0.0, 0.0];
+        let mut stack = Vec::new();
+        let mut out = [0.0];
+        // One memo alternating between two banks with different laws at
+        // the same memo slot: stale entries must never leak across.
+        let mut memo = EvalMemo::new();
+        for _ in 0..3 {
+            bank_a.eval_all(&values, &mut out, &mut stack, &mut memo);
+            assert_eq!(
+                out[0].to_bits(),
+                hill_a[0].eval_fast(&values, &mut stack).to_bits()
+            );
+            bank_b.eval_all(&values, &mut out, &mut stack, &mut memo);
+            assert_eq!(
+                out[0].to_bits(),
+                hill_b[0].eval_fast(&values, &mut stack).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_model_folds_short_groups_and_keeps_wide_ones() {
+        let table = table_of(&["A", "B", "k"]);
+        // Three Linear laws: below the chunk width, so all residual.
+        let short: Vec<CompiledExpr> = (0..3)
+            .map(|i| {
+                Expr::parse(&format!("{i}.5 * A"))
+                    .unwrap()
+                    .compile(&table)
+                    .unwrap()
+            })
+            .collect();
+        let bank = KineticFormBank::new(&short);
+        let occ = bank.occupancy();
+        assert_eq!((occ.linear, occ.residual, occ.wide), (3, 3, 0));
+
+        // Nine Linear laws: one full chunk plus a tail, kernel kept.
+        let wide: Vec<CompiledExpr> = (0..9)
+            .map(|i| {
+                Expr::parse(&format!("{i}.5 * A"))
+                    .unwrap()
+                    .compile(&table)
+                    .unwrap()
+            })
+            .collect();
+        let bank = KineticFormBank::new(&wide);
+        let occ = bank.occupancy();
+        assert_eq!((occ.linear, occ.residual, occ.wide), (9, 0, 9));
+        assert_eq!(occ.fallback, 0);
+
+        // Either placement evaluates identically.
+        let values = [3.0, 7.0, 0.5];
+        let mut stack = Vec::new();
+        let mut memo = EvalMemo::new();
+        for (laws, len) in [(&short, 3), (&wide, 9)] {
+            let bank = KineticFormBank::new(laws);
+            let mut out = vec![0.0; len];
+            bank.eval_all(&values, &mut out, &mut stack, &mut memo);
+            for (r, law) in laws.iter().enumerate() {
+                assert_eq!(
+                    out[r].to_bits(),
+                    law.eval_fast(&values, &mut stack).to_bits()
+                );
             }
         }
     }
@@ -1546,7 +2047,7 @@ mod tests {
         let values = [3.0, 7.0, 0.5];
         let mut stack = Vec::new();
         let mut out = vec![0.0; laws.len()];
-        bank.eval_all(&values, &mut out, &mut stack);
+        bank.eval_all(&values, &mut out, &mut stack, &mut EvalMemo::new());
         for (r, law) in laws.iter().enumerate() {
             assert_eq!(
                 out[r].to_bits(),
@@ -1562,7 +2063,7 @@ mod tests {
         assert!(bank.is_empty());
         assert_eq!(bank.len(), 0);
         let mut stack = Vec::new();
-        bank.eval_all(&[], &mut [], &mut stack);
+        bank.eval_all(&[], &mut [], &mut stack, &mut EvalMemo::new());
     }
 
     #[test]

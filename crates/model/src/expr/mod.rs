@@ -21,8 +21,8 @@ mod eval;
 mod parser;
 
 pub use compiled::{
-    CompiledExpr, Factor, HillCall, KineticForm, KineticFormBank, MaxZeroCall, Operand,
-    SymbolTable, Term, BANK_LANES,
+    CompiledExpr, EvalMemo, Factor, HillCall, KineticForm, KineticFormBank, LaneOccupancy,
+    MaxZeroCall, Operand, SymbolTable, Term, BANK_LANES,
 };
 pub use eval::Env;
 

@@ -27,6 +27,12 @@
 //!   process on the connection's thread);
 //! * `--worker-bin PATH` — the worker binary for `--workers`
 //!   (default: `glc-worker` next to this executable).
+//!
+//! Orders execute through the process-wide compiled-model cache
+//! (`glc_ssa::ModelCache::shared`, via `WorkOrder::compile_model`): a
+//! relay hammered with shards of the same circuit — the normal sweep
+//! shape — compiles it once and serves every later order, on any
+//! connection thread, from the shared `Arc`.
 
 use glc_service::{Coordinator, RelayReply, WorkOrder};
 use std::io::{BufRead, BufReader, Read as _, Write};

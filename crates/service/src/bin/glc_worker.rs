@@ -11,6 +11,12 @@
 //! stateless shard primitive; the resident Submit/Extend/Query
 //! session protocol lives one level up, in `glc-serve`, which fans
 //! its Extend ranges out over these workers.
+//!
+//! A one-shot process compiles its model exactly once either way, but
+//! `WorkOrder::execute` still routes the compile through the
+//! process-wide `glc_ssa::ModelCache`, so any host embedding this
+//! run loop in a longer-lived process (as `glc-relay` does) gets
+//! compile reuse without changing the protocol.
 
 use glc_service::WorkOrder;
 use std::io::Read as _;

@@ -57,11 +57,12 @@ pub use transport::{
 use glc_model::Model;
 use glc_ssa::{
     run_partial_from, CompiledModel, Direct, Engine, Ensemble, EnsemblePartial, FirstReaction,
-    Langevin, NextReaction, SimError, TauLeap,
+    Langevin, ModelCache, NextReaction, SimError, TauLeap,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Error raised by the worker protocol or the coordinator.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,13 +216,53 @@ impl WorkOrder {
         self
     }
 
-    /// Materializes and compiles the model with overrides applied.
+    /// The compiled-model identity of this order: an FNV-1a hash of
+    /// the canonical JSON of the model source plus the amount
+    /// overrides — everything [`WorkOrder::compile_model`] reads.
+    /// Orders differing only in engine, seeds or grid share a
+    /// fingerprint, which is exactly what lets a model cache serve an
+    /// engine sweep over one circuit from a single compile.
+    pub fn model_fingerprint(&self) -> u64 {
+        let model = serde_json::to_string(&self.model).unwrap_or_default();
+        let amounts = serde_json::to_string(&self.set_amounts).unwrap_or_default();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in model.bytes().chain([0u8]).chain(amounts.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Materializes and compiles the model with overrides applied,
+    /// through the process-wide shared [`ModelCache`]: repeat orders
+    /// for the same model and overrides (every shard of a sweep, every
+    /// order a relay serves for a hot circuit) reuse one compile.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Order`] for unresolvable models or unknown
     /// override species.
-    pub fn compile_model(&self) -> Result<CompiledModel, ServiceError> {
+    pub fn compile_model(&self) -> Result<Arc<CompiledModel>, ServiceError> {
+        self.compile_model_in(ModelCache::shared())
+            .map(|(model, _)| model)
+    }
+
+    /// [`WorkOrder::compile_model`] against a caller-owned cache,
+    /// also reporting whether the lookup was warm. Errors are never
+    /// cached: a failing order stays a miss.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkOrder::compile_model`].
+    pub fn compile_model_in(
+        &self,
+        cache: &ModelCache,
+    ) -> Result<(Arc<CompiledModel>, bool), ServiceError> {
+        cache.get_or_insert(self.model_fingerprint(), || self.build_model())
+    }
+
+    /// The uncached compile: materialize, apply overrides, compile.
+    fn build_model(&self) -> Result<CompiledModel, ServiceError> {
         let mut model = self.model.load()?;
         for (species, amount) in &self.set_amounts {
             if model.species_id(species).is_none() {

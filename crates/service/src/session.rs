@@ -42,10 +42,11 @@
 //! `crates/service/README.md` for worked examples.
 
 use crate::{Coordinator, EngineSpec, ModelSource, ServiceError, WorkOrder, WorkerPool};
-use glc_ssa::{run_partial_from, CompiledModel, EnsemblePartial, Trace};
+use glc_ssa::{run_partial_from, CompiledModel, EnsemblePartial, ModelCache, Trace};
 use glc_vasim::stats::{ensemble_noise, NoisePoint};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Everything that identifies a resident ensemble session: the model,
 /// the engine, the replicate-0 seed, and the sampling grid. Two
@@ -245,6 +246,13 @@ pub struct ServiceStats {
     /// Write-through snapshots taken on Extend (what a restarted
     /// service resumes from).
     pub snapshots: u64,
+    /// Model compiles served from the store's compiled-model cache (a
+    /// cold Submit of a circuit another session already compiled, or a
+    /// spill reload of a model still warm in the cache).
+    pub model_cache_hits: u64,
+    /// Model compiles that actually ran because the store's
+    /// compiled-model cache had no entry for the model fingerprint.
+    pub model_cache_misses: u64,
 }
 
 /// How an Extend's new seed range is simulated.
@@ -273,7 +281,9 @@ struct Session {
     /// inline SBML document — on every request).
     key: String,
     spec: SessionSpec,
-    model: CompiledModel,
+    /// Shared with the store's [`ModelCache`]: two sessions over the
+    /// same circuit (same model fingerprint) hold one compiled model.
+    model: Arc<CompiledModel>,
     partial: EnsemblePartial,
     /// LRU clock stamp of the last touch.
     last_used: u64,
@@ -314,6 +324,12 @@ pub struct SessionStore {
     spilled: u64,
     reloads: u64,
     snapshots: u64,
+    /// Store-owned compiled-model cache (deliberately not the
+    /// process-wide [`ModelCache::shared`], so the hit/miss counters
+    /// below are deterministic for this store's own traffic).
+    model_cache: ModelCache,
+    model_cache_hits: u64,
+    model_cache_misses: u64,
 }
 
 impl SessionStore {
@@ -337,7 +353,25 @@ impl SessionStore {
             spilled: 0,
             reloads: 0,
             snapshots: 0,
+            model_cache: ModelCache::default(),
+            model_cache_hits: 0,
+            model_cache_misses: 0,
         })
+    }
+
+    /// Compiles an order's model through the store's cache, counting
+    /// the hit or miss.
+    fn compile_through_cache(
+        &mut self,
+        order: &WorkOrder,
+    ) -> Result<Arc<CompiledModel>, ServiceError> {
+        let (model, warm) = order.compile_model_in(&self.model_cache)?;
+        if warm {
+            self.model_cache_hits += 1;
+        } else {
+            self.model_cache_misses += 1;
+        }
+        Ok(model)
     }
 
     /// Attaches a durable backing store: evicted sessions spill to
@@ -424,8 +458,12 @@ impl SessionStore {
         }
         // Cold: compile the model and validate the whole spec up
         // front (engine parameters included), so Extend can trust it.
+        // "Cold" means the *session* is cold — the compile itself is
+        // served from the store's model cache whenever any session
+        // (including an evicted incarnation of this one) already
+        // compiled the same model and overrides.
         let order = spec.work_order(0, 1);
-        let model = order.compile_model()?;
+        let model = self.compile_through_cache(&order)?;
         spec.engine.build()?;
         let partial = EnsemblePartial::new(&model, spec.t_end, spec.sample_dt)?;
         self.evict_if_full()?;
@@ -506,8 +544,9 @@ impl SessionStore {
         // Recompile and re-derive the expected aggregate shape: the
         // snapshot partial must belong to exactly this model and grid,
         // and its coverage must be the contiguous extend shape a
-        // resident session maintains.
-        let model = spec.work_order(0, 1).compile_model()?;
+        // resident session maintains. (The compile usually hits the
+        // model cache — eviction spills the partial, not the model.)
+        let model = self.compile_through_cache(&spec.work_order(0, 1))?;
         spec.engine.build()?;
         let expected = EnsemblePartial::new(&model, spec.t_end, spec.sample_dt)?;
         if expected.fingerprint() != partial.fingerprint() {
@@ -668,6 +707,8 @@ impl SessionStore {
             spilled: self.spilled,
             reloads: self.reloads,
             snapshots: self.snapshots,
+            model_cache_hits: self.model_cache_hits,
+            model_cache_misses: self.model_cache_misses,
         }
     }
 
@@ -922,6 +963,70 @@ mod tests {
         assert_eq!(stats.sessions, 1);
         assert_eq!(stats.simulated, 8);
         assert_eq!(stats.evictions, 0);
+        // One cold compile; the warm resubmit never reached the cache.
+        assert_eq!(stats.model_cache_misses, 1);
+        assert_eq!(stats.model_cache_hits, 0);
+    }
+
+    #[test]
+    fn model_cache_serves_repeat_compiles_across_sessions() {
+        let mut store = SessionStore::new(2, ExtendBackend::InProcess).unwrap();
+        let make = |seed: u64| {
+            SessionSpec::new(
+                ModelSource::Catalog("book_not".into()),
+                EngineSpec::Direct,
+                seed,
+                10.0,
+                5.0,
+            )
+            .with_amount("LacI", 15.0)
+        };
+        // Distinct sessions (different seeds), same model + overrides:
+        // the second compile is a cache hit.
+        let a = store.submit(&make(1)).unwrap().session;
+        store.submit(&make(2)).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.model_cache_misses, stats.model_cache_hits), (1, 1));
+        // A different circuit is a genuine miss…
+        let other = SessionSpec::new(
+            ModelSource::Catalog("book_and".into()),
+            EngineSpec::Direct,
+            1,
+            10.0,
+            5.0,
+        )
+        .with_amount("LacI", 15.0)
+        .with_amount("TetR", 15.0);
+        store.submit(&other).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.model_cache_misses, stats.model_cache_hits), (2, 1));
+        assert_eq!(stats.evictions, 1, "capacity 2 evicted the LRU session");
+        // …and resubmitting the evicted session recompiles nothing:
+        // eviction drops the session, not the cached model.
+        let again = store.submit(&make(1)).unwrap();
+        assert!(!again.warm);
+        assert_eq!(again.session, a);
+        let stats = store.stats();
+        assert_eq!((stats.model_cache_misses, stats.model_cache_hits), (2, 2));
+    }
+
+    #[test]
+    fn stats_response_reports_model_cache_counters_on_the_wire() {
+        let mut store = store();
+        store.submit(&spec()).unwrap();
+        let mut other = spec();
+        other.base_seed = 99;
+        store.submit(&other).unwrap();
+        let reply = store.handle(&Request::Stats);
+        let Response::Stats(stats) = reply else {
+            panic!("Stats request must produce a Stats response, got {reply:?}");
+        };
+        assert_eq!((stats.model_cache_misses, stats.model_cache_hits), (1, 1));
+        let json = serde_json::to_string(&Response::Stats(stats)).unwrap();
+        assert!(json.contains("\"model_cache_hits\":1"), "{json}");
+        assert!(json.contains("\"model_cache_misses\":1"), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Response::Stats(stats));
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! Gibson–Bruck next-reaction method.
 
 use crate::error::SimError;
-use glc_model::expr::{CompiledExpr, KineticFormBank};
+use glc_model::expr::{CompiledExpr, EvalMemo, KineticFormBank};
 use glc_model::{Model, ModelError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Simulation state: current time plus the flat value vector.
 ///
@@ -227,8 +228,9 @@ impl CompiledModel {
         state: &State,
         out: &mut Vec<f64>,
         stack: &mut Vec<f64>,
+        memo: &mut EvalMemo,
     ) -> Result<f64, SimError> {
-        self.propensities_at(&state.values, state.t, out, stack)
+        self.propensities_at(&state.values, state.t, out, stack, memo)
     }
 
     /// Like [`CompiledModel::propensities_into`] but against a raw value
@@ -244,9 +246,25 @@ impl CompiledModel {
         t: f64,
         out: &mut Vec<f64>,
         stack: &mut Vec<f64>,
+        memo: &mut EvalMemo,
     ) -> Result<f64, SimError> {
         out.resize(self.kinetics.len(), 0.0);
-        self.bank.eval_all(values, out, stack);
+        self.bank.eval_all(values, out, stack, memo);
+        // Fast validation: accumulate the sequential in-order total (the
+        // exact FP sum the scalar loop produced) while tracking the
+        // minimum. A NaN propensity poisons `total` (min() would skip
+        // it), a negative one drags `floor` below zero, and an infinity
+        // shows up in `total` directly — only then rerun the per-value
+        // check to attribute the error to the first offending reaction.
+        let mut total = 0.0;
+        let mut floor = f64::INFINITY;
+        for &value in out.iter() {
+            total += value;
+            floor = floor.min(value);
+        }
+        if total.is_finite() && floor >= 0.0 {
+            return Ok(total);
+        }
         let mut total = 0.0;
         for (r, &value) in out.iter().enumerate() {
             total += self.check_propensity(r, value, t)?;
@@ -297,6 +315,130 @@ impl CompiledModel {
             );
             state.values[slot] = updated.max(0.0);
         }
+    }
+}
+
+/// A bounded, fingerprint-keyed cache of compiled models.
+///
+/// Compiling a catalog circuit — parsing every kinetic law, building
+/// the dependency graph and the kinetic-form bank — costs far more than
+/// a short simulation shard, and the service layer presents the same
+/// few circuits over and over (every replicate shard of a work order,
+/// every warm session resubmit). Keying an `Arc<CompiledModel>` by the
+/// caller's model fingerprint turns those recompiles into a lookup.
+///
+/// Keys are opaque `u64`s chosen by the caller; the cache trusts that
+/// equal keys mean equivalent models (the service layer fingerprints
+/// the canonical model JSON plus its amount overrides). Eviction is
+/// least-recently-used over a bounded entry list — the working set is
+/// a handful of circuits, so a linear scan beats hashing. Lookups and
+/// insertions take a `Mutex`; the build itself runs outside the lock,
+/// so concurrent misses on the same key may compile twice, with one
+/// winner inserted (correct either way since both are equivalent).
+#[derive(Debug)]
+pub struct ModelCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: u64,
+    model: Arc<CompiledModel>,
+    last_used: u64,
+}
+
+/// Default bound for [`ModelCache`]: comfortably above the catalog's
+/// circuit count, small enough that retained banks stay negligible.
+pub const DEFAULT_MODEL_CACHE_CAPACITY: usize = 32;
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new(DEFAULT_MODEL_CACHE_CAPACITY)
+    }
+}
+
+impl ModelCache {
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ModelCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The process-wide shared cache (used by one-shot workers and the
+    /// relay, where every connection thread sees the same models).
+    pub fn shared() -> &'static ModelCache {
+        static SHARED: OnceLock<ModelCache> = OnceLock::new();
+        SHARED.get_or_init(ModelCache::default)
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("model cache lock").entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, building and inserting on a miss. Returns the
+    /// cached model and whether this call was a hit. Build errors are
+    /// propagated and nothing is inserted — a failing key stays a miss.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns.
+    pub fn get_or_insert<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<CompiledModel, E>,
+    ) -> Result<(Arc<CompiledModel>, bool), E> {
+        {
+            let mut inner = self.inner.lock().expect("model cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+                entry.last_used = clock;
+                return Ok((Arc::clone(&entry.model), true));
+            }
+        }
+        // Compile outside the lock: model builds are milliseconds-long
+        // and must not serialize unrelated lookups.
+        let model = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("model cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            // Lost a build race; prefer the resident copy so every
+            // holder shares one allocation. Still a miss: we compiled.
+            entry.last_used = clock;
+            return Ok((Arc::clone(&entry.model), false));
+        }
+        if inner.entries.len() >= self.capacity {
+            let evict = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty");
+            inner.entries.swap_remove(evict);
+        }
+        inner.entries.push(CacheEntry {
+            key,
+            model: Arc::clone(&model),
+            last_used: clock,
+        });
+        Ok((model, false))
     }
 }
 
@@ -394,11 +536,95 @@ mod tests {
         let a0 = compiled.propensity_with(0, &state, &mut stack).unwrap();
         assert_eq!(a0, 0.5 * 10.0 * 100.0);
         let mut all = Vec::new();
+        let mut memo = EvalMemo::new();
         let total = compiled
-            .propensities_into(&state, &mut all, &mut stack)
+            .propensities_into(&state, &mut all, &mut stack, &mut memo)
             .unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(total, a0 + 0.0 + 0.5);
+    }
+
+    #[test]
+    fn sweep_errors_match_scalar_reference() {
+        // The fast-validation path must report the same first-offender
+        // error the scalar loop does, for both failure kinds.
+        for (law, probe) in [("1 / X", "nonfinite"), ("X - 1", "negative")] {
+            let model = ModelBuilder::new("m")
+                .species("X", 0.0)
+                .reaction("ok", &[], &["X"], "2.5")
+                .unwrap()
+                .reaction("bad", &[], &["X"], law)
+                .unwrap()
+                .build()
+                .unwrap();
+            let compiled = CompiledModel::new(&model).unwrap();
+            let state = compiled.initial_state();
+            let mut out = Vec::new();
+            let mut stack = Vec::new();
+            let mut memo = EvalMemo::new();
+            let batched = compiled
+                .propensities_into(&state, &mut out, &mut stack, &mut memo)
+                .unwrap_err();
+            let scalar = compiled
+                .propensities_into_scalar(&state, &mut out, &mut stack)
+                .unwrap_err();
+            assert_eq!(format!("{batched:?}"), format!("{scalar:?}"), "{probe}");
+        }
+    }
+
+    #[test]
+    fn model_cache_hits_and_evicts() {
+        let build = |id: &str| {
+            let model = ModelBuilder::new(id)
+                .species("X", 1.0)
+                .reaction("deg", &["X"], &[], "X")
+                .unwrap()
+                .build()
+                .unwrap();
+            CompiledModel::new(&model).unwrap()
+        };
+        let cache = ModelCache::new(2);
+        let (a, hit) = cache
+            .get_or_insert(1, || Ok::<_, SimError>(build("a")))
+            .unwrap();
+        assert!(!hit);
+        let (a2, hit) = cache
+            .get_or_insert(1, || Ok::<_, SimError>(build("never")))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &a2), "hit returns the resident copy");
+        assert_eq!(a2.id(), "a");
+
+        // Fill to capacity, touch key 1, insert a third: key 2 (least
+        // recently used) must be the one evicted.
+        cache
+            .get_or_insert(2, || Ok::<_, SimError>(build("b")))
+            .unwrap();
+        cache
+            .get_or_insert(1, || Ok::<_, SimError>(build("never")))
+            .unwrap();
+        cache
+            .get_or_insert(3, || Ok::<_, SimError>(build("c")))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, hit) = cache
+            .get_or_insert(1, || Ok::<_, SimError>(build("never")))
+            .unwrap();
+        assert!(hit, "recently touched key survives eviction");
+        let (_, hit) = cache
+            .get_or_insert(2, || Ok::<_, SimError>(build("b2")))
+            .unwrap();
+        assert!(!hit, "LRU key was evicted");
+    }
+
+    #[test]
+    fn model_cache_does_not_retain_failed_builds() {
+        let cache = ModelCache::new(4);
+        let err = cache
+            .get_or_insert(9, || Err::<CompiledModel, _>("compile failed"))
+            .unwrap_err();
+        assert_eq!(err, "compile failed");
+        assert!(cache.is_empty());
     }
 
     #[test]

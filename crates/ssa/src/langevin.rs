@@ -14,21 +14,32 @@
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
-use crate::propensity::PropensitySet;
+use glc_model::expr::EvalMemo;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The chemical Langevin engine with fixed time step.
 ///
 /// Every Euler–Maruyama step needs all `R` propensities, so the engine
-/// refreshes its shared [`PropensitySet`] with one batched full-sweep
-/// rebuild per step — the same cache and kinetic-form-bank path the
-/// exact engines use, rather than a private propensity vector.
+/// fills a flat propensity slice with one batched kinetic-form-bank
+/// sweep per step (no sum tree — nothing here selects reactions), then
+/// precomputes the per-reaction drift `a·h` and noise scale `√a·√h` in
+/// a chunked pass before the Gaussian draw loop. All scratch lives on
+/// the engine, so steady-state stepping allocates nothing.
 #[derive(Debug, Clone)]
 pub struct Langevin {
     dt: f64,
     step_limit: u64,
-    propensities: PropensitySet,
+    /// Per-reaction propensities, rebuilt each step by one bank sweep.
+    propensities: Vec<f64>,
+    /// Operand stack for kinetic laws that fall back to the postfix VM.
+    stack: Vec<f64>,
+    /// Hill-response memo threaded through the bank sweep.
+    memo: EvalMemo,
+    /// Per-reaction drift increments `a_r * h` for the current step.
+    drift: Vec<f64>,
+    /// Per-reaction noise scales `√a_r * √h` for the current step.
+    sigma: Vec<f64>,
 }
 
 impl Langevin {
@@ -47,7 +58,11 @@ impl Langevin {
         Ok(Langevin {
             dt,
             step_limit: DEFAULT_STEP_LIMIT,
-            propensities: PropensitySet::new(),
+            propensities: Vec::new(),
+            stack: Vec::new(),
+            memo: EvalMemo::new(),
+            drift: Vec::new(),
+            sigma: Vec::new(),
         })
     }
 
@@ -58,7 +73,10 @@ impl Langevin {
 }
 
 /// Standard normal sample (Box–Muller).
-fn standard_normal(rng: &mut StdRng) -> f64 {
+///
+/// Public so benches and the bitwise-equivalence tests can replay the
+/// engine's exact draw sequence against a reference loop.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -87,19 +105,37 @@ impl Engine for Langevin {
                 state.t
             )));
         }
+        let reactions = model.reaction_count();
+        self.drift.resize(reactions, 0.0);
+        self.sigma.resize(reactions, 0.0);
         let mut steps: u64 = 0;
         while state.t < t_end {
             let h = self.dt.min(t_end - state.t);
             let t_next = state.t + h;
-            self.propensities.rebuild(model, state)?;
+            model.propensities_into(
+                state,
+                &mut self.propensities,
+                &mut self.stack,
+                &mut self.memo,
+            )?;
             observer.on_advance(t_next, &state.values);
             let sqrt_h = h.sqrt();
-            for r in 0..model.reaction_count() {
-                let a = self.propensities.propensity(r);
-                if a == 0.0 {
+            // Precompute drift and noise scale over contiguous slices.
+            // `a*h + a.sqrt()*sqrt_h*z` associates as
+            // `(a*h) + ((a.sqrt()*sqrt_h) * z)`, so splitting off the
+            // z-independent parts replays the identical op sequence.
+            for r in 0..reactions {
+                let a = self.propensities[r];
+                self.drift[r] = a * h;
+                self.sigma[r] = a.sqrt() * sqrt_h;
+            }
+            for r in 0..reactions {
+                // Quiescent reactions draw no noise (and consume no RNG
+                // values — part of the per-seed trajectory contract).
+                if self.propensities[r] == 0.0 {
                     continue;
                 }
-                let increment = a * h + a.sqrt() * sqrt_h * standard_normal(rng);
+                let increment = self.drift[r] + self.sigma[r] * standard_normal(rng);
                 for &(slot, delta) in model.delta(r) {
                     state.values[slot] += delta as f64 * increment;
                 }

@@ -69,7 +69,7 @@ pub mod sum_tree;
 pub mod tau_leap;
 pub mod trace;
 
-pub use compiled::{CompiledModel, State};
+pub use compiled::{CompiledModel, ModelCache, State, DEFAULT_MODEL_CACHE_CAPACITY};
 pub use control::{InputSchedule, ScheduleRunner};
 pub use direct::Direct;
 pub use engine::{Engine, Observer};

@@ -8,6 +8,7 @@
 use crate::compiled::CompiledModel;
 use crate::error::SimError;
 use crate::trace::Trace;
+use glc_model::expr::EvalMemo;
 
 /// Integrates the reaction-rate equations of `model` from its initial
 /// state over `[0, t_end]` with fixed step `dt`, sampling every
@@ -44,6 +45,7 @@ pub fn integrate(
 
     let mut stack = Vec::new();
     let mut rates = Vec::new();
+    let mut memo = EvalMemo::new();
     let mut scratch = state.clone();
     let mut k = vec![vec![0.0; species_count]; 4];
 
@@ -63,6 +65,7 @@ pub fn integrate(
             &mut k[0],
             &mut rates,
             &mut stack,
+            &mut memo,
         )?;
         stage(
             &state.values,
@@ -78,6 +81,7 @@ pub fn integrate(
             &mut k[1],
             &mut rates,
             &mut stack,
+            &mut memo,
         )?;
         stage(
             &state.values,
@@ -93,6 +97,7 @@ pub fn integrate(
             &mut k[2],
             &mut rates,
             &mut stack,
+            &mut memo,
         )?;
         stage(&state.values, &k[2], h, species_count, &mut scratch.values);
         derivative(
@@ -102,6 +107,7 @@ pub fn integrate(
             &mut k[3],
             &mut rates,
             &mut stack,
+            &mut memo,
         )?;
 
         for (s, value) in state.values.iter_mut().take(species_count).enumerate() {
@@ -130,8 +136,9 @@ fn derivative(
     out: &mut [f64],
     rates: &mut Vec<f64>,
     stack: &mut Vec<f64>,
+    memo: &mut EvalMemo,
 ) -> Result<(), SimError> {
-    model.propensities_at(values, t, rates, stack)?;
+    model.propensities_at(values, t, rates, stack, memo)?;
     out.fill(0.0);
     for (r, &rate) in rates.iter().enumerate() {
         for &(slot, delta) in model.delta(r) {

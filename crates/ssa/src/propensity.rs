@@ -43,6 +43,7 @@
 use crate::compiled::{CompiledModel, State};
 use crate::error::SimError;
 use crate::sum_tree::SumTree;
+use glc_model::expr::EvalMemo;
 
 /// Cached per-reaction propensities with an incremental sum tree.
 ///
@@ -56,6 +57,9 @@ pub struct PropensitySet {
     scratch: Vec<f64>,
     /// Operand stack for kinetic laws that fall back to the postfix VM.
     stack: Vec<f64>,
+    /// Hill-response memo threaded through full sweeps (see
+    /// [`EvalMemo`]; rebinds itself if the model changes).
+    memo: EvalMemo,
 }
 
 impl PropensitySet {
@@ -91,7 +95,7 @@ impl PropensitySet {
         if self.tree.len() != reactions {
             self.tree.reset(reactions);
         }
-        model.propensities_into(state, &mut self.scratch, &mut self.stack)?;
+        model.propensities_into(state, &mut self.scratch, &mut self.stack, &mut self.memo)?;
         self.tree.fill_from(&self.scratch);
         Ok(())
     }

@@ -9,16 +9,36 @@
 use crate::compiled::{CompiledModel, State};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
-use crate::propensity::PropensitySet;
+use glc_model::expr::EvalMemo;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The tau-leaping engine.
+///
+/// Unlike the exact engines, a leap touches every reaction every step,
+/// so there is nothing for the incremental `PropensitySet`/sum-tree
+/// machinery to save: the engine keeps a flat propensity slice filled
+/// by one batched bank sweep per leap, and draws firings in a single
+/// chunked loop over precomputed means. All per-step scratch (the
+/// slices, the VM stack, the Hill memo, the per-reaction Poisson
+/// threshold memo) lives on the engine, so steady-state stepping
+/// allocates nothing.
 #[derive(Debug, Clone)]
 pub struct TauLeap {
     tau: f64,
     step_limit: u64,
-    propensities: PropensitySet,
+    /// Per-reaction propensities, rebuilt each leap by one bank sweep.
+    propensities: Vec<f64>,
+    /// Operand stack for kinetic laws that fall back to the postfix VM.
+    stack: Vec<f64>,
+    /// Hill-response memo threaded through the bank sweep.
+    memo: EvalMemo,
+    /// Per-reaction Poisson means `a_r * dt` for the current leap.
+    lambdas: Vec<f64>,
+    /// Per-reaction `(lambda bits, exp(-lambda))` memo for the Knuth
+    /// sampler. The mapping is model-independent (a pure function of
+    /// the bits), so entries surviving a model switch are still exact.
+    thresholds: Vec<(u64, f64)>,
 }
 
 impl TauLeap {
@@ -37,7 +57,11 @@ impl TauLeap {
         Ok(TauLeap {
             tau,
             step_limit: DEFAULT_STEP_LIMIT,
-            propensities: PropensitySet::new(),
+            propensities: Vec::new(),
+            stack: Vec::new(),
+            memo: EvalMemo::new(),
+            lambdas: Vec::new(),
+            thresholds: Vec::new(),
         })
     }
 
@@ -52,7 +76,10 @@ impl TauLeap {
 /// Knuth's product method for small means; for large means a rounded
 /// normal approximation `N(lambda, lambda)`, which is accurate to well
 /// under a percent for `lambda > 30` — fine for an approximate engine.
-pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+///
+/// Public so benches and the bitwise-equivalence tests can replay the
+/// engine's exact draw sequence against a reference loop.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -67,6 +94,44 @@ pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
         count
     } else {
         // Box–Muller.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let sample = lambda + lambda.sqrt() * z;
+        sample.round().max(0.0) as u64
+    }
+}
+
+/// [`poisson`] with the Knuth threshold `exp(-lambda)` memoized per
+/// reaction: a leap re-presents the same mean whenever the reaction's
+/// propensity did not change, which elides the `exp` on the hot path.
+/// `exp` is a pure function of the operand bits and the memo is keyed
+/// on exactly those bits, so draws — and the RNG stream — are bitwise
+/// identical to [`poisson`]. The sentinel `u64::MAX` (a NaN pattern)
+/// can never collide: a NaN mean fails `lambda < 30.0` and skips the
+/// memo entirely.
+#[inline]
+fn poisson_memo(rng: &mut StdRng, lambda: f64, memo: &mut (u64, f64)) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let bits = lambda.to_bits();
+        let threshold = if memo.0 == bits {
+            memo.1
+        } else {
+            let threshold = (-lambda).exp();
+            *memo = (bits, threshold);
+            threshold
+        };
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > threshold {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
         let u1: f64 = 1.0 - rng.gen::<f64>();
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
@@ -98,22 +163,33 @@ impl Engine for TauLeap {
                 state.t
             )));
         }
+        let reactions = model.reaction_count();
+        self.lambdas.resize(reactions, 0.0);
+        self.thresholds.resize(reactions, (u64::MAX, 0.0));
         let mut steps: u64 = 0;
         while state.t < t_end {
             let t_next = (state.t + self.tau).min(t_end);
             // A leap fires many reactions at once, so the union of their
-            // dependency sets approaches all of R anyway: a full rebuild
-            // — one batched structure-of-arrays sweep through the
-            // model's kinetic-form bank — is the right granularity. The
-            // tree maintenance inside `rebuild` (~2R adds) is noise next
-            // to the R kinetic-law evaluations and R Poisson draws each
-            // leap already pays; sharing `PropensitySet` keeps one
-            // propensity code path across engines.
-            self.propensities.rebuild(model, state)?;
+            // dependency sets approaches all of R anyway: one batched
+            // structure-of-arrays sweep through the model's
+            // kinetic-form bank is the right granularity, and no
+            // selection happens, so no sum tree is maintained.
+            model.propensities_into(
+                state,
+                &mut self.propensities,
+                &mut self.stack,
+                &mut self.memo,
+            )?;
             observer.on_advance(t_next, &state.values);
             let dt = t_next - state.t;
-            for r in 0..model.reaction_count() {
-                let firings = poisson(rng, self.propensities.propensity(r) * dt);
+            // Precompute the Poisson means so the draw loop runs over
+            // one contiguous slice (dt is leap-constant; only the final
+            // clipped leap changes it).
+            for (lambda, &a) in self.lambdas.iter_mut().zip(&self.propensities) {
+                *lambda = a * dt;
+            }
+            for r in 0..reactions {
+                let firings = poisson_memo(rng, self.lambdas[r], &mut self.thresholds[r]);
                 if firings == 0 {
                     continue;
                 }
@@ -228,6 +304,23 @@ mod tests {
         let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_memo_matches_poisson_bitwise() {
+        let mut plain_rng = StdRng::seed_from_u64(11);
+        let mut memo_rng = StdRng::seed_from_u64(11);
+        let mut memo = (u64::MAX, 0.0);
+        // Repeats exercise memo hits; 0.0 and 250.0 the memo-free paths.
+        for lambda in [0.5, 0.5, 3.0, 0.5, 0.0, 250.0, 3.0, 3.0, 29.9] {
+            assert_eq!(
+                poisson(&mut plain_rng, lambda),
+                poisson_memo(&mut memo_rng, lambda, &mut memo),
+                "lambda {lambda}"
+            );
+        }
+        // Both samplers must have consumed the identical draw stream.
+        assert_eq!(plain_rng.gen::<u64>(), memo_rng.gen::<u64>());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! models the paper simulates.
 
 use genetic_logic::gates::catalog;
+use genetic_logic::model::expr::EvalMemo;
 use genetic_logic::model::Model;
 use genetic_logic::ssa::engine::Observer;
 use genetic_logic::ssa::ipq::IndexedPriorityQueue;
@@ -174,6 +175,7 @@ fn batched_sweep_matches_scalar_sweep_bitwise_on_catalog_circuits() {
         let mut batched = Vec::new();
         let mut scalar = Vec::new();
         let mut stack = Vec::new();
+        let mut memo = EvalMemo::new();
         for step in 0..500 {
             let total = set.total();
             if total <= 0.0 {
@@ -184,7 +186,7 @@ fn batched_sweep_matches_scalar_sweep_bitwise_on_catalog_circuits() {
             set.update_after(&model, &state, fired).unwrap();
 
             let batched_total = model
-                .propensities_into(&state, &mut batched, &mut stack)
+                .propensities_into(&state, &mut batched, &mut stack, &mut memo)
                 .unwrap();
             let scalar_total = model
                 .propensities_into_scalar(&state, &mut scalar, &mut stack)
@@ -222,6 +224,7 @@ fn check_incremental_invariant(model: &CompiledModel, seed: u64, steps: usize) {
 
     let mut reference = Vec::new();
     let mut stack = Vec::new();
+    let mut memo = EvalMemo::new();
     for step in 0..steps {
         let total = set.total();
         if total <= 0.0 {
@@ -232,7 +235,7 @@ fn check_incremental_invariant(model: &CompiledModel, seed: u64, steps: usize) {
         set.update_after(model, &state, fired).expect("update");
 
         let full_total = model
-            .propensities_into(&state, &mut reference, &mut stack)
+            .propensities_into(&state, &mut reference, &mut stack, &mut memo)
             .expect("full recompute");
         // Per-reaction cached values must be *bitwise* equal: the same
         // pure kinetic law evaluated against the same state.
@@ -291,6 +294,7 @@ proptest! {
         let mut set = PropensitySet::new();
         set.rebuild(&model, &state).expect("rebuild");
         let (mut batched, mut scalar, mut stack) = (Vec::new(), Vec::new(), Vec::new());
+        let mut memo = EvalMemo::new();
         for _ in 0..steps {
             let total = set.total();
             if total <= 0.0 {
@@ -301,7 +305,7 @@ proptest! {
             set.update_after(&model, &state, fired).expect("update");
         }
         let batched_total = model
-            .propensities_into(&state, &mut batched, &mut stack)
+            .propensities_into(&state, &mut batched, &mut stack, &mut memo)
             .expect("batched sweep");
         let scalar_total = model
             .propensities_into_scalar(&state, &mut scalar, &mut stack)
