@@ -62,6 +62,24 @@ fn approx_steps(id: &str) -> (f64, f64) {
     }
 }
 
+/// `GLC_BENCH_QUICK=1` (CI's `workflow_dispatch` quick profile, or a
+/// local smoke run) shrinks every measurement window 10x; the CI
+/// regression gate is skipped for such runs, since reduced windows
+/// make the gated ratios too noisy to ratchet against.
+fn quick_profile() -> bool {
+    std::env::var("GLC_BENCH_QUICK").is_ok_and(|value| !value.is_empty() && value != "0")
+}
+
+/// A measurement window: `full_secs` normally, a tenth of it (floored
+/// at 50 ms) under the quick profile.
+fn wall(full_secs: f64) -> f64 {
+    if quick_profile() {
+        (full_secs / 10.0).max(0.05)
+    } else {
+        full_secs
+    }
+}
+
 fn bench_engines(c: &mut Criterion) {
     for id in ["book_and", "cello_0x1C"] {
         let compiled = prepared(id);
@@ -320,6 +338,45 @@ fn one_shot_replicates_per_second(id: &str, min_wall: f64) -> f64 {
     replicates as f64 / elapsed
 }
 
+/// What the metrics surface costs to *read*: sustained Prometheus
+/// render rate and instrumented Stats-request rate against a store
+/// holding one warm batch-sized session. Recorded, not gated — the
+/// write side (per-request `Instant` + atomic bucket increments) is
+/// noise against simulation work, and the property tests pin that
+/// recording never moves a bit; this row tracks what an aggressive
+/// scraper would cost the serving thread.
+fn scrape_metrics(id: &str) -> (f64, f64, u64) {
+    let registry = std::sync::Arc::new(glc_service::MetricsRegistry::new());
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess)
+        .expect("store")
+        .with_metrics(std::sync::Arc::clone(&registry));
+    let session = store.submit(&resident_spec(id)).expect("submit").session;
+    store
+        .extend(&session, ENSEMBLE_BATCH as u64)
+        .expect("extend");
+    let stats = store.handle(&glc_service::Request::Stats); // publish gauges
+    assert!(matches!(stats, glc_service::Response::Stats(_)));
+
+    let mut renders = 0u64;
+    let mut scrape_bytes = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < wall(0.3) {
+        scrape_bytes = registry.render_prometheus().len() as u64;
+        renders += 1;
+    }
+    let renders_per_sec = renders as f64 / start.elapsed().as_secs_f64();
+
+    let mut stats_requests = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < wall(0.3) {
+        let reply = store.handle(&glc_service::Request::Stats);
+        assert!(matches!(reply, glc_service::Response::Stats(_)));
+        stats_requests += 1;
+    }
+    let stats_per_sec = stats_requests as f64 / start.elapsed().as_secs_f64();
+    (renders_per_sec, stats_per_sec, scrape_bytes)
+}
+
 /// Model-cache Submit cost: sustained Submit rates against a cold
 /// store (fresh `SessionStore` per Submit — every compile misses its
 /// empty cache) vs a warm one (one store, model resident after the
@@ -531,6 +588,7 @@ fn throughput_report() {
     let mut resident_rows = String::new();
     let mut relay_rows = String::new();
     let mut spill_rows = String::new();
+    let mut metrics_rows = String::new();
     let worker = worker_binary();
     if worker.is_none() {
         eprintln!(
@@ -602,8 +660,8 @@ fn throughput_report() {
         // regression gate (as a ratio), so they get the longest
         // measurement windows — 1 s each — to damp shared-runner noise.
         steps_per_second(&mut Direct::new(), &model, 0.05);
-        let incremental = steps_per_second(&mut Direct::new(), &model, 1.0);
-        let full = steps_per_second(&mut Direct::with_full_recompute(), &model, 1.0);
+        let incremental = steps_per_second(&mut Direct::new(), &model, wall(1.0));
+        let full = steps_per_second(&mut Direct::with_full_recompute(), &model, wall(1.0));
         let speedup = incremental / full;
         println!(
             "    direct: incremental {incremental:.0}/s  full-recompute {full:.0}/s  \
@@ -635,7 +693,7 @@ fn throughput_report() {
         let mut per_engine = vec![("direct", incremental), ("direct-full-recompute", full)];
         for engine in &mut engines {
             let name = engine.name();
-            let rate = steps_per_second(engine.as_mut(), &model, 0.4);
+            let rate = steps_per_second(engine.as_mut(), &model, wall(0.4));
             per_engine.push((name, rate));
         }
         for (name, rate) in per_engine {
@@ -681,8 +739,8 @@ fn throughput_report() {
         // feeds the CI regression gate.
         if let Some(worker) = &worker {
             ensemble_replicates_per_second(&model, 0.05); // warm-up
-            let in_process = ensemble_replicates_per_second(&model, 0.5);
-            let sharded = sharded_replicates_per_second(id, worker, 0.5);
+            let in_process = ensemble_replicates_per_second(&model, wall(0.5));
+            let sharded = sharded_replicates_per_second(id, worker, wall(0.5));
             let efficiency = sharded / in_process;
             println!(
                 "    ensemble ({ENSEMBLE_BATCH} reps × {ENSEMBLE_T_END} t.u., \
@@ -707,7 +765,7 @@ fn throughput_report() {
             // the CI regression gate at the same ≥35% floor.
             if let Some(relay) = &relay {
                 relay_replicates_per_second(id, &relay.addr, 0.05); // warm-up
-                let relayed = relay_replicates_per_second(id, &relay.addr, 0.5);
+                let relayed = relay_replicates_per_second(id, &relay.addr, wall(0.5));
                 let relay_efficiency = relayed / sharded;
                 println!(
                     "    relay ({ENSEMBLE_PARALLELISM} TCP slots): {relayed:.0} reps/s  \
@@ -753,8 +811,8 @@ fn throughput_report() {
         // absolutely (the ≥5x acceptance criterion of the sparse
         // representation swap).
         resident_extend_replicates_per_second(id, 0.05); // warm-up
-        let extend = resident_extend_replicates_per_second(id, 0.5);
-        let one_shot = one_shot_replicates_per_second(id, 0.5);
+        let extend = resident_extend_replicates_per_second(id, wall(0.5));
+        let one_shot = one_shot_replicates_per_second(id, wall(0.5));
         let extend_efficiency = extend / one_shot;
         let (bytes_per_cell, dense_bytes_per_cell) = cached_partial_footprint(id);
         let footprint_ratio = dense_bytes_per_cell / bytes_per_cell;
@@ -798,6 +856,26 @@ fn throughput_report() {
              \"warm_submits_per_sec\":{warm_submits:.1},\
              \"warm_speedup\":{warm_speedup:.3}}}"
         );
+
+        // Metrics surface: what an aggressive scraper costs the
+        // serving thread (recorded, not gated — a current-only section
+        // is invisible to check_regression until a baseline containing
+        // it is committed).
+        let (scrape_renders, stats_requests, scrape_bytes) = scrape_metrics(id);
+        println!(
+            "    metrics: {scrape_renders:.0} scrape renders/s  \
+             {stats_requests:.0} stats requests/s  {scrape_bytes} B/scrape"
+        );
+        if !metrics_rows.is_empty() {
+            metrics_rows.push(',');
+        }
+        let _ = write!(
+            metrics_rows,
+            "\n    {{\"circuit\":\"{id}\",\
+             \"scrape_renders_per_sec\":{scrape_renders:.1},\
+             \"stats_requests_per_sec\":{stats_requests:.1},\
+             \"scrape_bytes\":{scrape_bytes}}}"
+        );
     }
     let json = format!(
         "{{\n  \"bench\": \"ssa_engines\",\n  \"unit\": \
@@ -809,7 +887,8 @@ fn throughput_report() {
          \"resident\": [{resident_rows}\n  ],\n  \
          \"relay\": [{relay_rows}\n  ],\n  \
          \"spill\": [{spill_rows}\n  ],\n  \
-         \"model_cache\": [{cache_rows}\n  ]\n}}\n"
+         \"model_cache\": [{cache_rows}\n  ],\n  \
+         \"metrics\": [{metrics_rows}\n  ]\n}}\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the artifact belongs at the
     // workspace root next to ROADMAP.md.

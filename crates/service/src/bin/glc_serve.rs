@@ -8,20 +8,24 @@
 //! byte-exactly, numbers normalize through the JSON layer). Malformed
 //! produce an `{"Error": …}` response; the service keeps serving until
 //! stdin reaches EOF. Nothing but responses is ever written to stdout,
-//! so the stream can be machine-consumed.
+//! so the stream can be machine-consumed (diagnostics — including the
+//! bound metrics address — go to stderr).
 //!
 //! The process keeps compiled models and partially-aggregated
 //! ensembles warm in an LRU-bounded session store: `Submit` compiles
 //! and caches, `Extend` simulates only the new seed range and merges
 //! it into the resident partial, `Query` finalizes figures with zero
-//! simulation work, `Stats` reports service counters. Extends run
+//! simulation work, `Stats` reports the operator snapshot (counters,
+//! latency histograms, slot health, session footprints). Extends run
 //! in-process by default, or over a worker pool mixing `glc-worker`
-//! children (`--workers`) and remote `glc-relay` hosts (`--relay`) —
-//! the pool sizes shards by observed slot throughput and quarantines
-//! consistently failing slots, none of which can move a bit of the
-//! result. With `--spill-dir`, sessions survive eviction *and process
-//! death*: every Extend write-through-snapshots the session, and a
-//! restarted service transparently resumes from the snapshots.
+//! children (`--workers`, `--worker-slot`) and remote `glc-relay`
+//! hosts (`--relay`) — the pool sizes shards by observed slot
+//! throughput and quarantines consistently failing slots, none of
+//! which can move a bit of the result. With `--spill-dir`, sessions
+//! *and pool health* survive eviction and process death: every Extend
+//! write-through-snapshots the session and persists
+//! `pool_health.json`, and a restarted service transparently resumes
+//! from the snapshots with quarantine state intact.
 //!
 //! Flags:
 //!
@@ -31,23 +35,45 @@
 //!   pool (default 0);
 //! * `--worker-bin PATH` — the worker binary for `--workers`
 //!   (default: `glc-worker` next to this executable);
+//! * `--worker-slot PATH` — add one child-process slot of exactly this
+//!   binary (repeatable; combines with `--workers`/`--relay`, which is
+//!   how a drill mixes a known-dead marker script with real workers);
 //! * `--relay HOST:PORT` — add one TCP-relay slot dialing a
-//!   `glc-relay` at that address (repeatable; combines with
-//!   `--workers`);
-//! * `--spill-dir PATH` — durable session snapshots (see above).
+//!   `glc-relay` at that address (repeatable);
+//! * `--quarantine-after N` — consecutive failures that quarantine a
+//!   pool slot (default 3);
+//! * `--spill-dir PATH` — durable session snapshots + pool health
+//!   (see above);
+//! * `--spill-max-bytes N` — spill-dir GC size bound: oldest session
+//!   snapshots are evicted until the rest fit (the newest survives);
+//! * `--spill-max-age SECONDS` — spill-dir GC age bound: snapshots not
+//!   rewritten within the window are collected;
+//! * `--metrics-addr HOST:PORT` — serve a Prometheus-style plain-text
+//!   scrape (`GET /metrics`) on this address; the bound address is
+//!   printed to **stderr** (`metrics listening on …`), so `:0` picks a
+//!   free port without disturbing the protocol stream.
 
-use glc_service::{transport, ExtendBackend, SessionStore, Transport, WorkerPool};
+use glc_service::{
+    metrics, transport, ExtendBackend, MetricsRegistry, SessionStore, Transport, WorkerPool,
+};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command line.
 struct Options {
     capacity: usize,
     workers: usize,
     worker_bin: Option<PathBuf>,
+    worker_slots: Vec<PathBuf>,
     relays: Vec<String>,
+    quarantine_after: Option<u64>,
     spill_dir: Option<PathBuf>,
+    spill_max_bytes: Option<u64>,
+    spill_max_age: Option<u64>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -55,8 +81,13 @@ fn parse_options() -> Result<Options, String> {
         capacity: 16,
         workers: 0,
         worker_bin: None,
+        worker_slots: Vec::new(),
         relays: Vec::new(),
+        quarantine_after: None,
         spill_dir: None,
+        spill_max_bytes: None,
+        spill_max_age: None,
+        metrics_addr: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -75,11 +106,40 @@ fn parse_options() -> Result<Options, String> {
             "--worker-bin" => {
                 options.worker_bin = Some(PathBuf::from(value("--worker-bin")?));
             }
+            "--worker-slot" => {
+                options
+                    .worker_slots
+                    .push(PathBuf::from(value("--worker-slot")?));
+            }
             "--relay" => {
                 options.relays.push(value("--relay")?);
             }
+            "--quarantine-after" => {
+                options.quarantine_after = Some(
+                    value("--quarantine-after")?
+                        .parse()
+                        .map_err(|e| format!("--quarantine-after: {e}"))?,
+                );
+            }
             "--spill-dir" => {
                 options.spill_dir = Some(PathBuf::from(value("--spill-dir")?));
+            }
+            "--spill-max-bytes" => {
+                options.spill_max_bytes = Some(
+                    value("--spill-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--spill-max-bytes: {e}"))?,
+                );
+            }
+            "--spill-max-age" => {
+                options.spill_max_age = Some(
+                    value("--spill-max-age")?
+                        .parse()
+                        .map_err(|e| format!("--spill-max-age: {e}"))?,
+                );
+            }
+            "--metrics-addr" => {
+                options.metrics_addr = Some(value("--metrics-addr")?);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -96,7 +156,10 @@ fn sibling_worker() -> Result<PathBuf, String> {
 
 fn run() -> Result<(), String> {
     let options = parse_options()?;
-    let backend = if options.workers == 0 && options.relays.is_empty() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let pooled =
+        options.workers > 0 || !options.worker_slots.is_empty() || !options.relays.is_empty();
+    let backend = if !pooled {
         ExtendBackend::InProcess
     } else {
         let mut transports: Vec<Box<dyn Transport>> = Vec::new();
@@ -109,14 +172,38 @@ fn run() -> Result<(), String> {
                 transports.push(Box::new(transport::ChildProcess::new(&worker)));
             }
         }
+        for slot in &options.worker_slots {
+            transports.push(Box::new(transport::ChildProcess::new(slot)));
+        }
         for relay in &options.relays {
             transports.push(Box::new(transport::TcpRelay::new(relay.clone())));
         }
-        ExtendBackend::Pool(WorkerPool::new(transports).map_err(|e| e.to_string())?)
+        let mut pool = WorkerPool::new(transports).map_err(|e| e.to_string())?;
+        if let Some(failures) = options.quarantine_after {
+            pool = pool
+                .with_quarantine_after(failures)
+                .map_err(|e| e.to_string())?;
+        }
+        ExtendBackend::Pool(pool)
     };
-    let mut store = SessionStore::new(options.capacity, backend).map_err(|e| e.to_string())?;
+    let mut store = SessionStore::new(options.capacity, backend)
+        .map_err(|e| e.to_string())?
+        .with_metrics(Arc::clone(&registry));
     if let Some(dir) = options.spill_dir {
         store = store.with_spill_dir(dir);
+    }
+    if let Some(max_bytes) = options.spill_max_bytes {
+        store = store.with_spill_max_bytes(max_bytes);
+    }
+    if let Some(seconds) = options.spill_max_age {
+        store = store.with_spill_max_age(Duration::from_secs(seconds));
+    }
+    if let Some(addr) = &options.metrics_addr {
+        let (bound, _listener) = metrics::serve_scrape(addr, Arc::clone(&registry))
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        // stdout is protocol-only; the bound address (which matters
+        // when the caller asked for port 0) goes to stderr.
+        eprintln!("metrics listening on {bound}");
     }
 
     let stdin = std::io::stdin();

@@ -26,6 +26,11 @@
 //!   compiled models and partially-aggregated ensembles warm, served
 //!   by the `glc-serve` binary as line-delimited JSON. Extends fan out
 //!   over the same worker protocol; queries do zero simulation work.
+//! * [`metrics`] — the operator-grade observability layer: request and
+//!   shard latency histograms over lock-free atomics, slot health and
+//!   session footprints, exported through the extended Stats wire reply
+//!   and a Prometheus-style text scrape (`glc-serve --metrics-addr`).
+//!   Recording is observation-only and cannot move a bit of any result.
 //!
 //! # Determinism
 //!
@@ -43,15 +48,19 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod session;
 pub mod transport;
 
+pub use metrics::{HistogramSnapshot, MetricsRegistry, RequestKind};
 pub use session::{
-    Envelope, ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request, Response,
-    ServiceStats, SessionSpec, SessionStore, SpeciesNoise, Submitted,
+    Envelope, ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request,
+    RequestLatency, Response, ServiceStats, SessionFootprint, SessionSpec, SessionStore,
+    SpeciesNoise, Submitted,
 };
 pub use transport::{
-    ChildProcess, InProcess, RelayReply, ShardHandle, SlotHealth, TcpRelay, Transport, WorkerPool,
+    ChildProcess, InProcess, PoolHealthSnapshot, RelayReply, ShardHandle, SlotHealth,
+    SlotHealthRecord, TcpRelay, Transport, WorkerPool,
 };
 
 use glc_model::Model;

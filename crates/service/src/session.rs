@@ -41,12 +41,17 @@
 //! normalize through the JSON number layer); see
 //! `crates/service/README.md` for worked examples.
 
-use crate::{Coordinator, EngineSpec, ModelSource, ServiceError, WorkOrder, WorkerPool};
+use crate::metrics::{HistogramSnapshot, MetricsRegistry, RequestKind};
+use crate::transport::PoolHealthSnapshot;
+use crate::{
+    Coordinator, EngineSpec, ModelSource, ServiceError, SlotHealth, WorkOrder, WorkerPool,
+};
 use glc_ssa::{run_partial_from, CompiledModel, EnsemblePartial, ModelCache, Trace};
 use glc_vasim::stats::{ensemble_noise, NoisePoint};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Everything that identifies a resident ensemble session: the model,
 /// the engine, the replicate-0 seed, and the sampling grid. Two
@@ -228,8 +233,16 @@ pub struct SpeciesNoise {
     pub points: Vec<NoisePoint>,
 }
 
-/// Service-level counters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+/// Service-level counters and (since the observability layer) the
+/// full operator snapshot: spill accounting, worker-slot health,
+/// request-latency histograms and per-session footprints.
+///
+/// The wire shape is extended **backward-compatibly**: every new field
+/// defaults when absent, so a new client decodes an old server's Stats
+/// reply (the hand-written [`Deserialize`] below), and an old client
+/// decoding a new reply simply ignores the unknown fields (the
+/// vendored derive's behavior).
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
 pub struct ServiceStats {
     /// Sessions currently resident.
     pub sessions: u64,
@@ -253,6 +266,82 @@ pub struct ServiceStats {
     /// Model compiles that actually ran because the store's
     /// compiled-model cache had no entry for the model fingerprint.
     pub model_cache_misses: u64,
+    /// Bytes currently held by `*.session.json` snapshots in the spill
+    /// directory (`pool_health.json` is deliberately excluded, so this
+    /// matches a `du` over the session files).
+    pub spill_bytes: u64,
+    /// Session snapshots deleted by the spill garbage collector
+    /// (size/age bounds) since startup.
+    pub spill_gc_evictions: u64,
+    /// Lifetime count of pool shards that failed and succeeded on a
+    /// retry (zero for the in-process and stateless-coordinator
+    /// backends).
+    pub pool_retries: u64,
+    /// Request-latency histograms per request kind, when a metrics
+    /// registry is attached (empty otherwise).
+    pub latency: Vec<RequestLatency>,
+    /// Worker-pool slot health, in slot order (empty for non-pool
+    /// backends).
+    pub slots: Vec<SlotHealth>,
+    /// Resident sessions' aggregate footprints, in residency order.
+    pub footprints: Vec<SessionFootprint>,
+}
+
+impl Deserialize for ServiceStats {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(DeError::expected("ServiceStats object", value));
+        }
+        // Every field defaults when absent: a new client decodes an old
+        // server's counters-only reply, and a pre-spill reply, alike.
+        fn field<T: Deserialize + Default>(value: &Value, key: &str) -> Result<T, DeError> {
+            match value.get(key) {
+                Some(inner) => T::from_value(inner)
+                    .map_err(|DeError(msg)| DeError(format!("ServiceStats.{key}: {msg}"))),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(ServiceStats {
+            sessions: field(value, "sessions")?,
+            evictions: field(value, "evictions")?,
+            simulated: field(value, "simulated")?,
+            spilled: field(value, "spilled")?,
+            reloads: field(value, "reloads")?,
+            snapshots: field(value, "snapshots")?,
+            model_cache_hits: field(value, "model_cache_hits")?,
+            model_cache_misses: field(value, "model_cache_misses")?,
+            spill_bytes: field(value, "spill_bytes")?,
+            spill_gc_evictions: field(value, "spill_gc_evictions")?,
+            pool_retries: field(value, "pool_retries")?,
+            latency: field(value, "latency")?,
+            slots: field(value, "slots")?,
+            footprints: field(value, "footprints")?,
+        })
+    }
+}
+
+/// One request kind's latency histogram in a [`ServiceStats`] reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RequestLatency {
+    /// The request kind (`submit`, `extend`, `query`, `stats`).
+    pub kind: String,
+    /// Cumulative log-spaced latency buckets (see
+    /// [`crate::metrics::LATENCY_BUCKET_BOUNDS`]).
+    pub histogram: HistogramSnapshot,
+}
+
+/// One resident session's aggregate footprint in a [`ServiceStats`]
+/// reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SessionFootprint {
+    /// Session key.
+    pub session: String,
+    /// Replicates resident in the partial.
+    pub replicates: u64,
+    /// Exact-accumulator cells (`species × samples`, sums and squares).
+    pub cells: u64,
+    /// Resident bytes of the partial (`EnsemblePartial::footprint_bytes`).
+    pub bytes: u64,
 }
 
 /// How an Extend's new seed range is simulated.
@@ -330,6 +419,20 @@ pub struct SessionStore {
     model_cache: ModelCache,
     model_cache_hits: u64,
     model_cache_misses: u64,
+    /// Spill-dir size bound: the GC evicts oldest session snapshots
+    /// until the directory fits.
+    spill_max_bytes: Option<u64>,
+    /// Spill-dir age bound: session snapshots older than this are
+    /// collected.
+    spill_max_age: Option<Duration>,
+    /// Bytes currently held by `*.session.json` files (refreshed after
+    /// every snapshot write and GC pass).
+    spill_bytes: u64,
+    spill_gc_evictions: u64,
+    /// Attached observability sink: request latencies recorded in
+    /// [`SessionStore::handle`], gauge snapshot published after every
+    /// request. Recording never touches a seed or a partial.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SessionStore {
@@ -356,6 +459,11 @@ impl SessionStore {
             model_cache: ModelCache::default(),
             model_cache_hits: 0,
             model_cache_misses: 0,
+            spill_max_bytes: None,
+            spill_max_age: None,
+            spill_bytes: 0,
+            spill_gc_evictions: 0,
+            metrics: None,
         })
     }
 
@@ -378,9 +486,58 @@ impl SessionStore {
     /// `dir`, spilled sessions reload transparently on their next
     /// touch, and every Extend write-through-snapshots the session (see
     /// the type docs). The directory is created on first use.
+    ///
+    /// For a [`ExtendBackend::Pool`] backend this also restores the
+    /// pool's durable health from `<dir>/pool_health.json` when one
+    /// exists, so a restarted service does not forget a quarantined
+    /// host (a missing or damaged health file starts the pool fresh and
+    /// is overwritten at the next persisted run).
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        if let (Some(dir), ExtendBackend::Pool(pool)) = (&self.spill_dir, &mut self.backend) {
+            if let Ok(Some(snapshot)) = read_pool_health(dir) {
+                pool.restore_health(&snapshot);
+            }
+        }
+        self.collect_spill_garbage(None);
         self
+    }
+
+    /// Bounds the spill directory's size: after every snapshot write
+    /// the GC evicts the **oldest** session snapshots (by modification
+    /// time, name-tiebroken) until the `*.session.json` files fit in
+    /// `max_bytes`. The newest snapshot is never evicted, so the
+    /// session just extended always keeps its durability.
+    pub fn with_spill_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.spill_max_bytes = Some(max_bytes);
+        self.collect_spill_garbage(None);
+        self
+    }
+
+    /// Bounds spill snapshots' age: snapshots not rewritten within
+    /// `max_age` are collected at the next GC pass.
+    pub fn with_spill_max_age(mut self, max_age: Duration) -> Self {
+        self.spill_max_age = Some(max_age);
+        self.collect_spill_garbage(None);
+        self
+    }
+
+    /// Attaches a metrics registry: request latencies are recorded per
+    /// kind in [`SessionStore::handle`], the gauge snapshot is
+    /// published after every request, and a pool backend additionally
+    /// records per-slot shard latencies. Observation-only — no request
+    /// result changes by a bit (property-tested).
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        if let ExtendBackend::Pool(pool) = &mut self.backend {
+            pool.attach_metrics(Arc::clone(&registry));
+        }
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Serves one line of the wire protocol: parses an
@@ -402,8 +559,27 @@ impl SessionStore {
     }
 
     /// Serves one request, never failing the loop: errors become
-    /// [`Response::Error`].
+    /// [`Response::Error`]. With a metrics registry attached the
+    /// request's latency is recorded against its kind and a fresh
+    /// gauge snapshot is published for the scrape endpoint —
+    /// observation only, after the response is already decided.
     pub fn handle(&mut self, request: &Request) -> Response {
+        let started = Instant::now();
+        let response = self.dispatch(request);
+        if let Some(metrics) = &self.metrics {
+            let kind = match request {
+                Request::Submit(_) => RequestKind::Submit,
+                Request::Extend(_) => RequestKind::Extend,
+                Request::Query(_) => RequestKind::Query,
+                Request::Stats => RequestKind::Stats,
+            };
+            metrics.observe_request(kind, started.elapsed());
+            metrics.publish(self.stats());
+        }
+        response
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Response {
         match request {
             Request::Submit(spec) => match self.submit(spec) {
                 Ok(reply) => Response::Submitted(reply),
@@ -496,10 +672,14 @@ impl SessionStore {
             .min_by_key(|(_, s)| s.last_used)
             .map(|(i, _)| i)
             .expect("capacity >= 1, store non-empty");
-        if let Some(dir) = &self.spill_dir {
+        if let Some(dir) = self.spill_dir.clone() {
             let victim = &self.sessions[oldest];
-            write_spill(dir, &victim.spec, &victim.partial)?;
+            let written = write_spill(&dir, &victim.spec, &victim.partial)?;
             self.spilled += 1;
+            self.sessions.swap_remove(oldest);
+            self.evictions += 1;
+            self.collect_spill_garbage(Some(&written));
+            return Ok(());
         }
         self.sessions.swap_remove(oldest);
         self.evictions += 1;
@@ -594,11 +774,11 @@ impl SessionStore {
         self.clock += 1;
         let clock = self.clock;
         let slot = self.touch_or_reload(session)?;
-        let resident = &mut self.sessions[slot];
-        resident.last_used = clock;
-        let first = resident.partial.replicates();
+        self.sessions[slot].last_used = clock;
+        let first = self.sessions[slot].partial.replicates();
         let fresh = match &mut self.backend {
             ExtendBackend::InProcess => {
+                let resident = &self.sessions[slot];
                 let spec = &resident.spec;
                 let engine = &spec.engine;
                 run_partial_from(
@@ -608,22 +788,31 @@ impl SessionStore {
                     count,
                     spec.t_end,
                     spec.sample_dt,
-                )?
+                )
+                .map_err(ServiceError::from)
             }
             ExtendBackend::Coordinator(coordinator) => {
-                coordinator.run(&resident.spec.work_order(first, count))?
+                coordinator.run(&self.sessions[slot].spec.work_order(first, count))
             }
-            ExtendBackend::Pool(pool) => pool.run(&resident.spec.work_order(first, count))?.0,
+            ExtendBackend::Pool(pool) => pool
+                .run(&self.sessions[slot].spec.work_order(first, count))
+                .map(|(partial, _)| partial),
         };
+        // A pool's health moved whether or not the run succeeded (a
+        // failing run is when it moves most — failures and quarantine);
+        // persist it before propagating any error.
+        self.persist_pool_health();
+        let fresh = fresh?;
+        let resident = &mut self.sessions[slot];
         resident.partial.merge(&fresh)?;
         let resident_now = resident.partial.replicates();
-        if let Some(dir) = &self.spill_dir {
+        if let Some(dir) = self.spill_dir.clone() {
             // The merge already stands when a snapshot write fails, so
             // the error must leave the client a resync path: it names
             // the resident count, and an idempotent re-Submit reports
             // the same number — blindly retrying the Extend would
             // simulate *further* replicates, not recover these.
-            write_spill(dir, &resident.spec, &resident.partial).map_err(|err| {
+            let written = write_spill(&dir, &resident.spec, &resident.partial).map_err(|err| {
                 let detail = match err {
                     ServiceError::Spill(msg) => msg,
                     other => other.to_string(),
@@ -634,6 +823,7 @@ impl SessionStore {
                 ))
             })?;
             self.snapshots += 1;
+            self.collect_spill_garbage(Some(&written));
         }
         self.simulated += count;
         Ok(Extended {
@@ -698,8 +888,34 @@ impl SessionStore {
             .map(|s| &s.partial)
     }
 
-    /// Current service counters.
+    /// Current service counters and operator snapshot: spill
+    /// accounting, slot health (pool backends), latency histograms
+    /// (when a registry is attached), and resident-session footprints.
     pub fn stats(&self) -> ServiceStats {
+        let (pool_retries, slots) = match &self.backend {
+            ExtendBackend::Pool(pool) => (pool.lifetime_retried_shards(), pool.health()),
+            _ => (0, Vec::new()),
+        };
+        let footprints = self
+            .sessions
+            .iter()
+            .map(|session| SessionFootprint {
+                session: session.key.clone(),
+                replicates: session.partial.replicates(),
+                cells: session.partial.cells() as u64,
+                bytes: session.partial.footprint_bytes() as u64,
+            })
+            .collect();
+        let latency = match &self.metrics {
+            Some(metrics) => RequestKind::ALL
+                .iter()
+                .map(|&kind| RequestLatency {
+                    kind: kind.label().to_string(),
+                    histogram: metrics.request_snapshot(kind),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         ServiceStats {
             sessions: self.sessions.len() as u64,
             evictions: self.evictions,
@@ -709,7 +925,74 @@ impl SessionStore {
             snapshots: self.snapshots,
             model_cache_hits: self.model_cache_hits,
             model_cache_misses: self.model_cache_misses,
+            spill_bytes: self.spill_bytes,
+            spill_gc_evictions: self.spill_gc_evictions,
+            pool_retries,
+            latency,
+            slots,
+            footprints,
         }
+    }
+
+    /// Best-effort durable pool health: writes
+    /// `<spill-dir>/pool_health.json` (atomic temp+rename) when the
+    /// backend is a pool and a spill directory is attached. Health is
+    /// advisory — a failed write only forgets accounting, never data —
+    /// so errors are swallowed rather than failing the request that
+    /// triggered the persist.
+    fn persist_pool_health(&mut self) {
+        if let (Some(dir), ExtendBackend::Pool(pool)) = (&self.spill_dir, &self.backend) {
+            let _ = write_pool_health(dir, &pool.health_snapshot());
+        }
+    }
+
+    /// One garbage-collection pass over the spill directory's
+    /// `*.session.json` snapshots: drop snapshots older than
+    /// `spill_max_age`, then evict oldest-first (modification time,
+    /// name-tiebroken) until the rest fit in `spill_max_bytes`; refresh
+    /// the `spill_bytes` gauge either way. `just_written` — the
+    /// snapshot that triggered the pass — and the newest snapshot are
+    /// never evicted, so the active session keeps its durability even
+    /// when it alone exceeds the bound.
+    fn collect_spill_garbage(&mut self, just_written: Option<&Path>) {
+        let Some(dir) = self.spill_dir.clone() else {
+            return;
+        };
+        let mut entries = scan_spill_sessions(&dir);
+        if let Some(max_age) = self.spill_max_age {
+            let now = SystemTime::now();
+            let mut kept = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let expired = now
+                    .duration_since(entry.modified)
+                    .is_ok_and(|age| age > max_age)
+                    && just_written != Some(entry.path.as_path());
+                if expired && std::fs::remove_file(&entry.path).is_ok() {
+                    self.spill_gc_evictions += 1;
+                } else {
+                    kept.push(entry);
+                }
+            }
+            entries = kept;
+        }
+        if let Some(max_bytes) = self.spill_max_bytes {
+            let mut total: u64 = entries.iter().map(|entry| entry.bytes).sum();
+            // Entries are sorted oldest-first; the last one is newest.
+            let newest = entries.last().map(|entry| entry.path.clone());
+            let mut kept = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let protected = just_written == Some(entry.path.as_path())
+                    || newest.as_deref() == Some(entry.path.as_path());
+                if total > max_bytes && !protected && std::fs::remove_file(&entry.path).is_ok() {
+                    total -= entry.bytes;
+                    self.spill_gc_evictions += 1;
+                } else {
+                    kept.push(entry);
+                }
+            }
+            entries = kept;
+        }
+        self.spill_bytes = entries.iter().map(|entry| entry.bytes).sum();
     }
 
     /// Index of the resident session with the given key, transparently
@@ -809,6 +1092,104 @@ pub fn read_spill(
         .validate()
         .map_err(|e| ServiceError::Spill(format!("invalid snapshot {}: {e}", path.display())))?;
     Ok(Some((doc.spec, doc.partial)))
+}
+
+/// One `*.session.json` file in the spill directory, as the garbage
+/// collector sees it.
+struct SpillEntry {
+    path: PathBuf,
+    bytes: u64,
+    modified: SystemTime,
+}
+
+/// Lists the session snapshots under `dir`, sorted oldest-first by
+/// (modification time, file name) — the GC's eviction order. A missing
+/// or unreadable directory is an empty list (nothing to collect), and
+/// entries whose metadata cannot be read are skipped. Only
+/// `*.session.json` files count: `pool_health.json` and in-flight
+/// `.tmp` siblings are neither accounted nor collected.
+fn scan_spill_sessions(dir: &Path) -> Vec<SpillEntry> {
+    let Ok(reader) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut entries: Vec<SpillEntry> = reader
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.ends_with(".session.json"))
+                .then_some(path)
+        })
+        .filter_map(|path| {
+            let meta = std::fs::metadata(&path).ok()?;
+            let modified = meta.modified().ok()?;
+            Some(SpillEntry {
+                path,
+                bytes: meta.len(),
+                modified,
+            })
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        a.modified
+            .cmp(&b.modified)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    entries
+}
+
+/// The pool-health snapshot path under `dir`.
+pub fn pool_health_path(dir: &Path) -> PathBuf {
+    dir.join("pool_health.json")
+}
+
+/// Atomically writes the worker pool's durable health to
+/// `<dir>/pool_health.json` (temp sibling + rename, like session
+/// snapshots), creating `dir` if needed. Returns the snapshot path.
+///
+/// # Errors
+///
+/// [`ServiceError::Spill`] for I/O or encoding failures.
+pub fn write_pool_health(
+    dir: &Path,
+    snapshot: &PoolHealthSnapshot,
+) -> Result<PathBuf, ServiceError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ServiceError::Spill(format!("creating {}: {e}", dir.display())))?;
+    let path = pool_health_path(dir);
+    let text = serde_json::to_string(snapshot)
+        .map_err(|e| ServiceError::Spill(format!("encoding pool health: {e}")))?;
+    let tmp = dir.join("pool_health.json.tmp");
+    std::fs::write(&tmp, text)
+        .map_err(|e| ServiceError::Spill(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| ServiceError::Spill(format!("publishing {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+/// Reads the pool-health snapshot under `dir`; `Ok(None)` when none
+/// exists.
+///
+/// # Errors
+///
+/// [`ServiceError::Spill`] for I/O failures and undecodable documents.
+pub fn read_pool_health(dir: &Path) -> Result<Option<PoolHealthSnapshot>, ServiceError> {
+    let path = pool_health_path(dir);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(ServiceError::Spill(format!(
+                "reading {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let snapshot: PoolHealthSnapshot = serde_json::from_str(&text).map_err(|e| {
+        ServiceError::Spill(format!("undecodable pool health {}: {e}", path.display()))
+    })?;
+    Ok(Some(snapshot))
 }
 
 /// A [`Request`] or [`Response`] with an optional client-supplied
@@ -1022,7 +1403,7 @@ mod tests {
             panic!("Stats request must produce a Stats response, got {reply:?}");
         };
         assert_eq!((stats.model_cache_misses, stats.model_cache_hits), (1, 1));
-        let json = serde_json::to_string(&Response::Stats(stats)).unwrap();
+        let json = serde_json::to_string(&Response::Stats(stats.clone())).unwrap();
         assert!(json.contains("\"model_cache_hits\":1"), "{json}");
         assert!(json.contains("\"model_cache_misses\":1"), "{json}");
         let back: Response = serde_json::from_str(&json).unwrap();

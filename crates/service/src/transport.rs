@@ -40,6 +40,7 @@
 //! always-failing slot still completes with the correct bits while
 //! reporting the quarantine in [`RunReport`].
 
+use crate::metrics::MetricsRegistry;
 use crate::{RunReport, ServiceError, WorkOrder};
 use glc_ssa::EnsemblePartial;
 use serde::{Deserialize, Serialize};
@@ -47,7 +48,8 @@ use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Where a shard of ensemble work executes.
 ///
@@ -339,6 +341,10 @@ pub struct SlotHealth {
     pub consecutive_failures: u64,
     /// Replicates this slot contributed to merged aggregates.
     pub replicates: u64,
+    /// Shards this slot served as the *successful retry* of another
+    /// slot's failure — a lifetime total, never reset by a run (unlike
+    /// [`RunReport::retried_shards`], which is per-run).
+    pub retries: u64,
     /// Wall-clock seconds this slot spent on successful shards
     /// (spawn-to-join; the denominator of the throughput estimate).
     pub busy_secs: f64,
@@ -354,6 +360,31 @@ impl SlotHealth {
         (self.replicates > 0 && self.busy_secs > 0.0)
             .then(|| self.replicates as f64 / self.busy_secs)
     }
+}
+
+/// The durable form of a [`WorkerPool`]'s health: what
+/// `<spill-dir>/pool_health.json` holds so a restarted `glc-serve`
+/// does not forget a quarantined host or its lifetime retry totals.
+///
+/// Slots are recorded by transport *description* rather than index, so
+/// a restart that reorders the `--relay`/`--worker-slot` flags (or
+/// drops a slot) still restores health to the slots that mean the same
+/// thing; see [`WorkerPool::restore_health`] for the matching rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolHealthSnapshot {
+    /// Lifetime count of shards that failed and succeeded on a retry.
+    pub retried_shards: u64,
+    /// Every slot's health, labeled by its transport description.
+    pub slots: Vec<SlotHealthRecord>,
+}
+
+/// One slot's entry in a [`PoolHealthSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotHealthRecord {
+    /// The slot's [`Transport::describe`] string at snapshot time.
+    pub transport: String,
+    /// The slot's health at snapshot time.
+    pub health: SlotHealth,
 }
 
 /// Default consecutive-failure count that quarantines a slot.
@@ -381,6 +412,13 @@ struct PoolSlot {
 pub struct WorkerPool {
     slots: Vec<PoolSlot>,
     quarantine_after: u64,
+    /// Lifetime total of shards retried successfully — accumulated
+    /// across [`WorkerPool::run`] calls, where [`RunReport`] resets
+    /// per run (the fix this field exists for).
+    lifetime_retried_shards: u64,
+    /// Shard-latency sink, when a registry is attached: each slot's
+    /// successful spawn-to-join time lands in its histogram.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl WorkerPool {
@@ -404,6 +442,8 @@ impl WorkerPool {
                 })
                 .collect(),
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            lifetime_retried_shards: 0,
+            metrics: None,
         })
     }
 
@@ -438,6 +478,62 @@ impl WorkerPool {
             .iter()
             .map(|slot| slot.transport.describe())
             .collect()
+    }
+
+    /// Lifetime total of shards that failed and succeeded on a retry,
+    /// accumulated across every [`WorkerPool::run`] of this pool
+    /// (contrast [`RunReport::retried_shards`], which resets per run).
+    pub fn lifetime_retried_shards(&self) -> u64 {
+        self.lifetime_retried_shards
+    }
+
+    /// The pool's durable health: every slot's accounting plus the
+    /// lifetime retry total, in the `pool_health.json` shape.
+    pub fn health_snapshot(&self) -> PoolHealthSnapshot {
+        PoolHealthSnapshot {
+            retried_shards: self.lifetime_retried_shards,
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| SlotHealthRecord {
+                    transport: slot.transport.describe(),
+                    health: slot.health.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores slot health from a persisted snapshot: each slot takes
+    /// the first not-yet-consumed record with its transport
+    /// description (so two `--workers` slots of the same binary each
+    /// get one record, and a record for a transport no longer in the
+    /// pool is dropped). Slots without a matching record keep their
+    /// fresh health.
+    pub fn restore_health(&mut self, snapshot: &PoolHealthSnapshot) {
+        let mut consumed = vec![false; snapshot.slots.len()];
+        for slot in &mut self.slots {
+            let description = slot.transport.describe();
+            let matched = snapshot
+                .slots
+                .iter()
+                .enumerate()
+                .position(|(i, record)| !consumed[i] && record.transport == description);
+            if let Some(i) = matched {
+                consumed[i] = true;
+                slot.health = snapshot.slots[i].health.clone();
+            }
+        }
+        self.lifetime_retried_shards = snapshot.retried_shards;
+    }
+
+    /// Attaches a metrics registry: installs one shard-latency
+    /// histogram per slot (labeled by transport description) and
+    /// records every successful shard's spawn-to-join time from here
+    /// on. Recording is observation-only — it cannot move a bit of any
+    /// merged partial.
+    pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        registry.install_slots(self.describe_slots());
+        self.metrics = Some(registry);
     }
 
     /// Executes `order` across the pool and merges the shard partials:
@@ -579,6 +675,8 @@ impl WorkerPool {
             match attempt {
                 Ok(partial) => {
                     report.retried_shards += 1;
+                    self.lifetime_retried_shards += 1;
+                    self.slots[slot].health.retries += 1;
                     self.record_success(slot, shard, started.elapsed().as_secs_f64(), report);
                     return Ok(partial);
                 }
@@ -607,6 +705,9 @@ impl WorkerPool {
         health.replicates += shard.replicates;
         health.busy_secs += elapsed_secs;
         report.slot_replicates[slot] += shard.replicates;
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_shard(slot, Duration::from_secs_f64(elapsed_secs));
+        }
     }
 
     fn record_failure(&mut self, slot: usize, report: &mut RunReport) {

@@ -1,0 +1,374 @@
+//! Observability-layer tests: the metrics surface end-to-end.
+//!
+//! The acceptance gate of the metrics layer:
+//!
+//! * a real `glc-serve --metrics-addr` child serves a Prometheus-style
+//!   scrape under live submit/extend/query traffic: every line parses,
+//!   latency buckets are monotone, and session footprints are > 0;
+//! * the extended Stats wire reply is **backward-compatible**: a
+//!   counters-only reply from an old server still decodes (new fields
+//!   default) and the new reply round-trips;
+//! * recording never perturbs results — Stats requests and scrape
+//!   renders interleaved at arbitrary points between submit/extend/
+//!   query leave the final Query bitwise identical to an
+//!   uninstrumented run, for Direct + Langevin on both circuits.
+//!
+//! CI runs this file on every push (`metrics-scrape` job).
+
+use glc_service::{
+    EngineSpec, ExtendBackend, ExtendRequest, MetricsRegistry, ModelSource, QueryRequest, Request,
+    Response, SessionSpec, SessionStore,
+};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read as _, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+
+fn serve_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glc-serve")
+}
+
+fn catalog_spec(circuit: &str, engine: EngineSpec, base_seed: u64) -> SessionSpec {
+    let entry = glc_gates::catalog::by_id(circuit).expect("catalog circuit");
+    let mut spec = SessionSpec::new(
+        ModelSource::Catalog(circuit.into()),
+        engine,
+        base_seed,
+        20.0,
+        4.0,
+    );
+    for input in &entry.inputs {
+        spec = spec.with_amount(input, 15.0);
+    }
+    spec
+}
+
+/// A `glc-serve` child with a live metrics listener: the protocol on
+/// stdin/stdout, the bound scrape address read off the stderr banner.
+struct MetricsServe {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    scrape_addr: String,
+}
+
+impl MetricsServe {
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(serve_bin())
+            .args(["--metrics-addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn glc-serve");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        // The bound address goes to stderr so stdout stays
+        // protocol-only; `:0` means we must learn the real port.
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut banner = String::new();
+        stderr.read_line(&mut banner).expect("read metrics banner");
+        let scrape_addr = banner
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address token")
+            .to_string();
+        assert!(
+            banner.contains("metrics listening on") && scrape_addr.contains(':'),
+            "unexpected banner: {banner:?}"
+        );
+        MetricsServe {
+            child,
+            stdin,
+            stdout,
+            scrape_addr,
+        }
+    }
+
+    fn request(&mut self, request: &Request) -> Response {
+        let line = serde_json::to_string(request).expect("encode request");
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut reply = String::new();
+        self.stdout.read_line(&mut reply).expect("read response");
+        serde_json::from_str(reply.trim()).expect("decode response")
+    }
+
+    /// One HTTP scrape: returns the plain-text body.
+    fn scrape(&self) -> String {
+        let mut stream =
+            std::net::TcpStream::connect(&self.scrape_addr).expect("connect to scrape");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: glc\r\nConnection: close\r\n\r\n")
+            .expect("send scrape request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read scrape");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("HTTP head/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        body.to_string()
+    }
+}
+
+impl Drop for MetricsServe {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Parses one exposition body into (series-with-labels, value) pairs,
+/// asserting every line is a comment or a parseable sample.
+fn parse_exposition(body: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable exposition line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line:?}"));
+        samples.push((series.to_string(), value));
+    }
+    samples
+}
+
+#[test]
+fn live_glc_serve_scrape_reports_families_under_traffic() {
+    let mut serve = MetricsServe::spawn(&["--capacity", "4"]);
+    let spec = catalog_spec("book_and", EngineSpec::Direct, 21);
+
+    // Cold scrape: the request histograms exist (all zero), no
+    // footprints yet.
+    let cold = parse_exposition(&serve.scrape());
+    for kind in ["submit", "extend", "query", "stats"] {
+        assert!(
+            cold.iter()
+                .any(|(series, _)| series
+                    == &format!("glc_request_seconds_count{{kind=\"{kind}\"}}")),
+            "missing {kind} histogram in cold scrape"
+        );
+    }
+
+    // Drive live traffic.
+    let Response::Submitted(submitted) = serve.request(&Request::Submit(spec.clone())) else {
+        panic!("expected Submitted");
+    };
+    let session = submitted.session.clone();
+    let Response::Extended(extended) = serve.request(&Request::Extend(ExtendRequest {
+        session: session.clone(),
+        replicates: 4,
+    })) else {
+        panic!("expected Extended");
+    };
+    assert_eq!(extended.replicates, 4);
+    let Response::Queried(_) = serve.request(&Request::Query(QueryRequest {
+        session: session.clone(),
+        species: vec![],
+    })) else {
+        panic!("expected Queried");
+    };
+
+    let body = serve.scrape();
+    let samples = parse_exposition(&body);
+    let value = |series: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .unwrap_or_else(|| panic!("missing series {series} in:\n{body}"))
+            .1
+    };
+
+    // One request of each kind was recorded.
+    for kind in ["submit", "extend", "query"] {
+        assert_eq!(
+            value(&format!("glc_request_seconds_count{{kind=\"{kind}\"}}")),
+            1.0,
+            "{kind}"
+        );
+        assert!(
+            value(&format!("glc_request_seconds_sum{{kind=\"{kind}\"}}")) > 0.0,
+            "{kind} latency sum"
+        );
+    }
+
+    // Latency buckets are monotone non-decreasing within each series.
+    for kind in ["submit", "extend", "query", "stats"] {
+        let prefix = format!("glc_request_seconds_bucket{{kind=\"{kind}\",le=");
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|(series, _)| series.starts_with(&prefix))
+            .map(|&(_, value)| value)
+            .collect();
+        assert!(buckets.len() > 10, "{kind}: too few buckets");
+        for window in buckets.windows(2) {
+            assert!(
+                window[0] <= window[1],
+                "{kind}: buckets must be cumulative-monotone, got {buckets:?}"
+            );
+        }
+    }
+
+    // Service gauges and the session footprint made it out.
+    assert_eq!(value("glc_replicates_simulated_total"), 4.0);
+    assert_eq!(value("glc_sessions_resident"), 1.0);
+    let footprint_bytes = value(&format!(
+        "glc_session_footprint{{session=\"{session}\",unit=\"bytes\"}}"
+    ));
+    assert!(footprint_bytes > 0.0, "session footprint must be > 0");
+    assert_eq!(
+        value(&format!(
+            "glc_session_footprint{{session=\"{session}\",unit=\"replicates\"}}"
+        )),
+        4.0
+    );
+
+    // The wire Stats reply carries the same observability surface.
+    let Response::Stats(stats) = serve.request(&Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert_eq!(stats.simulated, 4);
+    assert_eq!(stats.footprints.len(), 1);
+    assert!(stats.footprints[0].bytes > 0);
+    assert!(stats.footprints[0].cells > 0);
+    let submit_latency = stats
+        .latency
+        .iter()
+        .find(|entry| entry.kind == "submit")
+        .expect("submit latency on the wire");
+    assert_eq!(submit_latency.histogram.count, 1);
+    for window in submit_latency.histogram.buckets.windows(2) {
+        assert!(window[0].1 <= window[1].1, "wire buckets monotone");
+        assert!(window[0].0 < window[1].0, "wire bounds ascending");
+    }
+}
+
+#[test]
+fn old_wire_stats_decode_with_defaults() {
+    // A counters-only Stats reply, as every pre-observability server
+    // sent it: the new client must decode it, defaulting what is
+    // missing — the backward-compatibility half of the wire contract.
+    let old = r#"{"Stats":{"sessions":2,"evictions":1,"simulated":40,"spilled":1,
+        "reloads":0,"snapshots":5,"model_cache_hits":3,"model_cache_misses":2}}"#;
+    let back: Response = serde_json::from_str(old).expect("old wire shape decodes");
+    let Response::Stats(stats) = back else {
+        panic!("expected Stats, got {back:?}");
+    };
+    assert_eq!(stats.sessions, 2);
+    assert_eq!(stats.snapshots, 5);
+    assert_eq!(stats.spill_bytes, 0, "new counters default");
+    assert_eq!(stats.spill_gc_evictions, 0);
+    assert_eq!(stats.pool_retries, 0);
+    assert!(stats.latency.is_empty());
+    assert!(stats.slots.is_empty());
+    assert!(stats.footprints.is_empty());
+
+    // And the new, fully-populated shape round-trips.
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess)
+        .unwrap()
+        .with_metrics(Arc::new(MetricsRegistry::new()));
+    let spec = catalog_spec("book_not", EngineSpec::Direct, 3);
+    let Response::Submitted(submitted) = store.handle(&Request::Submit(spec)) else {
+        panic!("expected Submitted");
+    };
+    let Response::Extended(_) = store.handle(&Request::Extend(ExtendRequest {
+        session: submitted.session,
+        replicates: 2,
+    })) else {
+        panic!("expected Extended");
+    };
+    let stats = store.stats();
+    assert!(!stats.latency.is_empty());
+    assert!(!stats.footprints.is_empty());
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: glc_service::ServiceStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+}
+
+proptest! {
+    /// The determinism property the whole layer leans on: metrics
+    /// recording is observation-only. Interleave Stats requests and
+    /// scrape renders at arbitrary points between submit/extend/query
+    /// and the final Query response is **bitwise** what an
+    /// uninstrumented store produces — Direct + Langevin, book_and +
+    /// cello_0x1C.
+    #[test]
+    fn interleaved_stats_and_scrapes_never_perturb_results(
+        first in 1u64..3,
+        growth in 1u64..3,
+        seed in 0u64..500,
+        cello in any::<bool>(),
+        langevin in any::<bool>(),
+        interleave in 0u64..64,
+    ) {
+        let circuit = if cello { "cello_0x1C" } else { "book_and" };
+        let engine = if langevin {
+            EngineSpec::Langevin(if cello { 0.1 } else { 0.01 })
+        } else {
+            EngineSpec::Direct
+        };
+        let spec = catalog_spec(circuit, engine, seed);
+
+        // Reference: no metrics, no Stats traffic.
+        let mut plain = SessionStore::new(2, ExtendBackend::InProcess).unwrap();
+        let session = plain.submit(&spec).unwrap().session;
+        plain.extend(&session, first).unwrap();
+        plain.extend(&session, growth).unwrap();
+        let reference = plain.handle(&Request::Query(QueryRequest {
+            session: session.clone(),
+            species: vec![],
+        }));
+
+        // Instrumented: same schedule, with a Stats request and a
+        // scrape render wedged in wherever the mask says.
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut wired = SessionStore::new(2, ExtendBackend::InProcess)
+            .unwrap()
+            .with_metrics(Arc::clone(&registry));
+        let poke = |store: &mut SessionStore, bit: u64| {
+            if interleave & (1 << bit) != 0 {
+                let reply = store.handle(&Request::Stats);
+                assert!(matches!(reply, Response::Stats(_)));
+            }
+            if interleave & (1 << (bit + 1)) != 0 {
+                let _ = registry.render_prometheus();
+            }
+        };
+        poke(&mut wired, 0);
+        wired.handle(&Request::Submit(spec.clone()));
+        poke(&mut wired, 2);
+        wired.handle(&Request::Extend(ExtendRequest {
+            session: session.clone(),
+            replicates: first,
+        }));
+        poke(&mut wired, 4);
+        wired.handle(&Request::Extend(ExtendRequest {
+            session: session.clone(),
+            replicates: growth,
+        }));
+        let observed = wired.handle(&Request::Query(QueryRequest {
+            session: session.clone(),
+            species: vec![],
+        }));
+
+        // Canonical-JSON equality is the bitwise contract (NaN-valued
+        // noise figures make PartialEq useless here, as in the
+        // protocol tests).
+        prop_assert_eq!(
+            serde_json::to_string(&observed).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "metrics recording must not move a bit"
+        );
+        prop_assert_eq!(
+            wired.partial(&session).unwrap(),
+            plain.partial(&session).unwrap()
+        );
+    }
+}

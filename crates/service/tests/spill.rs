@@ -12,7 +12,14 @@
 //!   uninterrupted run, bitwise;
 //! * LRU eviction order is property-tested against a model, and
 //!   submit-after-evict rebuilds a session that extends exactly like
-//!   a never-evicted one (with and without the spill store).
+//!   a never-evicted one (with and without the spill store);
+//! * the spill garbage collector holds its bounds: size-capped
+//!   directories evict **oldest-first** with `spill_bytes` matching a
+//!   `du` over the session files, age-capped directories collect
+//!   stale snapshots, and a just-written snapshot is never its own
+//!   GC victim;
+//! * a pool slot quarantined before a SIGKILL is still quarantined
+//!   after the restart, read back from `pool_health.json`.
 //!
 //! CI runs this file on every push (`spill-resume` job).
 
@@ -438,4 +445,246 @@ fn killed_and_restarted_glc_serve_resumes_extends_bitwise() {
     assert_eq!(stats.simulated, 4, "only the post-restart extend ran");
     reborn.kill();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sum of the on-disk `*.session.json` sizes — the `du` the stats
+/// counter must agree with.
+fn du_session_files(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|entry| {
+            entry
+                .file_name()
+                .to_str()
+                .is_some_and(|name| name.ends_with(".session.json"))
+        })
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum()
+}
+
+/// Spill-snapshot mtimes have jiffy granularity; space writes out so
+/// "oldest" is well-defined.
+fn settle_mtime() {
+    std::thread::sleep(std::time::Duration::from_millis(25));
+}
+
+#[test]
+fn spill_gc_size_bound_evicts_oldest_first_and_tracks_bytes() {
+    let dir = spill_dir("gc-size");
+    let mut store = SessionStore::new(4, ExtendBackend::InProcess)
+        .unwrap()
+        .with_spill_dir(&dir);
+
+    // Three snapshots, written oldest → newest.
+    let mut keys = Vec::new();
+    for seed in 0..3u64 {
+        let key = store.submit(&tiny_spec(seed * 100)).unwrap().session;
+        store.extend(&key, 2).unwrap();
+        keys.push(key);
+        settle_mtime();
+    }
+    for key in &keys {
+        assert!(session::spill_path(&dir, key).exists());
+    }
+    assert_eq!(
+        store.stats().spill_bytes,
+        du_session_files(&dir),
+        "spill_bytes must match a du over the session files"
+    );
+
+    // Bound the directory to one snapshot: the two oldest go, the
+    // newest survives, and the accounting follows.
+    let keep = std::fs::metadata(session::spill_path(&dir, &keys[2]))
+        .unwrap()
+        .len();
+    let mut store = store.with_spill_max_bytes(keep);
+    assert!(
+        !session::spill_path(&dir, &keys[0]).exists(),
+        "oldest first"
+    );
+    assert!(!session::spill_path(&dir, &keys[1]).exists(), "then next");
+    assert!(session::spill_path(&dir, &keys[2]).exists(), "newest kept");
+    let stats = store.stats();
+    assert_eq!(stats.spill_gc_evictions, 2, "{stats:?}");
+    assert_eq!(stats.spill_bytes, keep, "{stats:?}");
+    assert_eq!(stats.spill_bytes, du_session_files(&dir));
+
+    // A fresh write-through is never its own GC victim: re-extending
+    // the first session rewrites its snapshot (now the newest), and
+    // the previous survivor is the one collected.
+    settle_mtime();
+    store.extend(&keys[0], 1).unwrap();
+    assert!(session::spill_path(&dir, &keys[0]).exists());
+    assert!(!session::spill_path(&dir, &keys[2]).exists());
+    let stats = store.stats();
+    assert_eq!(stats.spill_gc_evictions, 3, "{stats:?}");
+    assert_eq!(stats.spill_bytes, du_session_files(&dir));
+
+    // GC deletes snapshots, not sessions: the resident partial still
+    // extends bitwise.
+    store.extend(&keys[1], 2).unwrap();
+    assert_eq!(
+        store.partial(&keys[1]).unwrap(),
+        &fresh_reference(&tiny_spec(100), 4)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_gc_age_bound_collects_stale_snapshots() {
+    let dir = spill_dir("gc-age");
+    let mut store = SessionStore::new(4, ExtendBackend::InProcess)
+        .unwrap()
+        .with_spill_dir(&dir);
+    let a = store.submit(&tiny_spec(1)).unwrap().session;
+    store.extend(&a, 2).unwrap();
+    let b = store.submit(&tiny_spec(2)).unwrap().session;
+    store.extend(&b, 2).unwrap();
+    settle_mtime();
+
+    // A (near-)zero age bound expires everything already on disk.
+    let mut store = store.with_spill_max_age(std::time::Duration::from_nanos(1));
+    assert!(!session::spill_path(&dir, &a).exists());
+    assert!(!session::spill_path(&dir, &b).exists());
+    let stats = store.stats();
+    assert_eq!(stats.spill_gc_evictions, 2, "{stats:?}");
+    assert_eq!(stats.spill_bytes, 0, "{stats:?}");
+
+    // …but the snapshot an extend just wrote is protected, even under
+    // an age bound it can't possibly satisfy.
+    store.extend(&a, 1).unwrap();
+    assert!(
+        session::spill_path(&dir, &a).exists(),
+        "write-through snapshot must survive the GC pass that follows it"
+    );
+    assert_eq!(store.stats().spill_bytes, du_session_files(&dir));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fake worker that reads its request and dies — a permanently
+/// broken pool slot for the quarantine drill.
+#[cfg(unix)]
+fn dead_worker_script(label: &str) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt;
+    let dir = std::env::temp_dir().join(format!("glc-dead-slot-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("script dir");
+    let path = dir.join("dead-worker.sh");
+    std::fs::write(
+        &path,
+        "#!/bin/sh\ncat > /dev/null\necho 'slot is dead' >&2\nexit 1\n",
+    )
+    .expect("write script");
+    std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).expect("chmod");
+    path
+}
+
+#[cfg(unix)]
+#[test]
+fn killed_glc_serve_restarts_with_quarantine_intact() {
+    // The durability drill's second half: a pool slot quarantined in
+    // one service life must stay quarantined in the next. The pool
+    // mixes one real worker with a marker script that always dies;
+    // `--quarantine-after 1` benches the script on its first failure,
+    // the service is SIGKILLed, and the restart must read the benching
+    // back out of pool_health.json instead of re-learning it.
+    let dir = spill_dir("serve-quarantine");
+    let dir_arg = dir.to_str().expect("utf-8 temp dir").to_string();
+    let worker = env!("CARGO_BIN_EXE_glc-worker");
+    let script = dead_worker_script("serve-drill");
+    let script_arg = script.to_str().expect("utf-8 script path").to_string();
+    let flags = [
+        "--capacity",
+        "4",
+        "--spill-dir",
+        dir_arg.as_str(),
+        "--workers",
+        "1",
+        "--worker-bin",
+        worker,
+        "--worker-slot",
+        script_arg.as_str(),
+        "--quarantine-after",
+        "1",
+    ];
+    let spec = catalog_spec("book_and", EngineSpec::Direct, 23);
+
+    let mut client = ServeClient::spawn(&flags);
+    let Response::Submitted(submitted) = client.request(&Request::Submit(spec.clone())) else {
+        panic!("expected Submitted");
+    };
+    let session = submitted.session.clone();
+    // Slot 1 (the script) fails its shard; the real worker absorbs it
+    // on retry and the script is quarantined.
+    let Response::Extended(extended) = client.request(&Request::Extend(ExtendRequest {
+        session: session.clone(),
+        replicates: 4,
+    })) else {
+        panic!("expected Extended");
+    };
+    assert_eq!(extended.replicates, 4);
+    let Response::Stats(stats) = client.request(&Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert_eq!(stats.slots.len(), 2);
+    assert!(stats.slots[1].quarantined, "{stats:?}");
+    assert_eq!(stats.slots[1].failures, 1, "{stats:?}");
+    assert!(stats.pool_retries >= 1, "{stats:?}");
+    assert!(
+        session::pool_health_path(&dir).exists(),
+        "extend persists pool health beside the snapshots"
+    );
+    client.kill();
+
+    // Restart on the same spill dir: the quarantine is already in
+    // place before any request runs a shard.
+    let mut reborn = ServeClient::spawn(&flags);
+    let Response::Stats(stats) = reborn.request(&Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert!(
+        stats.slots[1].quarantined,
+        "restart forgot the quarantine: {stats:?}"
+    );
+    assert_eq!(stats.slots[1].failures, 1, "{stats:?}");
+    assert_eq!(
+        stats.pool_retries, 1,
+        "lifetime retries restored: {stats:?}"
+    );
+
+    // The reborn service keeps serving from the healthy slot, the dead
+    // script never sees another shard, and the result is still exact.
+    let Response::Extended(extended) = reborn.request(&Request::Extend(ExtendRequest {
+        session: session.clone(),
+        replicates: 3,
+    })) else {
+        panic!("expected Extended");
+    };
+    assert_eq!(extended.replicates, 7);
+    let Response::Stats(stats) = reborn.request(&Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert_eq!(
+        stats.slots[1].failures, 1,
+        "quarantined slot must not be retried: {stats:?}"
+    );
+    let Response::Queried(queried) = reborn.request(&Request::Query(QueryRequest {
+        session: session.clone(),
+        species: vec![],
+    })) else {
+        panic!("expected Queried");
+    };
+    assert_eq!(queried.replicates, 7);
+    let reference = fresh_reference(&spec, 7);
+    assert_eq!(
+        serde_json::to_string(&queried.mean).unwrap(),
+        serde_json::to_string(&reference.finalize().expect("finalize").mean).unwrap(),
+        "pool failover + restart must not move a bit"
+    );
+    reborn.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(script.parent().unwrap());
 }

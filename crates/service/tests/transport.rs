@@ -374,6 +374,86 @@ fn fully_quarantined_pools_get_probation_not_deadlock() {
     );
 }
 
+#[cfg(unix)]
+#[test]
+fn retry_counts_accumulate_across_runs_of_a_persistent_pool() {
+    // The fix this PR pins: RunReport.retried_shards resets per run
+    // (by design), but a persistent pool's lifetime total must carry
+    // across runs — and so must the per-slot retry credit.
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        5,
+        4,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let mut pool = WorkerPool::new(vec![
+        Box::new(ChildProcess::new(dead_worker_script("lifetime"))) as Box<dyn Transport>,
+        Box::new(ChildProcess::new(worker_bin())),
+    ])
+    .unwrap()
+    // Quarantine only after 10 consecutive failures, so the dead slot
+    // keeps getting (and failing) a shard on every run.
+    .with_quarantine_after(10)
+    .unwrap();
+
+    let reference = order.execute().unwrap();
+    for round in 1u64..=3 {
+        let (partial, report) = pool.run(&order).unwrap();
+        assert_eq!(partial, reference, "round {round}");
+        assert_eq!(
+            report.retried_shards, 1,
+            "per-run report resets: {report:?}"
+        );
+        assert_eq!(
+            pool.lifetime_retried_shards(),
+            round,
+            "lifetime total must accumulate"
+        );
+    }
+    let health = pool.health();
+    assert_eq!(health[0].retries, 0, "the dead slot never served a retry");
+    assert_eq!(health[1].retries, 3, "the healthy slot served every retry");
+    assert_eq!(health[0].failures, 3);
+
+    // The durable snapshot round-trips the lifetime totals, and a
+    // fresh pool of the same transports restores them by description.
+    let snapshot = pool.health_snapshot();
+    assert_eq!(snapshot.retried_shards, 3);
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: glc_service::PoolHealthSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snapshot);
+
+    let mut reborn = WorkerPool::new(vec![
+        Box::new(ChildProcess::new(dead_worker_script("lifetime"))) as Box<dyn Transport>,
+        Box::new(ChildProcess::new(worker_bin())),
+    ])
+    .unwrap()
+    .with_quarantine_after(10)
+    .unwrap();
+    reborn.restore_health(&back);
+    assert_eq!(reborn.lifetime_retried_shards(), 3);
+    assert_eq!(reborn.health(), health, "restore by transport description");
+
+    // A pool missing one of the transports restores what matches and
+    // leaves the new slot fresh.
+    let mut reshaped = WorkerPool::new(vec![
+        Box::new(ChildProcess::new(worker_bin())) as Box<dyn Transport>,
+        Box::new(InProcess),
+    ])
+    .unwrap();
+    reshaped.restore_health(&back);
+    let reshaped_health = reshaped.health();
+    assert_eq!(reshaped_health[0], health[1], "worker slot restored");
+    assert_eq!(
+        reshaped_health[1],
+        glc_service::SlotHealth::default(),
+        "unmatched slot starts fresh"
+    );
+}
+
 #[test]
 fn pool_health_tracks_throughput_for_adaptive_sizing() {
     let order = WorkOrder::new(
