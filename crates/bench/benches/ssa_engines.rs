@@ -24,8 +24,8 @@ use glc_gates::catalog;
 use glc_model::expr::EvalMemo;
 use glc_model::Model;
 use glc_service::{
-    session, Coordinator, EngineSpec, ExtendBackend, ModelSource, SessionSpec, SessionStore,
-    TcpRelay, Transport, WorkOrder, WorkerPool,
+    session, Coordinator, EngineSpec, ExtendBackend, ModelSource, PipelinedRelay, PipelinedWorker,
+    SessionSpec, SessionStore, Transport, WorkOrder, WorkerPool,
 };
 use glc_ssa::engine::Observer;
 use glc_ssa::{
@@ -245,10 +245,8 @@ fn ensemble_replicates_per_second(model: &CompiledModel, min_wall: f64) -> f64 {
     replicates as f64 / elapsed
 }
 
-/// Sustained replicate throughput of the same batches sharded over
-/// `glc-worker` child processes (spawn + JSON + merge included — this
-/// is the end-to-end cost a distributed deployment pays per batch).
-fn sharded_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f64) -> f64 {
+/// The batch-sized work order the sharded columns dispatch.
+fn ensemble_order(id: &str) -> WorkOrder {
     let entry = catalog::by_id(id).expect("catalog circuit");
     let mut order = WorkOrder::new(
         ModelSource::Catalog(id.to_string()),
@@ -261,6 +259,45 @@ fn sharded_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f
     for input in &entry.inputs {
         order = order.with_amount(input, 15.0);
     }
+    order
+}
+
+/// Sustained replicate throughput of the same batches sharded over
+/// **resident** framed `glc-worker` processes: a persistent
+/// [`PipelinedWorker`] pool held across batches, so each batch pays
+/// dynamic chunking + frame round-trips but no process spawn and no
+/// model recompile — the steady-state cost of the pipelined fabric.
+/// Returns `(replicates_per_sec, chunk_steals)`.
+fn sharded_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f64) -> (f64, u64) {
+    let mut order = ensemble_order(id);
+    let transports: Vec<Box<dyn Transport>> = (0..ENSEMBLE_PARALLELISM)
+        .map(|_| Box::new(PipelinedWorker::new(worker)) as Box<dyn Transport>)
+        .collect();
+    let mut pool = WorkerPool::new(transports).expect("pipelined pool");
+    // Warm up: spawn the resident workers, compile the model in each,
+    // and seed throughput observations so chunk sizing is adaptive.
+    pool.run(&order).expect("pipelined warm-up");
+    order.base_seed += 1_000_000;
+    let mut replicates = 0u64;
+    let mut steals = 0u64;
+    let mut elapsed = 0.0f64;
+    while elapsed < min_wall {
+        let start = Instant::now();
+        let (_, report) = pool.run(&order).expect("pipelined ensemble");
+        elapsed += start.elapsed().as_secs_f64();
+        replicates += ENSEMBLE_BATCH as u64;
+        steals += report.steals;
+        order.base_seed += 1_000;
+    }
+    (replicates as f64 / elapsed, steals)
+}
+
+/// Sustained replicate throughput of the per-order round trip the
+/// pipelined fabric replaces: every batch spawns fresh `glc-worker`
+/// children, recompiles the model, and pays one full
+/// process-per-shard round trip (the PR 5 `Coordinator` path).
+fn per_order_replicates_per_second(id: &str, worker: &std::path::Path, min_wall: f64) -> f64 {
+    let mut order = ensemble_order(id);
     let coordinator = Coordinator::new(worker, ENSEMBLE_PARALLELISM).expect("coordinator");
     let mut replicates = 0u64;
     let mut elapsed = 0.0f64;
@@ -499,26 +536,16 @@ impl Drop for RelayProc {
 }
 
 /// Sustained replicate throughput of the same batches dispatched over
-/// TCP to a local `glc-relay` (connect, JSON framing, remote
-/// in-process run, merge — the end-to-end cost of fronting workers on
-/// another host, minus real network latency). Parallelism matches the
-/// other columns: one relay slot per coordinator worker, each served
-/// on its own relay-side thread.
+/// TCP to a local `glc-relay` on persistent framed connections
+/// ([`PipelinedRelay`]: connect once, then pipeline chunk orders over
+/// the socket — the end-to-end cost of fronting workers on another
+/// host, minus real network latency). Parallelism matches the other
+/// columns: one relay slot per worker slot, each order served on its
+/// own relay-side thread.
 fn relay_replicates_per_second(id: &str, addr: &str, min_wall: f64) -> f64 {
-    let entry = catalog::by_id(id).expect("catalog circuit");
-    let mut order = WorkOrder::new(
-        ModelSource::Catalog(id.to_string()),
-        EngineSpec::Direct,
-        42,
-        ENSEMBLE_BATCH as u64,
-        ENSEMBLE_T_END,
-        ENSEMBLE_DT,
-    );
-    for input in &entry.inputs {
-        order = order.with_amount(input, 15.0);
-    }
+    let mut order = ensemble_order(id);
     let transports: Vec<Box<dyn Transport>> = (0..ENSEMBLE_PARALLELISM)
-        .map(|_| Box::new(TcpRelay::new(addr)) as Box<dyn Transport>)
+        .map(|_| Box::new(PipelinedRelay::new(addr)) as Box<dyn Transport>)
         .collect();
     let mut pool = WorkerPool::new(transports).expect("relay pool");
     let mut replicates = 0u64;
@@ -585,6 +612,7 @@ fn throughput_report() {
     let mut lane_rows = String::new();
     let mut cache_rows = String::new();
     let mut ensemble_rows = String::new();
+    let mut pipeline_rows = String::new();
     let mut resident_rows = String::new();
     let mut relay_rows = String::new();
     let mut spill_rows = String::new();
@@ -732,15 +760,16 @@ fn throughput_report() {
         );
 
         // Ensemble replicate throughput: the in-process shard-then-
-        // merge path vs the same batches fanned out over glc-worker
-        // processes (equal parallelism on both sides). The efficiency
-        // ratio cancels machine speed — it isolates what the worker
-        // protocol costs on top of the shared run_partial core — and
-        // feeds the CI regression gate.
+        // merge path vs the same batches fanned out over resident
+        // pipelined glc-worker processes (equal parallelism on both
+        // sides). The efficiency ratio cancels machine speed — it
+        // isolates what the worker fabric costs on top of the shared
+        // run_partial core — and feeds the CI regression gate (with an
+        // absolute ≥0.75 floor for book_and).
         if let Some(worker) = &worker {
             ensemble_replicates_per_second(&model, 0.05); // warm-up
             let in_process = ensemble_replicates_per_second(&model, wall(0.5));
-            let sharded = sharded_replicates_per_second(id, worker, wall(0.5));
+            let (sharded, steals) = sharded_replicates_per_second(id, worker, wall(0.5));
             let efficiency = sharded / in_process;
             println!(
                 "    ensemble ({ENSEMBLE_BATCH} reps × {ENSEMBLE_T_END} t.u., \
@@ -756,6 +785,31 @@ fn throughput_report() {
                  \"in_process_replicates_per_sec\":{in_process:.1},\
                  \"sharded_replicates_per_sec\":{sharded:.1},\
                  \"shard_efficiency\":{efficiency:.3}}}"
+            );
+
+            // Pipelined fabric vs the per-order round trip it
+            // replaced: same batches, same parallelism, but the
+            // per-order column respawns workers and recompiles the
+            // model every batch (the PR 5 Coordinator path). The
+            // steal count records how much work migrated between
+            // slot queues during the pipelined measurement.
+            let per_order = per_order_replicates_per_second(id, worker, wall(0.5));
+            let pipeline_speedup = sharded / per_order;
+            println!(
+                "    pipeline: pipelined {sharded:.0} reps/s  \
+                 per-order {per_order:.0} reps/s  \
+                 speedup {pipeline_speedup:.2}x  steals {steals}"
+            );
+            if !pipeline_rows.is_empty() {
+                pipeline_rows.push(',');
+            }
+            let _ = write!(
+                pipeline_rows,
+                "\n    {{\"circuit\":\"{id}\",\
+                 \"pipelined_replicates_per_sec\":{sharded:.1},\
+                 \"per_order_replicates_per_sec\":{per_order:.1},\
+                 \"pipeline_speedup\":{pipeline_speedup:.3},\
+                 \"steals\":{steals}}}"
             );
 
             // Relay transport: the same batches over localhost TCP to
@@ -884,6 +938,7 @@ fn throughput_report() {
          \"lanes\": [{lane_rows}\n  ],\n  \
          \"full_sweep\": [{sweep_rows}\n  ],\n  \
          \"ensemble\": [{ensemble_rows}\n  ],\n  \
+         \"pipeline\": [{pipeline_rows}\n  ],\n  \
          \"resident\": [{resident_rows}\n  ],\n  \
          \"relay\": [{relay_rows}\n  ],\n  \
          \"spill\": [{spill_rows}\n  ],\n  \

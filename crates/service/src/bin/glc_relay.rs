@@ -34,11 +34,12 @@
 //! shape — compiles it once and serves every later order, on any
 //! connection thread, from the shared `Arc`.
 
-use glc_service::{Coordinator, RelayReply, WorkOrder};
+use glc_service::{frame, Coordinator, RelayReply, WorkOrder};
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 /// Parsed command line.
 struct Options {
@@ -96,12 +97,109 @@ impl Executor {
     }
 }
 
-/// Serves every order frame on one connection until the peer closes.
+/// Serves one connection until the peer closes, sniffing the framing
+/// from the first byte: the frame protocol's magic starts with `G`
+/// (a client that wants frames sends its hello first), while a JSON
+/// work-order line can only start with `{`, `"` or whitespace — so
+/// one port serves both the legacy line protocol and the pipelined
+/// framed protocol.
 fn serve_connection(stream: TcpStream, executor: Executor) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".into());
+    let mut first = [0u8; 1];
+    match stream.peek(&mut first) {
+        Ok(1) if first[0] == glc_service::FRAME_MAGIC[0] => {
+            serve_framed(stream, executor, &peer);
+            return;
+        }
+        Ok(_) => {}
+        Err(err) => {
+            eprintln!("glc-relay: sniffing protocol from {peer}: {err}");
+            return;
+        }
+    }
+    serve_lines(stream, executor, &peer);
+}
+
+/// The pipelined framed protocol: exchange hello frames, then answer
+/// each `Envelope<WorkOrder>` frame with an `Envelope<RelayReply>`
+/// frame echoing its correlation id. Orders run on their own threads
+/// behind a mutexed writer, so replies go back **as they complete** —
+/// possibly out of order; the id is what lets the client reorder.
+fn serve_framed(stream: TcpStream, executor: Executor, peer: &str) {
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(writer) => Arc::new(Mutex::new(writer)),
+        Err(err) => {
+            eprintln!("glc-relay: cannot clone stream for {peer}: {err}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    match frame::read_frame(&mut reader) {
+        Ok(Some(payload)) if payload == frame::FRAME_HELLO => {}
+        Ok(_) => {
+            eprintln!("glc-relay: {peer} opened framed mode without a hello frame");
+            return;
+        }
+        Err(err) => {
+            eprintln!("glc-relay: reading hello from {peer}: {err}");
+            return;
+        }
+    }
+    {
+        let mut writer = writer.lock().expect("relay writer poisoned");
+        if let Err(err) = frame::write_frame(&mut *writer, frame::FRAME_HELLO) {
+            eprintln!("glc-relay: answering hello to {peer}: {err}");
+            return;
+        }
+    }
+    let mut order_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let payload = match frame::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // Clean EOF between frames.
+            Err(err) => {
+                eprintln!("glc-relay: reading order frame from {peer}: {err}");
+                break;
+            }
+        };
+        let (id, order): (u64, WorkOrder) = match frame::decode_message(&payload) {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                // An undecodable frame cannot even be answered in-band
+                // (no id to address the reply to): drop the connection.
+                eprintln!("glc-relay: decoding order frame from {peer}: {err}");
+                break;
+            }
+        };
+        order_threads.retain(|thread| !thread.is_finished());
+        let executor = executor.clone();
+        let writer = Arc::clone(&writer);
+        let peer = peer.to_string();
+        order_threads.push(std::thread::spawn(move || {
+            let reply = executor.execute(&order);
+            match frame::encode_message(id, &reply) {
+                Ok(encoded) => {
+                    let mut writer = writer.lock().expect("relay writer poisoned");
+                    if let Err(err) = frame::write_frame(&mut *writer, &encoded) {
+                        eprintln!("glc-relay: writing reply frame to {peer}: {err}");
+                    }
+                }
+                Err(err) => eprintln!("glc-relay: encoding reply for {peer}: {err}"),
+            }
+        }));
+    }
+    for thread in order_threads {
+        let _ = thread.join();
+    }
+}
+
+/// The legacy line protocol: one newline-framed JSON order per line,
+/// one reply line each, strictly in order.
+fn serve_lines(stream: TcpStream, executor: Executor, peer: &str) {
     let mut writer = match stream.try_clone() {
         Ok(writer) => writer,
         Err(err) => {

@@ -51,7 +51,12 @@
 //! * `--metrics-addr HOST:PORT` — serve a Prometheus-style plain-text
 //!   scrape (`GET /metrics`) on this address; the bound address is
 //!   printed to **stderr** (`metrics listening on …`), so `:0` picks a
-//!   free port without disturbing the protocol stream.
+//!   free port without disturbing the protocol stream;
+//! * `--listen HOST:PORT` — serve the same line protocol to many
+//!   concurrent TCP clients over a single-threaded nonblocking
+//!   readiness loop instead of stdin (see [`serve_listener`]); the
+//!   bound address is printed to **stdout** (`glc-serve listening on
+//!   …`), and the process still exits when stdin reaches EOF.
 
 use glc_service::{
     metrics, transport, ExtendBackend, MetricsRegistry, SessionStore, Transport, WorkerPool,
@@ -74,6 +79,7 @@ struct Options {
     spill_max_bytes: Option<u64>,
     spill_max_age: Option<u64>,
     metrics_addr: Option<String>,
+    listen: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -88,6 +94,7 @@ fn parse_options() -> Result<Options, String> {
         spill_max_bytes: None,
         spill_max_age: None,
         metrics_addr: None,
+        listen: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -141,6 +148,9 @@ fn parse_options() -> Result<Options, String> {
             "--metrics-addr" => {
                 options.metrics_addr = Some(value("--metrics-addr")?);
             }
+            "--listen" => {
+                options.listen = Some(value("--listen")?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -169,14 +179,14 @@ fn run() -> Result<(), String> {
                 None => sibling_worker()?,
             };
             for _ in 0..options.workers {
-                transports.push(Box::new(transport::ChildProcess::new(&worker)));
+                transports.push(Box::new(transport::PipelinedWorker::new(&worker)));
             }
         }
         for slot in &options.worker_slots {
-            transports.push(Box::new(transport::ChildProcess::new(slot)));
+            transports.push(Box::new(transport::PipelinedWorker::new(slot)));
         }
         for relay in &options.relays {
-            transports.push(Box::new(transport::TcpRelay::new(relay.clone())));
+            transports.push(Box::new(transport::PipelinedRelay::new(relay.clone())));
         }
         let mut pool = WorkerPool::new(transports).map_err(|e| e.to_string())?;
         if let Some(failures) = options.quarantine_after {
@@ -206,6 +216,10 @@ fn run() -> Result<(), String> {
         eprintln!("metrics listening on {bound}");
     }
 
+    if let Some(addr) = &options.listen {
+        return serve_listener(addr, &mut store);
+    }
+
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -219,6 +233,162 @@ fn run() -> Result<(), String> {
         out.flush().map_err(|e| format!("flushing response: {e}"))?;
     }
     Ok(())
+}
+
+/// One multiplexed client connection: raw bytes in, complete request
+/// lines handled, response bytes queued back out.
+struct ClientConn {
+    stream: std::net::TcpStream,
+    peer: String,
+    /// Bytes received but not yet forming a complete line.
+    read_buf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// The peer half-closed its sending side; the connection is
+    /// dropped once `write_buf` drains.
+    eof: bool,
+}
+
+/// The nonblocking multiplexed front-end behind `--listen`: one
+/// thread, a hand-rolled readiness loop over `std::net` (the vendored
+/// crate policy rules out mio/tokio), serving many concurrent clients
+/// that each pipeline newline-delimited requests over one socket.
+///
+/// The protocol is byte-for-byte the stdin protocol — one
+/// `Request`-as-JSON per line, one response line back, `Envelope` ids
+/// echoed — so anything scripted against the stdin loop works
+/// unchanged against a socket, and responses to one client's
+/// pipelined requests come back **in request order** (the store is
+/// driven from this single thread; determinism of the store does the
+/// rest). Fairness is round-robin: each pass drains whatever complete
+/// lines every connection has accumulated.
+///
+/// Prints exactly one stdout banner — `glc-serve listening on
+/// HOST:PORT` — so a parent that bound port 0 can scrape the chosen
+/// port, and exits when stdin reaches EOF (a dying parent cannot leak
+/// resident services).
+fn serve_listener(addr: &str, store: &mut SessionStore) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot make listener nonblocking: {e}"))?;
+    println!("glc-serve listening on {bound}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flushing address line: {e}"))?;
+    std::thread::spawn(|| {
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+        std::process::exit(0);
+    });
+
+    let mut conns: Vec<ClientConn> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        let mut progressed = false;
+
+        // Accept every connection already waiting.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Err(err) = stream.set_nonblocking(true) {
+                        eprintln!("glc-serve: cannot make {peer} nonblocking: {err}");
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.push(ClientConn {
+                        stream,
+                        peer: peer.to_string(),
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        eof: false,
+                    });
+                    progressed = true;
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(err) => {
+                    eprintln!("glc-serve: accept failed: {err}");
+                    break;
+                }
+            }
+        }
+
+        // Round-robin over connections: read what's there, handle the
+        // complete lines, push out what the socket will take.
+        conns.retain_mut(|conn| {
+            use std::io::{Read as _, Write as _};
+            // Readable bytes.
+            if !conn.eof {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            conn.eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.read_buf.extend_from_slice(&scratch[..n]);
+                            progressed = true;
+                        }
+                        Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(err) => {
+                            eprintln!("glc-serve: reading from {}: {err}", conn.peer);
+                            return false;
+                        }
+                    }
+                }
+            }
+            // Complete lines → responses (requests keep their order:
+            // lines are handled in arrival order on this one thread).
+            while let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = conn.read_buf.drain(..=newline).collect();
+                let line = String::from_utf8_lossy(&line);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let encoded = store.handle_json_line(line);
+                conn.write_buf.extend_from_slice(encoded.as_bytes());
+                conn.write_buf.push(b'\n');
+                progressed = true;
+            }
+            // Writable bytes.
+            while !conn.write_buf.is_empty() {
+                match conn.stream.write(&conn.write_buf) {
+                    Ok(0) => {
+                        eprintln!("glc-serve: {} stopped accepting bytes", conn.peer);
+                        return false;
+                    }
+                    Ok(n) => {
+                        conn.write_buf.drain(..n);
+                        progressed = true;
+                    }
+                    Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(err) => {
+                        eprintln!("glc-serve: writing to {}: {err}", conn.peer);
+                        return false;
+                    }
+                }
+            }
+            // A half-closed peer is dropped once everything owed it
+            // (including replies to requests that arrived with the
+            // EOF) has been handled and flushed.
+            !(conn.eof
+                && conn.read_buf.iter().all(|&b| b.is_ascii_whitespace())
+                && conn.write_buf.is_empty())
+        });
+
+        if !progressed {
+            // Nothing readable, writable or pending anywhere: idle.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 }
 
 fn main() -> ExitCode {

@@ -17,8 +17,23 @@
 //! process-wide `glc_ssa::ModelCache`, so any host embedding this
 //! run loop in a longer-lived process (as `glc-relay` does) gets
 //! compile reuse without changing the protocol.
+//!
+//! ## Resident mode: `glc-worker --serve`
+//!
+//! With `--serve` the process stays resident and speaks the
+//! length-prefixed frame protocol (`glc_service::frame`) on
+//! stdin/stdout instead: it sends the hello frame, then answers each
+//! framed `Envelope<WorkOrder>` with a framed `Envelope<RelayReply>`
+//! echoing the order's correlation `id`. One process thereby serves
+//! many chunk orders — the model compiles once in the process-wide
+//! `ModelCache` and every later chunk of the same circuit reuses it —
+//! and the pool keeps several orders in flight on the same pipe.
+//! Execution failures travel in-band as `RelayReply::Error` frames;
+//! only transport-level problems (unreadable stdin, a frame that
+//! fails to decode) exit the process. Clean EOF at a frame boundary
+//! is a normal shutdown.
 
-use glc_service::WorkOrder;
+use glc_service::{frame, RelayReply, WorkOrder};
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -33,12 +48,49 @@ fn run() -> Result<String, String> {
     serde_json::to_string(&partial).map_err(|e| format!("encoding partial: {e}"))
 }
 
+fn serve() -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    frame::write_frame(&mut writer, frame::FRAME_HELLO)
+        .map_err(|e| format!("sending hello frame: {e}"))?;
+    loop {
+        let Some(payload) =
+            frame::read_frame(&mut reader).map_err(|e| format!("reading order frame: {e}"))?
+        else {
+            return Ok(()); // Clean EOF between frames: the pool hung up.
+        };
+        let (id, order): (u64, WorkOrder) =
+            frame::decode_message(&payload).map_err(|e| format!("decoding order frame: {e}"))?;
+        // The order executes on this thread: chunk orders are sized to
+        // fractions of a second and the pool pipelines across
+        // *processes*, so in-process concurrency would only add
+        // nondeterministic completion order for nothing.
+        let reply = match order.execute() {
+            Ok(partial) => RelayReply::Partial(partial),
+            Err(err) => RelayReply::Error(err.to_string()),
+        };
+        let encoded =
+            frame::encode_message(id, &reply).map_err(|e| format!("encoding reply frame: {e}"))?;
+        frame::write_frame(&mut writer, &encoded)
+            .map_err(|e| format!("writing reply frame: {e}"))?;
+    }
+}
+
 fn main() -> ExitCode {
-    match run() {
-        Ok(json) => {
+    let resident = std::env::args().skip(1).any(|arg| arg == "--serve");
+    let outcome = if resident {
+        serve().map(|()| None)
+    } else {
+        run().map(Some)
+    };
+    match outcome {
+        Ok(Some(json)) => {
             println!("{json}");
             ExitCode::SUCCESS
         }
+        Ok(None) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("glc-worker: {message}");
             ExitCode::FAILURE

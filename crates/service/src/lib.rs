@@ -48,10 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod metrics;
 pub mod session;
 pub mod transport;
 
+pub use frame::{FrameDecoder, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, RequestKind};
 pub use session::{
     Envelope, ExtendBackend, ExtendRequest, Extended, Queried, QueryRequest, Request,
@@ -59,8 +61,8 @@ pub use session::{
     SpeciesNoise, Submitted,
 };
 pub use transport::{
-    ChildProcess, InProcess, PoolHealthSnapshot, RelayReply, ShardHandle, SlotHealth,
-    SlotHealthRecord, TcpRelay, Transport, WorkerPool,
+    ChildProcess, ChunkChannel, InProcess, PipelinedRelay, PipelinedWorker, PoolHealthSnapshot,
+    RelayReply, ShardHandle, SlotHealth, SlotHealthRecord, TcpRelay, Transport, WorkerPool,
 };
 
 use glc_model::Model;
@@ -377,6 +379,13 @@ pub struct RunReport {
     pub quarantined_slots: Vec<usize>,
     /// Replicates each slot contributed to the merged aggregate.
     pub slot_replicates: Vec<u64>,
+    /// Chunks a slot stole from another slot's queue (pipelined
+    /// layout only — the legacy one-chunk-per-slot layout never
+    /// steals). A load-balancing observation, not a health signal.
+    pub steals: u64,
+    /// Chunks the order was cut into (1 per active slot in the legacy
+    /// layout; finer when any slot pipelines).
+    pub chunks: u64,
 }
 
 impl RunReport {
@@ -386,6 +395,8 @@ impl RunReport {
             retried_shards: 0,
             quarantined_slots: Vec::new(),
             slot_replicates: vec![0; workers],
+            steals: 0,
+            chunks: 0,
         }
     }
 

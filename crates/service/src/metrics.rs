@@ -182,6 +182,15 @@ pub struct MetricsRegistry {
     /// The service-level snapshot published after every handled
     /// request — sessions, spill accounting, slot health, footprints.
     published: Mutex<Option<ServiceStats>>,
+    /// Chunks currently waiting in the worker pool's chunk queue
+    /// (updated live by the slot drivers as they pull work).
+    pool_queue_depth: AtomicU64,
+    /// Lifetime count of chunks a slot stole from another slot's
+    /// queue.
+    pool_steals: AtomicU64,
+    /// Orders in flight per pool slot, aligned with `slot_labels`
+    /// (pipelined slots keep a window > 1 in flight).
+    slot_inflight: Mutex<Vec<u64>>,
 }
 
 impl MetricsRegistry {
@@ -207,9 +216,36 @@ impl MetricsRegistry {
     pub fn install_slots(&self, labels: Vec<String>) {
         let mut slots = self.shards.lock().expect("metrics poisoned");
         let mut current = self.slot_labels.lock().expect("metrics poisoned");
+        let mut inflight = self.slot_inflight.lock().expect("metrics poisoned");
         if *current != labels {
             *slots = (0..labels.len()).map(|_| Arc::default()).collect();
+            *inflight = vec![0; labels.len()];
             *current = labels;
+        }
+    }
+
+    /// Sets the chunk-queue depth gauge (chunks not yet pulled by any
+    /// slot driver).
+    pub fn set_pool_queue_depth(&self, depth: u64) {
+        self.pool_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one stolen chunk.
+    pub fn inc_pool_steals(&self) {
+        self.pool_steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime stolen-chunk count.
+    pub fn pool_steals(&self) -> u64 {
+        self.pool_steals.load(Ordering::Relaxed)
+    }
+
+    /// Sets the in-flight-orders gauge for pool slot `slot` (ignored
+    /// for slots outside the installed layout).
+    pub fn set_slot_inflight(&self, slot: usize, orders: u64) {
+        let mut inflight = self.slot_inflight.lock().expect("metrics poisoned");
+        if let Some(gauge) = inflight.get_mut(slot) {
+            *gauge = orders;
         }
     }
 
@@ -282,6 +318,38 @@ impl MetricsRegistry {
                     &format!("slot=\"{slot}\",transport=\"{}\"", escape_label(label)),
                     snapshot,
                 );
+            }
+        }
+
+        {
+            use std::fmt::Write as _;
+            out.push_str(
+                "# HELP glc_pool_queue_depth Chunks waiting in the worker-pool chunk queue.\n",
+            );
+            out.push_str("# TYPE glc_pool_queue_depth gauge\n");
+            let _ = writeln!(
+                out,
+                "glc_pool_queue_depth {}",
+                self.pool_queue_depth.load(Ordering::Relaxed)
+            );
+            out.push_str(
+                "# HELP glc_pool_steals_total Chunks a pool slot stole from another slot's queue.\n",
+            );
+            out.push_str("# TYPE glc_pool_steals_total counter\n");
+            let _ = writeln!(out, "glc_pool_steals_total {}", self.pool_steals());
+            let labels = self.slot_labels.lock().expect("metrics poisoned").clone();
+            let inflight = self.slot_inflight.lock().expect("metrics poisoned").clone();
+            if !labels.is_empty() {
+                out.push_str("# HELP glc_slot_inflight Orders in flight per pool slot.\n");
+                out.push_str("# TYPE glc_slot_inflight gauge\n");
+                for (slot, label) in labels.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "glc_slot_inflight{{slot=\"{slot}\",transport=\"{}\"}} {}",
+                        escape_label(label),
+                        inflight.get(slot).copied().unwrap_or(0)
+                    );
+                }
             }
         }
 

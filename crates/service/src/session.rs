@@ -277,6 +277,10 @@ pub struct ServiceStats {
     /// retry (zero for the in-process and stateless-coordinator
     /// backends).
     pub pool_retries: u64,
+    /// Lifetime count of chunks a pool slot stole from another slot's
+    /// queue (zero for non-pool backends and all-one-shot pools, whose
+    /// legacy layout never steals).
+    pub pool_steals: u64,
     /// Request-latency histograms per request kind, when a metrics
     /// registry is attached (empty otherwise).
     pub latency: Vec<RequestLatency>,
@@ -313,6 +317,7 @@ impl Deserialize for ServiceStats {
             spill_bytes: field(value, "spill_bytes")?,
             spill_gc_evictions: field(value, "spill_gc_evictions")?,
             pool_retries: field(value, "pool_retries")?,
+            pool_steals: field(value, "pool_steals")?,
             latency: field(value, "latency")?,
             slots: field(value, "slots")?,
             footprints: field(value, "footprints")?,
@@ -892,9 +897,13 @@ impl SessionStore {
     /// accounting, slot health (pool backends), latency histograms
     /// (when a registry is attached), and resident-session footprints.
     pub fn stats(&self) -> ServiceStats {
-        let (pool_retries, slots) = match &self.backend {
-            ExtendBackend::Pool(pool) => (pool.lifetime_retried_shards(), pool.health()),
-            _ => (0, Vec::new()),
+        let (pool_retries, pool_steals, slots) = match &self.backend {
+            ExtendBackend::Pool(pool) => (
+                pool.lifetime_retried_shards(),
+                pool.lifetime_steals(),
+                pool.health(),
+            ),
+            _ => (0, 0, Vec::new()),
         };
         let footprints = self
             .sessions
@@ -928,6 +937,7 @@ impl SessionStore {
             spill_bytes: self.spill_bytes,
             spill_gc_evictions: self.spill_gc_evictions,
             pool_retries,
+            pool_steals,
             latency,
             slots,
             footprints,

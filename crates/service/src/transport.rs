@@ -41,14 +41,15 @@
 //! reporting the quarantine in [`RunReport`].
 
 use crate::metrics::MetricsRegistry;
-use crate::{RunReport, ServiceError, WorkOrder};
+use crate::{frame, RunReport, ServiceError, WorkOrder};
 use glc_ssa::EnsemblePartial;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-use std::sync::Arc;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a shard of ensemble work executes.
@@ -73,6 +74,53 @@ pub trait Transport: Send {
     /// A human-readable description of this transport, for reports and
     /// logs (e.g. `child-process target/release/glc-worker`).
     fn describe(&self) -> String;
+
+    /// Opens a persistent [`ChunkChannel`] for pipelined chunk orders,
+    /// or `Ok(None)` when this transport is one-shot only — the pool
+    /// then falls back to [`Transport::spawn_shard`] per chunk. The
+    /// default is `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Worker`] when the connection cannot be
+    /// established (spawn failure, unreachable peer, failed frame
+    /// handshake).
+    fn open_channel(&self) -> Result<Option<Box<dyn ChunkChannel>>, ServiceError> {
+        Ok(None)
+    }
+
+    /// Whether this transport keeps a persistent pipelined connection.
+    /// The pool cuts fine-grained, steal-eligible chunks only when at
+    /// least one active slot is pipelined; an all-one-shot pool keeps
+    /// the classic one-weighted-shard-per-slot layout (chunking a
+    /// one-shot transport would multiply its per-order spawn cost).
+    fn pipelined(&self) -> bool {
+        false
+    }
+}
+
+/// A persistent connection that pipelines chunk orders: many orders
+/// may be in flight at once, correlated by the envelope `id` each
+/// reply echoes.
+///
+/// Error semantics are two-level. The *outer* `Err` of
+/// [`ChunkChannel::submit`]/[`ChunkChannel::recv`] means the
+/// connection itself is broken — every in-flight order is lost and the
+/// channel must be dropped. An *inner* `Err` from `recv` means that
+/// one chunk failed while the connection stays serviceable.
+pub trait ChunkChannel: Send {
+    /// How many orders are profitably in flight at once (>= 1).
+    fn window(&self) -> usize {
+        1
+    }
+
+    /// Sends one chunk order tagged with the correlation id `id`.
+    fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError>;
+
+    /// Receives the next completion, in whatever order the peer
+    /// finished them. Partials are validated before they are returned
+    /// (no partial trust — same boundary as [`ShardHandle::join`]).
+    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError>;
 }
 
 /// An in-flight shard: join it to get the partial.
@@ -124,25 +172,6 @@ impl ShardHandle {
             ServiceError::Protocol(format!("shard returned an invalid partial: {e}"))
         })?;
         Ok(partial)
-    }
-
-    /// Abandons the shard without collecting it (cleanup after a
-    /// terminal failure elsewhere): children are killed and reaped,
-    /// relay connections are dropped. In-process threads have no
-    /// cancellation mechanism — they detach and run their shard to
-    /// completion in the background, their result discarded — so an
-    /// abandoned [`InProcess`] shard costs CPU until it finishes (a
-    /// rare error-path cost; the common failure vehicles are the
-    /// killable ones).
-    fn abandon(self) {
-        match self.inner {
-            HandleKind::Thread(_) => {} // Detaches; the thread finishes and is discarded.
-            HandleKind::Child { mut child, .. } => {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-            HandleKind::Relay { stream, .. } => drop(stream),
-        }
     }
 }
 
@@ -280,6 +309,309 @@ pub enum RelayReply {
     Error(String),
 }
 
+/// How long connection setup waits for the peer's hello frame before
+/// failing closed. Overridable via `GLC_FRAME_HANDSHAKE_MS` (tests and
+/// drills shorten it). Without the handshake, a peer that consumes
+/// bytes but never frames — a dead marker script, a legacy
+/// line-protocol relay — would block the slot forever instead of
+/// failing it.
+fn handshake_timeout() -> Duration {
+    std::env::var("GLC_FRAME_HANDSHAKE_MS")
+        .ok()
+        .and_then(|ms| ms.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// Orders a resident worker keeps in flight: one executing, one queued
+/// behind it so the worker never idles waiting for the next frame.
+const WORKER_PIPELINE_WINDOW: usize = 2;
+
+/// Orders an open relay socket keeps in flight: the relay executes
+/// frames concurrently, so a deeper window keeps its worker slots fed.
+const RELAY_PIPELINE_WINDOW: usize = 4;
+
+/// Runs chunks on one **resident** `glc-worker --serve` child per pool
+/// slot: spawned once, kept alive on its pipes, orders pipelined as
+/// length-prefixed frames (see [`crate::frame`]) with replies
+/// correlated by envelope id. Eliminates the per-order spawn +
+/// process-lifetime JSON cost [`ChildProcess`] pays; the one-shot
+/// [`Transport::spawn_shard`] fallback (used by the retry pass)
+/// delegates to a fresh [`ChildProcess`] order.
+#[derive(Debug, Clone)]
+pub struct PipelinedWorker {
+    worker: PathBuf,
+}
+
+impl PipelinedWorker {
+    /// A transport keeping one resident child of the worker binary at
+    /// `worker`.
+    pub fn new(worker: impl Into<PathBuf>) -> Self {
+        PipelinedWorker {
+            worker: worker.into(),
+        }
+    }
+}
+
+impl Transport for PipelinedWorker {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError> {
+        ChildProcess::new(&self.worker).spawn_shard(order)
+    }
+
+    fn describe(&self) -> String {
+        format!("pipelined-worker {}", self.worker.display())
+    }
+
+    fn open_channel(&self) -> Result<Option<Box<dyn ChunkChannel>>, ServiceError> {
+        Ok(Some(Box::new(FramedChildChannel::open(&self.worker)?)))
+    }
+
+    fn pipelined(&self) -> bool {
+        true
+    }
+}
+
+/// Runs chunks over one **persistent framed socket** per pool slot to
+/// a `glc-relay`: connect once, handshake, then pipeline orders as
+/// frames. The relay executes concurrent frames on its own threads and
+/// replies as they finish (out of order; the envelope id correlates).
+/// The one-shot fallback delegates to a fresh [`TcpRelay`] line-mode
+/// connection.
+#[derive(Debug, Clone)]
+pub struct PipelinedRelay {
+    addr: String,
+}
+
+impl PipelinedRelay {
+    /// A transport keeping one framed connection to the relay at
+    /// `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        PipelinedRelay { addr: addr.into() }
+    }
+
+    /// The relay address this transport dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Transport for PipelinedRelay {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<ShardHandle, ServiceError> {
+        TcpRelay::new(&self.addr).spawn_shard(order)
+    }
+
+    fn describe(&self) -> String {
+        format!("pipelined-relay {}", self.addr)
+    }
+
+    fn open_channel(&self) -> Result<Option<Box<dyn ChunkChannel>>, ServiceError> {
+        Ok(Some(Box::new(FramedRelayChannel::open(&self.addr)?)))
+    }
+
+    fn pipelined(&self) -> bool {
+        true
+    }
+}
+
+/// Decodes one framed [`RelayReply`] payload into the channel result
+/// shape: chunk-level errors (`RelayReply::Error`, invalid partials)
+/// stay inner so the connection survives them; an uncorrelatable or
+/// undecodable payload is an outer error that poisons the connection.
+fn decode_chunk_reply(
+    payload: &[u8],
+) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+    let (id, reply): (u64, RelayReply) = frame::decode_message(payload)?;
+    match reply {
+        RelayReply::Partial(partial) => match partial.validate() {
+            Ok(()) => Ok((id, Ok(partial))),
+            Err(e) => Ok((
+                id,
+                Err(ServiceError::Protocol(format!(
+                    "chunk returned an invalid partial: {e}"
+                ))),
+            )),
+        },
+        RelayReply::Error(message) => Ok((id, Err(ServiceError::Worker(message)))),
+    }
+}
+
+/// The resident-worker connection: frames down the child's stdin,
+/// reply frames read off its stdout by a dedicated reader thread (the
+/// thread is what gives connection setup a handshake *timeout* — pipes
+/// have no native read timeout).
+struct FramedChildChannel {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    replies: mpsc::Receiver<Result<Vec<u8>, ServiceError>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FramedChildChannel {
+    fn open(worker: &PathBuf) -> Result<Self, ServiceError> {
+        let mut child = Command::new(worker)
+            .arg("--serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // Errors travel in-band as RelayReply::Error frames; an
+            // unread stderr pipe could wedge a chatty worker.
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| ServiceError::Worker(format!("cannot spawn {}: {e}", worker.display())))?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let (tx, replies) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut stdout = BufReader::new(stdout);
+            loop {
+                match frame::read_frame(&mut stdout) {
+                    Ok(Some(payload)) => {
+                        if tx.send(Ok(payload)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(err) => {
+                        let _ = tx.send(Err(err));
+                        break;
+                    }
+                }
+            }
+        });
+        let channel = FramedChildChannel {
+            child,
+            stdin: Some(stdin),
+            replies,
+            reader: Some(reader),
+        };
+        let hello = match channel.replies.recv_timeout(handshake_timeout()) {
+            Ok(Ok(payload)) if payload == frame::FRAME_HELLO => Ok(()),
+            Ok(Ok(_)) => Err("first frame was not the hello".to_string()),
+            Ok(Err(err)) => Err(err.to_string()),
+            Err(_) => Err(format!("no hello frame within {:?}", handshake_timeout())),
+        };
+        if let Err(detail) = hello {
+            return Err(ServiceError::Worker(format!(
+                "worker {} did not complete the frame handshake: {detail}",
+                worker.display()
+            )));
+        }
+        Ok(channel)
+    }
+}
+
+impl ChunkChannel for FramedChildChannel {
+    fn window(&self) -> usize {
+        WORKER_PIPELINE_WINDOW
+    }
+
+    fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
+        let payload = frame::encode_message(id, order)?;
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| ServiceError::Worker("worker connection already closed".into()))?;
+        frame::write_frame(stdin, &payload)
+    }
+
+    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+        match self.replies.recv() {
+            Ok(Ok(payload)) => decode_chunk_reply(&payload),
+            Ok(Err(err)) => Err(err),
+            Err(_) => Err(ServiceError::Worker(
+                "resident worker closed its connection".into(),
+            )),
+        }
+    }
+}
+
+impl Drop for FramedChildChannel {
+    fn drop(&mut self) {
+        drop(self.stdin.take()); // EOF: a healthy worker exits cleanly.
+        let _ = self.child.kill(); // A wedged one does not get to linger.
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The persistent framed relay connection. The client speaks first
+/// (the relay sniffs the magic byte to pick framed vs line mode), then
+/// both sides exchange hello frames under a read timeout before any
+/// order is pipelined.
+struct FramedRelayChannel {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl FramedRelayChannel {
+    fn open(addr: &str) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServiceError::Worker(format!("cannot connect to relay {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(handshake_timeout()))
+            .map_err(|e| ServiceError::Worker(format!("relay {addr}: set timeout: {e}")))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| ServiceError::Worker(format!("relay {addr}: cannot clone stream: {e}")))?;
+        frame::write_frame(&mut writer, frame::FRAME_HELLO)?;
+        let mut reader = BufReader::new(stream);
+        match frame::read_frame(&mut reader) {
+            Ok(Some(payload)) if payload == frame::FRAME_HELLO => {}
+            Ok(Some(_)) => {
+                return Err(ServiceError::Worker(format!(
+                    "relay {addr} did not complete the frame handshake: \
+                     first frame was not the hello"
+                )))
+            }
+            Ok(None) => {
+                return Err(ServiceError::Worker(format!(
+                    "relay {addr} did not complete the frame handshake: connection closed"
+                )))
+            }
+            Err(err) => {
+                return Err(ServiceError::Worker(format!(
+                    "relay {addr} did not complete the frame handshake: {err}"
+                )))
+            }
+        }
+        reader
+            .get_ref()
+            .set_read_timeout(None)
+            .map_err(|e| ServiceError::Worker(format!("relay {addr}: clear timeout: {e}")))?;
+        Ok(FramedRelayChannel {
+            addr: addr.to_string(),
+            reader,
+            writer,
+        })
+    }
+}
+
+impl ChunkChannel for FramedRelayChannel {
+    fn window(&self) -> usize {
+        RELAY_PIPELINE_WINDOW
+    }
+
+    fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
+        let payload = frame::encode_message(id, order)?;
+        frame::write_frame(&mut self.writer, &payload)
+            .map_err(|e| ServiceError::Worker(format!("relay {}: {e}", self.addr)))
+    }
+
+    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+        match frame::read_frame(&mut self.reader) {
+            Ok(Some(payload)) => decode_chunk_reply(&payload),
+            Ok(None) => Err(ServiceError::Worker(format!(
+                "relay {} closed the framed connection",
+                self.addr
+            ))),
+            Err(err) => Err(err),
+        }
+    }
+}
+
 /// Reaps a worker child's output: waits, checks the exit status, and
 /// decodes the partial.
 fn collect_child(child: Child, first_replicate: u64) -> Result<EnsemblePartial, ServiceError> {
@@ -397,6 +729,12 @@ const WEIGHT_CLAMP: f64 = 8.0;
 struct PoolSlot {
     transport: Box<dyn Transport>,
     health: SlotHealth,
+    /// The slot's persistent pipelined connection, opened lazily on
+    /// first use and kept across [`WorkerPool::run`] calls (connection
+    /// reuse is most of what the pipelined transports buy). Dropped on
+    /// any connection-level failure; reopened on the next run. Always
+    /// `None` for one-shot transports.
+    channel: Option<Box<dyn ChunkChannel>>,
 }
 
 /// A health-aware scheduler over one [`Transport`] per slot.
@@ -416,6 +754,10 @@ pub struct WorkerPool {
     /// across [`WorkerPool::run`] calls, where [`RunReport`] resets
     /// per run (the fix this field exists for).
     lifetime_retried_shards: u64,
+    /// Lifetime total of chunks a slot stole from another slot's
+    /// queue (in-memory only; steals are a load-balancing observation,
+    /// not durable health).
+    lifetime_steals: u64,
     /// Shard-latency sink, when a registry is attached: each slot's
     /// successful spawn-to-join time lands in its histogram.
     metrics: Option<Arc<MetricsRegistry>>,
@@ -439,10 +781,12 @@ impl WorkerPool {
                 .map(|transport| PoolSlot {
                     transport,
                     health: SlotHealth::default(),
+                    channel: None,
                 })
                 .collect(),
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
             lifetime_retried_shards: 0,
+            lifetime_steals: 0,
             metrics: None,
         })
     }
@@ -485,6 +829,13 @@ impl WorkerPool {
     /// (contrast [`RunReport::retried_shards`], which resets per run).
     pub fn lifetime_retried_shards(&self) -> u64 {
         self.lifetime_retried_shards
+    }
+
+    /// Lifetime total of chunks served by a slot other than the one
+    /// whose queue they were seeded to (work stealing), accumulated
+    /// across every [`WorkerPool::run`] of this pool.
+    pub fn lifetime_steals(&self) -> u64 {
+        self.lifetime_steals
     }
 
     /// The pool's durable health: every slot's accounting plus the
@@ -536,16 +887,26 @@ impl WorkerPool {
         self.metrics = Some(registry);
     }
 
-    /// Executes `order` across the pool and merges the shard partials:
-    /// sizes shards by observed slot throughput, retries failures on
-    /// the other slots, updates quarantine state, and reports what
-    /// happened. The merged partial is bitwise independent of all of
-    /// those choices.
+    /// Executes `order` across the pool and merges the chunk partials.
+    ///
+    /// The seed range is cut into chunks (adaptive sizing when any
+    /// active slot is pipelined; the classic one-weighted-shard-per-
+    /// slot layout otherwise), seeded to per-slot queues proportional
+    /// to observed throughput, and drained by one driver per slot —
+    /// pipelined slots keep a window of orders in flight on their
+    /// persistent connection, and a slot whose own queue runs dry
+    /// **steals** from the back of the longest remaining queue, so
+    /// stragglers and mid-run failures stop gating the run. Completed
+    /// chunks stream-merge through a chunk-index reorder buffer, so
+    /// the merged partial is bitwise independent of scheduling,
+    /// stealing, transport and retry choices. Chunks that failed in
+    /// the parallel phase are retried sequentially afterwards on the
+    /// other slots, with the pre-existing rotation/quarantine rules.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Order`] for an empty order; otherwise the error
-    /// of the lowest-replicate shard whose attempts were exhausted.
+    /// of the lowest-replicate chunk whose attempts were exhausted.
     pub fn run(&mut self, order: &WorkOrder) -> Result<(EnsemblePartial, RunReport), ServiceError> {
         if order.replicates == 0 {
             return Err(ServiceError::Order("replicates must be >= 1".into()));
@@ -567,73 +928,207 @@ impl WorkerPool {
             .iter()
             .map(|&i| self.slots[i].health.observed_throughput())
             .collect();
-        let sizes = shard_sizes(order.replicates, &throughputs);
+        let pipelined = active.iter().any(|&i| self.slots[i].transport.pipelined());
+        let plan = chunk_plan(order.replicates, &throughputs, pipelined);
+
+        // Cut the order into chunk orders (absolute seeds: chunk
+        // boundaries cannot move a bit) and seed the per-slot queues.
+        let mut chunks: Vec<WorkOrder> = Vec::with_capacity(plan.len());
+        let mut seeded: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.slots.len()];
+        let mut first = order.first_replicate;
+        for (index, &(size, home)) in plan.iter().enumerate() {
+            let mut chunk = order.clone();
+            chunk.first_replicate = first;
+            chunk.replicates = size;
+            first = first.wrapping_add(size);
+            seeded[active[home]].push_back(index);
+            chunks.push(chunk);
+        }
+        // Stealing only pays when chunks are finer than slots; in the
+        // legacy one-chunk-per-slot layout it would just reshuffle the
+        // deterministic weighted split.
+        let queue = ChunkQueue::new(seeded, pipelined);
 
         let mut report = RunReport::new(self.slots.len());
-        // Spawn every shard before joining any, so they run
-        // concurrently; a spawn error is just a first-attempt failure
-        // and goes through the same retry path at collect time.
-        let mut inflight: Vec<(usize, WorkOrder, Instant, Result<ShardHandle, ServiceError>)> =
-            Vec::new();
-        let mut first = order.first_replicate;
-        for (&slot, &size) in active.iter().zip(&sizes) {
-            if size == 0 {
-                continue;
-            }
-            let mut shard = order.clone();
-            shard.first_replicate = first;
-            shard.replicates = size;
-            first = first.wrapping_add(size);
-            let spawned = self.slots[slot].transport.spawn_shard(&shard);
-            inflight.push((slot, shard, Instant::now(), spawned));
+        report.chunks = chunks.len() as u64;
+        let metrics = self.metrics.clone();
+        if let Some(metrics) = &metrics {
+            metrics.set_pool_queue_depth(queue.depth() as u64);
         }
 
-        // Collect and merge in shard order. Order does not matter for
-        // the bits (exact accumulation); it does give deterministic
-        // error reporting: the lowest-replicate failing shard wins.
-        // After a terminal failure the remaining shards are abandoned:
-        // children are killed and reaped, relay connections dropped;
-        // in-process threads (uncancellable) detach and finish in the
-        // background with their results discarded — see
-        // ShardHandle::abandon.
+        // Parallel phase: one driver thread per active slot, all
+        // pulling from the shared queue. Drivers own their slot's
+        // transport + cached channel; health and the merge stay on
+        // this thread, fed by events (per-slot event order is the
+        // slot's execution order, so consecutive-failure accounting
+        // matches the sequential scheduler's).
+        let is_active = {
+            let mut mask = vec![false; self.slots.len()];
+            for &i in &active {
+                mask[i] = true;
+            }
+            mask
+        };
+        let (tx, rx) = mpsc::channel::<Event>();
         let mut merged: Option<EnsemblePartial> = None;
-        let mut first_failure: Option<ServiceError> = None;
-        for (slot, shard, started, spawned) in inflight {
-            if first_failure.is_some() {
-                if let Ok(handle) = spawned {
-                    handle.abandon();
+        let mut buffer: BTreeMap<usize, EnsemblePartial> = BTreeMap::new();
+        let mut next_merge = 0usize;
+        let mut merge_error: Option<ServiceError> = None;
+        // (chunk index, error of the failed attempt, slot it failed on)
+        let mut pending: Vec<(usize, ServiceError, usize)> = Vec::new();
+        let mut slot_events: Vec<Vec<HealthEvent>> =
+            (0..self.slots.len()).map(|_| Vec::new()).collect();
+        let mut busy_secs: Vec<f64> = vec![0.0; self.slots.len()];
+        let mut last_channel_error: Option<String> = None;
+
+        std::thread::scope(|scope| {
+            for (index, slot) in self.slots.iter_mut().enumerate() {
+                if !is_active[index] {
+                    continue;
                 }
-                continue;
+                let tx = tx.clone();
+                let queue = &queue;
+                let chunks = &chunks;
+                let metrics = metrics.as_deref();
+                scope.spawn(move || drive_slot(index, slot, queue, chunks, &tx, metrics));
             }
-            let partial = match spawned.and_then(ShardHandle::join) {
-                Ok(partial) => {
-                    self.record_success(slot, &shard, started.elapsed().as_secs_f64(), &mut report);
-                    Ok(partial)
+            drop(tx);
+            while let Ok(event) = rx.recv() {
+                match event {
+                    Event::Done {
+                        slot,
+                        chunk,
+                        elapsed_secs,
+                        stolen,
+                        partial,
+                    } => {
+                        let replicates = chunks[chunk].replicates;
+                        slot_events[slot].push(HealthEvent::Success { replicates });
+                        report.slot_replicates[slot] += replicates;
+                        if stolen {
+                            report.steals += 1;
+                            if let Some(metrics) = &metrics {
+                                metrics.inc_pool_steals();
+                            }
+                        }
+                        if let Some(metrics) = &metrics {
+                            metrics.observe_shard(slot, Duration::from_secs_f64(elapsed_secs));
+                        }
+                        buffer.insert(chunk, partial);
+                        while let Some(ready) = buffer.remove(&next_merge) {
+                            let outcome = match &mut merged {
+                                None => {
+                                    merged = Some(ready);
+                                    Ok(())
+                                }
+                                Some(total) => total.merge(&ready).map_err(ServiceError::from),
+                            };
+                            if let Err(err) = outcome {
+                                merge_error.get_or_insert(err);
+                            }
+                            next_merge += 1;
+                        }
+                    }
+                    Event::ChunkFailed { slot, chunk, error } => {
+                        slot_events[slot].push(HealthEvent::Failure);
+                        report.worker_failures[slot] += 1;
+                        pending.push((chunk, error, slot));
+                    }
+                    Event::ChunkLost { slot, chunk, error } => {
+                        pending.push((chunk, error, slot));
+                    }
+                    Event::ChannelFailed { slot, error } => {
+                        slot_events[slot].push(HealthEvent::Failure);
+                        report.worker_failures[slot] += 1;
+                        last_channel_error = Some(error.to_string());
+                    }
+                    Event::Drained { slot, busy } => {
+                        busy_secs[slot] += busy;
+                    }
                 }
-                Err(err) => {
-                    self.record_failure(slot, &mut report);
-                    self.retry(slot, &shard, err, &mut report)
-                }
-            };
-            let outcome = partial.and_then(|partial| match &mut merged {
-                None => {
-                    merged = Some(partial);
-                    Ok(())
-                }
-                Some(total) => total.merge(&partial).map_err(ServiceError::from),
-            });
-            if let Err(err) = outcome {
-                first_failure = Some(err);
             }
+        });
+
+        // Apply the buffered health deltas in each slot's own event
+        // order (mpsc preserves per-sender order).
+        for (index, events) in slot_events.iter().enumerate() {
+            for event in events {
+                let health = &mut self.slots[index].health;
+                match event {
+                    HealthEvent::Success { replicates } => {
+                        health.successes += 1;
+                        health.consecutive_failures = 0;
+                        health.replicates += replicates;
+                    }
+                    HealthEvent::Failure => {
+                        health.failures += 1;
+                        health.consecutive_failures += 1;
+                        if health.consecutive_failures >= self.quarantine_after {
+                            health.quarantined = true;
+                        }
+                    }
+                }
+            }
+            self.slots[index].health.busy_secs += busy_secs[index];
         }
+        if let Some(metrics) = &metrics {
+            metrics.set_pool_queue_depth(0);
+        }
+        self.lifetime_steals += report.steals;
+
+        // Chunks nobody attempted (every slot failed before reaching
+        // them) join the retry pass with the last connection error as
+        // their cause.
+        for (chunk, home) in queue.drain_remaining() {
+            let cause = last_channel_error
+                .clone()
+                .unwrap_or_else(|| "every slot stopped before this chunk ran".to_string());
+            pending.push((chunk, ServiceError::Worker(cause), home));
+        }
+
+        if merge_error.is_none() {
+            // Sequential retry pass, lowest replicate range first —
+            // the pre-existing rotation, quarantine and accounting
+            // rules apply unchanged (retries ride the one-shot
+            // spawn_shard path even on pipelined transports).
+            pending.sort_by_key(|&(chunk, ..)| chunk);
+            let mut terminal: Option<ServiceError> = None;
+            for (chunk, error, failed_slot) in pending {
+                if terminal.is_some() {
+                    break; // Deterministic error: the lowest failing chunk wins.
+                }
+                match self.retry(failed_slot, &chunks[chunk], error, &mut report) {
+                    Ok(partial) => {
+                        buffer.insert(chunk, partial);
+                    }
+                    Err(err) => terminal = Some(err),
+                }
+            }
+            merge_error = terminal;
+        }
+
         report.quarantined_slots = (0..self.slots.len())
             .filter(|&i| self.slots[i].health.quarantined)
             .collect();
-        if let Some(failure) = first_failure {
+        if let Some(failure) = merge_error {
             return Err(failure);
         }
+        // Finish the in-order stream merge with the retried chunks.
+        while let Some(ready) = buffer.remove(&next_merge) {
+            match &mut merged {
+                None => merged = Some(ready),
+                Some(total) => total.merge(&ready).map_err(ServiceError::from)?,
+            }
+            next_merge += 1;
+        }
+        if next_merge < chunks.len() {
+            return Err(ServiceError::Worker(format!(
+                "chunk {next_merge} of {} was never completed",
+                chunks.len()
+            )));
+        }
         let merged =
-            merged.ok_or_else(|| ServiceError::Worker("no shard produced a partial".into()))?;
+            merged.ok_or_else(|| ServiceError::Worker("no chunk produced a partial".into()))?;
         Ok((merged, report))
     }
 
@@ -775,6 +1270,417 @@ fn shard_sizes(total: u64, throughputs: &[Option<f64>]) -> Vec<u64> {
     sizes
 }
 
+/// Target wall-clock duration of one pipelined chunk. Small enough
+/// that a straggler only gates the run by a fraction of a second,
+/// large enough that framing + JSON overhead stays in the noise.
+const TARGET_CHUNK_SECS: f64 = 0.15;
+
+/// Chunk-count bounds per slot in the pipelined layout: at least 2
+/// (so there is always something to steal) and at most 16 (so
+/// per-chunk overhead cannot dominate a small order).
+const MIN_CHUNKS_PER_SLOT: u64 = 2;
+const MAX_CHUNKS_PER_SLOT: u64 = 16;
+
+/// Cuts `total` replicates into chunks, returning `(size, home)`
+/// pairs where `home` is the index into the *active slot list* whose
+/// queue the chunk is seeded to. Zero-sized chunks are dropped.
+///
+/// Two layouts:
+/// - **legacy** (`pipelined == false`): exactly the classic weighted
+///   one-shard-per-slot split ([`shard_sizes`]) — one-shot transports
+///   pay a spawn per chunk, so finer chunks would only add overhead,
+///   and the scheduler disables stealing for this layout.
+/// - **pipelined**: near-uniform chunks sized so each takes roughly
+///   [`TARGET_CHUNK_SECS`] at the mean observed throughput, clamped
+///   to [`MIN_CHUNKS_PER_SLOT`]..=[`MAX_CHUNKS_PER_SLOT`] chunks per
+///   slot (a cold pool gets `MIN_CHUNKS_PER_SLOT`); contiguous runs
+///   of chunks are homed to slots proportionally to throughput.
+///
+/// Chunk boundaries never move a bit of the result — replicate seeds
+/// are absolute and the merge exact — so sizing only shapes latency.
+fn chunk_plan(total: u64, throughputs: &[Option<f64>], pipelined: bool) -> Vec<(u64, usize)> {
+    let slots = throughputs.len() as u64;
+    debug_assert!(slots > 0);
+    if !pipelined {
+        return shard_sizes(total, throughputs)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, size)| size > 0)
+            .map(|(home, size)| (size, home))
+            .collect();
+    }
+    let ceil_div = |a: u64, b: u64| a.div_euclid(b) + u64::from(!a.is_multiple_of(b));
+    let most = ceil_div(total, slots * MIN_CHUNKS_PER_SLOT).max(1);
+    let known: Vec<f64> = throughputs.iter().flatten().copied().collect();
+    let target = if known.is_empty() {
+        most // Cold pool: MIN_CHUNKS_PER_SLOT chunks per slot.
+    } else {
+        // A warm pool trusts its throughput estimate: when a slot's
+        // whole share fits inside TARGET_CHUNK_SECS there is nothing
+        // to pipeline or steal, so one chunk per slot skips the
+        // per-chunk encode/decode entirely.
+        let mean = known.iter().sum::<f64>() / known.len() as f64;
+        let least = ceil_div(total, slots * MAX_CHUNKS_PER_SLOT).max(1);
+        let share = ceil_div(total, slots).max(1);
+        (((mean * TARGET_CHUNK_SECS).round() as u64).max(1)).clamp(least.min(share), share)
+    };
+    let count = ceil_div(total, target).max(1) as usize;
+    // Even cut of replicates across chunks; weighted cut of chunks
+    // across slots. Both reuse the deterministic largest-remainder
+    // split.
+    let sizes = shard_sizes(total, &vec![None; count]);
+    let homes = shard_sizes(count as u64, throughputs);
+    let mut plan = Vec::with_capacity(count);
+    let mut chunk = 0usize;
+    for (home, &chunks) in homes.iter().enumerate() {
+        for _ in 0..chunks {
+            plan.push((sizes[chunk], home));
+            chunk += 1;
+        }
+    }
+    debug_assert_eq!(chunk, count);
+    plan.retain(|&(size, _)| size > 0);
+    plan
+}
+
+/// The shared chunk queue: one deque of chunk indices per slot.
+/// Slots pop their own queue from the front; a slot whose queue ran
+/// dry steals from the *back* of the longest other queue (back-
+/// stealing takes the work farthest from the victim's cursor, lowest
+/// victim index breaks ties deterministically). Stealing is disabled
+/// in the legacy one-chunk-per-slot layout, where it would only
+/// reshuffle the deterministic weighted split.
+struct ChunkQueue {
+    deques: Mutex<Vec<VecDeque<usize>>>,
+    allow_steal: bool,
+}
+
+impl ChunkQueue {
+    fn new(seeded: Vec<VecDeque<usize>>, allow_steal: bool) -> Self {
+        ChunkQueue {
+            deques: Mutex::new(seeded),
+            allow_steal,
+        }
+    }
+
+    /// Next chunk for `slot`, with a flag marking it as stolen.
+    fn pull(&self, slot: usize) -> Option<(usize, bool)> {
+        let mut deques = self.deques.lock().expect("chunk queue poisoned");
+        if let Some(chunk) = deques[slot].pop_front() {
+            return Some((chunk, false));
+        }
+        if !self.allow_steal {
+            return None;
+        }
+        let victim = deques
+            .iter()
+            .enumerate()
+            .filter(|&(index, deque)| index != slot && !deque.is_empty())
+            .min_by_key(|&(index, deque)| (std::cmp::Reverse(deque.len()), index))
+            .map(|(index, _)| index)?;
+        deques[victim].pop_back().map(|chunk| (chunk, true))
+    }
+
+    /// Total chunks still queued (not yet pulled by any driver).
+    fn depth(&self) -> usize {
+        let deques = self.deques.lock().expect("chunk queue poisoned");
+        deques.iter().map(VecDeque::len).sum()
+    }
+
+    /// Drains every queued chunk as `(chunk, home slot)` — the chunks
+    /// nobody reached because every driver stopped early.
+    fn drain_remaining(&self) -> Vec<(usize, usize)> {
+        let mut deques = self.deques.lock().expect("chunk queue poisoned");
+        let mut leftover = Vec::new();
+        for (slot, deque) in deques.iter_mut().enumerate() {
+            while let Some(chunk) = deque.pop_front() {
+                leftover.push((chunk, slot));
+            }
+        }
+        leftover
+    }
+}
+
+/// What a slot driver tells the scheduler thread. Per-slot event
+/// order is the slot's execution order (mpsc preserves per-sender
+/// FIFO), which is what the health accounting relies on.
+enum Event {
+    /// A chunk completed with a validated partial.
+    Done {
+        slot: usize,
+        chunk: usize,
+        elapsed_secs: f64,
+        stolen: bool,
+        partial: EnsemblePartial,
+    },
+    /// One chunk failed. Counts one slot failure; the chunk joins the
+    /// sequential retry pass.
+    ChunkFailed {
+        slot: usize,
+        chunk: usize,
+        error: ServiceError,
+    },
+    /// A chunk was in flight when its connection broke. The breakage
+    /// is counted once (by its `ChunkFailed` or `ChannelFailed`
+    /// sibling); this chunk just needs retrying.
+    ChunkLost {
+        slot: usize,
+        chunk: usize,
+        error: ServiceError,
+    },
+    /// The connection failed before any chunk could be charged for it
+    /// (e.g. a failed frame handshake). Counts one slot failure; the
+    /// slot's unpulled chunks stay in the queue for stealing/retry.
+    ChannelFailed { slot: usize, error: ServiceError },
+    /// The driver exited; `busy` is the union of its busy windows
+    /// (time with >= 1 order in flight), which keeps
+    /// [`SlotHealth::observed_throughput`] honest under pipelining —
+    /// summing per-chunk latencies would double-count overlap.
+    Drained { slot: usize, busy: f64 },
+}
+
+/// Buffered health delta, applied on the scheduler thread after the
+/// drivers join (the slots are mutably borrowed while they run).
+enum HealthEvent {
+    Success { replicates: u64 },
+    Failure,
+}
+
+/// A driver's execution vehicle: the transport's persistent pipelined
+/// channel, or the one-shot `spawn_shard` path behind the same
+/// submit/recv shape (window 1, spawn errors surfaced as inner chunk
+/// failures — one-shot transports have no connection to break).
+enum DriverChan<'a> {
+    Pipelined(Box<dyn ChunkChannel>),
+    OneShot {
+        transport: &'a dyn Transport,
+        pending: Option<(u64, Result<ShardHandle, ServiceError>)>,
+    },
+}
+
+impl DriverChan<'_> {
+    fn window(&self) -> usize {
+        match self {
+            DriverChan::Pipelined(channel) => channel.window().max(1),
+            DriverChan::OneShot { .. } => 1,
+        }
+    }
+
+    fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
+        match self {
+            DriverChan::Pipelined(channel) => channel.submit(id, order),
+            DriverChan::OneShot { transport, pending } => {
+                debug_assert!(pending.is_none());
+                *pending = Some((id, transport.spawn_shard(order)));
+                Ok(())
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+        match self {
+            DriverChan::Pipelined(channel) => channel.recv(),
+            DriverChan::OneShot { pending, .. } => {
+                let (id, spawned) = pending.take().expect("recv without a submitted order");
+                Ok((id, spawned.and_then(ShardHandle::join)))
+            }
+        }
+    }
+}
+
+/// Drives one slot: pulls chunks (own queue first, then steals),
+/// keeps up to `window` orders in flight on the slot's channel, and
+/// streams [`Event`]s back to the scheduler. After any failure the
+/// driver stops pulling new chunks but still drains healthy in-flight
+/// orders; a connection-level failure loses every in-flight order
+/// (first charged as the failure, the rest merely lost) and drops the
+/// channel so the next run reopens it. A healthy pipelined channel is
+/// cached back into the slot at exit — connection reuse across runs
+/// is most of what pipelining buys.
+fn drive_slot(
+    index: usize,
+    slot: &mut PoolSlot,
+    queue: &ChunkQueue,
+    chunks: &[WorkOrder],
+    tx: &mpsc::Sender<Event>,
+    metrics: Option<&MetricsRegistry>,
+) {
+    let PoolSlot {
+        transport, channel, ..
+    } = slot;
+    let mut chan = match channel.take() {
+        Some(cached) => DriverChan::Pipelined(cached),
+        None => match transport.open_channel() {
+            Ok(Some(opened)) => DriverChan::Pipelined(opened),
+            Ok(None) => DriverChan::OneShot {
+                transport: &**transport,
+                pending: None,
+            },
+            Err(error) => {
+                let _ = tx.send(Event::ChannelFailed { slot: index, error });
+                let _ = tx.send(Event::Drained {
+                    slot: index,
+                    busy: 0.0,
+                });
+                return;
+            }
+        },
+    };
+    let window = chan.window();
+    // In-flight orders: (chunk index, submit time, stolen flag).
+    let mut inflight: VecDeque<(usize, Instant, bool)> = VecDeque::new();
+    let mut busy = 0.0f64;
+    let mut window_started: Option<Instant> = None;
+    let mut failed = false;
+    let mut broken = false;
+    let lost_error =
+        || ServiceError::Worker("the connection failed with this chunk in flight".into());
+
+    loop {
+        while !failed && inflight.len() < window {
+            let Some((chunk, stolen)) = queue.pull(index) else {
+                break;
+            };
+            if let Some(metrics) = metrics {
+                metrics.set_pool_queue_depth(queue.depth() as u64);
+            }
+            if inflight.is_empty() && window_started.is_none() {
+                window_started = Some(Instant::now());
+            }
+            match chan.submit(chunk as u64, &chunks[chunk]) {
+                Ok(()) => {
+                    inflight.push_back((chunk, Instant::now(), stolen));
+                    if let Some(metrics) = metrics {
+                        metrics.set_slot_inflight(index, inflight.len() as u64);
+                    }
+                }
+                Err(error) => {
+                    // Connection broken mid-submit: this chunk takes
+                    // the failure, everything already in flight is
+                    // lost with it.
+                    failed = true;
+                    broken = true;
+                    let _ = tx.send(Event::ChunkFailed {
+                        slot: index,
+                        chunk,
+                        error,
+                    });
+                    for (lost, ..) in inflight.drain(..) {
+                        let _ = tx.send(Event::ChunkLost {
+                            slot: index,
+                            chunk: lost,
+                            error: lost_error(),
+                        });
+                    }
+                }
+            }
+        }
+        if inflight.is_empty() {
+            // The fill loop found the queue dry (it only ever shrinks)
+            // or a failure emptied the window: this driver is done.
+            if let Some(started) = window_started.take() {
+                busy += started.elapsed().as_secs_f64();
+            }
+            break;
+        }
+        match chan.recv() {
+            Ok((id, outcome)) => {
+                let Some(position) = inflight.iter().position(|&(chunk, ..)| chunk as u64 == id)
+                else {
+                    // An uncorrelatable reply: the stream can no
+                    // longer be trusted. Treat it as a broken
+                    // connection.
+                    failed = true;
+                    broken = true;
+                    let mut drained = inflight.drain(..);
+                    if let Some((chunk, ..)) = drained.next() {
+                        let _ = tx.send(Event::ChunkFailed {
+                            slot: index,
+                            chunk,
+                            error: ServiceError::Protocol(format!(
+                                "reply id {id} matches no in-flight chunk"
+                            )),
+                        });
+                    }
+                    for (chunk, ..) in drained {
+                        let _ = tx.send(Event::ChunkLost {
+                            slot: index,
+                            chunk,
+                            error: lost_error(),
+                        });
+                    }
+                    continue;
+                };
+                let (chunk, started, stolen) =
+                    inflight.remove(position).expect("position is in range");
+                if let Some(metrics) = metrics {
+                    metrics.set_slot_inflight(index, inflight.len() as u64);
+                }
+                if inflight.is_empty() {
+                    if let Some(started) = window_started.take() {
+                        busy += started.elapsed().as_secs_f64();
+                    }
+                }
+                match outcome {
+                    Ok(partial) => {
+                        let _ = tx.send(Event::Done {
+                            slot: index,
+                            chunk,
+                            elapsed_secs: started.elapsed().as_secs_f64(),
+                            stolen,
+                            partial,
+                        });
+                    }
+                    Err(error) => {
+                        // One chunk failed; the connection is fine.
+                        // Stop pulling new work, drain the rest.
+                        failed = true;
+                        let _ = tx.send(Event::ChunkFailed {
+                            slot: index,
+                            chunk,
+                            error,
+                        });
+                    }
+                }
+            }
+            Err(error) => {
+                failed = true;
+                broken = true;
+                if let Some(started) = window_started.take() {
+                    busy += started.elapsed().as_secs_f64();
+                }
+                let mut drained = inflight.drain(..);
+                if let Some((chunk, ..)) = drained.next() {
+                    let _ = tx.send(Event::ChunkFailed {
+                        slot: index,
+                        chunk,
+                        error,
+                    });
+                } else {
+                    let _ = tx.send(Event::ChannelFailed { slot: index, error });
+                }
+                for (chunk, ..) in drained {
+                    let _ = tx.send(Event::ChunkLost {
+                        slot: index,
+                        chunk,
+                        error: lost_error(),
+                    });
+                }
+            }
+        }
+    }
+
+    if !broken {
+        if let DriverChan::Pipelined(healthy) = chan {
+            *channel = Some(healthy);
+        }
+    }
+    if let Some(metrics) = metrics {
+        metrics.set_slot_inflight(index, 0);
+    }
+    let _ = tx.send(Event::Drained { slot: index, busy });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,5 +1729,99 @@ mod tests {
                 assert_eq!(sizes.iter().sum::<u64>(), total, "{total} over {weights:?}");
             }
         }
+    }
+
+    #[test]
+    fn legacy_chunk_plans_are_the_weighted_split() {
+        // Non-pipelined pools keep the classic one-chunk-per-slot
+        // layout (zero-sized shards dropped), so every pinned
+        // assertion about the weighted split still holds.
+        assert_eq!(chunk_plan(10, &[None, None], false), vec![(5, 0), (5, 1)]);
+        assert_eq!(
+            chunk_plan(2, &[None, None, None], false),
+            vec![(1, 0), (1, 1)]
+        );
+        let weighted = chunk_plan(100, &[Some(300.0), Some(100.0)], false);
+        let sizes = shard_sizes(100, &[Some(300.0), Some(100.0)]);
+        assert_eq!(weighted, vec![(sizes[0], 0), (sizes[1], 1)]);
+    }
+
+    #[test]
+    fn cold_pipelined_pools_cut_min_chunks_per_slot() {
+        let plan = chunk_plan(20, &[None, None], true);
+        assert_eq!(plan.len() as u64, 2 * MIN_CHUNKS_PER_SLOT);
+        assert_eq!(plan.iter().map(|&(size, _)| size).sum::<u64>(), 20);
+        // Homes are contiguous and cover both slots evenly.
+        assert_eq!(
+            plan.iter().map(|&(_, home)| home).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn warm_pipelined_pools_target_chunk_seconds_within_clamps() {
+        // 100 replicates/s mean throughput -> ~15-replicate chunks.
+        let plan = chunk_plan(600, &[Some(100.0), Some(100.0)], true);
+        assert_eq!(plan.iter().map(|&(size, _)| size).sum::<u64>(), 600);
+        let chunks = plan.len() as u64;
+        assert!((30..=45).contains(&chunks), "{chunks} chunks: {plan:?}");
+        // ...but never more than MAX_CHUNKS_PER_SLOT per slot...
+        let plan = chunk_plan(600, &[Some(1.0), Some(1.0)], true);
+        assert!(
+            plan.len() as u64 <= 2 * MAX_CHUNKS_PER_SLOT,
+            "{} chunks",
+            plan.len()
+        );
+        // ...and when each slot's whole share fits inside the time
+        // target, a warm pool collapses to one chunk per slot — the
+        // run ends before stealing could help, so the extra chunk
+        // round trips would be pure overhead.
+        let plan = chunk_plan(20, &[Some(1_000_000.0), Some(1_000_000.0)], true);
+        assert_eq!(plan, vec![(10, 0), (10, 1)]);
+    }
+
+    #[test]
+    fn tiny_pipelined_orders_drop_empty_chunks() {
+        // 3 replicates over 2 slots wanting 4 chunks: one chunk is
+        // empty and must vanish, totals preserved.
+        let plan = chunk_plan(3, &[None, None], true);
+        assert_eq!(plan.iter().map(|&(size, _)| size).sum::<u64>(), 3);
+        assert!(plan.iter().all(|&(size, _)| size > 0), "{plan:?}");
+        let plan = chunk_plan(1, &[None, None, None], true);
+        assert_eq!(plan, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn chunk_queues_steal_from_the_back_of_the_longest_deque() {
+        let seeded = vec![
+            VecDeque::from(vec![0usize]),
+            VecDeque::from(vec![1, 2, 3]),
+            VecDeque::from(vec![4, 5]),
+        ];
+        let queue = ChunkQueue::new(seeded, true);
+        assert_eq!(queue.depth(), 6);
+        // Own work first, front-out.
+        assert_eq!(queue.pull(0), Some((0, false)));
+        // Then steal from the back of the longest other deque; on a
+        // length tie the lowest victim index wins deterministically.
+        assert_eq!(queue.pull(0), Some((3, true))); // deque 1 longest
+        assert_eq!(queue.pull(0), Some((2, true))); // tie at 2: deque 1
+        assert_eq!(queue.pull(0), Some((5, true))); // deque 2 longest
+        assert_eq!(queue.pull(0), Some((1, true))); // tie at 1: deque 1
+        assert_eq!(queue.pull(2), Some((4, false)));
+        assert_eq!(queue.pull(0), None);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn chunk_queues_never_steal_in_the_legacy_layout() {
+        let seeded = vec![VecDeque::new(), VecDeque::from(vec![7usize])];
+        let queue = ChunkQueue::new(seeded, false);
+        assert_eq!(queue.pull(0), None);
+        assert_eq!(queue.pull(1), Some((7, false)));
+        // Whatever is left when the drivers stop is drained with its
+        // home slot for the retry pass.
+        let queue = ChunkQueue::new(vec![VecDeque::from(vec![1usize, 2])], false);
+        assert_eq!(queue.drain_remaining(), vec![(1, 0), (2, 0)]);
     }
 }

@@ -342,8 +342,13 @@ struct ServeClient {
 
 impl ServeClient {
     fn spawn(args: &[&str]) -> Self {
+        Self::spawn_with(args, &[])
+    }
+
+    fn spawn_with(args: &[&str], envs: &[(&str, &str)]) -> Self {
         let mut child = Command::new(serve_bin())
             .args(args)
+            .envs(envs.iter().copied())
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -612,13 +617,17 @@ fn killed_glc_serve_restarts_with_quarantine_intact() {
     ];
     let spec = catalog_spec("book_and", EngineSpec::Direct, 23);
 
-    let mut client = ServeClient::spawn(&flags);
+    // The dead script never answers the frame handshake; a short
+    // timeout keeps the drill from idling out the default 5 s wait.
+    let envs = [("GLC_FRAME_HANDSHAKE_MS", "500")];
+    let mut client = ServeClient::spawn_with(&flags, &envs);
     let Response::Submitted(submitted) = client.request(&Request::Submit(spec.clone())) else {
         panic!("expected Submitted");
     };
     let session = submitted.session.clone();
-    // Slot 1 (the script) fails its shard; the real worker absorbs it
-    // on retry and the script is quarantined.
+    // Slot 1 (the script) never completes the frame handshake, so its
+    // connection breaks, its queued chunks are stolen by the healthy
+    // worker, and the script is quarantined.
     let Response::Extended(extended) = client.request(&Request::Extend(ExtendRequest {
         session: session.clone(),
         replicates: 4,
@@ -632,7 +641,7 @@ fn killed_glc_serve_restarts_with_quarantine_intact() {
     assert_eq!(stats.slots.len(), 2);
     assert!(stats.slots[1].quarantined, "{stats:?}");
     assert_eq!(stats.slots[1].failures, 1, "{stats:?}");
-    assert!(stats.pool_retries >= 1, "{stats:?}");
+    assert!(stats.pool_steals >= 1, "{stats:?}");
     assert!(
         session::pool_health_path(&dir).exists(),
         "extend persists pool health beside the snapshots"
@@ -641,7 +650,7 @@ fn killed_glc_serve_restarts_with_quarantine_intact() {
 
     // Restart on the same spill dir: the quarantine is already in
     // place before any request runs a shard.
-    let mut reborn = ServeClient::spawn(&flags);
+    let mut reborn = ServeClient::spawn_with(&flags, &envs);
     let Response::Stats(stats) = reborn.request(&Request::Stats) else {
         panic!("expected Stats");
     };
@@ -650,10 +659,11 @@ fn killed_glc_serve_restarts_with_quarantine_intact() {
         "restart forgot the quarantine: {stats:?}"
     );
     assert_eq!(stats.slots[1].failures, 1, "{stats:?}");
-    assert_eq!(
-        stats.pool_retries, 1,
-        "lifetime retries restored: {stats:?}"
-    );
+    // Steals are a per-life throughput counter, not durable health:
+    // the reborn pool starts from zero, and nothing needed a one-shot
+    // retry in either life (the lost chunks were stolen instead).
+    assert_eq!(stats.pool_steals, 0, "{stats:?}");
+    assert_eq!(stats.pool_retries, 0, "{stats:?}");
 
     // The reborn service keeps serving from the healthy slot, the dead
     // script never sees another shard, and the result is still exact.

@@ -11,14 +11,18 @@
 //! CI runs this file on every push (`query-service` job).
 
 use glc_service::{
-    ChildProcess, EngineSpec, ExtendBackend, InProcess, ModelSource, SessionSpec, SessionStore,
-    TcpRelay, Transport, WorkOrder, WorkerPool,
+    ChildProcess, ChunkChannel, EngineSpec, ExtendBackend, InProcess, ModelSource, PipelinedRelay,
+    PipelinedWorker, ServiceError, SessionSpec, SessionStore, TcpRelay, Transport, WorkOrder,
+    WorkerPool,
 };
-use glc_ssa::run_partial_from;
+use glc_ssa::{run_partial_from, EnsemblePartial};
 use proptest::prelude::*;
+use std::collections::VecDeque;
 use std::io::{BufRead as _, BufReader};
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Paths of the freshly built binaries under test.
 fn worker_bin() -> &'static str {
@@ -124,12 +128,108 @@ fn pooled_store(transports: Vec<Box<dyn Transport>>) -> SessionStore {
     SessionStore::new(2, ExtendBackend::Pool(pool)).expect("store")
 }
 
+/// An in-process *pipelined* transport for scheduler tests: chunks
+/// execute inside `recv` (so the in-flight window and completion
+/// interleaving are real), with a configurable window, an optional
+/// per-chunk delay (a tunable straggler), and scripted failures
+/// shared across the pool — each failure credit taken by whichever
+/// recv gets there first.
+#[derive(Clone)]
+struct TestPipelined {
+    window: usize,
+    delay: Duration,
+    /// Chunk failures left to inject (inner error: chunk fails, the
+    /// connection survives).
+    inner_failures: Arc<AtomicU64>,
+    /// Connection failures left to inject (outer error: the channel
+    /// is broken, every in-flight chunk is lost).
+    outer_failures: Arc<AtomicU64>,
+    /// Channels opened so far (counts connection reuse across runs).
+    opens: Arc<AtomicU64>,
+}
+
+impl TestPipelined {
+    fn new(window: usize, delay: Duration) -> Self {
+        TestPipelined {
+            window,
+            delay,
+            inner_failures: Arc::new(AtomicU64::new(0)),
+            outer_failures: Arc::new(AtomicU64::new(0)),
+            opens: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Takes one failure credit from `counter`, if any is left.
+    fn take(counter: &AtomicU64) -> bool {
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+impl Transport for TestPipelined {
+    fn spawn_shard(&self, order: &WorkOrder) -> Result<glc_service::ShardHandle, ServiceError> {
+        InProcess.spawn_shard(order) // Retries ride the one-shot path.
+    }
+
+    fn describe(&self) -> String {
+        "test-pipelined".into()
+    }
+
+    fn open_channel(&self) -> Result<Option<Box<dyn ChunkChannel>>, ServiceError> {
+        self.opens.fetch_add(1, Ordering::SeqCst);
+        Ok(Some(Box::new(TestChannel {
+            cfg: self.clone(),
+            pending: VecDeque::new(),
+        })))
+    }
+
+    fn pipelined(&self) -> bool {
+        true
+    }
+}
+
+struct TestChannel {
+    cfg: TestPipelined,
+    pending: VecDeque<(u64, WorkOrder)>,
+}
+
+impl ChunkChannel for TestChannel {
+    fn window(&self) -> usize {
+        self.cfg.window
+    }
+
+    fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
+        self.pending.push_back((id, order.clone()));
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+        let (id, order) = self
+            .pending
+            .pop_front()
+            .ok_or_else(|| ServiceError::Worker("recv with nothing in flight".into()))?;
+        if TestPipelined::take(&self.cfg.outer_failures) {
+            return Err(ServiceError::Worker("test connection dropped".into()));
+        }
+        if !self.cfg.delay.is_zero() {
+            std::thread::sleep(self.cfg.delay);
+        }
+        if TestPipelined::take(&self.cfg.inner_failures) {
+            return Ok((id, Err(ServiceError::Worker("test chunk failed".into()))));
+        }
+        Ok((id, order.execute()))
+    }
+}
+
 proptest! {
     /// The acceptance property: the same extend schedule dispatched
     /// over every transport — in-process threads, glc-worker children,
-    /// TCP relay — leaves bitwise-identical resident partials, all
-    /// equal to the fresh unsharded run. Direct + Langevin, book_and +
-    /// cello_0x1C.
+    /// TCP relay, pipelined-framed resident workers and relay
+    /// connections, plus pipelined pools with a mid-run chunk failure
+    /// and a straggler/steal mix — leaves bitwise-identical resident
+    /// partials, all equal to the fresh unsharded run. Direct +
+    /// Langevin, book_and + cello_0x1C.
     #[test]
     fn extends_agree_bitwise_across_all_transports(
         first in 1u64..3,
@@ -145,6 +245,13 @@ proptest! {
             EngineSpec::Direct
         };
         let spec = catalog_spec(circuit, engine, seed);
+        // A pipelined pool that fails one chunk mid-run (retried on
+        // the other slots)…
+        let flaky = TestPipelined::new(2, Duration::ZERO);
+        flaky.inner_failures.store(1, Ordering::SeqCst);
+        // …and one mixing a straggler with a fast slot, so chunks can
+        // migrate by stealing.
+        let straggler = TestPipelined::new(1, Duration::from_millis(3));
         let mut stores = vec![
             SessionStore::new(2, ExtendBackend::InProcess).unwrap(),
             pooled_store(vec![Box::new(InProcess), Box::new(InProcess)]),
@@ -156,6 +263,22 @@ proptest! {
                 Box::new(TcpRelay::new(shared_relay_addr())),
                 Box::new(TcpRelay::new(shared_relay_addr())),
             ]),
+            pooled_store(vec![
+                Box::new(PipelinedWorker::new(worker_bin())),
+                Box::new(PipelinedWorker::new(worker_bin())),
+            ]),
+            pooled_store(vec![
+                Box::new(PipelinedRelay::new(shared_relay_addr())),
+                Box::new(PipelinedRelay::new(shared_relay_addr())),
+            ]),
+            pooled_store(vec![
+                Box::new(flaky.clone()),
+                Box::new(TestPipelined::new(2, Duration::ZERO)),
+            ]),
+            pooled_store(vec![
+                Box::new(straggler),
+                Box::new(TestPipelined::new(1, Duration::ZERO)),
+            ]),
         ];
         let mut partials = Vec::new();
         for store in &mut stores {
@@ -164,11 +287,134 @@ proptest! {
             store.extend(&session, growth).unwrap();
             partials.push(store.partial(&session).unwrap().clone());
         }
+        prop_assert_eq!(
+            flaky.inner_failures.load(Ordering::SeqCst), 0,
+            "the scripted chunk failure really fired"
+        );
         let reference = fresh_reference(&spec, first + growth);
         for (at, partial) in partials.iter().enumerate() {
             prop_assert_eq!(partial, &reference, "backend #{} diverged", at);
         }
     }
+}
+
+#[test]
+fn fast_slots_steal_from_stragglers_without_moving_a_bit() {
+    // One slot sleeps 100 ms per chunk, the other runs at full speed:
+    // the fast slot must drain its own queue and then steal from the
+    // straggler's — and the merged bits must not notice.
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        23,
+        20,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let reference = order.execute().unwrap();
+    let slow = TestPipelined::new(1, Duration::from_millis(100));
+    let fast = TestPipelined::new(1, Duration::ZERO);
+    let mut pool =
+        WorkerPool::new(vec![Box::new(slow) as Box<dyn Transport>, Box::new(fast)]).unwrap();
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference, "stealing must not move a bit");
+    assert!(
+        report.chunks >= 4,
+        "a pipelined cold pool cuts steal-eligible chunks: {report:?}"
+    );
+    assert!(report.steals >= 1, "the fast slot stole work: {report:?}");
+    assert_eq!(report.total_failures(), 0, "{report:?}");
+    assert_eq!(pool.lifetime_steals(), report.steals);
+    assert!(
+        report.slot_replicates[1] > report.slot_replicates[0],
+        "the fast slot carried more replicates: {report:?}"
+    );
+}
+
+#[test]
+fn pipelined_chunk_failures_retry_elsewhere_and_stay_exact() {
+    // A chunk fails mid-run on a pipelined slot (the connection
+    // survives): the chunk is retried on the one-shot rotation and the
+    // result is bitwise the reference.
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        31,
+        12,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let reference = order.execute().unwrap();
+    let flaky = TestPipelined::new(2, Duration::ZERO);
+    flaky.inner_failures.store(1, Ordering::SeqCst);
+    let mut pool = WorkerPool::new(vec![
+        Box::new(flaky.clone()) as Box<dyn Transport>,
+        Box::new(TestPipelined::new(2, Duration::ZERO)),
+    ])
+    .unwrap();
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference);
+    assert_eq!(flaky.inner_failures.load(Ordering::SeqCst), 0);
+    assert_eq!(report.total_failures(), 1, "{report:?}");
+    assert_eq!(report.retried_shards, 1, "{report:?}");
+    assert!(report.quarantined_slots.is_empty(), "{report:?}");
+}
+
+#[test]
+fn broken_connections_lose_the_window_but_the_run_completes_exactly() {
+    // The connection itself breaks with a full window in flight: every
+    // in-flight chunk is lost, the channel is dropped (and reopened on
+    // the next run), the lost chunks are retried — and the bits are
+    // still exact, twice.
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        41,
+        16,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let reference = order.execute().unwrap();
+    let brittle = TestPipelined::new(2, Duration::ZERO);
+    brittle.outer_failures.store(1, Ordering::SeqCst);
+    let steady = TestPipelined::new(2, Duration::ZERO);
+    let mut pool = WorkerPool::new(vec![
+        Box::new(brittle.clone()) as Box<dyn Transport>,
+        Box::new(steady.clone()),
+    ])
+    .unwrap();
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference);
+    assert_eq!(
+        report.total_failures(),
+        1,
+        "a broken connection is one failure, not one per lost chunk: {report:?}"
+    );
+    assert!(report.retried_shards >= 1, "{report:?}");
+
+    // Second run: the broken slot reopens its channel, the healthy
+    // slot reuses its cached connection.
+    let opens_before = (
+        brittle.opens.load(Ordering::SeqCst),
+        steady.opens.load(Ordering::SeqCst),
+    );
+    assert_eq!(opens_before, (1, 1));
+    let (partial, report) = pool.run(&order).unwrap();
+    assert_eq!(partial, reference);
+    assert_eq!(report.total_failures(), 0, "{report:?}");
+    assert_eq!(
+        brittle.opens.load(Ordering::SeqCst),
+        2,
+        "the broken channel was reopened"
+    );
+    assert_eq!(
+        steady.opens.load(Ordering::SeqCst),
+        1,
+        "the healthy channel was reused across runs"
+    );
 }
 
 #[test]

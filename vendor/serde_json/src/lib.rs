@@ -220,7 +220,23 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: scan bytes to the closing quote and validate the
+        // span once. Escapes drop to the per-character loop below with
+        // the already-scanned prefix kept.
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' | b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let prefix = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid UTF-8".into()))?;
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            return Ok(prefix.to_string());
+        }
+        let mut out = String::from(prefix);
         loop {
             match self.peek() {
                 None => return Err(Error("unterminated string".into())),
@@ -261,10 +277,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    // Consume one UTF-8 character (multi-byte safe) —
+                    // a scalar is at most 4 bytes, so validate only
+                    // that window, not the rest of the document.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().expect("non-empty"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8".into())),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
