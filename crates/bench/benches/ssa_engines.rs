@@ -23,9 +23,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glc_gates::catalog;
 use glc_model::expr::EvalMemo;
 use glc_model::Model;
+use glc_service::codec::{self, BinaryReply};
 use glc_service::{
-    session, Coordinator, EngineSpec, ExtendBackend, ModelSource, PipelinedRelay, PipelinedWorker,
-    SessionSpec, SessionStore, Transport, WorkOrder, WorkerPool,
+    frame, session, Coordinator, EngineSpec, ExtendBackend, ModelSource, PipelinedRelay,
+    PipelinedWorker, RelayReply, SessionSpec, SessionStore, Transport, WorkOrder, WorkerPool,
 };
 use glc_ssa::engine::Observer;
 use glc_ssa::{
@@ -562,9 +563,14 @@ fn relay_replicates_per_second(id: &str, addr: &str, min_wall: f64) -> f64 {
 
 /// Durable-session overhead: sustained write-through-snapshot and
 /// reload rates for a batch-sized resident partial, plus the snapshot
-/// file size. Recorded (not gated): this is the price of `--spill-dir`
-/// durability per Extend.
-fn spill_metrics(id: &str) -> (f64, f64, u64) {
+/// file size — for the GLCB snapshot the spill path writes today *and*
+/// the legacy JSON writer it replaced, measured in the same run. The
+/// GLCB/JSON write-rate ratio and the GLCB byte count are gated in
+/// `check_regression` (the acceptance criteria of the binary spill
+/// swap); the reload column is recorded only.
+/// Returns `(glcb_writes_per_sec, reloads_per_sec, glcb_bytes,
+/// json_writes_per_sec, json_bytes)`.
+fn spill_metrics(id: &str) -> (f64, f64, u64, f64, u64) {
     let dir = std::env::temp_dir().join(format!("glc-bench-spill-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let spec = resident_spec(id);
@@ -572,6 +578,21 @@ fn spill_metrics(id: &str) -> (f64, f64, u64) {
     let key = store.submit(&spec).expect("submit").session;
     store.extend(&key, ENSEMBLE_BATCH as u64).expect("extend");
     let partial = store.partial(&key).expect("resident partial");
+
+    // Legacy JSON snapshots first: `write_spill` removes a stale
+    // `.session.json` sibling after publishing its GLCB snapshot, so
+    // this column must finish before the GLCB loop starts.
+    let mut json_writes = 0u64;
+    let start = Instant::now();
+    let json_path = loop {
+        let path = session::write_spill_json(&dir, &spec, partial).expect("write JSON spill");
+        json_writes += 1;
+        if start.elapsed().as_secs_f64() >= 0.3 {
+            break path;
+        }
+    };
+    let json_writes_per_sec = json_writes as f64 / start.elapsed().as_secs_f64();
+    let json_bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
 
     let mut writes = 0u64;
     let start = Instant::now();
@@ -596,7 +617,64 @@ fn spill_metrics(id: &str) -> (f64, f64, u64) {
     }
     let reloads_per_sec = reloads as f64 / start.elapsed().as_secs_f64();
     let _ = std::fs::remove_dir_all(&dir);
-    (writes_per_sec, reloads_per_sec, bytes)
+    (
+        writes_per_sec,
+        reloads_per_sec,
+        bytes,
+        json_writes_per_sec,
+        json_bytes,
+    )
+}
+
+/// Hot-path reply codec: microseconds to decode a batch-sized chunk
+/// reply from the legacy JSON envelope vs the GLCB binary payload —
+/// the per-chunk cost a coordinator pays on every ingress frame. Both
+/// envelopes carry the same partial (asserted bitwise before timing),
+/// and both columns come from the same run, so `decode_speedup` is a
+/// machine-independent in-run ratio; the absolute GLCB column is
+/// additionally gated with a generous ceiling in `check_regression`.
+/// Returns `(json_micros, glcb_micros, json_bytes, glcb_bytes)`.
+fn codec_metrics(id: &str) -> (f64, f64, u64, u64) {
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess).expect("store");
+    let key = store.submit(&resident_spec(id)).expect("submit").session;
+    store.extend(&key, ENSEMBLE_BATCH as u64).expect("extend");
+    let partial = store.partial(&key).expect("resident partial");
+
+    let json =
+        frame::encode_message(7, &RelayReply::Partial(partial.clone())).expect("encode JSON reply");
+    let glcb = codec::encode_reply(7, &BinaryReply::Partial(partial.clone()));
+    let (_, via_json): (u64, RelayReply) = frame::decode_message(&json).expect("decode JSON");
+    let (_, via_glcb) = codec::decode_reply(&glcb).expect("decode GLCB");
+    match (&via_json, &via_glcb) {
+        (RelayReply::Partial(a), BinaryReply::Partial(b)) => {
+            assert_eq!(a, b, "{id}: envelopes must carry identical bits")
+        }
+        other => panic!("{id}: unexpected reply variants {other:?}"),
+    }
+
+    let mut json_decodes = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < wall(0.3) {
+        let (_, reply): (u64, RelayReply) = frame::decode_message(&json).expect("decode JSON");
+        assert!(matches!(reply, RelayReply::Partial(_)));
+        json_decodes += 1;
+    }
+    let json_micros = start.elapsed().as_secs_f64() * 1e6 / json_decodes as f64;
+
+    let mut glcb_decodes = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < wall(0.3) {
+        let (_, reply) = codec::decode_reply(&glcb).expect("decode GLCB");
+        assert!(matches!(reply, BinaryReply::Partial(_)));
+        glcb_decodes += 1;
+    }
+    let glcb_micros = start.elapsed().as_secs_f64() * 1e6 / glcb_decodes as f64;
+    (
+        json_micros,
+        glcb_micros,
+        json.len() as u64,
+        glcb.len() as u64,
+    )
 }
 
 /// Steps/second of every engine, the incremental-vs-full-recompute
@@ -616,6 +694,7 @@ fn throughput_report() {
     let mut resident_rows = String::new();
     let mut relay_rows = String::new();
     let mut spill_rows = String::new();
+    let mut codec_rows = String::new();
     let mut metrics_rows = String::new();
     let worker = worker_binary();
     if worker.is_none() {
@@ -838,13 +917,18 @@ fn throughput_report() {
             }
         }
 
-        // Durable-session spill: snapshot write/reload rates and size
-        // for a batch-sized partial (recorded, not gated — the cost of
-        // --spill-dir durability per Extend).
-        let (snapshot_writes, snapshot_reloads, snapshot_bytes) = spill_metrics(id);
+        // Durable-session spill: GLCB snapshot write/reload rates and
+        // size for a batch-sized partial, with the legacy JSON writer
+        // measured in the same run. snapshot_write_speedup (GLCB/JSON
+        // write rate) and the GLCB byte count are the binary-spill
+        // acceptance criteria gated in check_regression.
+        let (snapshot_writes, snapshot_reloads, snapshot_bytes, json_writes, json_bytes) =
+            spill_metrics(id);
+        let write_speedup = snapshot_writes / json_writes;
         println!(
             "    spill: {snapshot_writes:.0} snapshot writes/s  \
-             {snapshot_reloads:.0} reloads/s  {snapshot_bytes} B/snapshot"
+             {snapshot_reloads:.0} reloads/s  {snapshot_bytes} B/snapshot  \
+             (JSON: {json_writes:.0} writes/s, {json_bytes} B — GLCB {write_speedup:.2}x)"
         );
         if !spill_rows.is_empty() {
             spill_rows.push(',');
@@ -854,7 +938,32 @@ fn throughput_report() {
             "\n    {{\"circuit\":\"{id}\",\
              \"snapshot_writes_per_sec\":{snapshot_writes:.1},\
              \"snapshot_reloads_per_sec\":{snapshot_reloads:.1},\
-             \"snapshot_bytes\":{snapshot_bytes}}}"
+             \"snapshot_bytes\":{snapshot_bytes},\
+             \"json_snapshot_writes_per_sec\":{json_writes:.1},\
+             \"json_snapshot_bytes\":{json_bytes},\
+             \"snapshot_write_speedup\":{write_speedup:.3}}}"
+        );
+
+        // Hot-path reply codec: JSON vs GLCB decode cost for the same
+        // batch-sized chunk reply. decode_speedup is the in-run ratio;
+        // the absolute GLCB column carries the ceiling gate.
+        let (json_micros, glcb_micros, json_reply_bytes, glcb_reply_bytes) = codec_metrics(id);
+        let decode_speedup = json_micros / glcb_micros;
+        println!(
+            "    codec: reply decode JSON {json_micros:.1} µs  GLCB {glcb_micros:.1} µs  \
+             ({decode_speedup:.1}x; payload {json_reply_bytes} B -> {glcb_reply_bytes} B)"
+        );
+        if !codec_rows.is_empty() {
+            codec_rows.push(',');
+        }
+        let _ = write!(
+            codec_rows,
+            "\n    {{\"circuit\":\"{id}\",\
+             \"json_decode_micros\":{json_micros:.2},\
+             \"glcb_decode_micros\":{glcb_micros:.2},\
+             \"decode_speedup\":{decode_speedup:.2},\
+             \"json_reply_bytes\":{json_reply_bytes},\
+             \"glcb_reply_bytes\":{glcb_reply_bytes}}}"
         );
 
         // Resident query service: warm Extend batches against the
@@ -942,6 +1051,7 @@ fn throughput_report() {
          \"resident\": [{resident_rows}\n  ],\n  \
          \"relay\": [{relay_rows}\n  ],\n  \
          \"spill\": [{spill_rows}\n  ],\n  \
+         \"codec\": [{codec_rows}\n  ],\n  \
          \"model_cache\": [{cache_rows}\n  ],\n  \
          \"metrics\": [{metrics_rows}\n  ]\n}}\n"
     );

@@ -244,6 +244,64 @@ const TAU_LEAP_FLOORS: &[(&str, f64)] = &[("book_and", 1_500_000.0), ("cello_0x1
 /// is machine-independent — it is an in-run efficiency, not a rate.
 const ENSEMBLE_EFFICIENCY_FLOORS: &[(&str, f64)] = &[("book_and", 0.75)];
 
+/// Absolute relay-efficiency floors, per circuit. Relay-side partial
+/// reduction plus the GLCB reply codec lifted `cello_0x1C` (whose
+/// chunk replies are the largest in the matrix) from ~0.83 to ~0.95 of
+/// the child-process column; 0.90 catches either the reduction path or
+/// the binary codec silently dropping back to per-chunk JSON ingress
+/// while leaving room for honest runner noise. Like the shard floors,
+/// this is an in-run efficiency — machine-independent by construction.
+const RELAY_EFFICIENCY_FLOORS: &[(&str, f64)] = &[("cello_0x1C", 0.90)];
+
+/// Absolute ceiling on GLCB reply-decode cost, in microseconds per
+/// batch-sized chunk reply. Measured ~5 µs on the bench box (the JSON
+/// envelope paid ~198 µs); 40 µs is an 8x margin that catches the
+/// decoder falling off its fixed-layout fast path (e.g. regressing to
+/// per-digit parsing) without tripping on shared-runner variance.
+/// Machine-dependent by design, like `TAU_LEAP_FLOORS`: a decode
+/// regression would slow the JSON column too and hide from the in-run
+/// ratio.
+const GLCB_DECODE_CEILING_MICROS: f64 = 40.0;
+
+/// Absolute ceiling on a GLCB snapshot's size in bytes, and floor on
+/// its write-rate advantage over the legacy JSON snapshot writer
+/// measured in the same run. The dense little-endian `ExactSum` layout
+/// shrank batch-sized snapshots from ~8000 B to ~2500 B and at least
+/// doubled write throughput; byte counts don't depend on the runner,
+/// and the write ratio is in-run, so both gate absolutely.
+const SNAPSHOT_BYTES_CEILING: f64 = 3000.0;
+const SNAPSHOT_WRITE_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Per-circuit `(glcb_decode_micros, decode_speedup)` from the `codec`
+/// section.
+fn codec_decode_stats(json: &str) -> Vec<(String, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some((
+                str_field(object, "circuit")?,
+                num_field(object, "glcb_decode_micros")?,
+            ))
+        })
+        .collect()
+}
+
+/// Per-circuit `(snapshot_bytes, snapshot_write_speedup)` from the
+/// `spill` section (`snapshot_write_speedup` is the discriminator —
+/// pre-GLCB spill rows carry `snapshot_bytes` but not the ratio).
+fn spill_stats(json: &str) -> Vec<(String, f64, f64)> {
+    objects(json)
+        .into_iter()
+        .filter_map(|object| {
+            Some((
+                str_field(object, "circuit")?,
+                num_field(object, "snapshot_bytes")?,
+                num_field(object, "snapshot_write_speedup")?,
+            ))
+        })
+        .collect()
+}
+
 /// Gates one metric section: every baseline circuit must be present in
 /// the current run with its ratio metric no more than `threshold`
 /// below baseline.
@@ -366,6 +424,89 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<(), St
             threshold.max(0.35),
             &mut failures,
         );
+        // Absolute efficiency floors on top of the relative gate, like
+        // the shard floors: the floor pins what relay-side reduction
+        // plus the GLCB codec bought (see RELAY_EFFICIENCY_FLOORS) —
+        // re-baselining cannot launder losing either.
+        let current_relay = relay_entries(&current_doc);
+        println!("bench relay gate: absolute relay-efficiency floors");
+        for &(circuit, floor) in RELAY_EFFICIENCY_FLOORS {
+            let Some(entry) = current_relay.iter().find(|e| e.circuit == circuit) else {
+                failures.push(format!(
+                    "{circuit} [relay-efficiency floor]: no relay row in current run"
+                ));
+                continue;
+            };
+            let verdict = if entry.speedup < floor { "FAIL" } else { "ok" };
+            println!(
+                "  {circuit}: efficiency {:.3} (floor {floor:.2})  {verdict}",
+                entry.speedup
+            );
+            if entry.speedup < floor {
+                failures.push(format!(
+                    "{circuit} [relay-efficiency floor]: {:.3} is below the {floor:.2} floor",
+                    entry.speedup
+                ));
+            }
+        }
+    }
+    // GLCB reply-decode cost is gated absolutely per circuit (see
+    // GLCB_DECODE_CEILING_MICROS for why this gate, like the tau-leap
+    // floors, is deliberately machine-dependent).
+    let codecs = codec_decode_stats(&current_doc);
+    if !codecs.is_empty() {
+        println!(
+            "bench codec gate: GLCB reply decode <= {GLCB_DECODE_CEILING_MICROS:.0} \
+             us per chunk reply"
+        );
+        for (circuit, micros) in &codecs {
+            let verdict = if *micros > GLCB_DECODE_CEILING_MICROS {
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!("  {circuit}: {micros:.1} us  {verdict}");
+            if *micros > GLCB_DECODE_CEILING_MICROS {
+                failures.push(format!(
+                    "{circuit} [codec decode]: GLCB reply decode took {micros:.1} us \
+                     (ceiling {GLCB_DECODE_CEILING_MICROS:.0} us)"
+                ));
+            }
+        }
+    } else if !codec_decode_stats(&baseline_doc).is_empty() {
+        failures.push("codec section in baseline but missing from current run".to_string());
+    }
+    // GLCB snapshot gates: byte ceiling and in-run write-rate floor
+    // over the legacy JSON writer (see SNAPSHOT_BYTES_CEILING).
+    let spills = spill_stats(&current_doc);
+    if !spills.is_empty() {
+        println!(
+            "bench spill gate: GLCB snapshot <= {SNAPSHOT_BYTES_CEILING:.0} B and \
+             >= {SNAPSHOT_WRITE_SPEEDUP_FLOOR:.0}x JSON write rate"
+        );
+        for (circuit, bytes, speedup) in &spills {
+            let verdict =
+                if *bytes > SNAPSHOT_BYTES_CEILING || *speedup < SNAPSHOT_WRITE_SPEEDUP_FLOOR {
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+            println!("  {circuit}: {bytes:.0} B  {speedup:.2}x JSON writes  {verdict}");
+            if *bytes > SNAPSHOT_BYTES_CEILING {
+                failures.push(format!(
+                    "{circuit} [spill bytes]: GLCB snapshot is {bytes:.0} B \
+                     (ceiling {SNAPSHOT_BYTES_CEILING:.0} B)"
+                ));
+            }
+            if *speedup < SNAPSHOT_WRITE_SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "{circuit} [spill writes]: GLCB writes only {speedup:.2}x the JSON \
+                     writer (floor {SNAPSHOT_WRITE_SPEEDUP_FLOOR:.0}x)"
+                ));
+            }
+        }
+    } else if !spill_stats(&baseline_doc).is_empty() {
+        failures.push("spill GLCB columns in baseline but missing from current run".to_string());
     }
     // Resident query service: the warm-extend/one-shot ratio gates
     // like shard efficiency (both involve timing loops with
@@ -557,7 +698,14 @@ mod tests {
     {"circuit":"book_and","in_process_replicates_per_sec":200.0,"sharded_replicates_per_sec":160.0,"shard_efficiency":0.8}
   ],
   "relay": [
-    {"circuit":"book_and","relay_replicates_per_sec":140.0,"child_replicates_per_sec":160.0,"relay_efficiency":0.875}
+    {"circuit":"book_and","relay_replicates_per_sec":140.0,"child_replicates_per_sec":160.0,"relay_efficiency":0.875},
+    {"circuit":"cello_0x1C","relay_replicates_per_sec":120.0,"child_replicates_per_sec":128.0,"relay_efficiency":0.938}
+  ],
+  "spill": [
+    {"circuit":"book_and","snapshot_writes_per_sec":6000.0,"snapshot_reloads_per_sec":9000.0,"snapshot_bytes":2400,"json_snapshot_writes_per_sec":2400.0,"json_snapshot_bytes":8000,"snapshot_write_speedup":2.5}
+  ],
+  "codec": [
+    {"circuit":"book_and","json_decode_micros":198.0,"glcb_decode_micros":9.0,"decode_speedup":22.0,"json_reply_bytes":8000,"glcb_reply_bytes":2500}
   ]
 }"#;
 
@@ -666,6 +814,65 @@ mod tests {
         // Baselines without the section (pre-relay) skip the gate.
         let old_baseline = DOC.replace("\"relay_efficiency\":0.875", "\"no_metric\":1.0");
         run_gate(&old_baseline, DOC, "relay_absent").expect("absent baseline section passes");
+    }
+
+    #[test]
+    fn cello_relay_efficiency_has_an_absolute_floor() {
+        // Reduction or the binary codec silently degrading drops the
+        // cello efficiency under 0.90 — that fails even when the
+        // baseline itself is low enough for the relative gate to pass.
+        let low = DOC.replace("\"relay_efficiency\":0.938", "\"relay_efficiency\":0.85");
+        let err = run_gate(&low, &low, "relay_floor").expect_err("sub-floor relay must fail");
+        assert!(
+            err.contains("relay-efficiency floor") && err.contains("cello_0x1C"),
+            "{err}"
+        );
+        // book_and has no floor: 0.875 in the fixture passes as-is,
+        // and exactly at the cello floor passes too.
+        let at_floor = DOC.replace("\"relay_efficiency\":0.938", "\"relay_efficiency\":0.90");
+        run_gate(&at_floor, &at_floor, "relay_floor_ok").expect("at-floor efficiency passes");
+    }
+
+    #[test]
+    fn glcb_decode_ceiling_is_absolute() {
+        let slow = DOC.replace("\"glcb_decode_micros\":9.0", "\"glcb_decode_micros\":55.0");
+        let err = run_gate(DOC, &slow, "codec_slow").expect_err("slow decode must fail");
+        assert!(
+            err.contains("codec decode") && err.contains("book_and"),
+            "{err}"
+        );
+        // Under the ceiling passes, and the section vanishing while
+        // the baseline carries it fails.
+        let near = DOC.replace("\"glcb_decode_micros\":9.0", "\"glcb_decode_micros\":39.0");
+        run_gate(DOC, &near, "codec_ok").expect("under-ceiling decode passes");
+        let gone = DOC.replace("\"glcb_decode_micros\":9.0", "\"no_metric\":9.0");
+        let err = run_gate(DOC, &gone, "codec_gone").expect_err("missing section must fail");
+        assert!(err.contains("codec section in baseline"), "{err}");
+    }
+
+    #[test]
+    fn glcb_snapshot_gates_are_absolute() {
+        // A snapshot growing past the byte ceiling fails…
+        let fat = DOC.replace("\"snapshot_bytes\":2400", "\"snapshot_bytes\":3500");
+        let err = run_gate(DOC, &fat, "spill_fat").expect_err("oversized snapshot must fail");
+        assert!(
+            err.contains("spill bytes") && err.contains("book_and"),
+            "{err}"
+        );
+        // …and so does the write-rate advantage dropping under 2x.
+        let slow = DOC.replace(
+            "\"snapshot_write_speedup\":2.5",
+            "\"snapshot_write_speedup\":1.4",
+        );
+        let err = run_gate(DOC, &slow, "spill_slow").expect_err("slow writes must fail");
+        assert!(
+            err.contains("spill writes") && err.contains("book_and"),
+            "{err}"
+        );
+        // Baselines without the GLCB columns (pre-codec spill rows)
+        // skip the gate.
+        let old = DOC.replace("\"snapshot_write_speedup\":2.5", "\"no_metric\":2.5");
+        run_gate(&old, DOC, "spill_absent").expect("absent baseline columns pass");
     }
 
     #[test]

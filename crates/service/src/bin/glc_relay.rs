@@ -33,9 +33,25 @@
 //! relay hammered with shards of the same circuit — the normal sweep
 //! shape — compiles it once and serves every later order, on any
 //! connection thread, from the shared `Arc`.
+//!
+//! ## GLCB and reduction mode
+//!
+//! Framed connections negotiate capabilities in the hello exchange
+//! (`glc_service::codec`): the relay advertises the GLCB binary codec
+//! *and* partial reduction, grants the intersection of what the client
+//! asked for, and answers each frame in its own encoding. On a
+//! reduce-granted connection, GLCB orders that finish while others are
+//! still running locally get a `Deferred` receipt (freeing the
+//! client's pipeline window) and their partials merge into one
+//! per-connection accumulator; when the local in-flight count hits
+//! zero the whole batch ships upstream as a single `Reduced` reply —
+//! coordinator ingress drops from one decode+merge per chunk to one
+//! per relay drain.
 
-use glc_service::{frame, Coordinator, RelayReply, WorkOrder};
-use std::io::{BufRead, BufReader, Read as _, Write};
+use glc_service::codec::{self, BinaryReply, Hello};
+use glc_service::{frame, Coordinator, RelayReply, ServiceError, WorkOrder};
+use glc_ssa::EnsemblePartial;
+use std::io::{BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,16 +99,121 @@ enum Executor {
 }
 
 impl Executor {
-    fn execute(&self, order: &WorkOrder) -> RelayReply {
-        let outcome = match self {
+    fn run(&self, order: &WorkOrder) -> Result<EnsemblePartial, ServiceError> {
+        match self {
             Executor::InProcess => order.execute(),
             Executor::Coordinator { worker, workers } => {
                 Coordinator::new(worker, *workers).and_then(|coordinator| coordinator.run(order))
             }
-        };
-        match outcome {
+        }
+    }
+
+    fn execute(&self, order: &WorkOrder) -> RelayReply {
+        match self.run(order) {
             Ok(partial) => RelayReply::Partial(partial),
             Err(err) => RelayReply::Error(err.to_string()),
+        }
+    }
+}
+
+/// The per-connection reduction accumulator: partials of locally
+/// completed GLCB orders merged into one running total, flushed
+/// upstream as a single `Reduced` reply when the connection's local
+/// in-flight count hits zero (or when an order of an incompatible
+/// fingerprint arrives). Deferred/Reduced ordering matters to the
+/// client — a `Deferred` receipt must reach it before any `Reduced`
+/// covering that id — so completions mutate the state *and* write
+/// their reply under one lock.
+#[derive(Default)]
+struct Reducer {
+    /// Reduction-eligible orders currently executing on this
+    /// connection's threads.
+    inflight: usize,
+    /// Correlation ids whose partials sit in `total`, in deferral
+    /// order.
+    pending: Vec<u64>,
+    /// The running merge of the pending orders' partials.
+    total: Option<EnsemblePartial>,
+}
+
+/// Writes one GLCB reply frame under the connection's writer lock.
+fn write_reply(writer: &Mutex<TcpStream>, payload: &[u8], peer: &str) {
+    let mut writer = writer.lock().expect("relay writer poisoned");
+    if let Err(err) = frame::write_frame(&mut *writer, payload) {
+        eprintln!("glc-relay: writing reply frame to {peer}: {err}");
+    }
+}
+
+/// Completes one reduction-mode order: merge-or-flush bookkeeping plus
+/// the reply the client sees (`Deferred`, `Reduced`, or `Error`).
+fn reduce_complete(
+    reducer: &Mutex<Reducer>,
+    writer: &Mutex<TcpStream>,
+    id: u64,
+    replicates: u64,
+    outcome: Result<EnsemblePartial, ServiceError>,
+    peer: &str,
+) {
+    let mut state = reducer.lock().expect("relay reducer poisoned");
+    state.inflight -= 1;
+    match outcome {
+        Ok(partial) => {
+            match state.total.take() {
+                None => state.total = Some(partial),
+                Some(mut total) => {
+                    if total.merge(&partial).is_ok() {
+                        state.total = Some(total);
+                    } else {
+                        // Incompatible fingerprint (a new session's
+                        // chunks started arriving): ship the finished
+                        // batch, then open a new one. Merge failure is
+                        // all-or-nothing, so `total` still holds
+                        // exactly the pending ids' bits.
+                        let mut pending = std::mem::take(&mut state.pending);
+                        let flush_id = pending.remove(0);
+                        let reply = BinaryReply::Reduced {
+                            also_covers: pending,
+                            partial: total,
+                        };
+                        write_reply(writer, &codec::encode_reply(flush_id, &reply), peer);
+                        state.total = Some(partial);
+                    }
+                }
+            }
+            if state.inflight == 0 {
+                // Last local order out: this id carries the whole
+                // batch upstream.
+                let also_covers = std::mem::take(&mut state.pending);
+                let partial = state.total.take().expect("batch just merged");
+                let reply = BinaryReply::Reduced {
+                    also_covers,
+                    partial,
+                };
+                write_reply(writer, &codec::encode_reply(id, &reply), peer);
+            } else {
+                // Others still running here: absorb this chunk and
+                // free the client's window slot with a receipt.
+                state.pending.push(id);
+                let reply = BinaryReply::Deferred { replicates };
+                write_reply(writer, &codec::encode_reply(id, &reply), peer);
+            }
+        }
+        Err(err) => {
+            let reply = BinaryReply::Error(err.to_string());
+            write_reply(writer, &codec::encode_reply(id, &reply), peer);
+            if state.inflight == 0 {
+                // The error emptied the local window; anything already
+                // absorbed must still go upstream.
+                if let Some(partial) = state.total.take() {
+                    let mut pending = std::mem::take(&mut state.pending);
+                    let flush_id = pending.remove(0);
+                    let reply = BinaryReply::Reduced {
+                        also_covers: pending,
+                        partial,
+                    };
+                    write_reply(writer, &codec::encode_reply(flush_id, &reply), peer);
+                }
+            }
         }
     }
 }
@@ -138,24 +259,32 @@ fn serve_framed(stream: TcpStream, executor: Executor, peer: &str) {
         }
     };
     let mut reader = BufReader::new(stream);
-    match frame::read_frame(&mut reader) {
-        Ok(Some(payload)) if payload == frame::FRAME_HELLO => {}
-        Ok(_) => {
-            eprintln!("glc-relay: {peer} opened framed mode without a hello frame");
-            return;
-        }
+    let client = match frame::read_frame(&mut reader) {
+        Ok(Some(payload)) => match codec::parse_hello(&payload) {
+            Ok(client) => client,
+            Err(err) => {
+                eprintln!("glc-relay: bad hello from {peer}: {err}");
+                return;
+            }
+        },
+        Ok(None) => return, // Connected, said nothing, hung up.
         Err(err) => {
             eprintln!("glc-relay: reading hello from {peer}: {err}");
             return;
         }
-    }
+    };
+    // Grant the intersection of what we speak and what the client
+    // asked for; a legacy client gets the byte-exact legacy hello back.
+    let granted = Hello::glcb_reducing().intersect(client);
+    let reducing = granted.glcb && granted.reduce;
     {
         let mut writer = writer.lock().expect("relay writer poisoned");
-        if let Err(err) = frame::write_frame(&mut *writer, frame::FRAME_HELLO) {
+        if let Err(err) = frame::write_frame(&mut *writer, &codec::hello_payload(granted)) {
             eprintln!("glc-relay: answering hello to {peer}: {err}");
             return;
         }
     }
+    let reducer = Arc::new(Mutex::new(Reducer::default()));
     let mut order_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         let payload = match frame::read_frame(&mut reader) {
@@ -166,7 +295,13 @@ fn serve_framed(stream: TcpStream, executor: Executor, peer: &str) {
                 break;
             }
         };
-        let (id, order): (u64, WorkOrder) = match frame::decode_message(&payload) {
+        let glcb = codec::is_glcb(&payload);
+        let decoded: Result<(u64, WorkOrder), ServiceError> = if glcb {
+            codec::decode_order(&payload)
+        } else {
+            frame::decode_message(&payload)
+        };
+        let (id, order) = match decoded {
             Ok(decoded) => decoded,
             Err(err) => {
                 // An undecodable frame cannot even be answered in-band
@@ -179,18 +314,37 @@ fn serve_framed(stream: TcpStream, executor: Executor, peer: &str) {
         let executor = executor.clone();
         let writer = Arc::clone(&writer);
         let peer = peer.to_string();
-        order_threads.push(std::thread::spawn(move || {
-            let reply = executor.execute(&order);
-            match frame::encode_message(id, &reply) {
-                Ok(encoded) => {
-                    let mut writer = writer.lock().expect("relay writer poisoned");
-                    if let Err(err) = frame::write_frame(&mut *writer, &encoded) {
-                        eprintln!("glc-relay: writing reply frame to {peer}: {err}");
+        // Only GLCB orders on a reduce-granted connection join the
+        // accumulator: a JSON envelope mixed onto the same socket gets
+        // its own plain JSON reply and stays invisible to reduction.
+        if reducing && glcb {
+            let reducer = Arc::clone(&reducer);
+            // Count the order in-flight *before* its thread exists, so
+            // a burst of orders can never observe inflight == 0 between
+            // the read and the spawn and flush a premature batch.
+            reducer.lock().expect("relay reducer poisoned").inflight += 1;
+            let replicates = order.replicates;
+            order_threads.push(std::thread::spawn(move || {
+                let outcome = executor.run(&order);
+                reduce_complete(&reducer, &writer, id, replicates, outcome, &peer);
+            }));
+        } else {
+            order_threads.push(std::thread::spawn(move || {
+                if glcb {
+                    let reply = match executor.run(&order) {
+                        Ok(partial) => BinaryReply::Partial(partial),
+                        Err(err) => BinaryReply::Error(err.to_string()),
+                    };
+                    write_reply(&writer, &codec::encode_reply(id, &reply), &peer);
+                } else {
+                    let reply = executor.execute(&order);
+                    match frame::encode_message(id, &reply) {
+                        Ok(encoded) => write_reply(&writer, &encoded, &peer),
+                        Err(err) => eprintln!("glc-relay: encoding reply for {peer}: {err}"),
                     }
                 }
-                Err(err) => eprintln!("glc-relay: encoding reply for {peer}: {err}"),
-            }
-        }));
+            }));
+        }
     }
     for thread in order_threads {
         let _ = thread.join();
@@ -207,10 +361,14 @@ fn serve_lines(stream: TcpStream, executor: Executor, peer: &str) {
             return;
         }
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Capped at the frame payload limit so a malformed (or
+        // malicious) peer cannot balloon the relay by never sending a
+        // newline — the same fail-closed ceiling framed mode has.
+        let line = match frame::read_line_capped(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // Clean EOF.
             Err(err) => {
                 eprintln!("glc-relay: reading from {peer}: {err}");
                 return;

@@ -58,10 +58,11 @@
 //!   bound address is printed to **stdout** (`glc-serve listening on
 //!   …`), and the process still exits when stdin reaches EOF.
 
+use glc_service::codec::{self, Hello};
 use glc_service::{
-    metrics, transport, ExtendBackend, MetricsRegistry, SessionStore, Transport, WorkerPool,
+    frame, metrics, transport, ExtendBackend, MetricsRegistry, SessionStore, Transport, WorkerPool,
 };
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -222,9 +223,17 @@ fn run() -> Result<(), String> {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut input = stdin.lock();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("reading request: {e}"))?;
+    // Request lines are capped at the frame payload limit — a caller
+    // that never sends a newline gets an error instead of growing the
+    // process without bound.
+    loop {
+        let line = match frame::read_line_capped(&mut input) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(err) => return Err(format!("reading request: {err}")),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -232,7 +241,23 @@ fn run() -> Result<(), String> {
         writeln!(out, "{encoded}").map_err(|e| format!("writing response: {e}"))?;
         out.flush().map_err(|e| format!("flushing response: {e}"))?;
     }
-    Ok(())
+}
+
+/// How one multiplexed client frames its requests, sniffed from the
+/// first byte it sends: the GLCF magic starts with `G`, while a JSON
+/// request line can only start with `{`, `"` or whitespace.
+enum ClientMode {
+    /// No bytes seen yet.
+    Sniffing,
+    /// Legacy newline-delimited JSON lines.
+    Line,
+    /// Length-prefixed GLCF frames; after the hello exchange each
+    /// frame carries one session request — GLCB `Text` or a raw JSON
+    /// line — answered by one frame in the same encoding.
+    Framed {
+        decoder: frame::FrameDecoder,
+        hello_done: bool,
+    },
 }
 
 /// One multiplexed client connection: raw bytes in, complete request
@@ -240,13 +265,151 @@ fn run() -> Result<(), String> {
 struct ClientConn {
     stream: std::net::TcpStream,
     peer: String,
-    /// Bytes received but not yet forming a complete line.
+    mode: ClientMode,
+    /// Bytes received but not yet forming a complete request.
     read_buf: Vec<u8>,
     /// Response bytes not yet accepted by the socket.
     write_buf: Vec<u8>,
     /// The peer half-closed its sending side; the connection is
     /// dropped once `write_buf` drains.
     eof: bool,
+}
+
+impl ClientConn {
+    /// Handles every complete request buffered so far, appending the
+    /// responses to `write_buf`. `Err` means the connection is beyond
+    /// saving (protocol violation); the message has been logged.
+    fn pump(&mut self, store: &mut SessionStore, progressed: &mut bool) -> Result<(), ()> {
+        if matches!(self.mode, ClientMode::Sniffing) {
+            match self.read_buf.first() {
+                None => return Ok(()),
+                Some(&first) if first == glc_service::FRAME_MAGIC[0] => {
+                    self.mode = ClientMode::Framed {
+                        decoder: frame::FrameDecoder::new(),
+                        hello_done: false,
+                    };
+                }
+                Some(_) => self.mode = ClientMode::Line,
+            }
+        }
+        match &mut self.mode {
+            ClientMode::Sniffing => unreachable!("sniffed above"),
+            ClientMode::Line => {
+                // Complete lines → responses (requests keep their
+                // order: lines are handled in arrival order on this
+                // one thread).
+                while let Some(newline) = self.read_buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = self.read_buf.drain(..=newline).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let encoded = store.handle_json_line(line);
+                    self.write_buf.extend_from_slice(encoded.as_bytes());
+                    self.write_buf.push(b'\n');
+                    *progressed = true;
+                }
+                // Same fail-closed ceiling as framed mode: a peer that
+                // never sends a newline cannot grow the buffer forever.
+                if self.read_buf.len() > glc_service::MAX_FRAME_PAYLOAD {
+                    eprintln!(
+                        "glc-serve: {} exceeded the {}-byte line cap",
+                        self.peer,
+                        glc_service::MAX_FRAME_PAYLOAD
+                    );
+                    return Err(());
+                }
+                Ok(())
+            }
+            ClientMode::Framed {
+                decoder,
+                hello_done,
+            } => {
+                decoder.push(&self.read_buf);
+                self.read_buf.clear();
+                loop {
+                    let payload = match decoder.next_frame() {
+                        Ok(Some(payload)) => payload,
+                        Ok(None) => return Ok(()),
+                        Err(err) => {
+                            eprintln!("glc-serve: bad frame from {}: {err}", self.peer);
+                            return Err(());
+                        }
+                    };
+                    *progressed = true;
+                    if !*hello_done {
+                        let client = match codec::parse_hello(&payload) {
+                            Ok(client) => client,
+                            Err(err) => {
+                                eprintln!("glc-serve: bad hello from {}: {err}", self.peer);
+                                return Err(());
+                            }
+                        };
+                        // Sessions don't reduce — that's a relay
+                        // capability — so grant at most the codec.
+                        let granted = Hello::glcb().intersect(client);
+                        let reply = codec::hello_payload(granted);
+                        metrics::count_frame_tx(granted.glcb, reply.len());
+                        match frame::encode_frame(&reply) {
+                            Ok(framed) => self.write_buf.extend_from_slice(&framed),
+                            Err(err) => {
+                                eprintln!("glc-serve: encoding hello for {}: {err}", self.peer);
+                                return Err(());
+                            }
+                        }
+                        *hello_done = true;
+                        continue;
+                    }
+                    // One request per frame, answered in the frame's
+                    // own encoding; the line bytes either way are
+                    // byte-identical to the stdin protocol.
+                    let glcb = codec::is_glcb(&payload);
+                    metrics::count_frame_rx(glcb, payload.len());
+                    let line = if glcb {
+                        match codec::decode_text(&payload) {
+                            Ok(line) => line,
+                            Err(err) => {
+                                eprintln!("glc-serve: bad GLCB text from {}: {err}", self.peer);
+                                return Err(());
+                            }
+                        }
+                    } else {
+                        match String::from_utf8(payload) {
+                            Ok(line) => line,
+                            Err(err) => {
+                                eprintln!("glc-serve: non-UTF-8 frame from {}: {err}", self.peer);
+                                return Err(());
+                            }
+                        }
+                    };
+                    let encoded = store.handle_json_line(line.trim());
+                    let reply = if glcb {
+                        codec::encode_text(&encoded)
+                    } else {
+                        encoded.into_bytes()
+                    };
+                    metrics::count_frame_tx(glcb, reply.len());
+                    match frame::encode_frame(&reply) {
+                        Ok(framed) => self.write_buf.extend_from_slice(&framed),
+                        Err(err) => {
+                            eprintln!("glc-serve: encoding reply for {}: {err}", self.peer);
+                            return Err(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the connection still owes or may produce work.
+    fn open(&self) -> bool {
+        let drained = match &self.mode {
+            ClientMode::Framed { decoder, .. } => !decoder.has_partial(),
+            _ => self.read_buf.iter().all(|&b| b.is_ascii_whitespace()),
+        };
+        !(self.eof && drained && self.write_buf.is_empty())
+    }
 }
 
 /// The nonblocking multiplexed front-end behind `--listen`: one
@@ -262,6 +425,14 @@ struct ClientConn {
 /// driven from this single thread; determinism of the store does the
 /// rest). Fairness is round-robin: each pass drains whatever complete
 /// lines every connection has accumulated.
+///
+/// Each connection's framing is sniffed from its first byte: legacy
+/// clients keep sending newline-delimited lines (now capped at the
+/// frame payload limit), while a client that opens with a GLCF hello
+/// frame negotiates codecs and sends one request per frame — GLCB
+/// `Text` or a raw JSON line — answered by one frame in the same
+/// encoding, carrying the byte-identical response line. One socket
+/// thus serves binary, framed-JSON and line clients side by side.
 ///
 /// Prints exactly one stdout banner — `glc-serve listening on
 /// HOST:PORT` — so a parent that bound port 0 can scrape the chosen
@@ -303,6 +474,7 @@ fn serve_listener(addr: &str, store: &mut SessionStore) -> Result<(), String> {
                     conns.push(ClientConn {
                         stream,
                         peer: peer.to_string(),
+                        mode: ClientMode::Sniffing,
                         read_buf: Vec::new(),
                         write_buf: Vec::new(),
                         eof: false,
@@ -343,19 +515,10 @@ fn serve_listener(addr: &str, store: &mut SessionStore) -> Result<(), String> {
                     }
                 }
             }
-            // Complete lines → responses (requests keep their order:
-            // lines are handled in arrival order on this one thread).
-            while let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = conn.read_buf.drain(..=newline).collect();
-                let line = String::from_utf8_lossy(&line);
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                let encoded = store.handle_json_line(line);
-                conn.write_buf.extend_from_slice(encoded.as_bytes());
-                conn.write_buf.push(b'\n');
-                progressed = true;
+            // Complete requests → responses, in whichever framing
+            // this client sniffed to.
+            if conn.pump(store, &mut progressed).is_err() {
+                return false;
             }
             // Writable bytes.
             while !conn.write_buf.is_empty() {
@@ -379,9 +542,7 @@ fn serve_listener(addr: &str, store: &mut SessionStore) -> Result<(), String> {
             // A half-closed peer is dropped once everything owed it
             // (including replies to requests that arrived with the
             // EOF) has been handled and flushed.
-            !(conn.eof
-                && conn.read_buf.iter().all(|&b| b.is_ascii_whitespace())
-                && conn.write_buf.is_empty())
+            conn.open()
         });
 
         if !progressed {

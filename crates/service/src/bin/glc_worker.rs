@@ -32,7 +32,13 @@
 //! only transport-level problems (unreadable stdin, a frame that
 //! fails to decode) exit the process. Clean EOF at a frame boundary
 //! is a normal shutdown.
+//!
+//! The hello advertises the GLCB binary codec (`glc_service::codec`),
+//! and each incoming frame is answered in its own payload encoding —
+//! a GLCB order gets a GLCB reply, a JSON envelope gets a JSON reply —
+//! so legacy framed clients keep working bit-for-bit.
 
+use glc_service::codec::{self, BinaryReply, Hello};
 use glc_service::{frame, RelayReply, WorkOrder};
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -53,7 +59,7 @@ fn serve() -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut reader = stdin.lock();
     let mut writer = stdout.lock();
-    frame::write_frame(&mut writer, frame::FRAME_HELLO)
+    frame::write_frame(&mut writer, &codec::hello_payload(Hello::glcb()))
         .map_err(|e| format!("sending hello frame: {e}"))?;
     loop {
         let Some(payload) =
@@ -61,18 +67,32 @@ fn serve() -> Result<(), String> {
         else {
             return Ok(()); // Clean EOF between frames: the pool hung up.
         };
-        let (id, order): (u64, WorkOrder) =
-            frame::decode_message(&payload).map_err(|e| format!("decoding order frame: {e}"))?;
+        let glcb = codec::is_glcb(&payload);
+        let (id, order): (u64, WorkOrder) = if glcb {
+            codec::decode_order(&payload).map_err(|e| format!("decoding order frame: {e}"))?
+        } else {
+            frame::decode_message(&payload).map_err(|e| format!("decoding order frame: {e}"))?
+        };
         // The order executes on this thread: chunk orders are sized to
         // fractions of a second and the pool pipelines across
         // *processes*, so in-process concurrency would only add
         // nondeterministic completion order for nothing.
-        let reply = match order.execute() {
-            Ok(partial) => RelayReply::Partial(partial),
-            Err(err) => RelayReply::Error(err.to_string()),
+        let outcome = order.execute();
+        // Answer in the frame's own codec, so one connection can mix
+        // encodings and a legacy client never sees a binary byte.
+        let encoded = if glcb {
+            let reply = match outcome {
+                Ok(partial) => BinaryReply::Partial(partial),
+                Err(err) => BinaryReply::Error(err.to_string()),
+            };
+            codec::encode_reply(id, &reply)
+        } else {
+            let reply = match outcome {
+                Ok(partial) => RelayReply::Partial(partial),
+                Err(err) => RelayReply::Error(err.to_string()),
+            };
+            frame::encode_message(id, &reply).map_err(|e| format!("encoding reply frame: {e}"))?
         };
-        let encoded =
-            frame::encode_message(id, &reply).map_err(|e| format!("encoding reply frame: {e}"))?;
         frame::write_frame(&mut writer, &encoded)
             .map_err(|e| format!("writing reply frame: {e}"))?;
     }

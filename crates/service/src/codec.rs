@@ -1,0 +1,592 @@
+//! GLCB: the compact binary payload codec for the frame wire and the
+//! spill path.
+//!
+//! The frame layer (`glc_service::frame`) delimits payloads but does
+//! not care what they are; historically every payload was JSON. GLCB
+//! is a second payload encoding, negotiated per connection through the
+//! existing hello exchange, that replaces the hot-path JSON documents
+//! — chunk orders, `RelayReply` partials, spill snapshots — with a
+//! dense binary layout built on `glc_ssa::wire` primitives (LEB128
+//! varints, little-endian `f64` bit patterns, length-prefixed UTF-8).
+//!
+//! # Payload layout
+//!
+//! ```text
+//! +---------+---------+-------+------------------------+
+//! | magic   | version | tag   | body                   |
+//! | "GLCB"  | 1 byte  | 1 byte| tag-specific           |
+//! +---------+---------+-------+------------------------+
+//! ```
+//!
+//! | tag | body |
+//! |-----|------|
+//! | 1 `ORDER` | varint id, then the [`WorkOrder`] fields |
+//! | 2 `REPLY` | varint id, a variant byte, then the variant body |
+//! | 3 `TEXT`  | length-prefixed UTF-8 (one session-protocol JSON line) |
+//! | 4 `SNAPSHOT` | length-prefixed spec JSON + binary partial (spill files) |
+//!
+//! Reply variants: 0 `Partial(partial)`, 1 `Error(string)`,
+//! 2 `Deferred(varint replicates)` — a reducing relay's receipt for a
+//! chunk it absorbed locally — and 3 `Reduced(varint n, n varint
+//! covered ids, partial)` — the merged partial it ships upstream,
+//! covering the envelope id plus the listed deferred ids.
+//!
+//! A GLCB payload always starts with `GLCB`, which no JSON document
+//! can (JSON starts with `{`, `"`, a digit, or whitespace), so both
+//! payload encodings coexist on one connection and every reader can
+//! [`is_glcb`]-sniff per frame. Decoding is fail-closed end to end:
+//! truncation, unknown tags/variants, trailing bytes, and structurally
+//! invalid partials (via `EnsemblePartial::validate`) are all errors.
+//!
+//! # Hello negotiation
+//!
+//! The hello frame stays a JSON object (`{"glc_frame_hello":1}`), so
+//! legacy peers keep working bit-for-bit. A GLCB-capable peer extends
+//! it with a `codecs` list (and a relay client may ask for reduction
+//! with `"reduce":true`); [`parse_hello`] accepts any object carrying
+//! `glc_frame_hello: 1` and reads the capabilities off it, and
+//! [`hello_payload`] emits the **legacy bytes exactly** when no
+//! capability is advertised — so a reply to a legacy hello is
+//! byte-identical to yesterday's.
+
+use crate::{EngineSpec, ModelSource, ServiceError, WorkOrder};
+use glc_ssa::wire::{put_f64_bits, put_string, put_varint, Reader, WireError};
+use glc_ssa::EnsemblePartial;
+use serde::Value;
+
+/// First four bytes of every GLCB payload. Distinct from the frame
+/// magic (`GLCF`): this sits *inside* a frame payload.
+pub const GLCB_MAGIC: [u8; 4] = *b"GLCB";
+
+/// Current GLCB layout version.
+pub const GLCB_VERSION: u8 = 1;
+
+const TAG_ORDER: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_SNAPSHOT: u8 = 4;
+
+const REPLY_PARTIAL: u8 = 0;
+const REPLY_ERROR: u8 = 1;
+const REPLY_DEFERRED: u8 = 2;
+const REPLY_REDUCED: u8 = 3;
+
+/// Whether a frame payload is GLCB-encoded (vs JSON). Sniffable per
+/// frame: JSON can never start with the GLCB magic.
+pub fn is_glcb(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[..4] == GLCB_MAGIC
+}
+
+/// One decoded reply payload on the chunk wire — the binary analogue
+/// of `Envelope<RelayReply>`, extended with the two reduction-mode
+/// messages a reducing relay may send instead of a plain partial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinaryReply {
+    /// The chunk's partial, computed and shipped verbatim.
+    Partial(EnsemblePartial),
+    /// The chunk failed in-band (order invalid, simulation error).
+    Error(String),
+    /// A reducing relay absorbed this chunk's partial into its local
+    /// accumulator; the merged result arrives later in a `Reduced`
+    /// reply covering this id. Carries the chunk's replicate count so
+    /// the client can keep throughput accounting without the payload.
+    Deferred {
+        /// Replicates the absorbed chunk simulated.
+        replicates: u64,
+    },
+    /// The relay's merged partial, covering the envelope id **plus**
+    /// every id listed in `also_covers` (all previously deferred).
+    Reduced {
+        /// Previously deferred chunk ids this partial also covers.
+        also_covers: Vec<u64>,
+        /// The merge of all covered chunks' partials.
+        partial: EnsemblePartial,
+    },
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&GLCB_MAGIC);
+    buf.push(GLCB_VERSION);
+    buf.push(tag);
+    buf
+}
+
+/// Opens a reader past the magic/version/tag header, returning the
+/// tag byte.
+fn open<'a>(payload: &'a [u8], what: &str) -> Result<(Reader<'a>, u8), ServiceError> {
+    if !is_glcb(payload) {
+        return Err(ServiceError::Protocol(format!(
+            "{what}: payload is not GLCB (no magic)"
+        )));
+    }
+    let mut reader = Reader::new(&payload[4..]);
+    let version = reader
+        .byte("GLCB version")
+        .map_err(|err| protocol(what, err))?;
+    if version != GLCB_VERSION {
+        return Err(ServiceError::Protocol(format!(
+            "{what}: unsupported GLCB version {version} (expected {GLCB_VERSION})"
+        )));
+    }
+    let tag = reader.byte("GLCB tag").map_err(|err| protocol(what, err))?;
+    Ok((reader, tag))
+}
+
+fn protocol(what: &str, err: WireError) -> ServiceError {
+    ServiceError::Protocol(format!("{what}: {err}"))
+}
+
+fn expect_tag(what: &str, tag: u8, expected: u8) -> Result<(), ServiceError> {
+    if tag != expected {
+        return Err(ServiceError::Protocol(format!(
+            "{what}: unexpected GLCB tag {tag} (expected {expected})"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a chunk order under its correlation id — the GLCB analogue
+/// of `frame::encode_message(id, order)`.
+pub fn encode_order(id: u64, order: &WorkOrder) -> Vec<u8> {
+    let mut buf = header(TAG_ORDER);
+    put_varint(&mut buf, id);
+    match &order.model {
+        ModelSource::Sbml(doc) => {
+            buf.push(0);
+            put_string(&mut buf, doc);
+        }
+        ModelSource::Catalog(name) => {
+            buf.push(1);
+            put_string(&mut buf, name);
+        }
+    }
+    put_varint(&mut buf, order.set_amounts.len() as u64);
+    for (species, amount) in &order.set_amounts {
+        put_string(&mut buf, species);
+        put_f64_bits(&mut buf, *amount);
+    }
+    match &order.engine {
+        EngineSpec::Direct => buf.push(0),
+        EngineSpec::FirstReaction => buf.push(1),
+        EngineSpec::NextReaction => buf.push(2),
+        EngineSpec::TauLeap(tau) => {
+            buf.push(3);
+            put_f64_bits(&mut buf, *tau);
+        }
+        EngineSpec::Langevin(dt) => {
+            buf.push(4);
+            put_f64_bits(&mut buf, *dt);
+        }
+    }
+    put_varint(&mut buf, order.base_seed);
+    put_varint(&mut buf, order.first_replicate);
+    put_varint(&mut buf, order.replicates);
+    put_f64_bits(&mut buf, order.t_end);
+    put_f64_bits(&mut buf, order.sample_dt);
+    buf
+}
+
+/// Decodes a GLCB chunk order, returning `(id, order)`.
+///
+/// # Errors
+///
+/// [`ServiceError::Protocol`] for anything that is not a complete,
+/// well-formed order payload.
+pub fn decode_order(payload: &[u8]) -> Result<(u64, WorkOrder), ServiceError> {
+    let what = "GLCB order";
+    let (mut reader, tag) = open(payload, what)?;
+    expect_tag(what, tag, TAG_ORDER)?;
+    let mut read = || -> Result<(u64, WorkOrder), WireError> {
+        let id = reader.varint("order id")?;
+        let model = match reader.byte("model variant")? {
+            0 => ModelSource::Sbml(reader.string("sbml document")?),
+            1 => ModelSource::Catalog(reader.string("catalog name")?),
+            other => return Err(WireError(format!("unknown model variant {other}"))),
+        };
+        let amount_count = reader.length("set_amounts", 1 << 20)?;
+        let mut set_amounts = Vec::with_capacity(amount_count);
+        for _ in 0..amount_count {
+            let species = reader.string("override species")?;
+            let amount = reader.f64_bits("override amount")?;
+            set_amounts.push((species, amount));
+        }
+        let engine = match reader.byte("engine variant")? {
+            0 => EngineSpec::Direct,
+            1 => EngineSpec::FirstReaction,
+            2 => EngineSpec::NextReaction,
+            3 => EngineSpec::TauLeap(reader.f64_bits("tau")?),
+            4 => EngineSpec::Langevin(reader.f64_bits("langevin dt")?),
+            other => return Err(WireError(format!("unknown engine variant {other}"))),
+        };
+        let base_seed = reader.varint("base_seed")?;
+        let first_replicate = reader.varint("first_replicate")?;
+        let replicates = reader.varint("replicates")?;
+        let t_end = reader.f64_bits("t_end")?;
+        let sample_dt = reader.f64_bits("sample_dt")?;
+        reader.expect_end("order")?;
+        Ok((
+            id,
+            WorkOrder {
+                model,
+                set_amounts,
+                engine,
+                base_seed,
+                first_replicate,
+                replicates,
+                t_end,
+                sample_dt,
+            },
+        ))
+    };
+    read().map_err(|err| protocol(what, err))
+}
+
+/// Encodes a chunk reply under its correlation id — the GLCB analogue
+/// of `frame::encode_message(id, reply)`, extended with the
+/// reduction-mode variants.
+pub fn encode_reply(id: u64, reply: &BinaryReply) -> Vec<u8> {
+    let mut buf = header(TAG_REPLY);
+    put_varint(&mut buf, id);
+    match reply {
+        BinaryReply::Partial(partial) => {
+            buf.push(REPLY_PARTIAL);
+            partial.encode_binary(&mut buf);
+        }
+        BinaryReply::Error(message) => {
+            buf.push(REPLY_ERROR);
+            put_string(&mut buf, message);
+        }
+        BinaryReply::Deferred { replicates } => {
+            buf.push(REPLY_DEFERRED);
+            put_varint(&mut buf, *replicates);
+        }
+        BinaryReply::Reduced {
+            also_covers,
+            partial,
+        } => {
+            buf.push(REPLY_REDUCED);
+            put_varint(&mut buf, also_covers.len() as u64);
+            for &covered in also_covers {
+                put_varint(&mut buf, covered);
+            }
+            partial.encode_binary(&mut buf);
+        }
+    }
+    buf
+}
+
+/// Decodes a GLCB chunk reply, returning `(id, reply)`. Embedded
+/// partials are structurally validated (`EnsemblePartial::validate`)
+/// exactly like the JSON path validates them.
+///
+/// # Errors
+///
+/// [`ServiceError::Protocol`] for anything that is not a complete,
+/// well-formed reply payload.
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, BinaryReply), ServiceError> {
+    let what = "GLCB reply";
+    let (mut reader, tag) = open(payload, what)?;
+    expect_tag(what, tag, TAG_REPLY)?;
+    let mut read = || -> Result<(u64, BinaryReply), WireError> {
+        let id = reader.varint("reply id")?;
+        let reply = match reader.byte("reply variant")? {
+            REPLY_PARTIAL => BinaryReply::Partial(EnsemblePartial::decode_binary(&mut reader)?),
+            REPLY_ERROR => BinaryReply::Error(reader.string("error message")?),
+            REPLY_DEFERRED => BinaryReply::Deferred {
+                replicates: reader.varint("deferred replicates")?,
+            },
+            REPLY_REDUCED => {
+                let count = reader.length("covered ids", 1 << 20)?;
+                let mut also_covers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    also_covers.push(reader.varint("covered id")?);
+                }
+                let partial = EnsemblePartial::decode_binary(&mut reader)?;
+                BinaryReply::Reduced {
+                    also_covers,
+                    partial,
+                }
+            }
+            other => return Err(WireError(format!("unknown reply variant {other}"))),
+        };
+        reader.expect_end("reply")?;
+        Ok((id, reply))
+    };
+    read().map_err(|err| protocol(what, err))
+}
+
+/// Wraps one session-protocol JSON line in a GLCB text payload. The
+/// multiplexed `glc-serve --listen` front-end serves Submit / Extend /
+/// Query this way for GLCB clients: the *line bytes* are exactly what
+/// the stdin protocol produces, so a GLCB client's responses compare
+/// byte-identical to a serial stdin run.
+pub fn encode_text(line: &str) -> Vec<u8> {
+    let mut buf = header(TAG_TEXT);
+    put_string(&mut buf, line);
+    buf
+}
+
+/// Unwraps a GLCB text payload back to its JSON line.
+///
+/// # Errors
+///
+/// [`ServiceError::Protocol`] for truncation, bad UTF-8, or a
+/// non-text tag.
+pub fn decode_text(payload: &[u8]) -> Result<String, ServiceError> {
+    let what = "GLCB text";
+    let (mut reader, tag) = open(payload, what)?;
+    expect_tag(what, tag, TAG_TEXT)?;
+    let line = reader
+        .string("text line")
+        .map_err(|err| protocol(what, err))?;
+    reader
+        .expect_end("text")
+        .map_err(|err| protocol(what, err))?;
+    Ok(line)
+}
+
+/// Encodes a spill snapshot: the session spec as its canonical JSON
+/// (specs are tiny and their fingerprint hashes those bytes) plus the
+/// partial in the dense binary layout — the part that dominated the
+/// ~8 KB JSON snapshots.
+pub fn encode_snapshot(spec_json: &str, partial: &EnsemblePartial) -> Vec<u8> {
+    let mut buf = header(TAG_SNAPSHOT);
+    put_string(&mut buf, spec_json);
+    partial.encode_binary(&mut buf);
+    buf
+}
+
+/// Decodes a GLCB spill snapshot into `(spec_json, partial)`; the
+/// partial is structurally validated, the spec is returned as text for
+/// the caller's JSON layer (which also re-derives the fingerprint).
+///
+/// # Errors
+///
+/// [`ServiceError::Protocol`] for truncated or corrupt snapshots.
+pub fn decode_snapshot(payload: &[u8]) -> Result<(String, EnsemblePartial), ServiceError> {
+    let what = "GLCB snapshot";
+    let (mut reader, tag) = open(payload, what)?;
+    expect_tag(what, tag, TAG_SNAPSHOT)?;
+    let mut read = || -> Result<(String, EnsemblePartial), WireError> {
+        let spec = reader.string("snapshot spec")?;
+        let partial = EnsemblePartial::decode_binary(&mut reader)?;
+        reader.expect_end("snapshot")?;
+        Ok((spec, partial))
+    };
+    read().map_err(|err| protocol(what, err))
+}
+
+/// Capabilities carried by a hello frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hello {
+    /// The peer can encode/decode GLCB payloads.
+    pub glcb: bool,
+    /// The peer asks for (client) or grants (relay) partial reduction:
+    /// the relay merges chunk partials locally and ships one merged
+    /// partial upstream.
+    pub reduce: bool,
+}
+
+impl Hello {
+    /// The legacy capability set: JSON payloads only.
+    pub fn legacy() -> Self {
+        Hello::default()
+    }
+
+    /// GLCB payloads, no reduction (worker connections).
+    pub fn glcb() -> Self {
+        Hello {
+            glcb: true,
+            reduce: false,
+        }
+    }
+
+    /// GLCB payloads plus relay-side reduction (relay connections).
+    pub fn glcb_reducing() -> Self {
+        Hello {
+            glcb: true,
+            reduce: true,
+        }
+    }
+
+    /// The capabilities both sides share — what the connection
+    /// actually runs with.
+    pub fn intersect(self, other: Hello) -> Hello {
+        Hello {
+            glcb: self.glcb && other.glcb,
+            reduce: self.reduce && other.reduce,
+        }
+    }
+}
+
+/// Builds the hello payload advertising `hello`'s capabilities. With
+/// no capabilities this is **exactly** the legacy
+/// [`crate::frame::FRAME_HELLO`] bytes, so a reply to a legacy peer is
+/// bit-for-bit what it always received.
+pub fn hello_payload(hello: Hello) -> Vec<u8> {
+    if !hello.glcb && !hello.reduce {
+        return crate::frame::FRAME_HELLO.to_vec();
+    }
+    let mut entries = vec![("glc_frame_hello".to_string(), Value::Num(1.0))];
+    if hello.glcb {
+        entries.push((
+            "codecs".to_string(),
+            Value::Array(vec![Value::Str("glcb".to_string())]),
+        ));
+    }
+    if hello.reduce {
+        entries.push(("reduce".to_string(), Value::Bool(true)));
+    }
+    serde_json::to_string(&Value::Object(entries))
+        .unwrap_or_else(|_| String::from_utf8_lossy(crate::frame::FRAME_HELLO).into_owned())
+        .into_bytes()
+}
+
+/// Parses a hello payload into its capabilities. Accepts the legacy
+/// exact bytes and any JSON object carrying `glc_frame_hello: 1` —
+/// unknown fields are ignored, so hellos stay forward-extensible.
+///
+/// # Errors
+///
+/// [`ServiceError::Protocol`] when the payload is not a hello at all
+/// (the fail-closed behaviour connection setup relies on).
+pub fn parse_hello(payload: &[u8]) -> Result<Hello, ServiceError> {
+    if payload == crate::frame::FRAME_HELLO {
+        return Ok(Hello::legacy());
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServiceError::Protocol("hello frame is not UTF-8".into()))?;
+    let value: Value = serde_json::from_str(text)
+        .map_err(|err| ServiceError::Protocol(format!("unparseable hello frame: {err}")))?;
+    match value.get("glc_frame_hello") {
+        Some(Value::Num(n)) if *n == 1.0 => {}
+        _ => {
+            return Err(ServiceError::Protocol(
+                "hello frame lacks glc_frame_hello: 1".into(),
+            ))
+        }
+    }
+    let glcb = matches!(
+        value.get("codecs"),
+        Some(Value::Array(codecs)) if codecs.iter().any(|c| matches!(c, Value::Str(s) if s == "glcb"))
+    );
+    let reduce = matches!(value.get("reduce"), Some(Value::Bool(true)));
+    Ok(Hello { glcb, reduce })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_HELLO;
+
+    fn order() -> WorkOrder {
+        WorkOrder {
+            model: ModelSource::Catalog("cello_0x1C".into()),
+            set_amounts: vec![("LacI".into(), 15.0), ("TetR".into(), 0.5)],
+            engine: EngineSpec::Langevin(0.05),
+            base_seed: u64::MAX - 3,
+            first_replicate: 1 << 60,
+            replicates: 7,
+            t_end: 40.0,
+            sample_dt: 4.0,
+        }
+    }
+
+    #[test]
+    fn orders_round_trip_for_every_model_and_engine_variant() {
+        let mut cases = vec![order()];
+        let mut sbml = order();
+        sbml.model = ModelSource::Sbml("<sbml>…</sbml>".into());
+        sbml.set_amounts.clear();
+        cases.push(sbml);
+        for engine in [
+            EngineSpec::Direct,
+            EngineSpec::FirstReaction,
+            EngineSpec::NextReaction,
+            EngineSpec::TauLeap(0.01),
+        ] {
+            let mut case = order();
+            case.engine = engine;
+            cases.push(case);
+        }
+        for (i, case) in cases.iter().enumerate() {
+            let payload = encode_order(i as u64 + 3, case);
+            assert!(is_glcb(&payload));
+            let (id, back) = decode_order(&payload).unwrap();
+            assert_eq!(id, i as u64 + 3);
+            assert_eq!(&back, case);
+            // Truncations fail closed.
+            for cut in 0..payload.len() {
+                assert!(decode_order(&payload[..cut]).is_err(), "cut {cut}");
+            }
+            let mut trailing = payload.clone();
+            trailing.push(0);
+            assert!(decode_order(&trailing).is_err());
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_including_reduction_variants() {
+        let replies = [
+            BinaryReply::Error("sim exploded".into()),
+            BinaryReply::Deferred { replicates: 640 },
+        ];
+        for (i, reply) in replies.iter().enumerate() {
+            let payload = encode_reply(i as u64, reply);
+            let (id, back) = decode_reply(&payload).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, reply);
+            for cut in 0..payload.len() {
+                assert!(decode_reply(&payload[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        // Tag confusion fails closed: an order payload is not a reply.
+        assert!(decode_reply(&encode_order(1, &order())).is_err());
+        assert!(decode_order(&encode_reply(1, &replies[0])).is_err());
+        // Wrong version fails closed.
+        let mut payload = encode_reply(0, &replies[0]);
+        payload[4] = 99;
+        assert!(decode_reply(&payload).is_err());
+        // JSON payloads are cleanly distinguishable.
+        assert!(!is_glcb(b"{\"id\":1}"));
+        assert!(decode_reply(b"{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn text_payloads_round_trip_the_exact_line_bytes() {
+        let line = "{\"id\":\"alpha\",\"Stats\":null}";
+        let payload = encode_text(line);
+        assert_eq!(decode_text(&payload).unwrap(), line);
+        assert!(decode_text(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn hello_negotiation_matrix() {
+        // Legacy bytes parse as the legacy capability set, and the
+        // legacy capability set emits exactly the legacy bytes.
+        assert_eq!(parse_hello(FRAME_HELLO).unwrap(), Hello::legacy());
+        assert_eq!(hello_payload(Hello::legacy()), FRAME_HELLO.to_vec());
+        // Capability hellos round-trip.
+        for hello in [Hello::glcb(), Hello::glcb_reducing()] {
+            let payload = hello_payload(hello);
+            assert_eq!(parse_hello(&payload).unwrap(), hello);
+            // Still a valid hello to a peer that only checks the marker.
+            assert!(String::from_utf8_lossy(&payload).contains("\"glc_frame_hello\":1"));
+        }
+        // Unknown fields are ignored; missing marker fails closed.
+        let extended = b"{\"glc_frame_hello\":1,\"auth\":\"tbd\",\"codecs\":[\"glcb\",\"zstd\"]}";
+        assert_eq!(parse_hello(extended).unwrap(), Hello::glcb());
+        assert!(parse_hello(b"{\"hi\":1}").is_err());
+        assert!(parse_hello(b"GLCB").is_err());
+        // Intersection is per-capability.
+        assert_eq!(
+            Hello::glcb_reducing().intersect(Hello::glcb()),
+            Hello::glcb()
+        );
+        assert_eq!(
+            Hello::glcb_reducing().intersect(Hello::legacy()),
+            Hello::legacy()
+        );
+    }
+}

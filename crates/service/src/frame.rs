@@ -115,6 +115,51 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>, ServiceErr
     Ok(Some(payload))
 }
 
+/// Reads one newline-terminated line from a buffered reader, failing
+/// closed once the line exceeds [`MAX_FRAME_PAYLOAD`] bytes. The legacy
+/// line protocol had no length cap at all, so a peer streaming garbage
+/// without a newline could grow the buffer without bound; this mirrors
+/// the frame cap onto the line paths. `Ok(None)` is EOF before any
+/// byte of a line.
+pub fn read_line_capped<R: std::io::BufRead>(
+    reader: &mut R,
+) -> Result<Option<String>, ServiceError> {
+    let mut line = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(ServiceError::Worker(format!("reading line: {err}"))),
+        };
+        if chunk.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(at) => (at + 1, true),
+            None => (chunk.len(), false),
+        };
+        if line.len() + take > MAX_FRAME_PAYLOAD + 1 {
+            return Err(ServiceError::Protocol(format!(
+                "request line exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+            )));
+        }
+        line.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+        if done {
+            break;
+        }
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|err| ServiceError::Protocol(format!("request line is not UTF-8: {err}")))
+}
+
 /// Checks magic and length of a complete 8-byte header; returns the
 /// payload length.
 fn validate_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<usize, ServiceError> {
@@ -274,6 +319,31 @@ mod tests {
         let mut decoder = FrameDecoder::new();
         decoder.push(b"{\"");
         assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn capped_line_reads_stop_at_the_frame_cap() {
+        let mut reader = std::io::BufReader::new(&b"alpha\nbeta"[..]);
+        assert_eq!(
+            read_line_capped(&mut reader).unwrap().as_deref(),
+            Some("alpha")
+        );
+        assert_eq!(
+            read_line_capped(&mut reader).unwrap().as_deref(),
+            Some("beta")
+        );
+        assert_eq!(read_line_capped(&mut reader).unwrap(), None);
+
+        struct Endless;
+        impl std::io::Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                buf.fill(b'x');
+                Ok(buf.len())
+            }
+        }
+        let mut reader = std::io::BufReader::new(Endless);
+        let err = read_line_capped(&mut reader).unwrap_err().to_string();
+        assert!(err.contains("cap"), "{err}");
     }
 
     #[test]

@@ -48,11 +48,13 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod frame;
 pub mod metrics;
 pub mod session;
 pub mod transport;
 
+pub use codec::{BinaryReply, Hello, GLCB_MAGIC, GLCB_VERSION};
 pub use frame::{FrameDecoder, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, RequestKind};
 pub use session::{
@@ -61,8 +63,9 @@ pub use session::{
     SpeciesNoise, Submitted,
 };
 pub use transport::{
-    ChildProcess, ChunkChannel, InProcess, PipelinedRelay, PipelinedWorker, PoolHealthSnapshot,
-    RelayReply, ShardHandle, SlotHealth, SlotHealthRecord, TcpRelay, Transport, WorkerPool,
+    ChildProcess, ChunkChannel, ChunkReply, InProcess, PipelinedRelay, PipelinedWorker,
+    PoolHealthSnapshot, RelayReply, ShardHandle, SlotHealth, SlotHealthRecord, TcpRelay, Transport,
+    WorkerPool,
 };
 
 use glc_model::Model;

@@ -41,6 +41,7 @@
 //! normalize through the JSON number layer); see
 //! `crates/service/README.md` for worked examples.
 
+use crate::codec;
 use crate::metrics::{HistogramSnapshot, MetricsRegistry, RequestKind};
 use crate::transport::PoolHealthSnapshot;
 use crate::{
@@ -266,9 +267,10 @@ pub struct ServiceStats {
     /// Model compiles that actually ran because the store's
     /// compiled-model cache had no entry for the model fingerprint.
     pub model_cache_misses: u64,
-    /// Bytes currently held by `*.session.json` snapshots in the spill
-    /// directory (`pool_health.json` is deliberately excluded, so this
-    /// matches a `du` over the session files).
+    /// Bytes currently held by session snapshots (`*.session.glcb`
+    /// plus legacy `*.session.json`) in the spill directory
+    /// (`pool_health.json` is deliberately excluded, so this matches a
+    /// `du` over the session files).
     pub spill_bytes: u64,
     /// Session snapshots deleted by the spill garbage collector
     /// (size/age bounds) since startup.
@@ -393,7 +395,7 @@ struct Session {
 /// the store becomes restart-tolerant:
 ///
 /// * an LRU **eviction** serializes the session (spec + partial) to
-///   `<dir>/<key>.session.json` instead of discarding it;
+///   `<dir>/<key>.session.glcb` instead of discarding it;
 /// * a touch of a non-resident key — Submit, Extend or Query —
 ///   transparently **reloads** the spilled session (recompiling the
 ///   model from its spec and re-validating the partial) before
@@ -430,8 +432,8 @@ pub struct SessionStore {
     /// Spill-dir age bound: session snapshots older than this are
     /// collected.
     spill_max_age: Option<Duration>,
-    /// Bytes currently held by `*.session.json` files (refreshed after
-    /// every snapshot write and GC pass).
+    /// Bytes currently held by session snapshot files (refreshed
+    /// after every snapshot write and GC pass).
     spill_bytes: u64,
     spill_gc_evictions: u64,
     /// Attached observability sink: request latencies recorded in
@@ -510,7 +512,7 @@ impl SessionStore {
 
     /// Bounds the spill directory's size: after every snapshot write
     /// the GC evicts the **oldest** session snapshots (by modification
-    /// time, name-tiebroken) until the `*.session.json` files fit in
+    /// time, name-tiebroken) until the session snapshot files fit in
     /// `max_bytes`. The newest snapshot is never evicted, so the
     /// session just extended always keeps its durability.
     pub fn with_spill_max_bytes(mut self, max_bytes: u64) -> Self {
@@ -957,7 +959,7 @@ impl SessionStore {
     }
 
     /// One garbage-collection pass over the spill directory's
-    /// `*.session.json` snapshots: drop snapshots older than
+    /// session snapshots (both generations): drop snapshots older than
     /// `spill_max_age`, then evict oldest-first (modification time,
     /// name-tiebroken) until the rest fit in `spill_max_bytes`; refresh
     /// the `spill_bytes` gauge either way. `just_written` — the
@@ -1020,11 +1022,14 @@ impl SessionStore {
 }
 
 /// One serialized session: the on-disk snapshot format of the durable
-/// store, written to `<spill-dir>/<key>.session.json`. The `partial`
-/// field is the same bitwise-canonical `EnsemblePartial` wire format
-/// the worker protocol ships, so a snapshot can also be rehydrated by
-/// anything that reads partials (e.g. `glc_vasim`'s cached-sweep
-/// loader).
+/// store. New snapshots are written in the compact GLCB binary layout
+/// to `<spill-dir>/<key>.session.glcb`; the legacy JSON document at
+/// `<key>.session.json` (this struct's serde shape) is still read on
+/// reload, so a spill directory written by an older build resumes
+/// unchanged. Either way the `partial` is the same bitwise-canonical
+/// `EnsemblePartial` the worker protocol ships, so a snapshot can
+/// also be rehydrated by anything that reads partials (e.g.
+/// `glc_vasim`'s cached-sweep loader).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpilledSession {
     /// The full session spec (the file name's key re-derives from it).
@@ -1033,15 +1038,40 @@ pub struct SpilledSession {
     pub partial: EnsemblePartial,
 }
 
-/// The snapshot path of session `key` under `dir`.
+/// The legacy JSON snapshot path of session `key` under `dir`.
 pub fn spill_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{key}.session.json"))
 }
 
-/// Atomically writes a session snapshot: the document lands in a
-/// temporary sibling first and is renamed into place, so a crash
-/// mid-write leaves any previous snapshot intact. Creates `dir` if
-/// needed and returns the snapshot path.
+/// The GLCB snapshot path of session `key` under `dir` — where new
+/// snapshots land.
+pub fn spill_path_glcb(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.session.glcb"))
+}
+
+/// Atomically publishes `bytes` at `path` via a temporary sibling and
+/// rename, so a crash mid-write leaves any previous snapshot intact.
+fn publish_spill(
+    dir: &Path,
+    path: &Path,
+    tmp_name: &str,
+    bytes: &[u8],
+) -> Result<(), ServiceError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ServiceError::Spill(format!("creating {}: {e}", dir.display())))?;
+    let tmp = dir.join(tmp_name);
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| ServiceError::Spill(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ServiceError::Spill(format!("publishing {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Atomically writes a session snapshot in the GLCB binary layout
+/// (temporary sibling + rename). Creates `dir` if needed and returns
+/// the snapshot path. A stale legacy `.session.json` for the same key
+/// is removed after the rename so the directory holds one snapshot
+/// per session, whichever build wrote last.
 ///
 /// # Errors
 ///
@@ -1051,8 +1081,39 @@ pub fn write_spill(
     spec: &SessionSpec,
     partial: &EnsemblePartial,
 ) -> Result<PathBuf, ServiceError> {
-    std::fs::create_dir_all(dir)
-        .map_err(|e| ServiceError::Spill(format!("creating {}: {e}", dir.display())))?;
+    let key = spec.fingerprint();
+    let path = spill_path_glcb(dir, &key);
+    let spec_json = serde_json::to_string(spec)
+        .map_err(|e| ServiceError::Spill(format!("encoding snapshot `{key}`: {e}")))?;
+    let bytes = codec::encode_snapshot(&spec_json, partial);
+    publish_spill(dir, &path, &format!("{key}.session.glcb.tmp"), &bytes)?;
+    let legacy = spill_path(dir, &key);
+    match std::fs::remove_file(&legacy) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(ServiceError::Spill(format!(
+                "removing stale {}: {e}",
+                legacy.display()
+            )))
+        }
+    }
+    Ok(path)
+}
+
+/// Atomically writes a session snapshot in the legacy JSON document
+/// format — kept for older readers and for benchmarking against the
+/// GLCB path; the service itself writes [`write_spill`]. Creates `dir`
+/// if needed and returns the snapshot path.
+///
+/// # Errors
+///
+/// [`ServiceError::Spill`] for I/O or encoding failures.
+pub fn write_spill_json(
+    dir: &Path,
+    spec: &SessionSpec,
+    partial: &EnsemblePartial,
+) -> Result<PathBuf, ServiceError> {
     let key = spec.fingerprint();
     let path = spill_path(dir, &key);
     // Serialize through a borrowed value tree — no need to clone the
@@ -1063,16 +1124,19 @@ pub fn write_spill(
     ]);
     let text = serde_json::to_string(&doc)
         .map_err(|e| ServiceError::Spill(format!("encoding snapshot `{key}`: {e}")))?;
-    let tmp = dir.join(format!("{key}.session.json.tmp"));
-    std::fs::write(&tmp, text)
-        .map_err(|e| ServiceError::Spill(format!("writing {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, &path)
-        .map_err(|e| ServiceError::Spill(format!("publishing {}: {e}", path.display())))?;
+    publish_spill(
+        dir,
+        &path,
+        &format!("{key}.session.json.tmp"),
+        text.as_bytes(),
+    )?;
     Ok(path)
 }
 
 /// Reads and structurally validates the snapshot of session `key`
-/// under `dir`; `Ok(None)` when no snapshot exists.
+/// under `dir`; `Ok(None)` when no snapshot exists. The GLCB snapshot
+/// is preferred; a legacy `.session.json` left by an older build is
+/// read when no binary snapshot exists.
 ///
 /// # Errors
 ///
@@ -1084,6 +1148,26 @@ pub fn read_spill(
     dir: &Path,
     key: &str,
 ) -> Result<Option<(SessionSpec, EnsemblePartial)>, ServiceError> {
+    let binary = spill_path_glcb(dir, key);
+    match std::fs::read(&binary) {
+        Ok(bytes) => {
+            // decode_snapshot validates the partial internally.
+            let (spec_json, partial) = codec::decode_snapshot(&bytes).map_err(|e| {
+                ServiceError::Spill(format!("undecodable snapshot {}: {e}", binary.display()))
+            })?;
+            let spec: SessionSpec = serde_json::from_str(&spec_json).map_err(|e| {
+                ServiceError::Spill(format!("undecodable snapshot {}: {e}", binary.display()))
+            })?;
+            return Ok(Some((spec, partial)));
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(ServiceError::Spill(format!(
+                "reading {}: {e}",
+                binary.display()
+            )))
+        }
+    }
     let path = spill_path(dir, key);
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
@@ -1104,7 +1188,7 @@ pub fn read_spill(
     Ok(Some((doc.spec, doc.partial)))
 }
 
-/// One `*.session.json` file in the spill directory, as the garbage
+/// One session snapshot file in the spill directory, as the garbage
 /// collector sees it.
 struct SpillEntry {
     path: PathBuf,
@@ -1115,9 +1199,10 @@ struct SpillEntry {
 /// Lists the session snapshots under `dir`, sorted oldest-first by
 /// (modification time, file name) — the GC's eviction order. A missing
 /// or unreadable directory is an empty list (nothing to collect), and
-/// entries whose metadata cannot be read are skipped. Only
-/// `*.session.json` files count: `pool_health.json` and in-flight
-/// `.tmp` siblings are neither accounted nor collected.
+/// entries whose metadata cannot be read are skipped. Both snapshot
+/// generations count — `*.session.glcb` and legacy `*.session.json` —
+/// while `pool_health.json` and in-flight `.tmp` siblings are neither
+/// accounted nor collected.
 fn scan_spill_sessions(dir: &Path) -> Vec<SpillEntry> {
     let Ok(reader) = std::fs::read_dir(dir) else {
         return Vec::new();
@@ -1128,7 +1213,9 @@ fn scan_spill_sessions(dir: &Path) -> Vec<SpillEntry> {
             let path = entry.path();
             path.file_name()
                 .and_then(|name| name.to_str())
-                .is_some_and(|name| name.ends_with(".session.json"))
+                .is_some_and(|name| {
+                    name.ends_with(".session.json") || name.ends_with(".session.glcb")
+                })
                 .then_some(path)
         })
         .filter_map(|path| {

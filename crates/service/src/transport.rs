@@ -40,8 +40,9 @@
 //! always-failing slot still completes with the correct bits while
 //! reporting the quarantine in [`RunReport`].
 
+use crate::codec::{self, BinaryReply, Hello};
 use crate::metrics::MetricsRegistry;
-use crate::{frame, RunReport, ServiceError, WorkOrder};
+use crate::{frame, metrics, RunReport, ServiceError, WorkOrder};
 use glc_ssa::EnsemblePartial;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -117,10 +118,37 @@ pub trait ChunkChannel: Send {
     /// Sends one chunk order tagged with the correlation id `id`.
     fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError>;
 
-    /// Receives the next completion, in whatever order the peer
+    /// Receives the next correlated reply, in whatever order the peer
     /// finished them. Partials are validated before they are returned
     /// (no partial trust — same boundary as [`ShardHandle::join`]).
-    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError>;
+    fn recv(&mut self) -> Result<(u64, ChunkReply), ServiceError>;
+}
+
+/// One correlated reply off a [`ChunkChannel`]. Plain workers only
+/// ever send `Done`; a GLCB relay granted reduction mode interleaves
+/// `Deferred` receipts with `Reduced` merged partials (see
+/// [`crate::codec::BinaryReply`] for the wire forms).
+#[derive(Debug)]
+pub enum ChunkReply {
+    /// The chunk finished: its validated partial, or its failure (an
+    /// inner error — the connection stays serviceable).
+    Done(Result<EnsemblePartial, ServiceError>),
+    /// A reducing relay absorbed this chunk's partial into its local
+    /// accumulator; the bits arrive later in a `Reduced` reply that
+    /// covers this id. The chunk stays pending but its window slot is
+    /// free.
+    Deferred {
+        /// Replicates the absorbed chunk simulated.
+        replicates: u64,
+    },
+    /// A reducing relay's merged partial, covering the correlation id
+    /// **plus** every previously deferred id in `also_covers`.
+    Reduced {
+        /// Previously deferred ids this partial also covers.
+        also_covers: Vec<u64>,
+        /// The merge of all covered chunks' partials.
+        partial: EnsemblePartial,
+    },
 }
 
 /// An in-flight shard: join it to get the partial.
@@ -413,26 +441,58 @@ impl Transport for PipelinedRelay {
     }
 }
 
-/// Decodes one framed [`RelayReply`] payload into the channel result
-/// shape: chunk-level errors (`RelayReply::Error`, invalid partials)
-/// stay inner so the connection survives them; an uncorrelatable or
-/// undecodable payload is an outer error that poisons the connection.
-fn decode_chunk_reply(
-    payload: &[u8],
-) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+/// Decodes one framed reply payload — GLCB or JSON, sniffed per frame
+/// — into the channel result shape: chunk-level errors
+/// (`RelayReply::Error`, invalid partials) stay inner so the
+/// connection survives them; an uncorrelatable or undecodable payload
+/// is an outer error that poisons the connection.
+fn decode_chunk_reply(payload: &[u8]) -> Result<(u64, ChunkReply), ServiceError> {
+    let glcb = codec::is_glcb(payload);
+    metrics::count_frame_rx(glcb, payload.len());
+    if glcb {
+        // GLCB decoding validates embedded partials as it goes.
+        let (id, reply) = codec::decode_reply(payload)?;
+        let reply = match reply {
+            BinaryReply::Partial(partial) => ChunkReply::Done(Ok(partial)),
+            BinaryReply::Error(message) => ChunkReply::Done(Err(ServiceError::Worker(message))),
+            BinaryReply::Deferred { replicates } => ChunkReply::Deferred { replicates },
+            BinaryReply::Reduced {
+                also_covers,
+                partial,
+            } => ChunkReply::Reduced {
+                also_covers,
+                partial,
+            },
+        };
+        return Ok((id, reply));
+    }
     let (id, reply): (u64, RelayReply) = frame::decode_message(payload)?;
     match reply {
         RelayReply::Partial(partial) => match partial.validate() {
-            Ok(()) => Ok((id, Ok(partial))),
+            Ok(()) => Ok((id, ChunkReply::Done(Ok(partial)))),
             Err(e) => Ok((
                 id,
-                Err(ServiceError::Protocol(format!(
+                ChunkReply::Done(Err(ServiceError::Protocol(format!(
                     "chunk returned an invalid partial: {e}"
-                ))),
+                )))),
             )),
         },
-        RelayReply::Error(message) => Ok((id, Err(ServiceError::Worker(message)))),
+        RelayReply::Error(message) => {
+            Ok((id, ChunkReply::Done(Err(ServiceError::Worker(message)))))
+        }
     }
+}
+
+/// Encodes one chunk order in the connection's negotiated codec and
+/// counts the payload bytes.
+fn encode_chunk_order(glcb: bool, id: u64, order: &WorkOrder) -> Result<Vec<u8>, ServiceError> {
+    let payload = if glcb {
+        codec::encode_order(id, order)
+    } else {
+        frame::encode_message(id, order)?
+    };
+    metrics::count_frame_tx(glcb, payload.len());
+    Ok(payload)
 }
 
 /// The resident-worker connection: frames down the child's stdin,
@@ -444,6 +504,9 @@ struct FramedChildChannel {
     stdin: Option<ChildStdin>,
     replies: mpsc::Receiver<Result<Vec<u8>, ServiceError>>,
     reader: Option<std::thread::JoinHandle<()>>,
+    /// Whether the worker's hello advertised GLCB — orders then go out
+    /// binary (replies are sniffed per frame either way).
+    glcb: bool,
 }
 
 impl FramedChildChannel {
@@ -477,23 +540,26 @@ impl FramedChildChannel {
                 }
             }
         });
-        let channel = FramedChildChannel {
+        let mut channel = FramedChildChannel {
             child,
             stdin: Some(stdin),
             replies,
             reader: Some(reader),
+            glcb: false,
         };
         let hello = match channel.replies.recv_timeout(handshake_timeout()) {
-            Ok(Ok(payload)) if payload == frame::FRAME_HELLO => Ok(()),
-            Ok(Ok(_)) => Err("first frame was not the hello".to_string()),
+            Ok(Ok(payload)) => codec::parse_hello(&payload).map_err(|err| err.to_string()),
             Ok(Err(err)) => Err(err.to_string()),
             Err(_) => Err(format!("no hello frame within {:?}", handshake_timeout())),
         };
-        if let Err(detail) = hello {
-            return Err(ServiceError::Worker(format!(
-                "worker {} did not complete the frame handshake: {detail}",
-                worker.display()
-            )));
+        match hello {
+            Ok(peer) => channel.glcb = Hello::glcb().intersect(peer).glcb,
+            Err(detail) => {
+                return Err(ServiceError::Worker(format!(
+                    "worker {} did not complete the frame handshake: {detail}",
+                    worker.display()
+                )))
+            }
         }
         Ok(channel)
     }
@@ -505,7 +571,7 @@ impl ChunkChannel for FramedChildChannel {
     }
 
     fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
-        let payload = frame::encode_message(id, order)?;
+        let payload = encode_chunk_order(self.glcb, id, order)?;
         let stdin = self
             .stdin
             .as_mut()
@@ -513,7 +579,7 @@ impl ChunkChannel for FramedChildChannel {
         frame::write_frame(stdin, &payload)
     }
 
-    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+    fn recv(&mut self) -> Result<(u64, ChunkReply), ServiceError> {
         match self.replies.recv() {
             Ok(Ok(payload)) => decode_chunk_reply(&payload),
             Ok(Err(err)) => Err(err),
@@ -543,6 +609,10 @@ struct FramedRelayChannel {
     addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The capability intersection both hellos agreed on: GLCB orders
+    /// when `negotiated.glcb`, reduction-mode replies possible when
+    /// `negotiated.reduce`.
+    negotiated: Hello,
 }
 
 impl FramedRelayChannel {
@@ -556,16 +626,18 @@ impl FramedRelayChannel {
         let mut writer = stream
             .try_clone()
             .map_err(|e| ServiceError::Worker(format!("relay {addr}: cannot clone stream: {e}")))?;
-        frame::write_frame(&mut writer, frame::FRAME_HELLO)?;
+        let ours = Hello::glcb_reducing();
+        frame::write_frame(&mut writer, &codec::hello_payload(ours))?;
         let mut reader = BufReader::new(stream);
-        match frame::read_frame(&mut reader) {
-            Ok(Some(payload)) if payload == frame::FRAME_HELLO => {}
-            Ok(Some(_)) => {
-                return Err(ServiceError::Worker(format!(
-                    "relay {addr} did not complete the frame handshake: \
-                     first frame was not the hello"
-                )))
-            }
+        let negotiated = match frame::read_frame(&mut reader) {
+            Ok(Some(payload)) => match codec::parse_hello(&payload) {
+                Ok(theirs) => ours.intersect(theirs),
+                Err(err) => {
+                    return Err(ServiceError::Worker(format!(
+                        "relay {addr} did not complete the frame handshake: {err}"
+                    )))
+                }
+            },
             Ok(None) => {
                 return Err(ServiceError::Worker(format!(
                     "relay {addr} did not complete the frame handshake: connection closed"
@@ -576,7 +648,7 @@ impl FramedRelayChannel {
                     "relay {addr} did not complete the frame handshake: {err}"
                 )))
             }
-        }
+        };
         reader
             .get_ref()
             .set_read_timeout(None)
@@ -585,6 +657,7 @@ impl FramedRelayChannel {
             addr: addr.to_string(),
             reader,
             writer,
+            negotiated,
         })
     }
 }
@@ -595,12 +668,12 @@ impl ChunkChannel for FramedRelayChannel {
     }
 
     fn submit(&mut self, id: u64, order: &WorkOrder) -> Result<(), ServiceError> {
-        let payload = frame::encode_message(id, order)?;
+        let payload = encode_chunk_order(self.negotiated.glcb, id, order)?;
         frame::write_frame(&mut self.writer, &payload)
             .map_err(|e| ServiceError::Worker(format!("relay {}: {e}", self.addr)))
     }
 
-    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+    fn recv(&mut self) -> Result<(u64, ChunkReply), ServiceError> {
         match frame::read_frame(&mut self.reader) {
             Ok(Some(payload)) => decode_chunk_reply(&payload),
             Ok(None) => Err(ServiceError::Worker(format!(
@@ -971,7 +1044,9 @@ impl WorkerPool {
         };
         let (tx, rx) = mpsc::channel::<Event>();
         let mut merged: Option<EnsemblePartial> = None;
-        let mut buffer: BTreeMap<usize, EnsemblePartial> = BTreeMap::new();
+        // `None` marks a chunk whose bits arrived inside another
+        // chunk's reduced partial — the in-order merge skips it.
+        let mut buffer: BTreeMap<usize, Option<EnsemblePartial>> = BTreeMap::new();
         let mut next_merge = 0usize;
         let mut merge_error: Option<ServiceError> = None;
         // (chunk index, error of the failed attempt, slot it failed on)
@@ -1014,20 +1089,38 @@ impl WorkerPool {
                         if let Some(metrics) = &metrics {
                             metrics.observe_shard(slot, Duration::from_secs_f64(elapsed_secs));
                         }
-                        buffer.insert(chunk, partial);
-                        while let Some(ready) = buffer.remove(&next_merge) {
-                            let outcome = match &mut merged {
-                                None => {
-                                    merged = Some(ready);
-                                    Ok(())
-                                }
-                                Some(total) => total.merge(&ready).map_err(ServiceError::from),
-                            };
-                            if let Err(err) = outcome {
-                                merge_error.get_or_insert(err);
-                            }
-                            next_merge += 1;
+                        buffer.insert(chunk, Some(partial));
+                        drain_merges(&mut buffer, &mut next_merge, &mut merged, &mut merge_error);
+                    }
+                    Event::Reduced {
+                        slot,
+                        chunks: covered,
+                        elapsed_secs,
+                        stolen,
+                        partial,
+                    } => {
+                        for &chunk in &covered {
+                            let replicates = chunks[chunk].replicates;
+                            slot_events[slot].push(HealthEvent::Success { replicates });
+                            report.slot_replicates[slot] += replicates;
                         }
+                        report.steals += stolen;
+                        if let Some(metrics) = &metrics {
+                            for _ in 0..stolen {
+                                metrics.inc_pool_steals();
+                            }
+                            metrics.observe_shard(slot, Duration::from_secs_f64(elapsed_secs));
+                        }
+                        let mut covered = covered;
+                        covered.sort_unstable();
+                        let mut covered = covered.into_iter();
+                        if let Some(lowest) = covered.next() {
+                            buffer.insert(lowest, Some(partial));
+                            for chunk in covered {
+                                buffer.insert(chunk, None);
+                            }
+                        }
+                        drain_merges(&mut buffer, &mut next_merge, &mut merged, &mut merge_error);
                     }
                     Event::ChunkFailed { slot, chunk, error } => {
                         slot_events[slot].push(HealthEvent::Failure);
@@ -1099,7 +1192,7 @@ impl WorkerPool {
                 }
                 match self.retry(failed_slot, &chunks[chunk], error, &mut report) {
                     Ok(partial) => {
-                        buffer.insert(chunk, partial);
+                        buffer.insert(chunk, Some(partial));
                     }
                     Err(err) => terminal = Some(err),
                 }
@@ -1115,11 +1208,12 @@ impl WorkerPool {
         }
         // Finish the in-order stream merge with the retried chunks.
         while let Some(ready) = buffer.remove(&next_merge) {
+            next_merge += 1;
+            let Some(ready) = ready else { continue };
             match &mut merged {
                 None => merged = Some(ready),
                 Some(total) => total.merge(&ready).map_err(ServiceError::from)?,
             }
-            next_merge += 1;
         }
         if next_merge < chunks.len() {
             return Err(ServiceError::Worker(format!(
@@ -1401,6 +1495,35 @@ impl ChunkQueue {
     }
 }
 
+/// Advances the in-order stream merge over the reorder buffer: merges
+/// every contiguous ready chunk into the running total, skipping
+/// `None` tombstones (chunks whose bits arrived inside a reduced
+/// partial merged at a lower index). The first merge failure is
+/// latched into `merge_error`.
+fn drain_merges(
+    buffer: &mut BTreeMap<usize, Option<EnsemblePartial>>,
+    next_merge: &mut usize,
+    merged: &mut Option<EnsemblePartial>,
+    merge_error: &mut Option<ServiceError>,
+) {
+    while let Some(ready) = buffer.remove(&*next_merge) {
+        *next_merge += 1;
+        let Some(ready) = ready else { continue };
+        let outcome = match merged {
+            None => {
+                *merged = Some(ready);
+                Ok(())
+            }
+            Some(total) => total.merge(&ready).map_err(ServiceError::from),
+        };
+        if let Err(err) = outcome {
+            if merge_error.is_none() {
+                *merge_error = Some(err);
+            }
+        }
+    }
+}
+
 /// What a slot driver tells the scheduler thread. Per-slot event
 /// order is the slot's execution order (mpsc preserves per-sender
 /// FIFO), which is what the health accounting relies on.
@@ -1411,6 +1534,20 @@ enum Event {
         chunk: usize,
         elapsed_secs: f64,
         stolen: bool,
+        partial: EnsemblePartial,
+    },
+    /// A reducing relay completed several chunks as one merged
+    /// partial: `chunks` lists every covered chunk index. Merging the
+    /// one partial at the lowest covered index is bitwise equivalent
+    /// to merging the per-chunk partials in index order —
+    /// `EnsemblePartial::merge` is associative *and* commutative at
+    /// the bit level (the exact accumulators make it so), which is
+    /// precisely what lets the relay pre-merge at all.
+    Reduced {
+        slot: usize,
+        chunks: Vec<usize>,
+        elapsed_secs: f64,
+        stolen: u64,
         partial: EnsemblePartial,
     },
     /// One chunk failed. Counts one slot failure; the chunk joins the
@@ -1477,14 +1614,53 @@ impl DriverChan<'_> {
         }
     }
 
-    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+    fn recv(&mut self) -> Result<(u64, ChunkReply), ServiceError> {
         match self {
             DriverChan::Pipelined(channel) => channel.recv(),
             DriverChan::OneShot { pending, .. } => {
                 let (id, spawned) = pending.take().expect("recv without a submitted order");
-                Ok((id, spawned.and_then(ShardHandle::join)))
+                Ok((id, ChunkReply::Done(spawned.and_then(ShardHandle::join))))
             }
         }
+    }
+}
+
+/// Poisons a driver's connection: charges `error` to one outstanding
+/// chunk (or to the channel when nothing is outstanding) and reports
+/// every other outstanding chunk — in flight, deferred, or already
+/// resolved from an untrusted reply — as lost for the retry pass.
+fn poison_connection(
+    index: usize,
+    tx: &mpsc::Sender<Event>,
+    inflight: &mut VecDeque<(usize, Instant, bool)>,
+    deferred: &mut Vec<(usize, Instant, bool)>,
+    already_resolved: Vec<usize>,
+    error: ServiceError,
+) {
+    let lost_error =
+        || ServiceError::Worker("the connection failed with this chunk in flight".into());
+    let mut outstanding = already_resolved;
+    outstanding.extend(inflight.drain(..).map(|(chunk, ..)| chunk));
+    outstanding.extend(deferred.drain(..).map(|(chunk, ..)| chunk));
+    let mut rest = outstanding.into_iter();
+    match rest.next() {
+        Some(chunk) => {
+            let _ = tx.send(Event::ChunkFailed {
+                slot: index,
+                chunk,
+                error,
+            });
+        }
+        None => {
+            let _ = tx.send(Event::ChannelFailed { slot: index, error });
+        }
+    }
+    for chunk in rest {
+        let _ = tx.send(Event::ChunkLost {
+            slot: index,
+            chunk,
+            error: lost_error(),
+        });
     }
 }
 
@@ -1529,6 +1705,10 @@ fn drive_slot(
     let window = chan.window();
     // In-flight orders: (chunk index, submit time, stolen flag).
     let mut inflight: VecDeque<(usize, Instant, bool)> = VecDeque::new();
+    // Chunks a reducing relay acknowledged as absorbed: they no longer
+    // occupy the window, but stay pending until a Reduced reply covers
+    // them (and are lost with the connection otherwise).
+    let mut deferred: Vec<(usize, Instant, bool)> = Vec::new();
     let mut busy = 0.0f64;
     let mut window_started: Option<Instant> = None;
     let mut failed = false;
@@ -1556,8 +1736,8 @@ fn drive_slot(
                 }
                 Err(error) => {
                     // Connection broken mid-submit: this chunk takes
-                    // the failure, everything already in flight is
-                    // lost with it.
+                    // the failure, everything already in flight or
+                    // deferred is lost with it.
                     failed = true;
                     broken = true;
                     let _ = tx.send(Event::ChunkFailed {
@@ -1565,7 +1745,7 @@ fn drive_slot(
                         chunk,
                         error,
                     });
-                    for (lost, ..) in inflight.drain(..) {
+                    for (lost, ..) in inflight.drain(..).chain(deferred.drain(..)) {
                         let _ = tx.send(Event::ChunkLost {
                             slot: index,
                             chunk: lost,
@@ -1575,7 +1755,7 @@ fn drive_slot(
                 }
             }
         }
-        if inflight.is_empty() {
+        if inflight.is_empty() && deferred.is_empty() {
             // The fill loop found the queue dry (it only ever shrinks)
             // or a failure emptied the window: this driver is done.
             if let Some(started) = window_started.take() {
@@ -1584,7 +1764,7 @@ fn drive_slot(
             break;
         }
         match chan.recv() {
-            Ok((id, outcome)) => {
+            Ok((id, ChunkReply::Done(outcome))) => {
                 let Some(position) = inflight.iter().position(|&(chunk, ..)| chunk as u64 == id)
                 else {
                     // An uncorrelatable reply: the stream can no
@@ -1592,23 +1772,14 @@ fn drive_slot(
                     // connection.
                     failed = true;
                     broken = true;
-                    let mut drained = inflight.drain(..);
-                    if let Some((chunk, ..)) = drained.next() {
-                        let _ = tx.send(Event::ChunkFailed {
-                            slot: index,
-                            chunk,
-                            error: ServiceError::Protocol(format!(
-                                "reply id {id} matches no in-flight chunk"
-                            )),
-                        });
-                    }
-                    for (chunk, ..) in drained {
-                        let _ = tx.send(Event::ChunkLost {
-                            slot: index,
-                            chunk,
-                            error: lost_error(),
-                        });
-                    }
+                    poison_connection(
+                        index,
+                        tx,
+                        &mut inflight,
+                        &mut deferred,
+                        Vec::new(),
+                        ServiceError::Protocol(format!("reply id {id} matches no in-flight chunk")),
+                    );
                     continue;
                 };
                 let (chunk, started, stolen) =
@@ -1616,7 +1787,7 @@ fn drive_slot(
                 if let Some(metrics) = metrics {
                     metrics.set_slot_inflight(index, inflight.len() as u64);
                 }
-                if inflight.is_empty() {
+                if inflight.is_empty() && deferred.is_empty() {
                     if let Some(started) = window_started.take() {
                         busy += started.elapsed().as_secs_f64();
                     }
@@ -1643,29 +1814,113 @@ fn drive_slot(
                     }
                 }
             }
+            Ok((id, ChunkReply::Deferred { .. })) => {
+                let Some(position) = inflight.iter().position(|&(chunk, ..)| chunk as u64 == id)
+                else {
+                    failed = true;
+                    broken = true;
+                    poison_connection(
+                        index,
+                        tx,
+                        &mut inflight,
+                        &mut deferred,
+                        Vec::new(),
+                        ServiceError::Protocol(format!(
+                            "deferred receipt id {id} matches no in-flight chunk"
+                        )),
+                    );
+                    continue;
+                };
+                // The chunk leaves the window (the relay holds its
+                // bits now) but stays pending until a Reduced reply
+                // covers it.
+                let entry = inflight.remove(position).expect("position is in range");
+                deferred.push(entry);
+                if let Some(metrics) = metrics {
+                    metrics.set_slot_inflight(index, inflight.len() as u64);
+                }
+            }
+            Ok((
+                id,
+                ChunkReply::Reduced {
+                    also_covers,
+                    partial,
+                },
+            )) => {
+                let mut ids = Vec::with_capacity(also_covers.len() + 1);
+                ids.push(id);
+                ids.extend(also_covers);
+                let mut covered = Vec::with_capacity(ids.len());
+                let mut earliest: Option<Instant> = None;
+                let mut stolen = 0u64;
+                let mut unknown = None;
+                for cid in ids {
+                    let entry = inflight
+                        .iter()
+                        .position(|&(chunk, ..)| chunk as u64 == cid)
+                        .map(|p| inflight.remove(p).expect("position is in range"))
+                        .or_else(|| {
+                            deferred
+                                .iter()
+                                .position(|&(chunk, ..)| chunk as u64 == cid)
+                                .map(|p| deferred.remove(p))
+                        });
+                    match entry {
+                        Some((chunk, started, was_stolen)) => {
+                            covered.push(chunk);
+                            stolen += u64::from(was_stolen);
+                            earliest = Some(match earliest {
+                                Some(at) if at <= started => at,
+                                _ => started,
+                            });
+                        }
+                        None => {
+                            unknown = Some(cid);
+                            break;
+                        }
+                    }
+                }
+                if let Some(cid) = unknown {
+                    // Coverage of an id we never sent (or covered
+                    // twice): the stream — and the chunks this reply
+                    // claimed — can no longer be trusted.
+                    failed = true;
+                    broken = true;
+                    poison_connection(
+                        index,
+                        tx,
+                        &mut inflight,
+                        &mut deferred,
+                        covered,
+                        ServiceError::Protocol(format!(
+                            "reduced reply covers unknown chunk id {cid}"
+                        )),
+                    );
+                    continue;
+                }
+                if let Some(metrics) = metrics {
+                    metrics.set_slot_inflight(index, inflight.len() as u64);
+                }
+                if inflight.is_empty() && deferred.is_empty() {
+                    if let Some(started) = window_started.take() {
+                        busy += started.elapsed().as_secs_f64();
+                    }
+                }
+                let _ = tx.send(Event::Reduced {
+                    slot: index,
+                    chunks: covered,
+                    elapsed_secs: earliest.map_or(0.0, |at| at.elapsed().as_secs_f64()),
+                    stolen,
+                    partial,
+                });
+            }
             Err(error) => {
                 failed = true;
                 broken = true;
                 if let Some(started) = window_started.take() {
                     busy += started.elapsed().as_secs_f64();
                 }
-                let mut drained = inflight.drain(..);
-                if let Some((chunk, ..)) = drained.next() {
-                    let _ = tx.send(Event::ChunkFailed {
-                        slot: index,
-                        chunk,
-                        error,
-                    });
-                } else {
-                    let _ = tx.send(Event::ChannelFailed { slot: index, error });
-                }
-                for (chunk, ..) in drained {
-                    let _ = tx.send(Event::ChunkLost {
-                        slot: index,
-                        chunk,
-                        error: lost_error(),
-                    });
-                }
+                poison_connection(index, tx, &mut inflight, &mut deferred, Vec::new(), error);
             }
         }
     }

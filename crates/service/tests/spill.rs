@@ -108,8 +108,8 @@ fn evicted_sessions_spill_reload_and_extend_bitwise() {
     let a_key = store.submit(&a).unwrap().session;
     store.extend(&a_key, 4).unwrap();
     assert!(
-        session::spill_path(&dir, &a_key).exists(),
-        "extend write-through-snapshots the session"
+        session::spill_path_glcb(&dir, &a_key).exists(),
+        "extend write-through-snapshots the session (GLCB layout)"
     );
 
     // Submitting B evicts A (capacity 1) — to disk, not to oblivion.
@@ -188,21 +188,20 @@ fn a_new_store_resumes_from_snapshots_bitwise() {
 fn corrupt_snapshots_fail_closed() {
     let dir = spill_dir("corrupt");
     let spec = tiny_spec(3);
-    let key = {
+    let (key, partial) = {
         let mut store = SessionStore::new(2, ExtendBackend::InProcess)
             .unwrap()
             .with_spill_dir(&dir);
         let key = store.submit(&spec).unwrap().session;
         store.extend(&key, 2).unwrap();
-        key
+        let partial = store.partial(&key).unwrap().clone();
+        (key, partial)
     };
-    let path = session::spill_path(&dir, &key);
-    let clean = std::fs::read_to_string(&path).unwrap();
+    let binary = session::spill_path_glcb(&dir, &key);
+    let clean = std::fs::read(&binary).unwrap();
 
-    // A snapshot claiming more replicates than its coverage holds.
-    let lying = clean.replace("\"replicates\":2.0", "\"replicates\":5.0");
-    assert_ne!(lying, clean, "fixture drifted");
-    std::fs::write(&path, &lying).unwrap();
+    // A truncated GLCB snapshot fails closed.
+    std::fs::write(&binary, &clean[..clean.len() - 3]).unwrap();
     let mut store = SessionStore::new(2, ExtendBackend::InProcess)
         .unwrap()
         .with_spill_dir(&dir);
@@ -219,8 +218,22 @@ fn corrupt_snapshots_fail_closed() {
     store.extend(&key, 2).unwrap();
     assert_eq!(store.partial(&key).unwrap(), &fresh_reference(&spec, 2));
 
-    // Plain garbage is rejected the same way.
-    std::fs::write(&path, "not a snapshot").unwrap();
+    // A legacy JSON snapshot claiming more replicates than its
+    // coverage holds fails the same validation on the fallback path.
+    std::fs::remove_file(&binary).unwrap();
+    let json_path = session::write_spill_json(&dir, &spec, &partial).unwrap();
+    let clean_json = std::fs::read_to_string(&json_path).unwrap();
+    let lying = clean_json.replace("\"replicates\":2.0", "\"replicates\":5.0");
+    assert_ne!(lying, clean_json, "fixture drifted");
+    std::fs::write(&json_path, &lying).unwrap();
+    let mut store = SessionStore::new(2, ExtendBackend::InProcess)
+        .unwrap()
+        .with_spill_dir(&dir);
+    assert!(matches!(store.extend(&key, 1), Err(ServiceError::Spill(_))));
+
+    // Plain garbage under the binary extension is rejected the same
+    // way (and shadows any JSON sibling).
+    std::fs::write(&binary, "not a snapshot").unwrap();
     let mut store = SessionStore::new(2, ExtendBackend::InProcess)
         .unwrap()
         .with_spill_dir(&dir);
@@ -452,8 +465,8 @@ fn killed_and_restarted_glc_serve_resumes_extends_bitwise() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Sum of the on-disk `*.session.json` sizes — the `du` the stats
-/// counter must agree with.
+/// Sum of the on-disk session-snapshot sizes (both generations) — the
+/// `du` the stats counter must agree with.
 fn du_session_files(dir: &std::path::Path) -> u64 {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;
@@ -461,10 +474,9 @@ fn du_session_files(dir: &std::path::Path) -> u64 {
     entries
         .flatten()
         .filter(|entry| {
-            entry
-                .file_name()
-                .to_str()
-                .is_some_and(|name| name.ends_with(".session.json"))
+            entry.file_name().to_str().is_some_and(|name| {
+                name.ends_with(".session.json") || name.ends_with(".session.glcb")
+            })
         })
         .filter_map(|entry| entry.metadata().ok())
         .map(|meta| meta.len())
@@ -493,7 +505,7 @@ fn spill_gc_size_bound_evicts_oldest_first_and_tracks_bytes() {
         settle_mtime();
     }
     for key in &keys {
-        assert!(session::spill_path(&dir, key).exists());
+        assert!(session::spill_path_glcb(&dir, key).exists());
     }
     assert_eq!(
         store.stats().spill_bytes,
@@ -503,16 +515,22 @@ fn spill_gc_size_bound_evicts_oldest_first_and_tracks_bytes() {
 
     // Bound the directory to one snapshot: the two oldest go, the
     // newest survives, and the accounting follows.
-    let keep = std::fs::metadata(session::spill_path(&dir, &keys[2]))
+    let keep = std::fs::metadata(session::spill_path_glcb(&dir, &keys[2]))
         .unwrap()
         .len();
     let mut store = store.with_spill_max_bytes(keep);
     assert!(
-        !session::spill_path(&dir, &keys[0]).exists(),
+        !session::spill_path_glcb(&dir, &keys[0]).exists(),
         "oldest first"
     );
-    assert!(!session::spill_path(&dir, &keys[1]).exists(), "then next");
-    assert!(session::spill_path(&dir, &keys[2]).exists(), "newest kept");
+    assert!(
+        !session::spill_path_glcb(&dir, &keys[1]).exists(),
+        "then next"
+    );
+    assert!(
+        session::spill_path_glcb(&dir, &keys[2]).exists(),
+        "newest kept"
+    );
     let stats = store.stats();
     assert_eq!(stats.spill_gc_evictions, 2, "{stats:?}");
     assert_eq!(stats.spill_bytes, keep, "{stats:?}");
@@ -523,8 +541,8 @@ fn spill_gc_size_bound_evicts_oldest_first_and_tracks_bytes() {
     // the previous survivor is the one collected.
     settle_mtime();
     store.extend(&keys[0], 1).unwrap();
-    assert!(session::spill_path(&dir, &keys[0]).exists());
-    assert!(!session::spill_path(&dir, &keys[2]).exists());
+    assert!(session::spill_path_glcb(&dir, &keys[0]).exists());
+    assert!(!session::spill_path_glcb(&dir, &keys[2]).exists());
     let stats = store.stats();
     assert_eq!(stats.spill_gc_evictions, 3, "{stats:?}");
     assert_eq!(stats.spill_bytes, du_session_files(&dir));
@@ -553,8 +571,8 @@ fn spill_gc_age_bound_collects_stale_snapshots() {
 
     // A (near-)zero age bound expires everything already on disk.
     let mut store = store.with_spill_max_age(std::time::Duration::from_nanos(1));
-    assert!(!session::spill_path(&dir, &a).exists());
-    assert!(!session::spill_path(&dir, &b).exists());
+    assert!(!session::spill_path_glcb(&dir, &a).exists());
+    assert!(!session::spill_path_glcb(&dir, &b).exists());
     let stats = store.stats();
     assert_eq!(stats.spill_gc_evictions, 2, "{stats:?}");
     assert_eq!(stats.spill_bytes, 0, "{stats:?}");
@@ -563,7 +581,7 @@ fn spill_gc_age_bound_collects_stale_snapshots() {
     // an age bound it can't possibly satisfy.
     store.extend(&a, 1).unwrap();
     assert!(
-        session::spill_path(&dir, &a).exists(),
+        session::spill_path_glcb(&dir, &a).exists(),
         "write-through snapshot must survive the GC pass that follows it"
     );
     assert_eq!(store.stats().spill_bytes, du_session_files(&dir));

@@ -11,11 +11,11 @@
 //! CI runs this file on every push (`query-service` job).
 
 use glc_service::{
-    ChildProcess, ChunkChannel, EngineSpec, ExtendBackend, InProcess, ModelSource, PipelinedRelay,
-    PipelinedWorker, ServiceError, SessionSpec, SessionStore, TcpRelay, Transport, WorkOrder,
-    WorkerPool,
+    ChildProcess, ChunkChannel, ChunkReply, EngineSpec, ExtendBackend, InProcess, ModelSource,
+    PipelinedRelay, PipelinedWorker, ServiceError, SessionSpec, SessionStore, TcpRelay, Transport,
+    WorkOrder, WorkerPool,
 };
-use glc_ssa::{run_partial_from, EnsemblePartial};
+use glc_ssa::run_partial_from;
 use proptest::prelude::*;
 use std::collections::VecDeque;
 use std::io::{BufRead as _, BufReader};
@@ -204,7 +204,7 @@ impl ChunkChannel for TestChannel {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<(u64, Result<EnsemblePartial, ServiceError>), ServiceError> {
+    fn recv(&mut self) -> Result<(u64, ChunkReply), ServiceError> {
         let (id, order) = self
             .pending
             .pop_front()
@@ -216,9 +216,12 @@ impl ChunkChannel for TestChannel {
             std::thread::sleep(self.cfg.delay);
         }
         if TestPipelined::take(&self.cfg.inner_failures) {
-            return Ok((id, Err(ServiceError::Worker("test chunk failed".into()))));
+            return Ok((
+                id,
+                ChunkReply::Done(Err(ServiceError::Worker("test chunk failed".into()))),
+            ));
         }
-        Ok((id, order.execute()))
+        Ok((id, ChunkReply::Done(order.execute())))
     }
 }
 
@@ -415,6 +418,50 @@ fn broken_connections_lose_the_window_but_the_run_completes_exactly() {
         1,
         "the healthy channel was reused across runs"
     );
+}
+
+#[test]
+fn relay_reduction_merges_chunks_upstream_bitwise() {
+    // A single pipelined relay connection carrying several concurrent
+    // chunk orders: the negotiated reduce capability makes the relay
+    // answer early finishers with Deferred receipts, merge their
+    // partials locally, and ship one Reduced batch when its in-flight
+    // count drains — and the reassembled bits must equal the unsharded
+    // reference, across two runs on the same cached connection.
+    let relay = RelayFixture::spawn(&[]);
+    let order = WorkOrder::new(
+        ModelSource::Catalog("book_not".into()),
+        EngineSpec::Direct,
+        57,
+        30,
+        5.0,
+        1.0,
+    )
+    .with_amount("LacI", 15.0);
+    let reference = order.execute().unwrap();
+    let mut pool = WorkerPool::new(vec![
+        Box::new(PipelinedRelay::new(relay.addr.clone())) as Box<dyn Transport>
+    ])
+    .unwrap();
+    for run in 0..2 {
+        let (partial, report) = pool.run(&order).unwrap();
+        assert_eq!(partial, reference, "run {run}: reduction moved a bit");
+        if run == 0 {
+            // The cold pool always splits into multiple chunks, which
+            // is what puts several orders in flight on the connection
+            // and triggers the Deferred/Reduced path (a warm pool may
+            // legitimately plan one chunk and skip it).
+            assert!(
+                report.chunks >= 2,
+                "cold run needs concurrent chunks to reduce: {report:?}"
+            );
+        }
+        assert_eq!(report.total_failures(), 0, "run {run}: {report:?}");
+        assert_eq!(
+            report.slot_replicates[0], 30,
+            "run {run}: every replicate accounted through the reduced batch: {report:?}"
+        );
+    }
 }
 
 #[test]

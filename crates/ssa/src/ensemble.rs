@@ -38,6 +38,7 @@ use crate::error::SimError;
 use crate::exact::ExactSum;
 use crate::simulate;
 use crate::trace::Trace;
+use crate::wire::{put_f64_bits, put_string, put_varint, Reader, WireError};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -422,6 +423,108 @@ impl EnsemblePartial {
     /// and sums-of-squares).
     pub fn cells(&self) -> usize {
         self.sums.len() + self.squares.len()
+    }
+
+    /// Appends the GLCB binary form: the fingerprint (model id, species
+    /// names, grid as `f64` bit patterns, sample count), the replicate
+    /// count, the covered seed ranges as varint pairs, and both
+    /// accumulator grids in the dense [`ExactSum::encode_binary`]
+    /// layout. Equal partials encode to identical bytes (the `ExactSum`
+    /// layer canonicalizes), which is what lets the binary wire/spill
+    /// paths be compared bitwise against the JSON ones.
+    pub fn encode_binary(&self, buf: &mut Vec<u8>) {
+        put_string(buf, &self.fingerprint.model_id);
+        put_varint(buf, self.fingerprint.species.len() as u64);
+        for name in &self.fingerprint.species {
+            put_string(buf, name);
+        }
+        put_f64_bits(buf, self.fingerprint.sample_dt);
+        put_f64_bits(buf, self.fingerprint.t_end);
+        put_varint(buf, self.fingerprint.samples);
+        put_varint(buf, self.replicates);
+        put_varint(buf, self.seed_ranges.len() as u64);
+        for &(start, count) in &self.seed_ranges {
+            put_varint(buf, start);
+            put_varint(buf, count);
+        }
+        put_varint(buf, self.sums.len() as u64);
+        for sum in &self.sums {
+            sum.encode_binary(buf);
+        }
+        put_varint(buf, self.squares.len() as u64);
+        for square in &self.squares {
+            square.encode_binary(buf);
+        }
+    }
+
+    /// The GLCB binary form as an owned buffer (see
+    /// [`EnsemblePartial::encode_binary`]).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + 24 * self.cells());
+        self.encode_binary(&mut buf);
+        buf
+    }
+
+    /// Decodes the [`EnsemblePartial::encode_binary`] form off
+    /// `reader` and re-runs [`EnsemblePartial::validate`] — binary
+    /// payloads arrive from the same trust boundaries JSON ones do
+    /// (worker replies, spill files), so nothing decoded is trusted
+    /// unchecked. Fail-closed on truncation and corrupt counts.
+    pub fn decode_binary(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let model_id = reader.string("partial model id")?;
+        let species_count = reader.length("partial species", 1 << 20)?;
+        let mut species = Vec::with_capacity(species_count);
+        for _ in 0..species_count {
+            species.push(reader.string("partial species name")?);
+        }
+        let sample_dt = reader.f64_bits("partial sample_dt")?;
+        let t_end = reader.f64_bits("partial t_end")?;
+        let samples = reader.varint("partial samples")?;
+        let replicates = reader.varint("partial replicates")?;
+        let range_count = reader.length("partial seed ranges", 1 << 20)?;
+        let mut seed_ranges = Vec::with_capacity(range_count);
+        for _ in 0..range_count {
+            let start = reader.varint("seed range start")?;
+            let count = reader.varint("seed range count")?;
+            seed_ranges.push((start, count));
+        }
+        let cell_cap = 1 << 26;
+        let sum_count = reader.length("partial sums", cell_cap)?;
+        let mut sums = Vec::with_capacity(sum_count);
+        for _ in 0..sum_count {
+            sums.push(ExactSum::decode_binary(reader)?);
+        }
+        let square_count = reader.length("partial squares", cell_cap)?;
+        let mut squares = Vec::with_capacity(square_count);
+        for _ in 0..square_count {
+            squares.push(ExactSum::decode_binary(reader)?);
+        }
+        let partial = EnsemblePartial {
+            fingerprint: PartialFingerprint {
+                model_id,
+                species,
+                sample_dt,
+                t_end,
+                samples,
+            },
+            sums,
+            squares,
+            replicates,
+            seed_ranges,
+        };
+        partial
+            .validate()
+            .map_err(|err| WireError(format!("invalid partial payload: {err}")))?;
+        Ok(partial)
+    }
+
+    /// Decodes a standalone [`EnsemblePartial::to_binary`] buffer,
+    /// rejecting trailing bytes.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut reader = Reader::new(bytes);
+        let partial = Self::decode_binary(&mut reader)?;
+        reader.expect_end("EnsemblePartial")?;
+        Ok(partial)
     }
 
     /// Rounds the exact moments into mean / standard-deviation traces.
@@ -924,6 +1027,79 @@ mod tests {
         let b = back.finalize().unwrap();
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.std_dev, b.std_dev);
+    }
+
+    #[test]
+    fn partial_binary_round_trip_is_bitwise_and_fails_closed() {
+        let model = birth_death();
+        let engine = || Box::new(Langevin::new(0.1).unwrap()) as Box<dyn Engine>;
+        // A Langevin partial (non-integral cells), a wrap-straddling
+        // one, and an empty one.
+        let mut cases = vec![
+            run_partial(&model, engine, 3..7, 8.0, 2.0).unwrap(),
+            run_partial_from(&model, engine, u64::MAX - 1, 4, 2.0, 1.0).unwrap(),
+            EnsemblePartial::new(&model, 8.0, 2.0).unwrap(),
+        ];
+        // And a poisoned one: an infinite trace value poisons cells.
+        let mut poisoned = EnsemblePartial::new(&model, 2.0, 1.0).unwrap();
+        let mut hot = Trace::new(vec!["X".into()], 1.0, 0.0);
+        for _ in 0..3 {
+            hot.push_row(&[f64::INFINITY]);
+        }
+        poisoned.accumulate(&hot, 0).unwrap();
+        cases.push(poisoned);
+        for partial in &cases {
+            let bytes = partial.to_binary();
+            let back = EnsemblePartial::from_binary(&bytes).unwrap();
+            assert_eq!(&back, partial);
+            assert_eq!(back.to_binary(), bytes, "canonical re-encode");
+            // The binary and JSON paths decode to the same value —
+            // where JSON can: its numbers travel through f64, so seed
+            // ranges beyond 2^53 lose low bits there, while the binary
+            // varints are exact for the full u64 range.
+            if partial
+                .covered_seeds()
+                .iter()
+                .all(|&(s, c)| s < (1 << 53) && c < (1 << 53))
+            {
+                let via_json: EnsemblePartial =
+                    serde_json::from_str(&serde_json::to_string(partial).unwrap()).unwrap();
+                assert_eq!(via_json, back);
+            }
+            // Truncations fail closed (sampled for speed).
+            for cut in (0..bytes.len()).step_by(17) {
+                assert!(EnsemblePartial::from_binary(&bytes[..cut]).is_err());
+            }
+            assert!(EnsemblePartial::from_binary(&[]).is_err());
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            assert!(EnsemblePartial::from_binary(&trailing).is_err());
+        }
+        // A structurally invalid payload (overlapping coverage) is
+        // rejected by the embedded validate, not trusted.
+        let clean = run_partial(&model, engine, 1..3, 2.0, 1.0).unwrap();
+        let mut buf = Vec::new();
+        put_string(&mut buf, &clean.fingerprint.model_id);
+        put_varint(&mut buf, 1);
+        put_string(&mut buf, "X");
+        put_f64_bits(&mut buf, 1.0);
+        put_f64_bits(&mut buf, 2.0);
+        put_varint(&mut buf, 3); // samples
+        put_varint(&mut buf, 2); // replicates
+        put_varint(&mut buf, 2); // two overlapping ranges
+        for _ in 0..2 {
+            put_varint(&mut buf, 1);
+            put_varint(&mut buf, 1);
+        }
+        put_varint(&mut buf, 3);
+        for _ in 0..3 {
+            ExactSum::new().encode_binary(&mut buf);
+        }
+        put_varint(&mut buf, 3);
+        for _ in 0..3 {
+            ExactSum::new().encode_binary(&mut buf);
+        }
+        assert!(EnsemblePartial::from_binary(&buf).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! out to the top digit. Non-finite inputs poison the accumulator
 //! (sticky), and `value()` then reports NaN.
 
+use crate::wire::{put_i64_le, put_varint, Reader, WireError};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Number of conceptual base-2^32 digits: 66 cover bit positions
@@ -300,6 +301,68 @@ impl ExactSum {
     /// Whether any non-finite value poisoned the accumulator.
     pub fn is_poisoned(&self) -> bool {
         self.non_finite
+    }
+
+    /// Appends the GLCB binary form: a flag byte (1 = poisoned, and
+    /// nothing follows), else varint `lo` + varint digit count + each
+    /// digit as 8-byte little-endian `i64`. The digits written are the
+    /// **canonical** trimmed window — exactly the digit vector the JSON
+    /// form spells out — so two equal accumulators encode to identical
+    /// bytes regardless of their in-memory carry-save state.
+    pub fn encode_binary(&self, buf: &mut Vec<u8>) {
+        if self.non_finite {
+            buf.push(1);
+            return;
+        }
+        buf.push(0);
+        let digits = self.canonical_digits();
+        let lo = digits.iter().position(|&d| d != 0).unwrap_or(0);
+        let hi = digits.iter().rposition(|&d| d != 0).map_or(lo, |h| h + 1);
+        put_varint(buf, lo as u64);
+        put_varint(buf, (hi.max(lo) - lo) as u64);
+        for &digit in &digits[lo..hi.max(lo)] {
+            put_i64_le(buf, digit);
+        }
+    }
+
+    /// Decodes the [`ExactSum::encode_binary`] form off `reader`,
+    /// re-establishing the compacted-window invariant. Fail-closed:
+    /// truncation, a window past the conceptual digit capacity, or a
+    /// flag byte that is neither 0 nor 1 are errors.
+    pub fn decode_binary(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.byte("ExactSum flag")? {
+            1 => {
+                let mut sum = ExactSum::new();
+                sum.non_finite = true;
+                return Ok(sum);
+            }
+            0 => {}
+            other => {
+                return Err(WireError(format!("ExactSum: unknown flag byte {other}")));
+            }
+        }
+        let lo = reader.length("ExactSum lo", DIGITS)?;
+        let count = reader.length("ExactSum digits", DIGITS)?;
+        if lo + count > DIGITS {
+            return Err(WireError(format!(
+                "ExactSum: {count} digits starting at {lo} exceed capacity {DIGITS}"
+            )));
+        }
+        let mut window = Vec::with_capacity(count);
+        for _ in 0..count {
+            window.push(reader.i64_le("ExactSum digit")?);
+        }
+        let mut sum = ExactSum {
+            lo,
+            digits: window,
+            pending: 1,
+            non_finite: false,
+        };
+        // Same invariant-repair pass the JSON decoder runs: canonical
+        // payloads have no zero edge digits, but compacting tolerates
+        // hand-built ones.
+        sum.compact();
+        Ok(sum)
     }
 
     /// Resident memory of this accumulator in bytes: the struct itself
@@ -626,6 +689,44 @@ mod tests {
         let back: ExactSum =
             serde_json::from_str(&serde_json::to_string(&poisoned).unwrap()).unwrap();
         assert!(back.is_poisoned());
+    }
+
+    #[test]
+    fn binary_round_trip_is_bitwise_and_fails_closed() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let values: Vec<f64> = (0..64).map(|_| rng.gen_range(-1.0e9..1.0e9)).collect();
+        let mut cases = vec![sum_of(&values), sum_of(&[-0.1, -0.2]), ExactSum::new()];
+        let mut poisoned = sum_of(&[1.0]);
+        poisoned.add(f64::NAN);
+        cases.push(poisoned);
+        for acc in &cases {
+            let mut buf = Vec::new();
+            acc.encode_binary(&mut buf);
+            let mut reader = Reader::new(&buf);
+            let back = ExactSum::decode_binary(&mut reader).unwrap();
+            reader.expect_end("ExactSum").unwrap();
+            assert_eq!(&back, acc);
+            assert_eq!(back.value().to_bits(), acc.value().to_bits());
+            // The binary form mirrors the canonical JSON form, so two
+            // equal accumulators encode to identical bytes.
+            let mut again = Vec::new();
+            back.encode_binary(&mut again);
+            assert_eq!(again, buf);
+            // Every truncation of a valid payload fails closed.
+            for cut in 0..buf.len() {
+                assert!(
+                    ExactSum::decode_binary(&mut Reader::new(&buf[..cut])).is_err(),
+                    "truncation at {cut} must fail"
+                );
+            }
+        }
+        // Unknown flag bytes and over-capacity windows are rejected.
+        assert!(ExactSum::decode_binary(&mut Reader::new(&[2])).is_err());
+        let mut bogus = vec![0u8];
+        crate::wire::put_varint(&mut bogus, 60);
+        crate::wire::put_varint(&mut bogus, 10);
+        bogus.extend_from_slice(&[0u8; 80]);
+        assert!(ExactSum::decode_binary(&mut Reader::new(&bogus)).is_err());
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod propensity;
 pub mod sum_tree;
 pub mod tau_leap;
 pub mod trace;
+pub mod wire;
 
 pub use compiled::{CompiledModel, ModelCache, State, DEFAULT_MODEL_CACHE_CAPACITY};
 pub use control::{InputSchedule, ScheduleRunner};
