@@ -677,6 +677,44 @@ fn codec_metrics(id: &str) -> (f64, f64, u64, u64) {
     )
 }
 
+/// Normals/second from the batched block path (`NormalBlock::fill`
+/// over a block-sized buffer) vs the scalar `standard_normal`
+/// reference loop, from the same seed. Circuit-independent: the draw
+/// layer sees only request lengths, so one measurement covers every
+/// engine that consumes it. Returns `(batched_per_sec, scalar_per_sec)`.
+fn draws_metrics(secs: f64) -> (f64, f64) {
+    use glc_ssa::{standard_normal, NormalBlock, NormalCarry};
+    const BUF: usize = 1024;
+    let mut buf = vec![0.0f64; BUF];
+    let mut sink = 0.0f64;
+
+    let mut rng = StdRng::seed_from_u64(0x00D1_2A55);
+    let mut block = NormalBlock::new();
+    let start = Instant::now();
+    let mut drawn = 0u64;
+    while start.elapsed().as_secs_f64() < secs {
+        block.fill(&mut rng, &mut buf);
+        sink += buf[BUF - 1];
+        drawn += BUF as u64;
+    }
+    let batched = drawn as f64 / start.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(0x00D1_2A55);
+    let mut carry = NormalCarry::new();
+    let start = Instant::now();
+    let mut drawn = 0u64;
+    while start.elapsed().as_secs_f64() < secs {
+        for slot in buf.iter_mut() {
+            *slot = standard_normal(&mut rng, &mut carry);
+        }
+        sink += buf[BUF - 1];
+        drawn += BUF as u64;
+    }
+    let scalar = drawn as f64 / start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (batched, scalar)
+}
+
 /// Steps/second of every engine, the incremental-vs-full-recompute
 /// comparison, the batched-vs-scalar full-sweep comparison, and the
 /// in-process vs process-sharded ensemble replicate throughput; written
@@ -711,6 +749,23 @@ fn throughput_report() {
         );
     }
     println!("\nthroughput: steps/second (200 t.u. horizon)");
+    // Batched Gaussian source vs the scalar reference on the raw draw
+    // loop itself. Like the full-sweep gate, `speedup` is floored at
+    // 1.0 in `check_regression`: the block path is only allowed to
+    // exist because it beats the scalar reference it replicates.
+    draws_metrics(0.05); // warm-up
+    let (batched_normals, scalar_normals) = draws_metrics(wall(0.4));
+    let draws_speedup = batched_normals / scalar_normals;
+    println!(
+        "  draws: batched {batched_normals:.0} normals/s  \
+         scalar {scalar_normals:.0} normals/s  speedup {draws_speedup:.2}x"
+    );
+    let draws_rows = format!(
+        "\n    {{\"source\":\"box_muller\",\
+         \"batched_normals_per_sec\":{batched_normals:.1},\
+         \"scalar_normals_per_sec\":{scalar_normals:.1},\
+         \"speedup\":{draws_speedup:.3}}}"
+    );
     for id in ["book_and", "cello_0x1C"] {
         let model = prepared(id);
         let bank = model.bank();
@@ -1046,6 +1101,7 @@ fn throughput_report() {
          \"engines\": [{engine_rows}\n  ],\n  \
          \"lanes\": [{lane_rows}\n  ],\n  \
          \"full_sweep\": [{sweep_rows}\n  ],\n  \
+         \"draws\": [{draws_rows}\n  ],\n  \
          \"ensemble\": [{ensemble_rows}\n  ],\n  \
          \"pipeline\": [{pipeline_rows}\n  ],\n  \
          \"resident\": [{resident_rows}\n  ],\n  \

@@ -12,7 +12,8 @@
 //!   [`glc_ssa::CompiledModel::propensities_into_scalar`] and the
 //!   un-memoized [`glc_ssa::tau_leap::poisson`] sampler;
 //! * Langevin trajectories against a reference loop built from scalar
-//!   sweeps and [`glc_ssa::langevin::standard_normal`];
+//!   sweeps and the paired [`glc_ssa::draws::standard_normal`] (whose
+//!   carry spans the run, exactly as the engine's batched source);
 //! * `Direct` with incremental updates against the full-recompute
 //!   schedule (the exact-engine counterpart of the same contract);
 //! * the batched bank sweep against the scalar sweep on the
@@ -26,8 +27,8 @@
 use glc_gates::catalog;
 use glc_model::expr::EvalMemo;
 use glc_model::Model;
+use glc_ssa::draws::{standard_normal, NormalCarry};
 use glc_ssa::engine::Observer;
-use glc_ssa::langevin::standard_normal;
 use glc_ssa::tau_leap::poisson;
 use glc_ssa::{CompiledModel, Direct, Engine, Langevin, TauLeap};
 use proptest::prelude::*;
@@ -100,6 +101,9 @@ fn reference_tau_leap(model: &CompiledModel, tau: f64, seed: u64) -> (BitTrace, 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = BitTrace::default();
     let (mut propensities, mut stack) = (Vec::new(), Vec::new());
+    // One carry for the whole run, mirroring the engine: the paired
+    // large-λ scheme hands the sine half to the next large-λ draw.
+    let mut carry = NormalCarry::new();
     while state.t < T_END {
         let t_next = (state.t + tau).min(T_END);
         model
@@ -108,7 +112,7 @@ fn reference_tau_leap(model: &CompiledModel, tau: f64, seed: u64) -> (BitTrace, 
         trace.on_advance(t_next, &state.values);
         let dt = t_next - state.t;
         for (r, &a) in propensities.iter().enumerate() {
-            let firings = poisson(&mut rng, a * dt);
+            let firings = poisson(&mut rng, a * dt, &mut carry);
             if firings == 0 {
                 continue;
             }
@@ -129,14 +133,18 @@ fn reference_tau_leap(model: &CompiledModel, tau: f64, seed: u64) -> (BitTrace, 
 }
 
 /// The scalar Langevin reference: Euler–Maruyama with per-law scalar
-/// sweeps and inline drift/noise arithmetic in the exact association
-/// the engine's precomputed `drift`/`sigma` slices replay. Quiescent
-/// reactions draw nothing, matching the engine's draw-skip contract.
+/// sweeps, scalar paired-Box–Muller draws, and inline drift/noise
+/// arithmetic in the exact association the engine's compacted
+/// `drift`/`sigma`/`z` slices replay. Quiescent reactions draw nothing,
+/// matching the engine's draw-skip contract; one [`NormalCarry`] spans
+/// the run, mirroring the engine's batched source (carry persists
+/// across steps, resets per run).
 fn reference_langevin(model: &CompiledModel, dt: f64, seed: u64) -> (BitTrace, Vec<u64>, u64) {
     let mut state = model.initial_state();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = BitTrace::default();
     let (mut propensities, mut stack) = (Vec::new(), Vec::new());
+    let mut carry = NormalCarry::new();
     while state.t < T_END {
         let h = dt.min(T_END - state.t);
         let t_next = state.t + h;
@@ -149,7 +157,7 @@ fn reference_langevin(model: &CompiledModel, dt: f64, seed: u64) -> (BitTrace, V
             if a == 0.0 {
                 continue;
             }
-            let increment = (a * h) + ((a.sqrt() * sqrt_h) * standard_normal(&mut rng));
+            let increment = (a * h) + ((a.sqrt() * sqrt_h) * standard_normal(&mut rng, &mut carry));
             for &(slot, delta) in model.delta(r) {
                 state.values[slot] += delta as f64 * increment;
             }

@@ -538,6 +538,31 @@ impl OperandLanes {
 /// recompute" policy of [`KineticFormBank::eval_one`]) and the slice
 /// behind [`EvalMemo`]. Monomorphization keeps both free of dynamic
 /// dispatch.
+/// One 8-lane batch of the Hill response chain, the vector core of
+/// [`KineticFormBank::warm_hills`]: `exp(n * ln x)` with an `x == 0`
+/// select replacing [`crate::fastmath::pow`]'s early return, then one
+/// division with the numerator chosen by the lane kind. Per lane this
+/// is exactly the operation sequence of [`HillLanes::eval`]'s miss
+/// path, so the results are bitwise identical to the scalar walk; the
+/// compile-time trip count is what lets the whole chain vectorize.
+#[inline]
+fn hill_kernel8(
+    xs: &[f64; 8],
+    ns: &[f64; 8],
+    kns: &[f64; 8],
+    acts: &[bool; 8],
+    resp: &mut [f64; 8],
+) {
+    for i in 0..8 {
+        let x = xs[i];
+        let raw = crate::fastmath::exp(ns[i] * crate::fastmath::ln(x));
+        let xn = if x == 0.0 { 0.0 } else { raw };
+        let kn = kns[i];
+        let numer = if acts[i] { xn } else { kn };
+        resp[i] = numer / (kn + xn);
+    }
+}
+
 trait HillMemo {
     /// The memoized response for `slot` if it was computed for exactly
     /// these regulator bits.
@@ -659,6 +684,9 @@ struct HillLanes {
     /// First [`EvalMemo`] slot of this lane store; lane `l` memoizes at
     /// `memo_base + l`. Assigned once when the bank finishes building.
     memo_base: u32,
+    /// Whether any lane has a non-literal `k` or `n` (disables the
+    /// [`HillLanes::warm`] pre-pass for the whole store).
+    dynamic: bool,
 }
 
 impl HillLanes {
@@ -676,11 +704,12 @@ impl HillLanes {
         self.k.push(hill.k);
         self.n.push(hill.n);
         if let (Operand::Num(k), Operand::Num(n)) = (hill.k, hill.n) {
-            self.kn.push(k.powf(n));
+            self.kn.push(crate::fastmath::pow(k, n));
             self.kn_ready.push(true);
         } else {
             self.kn.push(0.0);
             self.kn_ready.push(false);
+            self.dynamic = true;
         }
         self.activation.push(hill.activation);
         Some(pos)
@@ -705,7 +734,7 @@ impl HillLanes {
             }
             let n = self.n.load(lane, values);
             let kn = self.kn[lane];
-            let xn = x.powf(n);
+            let xn = crate::fastmath::pow(x, n);
             let response = if self.activation[lane] {
                 xn / (kn + xn)
             } else {
@@ -715,8 +744,8 @@ impl HillLanes {
             response
         } else {
             let n = self.n.load(lane, values);
-            let kn = self.k.load(lane, values).powf(n);
-            let xn = x.powf(n);
+            let kn = crate::fastmath::pow(self.k.load(lane, values), n);
+            let xn = crate::fastmath::pow(x, n);
             if self.activation[lane] {
                 xn / (kn + xn)
             } else {
@@ -1310,6 +1339,79 @@ impl KineticFormBank {
         self.eval_all_with(values, out, stack, memo.hill.as_mut_slice());
     }
 
+    /// Fused, miss-driven vector pre-pass over the bank's three Hill
+    /// lane stores: looks each literal-coefficient lane's clamped
+    /// regulator up in `memo`, gathers only the misses into shared
+    /// fixed-width scratch batches, evaluates their responses through
+    /// [`hill_kernel8`], and seeds `memo`, so the group walks that
+    /// follow hit on every lookup instead of paying a scalar
+    /// `powf`-equivalent per miss. Full-sweep engines (tau-leap,
+    /// Langevin) miss on every varying-regulator lane every step,
+    /// which makes the Hill transcendentals the sweep bottleneck; the
+    /// fusion matters because each store alone holds too few misses to
+    /// fill a vector batch, and gathering hits would waste batch
+    /// capacity on lanes (clamped inputs, steady regulators) the memo
+    /// already covers.
+    ///
+    /// Pad lanes inside a partially-filled batch run the kernels on
+    /// zeros (finite everywhere) and are never stored back. A store
+    /// with any non-literal `k`/`n` lane is skipped whole (such lanes
+    /// cannot memoize, and the gate compiler never emits them), as are
+    /// misses past the scratch capacity - the walk's scalar path
+    /// covers both.
+    fn warm_hills<M: HillMemo + ?Sized>(&self, values: &[f64], memo: &mut M) {
+        // Two 8-lane batches of misses cover every gate-compiled
+        // circuit; overflow simply stays on the scalar walk path.
+        const BATCHES: usize = 2;
+        const MAX: usize = BATCHES * 8;
+        let stores = [
+            &self.hill.hills,
+            &self.sop.lanes.hills,
+            &self.term_div.lanes.hills,
+        ];
+        let mut xs = [[0.0f64; 8]; BATCHES];
+        let mut ns = [[0.0f64; 8]; BATCHES];
+        let mut kns = [[0.0f64; 8]; BATCHES];
+        let mut acts = [[false; 8]; BATCHES];
+        let mut slots = [0u32; MAX];
+        let mut bits = [0u64; MAX];
+        let mut at = 0;
+        'gather: for store in stores {
+            if store.dynamic {
+                continue;
+            }
+            for lane in 0..store.len() {
+                if at == MAX {
+                    break 'gather;
+                }
+                let x = store.x.load(lane, values).max(0.0);
+                let x_bits = x.to_bits();
+                let slot = store.memo_base as usize + lane;
+                if memo.lookup(slot, x_bits).is_some() {
+                    continue;
+                }
+                xs[at / 8][at % 8] = x;
+                ns[at / 8][at % 8] = store.n.load(lane, values);
+                kns[at / 8][at % 8] = store.kn[lane];
+                acts[at / 8][at % 8] = store.activation[lane];
+                slots[at] = slot as u32;
+                bits[at] = x_bits;
+                at += 1;
+            }
+        }
+        if at == 0 {
+            return;
+        }
+        let mut resp = [[0.0f64; 8]; BATCHES];
+        hill_kernel8(&xs[0], &ns[0], &kns[0], &acts[0], &mut resp[0]);
+        if at > 8 {
+            hill_kernel8(&xs[1], &ns[1], &kns[1], &acts[1], &mut resp[1]);
+        }
+        for g in 0..at {
+            memo.store(slots[g] as usize, bits[g], resp[g / 8][g % 8]);
+        }
+    }
+
     fn eval_all_with<M: HillMemo + ?Sized>(
         &self,
         values: &[f64],
@@ -1376,12 +1478,15 @@ impl KineticFormBank {
                 * self.bilinear.c.load(lane, values);
         }
 
-        // The `powf`-bound groups evaluate sequentially over their SoA
-        // arrays regardless of width (contiguous reads, no per-law
-        // dispatch, `k^n` precomputed for literal lanes, and the memo
-        // short-circuiting repeat regulator values) — chunking a `powf`
-        // saves nothing, so their wide/residual split is bookkeeping
-        // for the occupancy report, not a code-path switch.
+        // Warm the Hill memo before the group walks: every
+        // literal-coefficient response for the current state is
+        // computed in one fixed-width batched pass per store, so the
+        // walks below replay stored values instead of hitting the
+        // scalar miss path lane by lane. The wide/residual split on
+        // these groups stays bookkeeping for the occupancy report —
+        // the batching happens here, ahead of the walk.
+        self.warm_hills(values, memo);
+
         for lane in 0..self.hill.idx.len() {
             out[self.hill.idx[lane] as usize] = self.eval_hill_lane(lane, values, memo);
         }

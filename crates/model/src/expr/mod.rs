@@ -131,15 +131,20 @@ impl Func {
             Func::Min => args[0].min(args[1]),
             Func::Max => args[0].max(args[1]),
             Func::Pow => args[0].powf(args[1]),
+            // The Hill responses route through [`crate::fastmath::pow`]
+            // (not libm `powf`): regulators and thresholds are
+            // non-negative by construction, and the compiled Hill lanes
+            // must replay this exact op sequence bitwise, so both tiers
+            // share the one deterministic inline kernel.
             Func::HillRepression => {
                 let (x, k, n) = (args[0].max(0.0), args[1], args[2]);
-                let kn = k.powf(n);
-                kn / (kn + x.powf(n))
+                let kn = crate::fastmath::pow(k, n);
+                kn / (kn + crate::fastmath::pow(x, n))
             }
             Func::HillActivation => {
                 let (x, k, n) = (args[0].max(0.0), args[1], args[2]);
-                let xn = x.powf(n);
-                xn / (k.powf(n) + xn)
+                let xn = crate::fastmath::pow(x, n);
+                xn / (crate::fastmath::pow(k, n) + xn)
             }
         }
     }

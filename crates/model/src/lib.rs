@@ -10,6 +10,10 @@
 //!   stochastic simulator;
 //! * [`model`] — species / parameters / reactions / kinetic laws with
 //!   validation, the in-memory equivalent of an SBML model;
+//! * [`fastmath`] — deterministic, inline polynomial kernels (`ln`, `exp`,
+//!   `pow`, `sincos_unit`) shared by the compiled Hill lanes and the
+//!   simulation tier's batched Gaussian source, replacing opaque libm
+//!   calls in the per-step hot loops;
 //! * [`builder`] — a fluent [`builder::ModelBuilder`];
 //! * [`sbml`] — a self-contained SBML-subset XML reader and writer (with its
 //!   own minimal XML parser in [`sbml::xml`]).
@@ -41,6 +45,7 @@
 pub mod builder;
 pub mod error;
 pub mod expr;
+pub mod fastmath;
 pub mod model;
 pub mod sbml;
 

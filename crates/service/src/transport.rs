@@ -1387,8 +1387,9 @@ const MAX_CHUNKS_PER_SLOT: u64 = 16;
 /// - **pipelined**: near-uniform chunks sized so each takes roughly
 ///   [`TARGET_CHUNK_SECS`] at the mean observed throughput, clamped
 ///   to [`MIN_CHUNKS_PER_SLOT`]..=[`MAX_CHUNKS_PER_SLOT`] chunks per
-///   slot (a cold pool gets `MIN_CHUNKS_PER_SLOT`); contiguous runs
-///   of chunks are homed to slots proportionally to throughput.
+///   slot — the lower bound holds for warm pools too, so every batch
+///   keeps a stealable back chunk per slot; contiguous runs of chunks
+///   are homed to slots proportionally to throughput.
 ///
 /// Chunk boundaries never move a bit of the result — replicate seeds
 /// are absolute and the merge exact — so sizing only shapes latency.
@@ -1409,14 +1410,20 @@ fn chunk_plan(total: u64, throughputs: &[Option<f64>], pipelined: bool) -> Vec<(
     let target = if known.is_empty() {
         most // Cold pool: MIN_CHUNKS_PER_SLOT chunks per slot.
     } else {
-        // A warm pool trusts its throughput estimate: when a slot's
-        // whole share fits inside TARGET_CHUNK_SECS there is nothing
-        // to pipeline or steal, so one chunk per slot skips the
-        // per-chunk encode/decode entirely.
+        // A warm pool trusts its throughput estimate for the chunk
+        // *duration*, but never cuts fewer than MIN_CHUNKS_PER_SLOT
+        // chunks per slot: a batch's makespan is gated by whichever
+        // slot the scheduler serves last, and with a single chunk per
+        // slot a straggler holds its whole share hostage. Keeping a
+        // back chunk stealable bounds that tail at half the share for
+        // two extra frame round trips per slot — microseconds against
+        // the tens of milliseconds of compute a share represents on
+        // the slow circuits, where the one-chunk layout measurably
+        // swung ensemble throughput batch to batch.
         let mean = known.iter().sum::<f64>() / known.len() as f64;
         let least = ceil_div(total, slots * MAX_CHUNKS_PER_SLOT).max(1);
-        let share = ceil_div(total, slots).max(1);
-        (((mean * TARGET_CHUNK_SECS).round() as u64).max(1)).clamp(least.min(share), share)
+        let cap = ceil_div(total, slots * MIN_CHUNKS_PER_SLOT).max(1);
+        (((mean * TARGET_CHUNK_SECS).round() as u64).max(1)).clamp(least.min(cap), cap)
     };
     let count = ceil_div(total, target).max(1) as usize;
     // Even cut of replicates across chunks; weighted cut of chunks
@@ -2027,12 +2034,12 @@ mod tests {
             "{} chunks",
             plan.len()
         );
-        // ...and when each slot's whole share fits inside the time
-        // target, a warm pool collapses to one chunk per slot — the
-        // run ends before stealing could help, so the extra chunk
-        // round trips would be pure overhead.
+        // ...and even when each slot's whole share fits inside the
+        // time target, a warm pool still cuts MIN_CHUNKS_PER_SLOT
+        // chunks per slot: the back chunks stay stealable, so a slot
+        // the scheduler starves cannot hold its entire share hostage.
         let plan = chunk_plan(20, &[Some(1_000_000.0), Some(1_000_000.0)], true);
-        assert_eq!(plan, vec![(10, 0), (10, 1)]);
+        assert_eq!(plan, vec![(5, 0), (5, 0), (5, 1), (5, 1)]);
     }
 
     #[test]

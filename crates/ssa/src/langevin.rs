@@ -12,20 +12,25 @@
 //! is *not* integer-valued (unlike the exact engines).
 
 use crate::compiled::{CompiledModel, State};
+use crate::draws::NormalBlock;
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
 use glc_model::expr::EvalMemo;
 use rand::rngs::StdRng;
-use rand::Rng;
+
+pub use crate::draws::{standard_normal, NormalCarry};
 
 /// The chemical Langevin engine with fixed time step.
 ///
 /// Every Euler–Maruyama step needs all `R` propensities, so the engine
 /// fills a flat propensity slice with one batched kinetic-form-bank
-/// sweep per step (no sum tree — nothing here selects reactions), then
-/// precomputes the per-reaction drift `a·h` and noise scale `√a·√h` in
-/// a chunked pass before the Gaussian draw loop. All scratch lives on
-/// the engine, so steady-state stepping allocates nothing.
+/// sweep per step (no sum tree — nothing here selects reactions). The
+/// step itself then runs as three contiguous passes: *compact* the
+/// active (non-quiescent) reactions into dense `drift`/`sigma` slices,
+/// *fill* one standard normal per active reaction from the batched
+/// [`NormalBlock`] source, and a *fused* increment-and-scatter loop
+/// `drift[i] + sigma[i]·z[i]` through `model.delta`. All scratch lives
+/// on the engine, so steady-state stepping allocates nothing.
 #[derive(Debug, Clone)]
 pub struct Langevin {
     dt: f64,
@@ -36,10 +41,16 @@ pub struct Langevin {
     stack: Vec<f64>,
     /// Hill-response memo threaded through the bank sweep.
     memo: EvalMemo,
-    /// Per-reaction drift increments `a_r * h` for the current step.
+    /// Reaction ids with non-zero propensity this step, densely packed.
+    active: Vec<u32>,
+    /// Drift increments `a_r * h`, packed to match `active`.
     drift: Vec<f64>,
-    /// Per-reaction noise scales `√a_r * √h` for the current step.
+    /// Noise scales `√a_r * √h`, packed to match `active`.
     sigma: Vec<f64>,
+    /// One standard normal per active reaction, batch-filled per step.
+    z: Vec<f64>,
+    /// The batched Gaussian source (carry reset at every run start).
+    normals: NormalBlock,
 }
 
 impl Langevin {
@@ -61,8 +72,11 @@ impl Langevin {
             propensities: Vec::new(),
             stack: Vec::new(),
             memo: EvalMemo::new(),
+            active: Vec::new(),
             drift: Vec::new(),
             sigma: Vec::new(),
+            z: Vec::new(),
+            normals: NormalBlock::new(),
         })
     }
 
@@ -70,16 +84,6 @@ impl Langevin {
     pub fn dt(&self) -> f64 {
         self.dt
     }
-}
-
-/// Standard normal sample (Box–Muller).
-///
-/// Public so benches and the bitwise-equivalence tests can replay the
-/// engine's exact draw sequence against a reference loop.
-pub fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 impl Engine for Langevin {
@@ -105,9 +109,11 @@ impl Engine for Langevin {
                 state.t
             )));
         }
+        // Engines are stateless between run calls: a leftover sine half
+        // from a previous run is discarded so every run's draw stream is
+        // a pure function of the RNG state handed in.
+        self.normals.reset();
         let reactions = model.reaction_count();
-        self.drift.resize(reactions, 0.0);
-        self.sigma.resize(reactions, 0.0);
         let mut steps: u64 = 0;
         while state.t < t_end {
             let h = self.dt.min(t_end - state.t);
@@ -118,26 +124,61 @@ impl Engine for Langevin {
                 &mut self.stack,
                 &mut self.memo,
             )?;
+            // Per the Observer contract (see `engine::Observer`): the
+            // callback fires *before* this step's increments land, so
+            // `values` is the state that held over `[t, t_next)` — the
+            // hold semantics uniform samplers need. A recorder sample
+            // exactly at `t_next` is deliberately deferred to the next
+            // callback (or `finish`) and takes the post-step state.
             observer.on_advance(t_next, &state.values);
             let sqrt_h = h.sqrt();
-            // Precompute drift and noise scale over contiguous slices.
-            // `a*h + a.sqrt()*sqrt_h*z` associates as
-            // `(a*h) + ((a.sqrt()*sqrt_h) * z)`, so splitting off the
-            // z-independent parts replays the identical op sequence.
-            for r in 0..reactions {
-                let a = self.propensities[r];
-                self.drift[r] = a * h;
-                self.sigma[r] = a.sqrt() * sqrt_h;
-            }
-            for r in 0..reactions {
-                // Quiescent reactions draw no noise (and consume no RNG
-                // values — part of the per-seed trajectory contract).
-                if self.propensities[r] == 0.0 {
-                    continue;
+            // Quiescent reactions draw no noise (and consume no RNG
+            // values — part of the per-seed trajectory contract), so
+            // they never get a dense slot. `a*h + a.sqrt()*sqrt_h*z`
+            // associates as `(a*h) + ((a.sqrt()*sqrt_h) * z)`, so
+            // splitting off the z-independent parts replays the
+            // identical op sequence either way.
+            self.drift.clear();
+            self.sigma.clear();
+            if self.propensities.iter().all(|&a| a != 0.0) {
+                // All reactions live — the steady case on the reference
+                // circuits once transcription ramps up. Unit-stride
+                // drift/σ passes over the propensity slice (each output
+                // a pure per-element function, so bitwise ≡ the packed
+                // loop below) and a scatter with no index indirection.
+                self.drift.extend(self.propensities.iter().map(|&a| a * h));
+                self.sigma
+                    .extend(self.propensities.iter().map(|&a| a.sqrt() * sqrt_h));
+                self.z.resize(reactions, 0.0);
+                self.normals.fill(rng, &mut self.z);
+                for r in 0..reactions {
+                    let increment = self.drift[r] + self.sigma[r] * self.z[r];
+                    for &(slot, delta) in model.delta(r) {
+                        state.values[slot] += delta as f64 * increment;
+                    }
                 }
-                let increment = self.drift[r] + self.sigma[r] * standard_normal(rng);
-                for &(slot, delta) in model.delta(r) {
-                    state.values[slot] += delta as f64 * increment;
+            } else {
+                // Compaction pass: densely pack the active reactions.
+                self.active.clear();
+                for r in 0..reactions {
+                    let a = self.propensities[r];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    self.active.push(r as u32);
+                    self.drift.push(a * h);
+                    self.sigma.push(a.sqrt() * sqrt_h);
+                }
+                // Batched draw: one normal per active reaction, in
+                // reaction order — bitwise what the reference draws.
+                self.z.resize(self.active.len(), 0.0);
+                self.normals.fill(rng, &mut self.z);
+                // Fused increment-and-scatter over the dense slices.
+                for i in 0..self.active.len() {
+                    let increment = self.drift[i] + self.sigma[i] * self.z[i];
+                    for &(slot, delta) in model.delta(self.active[i] as usize) {
+                        state.values[slot] += delta as f64 * increment;
+                    }
                 }
             }
             for slot in 0..model.species_count() {
@@ -262,5 +303,39 @@ mod tests {
             .run(&compiled, &mut state, 5.0, &mut rng, &mut NullObserver)
             .unwrap();
         assert_eq!(state.values[0], 7.0);
+    }
+
+    #[test]
+    fn reused_engine_discards_carry_between_runs() {
+        // An odd number of normals per run parks a sine half in the
+        // engine's carry. A second run on a reused engine must draw the
+        // same trajectory as a fresh engine given the same RNG state:
+        // engines are stateless between run calls.
+        let model = birth_death(); // X starts at 0 ⇒ one active reaction
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut engine = Langevin::new(0.1).unwrap();
+        let mut state = model.initial_state();
+        engine
+            .run(&model, &mut state, 0.1, &mut rng, &mut NullObserver)
+            .unwrap();
+        // Snapshot: a fresh engine continuing from the identical state
+        // and RNG position must reproduce the reused engine bitwise.
+        let mut rng_fresh = rng.clone();
+        let mut state_fresh = state.clone();
+        engine
+            .run(&model, &mut state, 0.2, &mut rng, &mut NullObserver)
+            .unwrap();
+        let mut fresh = Langevin::new(0.1).unwrap();
+        fresh
+            .run(
+                &model,
+                &mut state_fresh,
+                0.2,
+                &mut rng_fresh,
+                &mut NullObserver,
+            )
+            .unwrap();
+        assert_eq!(state.values[0].to_bits(), state_fresh.values[0].to_bits());
+        assert_eq!(rng, rng_fresh, "stream positions must agree");
     }
 }

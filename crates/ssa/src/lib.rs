@@ -14,6 +14,9 @@
 //!   `dependents(fired)` after each firing (full-sweep engines rebuild
 //!   through one batched bank sweep), with O(log R) reaction selection
 //!   through a flat binary sum tree;
+//! * [`draws`] — the batched Gaussian source (pairwise Box–Muller over
+//!   block-refilled uniforms, with a carry slot for odd draw counts)
+//!   behind the Langevin engine and tau-leap's large-λ normal branch;
 //! * [`engine`] — the [`engine::Engine`] trait plus four implementations:
 //!   [`direct::Direct`] (Gillespie's direct method),
 //!   [`first_reaction::FirstReaction`],
@@ -55,6 +58,7 @@
 pub mod compiled;
 pub mod control;
 pub mod direct;
+pub mod draws;
 pub mod engine;
 pub mod ensemble;
 pub mod error;
@@ -73,6 +77,7 @@ pub mod wire;
 pub use compiled::{CompiledModel, ModelCache, State, DEFAULT_MODEL_CACHE_CAPACITY};
 pub use control::{InputSchedule, ScheduleRunner};
 pub use direct::Direct;
+pub use draws::{standard_normal, NormalBlock, NormalCarry};
 pub use engine::{Engine, Observer};
 pub use ensemble::{
     run_ensemble, run_partial, run_partial_from, Ensemble, EnsemblePartial, PartialFingerprint,

@@ -7,6 +7,7 @@
 //! (the standard non-negativity fix-up for plain tau-leaping).
 
 use crate::compiled::{CompiledModel, State};
+use crate::draws::{standard_normal, NormalCarry};
 use crate::engine::{Engine, Observer, DEFAULT_STEP_LIMIT};
 use crate::error::SimError;
 use glc_model::expr::EvalMemo;
@@ -39,6 +40,9 @@ pub struct TauLeap {
     /// sampler. The mapping is model-independent (a pure function of
     /// the bits), so entries surviving a model switch are still exact.
     thresholds: Vec<(u64, f64)>,
+    /// Carry slot of the paired Box–Muller scheme used by the large-λ
+    /// normal approximation (reset at every run start).
+    carry: NormalCarry,
 }
 
 impl TauLeap {
@@ -62,6 +66,7 @@ impl TauLeap {
             memo: EvalMemo::new(),
             lambdas: Vec::new(),
             thresholds: Vec::new(),
+            carry: NormalCarry::new(),
         })
     }
 
@@ -76,10 +81,16 @@ impl TauLeap {
 /// Knuth's product method for small means; for large means a rounded
 /// normal approximation `N(lambda, lambda)`, which is accurate to well
 /// under a percent for `lambda > 30` — fine for an approximate engine.
+/// The normal branch draws through the paired Box–Muller scheme
+/// ([`standard_normal`]): `carry` holds the sine half of a pair between
+/// large-λ draws, so consecutive normal-branch samples cost one
+/// uniform pair per *two* samples. Knuth-branch draws consume raw
+/// uniforms and leave the carry untouched, so any interleaving of
+/// branches is stream-deterministic.
 ///
 /// Public so benches and the bitwise-equivalence tests can replay the
 /// engine's exact draw sequence against a reference loop.
-pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+pub fn poisson(rng: &mut StdRng, lambda: f64, carry: &mut NormalCarry) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -93,10 +104,7 @@ pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
         }
         count
     } else {
-        // Box–Muller.
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let z = standard_normal(rng, carry);
         let sample = lambda + lambda.sqrt() * z;
         sample.round().max(0.0) as u64
     }
@@ -111,7 +119,12 @@ pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
 /// can never collide: a NaN mean fails `lambda < 30.0` and skips the
 /// memo entirely.
 #[inline]
-fn poisson_memo(rng: &mut StdRng, lambda: f64, memo: &mut (u64, f64)) -> u64 {
+fn poisson_memo(
+    rng: &mut StdRng,
+    lambda: f64,
+    memo: &mut (u64, f64),
+    carry: &mut NormalCarry,
+) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -132,9 +145,7 @@ fn poisson_memo(rng: &mut StdRng, lambda: f64, memo: &mut (u64, f64)) -> u64 {
         }
         count
     } else {
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let z = standard_normal(rng, carry);
         let sample = lambda + lambda.sqrt() * z;
         sample.round().max(0.0) as u64
     }
@@ -166,6 +177,9 @@ impl Engine for TauLeap {
         let reactions = model.reaction_count();
         self.lambdas.resize(reactions, 0.0);
         self.thresholds.resize(reactions, (u64::MAX, 0.0));
+        // Engines are stateless between run calls: discard any sine
+        // half a previous run's large-λ branch left behind.
+        self.carry.reset();
         let mut steps: u64 = 0;
         while state.t < t_end {
             let t_next = (state.t + self.tau).min(t_end);
@@ -189,7 +203,12 @@ impl Engine for TauLeap {
                 *lambda = a * dt;
             }
             for r in 0..reactions {
-                let firings = poisson_memo(rng, self.lambdas[r], &mut self.thresholds[r]);
+                let firings = poisson_memo(
+                    rng,
+                    self.lambdas[r],
+                    &mut self.thresholds[r],
+                    &mut self.carry,
+                );
                 if firings == 0 {
                     continue;
                 }
@@ -289,9 +308,10 @@ mod tests {
     #[test]
     fn poisson_small_lambda_mean() {
         let mut rng = StdRng::seed_from_u64(4);
+        let mut carry = NormalCarry::new();
         let lambda = 3.0;
         let n = 20_000;
-        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda, &mut carry)).sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - lambda).abs() < 0.1, "mean {mean}");
     }
@@ -299,11 +319,26 @@ mod tests {
     #[test]
     fn poisson_large_lambda_mean() {
         let mut rng = StdRng::seed_from_u64(4);
+        let mut carry = NormalCarry::new();
         let lambda = 250.0;
         let n = 20_000;
-        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda, &mut carry)).sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_pairs_draws() {
+        // Two consecutive large-λ draws share one Box–Muller pair: the
+        // second must come from the carry, not fresh uniforms.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut carry = NormalCarry::new();
+        poisson(&mut rng, 100.0, &mut carry);
+        assert!(carry.0.is_some(), "sine half must be parked");
+        let probe = rng.clone();
+        poisson(&mut rng, 40.0, &mut carry);
+        assert!(carry.0.is_none());
+        assert_eq!(rng, probe, "second draw must not consume uniforms");
     }
 
     #[test]
@@ -311,14 +346,19 @@ mod tests {
         let mut plain_rng = StdRng::seed_from_u64(11);
         let mut memo_rng = StdRng::seed_from_u64(11);
         let mut memo = (u64::MAX, 0.0);
-        // Repeats exercise memo hits; 0.0 and 250.0 the memo-free paths.
-        for lambda in [0.5, 0.5, 3.0, 0.5, 0.0, 250.0, 3.0, 3.0, 29.9] {
+        let mut plain_carry = NormalCarry::new();
+        let mut memo_carry = NormalCarry::new();
+        // Repeats exercise memo hits; 0.0 and 250.0 the memo-free
+        // paths; the interleaved large λs the carry hand-off between
+        // normal-branch draws with Knuth draws in between.
+        for lambda in [0.5, 0.5, 3.0, 250.0, 0.5, 0.0, 250.0, 3.0, 31.0, 3.0, 29.9] {
             assert_eq!(
-                poisson(&mut plain_rng, lambda),
-                poisson_memo(&mut memo_rng, lambda, &mut memo),
+                poisson(&mut plain_rng, lambda, &mut plain_carry),
+                poisson_memo(&mut memo_rng, lambda, &mut memo, &mut memo_carry),
                 "lambda {lambda}"
             );
         }
+        assert_eq!(plain_carry, memo_carry);
         // Both samplers must have consumed the identical draw stream.
         assert_eq!(plain_rng.gen::<u64>(), memo_rng.gen::<u64>());
     }
@@ -326,8 +366,9 @@ mod tests {
     #[test]
     fn poisson_zero_lambda_is_zero() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(poisson(&mut rng, 0.0), 0);
-        assert_eq!(poisson(&mut rng, -1.0), 0);
+        let mut carry = NormalCarry::new();
+        assert_eq!(poisson(&mut rng, 0.0, &mut carry), 0);
+        assert_eq!(poisson(&mut rng, -1.0, &mut carry), 0);
     }
 
     #[test]
